@@ -1,0 +1,64 @@
+"""Ablation: which axiom forbids which behaviour?
+
+DESIGN.md calls out the model's load-bearing design choices; this bench
+quantifies them.  For each of the six Figure 7 axioms we re-run the
+standard suite with that axiom disabled and count the litmus verdicts that
+flip from forbidden to allowed — i.e. the behaviours that axiom (and only
+that axiom, given the others) rules out.
+
+Measured shape (asserted below):
+
+* **Causality** carries the synchronization story — 12 of the suite's
+  forbidden verdicts flip (every MP/WRC/IRIW+fence/barrier test);
+* **SC-per-Location** carries single-location sanity (CoWR, CoWW);
+* **Atomicity** only affects RMW tests; **No-Thin-Air** only LB+deps;
+* **Coherence** flips *nothing* — not because it is redundant, but because
+  the witness search constructs ``co`` to satisfy Axiom 1 by construction
+  (cause-directed edges are forced into the orientation), so ablating the
+  axiom check alone cannot re-admit executions;
+* **FenceSC** flips nothing on this suite: every sc-orientation it would
+  reject also violates Causality (sc ⊆ sw ⊆ cause feeds Axiom 6) — the
+  axiom's distinct force only shows on executions with reflexive
+  ``sc;cause`` chains that no final-state condition can observe here
+  (unit-tested directly in tests/test_ptx_axioms.py::TestFenceScAxiom).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.litmus import SUITE, Expect, run_litmus
+from repro.ptx.spec import AXIOMS
+
+FORBIDDEN_TESTS = [t for t in SUITE if t.expect is Expect.FORBIDDEN]
+
+
+def _flips(axiom: str):
+    flipped = []
+    for test in FORBIDDEN_TESTS:
+        result = run_litmus(test, skip_axioms=(axiom,))
+        if result.verdict is Expect.ALLOWED:
+            flipped.append(test.name)
+    return flipped
+
+
+def test_ablation_counts(benchmark):
+    def run():
+        return {axiom: _flips(axiom) for axiom in AXIOMS}
+
+    flips = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["flips"] = {k: len(v) for k, v in flips.items()}
+    benchmark.extra_info["detail"] = flips
+    # the specialised axioms touch exactly their own families
+    assert flips["No-Thin-Air"] == ["LB+deps"]
+    assert flips["Atomicity"] and all(
+        "Atom" in name for name in flips["Atomicity"]
+    )
+    assert set(flips["SC-per-Location"]) == {"CoWR", "CoWW"}
+    # Causality is the workhorse: the whole synchronization family flips
+    assert len(flips["Causality"]) >= 10
+    assert "MP+rel_acq.gpu" in flips["Causality"]
+    # structurally-enforced / double-covered axioms (see module docstring)
+    assert flips["Coherence"] == []
+    assert flips["FenceSC"] == []

@@ -1,0 +1,30 @@
+"""Figure 5: message passing with acquire/release synchronization.
+
+Regenerates the figure's verdict (the stale-data outcome is forbidden with
+release/acquire at an inclusive scope) along with the scope/strength
+variants the discussion implies, and times the axiomatic analysis.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from helpers import assert_all_documented, litmus_verdicts
+
+NAMES = [
+    "MP+rel_acq.gpu",           # the figure itself: forbidden
+    "MP+rel_acq.cta_same_cta",  # narrow scope, near placement: forbidden
+    "MP+rel_acq.cta_cross_cta",  # narrow scope, far placement: allowed
+    "MP+weak",                  # no synchronization: allowed
+    "MP+rlx",                   # strong but non-synchronizing: allowed
+    "MP+fence.acq_rel",         # fence-based patterns (§8.7): forbidden
+    "MP+fence_weak_write",      # weak write breaks the pattern: allowed
+]
+
+
+def test_fig05_message_passing(benchmark):
+    results = benchmark(litmus_verdicts, NAMES)
+    benchmark.extra_info["verdicts"] = {k: v[0] for k, v in results.items()}
+    assert_all_documented(results)
+    assert results["MP+rel_acq.gpu"][0] == "forbidden"

@@ -1,0 +1,29 @@
+"""Figure 6: store buffering and fence.sc.
+
+Regenerates the figure's verdict — the non-SC outcome of SB is forbidden
+exactly when the two fence.sc operations are morally strong — plus the
+caption's emphasis that the fences must be morally strong (cross-CTA .cta
+fences do not work) and that acquire/release alone cannot forbid SB.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from helpers import assert_all_documented, litmus_verdicts
+
+NAMES = [
+    "SB+fence.sc.gpu",           # the figure: forbidden
+    "SB+fence.sc.cta_cross_cta",  # morally weak fences: allowed
+    "SB+weak",                   # no fences: allowed
+    "SB+rel_acq",                # acquire/release is not enough: allowed
+]
+
+
+def test_fig06_store_buffering(benchmark):
+    results = benchmark(litmus_verdicts, NAMES)
+    benchmark.extra_info["verdicts"] = {k: v[0] for k, v in results.items()}
+    assert_all_documented(results)
+    assert results["SB+fence.sc.gpu"][0] == "forbidden"
+    assert results["SB+fence.sc.cta_cross_cta"][0] == "allowed"

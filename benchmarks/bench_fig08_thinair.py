@@ -1,0 +1,50 @@
+"""Figure 8: the No-Thin-Air axiom.
+
+Regenerates the figure's experiment as an ablation: the self-satisfying
+42-out-of-thin-air outcome of dependent load buffering is forbidden by
+Axiom 4 and *reappears* when the axiom is disabled — demonstrating that
+the axiom, and nothing else, is what outlaws the ghost value.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.core import device_thread
+from repro.ptx import ProgramBuilder
+from repro.search import allowed_outcomes
+
+T0 = device_thread(0, 0, 0)
+T1 = device_thread(0, 1, 0)
+
+
+def _program():
+    return (
+        ProgramBuilder("LB+deps")
+        .thread(T0).ld("r1", "y").st("x", "r1")
+        .thread(T1).ld("r2", "x").st("y", "r2")
+        .build()
+    )
+
+
+def _thin_air_observed(skip_axioms=()):
+    outcomes = allowed_outcomes(
+        _program(), speculation_values=(42,), skip_axioms=skip_axioms
+    )
+    return any(
+        o.register(T0, "r1") == 42 and o.register(T1, "r2") == 42
+        for o in outcomes
+    )
+
+
+def test_fig08_thin_air_forbidden(benchmark):
+    observed = benchmark(_thin_air_observed)
+    benchmark.extra_info["thin_air_observed"] = observed
+    assert not observed
+
+
+def test_fig08_ablation_without_axiom4(benchmark):
+    observed = benchmark(_thin_air_observed, skip_axioms=("No-Thin-Air",))
+    benchmark.extra_info["thin_air_observed_without_axiom"] = observed
+    assert observed

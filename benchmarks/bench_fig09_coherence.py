@@ -1,0 +1,30 @@
+"""Figure 9: the four standard coherence litmus tests.
+
+Regenerates all four shapes (CoRR/CoRW/CoWR/CoWW) with the figure's
+verdicts, plus the PTX-specific twist the section stresses: the guarantees
+only hold between *morally strong* accesses, so the racy weak CoRR variant
+is allowed rather than undefined.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from helpers import assert_all_documented, litmus_verdicts
+
+NAMES = ["CoRR", "CoRW", "CoWR", "CoWW", "CoRR+weak"]
+
+
+def test_fig09_coherence_battery(benchmark):
+    results = benchmark(litmus_verdicts, NAMES)
+    benchmark.extra_info["verdicts"] = {k: v[0] for k, v in results.items()}
+    assert_all_documented(results)
+    assert results["CoRR"][0] == "forbidden"
+    assert results["CoRR+weak"][0] == "allowed"
+
+
+def test_fig09_under_tso_for_comparison(benchmark):
+    """The CPU baseline agrees on the strong variants it can express."""
+    results = benchmark(litmus_verdicts, ["CoRR", "CoWW"], model="tso")
+    assert_all_documented(results)

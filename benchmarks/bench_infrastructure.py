@@ -1,0 +1,75 @@
+"""Infrastructure benchmarks: the substrates under the paper pipeline.
+
+Not a paper figure — these time the layers everything else is built on
+(CDCL SAT, the Kodkod-style translator, the two litmus backends), so that
+regressions in the substrates are visible independently of the headline
+Figure 17 numbers.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.kodkod import Bounds, Universe, check
+from repro.kodkod.litmus import symbolic_outcome_allowed
+from repro.lang import ast
+from repro.litmus import BY_NAME, run_litmus
+from repro.sat import Cnf, solve_cnf
+
+
+def test_sat_pigeonhole(benchmark):
+    """UNSAT pigeonhole PHP(7,6) — pure CDCL search."""
+
+    def run():
+        cnf = Cnf()
+        holes = [[cnf.new_var() for _ in range(6)] for _ in range(7)]
+        for row in holes:
+            cnf.add_clause(row)
+        for hole in range(6):
+            for i in range(7):
+                for j in range(i + 1, 7):
+                    cnf.add_clause([-holes[i][hole], -holes[j][hole]])
+        return solve_cnf(cnf)
+
+    assert benchmark(run) is None
+
+
+def test_kodkod_closure_check(benchmark):
+    """A closure-heavy relational check at bound 5."""
+    r = ast.rel("r")
+    s = ast.rel("s")
+    law = ast.Subset((r | s).plus(), (r.plus() | s.plus()).plus())
+
+    def run():
+        bounds = Bounds(Universe(tuple(f"e{i}" for i in range(5))))
+        bounds.bound("r", 2)
+        bounds.bound("s", 2)
+        return check(law, bounds)
+
+    assert benchmark(run) is None
+
+
+def test_litmus_enumerative_backend(benchmark):
+    test = BY_NAME["IRIW+rel_acq"]
+    result = benchmark(run_litmus, test)
+    assert result.matches_expectation
+
+
+def test_litmus_symbolic_backend(benchmark):
+    test = BY_NAME["IRIW+rel_acq"]
+    allowed = benchmark(symbolic_outcome_allowed, test)
+    assert allowed is True
+
+
+def test_full_suite_enumerative(benchmark):
+    """The entire 34-test standard suite under PTX."""
+    from repro.litmus import SUITE, run_suite
+
+    def run():
+        results = run_suite(SUITE)
+        assert all(r.matches_expectation is not False for r in results)
+        return len(results)
+
+    count = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["tests"] = count

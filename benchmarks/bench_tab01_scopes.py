@@ -1,0 +1,80 @@
+"""Table 1: scope semantics (.cta / .gpu / .sys inclusion).
+
+Regenerates the table's content behaviourally: for each placement of two
+threads (same CTA, same GPU, different GPU, device↔host) and each scope,
+does release/acquire message passing synchronize?  The expected pattern is
+exactly Table 1's inclusion rule.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.core import Scope, device_thread, host_thread, mutually_inclusive
+from repro.ptx import ProgramBuilder, Sem
+from repro.search import allowed_outcomes
+
+PLACEMENTS = {
+    "same-cta": (device_thread(0, 0, 0), device_thread(0, 0, 1)),
+    "same-gpu": (device_thread(0, 0, 0), device_thread(0, 1, 0)),
+    "cross-gpu": (device_thread(0, 0, 0), device_thread(1, 0, 0)),
+}
+
+EXPECTED = {
+    # placement -> scopes that must synchronize
+    "same-cta": {Scope.CTA, Scope.GPU, Scope.SYS},
+    "same-gpu": {Scope.GPU, Scope.SYS},
+    "cross-gpu": {Scope.SYS},
+}
+
+
+def _sweep():
+    table = {}
+    for label, (producer, consumer) in PLACEMENTS.items():
+        synced = set()
+        for scope in Scope:
+            program = (
+                ProgramBuilder(f"MP-{label}-{scope.value}")
+                .thread(producer).st("x", 1)
+                .st("y", 1, sem=Sem.RELEASE, scope=scope)
+                .thread(consumer)
+                .ld("r1", "y", sem=Sem.ACQUIRE, scope=scope)
+                .ld("r2", "x")
+                .build()
+            )
+            stale = any(
+                o.register(consumer, "r1") == 1
+                and o.register(consumer, "r2") == 0
+                for o in allowed_outcomes(program)
+            )
+            if not stale:
+                synced.add(scope)
+        table[label] = synced
+    return table
+
+
+def test_tab01_scope_inclusion_behaviour(benchmark):
+    table = benchmark(_sweep)
+    benchmark.extra_info["table"] = {
+        k: sorted(s.value for s in v) for k, v in table.items()
+    }
+    assert table == EXPECTED
+
+
+def test_tab01_host_participates_only_at_sys(benchmark):
+    """Table 1's .sys row: 'all threads ... including the host program'."""
+    def check():
+        device = device_thread(0, 0, 0)
+        host = host_thread(0)
+        return {
+            "sys-includes-host": mutually_inclusive(
+                device, Scope.SYS, host, Scope.SYS
+            ),
+            "gpu-excludes-host": not mutually_inclusive(
+                device, Scope.GPU, host, Scope.SYS
+            ),
+        }
+
+    verdicts = benchmark(check)
+    assert all(verdicts.values())

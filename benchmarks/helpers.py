@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates a specific table or figure from the paper's
+evaluation (indexed in DESIGN.md) and attaches the reproduced data to
+``benchmark.extra_info`` so `pytest benchmarks/ --benchmark-only` leaves a
+machine-readable record alongside the timings.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.litmus import run_litmus
+from repro.litmus.suite import BY_NAME
+
+
+def full_mode() -> bool:
+    """Whether expensive full-scale runs were requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+def litmus_verdicts(names, model="ptx"):
+    """Run suite tests by name; return {name: (verdict, matches_doc)}."""
+    results = {}
+    for name in names:
+        result = run_litmus(BY_NAME[name], model=model)
+        results[name] = (result.verdict.value, bool(result.matches_expectation))
+    return results
+
+
+def assert_all_documented(results) -> None:
+    """Fail the bench if any verdict deviates from the documented one —
+    a benchmark that regenerates the *wrong* figure is worse than slow."""
+    mismatches = {k: v for k, (v, ok) in results.items() if not ok}
+    assert not mismatches, f"verdict mismatches: {mismatches}"

@@ -1,0 +1,35 @@
+"""Explaining litmus verdicts: which axiom kills which behaviour?
+
+The paper's litmus figures (5b, 6b) annotate each forbidden execution with
+the relational cycle that violates an axiom.  The explainer regenerates
+that analysis mechanically: for a forbidden condition it reports, per
+axiom, how many exhibiting candidate executions the axiom rejects and a
+concrete witness; for an allowed condition it prints a consistent witness
+execution.
+
+Run:  python examples/explain_verdicts.py
+"""
+
+from repro.litmus import BY_NAME, explain
+
+SHOWCASE = [
+    "MP+rel_acq.gpu",   # Figure 5: Causality (axiom 6) kills the stale read
+    "SB+fence.sc.gpu",  # Figure 6: the fence.sc/causality interplay
+    "CoWR",             # Figure 9c: SC-per-Location
+    "2xAtomAdd.gpu",    # §8.9.3: Atomicity
+    "LB+deps",          # Figure 8: No-Thin-Air
+    "SB+weak",          # allowed: see the witness rf/co
+]
+
+
+def main() -> None:
+    for name in SHOWCASE:
+        print(explain(BY_NAME[name]).render())
+        print("-" * 72)
+    print("Each forbidden verdict is pinned to the specific axiom that")
+    print("rejects the exhibiting executions — the mechanised counterpart")
+    print("of the paper's annotated litmus diagrams.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Synthesising litmus tests from critical cycles (diy-style), and
+automatically comparing memory models.
+
+The paper's ecosystem includes the diy test generator [2] and automated
+litmus synthesis [35]; its comparison of PTX against HRF/HSA/DeNovo echoes
+"Automatically Comparing Memory Consistency Models" [58].  This example
+shows both reproduced capabilities:
+
+1. synthesise the classic shapes from their cycle specifications, sweep
+   annotation strengths, and classify the outcomes under PTX;
+2. search the cycle space for the shortest programs that *distinguish*
+   PTX from TSO and TSO from SC.
+
+Run:  python examples/synthesize_litmus.py
+"""
+
+from repro.core import Scope
+from repro.litmus import classify, first_distinction, generate
+from repro.ptx.events import Sem
+
+SHAPES = {
+    "MP": "PodWW Rfe PodRR Fre",
+    "SB": "PodWR Fre PodWR Fre",
+    "LB": "PodRW Rfe PodRW Rfe",
+    "IRIW": "Rfe PodRR Fre Rfe PodRR Fre",
+    "2+2W": "PodWW Wse PodWW Wse",
+    "CoWW": "PosWW Wsi",
+}
+
+VARIANTS = {
+    "weak": dict(write_sem=Sem.WEAK, read_sem=Sem.WEAK, scope=None),
+    "relaxed.gpu": dict(write_sem=Sem.RELAXED, read_sem=Sem.RELAXED,
+                        scope=Scope.GPU),
+    "rel_acq.gpu": dict(write_sem=Sem.RELEASE, read_sem=Sem.ACQUIRE,
+                        scope=Scope.GPU),
+    "fence.sc": dict(write_sem=Sem.RELAXED, read_sem=Sem.RELAXED,
+                     scope=Scope.GPU, fence_po=(Sem.SC, Scope.GPU)),
+}
+
+
+def synthesis_table() -> None:
+    print("PTX verdicts for synthesised critical cycles (rows) under")
+    print("increasingly strong annotations (columns):")
+    print(f"{'shape':<8}" + "".join(f"{v:>14}" for v in VARIANTS))
+    for shape, spec in SHAPES.items():
+        row = f"{shape:<8}"
+        for kwargs in VARIANTS.values():
+            try:
+                generated = generate(spec, **kwargs)
+                verdict = classify(generated, "ptx").value
+            except ValueError:
+                verdict = "n/a"
+            row += f"{verdict:>14}"
+        print(row)
+    print()
+    print("Every one of these cycles is forbidden under SC (that is what")
+    print("makes them *critical*); PTX needs release/acquire for MP-like")
+    print("shapes and fence.sc for SB/IRIW/2+2W-like shapes, and forbids")
+    print("same-location CoWW unconditionally (SC-per-Location).")
+
+
+def model_separation() -> None:
+    print()
+    print("Shortest synthesised programs separating the models:")
+    for a, b in (("ptx", "tso"), ("tso", "sc")):
+        distinction = first_distinction(a, b, max_length=4, limit=1)
+        print(f"  {a} vs {b}: {distinction}")
+    print()
+    print("tso-vs-sc lands on store buffering — the textbook separator —")
+    print("and ptx-vs-tso on a weak coherence shape TSO cannot exhibit.")
+
+
+if __name__ == "__main__":
+    synthesis_table()
+    model_separation()

@@ -1,0 +1,100 @@
+"""repro — a formal analysis toolkit for the NVIDIA PTX memory model.
+
+A from-scratch Python reproduction of *"A Formal Analysis of the NVIDIA PTX
+Memory Consistency Model"* (Lustig, Sahasrabuddhe, Giroux — ASPLOS 2019):
+
+* :mod:`repro.ptx` — the axiomatic PTX 6.0 memory model (§3);
+* :mod:`repro.rc11` — the scope-extended RC11 "scoped C++" model (§4.1);
+* :mod:`repro.mapping` — the Figure 11 compilation mapping, execution
+  lifting, and the bounded empirical soundness checker (§4.2, §6.1);
+* :mod:`repro.litmus` — litmus tests: DSL, text parser, standard suite,
+  multi-model runner;
+* :mod:`repro.search` — herd-style exhaustive candidate-execution
+  enumeration, including PTX's runtime-partial ``co``/``sc`` orders;
+* :mod:`repro.lang` + :mod:`repro.kodkod` + :mod:`repro.sat` — the
+  Alloy-analog relational language, a Kodkod-style bounded model finder,
+  and a from-scratch CDCL SAT solver underneath it (§5.1–5.2);
+* :mod:`repro.proof` — an LCF-style proof kernel plus the §6.2 soundness
+  theorems (the alloqc/Coq analog);
+* :mod:`repro.tso`, :mod:`repro.scmodel` — the TSO (Figure 2) and SC
+  baseline models.
+
+Quickstart::
+
+    from repro import ptx_builder, allowed_outcomes, Scope, Sem, device_thread
+
+    t0, t1 = device_thread(0, 0, 0), device_thread(0, 1, 0)
+    mp = (ptx_builder("MP")
+          .thread(t0).st("x", 1).st("y", 1, sem=Sem.RELEASE, scope=Scope.GPU)
+          .thread(t1).ld("r1", "y", sem=Sem.ACQUIRE, scope=Scope.GPU).ld("r2", "x")
+          .build())
+    for outcome in sorted(allowed_outcomes(mp), key=repr):
+        print(outcome)
+"""
+
+from .core import Scope, SystemShape, ThreadId, device_thread, host_thread
+from .litmus import (
+    Expect,
+    LitmusTest,
+    make_test,
+    parse_condition,
+    run_litmus,
+    run_suite,
+    summarize,
+)
+from .litmus.parser import parse_litmus
+from .litmus.suite import SUITE
+from .mapping import (
+    BUGGY_RMW_SC,
+    DESCOPED,
+    STANDARD,
+    check_mapping,
+    check_mapping_axiom,
+    compile_program,
+    lift_candidate,
+)
+from .ptx import ProgramBuilder as _PtxProgramBuilder
+from .ptx import Sem
+from .rc11 import CProgramBuilder as _CProgramBuilder
+from .rc11 import MemOrder
+from .search import allowed_outcomes, candidate_executions
+from .search.rc11_search import c_allowed_outcomes
+
+__version__ = "1.0.0"
+
+#: Fluent builder for PTX litmus programs.
+ptx_builder = _PtxProgramBuilder
+
+#: Fluent builder for scoped C++ source programs.
+cpp_builder = _CProgramBuilder
+
+__all__ = [
+    "BUGGY_RMW_SC",
+    "DESCOPED",
+    "Expect",
+    "LitmusTest",
+    "MemOrder",
+    "STANDARD",
+    "SUITE",
+    "Scope",
+    "Sem",
+    "SystemShape",
+    "ThreadId",
+    "allowed_outcomes",
+    "c_allowed_outcomes",
+    "candidate_executions",
+    "check_mapping",
+    "check_mapping_axiom",
+    "compile_program",
+    "cpp_builder",
+    "device_thread",
+    "host_thread",
+    "lift_candidate",
+    "make_test",
+    "parse_condition",
+    "parse_litmus",
+    "ptx_builder",
+    "run_litmus",
+    "run_suite",
+    "summarize",
+]

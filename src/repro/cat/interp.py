@@ -1,0 +1,35 @@
+"""Evaluating cat models over candidate executions."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..lang import Env, eval_expr, eval_formula
+from ..relation import Relation
+from .parser import CatModel
+
+
+def extend_env(model: CatModel, env: Env) -> Env:
+    """Bind the model's ``let`` definitions on top of a base environment.
+
+    Definitions are evaluated in order, so later ones may use earlier
+    ones; the base relations (``rf``, ``po``, ...) come from ``env``.
+    """
+    current = env
+    for name, expr in model.definitions:
+        current = current.bind(name, eval_expr(expr, current))
+    return current
+
+
+def check_cat(model: CatModel, env: Env) -> Dict[str, bool]:
+    """Evaluate every constraint of the model in the environment."""
+    extended = extend_env(model, env)
+    return {
+        name: eval_formula(formula, extended)
+        for name, formula in model.constraints
+    }
+
+
+def cat_consistent(model: CatModel, env: Env) -> bool:
+    """Whether every constraint of the model holds."""
+    return all(check_cat(model, env).values())

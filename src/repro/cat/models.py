@@ -1,0 +1,101 @@
+"""The shipped cat model library.
+
+Textual definitions of every model in the repository, in the herd-style
+DSL of :mod:`repro.cat.parser`.  Tests verify that each cat model agrees
+verdict-for-verdict with its Python-AST twin on candidate executions —
+the same single-source-of-truth discipline the paper applies between its
+Alloy and Coq artifacts.
+
+One phrasing difference from :mod:`repro.ptx.spec`: cat constraints are
+``acyclic``/``irreflexive``/``empty`` only (no inclusion assertions), so
+PTX Axiom 1 (Coherence, ``[W];cause;[W] ∩ sloc ⊆ co``) is stated as the
+emptiness of the set difference instead — equivalent by definition.
+"""
+
+from __future__ import annotations
+
+from .parser import CatModel, parse_cat
+
+PTX_CAT = """
+"PTX"  (* paper §3: Figures 4 and 7 *)
+
+let ms_rf = morally_strong & rf
+let obs = ms_rf ; (rmw ; ms_rf)*
+let pattern_rel = ([W_rel] ; po_loc? ; [W_strong]) | ([F_rel] ; po ; [W_strong])
+let pattern_acq = ([R_strong] ; po_loc? ; [R_acq]) | ([R_strong] ; po ; [F_acq])
+let sw = (morally_strong & (pattern_rel ; obs ; pattern_acq)) | syncbarrier | sc
+let cause_base = (po? ; sw ; po?)+
+let cause = cause_base | (obs ; (cause_base | po_loc))
+let fr = rf^-1 ; co
+let com = rf | co | fr
+
+empty ((([W] ; cause ; [W]) & sloc) \\ co) as coherence
+irreflexive sc ; cause as fence_sc
+empty ((morally_strong & fr) ; (morally_strong & co)) & rmw as atomicity
+acyclic rf | dep as no_thin_air
+acyclic (morally_strong & com) | po_loc as sc_per_location
+irreflexive (rf | fr) ; cause as causality
+"""
+
+TSO_CAT = """
+"TSO"  (* paper Figure 2, plus RMW atomicity *)
+
+let fr = rf^-1 ; co
+
+acyclic rf | co | fr | po_loc as sc_per_location
+acyclic rfe | co | fr | ppo | fence as causality
+empty (fr ; co) & rmw as atomicity
+"""
+
+SC_CAT = """
+"SC"  (* Lamport sequential consistency *)
+
+let fr = rf^-1 ; co
+
+acyclic rf | co | fr | po as sc
+empty (fr ; co) & rmw as atomicity
+"""
+
+SCOPED_RC11_CAT = """
+"scoped-RC11"  (* paper §4.1, Figure 10 *)
+
+let sb_loc = sb & sloc
+let sb_nloc = sb \\ sb_loc
+let rb = (rf^-1 ; mo) \\ iden
+let eco = (rf | mo | rb)+
+let rs = [W] ; sb_loc? ; [W_rlx] ; ((incl & rf) ; rmw)*
+let sw = [E_rel] ; ([F] ; sb)? ; rs ; (incl & rf) ; [R_rlx] ; (sb ; [F])? ; [E_acq]
+let hb = (sb | (incl & sw))+
+let hb_loc = hb & sloc
+let scb = sb | (sb_nloc ; hb ; sb_nloc) | hb_loc | mo | rb
+let psc_base = ([E_sc] | ([F_sc] ; hb?)) ; scb ; ([E_sc] | (hb? ; [F_sc]))
+let psc_f = [F_sc] ; (hb | (hb ; eco ; hb)) ; [F_sc]
+let psc = psc_base | psc_f
+
+irreflexive hb ; eco? as coherence
+empty rmw & (rb ; mo) as atomicity
+acyclic incl & psc as sc
+"""
+
+_SOURCES = {
+    "ptx": PTX_CAT,
+    "tso": TSO_CAT,
+    "sc": SC_CAT,
+    "scoped-rc11": SCOPED_RC11_CAT,
+}
+
+
+def load_model(name: str) -> CatModel:
+    """Load one of the shipped cat models by name."""
+    try:
+        source = _SOURCES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cat model {name!r}; have {sorted(_SOURCES)}"
+        ) from None
+    return parse_cat(source)
+
+
+def available_models():
+    """Names of the shipped cat models."""
+    return tuple(sorted(_SOURCES))

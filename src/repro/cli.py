@@ -1,0 +1,304 @@
+"""Command-line interface: ``ptxmm`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``suite``   — run the standard litmus suite under one or more models;
+* ``run``     — run a litmus test from a file (see repro.litmus.parser);
+* ``mapping`` — bounded empirical check of the scoped C++ → PTX mapping;
+* ``proofs``  — replay the kernel lemma library and §6.2 theorems;
+* ``isa2``    — demonstrate the Figure 12 buggy-mapping counterexample.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from .litmus import SUITE, run_suite, summarize
+
+    failures = 0
+    for model in args.models:
+        results = run_suite(SUITE, model=model)
+        print(f"== model: {model} ==")
+        print(summarize(results))
+        failures += sum(1 for r in results if r.matches_expectation is False)
+        print()
+    if failures:
+        print(f"{failures} expectation mismatch(es)")
+        return 1
+    print("all verdicts match documented expectations")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .litmus import run_litmus
+    from .litmus.parser import parse_litmus
+
+    with open(args.file) as handle:
+        test = parse_litmus(handle.read())
+    result = run_litmus(test, model=args.model)
+    print(f"test       : {test.name}")
+    print(f"model      : {args.model}")
+    print(f"condition  : {test.condition!r}")
+    print(f"verdict    : {result.verdict.value}")
+    expected = test.expected(args.model)
+    if expected is not None:
+        print(f"expected   : {expected.value}")
+    if args.outcomes:
+        for outcome in sorted(result.outcomes, key=repr):
+            print(f"  {outcome}")
+    if args.explain and args.model == "ptx":
+        from .litmus.explain import explain
+
+        print()
+        print(explain(test).render())
+    ok = result.matches_expectation
+    return 0 if ok in (True, None) else 1
+
+
+def _cmd_mapping(args: argparse.Namespace) -> int:
+    from .mapping import BUGGY_RMW_SC, STANDARD, check_mapping
+
+    scheme = BUGGY_RMW_SC if args.buggy else STANDARD
+    results = check_mapping(
+        args.bound,
+        scheme=scheme,
+        scoped=not args.descoped,
+        time_budget=args.budget,
+    )
+    variant = "de-scoped" if args.descoped else "scoped"
+    print(f"mapping check: scheme={scheme.name} bound={args.bound} ({variant})")
+    status = 0
+    for axiom, result in results.items():
+        stats = result.stats
+        verdict = "holds" if result.holds else "COUNTEREXAMPLE"
+        trailer = " (timed out)" if stats.timed_out else ""
+        print(
+            f"  {axiom:<12} {verdict:<16} "
+            f"{stats.skeletons} skeletons, {stats.ptx_executions} PTX "
+            f"executions, {stats.lifted_executions} lifted, "
+            f"{stats.elapsed:.2f}s{trailer}"
+        )
+        if not result.holds:
+            status = 1
+            for cx in result.counterexamples:
+                print(f"    {cx}")
+    return status
+
+
+def _cmd_proofs(args: argparse.Namespace) -> int:
+    from .proof import all_lemmas, all_theorems
+
+    started = time.perf_counter()
+    lemmas = all_lemmas()
+    theorems = all_theorems()
+    elapsed = time.perf_counter() - started
+    print(f"replayed {len(lemmas)} lemmas and {len(theorems)} theorems "
+          f"in {elapsed:.3f}s")
+    for name, report in theorems.items():
+        print(f"  {name}")
+        print(f"    conclusion: {report.statement!r}")
+        print(f"    hypotheses used: {len(report.hypotheses)}")
+        if args.verbose:
+            for hyp in report.hypotheses:
+                print(f"      - {hyp!r}")
+    return 0
+
+
+def _cmd_isa2(args: argparse.Namespace) -> int:
+    from .core import Scope, device_thread
+    from .mapping import BUGGY_RMW_SC, STANDARD, check_program_against_axiom
+    from .ptx.isa import AtomOp
+    from .rc11 import CProgramBuilder, MemOrder
+
+    t0 = device_thread(0, 0, 0)
+    t1 = device_thread(0, 1, 0)
+    t2 = device_thread(0, 2, 0)
+    isa2 = (
+        CProgramBuilder("ISA2-rmw")
+        .thread(t0).store("x", 1).store("y", 1, mo=MemOrder.REL, scope=Scope.GPU)
+        .thread(t1)
+        .rmw("r1", "y", AtomOp.EXCH, 2, mo=MemOrder.SC, scope=Scope.GPU)
+        .store("y", 3, mo=MemOrder.RLX, scope=Scope.GPU)
+        .thread(t2)
+        .load("r2", "y", mo=MemOrder.ACQ, scope=Scope.GPU)
+        .load("r3", "x")
+        .build()
+    )
+    status = 0
+    for scheme in (STANDARD, BUGGY_RMW_SC):
+        cx = check_program_against_axiom(isa2, "Coherence", scheme=scheme)
+        verdict = "counterexample found" if cx else "no counterexample"
+        print(f"  RMW_SC mapping {scheme.name:<14}: {verdict}")
+        if scheme is STANDARD and cx:
+            status = 1
+        if scheme.elide_rmw_sc_release and not cx:
+            status = 1
+    print(
+        "Figure 12: eliding the .release on the RMW_SC mapping breaks the "
+        "release sequence; the checker must catch it."
+    )
+    return status
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .core import Scope
+    from .litmus import classify, generate
+    from .ptx.events import Sem
+
+    sems = {
+        "weak": (Sem.WEAK, Sem.WEAK, None),
+        "relaxed": (Sem.RELAXED, Sem.RELAXED, Scope.GPU),
+        "rel_acq": (Sem.RELEASE, Sem.ACQUIRE, Scope.GPU),
+    }
+    write_sem, read_sem, scope = sems[args.strength]
+    fence = (Sem.SC, Scope.GPU) if args.fences else None
+    generated = generate(
+        args.cycle, write_sem=write_sem, read_sem=read_sem, scope=scope,
+        fence_po=fence,
+    )
+    test = generated.test
+    print(f"synthesised test {test.name}")
+    for thread in test.program.threads:
+        print(f"  thread {thread.tid}:")
+        for instr in thread.instructions:
+            print(f"    {instr}")
+    print(f"condition: {test.condition!r}")
+    for model in args.models:
+        verdict = classify(generated, model)
+        print(f"verdict under {model:<4}: {verdict.value}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .lang.export import (
+        export_ptx_alloy,
+        export_ptx_coq,
+        export_rc11_alloy,
+        export_rc11_coq,
+    )
+
+    if args.format == "cat":
+        if args.model == "ptx":
+            from .cat.unparse import ptx_to_cat
+
+            print(ptx_to_cat(), end="")
+            return 0
+        from .cat.models import _SOURCES
+
+        print(_SOURCES["scoped-rc11"].strip())
+        return 0
+    exporters = {
+        ("ptx", "alloy"): export_ptx_alloy,
+        ("ptx", "coq"): export_ptx_coq,
+        ("rc11", "alloy"): export_rc11_alloy,
+        ("rc11", "coq"): export_rc11_coq,
+    }
+    print(exporters[(args.model, args.format)](), end="")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .litmus import distinguishing_tests
+
+    print(
+        f"searching cycles up to length {args.max_length} for programs "
+        f"separating {args.model_a!r} from {args.model_b!r}..."
+    )
+    found = 0
+    for distinction in distinguishing_tests(
+        args.model_a, args.model_b,
+        max_length=args.max_length, limit=args.limit,
+    ):
+        print(f"  {distinction}")
+        found += 1
+    if not found:
+        print("  no distinguishing test found within the bound")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``ptxmm`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="ptxmm",
+        description="Formal analysis toolkit for the NVIDIA PTX memory model",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_suite = sub.add_parser("suite", help="run the standard litmus suite")
+    p_suite.add_argument(
+        "--models", nargs="+", default=["ptx"], choices=["ptx", "tso", "sc"]
+    )
+    p_suite.set_defaults(func=_cmd_suite)
+
+    p_run = sub.add_parser("run", help="run a litmus test from a file")
+    p_run.add_argument("file")
+    p_run.add_argument(
+        "--model", default="ptx", choices=["ptx", "ptx-legacy", "tso", "sc"]
+    )
+    p_run.add_argument("--outcomes", action="store_true")
+    p_run.add_argument(
+        "--explain", action="store_true",
+        help="report the axioms rejecting the condition (PTX model only)",
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_map = sub.add_parser("mapping", help="bounded mapping soundness check")
+    p_map.add_argument("--bound", type=int, default=2)
+    p_map.add_argument("--descoped", action="store_true")
+    p_map.add_argument("--buggy", action="store_true")
+    p_map.add_argument("--budget", type=float, default=None)
+    p_map.set_defaults(func=_cmd_mapping)
+
+    p_proofs = sub.add_parser("proofs", help="replay kernel lemmas/theorems")
+    p_proofs.add_argument("--verbose", action="store_true")
+    p_proofs.set_defaults(func=_cmd_proofs)
+
+    p_isa2 = sub.add_parser("isa2", help="Figure 12 buggy-mapping demo")
+    p_isa2.set_defaults(func=_cmd_isa2)
+
+    p_gen = sub.add_parser(
+        "generate", help="synthesise a litmus test from a critical cycle"
+    )
+    p_gen.add_argument("cycle", help='e.g. "PodWR Fre PodWR Fre"')
+    p_gen.add_argument(
+        "--strength", default="relaxed", choices=["weak", "relaxed", "rel_acq"]
+    )
+    p_gen.add_argument("--fences", action="store_true",
+                       help="insert fence.sc on program-order edges")
+    p_gen.add_argument(
+        "--models", nargs="+", default=["ptx", "sc"],
+        choices=["ptx", "tso", "sc"],
+    )
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_exp = sub.add_parser(
+        "export", help="emit a model as Alloy or Coq text (Figures 13/16)"
+    )
+    p_exp.add_argument("model", choices=["ptx", "rc11"])
+    p_exp.add_argument("format", choices=["alloy", "coq", "cat"])
+    p_exp.set_defaults(func=_cmd_export)
+
+    p_cmp = sub.add_parser(
+        "compare", help="find litmus tests distinguishing two models"
+    )
+    p_cmp.add_argument("model_a", choices=["ptx", "tso", "sc"])
+    p_cmp.add_argument("model_b", choices=["ptx", "tso", "sc"])
+    p_cmp.add_argument("--max-length", type=int, default=4)
+    p_cmp.add_argument("--limit", type=int, default=3)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early — not an error
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Shared substrate: scope trees, executions, and common vocabulary."""
+
+from .execution import Execution, program_order, same_location
+from .scopes import (
+    Scope,
+    ScopeInstance,
+    SystemShape,
+    ThreadId,
+    device_thread,
+    distinct_cta_threads,
+    host_thread,
+    mutually_inclusive,
+    same_cta_threads,
+    scope_includes,
+    scope_instance,
+)
+
+__all__ = [
+    "Execution",
+    "Scope",
+    "ScopeInstance",
+    "SystemShape",
+    "ThreadId",
+    "device_thread",
+    "distinct_cta_threads",
+    "host_thread",
+    "mutually_inclusive",
+    "program_order",
+    "same_cta_threads",
+    "same_location",
+    "scope_includes",
+    "scope_instance",
+]

@@ -1,0 +1,207 @@
+"""Scope hierarchies: System → GPU → CTA → Thread.
+
+PTX (and our scoped C++ model) annotate strong operations with a *scope*
+(paper Table 1): ``.cta`` covers threads in the same cooperative thread
+array, ``.gpu`` covers threads on the same device, and ``.sys`` covers every
+thread in the program, including host threads.  Scope *inclusion* — whether
+the scope named by one operation contains the thread executing another — is
+the ingredient of PTX moral strength (§8.6) and of the scoped-RC11 ``incl``
+relation (Figure 10).
+
+The hierarchy forms a tree (the paper encodes the same tree in Alloy,
+Figure 14).  We model thread identity structurally: a device thread is
+addressed by ``(gpu, cta, thread)`` and a host thread by ``host:<n>``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+
+class Scope(enum.Enum):
+    """A PTX scope level (Table 1 of the paper / Table 18 of the PTX ISA)."""
+
+    CTA = "cta"
+    GPU = "gpu"
+    SYS = "sys"
+
+    def __repr__(self) -> str:
+        return f".{self.value}"
+
+    @property
+    def rank(self) -> int:
+        """Breadth of the scope: higher rank includes more threads."""
+        return {"cta": 0, "gpu": 1, "sys": 2}[self.value]
+
+    def __le__(self, other: "Scope") -> bool:
+        return self.rank <= other.rank
+
+    def __lt__(self, other: "Scope") -> bool:
+        return self.rank < other.rank
+
+
+@dataclass(frozen=True, order=True)
+class ThreadId:
+    """A thread's position in the scope tree.
+
+    Device threads have all three coordinates; host threads (which
+    participate only at ``.sys`` scope) have ``gpu is None`` and a
+    distinguishing ``thread`` index.
+    """
+
+    gpu: Optional[int]
+    cta: Optional[int]
+    thread: int
+
+    def __post_init__(self):
+        if (self.gpu is None) != (self.cta is None):
+            raise ValueError("host threads must leave both gpu and cta unset")
+
+    @property
+    def is_host(self) -> bool:
+        """Whether this is a host (CPU) thread."""
+        return self.gpu is None
+
+    def __repr__(self) -> str:
+        if self.is_host:
+            return f"host:{self.thread}"
+        return f"d{self.gpu}c{self.cta}t{self.thread}"
+
+
+def device_thread(gpu: int, cta: int, thread: int) -> ThreadId:
+    """A device thread at the given coordinates."""
+    return ThreadId(gpu=gpu, cta=cta, thread=thread)
+
+
+def host_thread(index: int) -> ThreadId:
+    """A host thread (participates only at ``.sys`` scope)."""
+    return ThreadId(gpu=None, cta=None, thread=index)
+
+
+@dataclass(frozen=True)
+class ScopeInstance:
+    """A concrete node of the scope tree: which subtree a scoped op names.
+
+    ``level=SYS`` is the root; ``level=GPU`` pins a device; ``level=CTA``
+    pins a device and a CTA.
+    """
+
+    level: Scope
+    gpu: Optional[int] = None
+    cta: Optional[int] = None
+
+    def contains(self, thread: ThreadId) -> bool:
+        """Whether ``thread`` belongs to this scope-tree subtree."""
+        if self.level is Scope.SYS:
+            return True
+        if thread.is_host:
+            return False
+        if self.level is Scope.GPU:
+            return thread.gpu == self.gpu
+        return thread.gpu == self.gpu and thread.cta == self.cta
+
+    def __repr__(self) -> str:
+        if self.level is Scope.SYS:
+            return "sys"
+        if self.level is Scope.GPU:
+            return f"gpu({self.gpu})"
+        return f"cta({self.gpu},{self.cta})"
+
+
+def scope_instance(thread: ThreadId, level: Scope) -> ScopeInstance:
+    """The scope-tree node named by an operation with scope ``level`` on ``thread``.
+
+    Host threads may only name ``.sys`` scope (they are outside every GPU and
+    CTA); PTX programs executing on the host use system-scoped operations.
+    """
+    if level is Scope.SYS:
+        return ScopeInstance(level=Scope.SYS)
+    if thread.is_host:
+        raise ValueError(f"host thread {thread} cannot name scope {level}")
+    if level is Scope.GPU:
+        return ScopeInstance(level=Scope.GPU, gpu=thread.gpu)
+    return ScopeInstance(level=Scope.CTA, gpu=thread.gpu, cta=thread.cta)
+
+
+def scope_includes(thread_a: ThreadId, level_a: Scope, thread_b: ThreadId) -> bool:
+    """Whether the scope named by (thread_a, level_a) includes thread_b.
+
+    This is the inclusion test used by moral strength: "each operation is
+    strong and specifies a scope that includes the thread executing the
+    other operation" (§8.6).
+    """
+    return scope_instance(thread_a, level_a).contains(thread_b)
+
+
+def mutually_inclusive(
+    thread_a: ThreadId, level_a: Scope, thread_b: ThreadId, level_b: Scope
+) -> bool:
+    """Symmetric scope inclusion: each op's scope includes the other's thread.
+
+    This is HSA/HRF-indirect style inclusion (the paper contrasts it with
+    HRF-direct, which would demand *identical* scopes).
+    """
+    return scope_includes(thread_a, level_a, thread_b) and scope_includes(
+        thread_b, level_b, thread_a
+    )
+
+
+@dataclass(frozen=True)
+class SystemShape:
+    """The machine topology a program runs on: devices × CTAs × threads.
+
+    Litmus tests pin their threads to concrete coordinates; the shape
+    records how many of each level exist so helper constructors and the
+    skeleton generator can enumerate placements.
+    """
+
+    gpus: int = 1
+    ctas_per_gpu: int = 2
+    threads_per_cta: int = 2
+    host_threads: int = 0
+
+    def device_threads(self) -> Iterator[ThreadId]:
+        """All device threads, lexicographically."""
+        for gpu, cta, thread in itertools.product(
+            range(self.gpus), range(self.ctas_per_gpu), range(self.threads_per_cta)
+        ):
+            yield device_thread(gpu, cta, thread)
+
+    def all_threads(self) -> Iterator[ThreadId]:
+        """All threads, device first then host."""
+        yield from self.device_threads()
+        for index in range(self.host_threads):
+            yield host_thread(index)
+
+    def same_cta(self, a: ThreadId, b: ThreadId) -> bool:
+        """Whether two threads share a CTA."""
+        return (
+            not a.is_host
+            and not b.is_host
+            and a.gpu == b.gpu
+            and a.cta == b.cta
+        )
+
+    def same_gpu(self, a: ThreadId, b: ThreadId) -> bool:
+        """Whether two threads share a device."""
+        return not a.is_host and not b.is_host and a.gpu == b.gpu
+
+
+def distinct_cta_threads(count: int, shape: Optional[SystemShape] = None) -> Tuple[ThreadId, ...]:
+    """``count`` threads, each in its own CTA (the usual litmus placement)."""
+    shape = shape or SystemShape(gpus=1, ctas_per_gpu=max(2, count), threads_per_cta=1)
+    if shape.gpus * shape.ctas_per_gpu < count:
+        raise ValueError("shape has too few CTAs for the requested thread count")
+    threads = []
+    for index in range(count):
+        gpu, cta = divmod(index, shape.ctas_per_gpu)
+        threads.append(device_thread(gpu, cta, 0))
+    return tuple(threads)
+
+
+def same_cta_threads(count: int) -> Tuple[ThreadId, ...]:
+    """``count`` threads in one CTA (for .cta-scope litmus variants)."""
+    return tuple(device_thread(0, 0, i) for i in range(count))

@@ -1,0 +1,17 @@
+"""Bounded relational model finding over SAT (the Alloy/Kodkod analog)."""
+
+from .bounds import Bounds, RelBound, Universe
+from .finder import Instance, check, instances, solve
+from .translate import Translation, Translator
+
+__all__ = [
+    "Bounds",
+    "Instance",
+    "RelBound",
+    "Translation",
+    "Translator",
+    "Universe",
+    "check",
+    "instances",
+    "solve",
+]

@@ -1,0 +1,107 @@
+"""Universes and relational bounds (the Kodkod front half).
+
+A bounded relational problem fixes a finite universe of atoms and, for each
+relation variable, a *lower* bound (tuples that must be present) and an
+*upper* bound (tuples that may be present).  Exact relations (known
+constants, like a litmus test's ``po``) have equal bounds; witness
+relations (``rf``, ``co``, ``sc``) leave slack that becomes SAT variables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Sequence, Tuple
+
+from ..relation import Relation
+
+Atom = object
+
+
+@dataclass(frozen=True)
+class Universe:
+    """An ordered finite set of atoms."""
+
+    atoms: Tuple[Atom, ...]
+
+    def __post_init__(self):
+        if len(set(self.atoms)) != len(self.atoms):
+            raise ValueError("universe atoms must be distinct")
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __iter__(self):
+        return iter(self.atoms)
+
+    def tuples(self, arity: int) -> Iterable[tuple]:
+        """Every tuple of the given arity over the universe."""
+        return itertools.product(self.atoms, repeat=arity)
+
+
+@dataclass(frozen=True)
+class RelBound:
+    """Lower/upper bounds for one relation variable."""
+
+    name: str
+    arity: int
+    lower: FrozenSet[tuple]
+    upper: FrozenSet[tuple]
+
+    def __post_init__(self):
+        if not self.lower <= self.upper:
+            raise ValueError(f"lower bound of {self.name!r} exceeds upper bound")
+        for t in self.upper:
+            if len(t) != self.arity:
+                raise ValueError(f"tuple {t!r} has wrong arity for {self.name!r}")
+
+    @property
+    def slack(self) -> FrozenSet[tuple]:
+        """Tuples whose membership the solver decides."""
+        return self.upper - self.lower
+
+
+@dataclass
+class Bounds:
+    """A universe plus per-relation bounds."""
+
+    universe: Universe
+    relations: Dict[str, RelBound] = field(default_factory=dict)
+
+    def bound(
+        self,
+        name: str,
+        arity: int,
+        lower: Iterable[tuple] = (),
+        upper: Iterable[tuple] = None,
+    ) -> "Bounds":
+        """Bound ``name`` between ``lower`` and ``upper`` (default: all tuples)."""
+        lower_set = frozenset(tuple(t) for t in lower)
+        if upper is None:
+            upper_set = frozenset(self.universe.tuples(arity))
+        else:
+            upper_set = frozenset(tuple(t) for t in upper) | lower_set
+        self.relations[name] = RelBound(
+            name=name, arity=arity, lower=lower_set, upper=upper_set
+        )
+        return self
+
+    def bound_exactly(self, name: str, relation: Relation, arity: int = None) -> "Bounds":
+        """Fix ``name`` to a known constant relation."""
+        arity = arity if arity is not None else (relation.arity or 2)
+        tuples = frozenset(relation.tuples)
+        self.relations[name] = RelBound(
+            name=name, arity=arity, lower=tuples, upper=tuples
+        )
+        return self
+
+    def bound_set_exactly(self, name: str, atoms: Iterable[Atom]) -> "Bounds":
+        """Fix a set (arity-1) variable to the given atoms."""
+        return self.bound_exactly(name, Relation.set_of(atoms), arity=1)
+
+    def get(self, name: str) -> RelBound:
+        """Look up a relation's bound."""
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise KeyError(f"no bound declared for relation {name!r}") from None

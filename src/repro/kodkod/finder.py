@@ -1,0 +1,104 @@
+"""The model-finding front end (the Alloy Analyzer analog, §5.1–5.2).
+
+``solve`` finds an instance of a formula within bounds; ``check`` searches
+for a counterexample to an assertion (Alloy's ``check`` command, Figure
+16a); ``instances`` enumerates satisfying instances up to the witness
+relations.  Instances come back as plain ``name -> Relation`` maps, so they
+plug directly into the concrete evaluator for cross-validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from ..lang import ast
+from ..relation import Relation
+from ..sat.solver import Solver
+from .bounds import Bounds
+from .translate import Translation, Translator
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A concrete binding of every bounded relation."""
+
+    relations: Dict[str, Relation]
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relations[name]
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={len(rel)}t" for name, rel in sorted(self.relations.items())
+        )
+        return f"<Instance {parts}>"
+
+
+def _decode(translation: Translation, model: Dict[int, bool]) -> Instance:
+    decoded = translation.decode(model)
+    return Instance(
+        relations={name: Relation(tuples) for name, tuples in decoded.items()}
+    )
+
+
+def solve(
+    formula: ast.Formula,
+    bounds: Bounds,
+    configure: Optional[callable] = None,
+) -> Optional[Instance]:
+    """Find an instance satisfying ``formula``, or None.
+
+    ``configure`` receives the :class:`Translator` before solving, for
+    extra-logical constraints (e.g. rf functionality via ``exactly_one_of``).
+    """
+    translator = Translator(bounds)
+    if configure is not None:
+        configure(translator)
+    translator.assert_formula(formula)
+    translation = translator.finish()
+    solver = Solver(translation.cnf)
+    if not solver.solve():
+        return None
+    return _decode(translation, solver.model())
+
+
+def check(
+    assertion: ast.Formula,
+    bounds: Bounds,
+    configure: Optional[callable] = None,
+) -> Optional[Instance]:
+    """Search for a counterexample to ``assertion`` (Alloy ``check``).
+
+    Returns a violating instance, or None if the assertion holds within
+    the bounds.
+    """
+    return solve(ast.Not(assertion), bounds, configure=configure)
+
+
+def instances(
+    formula: ast.Formula,
+    bounds: Bounds,
+    configure: Optional[callable] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Instance]:
+    """Enumerate satisfying instances, distinct on the witness relations."""
+    translator = Translator(bounds)
+    if configure is not None:
+        configure(translator)
+    translator.assert_formula(formula)
+    translation = translator.finish()
+    projection = translation.projection_vars()
+    count = 0
+    while limit is None or count < limit:
+        solver = Solver(translation.cnf)
+        if not solver.solve():
+            return
+        model = solver.model()
+        yield _decode(translation, model)
+        count += 1
+        if not projection:
+            return
+        translation.cnf.add_clause(
+            [-(var) if model.get(var, False) else var for var in projection]
+        )

@@ -1,0 +1,248 @@
+"""SAT-backed litmus checking (the paper's Alloy methodology, §5.2).
+
+Instead of enumerating candidate executions one by one, encode the whole
+search as a single bounded relational problem: the program's ``po``,
+``rmw``, ``dep``, event-class sets and moral strength are *exact* bounds;
+the witness relations ``rf``, ``co`` and ``sc`` are left free within
+structural upper bounds; the six PTX axioms plus witness well-formedness
+are asserted; and the litmus condition becomes a relational constraint on
+``rf``/``co``.  One SAT call then decides whether the outcome is allowed.
+
+Well-formedness, mirroring §3.4–3.5:
+
+* ``rf`` — exactly one same-location write per read (cardinality, via the
+  translator's ``exactly_one_of`` primitive);
+* ``co`` — transitive, irreflexive, containing init-write edges, and
+  relating every morally strong same-location write pair one way or the
+  other (§8.8.6);
+* ``sc`` — transitive, irreflexive, relating every morally strong
+  ``fence.sc`` pair (§8.8.3).
+
+Conditions are supported when register values are statically traceable to
+constant stores (true for every paper litmus test); value-dependent chains
+through RMWs fall back to the explicit enumerator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.execution import Execution, program_order
+from ..lang import ast
+from ..litmus.conditions import AndC, Condition, MemEq, NotC, OrC, RegEq, TrueC
+from ..litmus.test import LitmusTest
+from ..ptx import spec as ptx_spec
+from ..ptx.events import Event, Sem, init_write
+from ..ptx.model import build_env
+from ..ptx.program import elaborate
+from ..relation import Relation
+from .bounds import Bounds, Universe
+from .finder import solve
+from .translate import Translator
+
+
+class UnsupportedCondition(ValueError):
+    """The condition cannot be phrased relationally (value-dependent)."""
+
+
+class _ConditionCompiler:
+    """Compiles final-state conditions to relational formulas.
+
+    Mints fresh constant relations (``__constN``) for the specific event
+    pairs a condition pins down; the caller binds them exactly.
+    """
+
+    def __init__(self, test: LitmusTest, elab, events: Tuple[Event, ...]):
+        self.test = test
+        self.elab = elab
+        self.events = events
+        self.consts: Dict[str, Relation] = {}
+        self._write_values = self._static_write_values()
+
+    def _static_write_values(self) -> Dict[int, Optional[int]]:
+        values: Dict[int, Optional[int]] = {}
+        for eid, recipe in self.elab.write_recipe.items():
+            if recipe.rmw_op is None and isinstance(recipe.operand, int):
+                values[eid] = recipe.operand
+            else:
+                values[eid] = None
+        return values
+
+    def _value_of(self, write: Event) -> Optional[int]:
+        if write not in self.elab.events:
+            return 0  # init write
+        return self._write_values.get(write.eid)
+
+    def _const(self, pairs) -> ast.Var:
+        name = f"__const{len(self.consts)}"
+        self.consts[name] = Relation(pairs)
+        return ast.Var(name, arity=2)
+
+    def _reg_atom(self, atom: RegEq) -> ast.Formula:
+        thread = self.test.threads[atom.thread_index]
+        read: Optional[Event] = None
+        for thread_events in self.elab.by_thread:
+            for event in thread_events:
+                if (
+                    event.thread == thread
+                    and self.elab.read_dst.get(event.eid) == atom.reg
+                ):
+                    read = event
+        if read is None:
+            raise UnsupportedCondition(f"no read defines {atom!r}")
+        sources: List[Event] = []
+        for event in self.events:
+            if not event.is_write or event.loc != read.loc:
+                continue
+            value = self._value_of(event)
+            if value is None:
+                raise UnsupportedCondition(
+                    f"write {event!r} has a data-dependent value"
+                )
+            if value == atom.value:
+                sources.append(event)
+        if not sources:
+            return ast.NoF(ast.Univ())  # value never produced
+        return ast.SomeF(
+            ast.Inter(ast.rel("rf"), self._const((s, read) for s in sources))
+        )
+
+    def _mem_atom(self, atom: MemEq) -> ast.Formula:
+        loc_writes = [
+            e for e in self.events if e.is_write and e.loc == atom.loc
+        ]
+        disjuncts: List[ast.Formula] = []
+        for event in loc_writes:
+            value = self._value_of(event)
+            if value is None:
+                raise UnsupportedCondition(
+                    f"write {event!r} has a data-dependent value"
+                )
+            if value != atom.value:
+                continue
+            outgoing = [
+                (event, other) for other in loc_writes if other is not event
+            ]
+            if outgoing:
+                disjuncts.append(
+                    ast.NoF(ast.Inter(ast.rel("co"), self._const(outgoing)))
+                )
+            else:
+                disjuncts.append(ast.TrueF())
+        if not disjuncts:
+            return ast.NoF(ast.Univ())
+        out = disjuncts[0]
+        for d in disjuncts[1:]:
+            out = ast.Or(out, d)
+        return out
+
+    def compile(self, condition: Condition) -> ast.Formula:
+        """Translate a condition into a relational formula."""
+        if isinstance(condition, RegEq):
+            return self._reg_atom(condition)
+        if isinstance(condition, MemEq):
+            return self._mem_atom(condition)
+        if isinstance(condition, AndC):
+            return ast.And(self.compile(condition.left), self.compile(condition.right))
+        if isinstance(condition, OrC):
+            return ast.Or(self.compile(condition.left), self.compile(condition.right))
+        if isinstance(condition, NotC):
+            return ast.Not(self.compile(condition.inner))
+        if isinstance(condition, TrueC):
+            return ast.TrueF()
+        raise UnsupportedCondition(f"unknown condition node {condition!r}")
+
+
+def symbolic_outcome_allowed(test: LitmusTest) -> bool:
+    """Decide the test condition with one bounded SAT query.
+
+    Returns True when some axiom-consistent execution satisfies the
+    condition (i.e. the outcome is *allowed*).
+    """
+    program = test.program
+    elab = elaborate(program)
+    init_events = tuple(
+        init_write(eid=len(elab.events) + index, loc=loc)
+        for index, loc in enumerate(program.locations)
+    )
+    events: Tuple[Event, ...] = elab.events + init_events
+    po = program_order(elab.by_thread)
+
+    # Reuse the concrete env builder for all the constant relations/sets.
+    static = Execution(
+        events=events,
+        relations={
+            "po": po,
+            "rmw": elab.rmw,
+            "dep": elab.dep,
+            "syncbarrier": elab.syncbarrier,
+        },
+    )
+    env = build_env(static)
+
+    universe = Universe(tuple(events))
+    bounds = Bounds(universe)
+    for name in ("po", "po_loc", "sloc", "rmw", "dep", "syncbarrier", "morally_strong"):
+        bounds.bound_exactly(name, env.lookup(name), arity=2)
+    for name in ptx_spec.BASE_SETS:
+        bounds.bound_exactly(name, env.lookup(name), arity=1)
+
+    reads = [e for e in events if e.is_read]
+    writes = [e for e in events if e.is_write]
+    rf_upper = [
+        (w, r) for r in reads for w in writes if w.loc == r.loc and w is not r
+    ]
+    bounds.bound("rf", 2, upper=rf_upper)
+
+    co_lower = [
+        (init, w)
+        for init in init_events
+        for w in writes
+        if w.loc == init.loc and w is not init
+    ]
+    co_upper = [
+        (a, b) for a in writes for b in writes if a is not b and a.loc == b.loc
+    ]
+    bounds.bound("co", 2, lower=co_lower, upper=co_upper)
+
+    sc_fences = [e for e in events if e.is_fence and e.sem is Sem.SC]
+    sc_upper = [(a, b) for a in sc_fences for b in sc_fences if a is not b]
+    bounds.bound("sc", 2, upper=sc_upper)
+
+    # ---- well-formedness ----
+    co = ast.rel("co")
+    sc = ast.rel("sc")
+    ms_var = ast.rel("morally_strong")
+    sloc = ast.rel("sloc")
+    ms_writes = ast.seq(
+        ast.bracket(ast.set_("W")), ast.Inter(ms_var, sloc), ast.bracket(ast.set_("W"))
+    )
+    ms_fences = ast.seq(
+        ast.bracket(ast.set_("F_sc")), ms_var, ast.bracket(ast.set_("F_sc"))
+    )
+    well_formed = ast.conj(
+        ast.Subset(co @ co, co),
+        ast.Irreflexive(co),
+        ast.Subset(ms_writes, ast.Union_(co, ast.Transpose(co))),
+        ast.Subset(sc @ sc, sc),
+        ast.Irreflexive(sc),
+        ast.Subset(ms_fences, ast.Union_(sc, ast.Transpose(sc))),
+    )
+
+    axioms = ast.conj(*ptx_spec.AXIOMS.values())
+
+    compiler = _ConditionCompiler(test, elab, events)
+    condition = compiler.compile(test.condition)
+    for name, relation in compiler.consts.items():
+        bounds.bound_exactly(name, relation, arity=2)
+
+    goal = ast.conj(well_formed, axioms, condition)
+
+    def configure(translator: Translator) -> None:
+        for read in reads:
+            candidates = [
+                (w, read) for w in writes if w.loc == read.loc and w is not read
+            ]
+            translator.exactly_one_of("rf", candidates)
+
+    return solve(goal, bounds, configure=configure) is not None

@@ -1,0 +1,108 @@
+"""The generic scope tree, encoded relationally (paper Figure 14).
+
+The paper's Alloy model describes scope hierarchies abstractly::
+
+    sig Scope { subscope: set Scope }
+    fact { subscope .~ subscope in iden }   -- at most one parent
+    fact { acyclic[subscope] }
+    fun System : Scope { Scope - Scope.subscope }
+    fact { one System }                     -- exactly one root
+
+This module restates those facts over the shared relational AST, so they
+can be (a) checked against the concrete scope trees induced by a
+:class:`~repro.core.scopes.SystemShape` and (b) handed to the bounded
+model finder to *enumerate* all abstract scope trees of a given size —
+which Cayley's formula says should number ``n^(n-1)`` over ``n`` labelled
+nodes (a property test makes the model finder prove us right).
+
+The "one root" fact needs no cardinality primitive: a set has at most one
+element iff its self-product is contained in the identity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from ..core.scopes import SystemShape
+from ..lang import Env, ast, eval_formula
+from ..relation import Relation
+from .bounds import Bounds, Universe
+from .finder import Instance, instances
+
+#: The subscope relation: parent → child (Figure 14).
+subscope = ast.rel("subscope")
+
+#: All scope atoms, as a set variable.
+scopes = ast.set_("Scope")
+
+#: The root: scopes that are nobody's child (Alloy's ``Scope - Scope.subscope``).
+system: ast.Expr = scopes - (scopes @ subscope)
+
+
+def tree_facts() -> ast.Formula:
+    """The Figure 14 facts as one conjunction."""
+    return ast.conj(
+        # each scope has at most one parent: subscope . ~subscope in iden
+        ast.Subset(subscope @ ast.Transpose(subscope), ast.Iden()),
+        # the hierarchy has no cycles
+        ast.Acyclic(subscope),
+        # subscope stays within the scope set
+        ast.Subset(subscope, scopes.product(scopes)),
+        # there is exactly one root, called System
+        ast.SomeF(system),
+        ast.Subset(system.product(system), ast.Iden()),
+        # every non-root is reachable from the root (connectedness)
+        ast.Subset(
+            scopes - system,
+            system @ ast.TClosure(subscope),
+        ),
+    )
+
+
+def shape_subscope(shape: SystemShape) -> Tuple[Relation, Relation]:
+    """The concrete (Scope set, subscope relation) a machine shape induces.
+
+    Nodes are labelled tuples: ``("sys",)``, ``("gpu", g)``,
+    ``("cta", g, c)``, and thread leaves from
+    :meth:`~repro.core.scopes.SystemShape.all_threads`.
+    """
+    nodes = [("sys",)]
+    edges = []
+    for gpu in range(shape.gpus):
+        nodes.append(("gpu", gpu))
+        edges.append((("sys",), ("gpu", gpu)))
+        for cta in range(shape.ctas_per_gpu):
+            nodes.append(("cta", gpu, cta))
+            edges.append((("gpu", gpu), ("cta", gpu, cta)))
+    for thread in shape.all_threads():
+        node = ("thread", thread)
+        nodes.append(node)
+        if thread.is_host:
+            edges.append((("sys",), node))
+        else:
+            edges.append((("cta", thread.gpu, thread.cta), node))
+    return Relation.set_of(nodes), Relation(edges)
+
+
+def check_shape(shape: SystemShape) -> bool:
+    """Whether the concrete tree of a machine shape satisfies Figure 14."""
+    scope_set, sub = shape_subscope(shape)
+    env = Env(
+        universe=scope_set,
+        bindings={"Scope": scope_set, "subscope": sub},
+    )
+    return eval_formula(tree_facts(), env)
+
+
+def enumerate_scope_trees(size: int) -> Iterator[Instance]:
+    """All rooted trees over ``size`` labelled scope atoms (via SAT)."""
+    universe = Universe(tuple(f"s{i}" for i in range(size)))
+    bounds = Bounds(universe)
+    bounds.bound_set_exactly("Scope", universe.atoms)
+    bounds.bound("subscope", 2)
+    yield from instances(tree_facts(), bounds)
+
+
+def count_scope_trees(size: int) -> int:
+    """The number of rooted labelled trees (Cayley: ``size**(size-1)``)."""
+    return sum(1 for _ in enumerate_scope_trees(size))

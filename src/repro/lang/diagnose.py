@@ -1,0 +1,79 @@
+"""Witness extraction: *why* a formula fails on a concrete environment.
+
+The paper's litmus figures (5b, 6b) are exactly this artifact: a candidate
+execution annotated with the cycle that violates an axiom.
+:func:`formula_witness` evaluates a formula and, when it fails, returns a
+structured witness — a cycle for ``acyclic``, reflexive chains for
+``irreflexive``, offending tuples for ``no``/``in`` — which the litmus
+explainer renders for humans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..relation import Relation
+from . import ast
+from .eval import Env, eval_expr, eval_formula
+
+
+@dataclass(frozen=True)
+class Witness:
+    """Evidence that a formula fails."""
+
+    kind: str                 # "cycle" | "reflexive" | "nonempty" | "missing" | "boolean"
+    formula: ast.Formula
+    atoms: Tuple = ()         # cycle atoms, in order
+    tuples: Tuple = ()        # offending tuples
+
+    def __repr__(self) -> str:
+        if self.kind == "cycle":
+            chain = " -> ".join(repr(a) for a in self.atoms)
+            return f"<Witness cycle: {chain}>"
+        if self.kind == "reflexive":
+            return f"<Witness reflexive at {list(self.atoms)}>"
+        if self.kind == "nonempty":
+            return f"<Witness tuples {list(self.tuples)}>"
+        if self.kind == "missing":
+            return f"<Witness missing {list(self.tuples)}>"
+        return f"<Witness {self.formula!r} fails>"
+
+
+def formula_witness(formula: ast.Formula, env: Env) -> Optional[Witness]:
+    """None when the formula holds; otherwise a structured witness."""
+    if isinstance(formula, ast.Acyclic):
+        value = eval_expr(formula.expr, env)
+        cycle = value.find_cycle()
+        if cycle is None:
+            return None
+        return Witness(kind="cycle", formula=formula, atoms=tuple(cycle))
+    if isinstance(formula, ast.Irreflexive):
+        value = eval_expr(formula.expr, env)
+        reflexive = tuple(sorted((t[0] for t in value if t[0] == t[-1]), key=repr))
+        if not reflexive:
+            return None
+        return Witness(kind="reflexive", formula=formula, atoms=reflexive)
+    if isinstance(formula, ast.NoF):
+        value = eval_expr(formula.expr, env)
+        if value.is_empty():
+            return None
+        return Witness(
+            kind="nonempty", formula=formula,
+            tuples=tuple(sorted(value.tuples, key=repr)),
+        )
+    if isinstance(formula, ast.Subset):
+        left = eval_expr(formula.left, env)
+        right = eval_expr(formula.right, env)
+        missing = tuple(sorted(left.tuples - right.tuples, key=repr))
+        if not missing:
+            return None
+        return Witness(kind="missing", formula=formula, tuples=missing)
+    if isinstance(formula, ast.And):
+        return formula_witness(formula.left, env) or formula_witness(
+            formula.right, env
+        )
+    # fall back to boolean evaluation for the remaining connectives
+    if eval_formula(formula, env):
+        return None
+    return Witness(kind="boolean", formula=formula)

@@ -1,0 +1,133 @@
+"""Concrete evaluation of relational ASTs over finite environments.
+
+An :class:`Env` binds relation-variable names to concrete
+:class:`~repro.relation.Relation` values and fixes the universe of atoms.
+:func:`eval_expr` / :func:`eval_formula` then interpret ASTs from
+:mod:`repro.lang.ast` directly — this is the execution-checking path of the
+toolflow (the analog of asking Alloy to evaluate a fixed instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from ..relation import Relation
+from . import ast
+
+
+class UnboundRelation(KeyError):
+    """A relation variable had no binding in the evaluation environment."""
+
+
+@dataclass
+class Env:
+    """A concrete interpretation: universe of atoms + named relations.
+
+    ``cache`` memoises composite-expression values for this binding
+    (:func:`eval_expr` consults it); :meth:`bind` returns a fresh
+    environment with an empty cache, so staleness is impossible.  Callers
+    that *know* an expression is independent of a rebound name may seed
+    the new cache manually (the execution search does this for ``cause``,
+    which is coherence-independent).
+    """
+
+    universe: Relation
+    bindings: Dict[str, Relation] = field(default_factory=dict)
+    cache: Dict["ast.Expr", Relation] = field(default_factory=dict)
+
+    @classmethod
+    def over(cls, atoms: Iterable, **bindings: Relation) -> "Env":
+        """Build an environment over the given atoms."""
+        return cls(universe=Relation.set_of(atoms), bindings=dict(bindings))
+
+    def bind(self, name: str, value: Relation) -> "Env":
+        """Return a copy with one extra/overridden binding."""
+        new = dict(self.bindings)
+        new[name] = value
+        return Env(universe=self.universe, bindings=new)
+
+    def lookup(self, name: str) -> Relation:
+        """Fetch a binding, raising :class:`UnboundRelation` if missing."""
+        try:
+            return self.bindings[name]
+        except KeyError:
+            raise UnboundRelation(name) from None
+
+    def atoms(self) -> list:
+        """The universe as a list of atoms."""
+        return [t[0] for t in self.universe.tuples]
+
+
+def eval_expr(expr: ast.Expr, env: Env) -> Relation:
+    """Evaluate an expression to a concrete relation (memoised per Env)."""
+    if isinstance(expr, ast.Var):
+        value = env.lookup(expr.name)
+        if value.arity is not None and value.arity != expr.arity:
+            raise ValueError(
+                f"binding for {expr.name!r} has arity {value.arity}, "
+                f"expected {expr.arity}"
+            )
+        return value
+    cached = env.cache.get(expr)
+    if cached is not None:
+        return cached
+    result = _eval_composite(expr, env)
+    env.cache[expr] = result
+    return result
+
+
+def _eval_composite(expr: ast.Expr, env: Env) -> Relation:
+    if isinstance(expr, ast.Iden):
+        return Relation.identity(env.atoms())
+    if isinstance(expr, ast.Univ):
+        return env.universe
+    if isinstance(expr, ast.Empty):
+        return Relation.empty(expr.arity)
+    if isinstance(expr, ast.Union_):
+        return eval_expr(expr.left, env) | eval_expr(expr.right, env)
+    if isinstance(expr, ast.Inter):
+        return eval_expr(expr.left, env) & eval_expr(expr.right, env)
+    if isinstance(expr, ast.Diff):
+        return eval_expr(expr.left, env) - eval_expr(expr.right, env)
+    if isinstance(expr, ast.Join):
+        return eval_expr(expr.left, env).join(eval_expr(expr.right, env))
+    if isinstance(expr, ast.Product):
+        return eval_expr(expr.left, env).product(eval_expr(expr.right, env))
+    if isinstance(expr, ast.Transpose):
+        return eval_expr(expr.inner, env).transpose()
+    if isinstance(expr, ast.TClosure):
+        return eval_expr(expr.inner, env).closure()
+    if isinstance(expr, ast.RTClosure):
+        return eval_expr(expr.inner, env).reflexive_transitive_closure(env.atoms())
+    if isinstance(expr, ast.Optional_):
+        return eval_expr(expr.inner, env).reflexive_closure(env.atoms())
+    if isinstance(expr, ast.Bracket):
+        inner = eval_expr(expr.inner, env)
+        return Relation((t[0], t[0]) for t in inner.tuples)
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def eval_formula(formula: ast.Formula, env: Env) -> bool:
+    """Evaluate a formula to a boolean."""
+    if isinstance(formula, ast.Subset):
+        return eval_expr(formula.left, env).issubset(eval_expr(formula.right, env))
+    if isinstance(formula, ast.Equal):
+        return eval_expr(formula.left, env) == eval_expr(formula.right, env)
+    if isinstance(formula, ast.NoF):
+        return eval_expr(formula.expr, env).is_empty()
+    if isinstance(formula, ast.SomeF):
+        return not eval_expr(formula.expr, env).is_empty()
+    if isinstance(formula, ast.Acyclic):
+        return eval_expr(formula.expr, env).is_acyclic()
+    if isinstance(formula, ast.Irreflexive):
+        return eval_expr(formula.expr, env).is_irreflexive()
+    if isinstance(formula, ast.And):
+        return eval_formula(formula.left, env) and eval_formula(formula.right, env)
+    if isinstance(formula, ast.Or):
+        return eval_formula(formula.left, env) or eval_formula(formula.right, env)
+    if isinstance(formula, ast.Not):
+        return not eval_formula(formula.inner, env)
+    if isinstance(formula, ast.TrueF):
+        return True
+    raise TypeError(f"unknown formula node: {formula!r}")

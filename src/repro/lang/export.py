@@ -1,0 +1,273 @@
+"""Exporting model ASTs to Alloy and Coq surface syntax.
+
+The paper shows both renderings of the same model: Figure 13 encodes the
+axioms in Alloy's DSL, and Figure 16 shows ``alloqc`` compiling Alloy into
+Coq definitions.  Since our models live as ASTs, both presentations are
+pretty-printers:
+
+* :func:`to_alloy` emits an ``.als``-style module — ``fun`` for derived
+  relations, ``pred`` for axioms — matching Figure 13's idioms
+  (``+ & - . ~ ^ *`` operators, ``no iden & r`` for irreflexivity);
+* :func:`to_coq` emits a ``.v``-style module in the spirit of Figure 16b:
+  one ``Definition`` per relation and one per axiom, phrased against a
+  hypothetical ``alloy.v`` relational library.
+
+These are *presentation* artifacts (documentation, diffing against the
+upstream artifact, teaching); the executable semantics stay in
+:mod:`repro.lang.eval`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from . import ast
+
+# ---------------------------------------------------------------------------
+# Alloy
+# ---------------------------------------------------------------------------
+
+
+def _alloy_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Iden):
+        return "iden"
+    if isinstance(expr, ast.Univ):
+        return "univ"
+    if isinstance(expr, ast.Empty):
+        return "none -> none" if expr.arity == 2 else "none"
+    if isinstance(expr, ast.Union_):
+        return f"({_alloy_expr(expr.left)} + {_alloy_expr(expr.right)})"
+    if isinstance(expr, ast.Inter):
+        return f"({_alloy_expr(expr.left)} & {_alloy_expr(expr.right)})"
+    if isinstance(expr, ast.Diff):
+        return f"({_alloy_expr(expr.left)} - {_alloy_expr(expr.right)})"
+    if isinstance(expr, ast.Join):
+        return f"({_alloy_expr(expr.left)} . {_alloy_expr(expr.right)})"
+    if isinstance(expr, ast.Product):
+        return f"({_alloy_expr(expr.left)} -> {_alloy_expr(expr.right)})"
+    if isinstance(expr, ast.Transpose):
+        return f"~{_alloy_expr(expr.inner)}"
+    if isinstance(expr, ast.TClosure):
+        return f"^{_alloy_expr(expr.inner)}"
+    if isinstance(expr, ast.RTClosure):
+        return f"*{_alloy_expr(expr.inner)}"
+    if isinstance(expr, ast.Optional_):
+        return f"({_alloy_expr(expr.inner)} + iden)"
+    if isinstance(expr, ast.Bracket):
+        inner = _alloy_expr(expr.inner)
+        return f"({inner} <: iden)"
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def _alloy_formula(formula: ast.Formula) -> str:
+    if isinstance(formula, ast.Subset):
+        return f"{_alloy_expr(formula.left)} in {_alloy_expr(formula.right)}"
+    if isinstance(formula, ast.Equal):
+        return f"{_alloy_expr(formula.left)} = {_alloy_expr(formula.right)}"
+    if isinstance(formula, ast.NoF):
+        return f"no {_alloy_expr(formula.expr)}"
+    if isinstance(formula, ast.SomeF):
+        return f"some {_alloy_expr(formula.expr)}"
+    if isinstance(formula, ast.Acyclic):
+        return f"no iden & ^{_alloy_expr(formula.expr)}"
+    if isinstance(formula, ast.Irreflexive):
+        return f"no iden & {_alloy_expr(formula.expr)}"
+    if isinstance(formula, ast.And):
+        return f"({_alloy_formula(formula.left)} and {_alloy_formula(formula.right)})"
+    if isinstance(formula, ast.Or):
+        return f"({_alloy_formula(formula.left)} or {_alloy_formula(formula.right)})"
+    if isinstance(formula, ast.Not):
+        return f"not ({_alloy_formula(formula.inner)})"
+    if isinstance(formula, ast.TrueF):
+        return "some univ or no univ"
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def to_alloy(
+    module_name: str,
+    derived: Mapping[str, ast.Expr],
+    axioms: Mapping[str, ast.Formula],
+    base_relations=(),
+    base_sets=(),
+) -> str:
+    """Render a model as an Alloy-style module (paper Figure 13)."""
+    lines = [f"module {module_name}", ""]
+    if base_sets:
+        lines.append("// event classes (sigs in the full encoding)")
+        for name in base_sets:
+            lines.append(f"sig {name} in Event {{}}")
+        lines.append("")
+    if base_relations:
+        lines.append("// base relations, bound per candidate execution")
+        for name in base_relations:
+            lines.append(f"// {name}: Event -> Event")
+        lines.append("")
+    for name, expr in derived.items():
+        lines.append(f"fun {name} : Event -> Event {{")
+        lines.append(f"  {_alloy_expr(expr)}")
+        lines.append("}")
+        lines.append("")
+    for name, formula in axioms.items():
+        predicate = name.lower().replace("-", "_").replace(" ", "_")
+        lines.append(f"pred {predicate} {{")
+        lines.append(f"  {_alloy_formula(formula)}")
+        lines.append("}")
+        lines.append("")
+    predicates = " and ".join(
+        name.lower().replace("-", "_").replace(" ", "_") for name in axioms
+    )
+    lines.append(f"pred consistent {{ {predicates} }}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Coq
+# ---------------------------------------------------------------------------
+
+
+def _coq_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Iden):
+        return "iden"
+    if isinstance(expr, ast.Univ):
+        return "univ"
+    if isinstance(expr, ast.Empty):
+        return "none"
+    if isinstance(expr, ast.Union_):
+        return f"(union {_coq_expr(expr.left)} {_coq_expr(expr.right)})"
+    if isinstance(expr, ast.Inter):
+        return f"(inter {_coq_expr(expr.left)} {_coq_expr(expr.right)})"
+    if isinstance(expr, ast.Diff):
+        return f"(diff {_coq_expr(expr.left)} {_coq_expr(expr.right)})"
+    if isinstance(expr, ast.Join):
+        return f"(join {_coq_expr(expr.left)} {_coq_expr(expr.right)})"
+    if isinstance(expr, ast.Product):
+        return f"(arrow {_coq_expr(expr.left)} {_coq_expr(expr.right)})"
+    if isinstance(expr, ast.Transpose):
+        return f"(transpose {_coq_expr(expr.inner)})"
+    if isinstance(expr, ast.TClosure):
+        return f"(tc {_coq_expr(expr.inner)})"
+    if isinstance(expr, ast.RTClosure):
+        return f"(rtc {_coq_expr(expr.inner)})"
+    if isinstance(expr, ast.Optional_):
+        return f"(union {_coq_expr(expr.inner)} iden)"
+    if isinstance(expr, ast.Bracket):
+        return f"(brackets {_coq_expr(expr.inner)})"
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def _coq_formula(formula: ast.Formula) -> str:
+    if isinstance(formula, ast.Subset):
+        return f"(inside {_coq_expr(formula.right)} {_coq_expr(formula.left)})"
+    if isinstance(formula, ast.Equal):
+        return f"(releq {_coq_expr(formula.left)} {_coq_expr(formula.right)})"
+    if isinstance(formula, ast.NoF):
+        return f"(empty {_coq_expr(formula.expr)})"
+    if isinstance(formula, ast.SomeF):
+        return f"(~ (empty {_coq_expr(formula.expr)}))"
+    if isinstance(formula, ast.Acyclic):
+        return f"(acyclic {_coq_expr(formula.expr)})"
+    if isinstance(formula, ast.Irreflexive):
+        return f"(irreflexive {_coq_expr(formula.expr)})"
+    if isinstance(formula, ast.And):
+        return f"({_coq_formula(formula.left)} /\\ {_coq_formula(formula.right)})"
+    if isinstance(formula, ast.Or):
+        return f"({_coq_formula(formula.left)} \\/ {_coq_formula(formula.right)})"
+    if isinstance(formula, ast.Not):
+        return f"(~ {_coq_formula(formula.inner)})"
+    if isinstance(formula, ast.TrueF):
+        return "True"
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def to_coq(
+    module_name: str,
+    derived: Mapping[str, ast.Expr],
+    axioms: Mapping[str, ast.Formula],
+    base_relations=(),
+    base_sets=(),
+) -> str:
+    """Render a model as alloqc-style Coq definitions (paper Figure 16b)."""
+    lines = [
+        f"(* {module_name}.v — generated from the shared relational AST,",
+        "   in the style of alloqc output (paper Figure 16b). *)",
+        "Require Import alloy.",
+        "",
+        "Section Model.",
+    ]
+    for name in base_sets:
+        lines.append(f"  Variable {name} : Rel 1.")
+    for name in base_relations:
+        lines.append(f"  Variable {name} : Rel 2.")
+    lines.append("")
+    for name, expr in derived.items():
+        lines.append(f"  Definition {name} : Rel 2 :=")
+        lines.append(f"    {_coq_expr(expr)}.")
+        lines.append("")
+    for name, formula in axioms.items():
+        ident = name.lower().replace("-", "_").replace(" ", "_")
+        lines.append(f"  Definition axiom_{ident} : Prop :=")
+        lines.append(f"    {_coq_formula(formula)}.")
+        lines.append("")
+    conjuncts = " /\\ ".join(
+        "axiom_" + name.lower().replace("-", "_").replace(" ", "_")
+        for name in axioms
+    )
+    lines.append(f"  Definition consistent : Prop := {conjuncts}.")
+    lines.append("End Model.")
+    return "\n".join(lines) + "\n"
+
+
+def export_ptx_alloy() -> str:
+    """The PTX model as an Alloy module (Figure 13's real-size cousin)."""
+    from ..ptx import spec
+
+    return to_alloy(
+        "ptx_memory_model",
+        spec.DERIVED,
+        spec.AXIOMS,
+        base_relations=spec.BASE_RELATIONS,
+        base_sets=spec.BASE_SETS,
+    )
+
+
+def export_ptx_coq() -> str:
+    """The PTX model as Coq definitions (alloqc-style)."""
+    from ..ptx import spec
+
+    return to_coq(
+        "ptx_memory_model",
+        spec.DERIVED,
+        spec.AXIOMS,
+        base_relations=spec.BASE_RELATIONS,
+        base_sets=spec.BASE_SETS,
+    )
+
+
+def export_rc11_alloy() -> str:
+    """The scoped RC11 model as an Alloy module."""
+    from ..rc11 import spec
+
+    return to_alloy(
+        "scoped_rc11",
+        spec.DERIVED,
+        spec.AXIOMS,
+        base_relations=spec.BASE_RELATIONS,
+        base_sets=spec.BASE_SETS,
+    )
+
+
+def export_rc11_coq() -> str:
+    """The scoped RC11 model as Coq definitions."""
+    from ..rc11 import spec
+
+    return to_coq(
+        "scoped_rc11",
+        spec.DERIVED,
+        spec.AXIOMS,
+        base_relations=spec.BASE_RELATIONS,
+        base_sets=spec.BASE_SETS,
+    )

@@ -1,0 +1,71 @@
+"""Litmus tests: structure, conditions, standard suite, and runner."""
+
+from .conditions import (
+    AndC,
+    Condition,
+    ConditionSyntaxError,
+    MemEq,
+    NotC,
+    OrC,
+    RegEq,
+    TrueC,
+    parse_condition,
+)
+from .compare import (
+    VARIANTS,
+    Distinction,
+    compare_on,
+    distinguishing_tests,
+    first_distinction,
+)
+from .explain import Explanation, explain
+from .generator import (
+    EDGE_NAMES,
+    CycleError,
+    GeneratedTest,
+    classify,
+    enumerate_cycles,
+    generate,
+    parse_cycle,
+)
+from .runner import MODELS, LitmusResult, run_litmus, run_suite, summarize
+from .suite import BY_NAME, PAPER_TESTS, SUITE, build_suite
+from .test import Expect, LitmusTest, make_test
+
+__all__ = [
+    "AndC",
+    "BY_NAME",
+    "Condition",
+    "ConditionSyntaxError",
+    "CycleError",
+    "Distinction",
+    "EDGE_NAMES",
+    "Expect",
+    "Explanation",
+    "explain",
+    "GeneratedTest",
+    "VARIANTS",
+    "classify",
+    "compare_on",
+    "distinguishing_tests",
+    "enumerate_cycles",
+    "first_distinction",
+    "generate",
+    "parse_cycle",
+    "LitmusResult",
+    "LitmusTest",
+    "MemEq",
+    "MODELS",
+    "NotC",
+    "OrC",
+    "PAPER_TESTS",
+    "RegEq",
+    "SUITE",
+    "TrueC",
+    "build_suite",
+    "make_test",
+    "parse_condition",
+    "run_litmus",
+    "run_suite",
+    "summarize",
+]

@@ -1,0 +1,120 @@
+"""Automatically comparing memory models (after Wickerson et al. [58]).
+
+The paper builds on POPL'17's "Automatically Comparing Memory Consistency
+Models": enumerate programs and search for one that two models *disagree*
+on.  With the critical-cycle generator in hand this becomes a pipeline:
+enumerate closing cycles → synthesise a litmus test per annotation variant
+→ classify under both models → report the distinguishing tests.
+
+Typical findings this surfaces (see ``tests/test_compare_models.py``):
+
+* PTX vs TSO — load buffering (``PodRW Rfe PodRW Rfe``) and IRIW separate
+  them: PTX allows, TSO forbids;
+* PTX-relaxed vs PTX-release/acquire — MP-shaped cycles separate the
+  annotation strengths within one model;
+* TSO vs SC — store buffering, and nothing shorter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from ..core.scopes import Scope
+from ..ptx.events import Sem
+from .generator import EDGE_NAMES, GeneratedTest, enumerate_cycles, generate
+from .runner import MODELS, run_litmus
+from .test import Expect
+
+#: Annotation variants applied to every generated cycle.
+VARIANTS: Dict[str, Dict] = {
+    "weak": {"write_sem": Sem.WEAK, "read_sem": Sem.WEAK, "scope": None},
+    "relaxed.gpu": {
+        "write_sem": Sem.RELAXED, "read_sem": Sem.RELAXED, "scope": Scope.GPU
+    },
+    "rel_acq.gpu": {
+        "write_sem": Sem.RELEASE, "read_sem": Sem.ACQUIRE, "scope": Scope.GPU
+    },
+    "fence.sc.gpu": {
+        "write_sem": Sem.RELAXED, "read_sem": Sem.RELAXED,
+        "scope": Scope.GPU, "fence_po": (Sem.SC, Scope.GPU),
+    },
+}
+
+
+@dataclass(frozen=True)
+class Distinction:
+    """A synthesised program two models disagree on."""
+
+    generated: GeneratedTest
+    variant: str
+    verdicts: Dict[str, Expect]
+
+    @property
+    def name(self) -> str:
+        return f"{self.generated.test.name}@{self.variant}"
+
+    def __repr__(self) -> str:
+        verdicts = ", ".join(
+            f"{model}={verdict.value}" for model, verdict in self.verdicts.items()
+        )
+        return f"<Distinction {self.name}: {verdicts}>"
+
+
+def compare_on(
+    generated: GeneratedTest,
+    models: Sequence[str],
+) -> Dict[str, Expect]:
+    """Classify one generated test under several models."""
+    return {
+        model: run_litmus(generated.test, model=model).verdict
+        for model in models
+    }
+
+
+def distinguishing_tests(
+    model_a: str,
+    model_b: str,
+    max_length: int = 4,
+    variants: Optional[Dict[str, Dict]] = None,
+    vocabulary: Sequence[str] = EDGE_NAMES,
+    limit: Optional[int] = None,
+) -> Iterator[Distinction]:
+    """Search cycles of length ≤ ``max_length`` for model-separating tests.
+
+    Both model names must come from :data:`repro.litmus.runner.MODELS`.
+    Variants that a model cannot express (e.g. scope annotations are
+    meaningless to SC — it ignores them) still run; the comparison is
+    behavioural.
+    """
+    for model in (model_a, model_b):
+        if model not in MODELS:
+            raise KeyError(f"unknown model {model!r}; have {sorted(MODELS)}")
+    variants = VARIANTS if variants is None else variants
+    found = 0
+    for length in range(2, max_length + 1):
+        for cycle in enumerate_cycles(length, vocabulary):
+            for variant_name, kwargs in variants.items():
+                try:
+                    generated = generate(cycle, **kwargs)
+                except ValueError:
+                    continue
+                verdicts = compare_on(generated, (model_a, model_b))
+                if verdicts[model_a] is not verdicts[model_b]:
+                    yield Distinction(
+                        generated=generated,
+                        variant=variant_name,
+                        verdicts=verdicts,
+                    )
+                    found += 1
+                    if limit is not None and found >= limit:
+                        return
+
+
+def first_distinction(
+    model_a: str, model_b: str, **kw
+) -> Optional[Distinction]:
+    """The shortest-cycle distinction between two models, or None."""
+    for distinction in distinguishing_tests(model_a, model_b, **kw):
+        return distinction
+    return None

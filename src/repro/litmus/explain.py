@@ -1,0 +1,106 @@
+"""Explaining litmus verdicts: the Figures 5b / 6b artifact.
+
+For a **forbidden** condition, every candidate execution exhibiting the
+condition violates some axiom; the explainer reports, per axiom, how many
+exhibiting candidates it rejects and one concrete witness (a cycle, a
+reflexive causality chain, ...) — the machine-generated version of the
+paper's annotated litmus diagrams.
+
+For an **allowed** condition, it returns a consistent witness execution
+together with its communication relations, so the reader can see *how*
+the outcome arises.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..lang.diagnose import Witness, formula_witness
+from ..ptx import spec as ptx_spec
+from ..ptx.model import build_env
+from ..search.ptx_search import Candidate, candidate_executions
+from .test import Expect, LitmusTest
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """The verdict plus its supporting evidence."""
+
+    test: LitmusTest
+    verdict: Expect
+    #: for forbidden verdicts: axiom -> number of exhibiting candidates it rejects
+    rejections: Dict[str, int] = field(default_factory=dict)
+    #: one concrete witness per rejecting axiom
+    witnesses: Dict[str, Witness] = field(default_factory=dict)
+    #: for allowed verdicts: a consistent candidate showing the outcome
+    example: Optional[Candidate] = None
+
+    def render(self) -> str:
+        """A human-readable multi-line account."""
+        lines = [
+            f"test {self.test.name}: condition {self.test.condition!r} is "
+            f"{self.verdict.value}"
+        ]
+        if self.verdict is Expect.FORBIDDEN:
+            lines.append(
+                "every candidate execution exhibiting the condition violates "
+                "at least one axiom:"
+            )
+            for axiom, count in sorted(
+                self.rejections.items(), key=lambda kv: -kv[1]
+            ):
+                lines.append(f"  {axiom}: rejects {count} candidate(s)")
+                witness = self.witnesses.get(axiom)
+                if witness is not None:
+                    lines.append(f"    e.g. {witness!r}")
+        elif self.example is not None:
+            lines.append("witness execution:")
+            execution = self.example.execution
+            for name in ("rf", "co", "sc"):
+                relation = execution.relation(name)
+                if relation:
+                    pairs = ", ".join(
+                        f"{a!r}->{b!r}" for a, b in sorted(relation, key=repr)
+                    )
+                    lines.append(f"  {name}: {pairs}")
+        return "\n".join(lines)
+
+
+def explain(test: LitmusTest) -> Explanation:
+    """Explain the PTX verdict of a litmus test."""
+    threads = test.threads
+    rejections: Counter = Counter()
+    witnesses: Dict[str, Witness] = {}
+    example: Optional[Candidate] = None
+    observed = False
+    for candidate in candidate_executions(
+        test.program, include_inconsistent=True, **{
+            key: value
+            for key, value in test.search_opts.items()
+            if key == "speculation_values"
+        }
+    ):
+        if not test.condition.holds(candidate.outcome(), threads):
+            continue
+        if candidate.report.consistent:
+            observed = True
+            if example is None:
+                example = candidate
+            continue
+        env = build_env(candidate.execution)
+        for axiom in candidate.report.failed:
+            rejections[axiom] += 1
+            if axiom not in witnesses:
+                witness = formula_witness(ptx_spec.AXIOMS[axiom], env)
+                if witness is not None:
+                    witnesses[axiom] = witness
+    verdict = Expect.ALLOWED if observed else Expect.FORBIDDEN
+    return Explanation(
+        test=test,
+        verdict=verdict,
+        rejections=dict(rejections),
+        witnesses=witnesses,
+        example=example,
+    )

@@ -1,0 +1,340 @@
+"""A diy-style litmus test generator (critical-cycle synthesis).
+
+The paper leans on the diy/litmus toolchain [2] and on automated litmus
+suite synthesis [35] (Lustig et al.'s prior work).  This module rebuilds
+the core idea: a litmus test is synthesised from a *critical cycle* — a
+cyclic sequence of relaxed-memory edges that sequential consistency cannot
+exhibit.  The generated final-state condition observes exactly that cycle,
+so the test asks "can this machine bend here?".
+
+Edge vocabulary (diy naming):
+
+==========  =====================================================
+``Rfe``     reads-from, external (write → read, new thread)
+``Fre``     from-read, external (read → coherence-later write)
+``Wse``     write serialisation (coherence), external
+``Rfi``/``Fri``/``Wsi``  the internal (same-thread) versions
+``PodRR``   program order, different location, read→read
+``PodRW``/``PodWR``/``PodWW``  similarly
+``PosRR``...  program order, same location
+==========  =====================================================
+
+A cycle must *close*: the walk over threads and locations must return to
+its starting event.  ``parse_cycle`` validates this and
+``enumerate_cycles`` searches the space of closing cycles of a given
+length — the generator feeding the model-comparison tool
+(:mod:`repro.litmus.compare`).
+
+Constraints kept from diy's "one co chain per location" discipline: at
+most two writes per location, and two writes must be linked by a ``Ws``
+edge so coherence order (hence the observing condition) is determined.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.scopes import Scope, device_thread
+from ..ptx.events import Sem
+from ..ptx.isa import Fence, Instruction, Ld, St
+from ..ptx.program import Program, ThreadCode
+from .conditions import AndC, Condition, MemEq, RegEq
+from .test import Expect, LitmusTest
+
+
+class CycleError(ValueError):
+    """The edge sequence does not form a valid closing cycle."""
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One edge of a critical cycle."""
+
+    name: str
+    src: str          # 'R' or 'W'
+    dst: str
+    external: bool    # does the edge hop to a new thread?
+    same_loc: bool    # does the edge stay on the same location?
+
+    @property
+    def is_com(self) -> bool:
+        """Whether this is a communication (rf/fr/ws) edge."""
+        return self.name[:2] in ("Rf", "Fr", "Ws")
+
+
+_EDGES: Dict[str, Edge] = {}
+for _ext in (True, False):
+    _suffix = "e" if _ext else "i"
+    _EDGES[f"Rf{_suffix}"] = Edge(f"Rf{_suffix}", "W", "R", _ext, True)
+    _EDGES[f"Fr{_suffix}"] = Edge(f"Fr{_suffix}", "R", "W", _ext, True)
+    _EDGES[f"Ws{_suffix}"] = Edge(f"Ws{_suffix}", "W", "W", _ext, True)
+for _a, _b in itertools.product("RW", repeat=2):
+    _EDGES[f"Pod{_a}{_b}"] = Edge(f"Pod{_a}{_b}", _a, _b, False, False)
+    _EDGES[f"Pos{_a}{_b}"] = Edge(f"Pos{_a}{_b}", _a, _b, False, True)
+
+EDGE_NAMES: Tuple[str, ...] = tuple(sorted(_EDGES))
+
+#: Locations available to generated tests.
+_LOC_NAMES = ("x", "y", "z", "w", "v", "u")
+
+
+def edge(name: str) -> Edge:
+    """Look up an edge by its diy name."""
+    try:
+        return _EDGES[name]
+    except KeyError:
+        raise CycleError(f"unknown edge {name!r}; have {EDGE_NAMES}") from None
+
+
+@dataclass(frozen=True)
+class _Slot:
+    """An event slot produced by walking the cycle."""
+
+    index: int
+    thread: int
+    loc: int
+    kind: str  # 'R' or 'W'
+
+
+def _walk(edges: Sequence[Edge]) -> List[_Slot]:
+    """Walk the cycle, assigning threads and locations; check closure.
+
+    diy-style modular assignment: with E external edges the walk cycles
+    through E threads, with D different-location edges through D
+    locations — so the final edge automatically returns to thread 0 /
+    location 0.  E == 1 or D == 1 cannot close (the "hop" would land where
+    it started), and event kinds must chain around the cycle.
+    """
+    if not edges:
+        raise CycleError("empty cycle")
+    if not edges[-1].is_com:
+        # a closing po edge would point backwards inside thread 0's
+        # straight-line program; rotate the cycle so a communication edge
+        # closes it (every valid cycle has one).
+        raise CycleError("the closing edge must be a communication edge")
+    externals = sum(1 for e in edges if e.external)
+    hops = sum(1 for e in edges if not e.same_loc)
+    if externals == 1:
+        raise CycleError("a single external edge cannot change thread and close")
+    if hops == 1:
+        raise CycleError("a single Pod edge cannot change location and close")
+    slots: List[_Slot] = [_Slot(0, 0, 0, edges[0].src)]
+    thread_hops = 0
+    loc_hops = 0
+    for index, e in enumerate(edges[:-1]):
+        current = slots[-1]
+        if e.src != current.kind:
+            raise CycleError(
+                f"edge {e.name} needs a {e.src} source but follows a "
+                f"{current.kind}"
+            )
+        if e.external:
+            thread_hops += 1
+        if not e.same_loc:
+            loc_hops += 1
+        slots.append(
+            _Slot(
+                index + 1,
+                thread_hops % max(externals, 1),
+                loc_hops % max(hops, 1),
+                e.dst,
+            )
+        )
+
+    closing = edges[-1]
+    first, final_src = slots[0], slots[-1]
+    if closing.src != final_src.kind:
+        raise CycleError(
+            f"edge {closing.name} needs a {closing.src} source but follows "
+            f"a {final_src.kind}"
+        )
+    if closing.dst != first.kind:
+        raise CycleError("cycle does not close: event kind mismatch")
+    if closing.external and final_src.thread == first.thread:
+        raise CycleError("cycle does not close: external edge within one thread")
+    if not closing.external and final_src.thread != first.thread:
+        raise CycleError("cycle does not close: final po edge leaves thread 0")
+    if closing.same_loc and final_src.loc != first.loc:
+        raise CycleError("cycle does not close: location mismatch")
+    if not closing.same_loc and final_src.loc == first.loc:
+        raise CycleError("cycle does not close: Pod edge onto the same location")
+    return slots
+
+
+def parse_cycle(spec: str) -> Tuple[Edge, ...]:
+    """Parse ``"Rfe PodRR Fre PodWW"`` (space or '+' separated)."""
+    names = spec.replace("+", " ").split()
+    return tuple(edge(name) for name in names)
+
+
+@dataclass(frozen=True)
+class GeneratedTest:
+    """A synthesised test plus the cycle it observes."""
+
+    test: LitmusTest
+    cycle: Tuple[Edge, ...]
+
+
+def generate(
+    cycle_spec,
+    name: Optional[str] = None,
+    write_sem: Sem = Sem.RELAXED,
+    read_sem: Sem = Sem.RELAXED,
+    scope: Optional[Scope] = Scope.GPU,
+    fence_po: Optional[Tuple[Sem, Scope]] = None,
+    expect: Expect = Expect.ALLOWED,
+) -> GeneratedTest:
+    """Synthesise a litmus test from a critical cycle.
+
+    ``write_sem``/``read_sem``/``scope`` annotate the generated accesses
+    (use ``Sem.WEAK`` with ``scope=None`` for unsynchronized variants);
+    ``fence_po`` optionally inserts a fence on every program-order edge.
+    ``expect`` documents the anticipated PTX verdict (callers usually run
+    the classifier in :func:`classify` instead of guessing).
+    """
+    edges = (
+        parse_cycle(cycle_spec) if isinstance(cycle_spec, str) else tuple(cycle_spec)
+    )
+    slots = _walk(edges)
+    name = name or "+".join(e.name for e in edges)
+
+    # value assignment: writes per location in first-appearance order get
+    # 1, 2, ...; coherence order per location is dictated by its Ws edge.
+    writes_per_loc: Dict[int, List[int]] = {}
+    value_of: Dict[int, int] = {}
+    for slot in slots:
+        if slot.kind == "W":
+            appearance = writes_per_loc.setdefault(slot.loc, [])
+            appearance.append(slot.index)
+            value_of[slot.index] = len(appearance)
+            if len(appearance) > 2:
+                raise CycleError("more than two writes to one location")
+    ws_of_loc: Dict[int, Tuple[int, int]] = {}
+    for e, src, dst in zip(edges, slots, slots[1:] + [slots[0]]):
+        if e.name.startswith("Ws"):
+            if src.loc in ws_of_loc:
+                raise CycleError("at most one Ws edge per location")
+            ws_of_loc[src.loc] = (src.index, dst.index)
+    co_chain: Dict[int, List[int]] = {}
+    for loc, appearance in writes_per_loc.items():
+        if len(appearance) == 1:
+            co_chain[loc] = appearance
+        else:
+            if loc not in ws_of_loc:
+                raise CycleError(
+                    f"location {loc} has two writes but no Ws edge to "
+                    "orient them"
+                )
+            co_chain[loc] = list(ws_of_loc[loc])
+
+    # registers for reads
+    reg_of: Dict[int, str] = {}
+    for slot in slots:
+        if slot.kind == "R":
+            reg_of[slot.index] = f"r{len(reg_of) + 1}"
+
+    # conditions from communication edges
+    conjuncts: List[Condition] = []
+    for e, src, dst in zip(edges, slots, slots[1:] + [slots[0]]):
+        if e.name.startswith("Rf"):
+            conjuncts.append(
+                RegEq(dst.thread, reg_of[dst.index], value_of[src.index])
+            )
+        elif e.name.startswith("Fr"):
+            chain = co_chain[src.loc]
+            position = chain.index(dst.index)
+            predecessor_value = (
+                0 if position == 0 else value_of[chain[position - 1]]
+            )
+            conjuncts.append(
+                RegEq(src.thread, reg_of[src.index], predecessor_value)
+            )
+        elif e.name.startswith("Ws"):
+            conjuncts.append(
+                MemEq(_LOC_NAMES[src.loc], value_of[co_chain[src.loc][-1]])
+            )
+    if not conjuncts:
+        raise CycleError("cycle has no communication edges to observe")
+    condition: Condition = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        condition = AndC(condition, conjunct)
+
+    # emit the program: one CTA per thread, events in slot order
+    num_threads = max(s.thread for s in slots) + 1
+    per_thread: List[List[Instruction]] = [[] for _ in range(num_threads)]
+    last_slot_of_thread: Dict[int, int] = {}
+    for slot in sorted(slots, key=lambda s: s.index):
+        instructions = per_thread[slot.thread]
+        if (
+            fence_po is not None
+            and slot.thread in last_slot_of_thread
+        ):
+            instructions.append(Fence(sem=fence_po[0], scope=fence_po[1]))
+        last_slot_of_thread[slot.thread] = slot.index
+        loc_name = _LOC_NAMES[slot.loc]
+        if slot.kind == "W":
+            instructions.append(
+                St(loc=loc_name, src=value_of[slot.index],
+                   sem=write_sem, scope=scope)
+            )
+        else:
+            instructions.append(
+                Ld(dst=reg_of[slot.index], loc=loc_name,
+                   sem=read_sem, scope=scope)
+            )
+    program = Program(
+        name=name,
+        threads=tuple(
+            ThreadCode(
+                tid=device_thread(0, t, 0), instructions=tuple(instrs)
+            )
+            for t, instrs in enumerate(per_thread)
+        ),
+    )
+    test = LitmusTest(
+        name=name,
+        program=program,
+        condition=condition,
+        expect=expect,
+        description=f"synthesised from cycle {name}",
+        expect_other={"sc": Expect.FORBIDDEN},
+    )
+    return GeneratedTest(test=test, cycle=edges)
+
+
+def enumerate_cycles(
+    length: int, vocabulary: Sequence[str] = EDGE_NAMES
+) -> Iterator[Tuple[Edge, ...]]:
+    """All closing cycles of the given length over the vocabulary.
+
+    Cycles are canonicalised to start with a communication edge and
+    deduplicated up to rotation.
+    """
+    seen = set()
+    for names in itertools.product(vocabulary, repeat=length):
+        edges = tuple(_EDGES[n] for n in names)
+        if not edges[-1].is_com:
+            continue  # canonical form closes with a communication edge
+        rotations = {
+            tuple(e.name for e in edges[i:] + edges[:i])
+            for i in range(length)
+        }
+        key = min(rotations)
+        if key in seen:
+            continue
+        try:
+            _walk(edges)
+        except CycleError:
+            continue
+        seen.add(key)
+        yield edges
+
+
+def classify(generated: GeneratedTest, model: str = "ptx") -> Expect:
+    """Run the synthesised test and return the model's verdict."""
+    from .runner import run_litmus
+
+    result = run_litmus(generated.test, model=model)
+    return result.verdict

@@ -1,0 +1,222 @@
+"""A text format for PTX litmus tests.
+
+A lightweight line-oriented syntax modelled on the assembly listings in the
+paper's figures::
+
+    ptx test MP
+    thread d0c0t0
+      st.weak [x], 1
+      st.release.gpu [y], 1
+    thread d0c1t0
+      ld.acquire.gpu r1, [y]
+      ld.weak r2, [x]
+    forbidden: 1:r1=1 & 1:r2=0
+
+Thread headers name a placement (``d<gpu>c<cta>t<thread>`` or ``host<n>``).
+Instruction mnemonics are dotted PTX syntax: ``ld``/``st``/``atom``/``red``
+with ``.weak``/``.relaxed``/``.acquire``/``.release``/``.acq_rel`` and
+``.cta``/``.gpu``/``.sys``; ``fence.sc.gpu``; ``membar.gl``-era spellings
+are accepted as ``membar``; ``bar.sync 0``.  The final line gives the
+condition and its expected verdict (``forbidden:`` or ``allowed:``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..core.scopes import Scope, ThreadId, device_thread, host_thread
+from ..ptx.events import Sem
+from ..ptx.isa import Atom, AtomOp, Bar, BarOp, Fence, Instruction, Ld, Red, St
+from ..ptx.program import Program, ThreadCode
+from .test import Expect, LitmusTest, make_test
+
+
+class LitmusSyntaxError(ValueError):
+    """Raised on malformed litmus text."""
+
+
+_THREAD_RE = re.compile(r"^thread\s+(?:d(\d+)c(\d+)t(\d+)|host(\d+))\s*$")
+_SEMS = {
+    "weak": Sem.WEAK,
+    "relaxed": Sem.RELAXED,
+    "acquire": Sem.ACQUIRE,
+    "release": Sem.RELEASE,
+    "acq_rel": Sem.ACQ_REL,
+    "sc": Sem.SC,
+}
+_SCOPES = {"cta": Scope.CTA, "gpu": Scope.GPU, "sys": Scope.SYS}
+_ATOM_OPS = {op.value: op for op in AtomOp}
+
+
+def _parse_thread_header(line: str) -> ThreadId:
+    match = _THREAD_RE.match(line)
+    if not match:
+        raise LitmusSyntaxError(f"bad thread header: {line!r}")
+    if match.group(4) is not None:
+        return host_thread(int(match.group(4)))
+    return device_thread(
+        int(match.group(1)), int(match.group(2)), int(match.group(3))
+    )
+
+
+def _split_mnemonic(mnemonic: str) -> Tuple[str, Optional[Sem], Optional[Scope], List[str]]:
+    parts = mnemonic.split(".")
+    op = parts[0]
+    sem: Optional[Sem] = None
+    scope: Optional[Scope] = None
+    extras: List[str] = []
+    for part in parts[1:]:
+        if part in _SEMS and sem is None:
+            sem = _SEMS[part]
+        elif part in _SCOPES and scope is None:
+            scope = _SCOPES[part]
+        else:
+            extras.append(part)
+    return op, sem, scope, extras
+
+
+def _operand(text: str):
+    text = text.strip()
+    if re.fullmatch(r"-?\d+", text):
+        return int(text)
+    if re.fullmatch(r"[A-Za-z_]\w*", text):
+        return text
+    raise LitmusSyntaxError(f"bad operand: {text!r}")
+
+
+def _loc(text: str) -> str:
+    match = re.fullmatch(r"\[\s*([A-Za-z_]\w*)\s*\]", text.strip())
+    if not match:
+        raise LitmusSyntaxError(f"bad memory operand: {text!r}")
+    return match.group(1)
+
+
+def parse_instruction(line: str) -> Instruction:
+    """Parse one PTX instruction line."""
+    line = line.split("//")[0].strip().rstrip(";")
+    parts = line.split(None, 1)
+    mnemonic = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+    operands = [p.strip() for p in rest.split(",")] if rest.strip() else []
+    op, sem, scope, extras = _split_mnemonic(mnemonic)
+
+    vec = 1
+    for extra in extras:
+        if extra in ("v2", "v4"):
+            vec = int(extra[1])
+    if op == "ld":
+        if len(operands) != 1 + vec:
+            raise LitmusSyntaxError(
+                f"ld{'.v%d' % vec if vec > 1 else ''} needs "
+                f"{vec} register(s) then [loc]: {line!r}"
+            )
+        dst = operands[0] if vec == 1 else tuple(operands[:vec])
+        loc = _loc(operands[-1])
+        volatile = "volatile" in extras
+        if volatile:
+            return Ld(dst=dst, loc=loc, volatile=True, vec=vec)
+        return Ld(dst=dst, loc=loc, sem=sem or Sem.WEAK, scope=scope, vec=vec)
+    if op == "st":
+        if len(operands) != 1 + vec:
+            raise LitmusSyntaxError(
+                f"st{'.v%d' % vec if vec > 1 else ''} needs "
+                f"[loc] then {vec} operand(s): {line!r}"
+            )
+        loc = _loc(operands[0])
+        src = (
+            _operand(operands[1])
+            if vec == 1
+            else tuple(_operand(o) for o in operands[1:])
+        )
+        volatile = "volatile" in extras
+        if volatile:
+            return St(loc=loc, src=src, volatile=True, vec=vec)
+        return St(loc=loc, src=src, sem=sem or Sem.WEAK, scope=scope, vec=vec)
+    if op in ("atom", "red"):
+        atom_ops = [e for e in extras if e in _ATOM_OPS]
+        if len(atom_ops) != 1:
+            raise LitmusSyntaxError(f"{op} needs exactly one operation: {line!r}")
+        atom_op = _ATOM_OPS[atom_ops[0]]
+        if op == "atom":
+            if len(operands) < 3:
+                raise LitmusSyntaxError(f"atom needs 'dst, [loc], operands': {line!r}")
+            return Atom(
+                dst=operands[0], loc=_loc(operands[1]),
+                op=atom_op,
+                operands=tuple(_operand(o) for o in operands[2:]),
+                sem=sem or Sem.RELAXED, scope=scope,
+            )
+        if len(operands) < 2:
+            raise LitmusSyntaxError(f"red needs '[loc], operands': {line!r}")
+        return Red(
+            loc=_loc(operands[0]),
+            op=atom_op,
+            operands=tuple(_operand(o) for o in operands[1:]),
+            sem=sem or Sem.RELAXED, scope=scope,
+        )
+    if op == "fence":
+        return Fence(sem=sem or Sem.SC, scope=scope or Scope.SYS)
+    if op == "membar":
+        # membar is a synonym for fence.sc (Figure 3c); legacy level
+        # suffixes (.cta/.gl/.sys) name scopes.
+        level = {"gl": Scope.GPU}.get(extras[0] if extras else "", scope)
+        return Fence(sem=Sem.SC, scope=level or Scope.SYS)
+    if op == "bar":
+        bar_op = BarOp.SYNC
+        if extras and extras[0] in ("sync", "arrive", "red"):
+            bar_op = BarOp(extras[0])
+        barrier = int(operands[0]) if operands else 0
+        return Bar(op=bar_op, barrier=barrier)
+    raise LitmusSyntaxError(f"unknown instruction: {line!r}")
+
+
+def parse_litmus(text: str) -> LitmusTest:
+    """Parse a full litmus test from text."""
+    name: Optional[str] = None
+    threads: List[Tuple[ThreadId, List[Instruction]]] = []
+    condition: Optional[str] = None
+    expect: Optional[Expect] = None
+
+    for raw in text.splitlines():
+        line = raw.split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith("ptx test"):
+            name = line[len("ptx test"):].strip()
+            continue
+        if line.startswith("thread"):
+            threads.append((_parse_thread_header(line), []))
+            continue
+        lowered = line.lower()
+        for keyword, verdict in (
+            ("forbidden:", Expect.FORBIDDEN),
+            ("allowed:", Expect.ALLOWED),
+        ):
+            if lowered.startswith(keyword):
+                condition = line[len(keyword):].strip()
+                expect = verdict
+                break
+        else:
+            if not threads:
+                raise LitmusSyntaxError(
+                    f"instruction before any thread header: {line!r}"
+                )
+            threads[-1][1].append(parse_instruction(line))
+            continue
+
+    if name is None:
+        raise LitmusSyntaxError("missing 'ptx test <name>' header")
+    if condition is None or expect is None:
+        raise LitmusSyntaxError("missing 'forbidden:'/'allowed:' condition line")
+    if not threads:
+        raise LitmusSyntaxError("no threads")
+
+    program = Program(
+        name=name,
+        threads=tuple(
+            ThreadCode(tid=tid, instructions=tuple(instrs))
+            for tid, instrs in threads
+        ),
+    )
+    return make_test(name, program, condition, expect)

@@ -1,0 +1,110 @@
+"""Running litmus tests against the implemented memory models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Optional, Sequence, Tuple
+
+from ..ptx.program import Program
+from ..scmodel import check_execution as sc_check
+from ..search.ptx_search import Outcome, allowed_outcomes
+from ..search.total_search import allowed_outcomes_total
+from ..tso import check_execution as tso_check
+from .test import Expect, LitmusTest
+
+ModelFn = Callable[..., FrozenSet[Outcome]]
+
+
+def _ptx_outcomes(program: Program, **opts) -> FrozenSet[Outcome]:
+    return allowed_outcomes(program, **opts)
+
+
+def _tso_outcomes(program: Program, **opts) -> FrozenSet[Outcome]:
+    opts.pop("skip_axioms", None)
+    return allowed_outcomes_total(program, tso_check, **opts)
+
+
+def _sc_outcomes(program: Program, **opts) -> FrozenSet[Outcome]:
+    opts.pop("skip_axioms", None)
+    return allowed_outcomes_total(program, sc_check, **opts)
+
+
+def _ptx_legacy_outcomes(program: Program, **opts) -> FrozenSet[Outcome]:
+    from ..ptx.legacy import legacy_allowed_outcomes
+
+    return legacy_allowed_outcomes(program, **opts)
+
+
+MODELS: Dict[str, ModelFn] = {
+    "ptx": _ptx_outcomes,
+    "ptx-legacy": _ptx_legacy_outcomes,
+    "tso": _tso_outcomes,
+    "sc": _sc_outcomes,
+}
+
+
+@dataclass(frozen=True)
+class LitmusResult:
+    """The verdict of running one litmus test under one model."""
+
+    test: LitmusTest
+    model: str
+    observed: bool
+    outcomes: FrozenSet[Outcome]
+
+    @property
+    def verdict(self) -> Expect:
+        """The model's verdict on the test condition."""
+        return Expect.ALLOWED if self.observed else Expect.FORBIDDEN
+
+    @property
+    def matches_expectation(self) -> Optional[bool]:
+        """Whether the verdict matches the documented one (None = undocumented)."""
+        expected = self.test.expected(self.model)
+        if expected is None:
+            return None
+        return expected is self.verdict
+
+    def __repr__(self) -> str:
+        status = {True: "OK", False: "MISMATCH", None: "?"}[self.matches_expectation]
+        return (
+            f"<{self.test.name} under {self.model}: {self.verdict.value} "
+            f"[{status}]>"
+        )
+
+
+def run_litmus(test: LitmusTest, model: str = "ptx", **opts) -> LitmusResult:
+    """Run one litmus test under the named model."""
+    if model not in MODELS:
+        raise KeyError(f"unknown model {model!r}; have {sorted(MODELS)}")
+    merged = dict(test.search_opts)
+    merged.update(opts)
+    outcomes = MODELS[model](test.program, **merged)
+    return LitmusResult(
+        test=test,
+        model=model,
+        observed=test.condition_observed(outcomes),
+        outcomes=outcomes,
+    )
+
+
+def run_suite(
+    tests: Sequence[LitmusTest], model: str = "ptx", **opts
+) -> Tuple[LitmusResult, ...]:
+    """Run a sequence of tests, returning their results in order."""
+    return tuple(run_litmus(test, model=model, **opts) for test in tests)
+
+
+def summarize(results: Sequence[LitmusResult]) -> str:
+    """A printable table of results (name, verdict, expectation check)."""
+    width = max((len(r.test.name) for r in results), default=4)
+    lines = [f"{'test'.ljust(width)}  model  verdict    expected   status"]
+    for result in results:
+        expected = result.test.expected(result.model)
+        status = {True: "ok", False: "MISMATCH", None: "-"}[result.matches_expectation]
+        lines.append(
+            f"{result.test.name.ljust(width)}  {result.model:<5}  "
+            f"{result.verdict.value:<9}  "
+            f"{(expected.value if expected else '-'):<9}  {status}"
+        )
+    return "\n".join(lines)

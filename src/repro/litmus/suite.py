@@ -1,0 +1,578 @@
+"""The standard litmus-test suite.
+
+Every litmus test appearing in the paper (Figures 5, 6, 8, 9, and the
+coherence/scope discussions) is encoded here, together with the classic
+weak-memory shapes (LB, IRIW, WRC, 2+2W, S, R) in scope/strength variants
+that probe PTX-specific behaviour:
+
+* scope inclusion — `.cta`-scoped synchronization fails across CTAs,
+  `.gpu`-scoped fails across devices (Table 1);
+* non-multi-copy-atomicity — IRIW is allowed with acquire loads and only
+  forbidden with morally strong ``fence.sc`` (§3.4);
+* racy-but-defined semantics — weak variants of the coherence shapes are
+  allowed rather than undefined (§3.3);
+* RMW atomicity is only guaranteed against morally strong accesses (§8.9.3).
+
+Expected verdicts are recorded for the PTX model and, where instructive,
+for the TSO and SC baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.scopes import Scope, device_thread
+from ..ptx.events import Sem
+from ..ptx.isa import AtomOp, BarOp, Ld, St
+from ..ptx.program import Program, ProgramBuilder, ThreadCode
+from .test import LitmusTest, make_test
+
+# Standard thread placements.
+T0 = device_thread(0, 0, 0)
+T1 = device_thread(0, 1, 0)          # different CTA, same GPU
+T2 = device_thread(0, 2, 0)
+T1_SAME_CTA = device_thread(0, 0, 1)  # same CTA as T0
+T1_OTHER_GPU = device_thread(1, 0, 0)  # different GPU
+
+
+def _mp(name, st_sem, st_scope, ld_sem, ld_scope, consumer, **kw):
+    """Message passing: producer writes data then flag; consumer reads
+    flag then data.  Interesting outcome: flag seen, data stale."""
+    program = (
+        ProgramBuilder(name)
+        .thread(T0)
+        .st("x", 1)
+        .st("y", 1, sem=st_sem, scope=st_scope)
+        .thread(consumer)
+        .ld("r1", "y", sem=ld_sem, scope=ld_scope)
+        .ld("r2", "x")
+        .build()
+    )
+    return make_test(name, program, "1:r1=1 & 1:r2=0", **kw)
+
+
+def _sb(name, fence_scope, t_b, **kw):
+    """Store buffering with ``fence.sc`` fences (Figure 6)."""
+    program = (
+        ProgramBuilder(name)
+        .thread(T0).st("x", 1).fence(Sem.SC, fence_scope).ld("r1", "y")
+        .thread(t_b).st("y", 1).fence(Sem.SC, fence_scope).ld("r2", "x")
+        .build()
+    )
+    return make_test(name, program, "0:r1=0 & 1:r2=0", **kw)
+
+
+def build_suite() -> Tuple[LitmusTest, ...]:
+    """Construct the full standard suite."""
+    tests = []
+
+    # ------------------------------------------------------------------
+    # Figure 5: message passing
+    # ------------------------------------------------------------------
+    tests.append(_mp(
+        "MP+rel_acq.gpu", Sem.RELEASE, Scope.GPU, Sem.ACQUIRE, Scope.GPU, T1,
+        expect="forbidden", figure="5", tso="forbidden", sc="forbidden",
+        description="Figure 5: release/acquire at .gpu scope across CTAs.",
+    ))
+    tests.append(_mp(
+        "MP+rel_acq.cta_same_cta", Sem.RELEASE, Scope.CTA, Sem.ACQUIRE,
+        Scope.CTA, T1_SAME_CTA,
+        expect="forbidden",
+        description=".cta-scoped synchronization works within a CTA.",
+    ))
+    tests.append(_mp(
+        "MP+rel_acq.cta_cross_cta", Sem.RELEASE, Scope.CTA, Sem.ACQUIRE,
+        Scope.CTA, T1,
+        expect="allowed", sc="forbidden",
+        description=".cta-scoped synchronization does NOT reach across CTAs "
+                    "(scope inclusion fails, so the pair is not morally strong).",
+    ))
+    tests.append(_mp(
+        "MP+rel_acq.gpu_cross_gpu", Sem.RELEASE, Scope.GPU, Sem.ACQUIRE,
+        Scope.GPU, T1_OTHER_GPU,
+        expect="allowed", sc="forbidden",
+        description=".gpu-scoped synchronization does not reach across devices.",
+    ))
+    tests.append(_mp(
+        "MP+rel_acq.sys_cross_gpu", Sem.RELEASE, Scope.SYS, Sem.ACQUIRE,
+        Scope.SYS, T1_OTHER_GPU,
+        expect="forbidden",
+        description=".sys scope spans devices (Table 1).",
+    ))
+    tests.append(_mp(
+        "MP+weak", Sem.WEAK, None, Sem.WEAK, None, T1,
+        expect="allowed", tso="forbidden", sc="forbidden",
+        description="Unsynchronized MP is racy; the stale-data outcome is allowed.",
+    ))
+    tests.append(_mp(
+        "MP+rlx", Sem.RELAXED, Scope.GPU, Sem.RELAXED, Scope.GPU, T1,
+        expect="allowed",
+        description="Relaxed operations are strong but do not synchronize.",
+    ))
+    volatile_mp = Program(
+        name="MP+volatile",
+        threads=(
+            ThreadCode(tid=T0, instructions=(
+                St(loc="x", src=1),
+                St(loc="y", src=1, volatile=True),
+            )),
+            ThreadCode(tid=T1, instructions=(
+                Ld(dst="r1", loc="y", volatile=True),
+                Ld(dst="r2", loc="x"),
+            )),
+        ),
+    )
+    tests.append(make_test(
+        "MP+volatile", volatile_mp, "1:r1=1 & 1:r2=0", "allowed",
+        description="§9.7.8.7: .volatile has the semantics of .relaxed.sys — "
+                    "strong and coherent, but it does NOT synchronize, so "
+                    "volatile flags cannot publish data.",
+    ))
+
+    # fence-based release/acquire patterns (§8.7): the communicating write
+    # after a release fence must be *strong*.
+    fence_mp = (
+        ProgramBuilder("MP+fence.acq_rel")
+        .thread(T0).st("x", 1).fence(Sem.ACQ_REL, Scope.GPU)
+        .st("y", 1, sem=Sem.RELAXED, scope=Scope.GPU)
+        .thread(T1).ld("r1", "y", sem=Sem.RELAXED, scope=Scope.GPU)
+        .fence(Sem.ACQ_REL, Scope.GPU).ld("r2", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "MP+fence.acq_rel", fence_mp, "1:r1=1 & 1:r2=0", "forbidden",
+        description="Release/acquire patterns built from fences plus relaxed "
+                    "accesses (§8.7).",
+    ))
+    fence_mp_weak = (
+        ProgramBuilder("MP+fence_weak_write")
+        .thread(T0).st("x", 1).fence(Sem.ACQ_REL, Scope.GPU).st("y", 1)
+        .thread(T1).ld("r1", "y", sem=Sem.RELAXED, scope=Scope.GPU)
+        .fence(Sem.ACQ_REL, Scope.GPU).ld("r2", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "MP+fence_weak_write", fence_mp_weak, "1:r1=1 & 1:r2=0", "allowed",
+        description="A WEAK write after the release fence does not complete "
+                    "the release pattern (§8.7 requires a strong write).",
+    ))
+
+    # ------------------------------------------------------------------
+    # Figure 6: store buffering
+    # ------------------------------------------------------------------
+    tests.append(_sb(
+        "SB+fence.sc.gpu", Scope.GPU, T1,
+        expect="forbidden", figure="6", tso="forbidden", sc="forbidden",
+        description="Figure 6: morally strong fence.sc pairs restore SC for SB.",
+    ))
+    tests.append(_sb(
+        "SB+fence.sc.cta_cross_cta", Scope.CTA, T1,
+        expect="allowed", sc="forbidden",
+        description="fence.sc at .cta scope across CTAs: the fences are not "
+                    "morally strong, so sc order does not relate them.",
+    ))
+    sb_weak = (
+        ProgramBuilder("SB+weak")
+        .thread(T0).st("x", 1).ld("r1", "y")
+        .thread(T1).st("y", 1).ld("r2", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "SB+weak", sb_weak, "0:r1=0 & 1:r2=0", "allowed",
+        tso="allowed", sc="forbidden",
+        description="Bare SB: both loads may miss both stores (store buffers).",
+    ))
+    sb_rel_acq = (
+        ProgramBuilder("SB+rel_acq")
+        .thread(T0).st("x", 1, sem=Sem.RELEASE, scope=Scope.GPU)
+        .ld("r1", "y", sem=Sem.ACQUIRE, scope=Scope.GPU)
+        .thread(T1).st("y", 1, sem=Sem.RELEASE, scope=Scope.GPU)
+        .ld("r2", "x", sem=Sem.ACQUIRE, scope=Scope.GPU)
+        .build()
+    )
+    tests.append(make_test(
+        "SB+rel_acq", sb_rel_acq, "0:r1=0 & 1:r2=0", "allowed",
+        description="Acquire/release alone cannot forbid SB; only fence.sc "
+                    "can (§3.4.3).",
+    ))
+
+    # ------------------------------------------------------------------
+    # Figure 8: load buffering / out of thin air
+    # ------------------------------------------------------------------
+    lb = (
+        ProgramBuilder("LB+weak")
+        .thread(T0).ld("r1", "y").st("x", 1)
+        .thread(T1).ld("r2", "x").st("y", 1)
+        .build()
+    )
+    tests.append(make_test(
+        "LB+weak", lb, "0:r1=1 & 1:r2=1", "allowed",
+        tso="forbidden", sc="forbidden",
+        description="Load buffering without dependencies is allowed by PTX.",
+    ))
+    lb_deps = (
+        ProgramBuilder("LB+deps")
+        .thread(T0).ld("r1", "y").st("x", "r1")
+        .thread(T1).ld("r2", "x").st("y", "r2")
+        .build()
+    )
+    tests.append(make_test(
+        "LB+deps", lb_deps, "0:r1=42 & 1:r2=42", "forbidden", figure="8",
+        search_opts={"speculation_values": (42,)},
+        description="Figure 8: No-Thin-Air forbids self-satisfying speculation.",
+    ))
+
+    # ------------------------------------------------------------------
+    # Figure 9: coherence
+    # ------------------------------------------------------------------
+    corr = (
+        ProgramBuilder("CoRR")
+        .thread(T0).st("x", 1, sem=Sem.RELAXED, scope=Scope.GPU)
+        .thread(T1).ld("r1", "x", sem=Sem.RELAXED, scope=Scope.GPU).ld("r2", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "CoRR", corr, "1:r1=1 & 1:r2=0", "forbidden", figure="9a",
+        tso="forbidden", sc="forbidden",
+        description="Figure 9a: a later read may not see an older write.",
+    ))
+    corw = (
+        ProgramBuilder("CoRW")
+        .thread(T0).st("x", 1, sem=Sem.RELAXED, scope=Scope.GPU)
+        .thread(T1).ld("r1", "x", sem=Sem.RELAXED, scope=Scope.GPU).st("x", 2)
+        .build()
+    )
+    tests.append(make_test(
+        "CoRW", corw, "1:r1=1 & [x]=1", "forbidden", figure="9b",
+        description="Figure 9b: the read must not see a write coherence-after "
+                    "the thread's own later write.",
+    ))
+    cowr = (
+        ProgramBuilder("CoWR")
+        .thread(T0).st("x", 1, sem=Sem.RELAXED, scope=Scope.GPU)
+        .thread(T1).st("x", 2, sem=Sem.RELAXED, scope=Scope.GPU).ld("r1", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "CoWR", cowr, "[x]=2 & 1:r1=1", "forbidden", figure="9c",
+        description="Figure 9c: a read may not skip over its own thread's "
+                    "coherence-later write.",
+    ))
+    coww = (
+        ProgramBuilder("CoWW")
+        .thread(T0).st("x", 1).st("x", 2)
+        .build()
+    )
+    tests.append(make_test(
+        "CoWW", coww, "[x]=1", "forbidden", figure="9d",
+        tso="forbidden", sc="forbidden",
+        description="Figure 9d: same-thread writes settle in program order.",
+    ))
+    corr_weak = (
+        ProgramBuilder("CoRR+weak")
+        .thread(T0).st("x", 1)
+        .thread(T1).ld("r1", "x").ld("r2", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "CoRR+weak", corr_weak, "1:r1=1 & 1:r2=0", "allowed",
+        description="Racy weak reads are *defined* but unconstrained: PTX "
+                    "does not outlaw racy programs (§3.3), it just withholds "
+                    "coherence guarantees from morally weak pairs.",
+    ))
+
+    # ------------------------------------------------------------------
+    # Non-multi-copy-atomicity: IRIW and WRC
+    # ------------------------------------------------------------------
+    iriw = (
+        ProgramBuilder("IRIW+rel_acq")
+        .thread(T0).st("x", 1, sem=Sem.RELEASE, scope=Scope.SYS)
+        .thread(T1).st("y", 1, sem=Sem.RELEASE, scope=Scope.SYS)
+        .thread(T2)
+        .ld("r1", "x", sem=Sem.ACQUIRE, scope=Scope.SYS)
+        .ld("r2", "y", sem=Sem.ACQUIRE, scope=Scope.SYS)
+        .thread(device_thread(0, 3, 0))
+        .ld("r3", "y", sem=Sem.ACQUIRE, scope=Scope.SYS)
+        .ld("r4", "x", sem=Sem.ACQUIRE, scope=Scope.SYS)
+        .build()
+    )
+    tests.append(make_test(
+        "IRIW+rel_acq", iriw, "2:r1=1 & 2:r2=0 & 3:r3=1 & 3:r4=0", "allowed",
+        tso="forbidden", sc="forbidden",
+        description="PTX is not multi-copy atomic (§3.4): two readers may "
+                    "disagree on the order of independent writes even with "
+                    "acquire loads.",
+    ))
+    iriw_sc = (
+        ProgramBuilder("IRIW+fence.sc")
+        .thread(T0).st("x", 1, sem=Sem.RELEASE, scope=Scope.SYS)
+        .thread(T1).st("y", 1, sem=Sem.RELEASE, scope=Scope.SYS)
+        .thread(T2)
+        .ld("r1", "x", sem=Sem.ACQUIRE, scope=Scope.SYS)
+        .fence(Sem.SC, Scope.SYS)
+        .ld("r2", "y", sem=Sem.ACQUIRE, scope=Scope.SYS)
+        .thread(device_thread(0, 3, 0))
+        .ld("r3", "y", sem=Sem.ACQUIRE, scope=Scope.SYS)
+        .fence(Sem.SC, Scope.SYS)
+        .ld("r4", "x", sem=Sem.ACQUIRE, scope=Scope.SYS)
+        .build()
+    )
+    tests.append(make_test(
+        "IRIW+fence.sc", iriw_sc, "2:r1=1 & 2:r2=0 & 3:r3=1 & 3:r4=0",
+        "forbidden",
+        description="Morally strong fence.sc pairs restore agreement on the "
+                    "order of independent writes.",
+    ))
+    wrc = (
+        ProgramBuilder("WRC+rel_acq")
+        .thread(T0).st("x", 1, sem=Sem.RELAXED, scope=Scope.GPU)
+        .thread(T1)
+        .ld("r1", "x", sem=Sem.RELAXED, scope=Scope.GPU)
+        .st("y", 1, sem=Sem.RELEASE, scope=Scope.GPU)
+        .thread(T2)
+        .ld("r2", "y", sem=Sem.ACQUIRE, scope=Scope.GPU)
+        .ld("r3", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "WRC+rel_acq", wrc, "1:r1=1 & 2:r2=1 & 2:r3=0", "forbidden",
+        description="Write-read causality: cause extends through observation "
+                    "(obs ; cause_base), so the release covers writes the "
+                    "releasing thread has itself observed.",
+    ))
+    wrc_weak = (
+        ProgramBuilder("WRC+weak_first_hop")
+        .thread(T0).st("x", 1)
+        .thread(T1)
+        .ld("r1", "x", sem=Sem.RELAXED, scope=Scope.GPU)
+        .st("y", 1, sem=Sem.RELEASE, scope=Scope.GPU)
+        .thread(T2)
+        .ld("r2", "y", sem=Sem.ACQUIRE, scope=Scope.GPU)
+        .ld("r3", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "WRC+weak_first_hop", wrc_weak, "1:r1=1 & 2:r2=1 & 2:r3=0", "allowed",
+        description="A morally weak first hop (weak write vs relaxed read) "
+                    "breaks the observation chain: the pair races.",
+    ))
+
+    # ------------------------------------------------------------------
+    # RMW atomicity (§8.9.3)
+    # ------------------------------------------------------------------
+    inc2 = (
+        ProgramBuilder("2xAtomAdd.gpu")
+        .thread(T0).atom("r1", "x", AtomOp.ADD, 1, sem=Sem.RELAXED, scope=Scope.GPU)
+        .thread(T1).atom("r2", "x", AtomOp.ADD, 1, sem=Sem.RELAXED, scope=Scope.GPU)
+        .build()
+    )
+    tests.append(make_test(
+        "2xAtomAdd.gpu", inc2, "[x]=1", "forbidden",
+        description="Two morally strong fetch-adds cannot lose an update.",
+    ))
+    inc2_cta = (
+        ProgramBuilder("2xAtomAdd.cta_cross_cta")
+        .thread(T0).atom("r1", "x", AtomOp.ADD, 1, sem=Sem.RELAXED, scope=Scope.CTA)
+        .thread(T1).atom("r2", "x", AtomOp.ADD, 1, sem=Sem.RELAXED, scope=Scope.CTA)
+        .build()
+    )
+    tests.append(make_test(
+        "2xAtomAdd.cta_cross_cta", inc2_cta, "[x]=1", "allowed",
+        description="Atomicity is only guaranteed against morally strong "
+                    "accesses: .cta-scoped RMWs in different CTAs may lose "
+                    "updates (§8.9.3).",
+    ))
+    cas_exch = (
+        ProgramBuilder("AtomExch+MP")
+        .thread(T0).st("x", 1)
+        .atom("r0", "y", AtomOp.EXCH, 1, sem=Sem.ACQ_REL, scope=Scope.GPU)
+        .thread(T1)
+        .ld("r1", "y", sem=Sem.ACQUIRE, scope=Scope.GPU)
+        .ld("r2", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "AtomExch+MP", cas_exch, "1:r1=1 & 1:r2=0", "forbidden",
+        description="An acq_rel exchange acts as the releasing write of MP.",
+    ))
+
+    # ------------------------------------------------------------------
+    # CTA execution barriers (§8.8.4)
+    # ------------------------------------------------------------------
+    bar_mp = (
+        ProgramBuilder("MP+bar.sync")
+        .thread(T0).st("x", 1).bar(BarOp.SYNC, 0)
+        .thread(T1_SAME_CTA).bar(BarOp.SYNC, 0).ld("r1", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "MP+bar.sync", bar_mp, "1:r1=0", "forbidden",
+        description="bar.sync has release/acquire semantics at .cta scope.",
+    ))
+    bar_mp_mismatch = (
+        ProgramBuilder("MP+bar.mismatch")
+        .thread(T0).st("x", 1).bar(BarOp.SYNC, 0)
+        .thread(T1_SAME_CTA).bar(BarOp.SYNC, 1).ld("r1", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "MP+bar.mismatch", bar_mp_mismatch, "1:r1=0", "allowed",
+        description="Different barrier resources do not synchronize with "
+                    "each other.",
+    ))
+    bar_arrive = (
+        ProgramBuilder("MP+bar.arrive")
+        .thread(T0).st("x", 1).bar(BarOp.ARRIVE, 0)
+        .thread(T1_SAME_CTA).bar(BarOp.SYNC, 0).ld("r1", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "MP+bar.arrive", bar_arrive, "1:r1=0", "forbidden",
+        description="bar.arrive synchronizes with bar.sync on the same "
+                    "barrier (producer/consumer split barriers).",
+    ))
+
+    # ------------------------------------------------------------------
+    # Classic shapes: S, R, 2+2W
+    # ------------------------------------------------------------------
+    s_test = (
+        ProgramBuilder("S+rel_acq")
+        .thread(T0).st("x", 2).st("y", 1, sem=Sem.RELEASE, scope=Scope.GPU)
+        .thread(T1).ld("r1", "y", sem=Sem.ACQUIRE, scope=Scope.GPU).st("x", 1)
+        .build()
+    )
+    tests.append(make_test(
+        "S+rel_acq", s_test, "1:r1=1 & [x]=2", "forbidden",
+        description="S shape: synchronization orders the writes to x in co "
+                    "(Axiom 1, Coherence), so x=2 cannot be final.",
+    ))
+    r_test = (
+        ProgramBuilder("R+fence.sc")
+        .thread(T0).st("x", 1).fence(Sem.SC, Scope.GPU).st("y", 1, sem=Sem.RELAXED, scope=Scope.GPU)
+        .thread(T1).st("y", 2, sem=Sem.RELAXED, scope=Scope.GPU).fence(Sem.SC, Scope.GPU).ld("r1", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "R+fence.sc", r_test, "[y]=2 & 1:r1=0", "forbidden",
+        description="R shape with morally strong fence.sc pairs.",
+    ))
+    w22 = (
+        ProgramBuilder("2+2W+rel")
+        .thread(T0).st("x", 1, sem=Sem.RELEASE, scope=Scope.GPU).st("y", 2, sem=Sem.RELEASE, scope=Scope.GPU)
+        .thread(T1).st("y", 1, sem=Sem.RELEASE, scope=Scope.GPU).st("x", 2, sem=Sem.RELEASE, scope=Scope.GPU)
+        .build()
+    )
+    tests.append(make_test(
+        "2+2W+rel", w22, "[x]=1 & [y]=1", "allowed",
+        sc="forbidden",
+        description="2+2W: release writes alone do not forbid the both-"
+                    "overwritten-backwards outcome in a non-MCA model.",
+    ))
+
+    # vector payload (§8.2.2): release/acquire publishes every element
+    vec_payload = Program(
+        name="MP+v2_payload",
+        threads=(
+            ThreadCode(tid=T0, instructions=(
+                St(loc="x", src=(1, 2), vec=2),
+                St(loc="y", src=1, sem=Sem.RELEASE, scope=Scope.GPU),
+            )),
+            ThreadCode(tid=T1, instructions=(
+                Ld(dst="r0", loc="y", sem=Sem.ACQUIRE, scope=Scope.GPU),
+                Ld(dst=("r1", "r2"), loc="x", vec=2),
+            )),
+        ),
+    )
+    tests.append(make_test(
+        "MP+v2_payload", vec_payload,
+        "1:r0=1 & (1:r1=0 | 1:r2=0)", "forbidden",
+        description="A v2 store expands to per-element scalar writes "
+                    "(§8.2.2); synchronization covers them all, so no "
+                    "element can be observed stale past the flag.",
+    ))
+
+    # ------------------------------------------------------------------
+    # one-sided synchronization: both halves are needed
+    # ------------------------------------------------------------------
+    tests.append(_mp(
+        "MP+rel_only", Sem.RELEASE, Scope.GPU, Sem.RELAXED, Scope.GPU, T1,
+        expect="allowed",
+        description="A release store without an acquiring load does not "
+                    "complete the acquire pattern — no synchronizes-with.",
+    ))
+    tests.append(_mp(
+        "MP+acq_only", Sem.RELAXED, Scope.GPU, Sem.ACQUIRE, Scope.GPU, T1,
+        expect="allowed",
+        description="Dually, an acquire load cannot synchronize with a "
+                    "relaxed store (the release pattern is missing).",
+    ))
+    sb_one_fence = (
+        ProgramBuilder("SB+fence_one_side")
+        .thread(T0).st("x", 1).fence(Sem.SC, Scope.GPU).ld("r1", "y")
+        .thread(T1).st("y", 1).ld("r2", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "SB+fence_one_side", sb_one_fence, "0:r1=0 & 1:r2=0", "allowed",
+        description="A single fence.sc has no morally strong partner; SB "
+                    "needs a fence in *each* thread (Figure 6).",
+    ))
+
+    # ------------------------------------------------------------------
+    # transitive chains and RMW-mediated handoff
+    # ------------------------------------------------------------------
+    isa2 = (
+        ProgramBuilder("ISA2+rel_acq")
+        .thread(T0).st("x", 1).st("y", 1, sem=Sem.RELEASE, scope=Scope.GPU)
+        .thread(T1)
+        .ld("r1", "y", sem=Sem.ACQUIRE, scope=Scope.GPU)
+        .st("z", 1, sem=Sem.RELEASE, scope=Scope.GPU)
+        .thread(T2)
+        .ld("r2", "z", sem=Sem.ACQUIRE, scope=Scope.GPU)
+        .ld("r3", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "ISA2+rel_acq", isa2, "1:r1=1 & 2:r2=1 & 2:r3=0", "forbidden",
+        description="The ISA2 shape: base causality composes transitively "
+                    "through an intermediate hop (§8.8.5's recursion).",
+    ))
+    cas_handoff = (
+        ProgramBuilder("CAS+handoff")
+        .thread(T0).st("x", 1)
+        .atom("r0", "lock", AtomOp.CAS, (0, 1), sem=Sem.RELEASE, scope=Scope.GPU)
+        .thread(T1)
+        .atom("r1", "lock", AtomOp.CAS, (1, 2), sem=Sem.ACQUIRE, scope=Scope.GPU)
+        .ld("r2", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "CAS+handoff", cas_handoff, "1:r1=1 & 1:r2=0", "forbidden",
+        description="Lock-style handoff: a successful acquiring CAS that "
+                    "observes the releasing CAS's value sees its data.",
+    ))
+    red_mp = (
+        ProgramBuilder("Red+MP")
+        .thread(T0).st("x", 1).red("y", AtomOp.ADD, 1, sem=Sem.RELEASE, scope=Scope.GPU)
+        .thread(T1)
+        .ld("r1", "y", sem=Sem.ACQUIRE, scope=Scope.GPU)
+        .ld("r2", "x")
+        .build()
+    )
+    tests.append(make_test(
+        "Red+MP", red_mp, "1:r1=1 & 1:r2=0", "forbidden",
+        description="red (a reduction: an atom that returns no value) still "
+                    "carries release semantics as the flag write.",
+    ))
+
+    return tuple(tests)
+
+
+#: The suite, constructed once at import.
+SUITE: Tuple[LitmusTest, ...] = build_suite()
+
+#: Tests indexed by name.
+BY_NAME: Dict[str, LitmusTest] = {test.name: test for test in SUITE}
+
+#: The paper-figure tests only.
+PAPER_TESTS: Tuple[LitmusTest, ...] = tuple(t for t in SUITE if t.figure)

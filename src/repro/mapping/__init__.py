@@ -1,0 +1,50 @@
+"""The scoped C++ → PTX compilation mapping and its verification (§4–§6)."""
+
+from .checker import (
+    CheckStats,
+    Counterexample,
+    MappingCheckResult,
+    check_mapping,
+    check_mapping_axiom,
+    check_program_against_axiom,
+)
+from .compiler import (
+    BUGGY_RMW_SC,
+    DESCOPED,
+    STANDARD,
+    CompiledProgram,
+    MappingScheme,
+    compile_op,
+    compile_program,
+    event_map,
+)
+from .lifting import Lift, lift_candidate
+from .skeletons import (
+    compositions,
+    count_skeletons,
+    cta_assignments,
+    source_skeletons,
+)
+
+__all__ = [
+    "BUGGY_RMW_SC",
+    "CheckStats",
+    "CompiledProgram",
+    "Counterexample",
+    "DESCOPED",
+    "Lift",
+    "MappingCheckResult",
+    "MappingScheme",
+    "STANDARD",
+    "check_mapping",
+    "check_mapping_axiom",
+    "check_program_against_axiom",
+    "compile_op",
+    "compile_program",
+    "compositions",
+    "count_skeletons",
+    "cta_assignments",
+    "event_map",
+    "lift_candidate",
+    "source_skeletons",
+]

@@ -1,0 +1,199 @@
+"""The scoped C++ → PTX compilation mapping (paper §4.2, Figure 11).
+
+Each source operation lowers to one or two PTX instructions:
+
+====================  =========================================
+RC11 construct        PTX mapping
+====================  =========================================
+R_NA                  ``ld.weak``
+R_RLX/ACQ             ``ld.relaxed/acquire.<sco>``
+R_SC                  ``fence.sc.<sco>; ld.acquire.<sco>``
+W_NA                  ``st.weak``
+W_RLX/REL             ``st.relaxed/release.<sco>``
+W_SC                  ``fence.sc.<sco>; st.release.<sco>``
+RMW_RLX/ACQ/REL/AR    ``atom{.sem}.<sco>``
+RMW_SC                ``fence.sc.<sco>; atom.acq_rel.<sco>``
+F_ACQ/REL/AR/SC       ``fence.<sem>.<sco>``
+====================  =========================================
+
+Two variants are provided for the paper's experiments:
+
+* ``descope=True`` compiles every scope to ``.sys`` — the "de-scoped"
+  comparison models of §6.1 / Figure 17b;
+* ``elide_rmw_sc_release=True`` compiles ``RMW_SC`` to
+  ``fence.sc; atom.acquire`` — the *incorrect* variant of Figure 12, whose
+  missing release annotation breaks a release sequence.  The checker must
+  find a counterexample for this variant and none for the correct one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.scopes import Scope
+from ..ptx.events import Sem
+from ..ptx.isa import Atom, Fence, Instruction, Ld, St
+from ..ptx.program import Program, ThreadCode
+from ..rc11.events import MemOrder
+from ..rc11.program import CFence, CLoad, COp, CProgram, CRmw, CStore
+from ..relation import Relation
+
+
+@dataclass(frozen=True)
+class MappingScheme:
+    """A compilation-scheme variant."""
+
+    name: str = "standard"
+    descope: bool = False
+    elide_rmw_sc_release: bool = False
+
+    def scope_of(self, scope: Scope) -> Scope:
+        """The target scope for a source scope."""
+        return Scope.SYS if self.descope else scope
+
+
+STANDARD = MappingScheme(name="standard")
+DESCOPED = MappingScheme(name="descoped", descope=True)
+BUGGY_RMW_SC = MappingScheme(name="buggy-rmw-sc", elide_rmw_sc_release=True)
+
+_LD_SEM = {
+    MemOrder.RLX: Sem.RELAXED,
+    MemOrder.ACQ: Sem.ACQUIRE,
+}
+_ST_SEM = {
+    MemOrder.RLX: Sem.RELAXED,
+    MemOrder.REL: Sem.RELEASE,
+}
+_RMW_SEM = {
+    MemOrder.RLX: Sem.RELAXED,
+    MemOrder.ACQ: Sem.ACQUIRE,
+    MemOrder.REL: Sem.RELEASE,
+    MemOrder.ACQREL: Sem.ACQ_REL,
+}
+_FENCE_SEM = {
+    MemOrder.ACQ: Sem.ACQUIRE,
+    MemOrder.REL: Sem.RELEASE,
+    MemOrder.ACQREL: Sem.ACQ_REL,
+    MemOrder.SC: Sem.SC,
+}
+
+
+def compile_op(op: COp, scheme: MappingScheme = STANDARD) -> List[Instruction]:
+    """Compile one source operation to its PTX instruction sequence."""
+    if isinstance(op, CLoad):
+        if op.mo is MemOrder.NA:
+            return [Ld(dst=op.dst, loc=op.loc)]
+        scope = scheme.scope_of(op.scope)
+        if op.mo is MemOrder.SC:
+            return [
+                Fence(sem=Sem.SC, scope=scope),
+                Ld(dst=op.dst, loc=op.loc, sem=Sem.ACQUIRE, scope=scope),
+            ]
+        return [Ld(dst=op.dst, loc=op.loc, sem=_LD_SEM[op.mo], scope=scope)]
+    if isinstance(op, CStore):
+        if op.mo is MemOrder.NA:
+            return [St(loc=op.loc, src=op.src)]
+        scope = scheme.scope_of(op.scope)
+        if op.mo is MemOrder.SC:
+            return [
+                Fence(sem=Sem.SC, scope=scope),
+                St(loc=op.loc, src=op.src, sem=Sem.RELEASE, scope=scope),
+            ]
+        return [St(loc=op.loc, src=op.src, sem=_ST_SEM[op.mo], scope=scope)]
+    if isinstance(op, CRmw):
+        scope = scheme.scope_of(op.scope)
+        if op.mo is MemOrder.SC:
+            atom_sem = Sem.ACQUIRE if scheme.elide_rmw_sc_release else Sem.ACQ_REL
+            return [
+                Fence(sem=Sem.SC, scope=scope),
+                Atom(
+                    dst=op.dst, loc=op.loc, op=op.op, operands=op.operands,
+                    sem=atom_sem, scope=scope,
+                ),
+            ]
+        return [
+            Atom(
+                dst=op.dst, loc=op.loc, op=op.op, operands=op.operands,
+                sem=_RMW_SEM[op.mo], scope=scope,
+            )
+        ]
+    if isinstance(op, CFence):
+        return [Fence(sem=_FENCE_SEM[op.mo], scope=scheme.scope_of(op.scope))]
+    raise TypeError(f"unknown source operation: {op!r}")
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """A compiled program plus the op-level correspondence.
+
+    ``instructions_per_op[t][i]`` is the number of PTX instructions emitted
+    for the i-th operation of source thread t — the information needed to
+    reconstruct the event-level ``map`` relation after both sides are
+    elaborated.
+    """
+
+    source: CProgram
+    target: Program
+    scheme: MappingScheme
+    instructions_per_op: Tuple[Tuple[int, ...], ...] = field(default_factory=tuple)
+
+
+def compile_program(
+    program: CProgram, scheme: MappingScheme = STANDARD
+) -> CompiledProgram:
+    """Compile a scoped C++ program to PTX under the given scheme."""
+    threads: List[ThreadCode] = []
+    per_op_counts: List[Tuple[int, ...]] = []
+    for thread in program.threads:
+        instructions: List[Instruction] = []
+        counts: List[int] = []
+        for op in thread.ops:
+            emitted = compile_op(op, scheme)
+            counts.append(len(emitted))
+            instructions.extend(emitted)
+        threads.append(ThreadCode(tid=thread.tid, instructions=tuple(instructions)))
+        per_op_counts.append(tuple(counts))
+    target = Program(
+        name=f"{program.name}@{scheme.name}",
+        threads=tuple(threads),
+        shape=program.shape,
+    )
+    return CompiledProgram(
+        source=program,
+        target=target,
+        scheme=scheme,
+        instructions_per_op=tuple(per_op_counts),
+    )
+
+
+def event_map(compiled: CompiledProgram, c_elab, ptx_elab) -> Relation:
+    """The ``map`` relation from source events to target events (Figure 15).
+
+    Walks both elaborations thread by thread, pairing each source event with
+    every PTX event its operation emitted (an ``RMW`` maps to both halves of
+    the ``atom``, an SC access additionally to its leading fence).
+    """
+    pairs = []
+    for t_index, counts in enumerate(compiled.instructions_per_op):
+        source_events = list(c_elab.by_thread[t_index])
+        target_events = list(ptx_elab.by_thread[t_index])
+        if len(source_events) != len(counts):
+            raise ValueError("source elaboration does not match compile info")
+        cursor = 0
+        for source_event, instr_count in zip(source_events, counts):
+            emitted = []
+            taken = 0
+            while taken < instr_count:
+                event = target_events[cursor]
+                instr_id = event.instr
+                while (
+                    cursor < len(target_events)
+                    and target_events[cursor].instr == instr_id
+                ):
+                    emitted.append(target_events[cursor])
+                    cursor += 1
+                taken += 1
+            for target_event in emitted:
+                pairs.append((source_event, target_event))
+    return Relation(pairs)

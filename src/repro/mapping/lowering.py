@@ -1,0 +1,174 @@
+"""Computing the *lowered images* of source relations over PTX events.
+
+The §6.2 proofs reason about how each RC11 relation "lowers" through the
+compilation mapping: an edge between source events becomes an edge between
+designated compiled events.  The designation is direction-sensitive:
+
+* an edge *leaving* a source event departs from its **out** event — the
+  last main compiled event (the store of a ``W_SC``, the write half of an
+  atom, the fence of a fence);
+* an edge *arriving* at a source event lands on its **in** event — the
+  first main compiled event, *excluding* the leading ``fence.sc`` that SC
+  accesses compile to (synchronization targets the access itself, not its
+  leading fence);
+* communication relations use the **read event** / **write event** of the
+  operation as appropriate (the two halves of an atom differ!).
+* ``psc`` edges between SC operations lower to the **leading fences**, per
+  the Theorem 3 argument (after the Lahav-style normalisation every psc
+  edge runs between ``F_SC`` events, which compile to ``fence.sc``).
+
+These lowered relations are what the Theorem 1–3 hypotheses quantify over;
+``tests/test_proof_theorems.py`` validates every hypothesis against them
+empirically, completing the paper's Alloy↔Coq loop in miniature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.execution import Execution
+from ..lang import eval_expr
+from ..ptx.events import Event, Kind, Sem
+from ..rc11 import spec as rc11_spec
+from ..rc11.events import CEvent, MemOrder, c_is_init
+from ..rc11.model import build_env as rc11_build_env
+from ..relation import Relation
+from .compiler import CompiledProgram, event_map
+from .lifting import Lift
+
+
+@dataclass(frozen=True)
+class LoweringMap:
+    """Designated compiled events for each source event."""
+
+    targets: Dict[CEvent, Tuple[Event, ...]]  # in po order
+    init_targets: Dict[CEvent, Event]
+
+    def _main(self, source: CEvent) -> Tuple[Event, ...]:
+        events = self.targets[source]
+        if len(events) > 1 and events[0].is_fence and events[0].sem is Sem.SC:
+            if not source.is_fence:
+                return events[1:]  # drop the leading fence of an SC access
+        return events
+
+    def out_event(self, source: CEvent) -> Event:
+        """Where edges leaving ``source`` depart from."""
+        if source in self.init_targets:
+            return self.init_targets[source]
+        return self._main(source)[-1]
+
+    def in_event(self, source: CEvent) -> Event:
+        """Where edges arriving at ``source`` land."""
+        if source in self.init_targets:
+            return self.init_targets[source]
+        return self._main(source)[0]
+
+    def read_event(self, source: CEvent) -> Optional[Event]:
+        """The compiled read of a reading operation."""
+        if source in self.init_targets:
+            return None
+        for event in self._main(source):
+            if event.kind is Kind.READ:
+                return event
+        return None
+
+    def write_event(self, source: CEvent) -> Optional[Event]:
+        """The compiled write of a writing operation."""
+        if source in self.init_targets:
+            return self.init_targets[source]
+        for event in self._main(source):
+            if event.kind is Kind.WRITE:
+                return event
+        return None
+
+    def fence_event(self, source: CEvent) -> Optional[Event]:
+        """The compiled fence of a fence or SC access (its leading fence)."""
+        if source in self.init_targets:
+            return None
+        for event in self.targets[source]:
+            if event.is_fence:
+                return event
+        return None
+
+
+def build_lowering_map(
+    compiled: CompiledProgram, lift: Lift, candidate
+) -> LoweringMap:
+    """Pair each source event (including inits) with its compiled events."""
+    mapping = event_map(compiled, lift.c_elab, candidate.elaboration)
+    targets: Dict[CEvent, List[Event]] = {}
+    for source, target in mapping:
+        targets.setdefault(source, []).append(target)
+    for source in targets:
+        targets[source].sort(key=lambda e: e.eid)
+    ptx_inits = {
+        e.loc: e
+        for e in candidate.execution.events
+        if e.is_write and e.instr == -1
+    }
+    init_targets = {
+        source: ptx_inits[source.loc]
+        for source in lift.events
+        if c_is_init(source)
+    }
+    return LoweringMap(
+        targets={k: tuple(v) for k, v in targets.items()},
+        init_targets=init_targets,
+    )
+
+
+def lowered_relations(
+    compiled: CompiledProgram,
+    lift: Lift,
+    candidate,
+    source_execution: Execution,
+) -> Dict[str, Relation]:
+    """The lowered images used by the Theorem 1–3 hypotheses.
+
+    ``source_execution`` is one lifted RC11 execution (a specific ``mo``
+    extension); the lowered relations are computed from its derived
+    relations through the designated-endpoint discipline described in the
+    module docstring.
+    """
+    lowering = build_lowering_map(compiled, lift, candidate)
+    env = rc11_build_env(source_execution)
+
+    def lower(pairs, source_end, target_end, skip_init=False) -> Relation:
+        out = []
+        for a, b in pairs:
+            if skip_init and (c_is_init(a) or c_is_init(b)):
+                # Init writes are ordered by the kernel-launch boundary,
+                # which sits outside po/cause; hb edges involving them have
+                # no program-level lowering (§2.1's implicit kernel sync).
+                continue
+            ea = source_end(a)
+            eb = target_end(b)
+            if ea is not None and eb is not None and ea is not eb:
+                out.append((ea, eb))
+        return Relation(out)
+
+    hb = eval_expr(rc11_spec.DERIVED["hb"], env)
+    rb = eval_expr(rc11_spec.DERIVED["rb"], env)
+    psc = eval_expr(rc11_spec.DERIVED["psc"], env)
+    rf = source_execution.relation("rf")
+    mo = source_execution.relation("mo")
+    incl = env.lookup("incl")
+    rmw_events = [e for e in source_execution.events if e.kind.value == "U"]
+
+    # communication endpoints are read/write events; hb endpoints out/in.
+    return {
+        "hb_l": lower(hb, lowering.out_event, lowering.in_event, skip_init=True),
+        "rf_l": lower(rf, lowering.write_event, lowering.read_event),
+        "rb_l": lower(rb, lowering.read_event, lowering.write_event),
+        "mo_l": lower(mo, lowering.write_event, lowering.write_event),
+        "psc_l": lower(
+            psc & incl, lowering.fence_event, lowering.fence_event
+        ),
+        "incl_l": lower(incl, lowering.fence_event, lowering.fence_event)
+        | lower(incl, lowering.out_event, lowering.in_event),
+        "rmw_l": Relation(
+            (lowering.read_event(u), lowering.write_event(u))
+            for u in rmw_events
+        ),
+    }

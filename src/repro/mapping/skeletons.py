@@ -1,0 +1,161 @@
+"""Bounded enumeration of source-program skeletons (paper §6.1).
+
+The empirical mapping check quantifies over all scoped C++ programs with at
+most N events.  This module enumerates canonical representatives:
+
+* event counts are split across threads (compositions of N);
+* threads are placed into CTAs of one GPU via restricted-growth strings
+  (canonical set partitions), so scope inclusion varies;
+* each event slot ranges over every legal kind × memory-order (× scope,
+  unless de-scoped) combination of Figure 10a;
+* locations are assigned canonically (a new location may only be introduced
+  after all earlier ones have appeared), capped at ``max_locations``;
+* the i-th write stores the distinct constant ``i+1``; RMWs are exchanges,
+  which both read and write and therefore exercise release sequences.
+
+The growth of this space with N is the superexponential blow-up that
+Figure 17 measures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..core.scopes import Scope, device_thread
+from ..ptx.isa import AtomOp
+from ..rc11.events import MemOrder
+from ..rc11.program import CFence, CLoad, COp, CProgram, CRmw, CStore, CThread
+
+#: kind tag + legal memory orders (Figure 10a).
+EVENT_MENU: Tuple[Tuple[str, Tuple[MemOrder, ...]], ...] = (
+    ("R", (MemOrder.NA, MemOrder.RLX, MemOrder.ACQ, MemOrder.SC)),
+    ("W", (MemOrder.NA, MemOrder.RLX, MemOrder.REL, MemOrder.SC)),
+    ("U", (MemOrder.RLX, MemOrder.ACQ, MemOrder.REL, MemOrder.ACQREL, MemOrder.SC)),
+    ("F", (MemOrder.ACQ, MemOrder.REL, MemOrder.ACQREL, MemOrder.SC)),
+)
+
+SCOPES: Tuple[Scope, ...] = (Scope.CTA, Scope.GPU, Scope.SYS)
+
+
+def compositions(total: int, max_parts: Optional[int] = None) -> Iterator[Tuple[int, ...]]:
+    """Ways of splitting ``total`` events across ordered non-empty threads."""
+    max_parts = max_parts or total
+    for parts in range(1, min(total, max_parts) + 1):
+        for cuts in itertools.combinations(range(1, total), parts - 1):
+            bounds = (0,) + cuts + (total,)
+            yield tuple(bounds[i + 1] - bounds[i] for i in range(parts))
+
+
+def cta_assignments(num_threads: int) -> Iterator[Tuple[int, ...]]:
+    """Canonical CTA placements (restricted-growth strings)."""
+    def extend(prefix: List[int]) -> Iterator[Tuple[int, ...]]:
+        if len(prefix) == num_threads:
+            yield tuple(prefix)
+            return
+        ceiling = max(prefix, default=-1) + 1
+        for cta in range(ceiling + 1):
+            yield from extend(prefix + [cta])
+
+    yield from extend([])
+
+
+def _slot_menu(scoped: bool) -> List[Tuple[str, MemOrder, Optional[Scope]]]:
+    menu: List[Tuple[str, MemOrder, Optional[Scope]]] = []
+    for kind, orders in EVENT_MENU:
+        for order in orders:
+            if order is MemOrder.NA:
+                menu.append((kind, order, None))
+            elif scoped:
+                menu.extend((kind, order, scope) for scope in SCOPES)
+            else:
+                menu.append((kind, order, Scope.SYS))
+    return menu
+
+
+def _location_assignments(
+    num_memory_ops: int, max_locations: int
+) -> Iterator[Tuple[int, ...]]:
+    """Canonical location index strings (restricted growth, capped)."""
+    def extend(prefix: List[int]) -> Iterator[Tuple[int, ...]]:
+        if len(prefix) == num_memory_ops:
+            yield tuple(prefix)
+            return
+        ceiling = min(max(prefix, default=-1) + 1, max_locations - 1)
+        for loc in range(ceiling + 1):
+            yield from extend(prefix + [loc])
+
+    yield from extend([])
+
+
+_LOC_NAMES = ("x", "y", "z", "w")
+
+
+def source_skeletons(
+    num_events: int,
+    scoped: bool = True,
+    max_threads: Optional[int] = None,
+    max_locations: int = 2,
+) -> Iterator[CProgram]:
+    """Enumerate canonical scoped C++ programs with exactly ``num_events``."""
+    menu = _slot_menu(scoped)
+    counter = 0
+    for sizes in compositions(num_events, max_threads):
+        for ctas in cta_assignments(len(sizes)):
+            threads_placement = [
+                device_thread(0, cta, sum(1 for c in ctas[:i] if c == cta))
+                for i, cta in enumerate(ctas)
+            ]
+            for slots in itertools.product(menu, repeat=num_events):
+                memory_indices = [
+                    i for i, (kind, _, _) in enumerate(slots) if kind != "F"
+                ]
+                for locs in _location_assignments(len(memory_indices), max_locations):
+                    loc_of = dict(zip(memory_indices, locs))
+                    ops: List[List[COp]] = [[] for _ in sizes]
+                    reg = 0
+                    value = 0
+                    slot_index = 0
+                    for t_index, size in enumerate(sizes):
+                        for _ in range(size):
+                            kind, order, scope = slots[slot_index]
+                            loc = (
+                                _LOC_NAMES[loc_of[slot_index]]
+                                if slot_index in loc_of
+                                else None
+                            )
+                            if kind == "R":
+                                reg += 1
+                                ops[t_index].append(
+                                    CLoad(dst=f"r{reg}", loc=loc, mo=order, scope=scope)
+                                )
+                            elif kind == "W":
+                                value += 1
+                                ops[t_index].append(
+                                    CStore(loc=loc, src=value, mo=order, scope=scope)
+                                )
+                            elif kind == "U":
+                                reg += 1
+                                value += 1
+                                ops[t_index].append(
+                                    CRmw(
+                                        dst=f"r{reg}", loc=loc, op=AtomOp.EXCH,
+                                        operands=(value,), mo=order, scope=scope,
+                                    )
+                                )
+                            else:
+                                ops[t_index].append(CFence(mo=order, scope=scope))
+                            slot_index += 1
+                    counter += 1
+                    yield CProgram(
+                        name=f"skel-{num_events}-{counter}",
+                        threads=tuple(
+                            CThread(tid=tid, ops=tuple(thread_ops))
+                            for tid, thread_ops in zip(threads_placement, ops)
+                        ),
+                    )
+
+
+def count_skeletons(num_events: int, scoped: bool = True, **kw) -> int:
+    """Count skeletons at a bound without materialising programs."""
+    return sum(1 for _ in source_skeletons(num_events, scoped=scoped, **kw))

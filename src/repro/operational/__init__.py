@@ -1,0 +1,17 @@
+"""Operational baseline machines (SC interleaving, x86-TSO store buffers)."""
+
+from .machine import (
+    ScMachine,
+    TsoMachine,
+    UnsupportedInstruction,
+    sc_operational_outcomes,
+    tso_operational_outcomes,
+)
+
+__all__ = [
+    "ScMachine",
+    "TsoMachine",
+    "UnsupportedInstruction",
+    "sc_operational_outcomes",
+    "tso_operational_outcomes",
+]

@@ -1,0 +1,31 @@
+"""The machine-checked proof layer (alloqc/Coq analog, paper §5.3 & §6.2)."""
+
+from . import kernel
+from .kernel import ProofError, Thm
+from .lemmas import all_lemmas, ptx_lemmas, rc11_lemmas, seq_mono, subset_chain, union_member
+from .theorems import (
+    TheoremReport,
+    all_theorems,
+    check_all,
+    theorem_1_coherence,
+    theorem_2_atomicity,
+    theorem_3_sc,
+)
+
+__all__ = [
+    "ProofError",
+    "TheoremReport",
+    "Thm",
+    "all_lemmas",
+    "all_theorems",
+    "check_all",
+    "kernel",
+    "ptx_lemmas",
+    "rc11_lemmas",
+    "seq_mono",
+    "subset_chain",
+    "theorem_1_coherence",
+    "theorem_2_atomicity",
+    "theorem_3_sc",
+    "union_member",
+]

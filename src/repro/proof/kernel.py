@@ -1,0 +1,523 @@
+"""An LCF-style proof kernel for relational algebra (the Coq analog, §5.3).
+
+The paper compiles its Alloy model into Coq (via ``alloqc``) and proves the
+scoped-C++→PTX mapping sound for programs of *any* size.  We reproduce the
+trust structure in miniature: a :class:`Thm` (a judgment ``hyps ⊢ concl``
+over :mod:`repro.lang` formulas) can only be constructed by the inference
+rules in this module, each of which checks its side conditions
+syntactically.  Anything a derivation produces is therefore sound relative
+to the rules — and the rules themselves are semantically validated by
+property-based tests that evaluate random instances of each rule with the
+concrete evaluator (tests/test_proof_soundness.py) — the same combined
+empirical-plus-formal discipline the paper advocates.
+
+The calculus covers what axiomatic-memory-model proofs actually use:
+inclusion reasoning (lattice rules, monotonicity of join/closure),
+closure induction, and irreflexivity/acyclicity transport (including cycle
+rotation, the workhorse of "this communication cycle violates that axiom"
+arguments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from ..lang import ast
+
+_KERNEL_TOKEN = object()
+
+
+class ProofError(Exception):
+    """An inference rule was applied outside its side conditions."""
+
+
+@dataclass(frozen=True)
+class Thm:
+    """A kernel-certified judgment ``hyps ⊢ concl``.
+
+    Instances are only constructible through the rule functions below; the
+    constructor checks a private token to prevent forgery.
+    """
+
+    hyps: FrozenSet[ast.Formula]
+    concl: ast.Formula
+    rule: str
+    _token: object = None
+
+    def __post_init__(self):
+        if self._token is not _KERNEL_TOKEN:
+            raise ProofError(
+                "Thm objects may only be created by kernel inference rules"
+            )
+
+    def __repr__(self) -> str:
+        return f"<Thm [{len(self.hyps)} hyps] ⊢ {self.concl!r} by {self.rule}>"
+
+
+def _thm(hyps, concl: ast.Formula, rule: str) -> Thm:
+    return Thm(hyps=frozenset(hyps), concl=concl, rule=rule, _token=_KERNEL_TOKEN)
+
+
+def _merge(*thms: Thm) -> FrozenSet[ast.Formula]:
+    out: FrozenSet[ast.Formula] = frozenset()
+    for thm in thms:
+        out |= thm.hyps
+    return out
+
+
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProofError(message)
+
+
+# ---------------------------------------------------------------------------
+# structural rules
+# ---------------------------------------------------------------------------
+def assume(formula: ast.Formula) -> Thm:
+    """``f ⊢ f``."""
+    return _thm({formula}, formula, "assume")
+
+
+# ---------------------------------------------------------------------------
+# inclusion lattice
+# ---------------------------------------------------------------------------
+def subset_refl(expr: ast.Expr) -> Thm:
+    """``⊢ e ⊆ e``."""
+    return _thm((), ast.Subset(expr, expr), "subset_refl")
+
+
+def subset_trans(left: Thm, right: Thm) -> Thm:
+    """From ``a ⊆ b`` and ``b ⊆ c`` conclude ``a ⊆ c``."""
+    _expect(isinstance(left.concl, ast.Subset), "subset_trans: left not ⊆")
+    _expect(isinstance(right.concl, ast.Subset), "subset_trans: right not ⊆")
+    _expect(
+        left.concl.right == right.concl.left,
+        "subset_trans: middle expressions differ",
+    )
+    return _thm(
+        _merge(left, right),
+        ast.Subset(left.concl.left, right.concl.right),
+        "subset_trans",
+    )
+
+
+def union_left(a: ast.Expr, b: ast.Expr) -> Thm:
+    """``⊢ a ⊆ a ∪ b``."""
+    return _thm((), ast.Subset(a, ast.Union_(a, b)), "union_left")
+
+
+def union_right(a: ast.Expr, b: ast.Expr) -> Thm:
+    """``⊢ b ⊆ a ∪ b``."""
+    return _thm((), ast.Subset(b, ast.Union_(a, b)), "union_right")
+
+
+def union_lub(left: Thm, right: Thm) -> Thm:
+    """From ``a ⊆ c`` and ``b ⊆ c`` conclude ``a ∪ b ⊆ c``."""
+    _expect(
+        isinstance(left.concl, ast.Subset) and isinstance(right.concl, ast.Subset),
+        "union_lub: premises must be inclusions",
+    )
+    _expect(left.concl.right == right.concl.right, "union_lub: targets differ")
+    return _thm(
+        _merge(left, right),
+        ast.Subset(
+            ast.Union_(left.concl.left, right.concl.left), left.concl.right
+        ),
+        "union_lub",
+    )
+
+
+def inter_left(a: ast.Expr, b: ast.Expr) -> Thm:
+    """``⊢ a ∩ b ⊆ a``."""
+    return _thm((), ast.Subset(ast.Inter(a, b), a), "inter_left")
+
+
+def inter_right(a: ast.Expr, b: ast.Expr) -> Thm:
+    """``⊢ a ∩ b ⊆ b``."""
+    return _thm((), ast.Subset(ast.Inter(a, b), b), "inter_right")
+
+
+def inter_glb(left: Thm, right: Thm) -> Thm:
+    """From ``c ⊆ a`` and ``c ⊆ b`` conclude ``c ⊆ a ∩ b``."""
+    _expect(
+        isinstance(left.concl, ast.Subset) and isinstance(right.concl, ast.Subset),
+        "inter_glb: premises must be inclusions",
+    )
+    _expect(left.concl.left == right.concl.left, "inter_glb: sources differ")
+    return _thm(
+        _merge(left, right),
+        ast.Subset(
+            left.concl.left, ast.Inter(left.concl.right, right.concl.right)
+        ),
+        "inter_glb",
+    )
+
+
+def diff_subset(a: ast.Expr, b: ast.Expr) -> Thm:
+    """``⊢ a - b ⊆ a``."""
+    return _thm((), ast.Subset(ast.Diff(a, b), a), "diff_subset")
+
+
+# ---------------------------------------------------------------------------
+# monotonicity
+# ---------------------------------------------------------------------------
+def _both_subsets(left: Thm, right: Thm, rule: str):
+    _expect(
+        isinstance(left.concl, ast.Subset) and isinstance(right.concl, ast.Subset),
+        f"{rule}: premises must be inclusions",
+    )
+    return left.concl, right.concl
+
+
+def join_mono(left: Thm, right: Thm) -> Thm:
+    """From ``a ⊆ c`` and ``b ⊆ d`` conclude ``a ; b ⊆ c ; d``."""
+    lc, rc = _both_subsets(left, right, "join_mono")
+    return _thm(
+        _merge(left, right),
+        ast.Subset(ast.Join(lc.left, rc.left), ast.Join(lc.right, rc.right)),
+        "join_mono",
+    )
+
+
+def union_mono(left: Thm, right: Thm) -> Thm:
+    """From ``a ⊆ c`` and ``b ⊆ d`` conclude ``a ∪ b ⊆ c ∪ d``."""
+    lc, rc = _both_subsets(left, right, "union_mono")
+    return _thm(
+        _merge(left, right),
+        ast.Subset(ast.Union_(lc.left, rc.left), ast.Union_(lc.right, rc.right)),
+        "union_mono",
+    )
+
+
+def inter_mono(left: Thm, right: Thm) -> Thm:
+    """From ``a ⊆ c`` and ``b ⊆ d`` conclude ``a ∩ b ⊆ c ∩ d``."""
+    lc, rc = _both_subsets(left, right, "inter_mono")
+    return _thm(
+        _merge(left, right),
+        ast.Subset(ast.Inter(lc.left, rc.left), ast.Inter(lc.right, rc.right)),
+        "inter_mono",
+    )
+
+
+def transpose_mono(premise: Thm) -> Thm:
+    """From ``a ⊆ b`` conclude ``~a ⊆ ~b``."""
+    _expect(isinstance(premise.concl, ast.Subset), "transpose_mono: not ⊆")
+    return _thm(
+        premise.hyps,
+        ast.Subset(
+            ast.Transpose(premise.concl.left), ast.Transpose(premise.concl.right)
+        ),
+        "transpose_mono",
+    )
+
+
+def closure_mono(premise: Thm) -> Thm:
+    """From ``a ⊆ b`` conclude ``a+ ⊆ b+``."""
+    _expect(isinstance(premise.concl, ast.Subset), "closure_mono: not ⊆")
+    return _thm(
+        premise.hyps,
+        ast.Subset(
+            ast.TClosure(premise.concl.left), ast.TClosure(premise.concl.right)
+        ),
+        "closure_mono",
+    )
+
+
+def opt_mono(premise: Thm) -> Thm:
+    """From ``a ⊆ b`` conclude ``a? ⊆ b?``."""
+    _expect(isinstance(premise.concl, ast.Subset), "opt_mono: not ⊆")
+    return _thm(
+        premise.hyps,
+        ast.Subset(
+            ast.Optional_(premise.concl.left), ast.Optional_(premise.concl.right)
+        ),
+        "opt_mono",
+    )
+
+
+# ---------------------------------------------------------------------------
+# closure laws
+# ---------------------------------------------------------------------------
+def closure_unfold(expr: ast.Expr) -> Thm:
+    """``⊢ e ⊆ e+``."""
+    return _thm((), ast.Subset(expr, ast.TClosure(expr)), "closure_unfold")
+
+
+def closure_compose(expr: ast.Expr) -> Thm:
+    """``⊢ e+ ; e+ ⊆ e+``."""
+    closed = ast.TClosure(expr)
+    return _thm((), ast.Subset(ast.Join(closed, closed), closed), "closure_compose")
+
+
+def closure_least(step: Thm, base: Thm) -> Thm:
+    """Closure induction: from ``a ; a ⊆ a`` and ``e ⊆ a`` conclude ``e+ ⊆ a``."""
+    _expect(isinstance(step.concl, ast.Subset), "closure_least: step not ⊆")
+    _expect(isinstance(base.concl, ast.Subset), "closure_least: base not ⊆")
+    a = step.concl.right
+    _expect(
+        step.concl.left == ast.Join(a, a),
+        "closure_least: step premise must be a;a ⊆ a",
+    )
+    _expect(base.concl.right == a, "closure_least: base target mismatch")
+    return _thm(
+        _merge(step, base),
+        ast.Subset(ast.TClosure(base.concl.left), a),
+        "closure_least",
+    )
+
+
+def closure_idem(expr: ast.Expr) -> Thm:
+    """``⊢ (e+)+ ⊆ e+``."""
+    closed = ast.TClosure(expr)
+    return _thm((), ast.Subset(ast.TClosure(closed), closed), "closure_idem")
+
+
+def opt_intro(expr: ast.Expr) -> Thm:
+    """``⊢ e ⊆ e?``."""
+    return _thm((), ast.Subset(expr, ast.Optional_(expr)), "opt_intro")
+
+
+def opt_unfold(expr: ast.Expr) -> Thm:
+    """``⊢ e? ⊆ e ∪ iden``."""
+    return _thm(
+        (),
+        ast.Subset(ast.Optional_(expr), ast.Union_(expr, ast.Iden())),
+        "opt_unfold",
+    )
+
+
+def opt_fold(expr: ast.Expr) -> Thm:
+    """``⊢ e ∪ iden ⊆ e?``."""
+    return _thm(
+        (),
+        ast.Subset(ast.Union_(expr, ast.Iden()), ast.Optional_(expr)),
+        "opt_fold",
+    )
+
+
+# ---------------------------------------------------------------------------
+# join algebra (stated as inclusions in both directions)
+# ---------------------------------------------------------------------------
+def join_assoc_fwd(a: ast.Expr, b: ast.Expr, c: ast.Expr) -> Thm:
+    """``⊢ (a;b);c ⊆ a;(b;c)``."""
+    return _thm(
+        (),
+        ast.Subset(
+            ast.Join(ast.Join(a, b), c), ast.Join(a, ast.Join(b, c))
+        ),
+        "join_assoc_fwd",
+    )
+
+
+def join_assoc_bwd(a: ast.Expr, b: ast.Expr, c: ast.Expr) -> Thm:
+    """``⊢ a;(b;c) ⊆ (a;b);c``."""
+    return _thm(
+        (),
+        ast.Subset(
+            ast.Join(a, ast.Join(b, c)), ast.Join(ast.Join(a, b), c)
+        ),
+        "join_assoc_bwd",
+    )
+
+
+def join_distrib_union_fwd(a: ast.Expr, b: ast.Expr, c: ast.Expr) -> Thm:
+    """``⊢ (a ∪ b);c ⊆ (a;c) ∪ (b;c)``."""
+    return _thm(
+        (),
+        ast.Subset(
+            ast.Join(ast.Union_(a, b), c),
+            ast.Union_(ast.Join(a, c), ast.Join(b, c)),
+        ),
+        "join_distrib_union_fwd",
+    )
+
+
+def join_distrib_union_bwd(a: ast.Expr, b: ast.Expr, c: ast.Expr) -> Thm:
+    """``⊢ (a;c) ∪ (b;c) ⊆ (a ∪ b);c``."""
+    return _thm(
+        (),
+        ast.Subset(
+            ast.Union_(ast.Join(a, c), ast.Join(b, c)),
+            ast.Join(ast.Union_(a, b), c),
+        ),
+        "join_distrib_union_bwd",
+    )
+
+
+def join_distrib_union_left_fwd(a: ast.Expr, b: ast.Expr, c: ast.Expr) -> Thm:
+    """``⊢ a;(b ∪ c) ⊆ (a;b) ∪ (a;c)``."""
+    return _thm(
+        (),
+        ast.Subset(
+            ast.Join(a, ast.Union_(b, c)),
+            ast.Union_(ast.Join(a, b), ast.Join(a, c)),
+        ),
+        "join_distrib_union_left_fwd",
+    )
+
+
+def join_opt_expand(a: ast.Expr, b: ast.Expr) -> Thm:
+    """``⊢ a ; b? ⊆ (a;b) ∪ a`` (unfolding the optional)."""
+    return _thm(
+        (),
+        ast.Subset(
+            ast.Join(a, ast.Optional_(b)),
+            ast.Union_(ast.Join(a, b), a),
+        ),
+        "join_opt_expand",
+    )
+
+
+def bracket_drop_left(s: ast.Expr, e: ast.Expr) -> Thm:
+    """``⊢ [s];e ⊆ e``."""
+    return _thm(
+        (), ast.Subset(ast.Join(ast.Bracket(s), e), e), "bracket_drop_left"
+    )
+
+
+def bracket_drop_right(e: ast.Expr, s: ast.Expr) -> Thm:
+    """``⊢ e;[s] ⊆ e``."""
+    return _thm(
+        (), ast.Subset(ast.Join(e, ast.Bracket(s)), e), "bracket_drop_right"
+    )
+
+
+def iden_join_left(e: ast.Expr) -> Thm:
+    """``⊢ iden;e ⊆ e``."""
+    return _thm((), ast.Subset(ast.Join(ast.Iden(), e), e), "iden_join_left")
+
+
+def iden_join_right(e: ast.Expr) -> Thm:
+    """``⊢ e;iden ⊆ e``."""
+    return _thm((), ast.Subset(ast.Join(e, ast.Iden()), e), "iden_join_right")
+
+
+def iden_intro_left(e: ast.Expr) -> Thm:
+    """``⊢ e ⊆ iden;e``."""
+    return _thm((), ast.Subset(e, ast.Join(ast.Iden(), e)), "iden_intro_left")
+
+
+def iden_intro_right(e: ast.Expr) -> Thm:
+    """``⊢ e ⊆ e;iden``."""
+    return _thm((), ast.Subset(e, ast.Join(e, ast.Iden())), "iden_intro_right")
+
+
+def opt_iden(e: ast.Expr) -> Thm:
+    """``⊢ iden ⊆ e?``."""
+    return _thm((), ast.Subset(ast.Iden(), ast.Optional_(e)), "opt_iden")
+
+
+# ---------------------------------------------------------------------------
+# irreflexivity / acyclicity transport
+# ---------------------------------------------------------------------------
+def irreflexive_subset(irr: Thm, sub: Thm) -> Thm:
+    """From ``irreflexive(b)`` and ``a ⊆ b`` conclude ``irreflexive(a)``."""
+    _expect(isinstance(irr.concl, ast.Irreflexive), "irreflexive_subset: not irr")
+    _expect(isinstance(sub.concl, ast.Subset), "irreflexive_subset: not ⊆")
+    _expect(sub.concl.right == irr.concl.expr, "irreflexive_subset: mismatch")
+    return _thm(
+        _merge(irr, sub),
+        ast.Irreflexive(sub.concl.left),
+        "irreflexive_subset",
+    )
+
+
+def acyclic_subset(acy: Thm, sub: Thm) -> Thm:
+    """From ``acyclic(b)`` and ``a ⊆ b`` conclude ``acyclic(a)``."""
+    _expect(isinstance(acy.concl, ast.Acyclic), "acyclic_subset: not acyclic")
+    _expect(isinstance(sub.concl, ast.Subset), "acyclic_subset: not ⊆")
+    _expect(sub.concl.right == acy.concl.expr, "acyclic_subset: mismatch")
+    return _thm(
+        _merge(acy, sub), ast.Acyclic(sub.concl.left), "acyclic_subset"
+    )
+
+
+def acyclic_to_irreflexive_closure(acy: Thm) -> Thm:
+    """From ``acyclic(e)`` conclude ``irreflexive(e+)``."""
+    _expect(isinstance(acy.concl, ast.Acyclic), "not an acyclicity premise")
+    return _thm(
+        acy.hyps,
+        ast.Irreflexive(ast.TClosure(acy.concl.expr)),
+        "acyclic_to_irreflexive_closure",
+    )
+
+
+def irreflexive_closure_to_acyclic(irr: Thm) -> Thm:
+    """From ``irreflexive(e+)`` conclude ``acyclic(e)``."""
+    _expect(
+        isinstance(irr.concl, ast.Irreflexive)
+        and isinstance(irr.concl.expr, ast.TClosure),
+        "premise must be irreflexive(e+)",
+    )
+    return _thm(
+        irr.hyps,
+        ast.Acyclic(irr.concl.expr.inner),
+        "irreflexive_closure_to_acyclic",
+    )
+
+
+def acyclic_irreflexive(acy: Thm) -> Thm:
+    """From ``acyclic(e)`` conclude ``irreflexive(e)``."""
+    _expect(isinstance(acy.concl, ast.Acyclic), "not an acyclicity premise")
+    return _thm(acy.hyps, ast.Irreflexive(acy.concl.expr), "acyclic_irreflexive")
+
+
+def irreflexive_rotate(irr: Thm) -> Thm:
+    """From ``irreflexive(a;b)`` conclude ``irreflexive(b;a)``.
+
+    Cycle rotation: a cycle through ``b;a`` at x is a cycle through ``a;b``
+    at the intermediate point.  This is the step memory-model proofs use to
+    move a cycle's starting point onto the edge an axiom talks about.
+    """
+    _expect(
+        isinstance(irr.concl, ast.Irreflexive)
+        and isinstance(irr.concl.expr, ast.Join),
+        "premise must be irreflexive(a;b)",
+    )
+    a = irr.concl.expr.left
+    b = irr.concl.expr.right
+    return _thm(
+        irr.hyps, ast.Irreflexive(ast.Join(b, a)), "irreflexive_rotate"
+    )
+
+
+def irreflexive_union(left: Thm, right: Thm) -> Thm:
+    """From ``irreflexive(a)`` and ``irreflexive(b)``: ``irreflexive(a ∪ b)``."""
+    _expect(
+        isinstance(left.concl, ast.Irreflexive)
+        and isinstance(right.concl, ast.Irreflexive),
+        "irreflexive_union: premises must be irreflexivities",
+    )
+    return _thm(
+        _merge(left, right),
+        ast.Irreflexive(ast.Union_(left.concl.expr, right.concl.expr)),
+        "irreflexive_union",
+    )
+
+
+def empty_subset(nof: Thm, sub: Thm) -> Thm:
+    """From ``no b`` and ``a ⊆ b`` conclude ``no a``."""
+    _expect(isinstance(nof.concl, ast.NoF), "empty_subset: not an emptiness")
+    _expect(isinstance(sub.concl, ast.Subset), "empty_subset: not ⊆")
+    _expect(sub.concl.right == nof.concl.expr, "empty_subset: mismatch")
+    return _thm(_merge(nof, sub), ast.NoF(sub.concl.left), "empty_subset")
+
+
+def conj_intro(left: Thm, right: Thm) -> Thm:
+    """From ``p`` and ``q`` conclude ``p ∧ q``."""
+    return _thm(
+        _merge(left, right), ast.And(left.concl, right.concl), "conj_intro"
+    )
+
+
+def conj_left(conj: Thm) -> Thm:
+    """From ``p ∧ q`` conclude ``p``."""
+    _expect(isinstance(conj.concl, ast.And), "conj_left: not a conjunction")
+    return _thm(conj.hyps, conj.concl.left, "conj_left")
+
+
+def conj_right(conj: Thm) -> Thm:
+    """From ``p ∧ q`` conclude ``q``."""
+    _expect(isinstance(conj.concl, ast.And), "conj_right: not a conjunction")
+    return _thm(conj.hyps, conj.concl.right, "conj_right")

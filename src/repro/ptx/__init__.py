@@ -1,0 +1,47 @@
+"""The formal PTX 6.0 memory consistency model (paper §3)."""
+
+from .events import Event, Kind, Sem, init_write, is_init
+from .isa import Atom, AtomOp, Bar, BarOp, Fence, Instruction, Ld, Membar, Red, St
+from .model import (
+    ConsistencyReport,
+    build_env,
+    check_execution,
+    data_races,
+    derived_relation,
+    is_race_free,
+    moral_strength,
+)
+from .program import Elaboration, Program, ProgramBuilder, ThreadCode, elaborate
+from .spec import AXIOMS, DERIVED
+
+__all__ = [
+    "AXIOMS",
+    "Atom",
+    "AtomOp",
+    "Bar",
+    "BarOp",
+    "ConsistencyReport",
+    "DERIVED",
+    "Elaboration",
+    "Event",
+    "Fence",
+    "Instruction",
+    "Kind",
+    "Ld",
+    "Membar",
+    "Program",
+    "ProgramBuilder",
+    "Red",
+    "Sem",
+    "St",
+    "ThreadCode",
+    "build_env",
+    "check_execution",
+    "data_races",
+    "derived_relation",
+    "elaborate",
+    "init_write",
+    "is_init",
+    "is_race_free",
+    "moral_strength",
+]

@@ -1,0 +1,186 @@
+"""PTX execution events.
+
+Candidate PTX executions are judged over *events*: reads, writes, fences,
+and barrier operations.  Following the paper (§3.5.3, after Lahav et al.),
+an ``atom``/``red`` instruction is split into a separate read event and
+write event linked by the ``rmw`` relation.
+
+Each event carries the model-relevant qualifiers of Figure 3: its semantic
+strength (``.weak``/``.relaxed``/``.acquire``/``.release``/``.acq_rel``/
+``.sc``) and, for strong operations, a scope.  The omitted qualifiers
+(``.type``, ``.vec``, ``.ss``, ``.cop``) do not affect the memory model
+(§3.6) and are not represented.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.scopes import Scope, ThreadId
+
+
+class Sem(enum.Enum):
+    """Semantic strength of a PTX operation (§8.4).
+
+    ``WEAK`` marks non-synchronizing accesses; everything else is *strong*.
+    """
+
+    WEAK = "weak"
+    RELAXED = "relaxed"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+    ACQ_REL = "acq_rel"
+    SC = "sc"
+
+    def __repr__(self) -> str:
+        return f".{self.value}"
+
+    @property
+    def is_strong(self) -> bool:
+        """Strong = fence, or memory op qualified relaxed/acquire/release/acq_rel."""
+        return self is not Sem.WEAK
+
+    @property
+    def acquires(self) -> bool:
+        """Whether the strength includes acquire semantics."""
+        return self in (Sem.ACQUIRE, Sem.ACQ_REL, Sem.SC)
+
+    @property
+    def releases(self) -> bool:
+        """Whether the strength includes release semantics."""
+        return self in (Sem.RELEASE, Sem.ACQ_REL, Sem.SC)
+
+
+class Kind(enum.Enum):
+    """The flavour of a PTX event."""
+
+    READ = "R"
+    WRITE = "W"
+    FENCE = "F"
+    BAR_ARRIVE = "BarArrive"
+    BAR_SYNC = "BarSync"  # also covers bar.red, which has the same semantics
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+_READ_SEMS = frozenset({Sem.WEAK, Sem.RELAXED, Sem.ACQUIRE})
+_WRITE_SEMS = frozenset({Sem.WEAK, Sem.RELAXED, Sem.RELEASE})
+_FENCE_SEMS = frozenset({Sem.ACQUIRE, Sem.RELEASE, Sem.ACQ_REL, Sem.SC})
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single PTX execution event.
+
+    ``eid`` is unique within an execution and provides identity; ``instr``
+    records the source instruction index so the two halves of an atomic
+    share it (and so the compiler-mapping ``map`` relation can be built).
+    ``value`` is the concrete value read or written; fences and barriers
+    carry ``None``.
+    """
+
+    eid: int
+    thread: ThreadId
+    kind: Kind
+    sem: Sem
+    scope: Optional[Scope] = None
+    loc: Optional[str] = None
+    value: Optional[int] = None
+    barrier: Optional[int] = None
+    instr: int = -1
+
+    def __post_init__(self):
+        if self.kind is Kind.READ and self.sem not in _READ_SEMS and self.sem is not Sem.ACQ_REL:
+            raise ValueError(f"read events cannot be {self.sem}")
+        if self.kind is Kind.WRITE and self.sem not in _WRITE_SEMS and self.sem is not Sem.ACQ_REL:
+            raise ValueError(f"write events cannot be {self.sem}")
+        if self.kind is Kind.FENCE:
+            if self.sem not in _FENCE_SEMS:
+                raise ValueError(f"fences cannot be {self.sem}")
+            if self.loc is not None:
+                raise ValueError("fences have no location")
+        if self.is_memory and self.loc is None:
+            raise ValueError("memory events need a location")
+        if self.sem is Sem.WEAK and self.scope is not None:
+            raise ValueError("weak operations carry no scope")
+        if self.sem is not Sem.WEAK and self.kind in (Kind.READ, Kind.WRITE, Kind.FENCE):
+            if self.scope is None:
+                raise ValueError("strong operations need a scope")
+        if self.kind in (Kind.BAR_ARRIVE, Kind.BAR_SYNC) and self.barrier is None:
+            raise ValueError("barrier events need a barrier id")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_read(self) -> bool:
+        """Whether this is a read event."""
+        return self.kind is Kind.READ
+
+    @property
+    def is_write(self) -> bool:
+        """Whether this is a write event."""
+        return self.kind is Kind.WRITE
+
+    @property
+    def is_fence(self) -> bool:
+        """Whether this is a fence event."""
+        return self.kind is Kind.FENCE
+
+    @property
+    def is_barrier(self) -> bool:
+        """Whether this is a CTA execution-barrier event."""
+        return self.kind in (Kind.BAR_ARRIVE, Kind.BAR_SYNC)
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether this is a memory (read/write) event."""
+        return self.kind in (Kind.READ, Kind.WRITE)
+
+    @property
+    def is_strong(self) -> bool:
+        """Strong operation per §8.4 (fences are always strong)."""
+        return self.is_fence or (self.is_memory and self.sem.is_strong)
+
+    def __repr__(self) -> str:
+        bits = [f"e{self.eid}", repr(self.thread), self.kind.value]
+        if self.kind in (Kind.READ, Kind.WRITE, Kind.FENCE):
+            bits.append(self.sem.value)
+        if self.scope is not None:
+            bits.append(self.scope.value)
+        if self.loc is not None:
+            val = "?" if self.value is None else str(self.value)
+            bits.append(f"{self.loc}={val}")
+        if self.barrier is not None:
+            bits.append(f"bar{self.barrier}")
+        return "<" + " ".join(bits) + ">"
+
+
+_INIT_THREAD = ThreadId(gpu=None, cta=None, thread=-1)
+
+
+def init_write(eid: int, loc: str) -> Event:
+    """The initial (pre-kernel-launch) zero write to ``loc``.
+
+    Litmus convention: all memory starts at zero (Figure 5 caption).  Init
+    writes sit on a pseudo host thread, are system-scoped and relaxed (hence
+    strong and morally strong with every overlapping strong access), and are
+    forced co-before every other write to the location by the execution
+    search.
+    """
+    return Event(
+        eid=eid,
+        thread=_INIT_THREAD,
+        kind=Kind.WRITE,
+        sem=Sem.RELAXED,
+        scope=Scope.SYS,
+        loc=loc,
+        value=0,
+        instr=-1,
+    )
+
+
+def is_init(event: Event) -> bool:
+    """Whether an event is an initial write."""
+    return event.thread == _INIT_THREAD

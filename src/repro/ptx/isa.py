@@ -1,0 +1,253 @@
+"""The PTX memory instruction surface (paper Figure 3, highlighted parts).
+
+We model exactly the portions of ``ld``/``st``/``atom``/``red``/``fence``/
+``bar`` that the memory model observes: semantic qualifier, scope, location,
+and data flow through registers.  ``.type``, ``.vec``, ``.ss`` and ``.cop``
+are performance/layout qualifiers that PTX 6.0 guarantees do not affect
+consistency (§9.7.8.1, §8.3) and are therefore not represented.
+``.volatile`` is modelled by its documented equivalence to
+``.relaxed.sys`` (§9.7.8.7).  ``membar`` is a synonym for ``fence.sc``
+(Figure 3c).
+
+Operands are either integer literals or register names (strings such as
+``"r1"``); registers give the execution search its data-dependence (``dep``)
+relation, which Axiom 4 (No-Thin-Air) constrains.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from ..core.scopes import Scope
+from .events import Sem
+
+Operand = Union[int, str]
+
+
+class AtomOp(enum.Enum):
+    """Atomic read-modify-write operations we give value semantics to."""
+
+    EXCH = "exch"
+    ADD = "add"
+    CAS = "cas"
+    AND = "and"
+    OR = "or"
+    MAX = "max"
+
+    def apply(self, old: int, operands: Tuple[int, ...]) -> int:
+        """The value stored by the RMW given the value read."""
+        if self is AtomOp.EXCH:
+            return operands[0]
+        if self is AtomOp.ADD:
+            return old + operands[0]
+        if self is AtomOp.CAS:
+            compare, swap = operands
+            return swap if old == compare else old
+        if self is AtomOp.AND:
+            return old & operands[0]
+        if self is AtomOp.OR:
+            return old | operands[0]
+        if self is AtomOp.MAX:
+            return max(old, operands[0])
+        raise AssertionError(self)
+
+
+class Instruction:
+    """Base class for PTX instructions."""
+
+
+_LD_SEMS = (Sem.WEAK, Sem.RELAXED, Sem.ACQUIRE)
+_ST_SEMS = (Sem.WEAK, Sem.RELAXED, Sem.RELEASE)
+_ATOM_SEMS = (Sem.RELAXED, Sem.ACQUIRE, Sem.RELEASE, Sem.ACQ_REL)
+_FENCE_SEMS = (Sem.ACQUIRE, Sem.RELEASE, Sem.ACQ_REL, Sem.SC)
+
+
+def _check_scope(sem: Sem, scope: Optional[Scope], what: str) -> Optional[Scope]:
+    if sem is Sem.WEAK:
+        if scope is not None:
+            raise ValueError(f"{what}.weak takes no scope")
+        return None
+    if scope is None:
+        raise ValueError(f"{what}.{sem.value} requires a scope")
+    return scope
+
+
+def _check_vec(vec: int, operand, what: str) -> None:
+    if vec not in (1, 2, 4):
+        raise ValueError(f"{what}.vec must be 1 (scalar), 2, or 4")
+    if vec == 1:
+        if isinstance(operand, tuple):
+            raise ValueError(f"scalar {what} takes a single operand")
+    else:
+        if not isinstance(operand, tuple) or len(operand) != vec:
+            raise ValueError(
+                f"{what}.v{vec} needs a tuple of {vec} operands"
+            )
+
+
+def element_location(loc: str, index: int) -> str:
+    """The location of a vector access's ``index``-th element.
+
+    Element 0 aliases the scalar location, so scalar and vector accesses
+    to the same base address overlap on it (§8.2.1's overlap notion).
+    """
+    return loc if index == 0 else f"{loc}+{index}"
+
+
+@dataclass(frozen=True)
+class Ld(Instruction):
+    """``ld{.sem.scope}{.vN} dst, [loc]`` — also covers ``ld.volatile``.
+
+    Vector loads (``vec`` in {2, 4}) take a tuple of destination registers
+    and are "modelled as a set of equivalent memory operations with a
+    scalar data-type, executed in an unspecified order" (§8.2.2); see
+    :func:`repro.ptx.program.elaborate` for the expansion.
+    """
+
+    dst: Union[str, Tuple[str, ...]]
+    loc: str
+    sem: Sem = Sem.WEAK
+    scope: Optional[Scope] = None
+    volatile: bool = False
+    vec: int = 1
+
+    def __post_init__(self):
+        _check_vec(self.vec, self.dst, "ld")
+        if self.volatile:
+            if self.sem is not Sem.WEAK or self.scope is not None:
+                raise ValueError("ld.volatile takes no other qualifiers")
+            # §9.7.8.7: same memory synchronization semantics as ld.relaxed.sys
+            object.__setattr__(self, "sem", Sem.RELAXED)
+            object.__setattr__(self, "scope", Scope.SYS)
+            return
+        if self.sem not in _LD_SEMS:
+            raise ValueError(f"ld cannot be {self.sem}")
+        _check_scope(self.sem, self.scope, "ld")
+
+
+@dataclass(frozen=True)
+class St(Instruction):
+    """``st{.sem.scope}{.vN} [loc], src`` — also covers ``st.volatile``.
+
+    Vector stores take a tuple of source operands (one per element).
+    """
+
+    loc: str
+    src: Union[Operand, Tuple[Operand, ...]]
+    sem: Sem = Sem.WEAK
+    scope: Optional[Scope] = None
+    volatile: bool = False
+    vec: int = 1
+
+    def __post_init__(self):
+        _check_vec(self.vec, self.src, "st")
+        if self.volatile:
+            if self.sem is not Sem.WEAK or self.scope is not None:
+                raise ValueError("st.volatile takes no other qualifiers")
+            object.__setattr__(self, "sem", Sem.RELAXED)
+            object.__setattr__(self, "scope", Scope.SYS)
+            return
+        if self.sem not in _ST_SEMS:
+            raise ValueError(f"st cannot be {self.sem}")
+        _check_scope(self.sem, self.scope, "st")
+
+
+@dataclass(frozen=True)
+class Atom(Instruction):
+    """``atom{.sem.scope}.op dst, [loc], operands`` — atomic RMW.
+
+    Splits into a read event and a write event joined by ``rmw`` during
+    elaboration; the read part carries the acquire half of ``sem`` and the
+    write part the release half.
+    """
+
+    dst: str
+    loc: str
+    op: AtomOp
+    operands: Tuple[Operand, ...]
+    sem: Sem = Sem.RELAXED
+    scope: Optional[Scope] = None
+
+    def __post_init__(self):
+        if self.sem not in _ATOM_SEMS:
+            raise ValueError(f"atom cannot be {self.sem}")
+        _check_scope(self.sem, self.scope, "atom")
+        expected = 2 if self.op is AtomOp.CAS else 1
+        if len(self.operands) != expected:
+            raise ValueError(f"atom.{self.op.value} takes {expected} operand(s)")
+
+    @property
+    def read_sem(self) -> Sem:
+        """Strength of the read half after splitting."""
+        return Sem.ACQUIRE if self.sem.acquires else Sem.RELAXED
+
+    @property
+    def write_sem(self) -> Sem:
+        """Strength of the write half after splitting."""
+        return Sem.RELEASE if self.sem.releases else Sem.RELAXED
+
+
+@dataclass(frozen=True)
+class Red(Instruction):
+    """``red{.sem.scope}.op [loc], operand`` — a reduction: an ``atom`` that
+    returns no value (§9.7.8.8 in PTX terms)."""
+
+    loc: str
+    op: AtomOp
+    operands: Tuple[Operand, ...]
+    sem: Sem = Sem.RELAXED
+    scope: Optional[Scope] = None
+
+    def __post_init__(self):
+        if self.sem not in _ATOM_SEMS:
+            raise ValueError(f"red cannot be {self.sem}")
+        _check_scope(self.sem, self.scope, "red")
+        expected = 2 if self.op is AtomOp.CAS else 1
+        if len(self.operands) != expected:
+            raise ValueError(f"red.{self.op.value} takes {expected} operand(s)")
+
+    @property
+    def read_sem(self) -> Sem:
+        """Strength of the read half after splitting."""
+        return Sem.ACQUIRE if self.sem.acquires else Sem.RELAXED
+
+    @property
+    def write_sem(self) -> Sem:
+        """Strength of the write half after splitting."""
+        return Sem.RELEASE if self.sem.releases else Sem.RELAXED
+
+
+@dataclass(frozen=True)
+class Fence(Instruction):
+    """``fence{.sem}.scope`` — per Figure 3c plus the acquire/release fences
+    that the Figure 11 mapping emits."""
+
+    sem: Sem = Sem.SC
+    scope: Scope = Scope.SYS
+
+    def __post_init__(self):
+        if self.sem not in _FENCE_SEMS:
+            raise ValueError(f"fence cannot be {self.sem}")
+
+
+def Membar(scope: Scope = Scope.SYS) -> Fence:
+    """``membar`` is a synonym for ``fence.sc`` (Figure 3c)."""
+    return Fence(sem=Sem.SC, scope=scope)
+
+
+class BarOp(enum.Enum):
+    """CTA execution-barrier flavours (§8.8.4)."""
+
+    SYNC = "sync"
+    ARRIVE = "arrive"
+    RED = "red"
+
+
+@dataclass(frozen=True)
+class Bar(Instruction):
+    """``bar.sync`` / ``bar.arrive`` / ``bar.red`` on a numbered barrier."""
+
+    op: BarOp = BarOp.SYNC
+    barrier: int = 0

@@ -1,0 +1,61 @@
+"""The pre-Volta "legacy" model variant: membar without Fence-SC order.
+
+Historical context the paper leans on (§3.4.3, §2.1): Sorensen &
+Donaldson [51] observed the non-SC store-buffering outcome on pre-Volta
+NVIDIA GPUs *even with* ``membar`` fences — the generation's fences
+ordered memory accesses but provided no analogue of the global Fence-SC
+order.  PTX 6.0's ``fence.sc`` "corrects the weak SB behavior seen with
+membar in previous NVIDIA GPU architectures" (§9.7.12.3).
+
+This module models that history: :func:`degrade_fences` rewrites every
+``fence.sc`` in a program to ``fence.acq_rel`` (ordering-only, no ``sc``
+relation), and the ``ptx-legacy`` litmus model runs programs under that
+rewrite.  The Figure 6 experiment then reproduces the generation gap:
+
+* ``SB+fence.sc.gpu`` under ``ptx``        → forbidden (Volta-class);
+* ``SB+fence.sc.gpu`` under ``ptx-legacy`` → **allowed** (the observed
+  pre-Volta weakness).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ..core.scopes import Scope
+from .events import Sem
+from .isa import Fence
+from .program import Program, ThreadCode
+
+
+def degrade_fences(program: Program) -> Program:
+    """Rewrite every ``fence.sc`` to ``fence.acq_rel`` (pre-Volta membar).
+
+    The acq_rel fence keeps the §8.7 fence release/acquire patterns —
+    legacy membar did order memory accesses — but contributes nothing to
+    the runtime ``sc`` order, which simply did not exist.
+    """
+    def rewrite(instr):
+        if isinstance(instr, Fence) and instr.sem is Sem.SC:
+            return Fence(sem=Sem.ACQ_REL, scope=instr.scope)
+        return instr
+
+    return Program(
+        name=f"{program.name}@legacy",
+        threads=tuple(
+            ThreadCode(
+                tid=thread.tid,
+                instructions=tuple(
+                    rewrite(instr) for instr in thread.instructions
+                ),
+            )
+            for thread in program.threads
+        ),
+        shape=program.shape,
+    )
+
+
+def legacy_allowed_outcomes(program: Program, **opts) -> FrozenSet:
+    """Outcomes of the program under the legacy (degraded-fence) model."""
+    from ..search.ptx_search import allowed_outcomes
+
+    return allowed_outcomes(degrade_fences(program), **opts)

@@ -1,0 +1,167 @@
+"""The PTX memory model, formalized (paper §3, Figures 4 and 7).
+
+The model is expressed *once*, as relational-AST definitions over named base
+relations, exactly mirroring the paper's Alloy formulation (Figure 13).  The
+same ASTs are evaluated concretely on candidate executions, translated to
+CNF by the bounded model finder, and manipulated by the proof kernel.
+
+Base relations expected in the environment (supplied by
+:func:`repro.ptx.model.build_env`):
+
+``po``             program order
+``po_loc``         program order restricted to overlapping accesses
+``sloc``           the symmetric same-location relation over memory events
+``rf``             reads-from
+``co``             coherence order — in PTX a *partial* transitive order
+                   (§8.8.6), not the usual per-location total order
+``sc``             Fence-SC order (§8.8.3), a runtime partial order over
+                   morally strong ``fence.sc`` pairs
+``rmw``            links the read and write halves of each atomic
+``dep``            syntactic (register dataflow) dependencies
+``syncbarrier``    CTA execution-barrier synchronization (§8.8.4)
+``morally_strong`` the moral strength relation (§8.6)
+
+Sets: ``R``, ``W``, ``F`` plus the qualified subsets ``W_rel`` (release
+writes), ``R_acq`` (acquire reads), ``W_strong``/``R_strong`` (non-weak),
+``F_rel``/``F_acq`` (fences with release/acquire semantics), ``F_sc``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..lang import ast
+from ..lang.ast import Acyclic, Expr, Formula, Irreflexive, NoF, Subset, bracket, rel, seq, set_
+
+# ---------------------------------------------------------------------------
+# base vocabulary
+# ---------------------------------------------------------------------------
+po = rel("po")
+po_loc = rel("po_loc")
+sloc = rel("sloc")
+rf = rel("rf")
+co = rel("co")
+sc = rel("sc")
+rmw = rel("rmw")
+dep = rel("dep")
+syncbarrier = rel("syncbarrier")
+morally_strong = rel("morally_strong")
+
+R = set_("R")
+W = set_("W")
+F = set_("F")
+W_rel = set_("W_rel")
+R_acq = set_("R_acq")
+W_strong = set_("W_strong")
+R_strong = set_("R_strong")
+F_rel = set_("F_rel")
+F_acq = set_("F_acq")
+F_sc = set_("F_sc")
+
+BASE_RELATIONS = (
+    "po", "po_loc", "sloc", "rf", "co", "sc", "rmw", "dep",
+    "syncbarrier", "morally_strong",
+)
+BASE_SETS = (
+    "R", "W", "F", "W_rel", "R_acq", "W_strong", "R_strong",
+    "F_rel", "F_acq", "F_sc",
+)
+
+# ---------------------------------------------------------------------------
+# derived relations (Figure 4)
+# ---------------------------------------------------------------------------
+
+#: from-reads: fr := rf⁻¹ ; co (§2.2)
+fr: Expr = (~rf) @ co
+
+#: release pattern (§8.7): a release write, a release write followed in
+#: program order by an overlapping strong write, or a release-semantics
+#: fence followed by a strong write.
+pattern_rel: Expr = (
+    seq(bracket(W_rel), po_loc.opt(), bracket(W_strong))
+    | seq(bracket(F_rel), po, bracket(W_strong))
+)
+
+#: acquire pattern (§8.7): dual of the release pattern.
+pattern_acq: Expr = (
+    seq(bracket(R_strong), po_loc.opt(), bracket(R_acq))
+    | seq(bracket(R_strong), po, bracket(F_acq))
+)
+
+#: morally strong reads-from — the only rf edges that synchronize (§3.4).
+ms_rf: Expr = morally_strong & rf
+
+#: observation order (§8.8.2): obs := (ms ∩ rf) ∪ (obs ; rmw ; obs).
+#: The least fixpoint of that equation has the closed form
+#: (ms∩rf) ; (rmw ; (ms∩rf))*, which is directly expressible in the AST.
+obs: Expr = ms_rf @ (rmw @ ms_rf).star()
+
+#: synchronizes-with (Figure 4): release-pattern ; observation ;
+#: acquire-pattern (morally strong end to end), CTA barrier pairs, and
+#: Fence-SC order.
+sw: Expr = (
+    (morally_strong & seq(pattern_rel, obs, pattern_acq))
+    | syncbarrier
+    | sc
+)
+
+#: base causality order (§8.8.5): synchronization composed with program
+#: order, transitively.
+cause_base: Expr = seq(po.opt(), sw, po.opt()).plus()
+
+#: causality order (§8.8.5): base causality extended by a leading
+#: observation into base causality or same-location program order.
+cause: Expr = cause_base | (obs @ (cause_base | po_loc))
+
+#: communication order, for convenience in diagnostics.
+com: Expr = rf | co | fr
+
+DERIVED: Dict[str, Expr] = {
+    "fr": fr,
+    "pattern_rel": pattern_rel,
+    "pattern_acq": pattern_acq,
+    "obs": obs,
+    "sw": sw,
+    "cause_base": cause_base,
+    "cause": cause,
+    "com": com,
+}
+
+# ---------------------------------------------------------------------------
+# axioms (Figure 7)
+# ---------------------------------------------------------------------------
+
+#: Axiom 1 (Coherence, §8.9.1): causally ordered overlapping writes must be
+#: coherence ordered.  (The ∩ sloc restriction makes the implicit
+#: "overlapping" of the English text explicit.)
+coherence: Formula = Subset(seq(bracket(W), cause, bracket(W)) & sloc, co)
+
+#: Axiom 2 (FenceSC, §8.9.2): Fence-SC order cannot contradict causality.
+fence_sc: Formula = Irreflexive(sc @ cause)
+
+#: Axiom 3 (Atomicity, §8.9.3): no intervening morally strong write between
+#: the read and write halves of an atomic.
+atomicity: Formula = NoF(
+    ((morally_strong & fr) @ (morally_strong & co)) & rmw
+)
+
+#: Axiom 4 (No-Thin-Air, §8.9.4): no self-satisfying speculation cycles.
+no_thin_air: Formula = Acyclic(rf | dep)
+
+#: Axiom 5 (SC-per-Location, §8.9.5): morally strong communication cannot
+#: contradict program order.
+sc_per_location: Formula = Acyclic(
+    (morally_strong & (rf | co | fr)) | po_loc
+)
+
+#: Axiom 6 (Causality, §8.9.6): communication respects causality.
+causality: Formula = Irreflexive((rf | fr) @ cause)
+
+AXIOMS: Dict[str, Formula] = {
+    "Coherence": coherence,
+    "FenceSC": fence_sc,
+    "Atomicity": atomicity,
+    "No-Thin-Air": no_thin_air,
+    "SC-per-Location": sc_per_location,
+    "Causality": causality,
+}

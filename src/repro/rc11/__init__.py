@@ -1,0 +1,55 @@
+"""The scope-extended RC11 ("scoped C++") memory model (paper §4.1)."""
+
+from .events import CEvent, CKind, MemOrder, c_init_write, c_is_init
+from .model import (
+    Rc11Report,
+    build_env,
+    check_execution,
+    data_races,
+    inclusion,
+    is_race_free,
+)
+from .program import (
+    CElaboration,
+    CFence,
+    CLoad,
+    COp,
+    CProgram,
+    CProgramBuilder,
+    CRmw,
+    CStore,
+    CThread,
+    c_elaborate,
+    read_node,
+    write_node,
+)
+from .spec import AXIOMS, AXIOMS_WITH_THIN_AIR, DERIVED
+
+__all__ = [
+    "AXIOMS",
+    "AXIOMS_WITH_THIN_AIR",
+    "CElaboration",
+    "CEvent",
+    "CFence",
+    "CKind",
+    "CLoad",
+    "COp",
+    "CProgram",
+    "CProgramBuilder",
+    "CRmw",
+    "CStore",
+    "CThread",
+    "DERIVED",
+    "MemOrder",
+    "Rc11Report",
+    "build_env",
+    "c_elaborate",
+    "c_init_write",
+    "c_is_init",
+    "check_execution",
+    "data_races",
+    "inclusion",
+    "is_race_free",
+    "read_node",
+    "write_node",
+]

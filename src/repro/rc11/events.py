@@ -1,0 +1,155 @@
+"""Scoped C++ (RC11-based) events — paper §4.1, Figure 10a.
+
+The source model's events are C/C++-level: atomic and non-atomic reads and
+writes, fences, and *single-event* RMWs (an RMW belongs to both ``R`` and
+``W``; contrast PTX, which splits atomics in two).  Each atomic operation
+additionally carries a scope, the extension Wickerson et al. introduced and
+the paper adopts: synchronization only "counts" between operations with
+mutually inclusive scopes (the ``incl`` relation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.scopes import Scope, ThreadId
+
+
+class MemOrder(enum.Enum):
+    """C/C++ ``memory_order`` arguments (Figure 10a).
+
+    The set is ordered NA < RLX < {ACQ, REL} < ACQREL < SC, with ACQ and REL
+    incomparable.
+    """
+
+    NA = "na"
+    RLX = "rlx"
+    ACQ = "acq"
+    REL = "rel"
+    ACQREL = "acqrel"
+    SC = "sc"
+
+    def __repr__(self) -> str:
+        return self.value
+
+    @property
+    def is_atomic(self) -> bool:
+        """Whether the order marks an atomic (non-NA) operation."""
+        return self is not MemOrder.NA
+
+    @property
+    def at_least_rlx(self) -> bool:
+        """``mo ⊒ RLX``."""
+        return self is not MemOrder.NA
+
+    @property
+    def at_least_acq(self) -> bool:
+        """``mo ⊒ ACQ``."""
+        return self in (MemOrder.ACQ, MemOrder.ACQREL, MemOrder.SC)
+
+    @property
+    def at_least_rel(self) -> bool:
+        """``mo ⊒ REL``."""
+        return self in (MemOrder.REL, MemOrder.ACQREL, MemOrder.SC)
+
+
+class CKind(enum.Enum):
+    """The flavour of a scoped C++ event."""
+
+    READ = "R"
+    WRITE = "W"
+    RMW = "U"  # update: both a read and a write
+    FENCE = "F"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+_LEGAL = {
+    CKind.READ: {MemOrder.NA, MemOrder.RLX, MemOrder.ACQ, MemOrder.SC},
+    CKind.WRITE: {MemOrder.NA, MemOrder.RLX, MemOrder.REL, MemOrder.SC},
+    CKind.RMW: {MemOrder.RLX, MemOrder.ACQ, MemOrder.REL, MemOrder.ACQREL, MemOrder.SC},
+    CKind.FENCE: {MemOrder.ACQ, MemOrder.REL, MemOrder.ACQREL, MemOrder.SC},
+}
+
+
+@dataclass(frozen=True)
+class CEvent:
+    """A scoped C++ execution event."""
+
+    eid: int
+    thread: ThreadId
+    kind: CKind
+    mo: MemOrder
+    scope: Optional[Scope] = None
+    loc: Optional[str] = None
+    instr: int = -1
+
+    def __post_init__(self):
+        if self.mo not in _LEGAL[self.kind]:
+            raise ValueError(f"{self.kind} cannot carry memory_order {self.mo}")
+        if self.kind is CKind.FENCE:
+            if self.loc is not None:
+                raise ValueError("fences have no location")
+        elif self.loc is None:
+            raise ValueError("memory events need a location")
+        if self.mo is MemOrder.NA and self.scope is not None:
+            raise ValueError("non-atomic operations carry no scope")
+        if self.mo is not MemOrder.NA and self.scope is None:
+            raise ValueError("atomic operations need a scope")
+
+    @property
+    def is_read(self) -> bool:
+        """Whether the event reads (reads and RMWs)."""
+        return self.kind in (CKind.READ, CKind.RMW)
+
+    @property
+    def is_write(self) -> bool:
+        """Whether the event writes (writes and RMWs)."""
+        return self.kind in (CKind.WRITE, CKind.RMW)
+
+    @property
+    def is_fence(self) -> bool:
+        """Whether the event is a fence."""
+        return self.kind is CKind.FENCE
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether the event accesses memory."""
+        return self.kind is not CKind.FENCE
+
+    def __repr__(self) -> str:
+        bits = [f"c{self.eid}", repr(self.thread), self.kind.value, self.mo.value]
+        if self.scope is not None:
+            bits.append(self.scope.value)
+        if self.loc is not None:
+            bits.append(f"[{self.loc}]")
+        return "<" + " ".join(bits) + ">"
+
+
+_INIT_THREAD = ThreadId(gpu=None, cta=None, thread=-2)
+
+
+def c_init_write(eid: int, loc: str) -> CEvent:
+    """The initial zero write to ``loc`` at the source level.
+
+    System-scoped and relaxed, so it is ``incl`` with every atomic and
+    happens-before everything via the usual init convention (the search
+    pins it at the bottom of ``mo`` and treats it as hb-before all events).
+    """
+    return CEvent(
+        eid=eid,
+        thread=_INIT_THREAD,
+        kind=CKind.WRITE,
+        mo=MemOrder.RLX,
+        scope=Scope.SYS,
+        loc=loc,
+        instr=-1,
+    )
+
+
+def c_is_init(event: CEvent) -> bool:
+    """Whether an event is an initial write."""
+    return event.thread == _INIT_THREAD

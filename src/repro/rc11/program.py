@@ -1,0 +1,296 @@
+"""Scoped C++ programs and their elaboration.
+
+Source programs are built from four operations — atomic/non-atomic loads
+and stores, RMWs, and fences — mirroring the primitives of Figure 10a.
+Elaboration lowers them to :class:`~repro.rc11.events.CEvent` sequences and
+prepares the *value-node* graph used by the shared dataflow solver
+(:mod:`repro.search.values`): every event gets a read node and/or a write
+node (an RMW has both), identified as ``2*eid`` / ``2*eid + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.scopes import Scope, SystemShape, ThreadId
+from ..ptx.isa import AtomOp
+from ..ptx.program import ReadRef, WriteRecipe
+from ..relation import Relation
+from .events import CEvent, CKind, MemOrder
+
+Operand = Union[int, str]
+
+
+class COp:
+    """Base class for scoped C++ operations."""
+
+
+@dataclass(frozen=True)
+class CLoad(COp):
+    """``dst = atomic_load(loc, mo, scope)`` (or a plain load when NA)."""
+
+    dst: str
+    loc: str
+    mo: MemOrder = MemOrder.NA
+    scope: Optional[Scope] = None
+
+
+@dataclass(frozen=True)
+class CStore(COp):
+    """``atomic_store(loc, src, mo, scope)`` (or a plain store when NA)."""
+
+    loc: str
+    src: Operand
+    mo: MemOrder = MemOrder.NA
+    scope: Optional[Scope] = None
+
+
+@dataclass(frozen=True)
+class CRmw(COp):
+    """``dst = atomic_rmw<op>(loc, operands, mo, scope)``."""
+
+    dst: str
+    loc: str
+    op: AtomOp
+    operands: Tuple[Operand, ...]
+    mo: MemOrder = MemOrder.RLX
+    scope: Optional[Scope] = None
+
+
+@dataclass(frozen=True)
+class CFence(COp):
+    """``atomic_thread_fence(mo, scope)``."""
+
+    mo: MemOrder = MemOrder.SC
+    scope: Scope = Scope.SYS
+
+
+@dataclass(frozen=True)
+class CThread:
+    """One source thread's straight-line operation sequence."""
+
+    tid: ThreadId
+    ops: Tuple[COp, ...]
+
+
+@dataclass(frozen=True)
+class CProgram:
+    """A multi-threaded scoped C++ program."""
+
+    name: str
+    threads: Tuple[CThread, ...]
+    shape: SystemShape = field(default_factory=SystemShape)
+
+    def __post_init__(self):
+        tids = [t.tid for t in self.threads]
+        if len(set(tids)) != len(tids):
+            raise ValueError(f"duplicate thread ids in program {self.name!r}")
+
+    @property
+    def locations(self) -> Tuple[str, ...]:
+        """All memory locations touched by the program, sorted."""
+        locs = {
+            op.loc
+            for thread in self.threads
+            for op in thread.ops
+            if getattr(op, "loc", None) is not None
+        }
+        return tuple(sorted(locs))
+
+
+class CProgramBuilder:
+    """Fluent construction of scoped C++ programs."""
+
+    def __init__(self, name: str, shape: Optional[SystemShape] = None):
+        self._name = name
+        self._shape = shape or SystemShape()
+        self._threads: List[Tuple[ThreadId, List[COp]]] = []
+
+    def thread(self, tid: ThreadId) -> "CProgramBuilder":
+        """Start a new thread."""
+        self._threads.append((tid, []))
+        return self
+
+    def _append(self, op: COp) -> "CProgramBuilder":
+        if not self._threads:
+            raise ValueError("call .thread(tid) before adding operations")
+        self._threads[-1][1].append(op)
+        return self
+
+    def load(self, dst, loc, mo=MemOrder.NA, scope=None) -> "CProgramBuilder":
+        """Append a load."""
+        return self._append(CLoad(dst=dst, loc=loc, mo=mo, scope=scope))
+
+    def store(self, loc, src, mo=MemOrder.NA, scope=None) -> "CProgramBuilder":
+        """Append a store."""
+        return self._append(CStore(loc=loc, src=src, mo=mo, scope=scope))
+
+    def rmw(self, dst, loc, op, operands, mo=MemOrder.RLX, scope=None) -> "CProgramBuilder":
+        """Append an RMW."""
+        operands = tuple(operands) if isinstance(operands, (tuple, list)) else (operands,)
+        return self._append(
+            CRmw(dst=dst, loc=loc, op=op, operands=operands, mo=mo, scope=scope)
+        )
+
+    def fence(self, mo=MemOrder.SC, scope=Scope.SYS) -> "CProgramBuilder":
+        """Append a fence."""
+        return self._append(CFence(mo=mo, scope=scope))
+
+    def build(self) -> CProgram:
+        """Finish construction."""
+        return CProgram(
+            name=self._name,
+            threads=tuple(
+                CThread(tid=tid, ops=tuple(ops)) for tid, ops in self._threads
+            ),
+            shape=self._shape,
+        )
+
+
+def normalize_sc(program: CProgram) -> CProgram:
+    """Lahav-style SC normalisation (used by the paper's Theorem 3 proof).
+
+    Every ``memory_order_seq_cst`` *access* is rewritten to the equivalent
+    acquire/release access preceded by a ``seq_cst`` fence; SC fences are
+    untouched.  Lahav et al. prove the transformation preserves RC11
+    consistency, and it commutes with the Figure 11 mapping (both sides
+    compile to ``fence.sc`` followed by the acquire/release instruction),
+    which is why the paper can reason about psc purely between ``F_SC``
+    events.
+    """
+    def rewrite(op: COp):
+        if isinstance(op, CLoad) and op.mo is MemOrder.SC:
+            return [
+                CFence(mo=MemOrder.SC, scope=op.scope),
+                CLoad(dst=op.dst, loc=op.loc, mo=MemOrder.ACQ, scope=op.scope),
+            ]
+        if isinstance(op, CStore) and op.mo is MemOrder.SC:
+            return [
+                CFence(mo=MemOrder.SC, scope=op.scope),
+                CStore(loc=op.loc, src=op.src, mo=MemOrder.REL, scope=op.scope),
+            ]
+        if isinstance(op, CRmw) and op.mo is MemOrder.SC:
+            return [
+                CFence(mo=MemOrder.SC, scope=op.scope),
+                CRmw(
+                    dst=op.dst, loc=op.loc, op=op.op, operands=op.operands,
+                    mo=MemOrder.ACQREL, scope=op.scope,
+                ),
+            ]
+        return [op]
+
+    return CProgram(
+        name=f"{program.name}+scnorm",
+        threads=tuple(
+            CThread(
+                tid=thread.tid,
+                ops=tuple(new for op in thread.ops for new in rewrite(op)),
+            )
+            for thread in program.threads
+        ),
+        shape=program.shape,
+    )
+
+
+def read_node(event: CEvent) -> int:
+    """Value-node id for the read half of an event."""
+    return 2 * event.eid
+
+
+def write_node(event: CEvent) -> int:
+    """Value-node id for the write half of an event."""
+    return 2 * event.eid + 1
+
+
+@dataclass(frozen=True)
+class CElaboration:
+    """The result of lowering a scoped C++ program to events.
+
+    Exposes ``write_recipe`` keyed by *write node* so the shared value
+    solver (:func:`repro.search.values.valuations`) can run unchanged.
+    """
+
+    program: CProgram
+    events: Tuple[CEvent, ...]
+    by_thread: Tuple[Tuple[CEvent, ...], ...]
+    read_dst: Dict[int, str]              # read node -> destination register
+    write_recipe: Dict[int, WriteRecipe]  # write node -> value recipe
+
+    def event(self, eid: int) -> CEvent:
+        """Look up an event by id."""
+        return self.events[eid]
+
+
+def c_elaborate(program: CProgram) -> CElaboration:
+    """Lower a scoped C++ program to events plus value-node recipes."""
+    events: List[CEvent] = []
+    by_thread: List[Tuple[CEvent, ...]] = []
+    read_dst: Dict[int, str] = {}
+    write_recipe: Dict[int, WriteRecipe] = {}
+    instr_counter = 0
+
+    for thread in program.threads:
+        thread_events: List[CEvent] = []
+        defined_by: Dict[str, CEvent] = {}
+
+        def new_event(**kw) -> CEvent:
+            event = CEvent(eid=len(events), **kw)
+            events.append(event)
+            thread_events.append(event)
+            return event
+
+        def resolve(operand: Operand):
+            if isinstance(operand, int):
+                return operand
+            source = defined_by.get(operand)
+            if source is None:
+                raise ValueError(
+                    f"register {operand!r} used before definition in "
+                    f"thread {thread.tid}"
+                )
+            return ReadRef(read_node(source))
+
+        for op in thread.ops:
+            instr_counter += 1
+            if isinstance(op, CLoad):
+                event = new_event(
+                    thread=thread.tid, kind=CKind.READ, mo=op.mo,
+                    scope=op.scope, loc=op.loc, instr=instr_counter,
+                )
+                read_dst[read_node(event)] = op.dst
+                defined_by[op.dst] = event
+            elif isinstance(op, CStore):
+                event = new_event(
+                    thread=thread.tid, kind=CKind.WRITE, mo=op.mo,
+                    scope=op.scope, loc=op.loc, instr=instr_counter,
+                )
+                write_recipe[write_node(event)] = WriteRecipe(operand=resolve(op.src))
+            elif isinstance(op, CRmw):
+                event = new_event(
+                    thread=thread.tid, kind=CKind.RMW, mo=op.mo,
+                    scope=op.scope, loc=op.loc, instr=instr_counter,
+                )
+                write_recipe[write_node(event)] = WriteRecipe(
+                    rmw_op=op.op,
+                    rmw_operands=tuple(resolve(o) for o in op.operands),
+                    rmw_read_eid=read_node(event),
+                )
+                read_dst[read_node(event)] = op.dst
+                defined_by[op.dst] = event
+            elif isinstance(op, CFence):
+                new_event(
+                    thread=thread.tid, kind=CKind.FENCE, mo=op.mo,
+                    scope=op.scope, instr=instr_counter,
+                )
+            else:
+                raise TypeError(f"unknown operation: {op!r}")
+        by_thread.append(tuple(thread_events))
+
+    return CElaboration(
+        program=program,
+        events=tuple(events),
+        by_thread=tuple(by_thread),
+        read_dst=read_dst,
+        write_recipe=write_recipe,
+    )

@@ -1,0 +1,13 @@
+"""Finite relational algebra: the substrate under every axiomatic model."""
+
+from .fixpoint import least_fixpoint, recursive_union
+from .relation import Relation, acyclic, iden_over, irreflexive
+
+__all__ = [
+    "Relation",
+    "acyclic",
+    "iden_over",
+    "irreflexive",
+    "least_fixpoint",
+    "recursive_union",
+]

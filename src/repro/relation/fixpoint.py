@@ -1,0 +1,37 @@
+"""Fixpoint combinators over relations.
+
+Several memory-model relations are defined recursively — e.g. PTX
+observation order ``obs := (morally_strong ∩ rf) ∪ (obs ; rmw ; obs)``
+(paper §8.8.2) — and are computed here as least fixpoints.  All relations
+are finite, so Kleene iteration terminates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .relation import Relation
+
+
+def least_fixpoint(
+    step: Callable[[Relation], Relation], seed: Relation = Relation.empty()
+) -> Relation:
+    """Iterate ``r := step(r)`` from ``seed`` until the relation stabilises.
+
+    ``step`` must be monotone (inflationary steps also work); on finite
+    universes the iteration reaches the least fixpoint above ``seed``.
+    """
+    current = seed
+    while True:
+        nxt = step(current)
+        if not current.tuples <= nxt.tuples:
+            # Guard against accidental non-monotone steps, which would loop.
+            nxt = nxt | current
+        if nxt == current:
+            return current
+        current = nxt
+
+
+def recursive_union(base: Relation, expand: Callable[[Relation], Relation]) -> Relation:
+    """Least relation ``r`` with ``r = base ∪ expand(r)``."""
+    return least_fixpoint(lambda r: base | expand(r), seed=base)

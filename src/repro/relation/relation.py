@@ -1,0 +1,412 @@
+"""Finite relations over hashable atoms.
+
+This module is the mathematical foundation of the whole library.  Memory
+model relations (``po``, ``rf``, ``co``, ``cause``, ``hb``, ...) are finite
+binary relations over event atoms, and the axioms of the paper are assertions
+(acyclicity, irreflexivity, emptiness, inclusion) about expressions built
+from them.
+
+:class:`Relation` stores a frozen set of equal-arity tuples.  It supports the
+operator vocabulary of Alloy / herd "cat" models:
+
+* union ``|``, intersection ``&``, difference ``-``
+* relational join ``a.join(b)`` (Alloy dot join: drop the matched column)
+* transpose (converse) ``~r`` via :meth:`transpose`
+* transitive closure ``^r`` via :meth:`closure` and reflexive-transitive
+  closure via :meth:`reflexive_closure`
+* domain/range restriction, used to encode Alloy's ``[s] ; r ; [t]``
+
+Unary relations double as sets; :meth:`Relation.iden_over` builds the
+``[s]`` bracket operator (the identity restricted to a set).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Optional
+
+Atom = Hashable
+Tuple_ = tuple
+
+
+class Relation:
+    """An immutable finite relation: a set of equal-arity tuples of atoms.
+
+    The empty relation has indeterminate arity and composes with anything;
+    this mirrors Alloy's ``none`` and avoids arity bookkeeping at call sites
+    that build relations incrementally.
+    """
+
+    __slots__ = ("_tuples", "_arity", "_hash")
+
+    def __init__(self, tuples: Iterable[tuple] = (), arity: Optional[int] = None):
+        tups = frozenset(tuple(t) for t in tuples)
+        arities = {len(t) for t in tups}
+        if len(arities) > 1:
+            raise ValueError(f"mixed arities in relation: {sorted(arities)}")
+        if arities:
+            found = arities.pop()
+            if arity is not None and arity != found:
+                raise ValueError(f"declared arity {arity} but tuples have arity {found}")
+            arity = found
+        self._tuples = tups
+        self._arity = arity
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, arity: Optional[int] = None) -> "Relation":
+        """The empty relation (optionally with a declared arity)."""
+        return cls((), arity=arity)
+
+    @classmethod
+    def pairs(cls, pairs: Iterable[tuple]) -> "Relation":
+        """Build a binary relation from an iterable of 2-tuples."""
+        rel = cls(pairs)
+        if rel._arity not in (None, 2):
+            raise ValueError("pairs() requires 2-tuples")
+        return rel
+
+    @classmethod
+    def set_of(cls, atoms: Iterable[Atom]) -> "Relation":
+        """Build a unary relation (a set) from an iterable of atoms."""
+        return cls((a,) for a in atoms)
+
+    @classmethod
+    def identity(cls, atoms: Iterable[Atom]) -> "Relation":
+        """The identity relation over ``atoms``."""
+        return cls((a, a) for a in atoms)
+
+    @classmethod
+    def total_order(cls, ordered: Iterable[Atom]) -> "Relation":
+        """The strict total order induced by the given atom sequence."""
+        seq = list(ordered)
+        return cls((a, b) for i, a in enumerate(seq) for b in seq[i + 1 :])
+
+    @classmethod
+    def from_successor(cls, succ: dict) -> "Relation":
+        """Build a binary relation from an adjacency mapping atom -> iterable."""
+        return cls((a, b) for a, bs in succ.items() for b in bs)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> Optional[int]:
+        """The tuple arity, or ``None`` for the (polymorphic) empty relation."""
+        return self._arity
+
+    @property
+    def tuples(self) -> frozenset:
+        """The underlying frozen set of tuples."""
+        return self._tuples
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._tuples)
+
+    def __contains__(self, item) -> bool:
+        return tuple(item) in self._tuples
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._tuples == other._tuples
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._tuples)
+        return self._hash
+
+    def __repr__(self) -> str:
+        preview = sorted(map(repr, self._tuples))
+        if len(preview) > 8:
+            preview = preview[:8] + ["..."]
+        return f"Relation({{{', '.join(preview)}}})"
+
+    # ------------------------------------------------------------------
+    # set algebra
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "Relation") -> None:
+        if (
+            self._arity is not None
+            and other._arity is not None
+            and self._arity != other._arity
+        ):
+            raise ValueError(f"arity mismatch: {self._arity} vs {other._arity}")
+
+    def __or__(self, other: "Relation") -> "Relation":
+        self._check_compatible(other)
+        return Relation(self._tuples | other._tuples)
+
+    def __and__(self, other: "Relation") -> "Relation":
+        self._check_compatible(other)
+        return Relation(self._tuples & other._tuples)
+
+    def __sub__(self, other: "Relation") -> "Relation":
+        self._check_compatible(other)
+        return Relation(self._tuples - other._tuples)
+
+    def issubset(self, other: "Relation") -> bool:
+        """Whether every tuple of this relation appears in ``other``."""
+        return self._tuples <= other._tuples
+
+    # ------------------------------------------------------------------
+    # relational algebra
+    # ------------------------------------------------------------------
+    def join(self, other: "Relation") -> "Relation":
+        """Alloy dot join: match last column of self with first of other.
+
+        For binary relations this is relational composition ``self ; other``.
+        Joining a set (arity 1) with a binary relation projects the image.
+        """
+        if not self or not other:
+            arity = None
+            if self._arity is not None and other._arity is not None:
+                arity = self._arity + other._arity - 2
+                if arity < 1:
+                    raise ValueError("join would produce arity 0")
+            return Relation.empty(arity)
+        if self._arity + other._arity - 2 < 1:
+            raise ValueError("join would produce arity 0")
+        by_first: dict = defaultdict(list)
+        for t in other._tuples:
+            by_first[t[0]].append(t[1:])
+        out = set()
+        for t in self._tuples:
+            for rest in by_first.get(t[-1], ()):
+                out.add(t[:-1] + rest)
+        return Relation(out)
+
+    def compose(self, *others: "Relation") -> "Relation":
+        """Relational composition ``self ; r1 ; r2 ; ...`` (binary chaining)."""
+        result = self
+        for other in others:
+            result = result.join(other)
+        return result
+
+    def transpose(self) -> "Relation":
+        """The converse relation (binary only)."""
+        if self._arity not in (None, 2):
+            raise ValueError("transpose requires a binary relation")
+        return Relation((b, a) for a, b in self._tuples)
+
+    def product(self, other: "Relation") -> "Relation":
+        """Cartesian product (Alloy's ``->``)."""
+        if not self or not other:
+            return Relation.empty()
+        return Relation(s + t for s in self._tuples for t in other._tuples)
+
+    def domain(self) -> "Relation":
+        """The set of first components."""
+        return Relation((t[0],) for t in self._tuples)
+
+    def range(self) -> "Relation":
+        """The set of last components."""
+        return Relation((t[-1],) for t in self._tuples)
+
+    def field(self) -> "Relation":
+        """All atoms mentioned anywhere in the relation (as a set)."""
+        return Relation((a,) for t in self._tuples for a in t)
+
+    def restrict_domain(self, atoms: "Relation") -> "Relation":
+        """Keep tuples whose first component lies in the given set."""
+        keep = {t[0] for t in atoms._tuples}
+        return Relation(t for t in self._tuples if t[0] in keep)
+
+    def restrict_range(self, atoms: "Relation") -> "Relation":
+        """Keep tuples whose last component lies in the given set."""
+        keep = {t[0] for t in atoms._tuples}
+        return Relation(t for t in self._tuples if t[-1] in keep)
+
+    def restrict(self, domain: "Relation", range_: "Relation") -> "Relation":
+        """``[domain] ; r ; [range_]`` in axiomatic-model notation."""
+        return self.restrict_domain(domain).restrict_range(range_)
+
+    def filter(self, predicate) -> "Relation":
+        """Keep tuples satisfying ``predicate(tuple)``."""
+        return Relation(t for t in self._tuples if predicate(t))
+
+    def map(self, fn) -> "Relation":
+        """Apply ``fn`` to every tuple."""
+        return Relation(fn(t) for t in self._tuples)
+
+    # ------------------------------------------------------------------
+    # closures (binary)
+    # ------------------------------------------------------------------
+    def _require_binary(self, op: str) -> None:
+        if self._arity not in (None, 2):
+            raise ValueError(f"{op} requires a binary relation")
+
+    def closure(self) -> "Relation":
+        """The transitive closure ``r+``."""
+        self._require_binary("closure")
+        succ: dict = defaultdict(set)
+        for a, b in self._tuples:
+            succ[a].add(b)
+        out = set()
+        for start in list(succ):
+            seen: set = set()
+            stack = list(succ[start])
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(succ.get(node, ()))
+            out.update((start, b) for b in seen)
+        return Relation(out)
+
+    def reflexive_closure(self, universe: Iterable[Atom]) -> "Relation":
+        """``r ∪ iden`` over the given universe."""
+        self._require_binary("reflexive_closure")
+        return self | Relation.identity(universe)
+
+    def reflexive_transitive_closure(self, universe: Iterable[Atom]) -> "Relation":
+        """``r*`` over the given universe."""
+        return self.closure() | Relation.identity(universe)
+
+    def optional(self, universe: Iterable[Atom]) -> "Relation":
+        """``r?`` — reflexive closure, the common axiomatic-model shorthand."""
+        return self.reflexive_closure(universe)
+
+    # ------------------------------------------------------------------
+    # order-theoretic predicates (binary)
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """Whether the relation has no tuples."""
+        return not self._tuples
+
+    def is_irreflexive(self) -> bool:
+        """Whether no atom is related to itself."""
+        return all(t[0] != t[-1] for t in self._tuples)
+
+    def is_reflexive_over(self, atoms: Iterable[Atom]) -> bool:
+        """Whether every atom in ``atoms`` is related to itself."""
+        return all((a, a) in self._tuples for a in atoms)
+
+    def is_symmetric(self) -> bool:
+        """Whether the relation equals its converse."""
+        self._require_binary("is_symmetric")
+        return all((b, a) in self._tuples for a, b in self._tuples)
+
+    def is_transitive(self) -> bool:
+        """Whether the relation is transitively closed."""
+        self._require_binary("is_transitive")
+        succ: dict = defaultdict(set)
+        for a, b in self._tuples:
+            succ[a].add(b)
+        return all(
+            (a, c) in self._tuples
+            for a, b in self._tuples
+            for c in succ.get(b, ())
+        )
+
+    def is_acyclic(self) -> bool:
+        """Whether the relation has no (non-empty) cycle."""
+        return self.find_cycle() is None
+
+    def is_strict_partial_order(self) -> bool:
+        """Irreflexive + transitive (hence acyclic)."""
+        return self.is_irreflexive() and self.is_transitive()
+
+    def is_total_over(self, atoms: Iterable[Atom]) -> bool:
+        """Whether every distinct pair drawn from ``atoms`` is related some way."""
+        atom_list = list(atoms)
+        return all(
+            (a, b) in self._tuples or (b, a) in self._tuples
+            for i, a in enumerate(atom_list)
+            for b in atom_list[i + 1 :]
+        )
+
+    def find_cycle(self) -> Optional[list]:
+        """Return some cycle as a list of atoms ``[a0, a1, ..., a0]``, or None.
+
+        Used to produce human-readable diagnostics when an axiom such as
+        ``acyclic(...)`` fails on a candidate execution.
+        """
+        self._require_binary("find_cycle")
+        succ: dict = defaultdict(list)
+        for a, b in self._tuples:
+            succ[a].append(b)
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: dict = defaultdict(int)
+        parent: dict = {}
+        for root in list(succ):
+            if color[root] != WHITE:
+                continue
+            stack = [(root, iter(succ[root]))]
+            color[root] = GRAY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if color[nxt] == GRAY:
+                        cycle = [nxt, node]
+                        cur = node
+                        while cur != nxt:
+                            cur = parent[cur]
+                            cycle.append(cur)
+                        cycle.reverse()
+                        return cycle
+                    if color[nxt] == WHITE:
+                        color[nxt] = GRAY
+                        parent[nxt] = node
+                        stack.append((nxt, iter(succ.get(nxt, []))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
+
+    def topological_order(self) -> list:
+        """A topological order of the atoms in the relation's field.
+
+        Raises :class:`ValueError` if the relation is cyclic.
+        """
+        self._require_binary("topological_order")
+        succ: dict = defaultdict(set)
+        indeg: dict = defaultdict(int)
+        nodes = set()
+        for a, b in self._tuples:
+            nodes.add(a)
+            nodes.add(b)
+            if b not in succ[a]:
+                succ[a].add(b)
+                indeg[b] += 1
+        ready = sorted((n for n in nodes if indeg[n] == 0), key=repr)
+        out = []
+        while ready:
+            node = ready.pop()
+            out.append(node)
+            for nxt in sorted(succ.get(node, ()), key=repr):
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    ready.append(nxt)
+        if len(out) != len(nodes):
+            raise ValueError("relation is cyclic; no topological order exists")
+        return out
+
+
+def iden_over(atoms: Relation) -> Relation:
+    """The ``[s]`` bracket operator: identity restricted to a set."""
+    return Relation((t[0], t[0]) for t in atoms.tuples)
+
+
+def acyclic(rel: Relation) -> bool:
+    """Alias for :meth:`Relation.is_acyclic`, matching axiom notation."""
+    return rel.is_acyclic()
+
+
+def irreflexive(rel: Relation) -> bool:
+    """Alias for :meth:`Relation.is_irreflexive`, matching axiom notation."""
+    return rel.is_irreflexive()

@@ -1,0 +1,16 @@
+"""A from-scratch CDCL SAT solver: the backend of the relational model finder."""
+
+from .cnf import Cnf
+from .dimacs import read_dimacs, write_dimacs
+from .solver import Solver, Unsatisfiable, enumerate_models, luby, solve_cnf
+
+__all__ = [
+    "Cnf",
+    "Solver",
+    "Unsatisfiable",
+    "enumerate_models",
+    "luby",
+    "read_dimacs",
+    "solve_cnf",
+    "write_dimacs",
+]

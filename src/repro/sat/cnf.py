@@ -1,0 +1,141 @@
+"""CNF formulas and Tseitin-style gate construction.
+
+Variables are positive integers; a literal is a signed integer (negative for
+negation), DIMACS style.  :class:`Cnf` owns the variable counter so that
+translators (notably :mod:`repro.kodkod.translate`) can allocate fresh
+variables for Tseitin definitions without collisions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+TRUE_LIT_NAME = "__true__"
+
+
+class Cnf:
+    """A growable CNF formula with gate helpers.
+
+    The constant-true literal is materialised lazily as a reserved variable
+    asserted by a unit clause; this keeps gate construction total even when
+    inputs degenerate to constants.
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+        self._true_lit: Optional[int] = None
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return it (as a positive literal)."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add a clause (iterable of non-zero literals)."""
+        clause = list(lits)
+        if any(lit == 0 for lit in clause):
+            raise ValueError("literal 0 is not allowed in a clause")
+        for lit in clause:
+            if abs(lit) > self.num_vars:
+                raise ValueError(f"literal {lit} references an unallocated variable")
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Add several clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # constants
+    # ------------------------------------------------------------------
+    def true_lit(self) -> int:
+        """A literal constrained to be true."""
+        if self._true_lit is None:
+            self._true_lit = self.new_var()
+            self.add_clause([self._true_lit])
+        return self._true_lit
+
+    def false_lit(self) -> int:
+        """A literal constrained to be false."""
+        return -self.true_lit()
+
+    # ------------------------------------------------------------------
+    # Tseitin gates: each returns a literal equivalent to the gate output
+    # ------------------------------------------------------------------
+    def gate_and(self, lits: Sequence[int]) -> int:
+        """A literal equivalent to the conjunction of ``lits``."""
+        lits = list(lits)
+        if not lits:
+            return self.true_lit()
+        if len(lits) == 1:
+            return lits[0]
+        out = self.new_var()
+        for lit in lits:
+            self.add_clause([-out, lit])
+        self.add_clause([out] + [-lit for lit in lits])
+        return out
+
+    def gate_or(self, lits: Sequence[int]) -> int:
+        """A literal equivalent to the disjunction of ``lits``."""
+        lits = list(lits)
+        if not lits:
+            return self.false_lit()
+        if len(lits) == 1:
+            return lits[0]
+        out = self.new_var()
+        for lit in lits:
+            self.add_clause([out, -lit])
+        self.add_clause([-out] + list(lits))
+        return out
+
+    def gate_not(self, lit: int) -> int:
+        """Negation is free: just flip the literal."""
+        return -lit
+
+    def gate_implies(self, a: int, b: int) -> int:
+        """A literal equivalent to ``a -> b``."""
+        return self.gate_or([-a, b])
+
+    def gate_iff(self, a: int, b: int) -> int:
+        """A literal equivalent to ``a <-> b``."""
+        out = self.new_var()
+        self.add_clause([-out, -a, b])
+        self.add_clause([-out, a, -b])
+        self.add_clause([out, a, b])
+        self.add_clause([out, -a, -b])
+        return out
+
+    def gate_ite(self, cond: int, then: int, other: int) -> int:
+        """A literal equivalent to ``cond ? then : other``."""
+        out = self.new_var()
+        self.add_clause([-out, -cond, then])
+        self.add_clause([-out, cond, other])
+        self.add_clause([out, -cond, -then])
+        self.add_clause([out, cond, -other])
+        return out
+
+    # ------------------------------------------------------------------
+    # cardinality (pairwise encoding; fine at litmus-test scale)
+    # ------------------------------------------------------------------
+    def at_most_one(self, lits: Sequence[int]) -> None:
+        """Assert that at most one of ``lits`` is true."""
+        lits = list(lits)
+        for i, a in enumerate(lits):
+            for b in lits[i + 1 :]:
+                self.add_clause([-a, -b])
+
+    def exactly_one(self, lits: Sequence[int]) -> None:
+        """Assert that exactly one of ``lits`` is true."""
+        lits = list(lits)
+        if not lits:
+            raise ValueError("exactly_one of an empty set is unsatisfiable")
+        self.add_clause(lits)
+        self.at_most_one(lits)
+
+    def __repr__(self) -> str:
+        return f"Cnf(vars={self.num_vars}, clauses={len(self.clauses)})"

@@ -1,0 +1,45 @@
+"""DIMACS CNF serialisation, for interoperability and debugging."""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from .cnf import Cnf
+
+
+def write_dimacs(cnf: Cnf, stream: TextIO, comment: str = "") -> None:
+    """Write ``cnf`` in DIMACS format to ``stream``."""
+    if comment:
+        for line in comment.splitlines():
+            stream.write(f"c {line}\n")
+    stream.write(f"p cnf {cnf.num_vars} {len(cnf.clauses)}\n")
+    for clause in cnf.clauses:
+        stream.write(" ".join(map(str, clause)) + " 0\n")
+
+
+def read_dimacs(stream: TextIO) -> Cnf:
+    """Parse a DIMACS CNF file into a :class:`Cnf`."""
+    cnf = Cnf()
+    declared_vars = 0
+    for raw in stream:
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            declared_vars = int(parts[2])
+            while cnf.num_vars < declared_vars:
+                cnf.new_var()
+            continue
+        lits = [int(tok) for tok in line.split()]
+        if lits and lits[-1] == 0:
+            lits = lits[:-1]
+        if not lits:
+            continue
+        needed = max(abs(l) for l in lits)
+        while cnf.num_vars < needed:
+            cnf.new_var()
+        cnf.add_clause(lits)
+    return cnf

@@ -1,0 +1,339 @@
+"""A CDCL SAT solver.
+
+This is the backend of the bounded relational model finder
+(:mod:`repro.kodkod`), playing the role that an off-the-shelf SAT solver
+plays underneath Alloy/Kodkod in the paper (§5.1).  It is a conventional
+conflict-driven clause-learning solver:
+
+* two-watched-literal unit propagation
+* first-UIP conflict analysis with learned-clause minimisation (self-
+  subsumption against reason clauses)
+* VSIDS-style variable activity with exponential decay and phase saving
+* Luby-sequence restarts
+
+The implementation favours clarity over raw speed, but comfortably handles
+the tens of thousands of clauses produced by litmus-scale relational
+encodings.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional
+
+from .cnf import Cnf
+
+
+class Unsatisfiable(Exception):
+    """Raised by helpers that require a model when none exists."""
+
+
+def luby(index: int) -> int:
+    """The Luby restart sequence (1,1,2,1,1,2,4,...), 1-indexed."""
+    x = index - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class Solver:
+    """CDCL solver over a :class:`~repro.sat.cnf.Cnf` formula."""
+
+    RESTART_BASE = 64
+    ACTIVITY_DECAY = 0.95
+    ACTIVITY_RESCALE = 1e100
+
+    def __init__(self, cnf: Cnf):
+        self.num_vars = cnf.num_vars
+        self.assign: List[Optional[bool]] = [None] * (self.num_vars + 1)
+        self.level: List[int] = [0] * (self.num_vars + 1)
+        self.reason: List[Optional[List[int]]] = [None] * (self.num_vars + 1)
+        self.activity: List[float] = [0.0] * (self.num_vars + 1)
+        self.phase: List[bool] = [False] * (self.num_vars + 1)
+        self.var_inc = 1.0
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+        self.watches: Dict[int, List[List[int]]] = defaultdict(list)
+        self.ok = True
+        self.stats = {"decisions": 0, "propagations": 0, "conflicts": 0, "restarts": 0}
+        for clause in cnf.clauses:
+            self._add_clause(list(clause))
+            if not self.ok:
+                break
+
+    # ------------------------------------------------------------------
+    # clause management
+    # ------------------------------------------------------------------
+    def _add_clause(self, clause: List[int]) -> None:
+        seen: set = set()
+        simplified: List[int] = []
+        for lit in clause:
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            value = self._value(lit)
+            if value is True:
+                return  # satisfied at root (construction happens at level 0)
+            if value is False:
+                continue  # falsified at root; drop literal
+            seen.add(lit)
+            simplified.append(lit)
+        if not simplified:
+            self.ok = False
+            return
+        if len(simplified) == 1:
+            if not self._enqueue(simplified[0], None) or self._propagate() is not None:
+                self.ok = False
+            return
+        self._attach(simplified)
+
+    def _attach(self, clause: List[int]) -> None:
+        self.watches[clause[0]].append(clause)
+        self.watches[clause[1]].append(clause)
+
+    # ------------------------------------------------------------------
+    # assignment primitives
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> Optional[bool]:
+        value = self.assign[abs(lit)]
+        if value is None:
+            return None
+        return value if lit > 0 else not value
+
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> bool:
+        value = self._value(lit)
+        if value is not None:
+            return value
+        var = abs(lit)
+        self.assign[var] = lit > 0
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _cancel_until(self, target_level: int) -> None:
+        if self._decision_level() <= target_level:
+            return
+        boundary = self.trail_lim[target_level]
+        for lit in reversed(self.trail[boundary:]):
+            var = abs(lit)
+            self.phase[var] = bool(self.assign[var])  # phase saving
+            self.assign[var] = None
+            self.reason[var] = None
+        del self.trail[boundary:]
+        del self.trail_lim[target_level:]
+        self.qhead = len(self.trail)
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[List[int]]:
+        """Unit-propagate; return a conflicting clause or None."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            self.stats["propagations"] += 1
+            false_lit = -lit
+            watch_list = self.watches[false_lit]
+            kept: List[List[int]] = []
+            conflict: Optional[List[int]] = None
+            index = 0
+            while index < len(watch_list):
+                clause = watch_list[index]
+                index += 1
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    kept.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches[clause[1]].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause)
+                if self._value(first) is False:
+                    conflict = clause
+                    kept.extend(watch_list[index:])
+                    break
+                self._enqueue(first, clause)
+            self.watches[false_lit] = kept
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > self.ACTIVITY_RESCALE:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1.0 / self.ACTIVITY_RESCALE
+            self.var_inc *= 1.0 / self.ACTIVITY_RESCALE
+
+    def _analyze(self, conflict: List[int]) -> tuple[List[int], int]:
+        learnt: List[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit: Optional[int] = None
+        reason: List[int] = conflict
+        trail_index = len(self.trail) - 1
+        current_level = self._decision_level()
+        while True:
+            for q in reason:
+                if q == lit:
+                    continue  # the propagated literal itself, not an antecedent
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] == current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[abs(self.trail[trail_index])]:
+                trail_index -= 1
+            lit = self.trail[trail_index]
+            var = abs(lit)
+            seen[var] = False
+            trail_index -= 1
+            counter -= 1
+            if counter == 0:
+                learnt.insert(0, -lit)
+                break
+            clause = self.reason[var]
+            reason = clause if clause is not None else []
+        # Clause minimisation: a literal is redundant if every other literal
+        # of its reason clause already occurs in the learnt clause.
+        in_learnt = set(learnt)
+        minimised = [learnt[0]]
+        for q in learnt[1:]:
+            clause = self.reason[abs(q)]
+            if clause is not None and all(
+                p == -q or p in in_learnt for p in clause
+            ):
+                continue
+            minimised.append(q)
+        learnt = minimised
+        backtrack_level = 0
+        if len(learnt) > 1:
+            max_index = max(
+                range(1, len(learnt)), key=lambda i: self.level[abs(learnt[i])]
+            )
+            learnt[1], learnt[max_index] = learnt[max_index], learnt[1]
+            backtrack_level = self.level[abs(learnt[1])]
+        return learnt, backtrack_level
+
+    # ------------------------------------------------------------------
+    # main search
+    # ------------------------------------------------------------------
+    def _pick_branch_var(self) -> Optional[int]:
+        best = None
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assign[var] is None and self.activity[var] > best_activity:
+                best = var
+                best_activity = self.activity[var]
+        return best
+
+    def solve(self) -> bool:
+        """Decide satisfiability; :meth:`model` is valid afterwards if True."""
+        if not self.ok:
+            return False
+        restart_count = 1
+        conflicts_until_restart = self.RESTART_BASE * luby(restart_count)
+        conflicts_since_restart = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    self.ok = False
+                    return False
+                learnt, back_level = self._analyze(conflict)
+                self._cancel_until(back_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self.ok = False
+                        return False
+                else:
+                    self._attach(learnt)
+                    self._enqueue(learnt[0], learnt)
+                self.var_inc /= self.ACTIVITY_DECAY
+                continue
+            if conflicts_since_restart >= conflicts_until_restart:
+                self.stats["restarts"] += 1
+                restart_count += 1
+                conflicts_until_restart = self.RESTART_BASE * luby(restart_count)
+                conflicts_since_restart = 0
+                self._cancel_until(0)
+                continue
+            var = self._pick_branch_var()
+            if var is None:
+                return True
+            self.stats["decisions"] += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(var if self.phase[var] else -var, None)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def model(self) -> Dict[int, bool]:
+        """The satisfying assignment found by the last successful solve."""
+        return {
+            var: bool(self.assign[var])
+            for var in range(1, self.num_vars + 1)
+            if self.assign[var] is not None
+        }
+
+
+def solve_cnf(cnf: Cnf) -> Optional[Dict[int, bool]]:
+    """One-shot convenience wrapper: return a model dict or None."""
+    solver = Solver(cnf)
+    if solver.solve():
+        return solver.model()
+    return None
+
+
+def enumerate_models(
+    cnf: Cnf, projection: Optional[Iterable[int]] = None, limit: Optional[int] = None
+):
+    """Yield models, blocking each found (projected) assignment.
+
+    ``projection`` restricts the blocking clause to the given variables, so
+    models are enumerated up to the projection (the standard trick used for
+    enumerating relational instances while ignoring Tseitin internals).
+    """
+    proj = sorted(set(projection)) if projection is not None else None
+    count = 0
+    while True:
+        if limit is not None and count >= limit:
+            return
+        solver = Solver(cnf)
+        if not solver.solve():
+            return
+        model = solver.model()
+        yield model
+        count += 1
+        block_vars = proj if proj is not None else sorted(model)
+        cnf.add_clause(
+            [-(var) if model.get(var, False) else var for var in block_vars]
+        )

@@ -1,0 +1,6 @@
+"""The sequential-consistency baseline model."""
+
+from .model import ScReport, build_env, check_execution
+from .spec import AXIOMS, DERIVED
+
+__all__ = ["AXIOMS", "DERIVED", "ScReport", "build_env", "check_execution"]

@@ -1,0 +1,35 @@
+"""Sequential consistency as a one-axiom baseline model.
+
+Lamport SC: there is a single total order of all memory operations,
+consistent with program order, in which every read sees the latest write.
+Axiomatically: ``acyclic(rf ∪ co ∪ fr ∪ po)``.  Used as the strongest
+reference point when comparing litmus verdicts across models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..lang.ast import Acyclic, Expr, Formula, NoF, rel
+
+po = rel("po")
+rf = rel("rf")
+co = rel("co")
+rmw = rel("rmw")
+
+#: from-reads: fr := rf⁻¹ ; co
+fr: Expr = (~rf) @ co
+
+DERIVED: Dict[str, Expr] = {"fr": fr}
+
+sequential_consistency: Formula = Acyclic(rf | co | fr | po)
+
+#: RMW atomicity (no intervening write between an atomic's halves); SC's
+#: single total order makes this a theorem operationally, but the
+#: axiomatic candidate-execution presentation needs it stated.
+atomicity: Formula = NoF((fr @ co) & rmw)
+
+AXIOMS: Dict[str, Formula] = {
+    "SC": sequential_consistency,
+    "Atomicity": atomicity,
+}

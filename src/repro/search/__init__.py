@@ -1,0 +1,16 @@
+"""Candidate-execution enumeration (the herd-style litmus engine)."""
+
+from .posets import oriented_orders, total_orders, total_orders_with_first
+from .ptx_search import Candidate, Outcome, allowed_outcomes, candidate_executions
+from .values import valuations
+
+__all__ = [
+    "Candidate",
+    "Outcome",
+    "allowed_outcomes",
+    "candidate_executions",
+    "oriented_orders",
+    "total_orders",
+    "total_orders_with_first",
+    "valuations",
+]

@@ -1,0 +1,232 @@
+"""Exhaustive enumeration of consistent PTX executions of a program.
+
+This is the library's herd-style litmus engine: given a straight-line PTX
+program it enumerates every candidate execution — all reads-from choices,
+all runtime Fence-SC orders, all runtime (partial) coherence orders — and
+filters them through the six Figure 7 axioms.  The surviving candidates
+determine the program's allowed outcomes.
+
+Enumeration order matters for efficiency and mirrors the dependency
+structure of the model:
+
+1. pick ``rf`` (which also fixes all values, via :mod:`.values`);
+2. pick ``sc`` — orientations of morally strong ``fence.sc`` pairs;
+3. compute ``cause`` (independent of ``co``) and derive the edges that
+   Axiom 1 forces into ``co``;
+4. pick ``co`` — orientations of the remaining morally strong write pairs,
+   seeded with init-write edges and the cause-forced edges;
+5. check all axioms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.execution import Execution, program_order
+from ..core.scopes import ThreadId
+from ..lang import eval_expr
+from ..ptx import spec
+from ..ptx.events import Event, Sem, init_write, is_init
+from ..ptx.model import ConsistencyReport, build_env, check_execution
+from ..ptx.program import Elaboration, Program, elaborate
+from ..relation import Relation
+from .posets import oriented_orders
+from .values import valuations
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """The observable result of one execution: final registers and memory.
+
+    ``memory`` maps each location to the set of values of its co-maximal
+    writes — a *set* because racy programs can leave several writes
+    unordered at the top of the partial coherence order, in which case the
+    final value is not guaranteed (§8.8.6).
+    """
+
+    registers: Tuple[Tuple[Tuple[ThreadId, str], int], ...]
+    memory: Tuple[Tuple[str, FrozenSet[int]], ...]
+
+    def register(self, thread: ThreadId, name: str) -> Optional[int]:
+        """Final value of a register, or None if never written."""
+        return dict(self.registers).get((thread, name))
+
+    def memory_values(self, loc: str) -> FrozenSet[int]:
+        """Possible final values of a location."""
+        return dict(self.memory).get(loc, frozenset())
+
+    def __repr__(self) -> str:
+        regs = ", ".join(
+            f"{thread}:{name}={value}" for (thread, name), value in self.registers
+        )
+        mem = ", ".join(
+            f"[{loc}]={set(values)}" for loc, values in self.memory
+        )
+        return f"<Outcome {regs} | {mem}>"
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A consistent (or, on request, inconsistent) candidate execution."""
+
+    execution: Execution
+    valuation: Mapping[int, int]
+    report: ConsistencyReport
+    elaboration: Elaboration
+
+    def outcome(self) -> Outcome:
+        """Compute the observable outcome of this execution."""
+        registers: Dict[Tuple[ThreadId, str], int] = {}
+        for thread_events in self.elaboration.by_thread:
+            for event in thread_events:
+                dst = self.elaboration.read_dst.get(event.eid)
+                if dst is not None:
+                    registers[(event.thread, dst)] = self.valuation[event.eid]
+        co = self.execution.relation("co")
+        memory: Dict[str, set] = {}
+        writes = [e for e in self.execution.events if e.is_write]
+        for event in writes:
+            is_maximal = not any(
+                other.loc == event.loc and (event, other) in co
+                for other in writes
+            )
+            if is_maximal:
+                memory.setdefault(event.loc, set()).add(self.valuation[event.eid])
+        return Outcome(
+            registers=tuple(sorted(registers.items(), key=repr)),
+            memory=tuple(
+                sorted((loc, frozenset(vals)) for loc, vals in memory.items())
+            ),
+        )
+
+
+def candidate_executions(
+    program: Program,
+    skip_axioms: Tuple[str, ...] = (),
+    speculation_values: Sequence[int] = (),
+    include_inconsistent: bool = False,
+) -> Iterator[Candidate]:
+    """Enumerate candidate executions of ``program``.
+
+    By default only axiom-consistent executions are yielded.
+    ``skip_axioms`` disables individual axioms (ablation);
+    ``speculation_values`` enables out-of-thin-air valuations (Figure 8);
+    ``include_inconsistent`` yields every candidate with its per-axiom
+    report attached (useful for diagnostics and tests).
+    """
+    elab = elaborate(program)
+    init_events = tuple(
+        init_write(eid=len(elab.events) + index, loc=loc)
+        for index, loc in enumerate(program.locations)
+    )
+    events: Tuple[Event, ...] = elab.events + init_events
+    po = program_order(elab.by_thread)
+    base_values = {event.eid: 0 for event in init_events}
+
+    reads = [e for e in elab.events if e.is_read]
+    writes_by_loc: Dict[str, List[Event]] = {}
+    for event in events:
+        if event.is_write:
+            writes_by_loc.setdefault(event.loc, []).append(event)
+
+    sc_fences = [e for e in events if e.is_fence and e.sem is Sem.SC]
+
+    static = Execution(
+        events=events,
+        relations={
+            "po": po,
+            "rf": Relation.empty(2),
+            "co": Relation.empty(2),
+            "sc": Relation.empty(2),
+            "rmw": elab.rmw,
+            "dep": elab.dep,
+            "syncbarrier": elab.syncbarrier,
+        },
+    )
+    static_env = build_env(static)
+    ms = static_env.lookup("morally_strong")
+
+    sc_required = [
+        frozenset((a, b))
+        for a in sc_fences
+        for b in sc_fences
+        if a.eid < b.eid and (a, b) in ms
+    ]
+
+    ms_write_pairs = [
+        frozenset((a, b))
+        for loc, writes in writes_by_loc.items()
+        for i, a in enumerate(writes)
+        for b in writes[i + 1 :]
+        if (a, b) in ms
+    ]
+    init_forced = Relation(
+        (init, other)
+        for init in init_events
+        for other in writes_by_loc[init.loc]
+        if other is not init
+    )
+
+    rf_choices = [writes_by_loc[read.loc] for read in reads]
+    for rf_assignment in itertools.product(*rf_choices):
+        rf_source = {
+            read.eid: write.eid for read, write in zip(reads, rf_assignment)
+        }
+        rf_rel = Relation(
+            (write, read) for read, write in zip(reads, rf_assignment)
+        )
+        for valuation in valuations(elab, rf_source, base_values, speculation_values):
+            for sc_rel in oriented_orders(sc_required, Relation.empty(2)):
+                partial = static.with_relations(rf=rf_rel, sc=sc_rel)
+                # rebind only the witness relations: the derived sets,
+                # sloc/po_loc and moral strength are rf/sc/co-independent,
+                # so the statically built environment can be reused.
+                env = static_env.bind("rf", rf_rel).bind("sc", sc_rel)
+                cause = eval_expr(spec.DERIVED["cause"], env)
+                cause_forced = Relation(
+                    (a, b)
+                    for a, b in cause
+                    if isinstance(a, Event)
+                    and isinstance(b, Event)
+                    and a.is_write
+                    and b.is_write
+                    and a.loc == b.loc
+                )
+                forced = init_forced | cause_forced
+                cause_expr = spec.DERIVED["cause"]
+                for co_rel in oriented_orders(ms_write_pairs, forced):
+                    execution = partial.with_relations(co=co_rel)
+                    co_env = env.bind("co", co_rel)
+                    # cause is coherence-independent: seed the memo so the
+                    # axiom checks don't rederive it per co candidate.
+                    co_env.cache[cause_expr] = cause
+                    report = check_execution(
+                        execution,
+                        skip_axioms=skip_axioms,
+                        env=co_env,
+                    )
+                    if report.consistent or include_inconsistent:
+                        yield Candidate(
+                            execution=execution,
+                            valuation=dict(valuation),
+                            report=report,
+                            elaboration=elab,
+                        )
+
+
+def allowed_outcomes(
+    program: Program,
+    skip_axioms: Tuple[str, ...] = (),
+    speculation_values: Sequence[int] = (),
+) -> FrozenSet[Outcome]:
+    """All outcomes of axiom-consistent executions of ``program``."""
+    return frozenset(
+        candidate.outcome()
+        for candidate in candidate_executions(
+            program,
+            skip_axioms=skip_axioms,
+            speculation_values=speculation_values,
+        )
+    )

@@ -1,0 +1,126 @@
+"""Value flow through candidate executions.
+
+Once the search picks a reads-from (``rf``) witness, every read's value is
+determined by its source write, and every write's value by its instruction's
+recipe (a literal, a register, or an RMW combine).  This module solves those
+dataflow equations.
+
+When ``rf ∪ dep`` is acyclic the solution is unique and computed by a
+memoized traversal.  A cycle corresponds to *out-of-thin-air speculation*
+(paper Figure 8): values on the cycle are only constrained to be
+self-consistent.  By default such executions have no valuation (they are
+additionally excluded by Axiom 4); passing ``speculation_values`` makes the
+solver enumerate self-justifying assignments instead, which is how the
+No-Thin-Air ablation exhibits the forbidden ``r1==r2==42`` outcome.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, Mapping, Optional, Sequence
+
+from ..ptx.program import Elaboration, ReadRef, WriteRecipe
+
+
+class _Cycle(Exception):
+    """Internal: evaluation re-entered an event (an rf∪dep value cycle)."""
+
+    def __init__(self, eid: int):
+        super().__init__(eid)
+        self.eid = eid
+
+
+class _Evaluator:
+    """Single-pass dataflow evaluation under a set of assumed read values."""
+
+    def __init__(
+        self,
+        elab: Elaboration,
+        rf_source: Mapping[int, int],
+        base_values: Mapping[int, int],
+        assumed: Mapping[int, int],
+    ):
+        self.elab = elab
+        self.rf_source = rf_source
+        self.base_values = base_values
+        self.assumed = assumed
+        self.memo: Dict[int, Optional[int]] = {}
+
+    def value(self, eid: int) -> int:
+        if eid in self.assumed:
+            return self.assumed[eid]
+        if eid in self.base_values:
+            return self.base_values[eid]
+        if eid in self.memo:
+            cached = self.memo[eid]
+            if cached is None:
+                raise _Cycle(eid)
+            return cached
+        self.memo[eid] = None  # mark in-progress
+        if eid in self.rf_source:
+            result = self.value(self.rf_source[eid])
+        else:
+            result = self._write_value(self.elab.write_recipe[eid])
+        self.memo[eid] = result
+        return result
+
+    def _operand(self, operand) -> int:
+        if isinstance(operand, ReadRef):
+            return self.value(operand.eid)
+        return operand
+
+    def _write_value(self, recipe: WriteRecipe) -> int:
+        if recipe.rmw_op is None:
+            return self._operand(recipe.operand)
+        old = self.value(recipe.rmw_read_eid)
+        operands = tuple(self._operand(op) for op in recipe.rmw_operands)
+        return recipe.rmw_op.apply(old, operands)
+
+
+def valuations(
+    elab: Elaboration,
+    rf_source: Mapping[int, int],
+    base_values: Mapping[int, int],
+    speculation_values: Sequence[int] = (),
+) -> Iterator[Dict[int, int]]:
+    """Yield every consistent valuation (eid → value) of the execution.
+
+    ``rf_source`` maps each read eid to the eid of the write it reads from;
+    ``base_values`` fixes the values of init writes.  Acyclic dataflow gives
+    exactly one valuation.  Cyclic dataflow gives none unless
+    ``speculation_values`` is non-empty, in which case reads on cycles range
+    over those candidate values and only self-consistent assignments (each
+    speculated read's source actually produces the speculated value) are
+    yielded.
+    """
+    all_eids = sorted(
+        set(rf_source) | set(elab.write_recipe) | set(base_values)
+    )
+
+    def attempt(assumed: Dict[int, int]) -> Iterator[Dict[int, int]]:
+        evaluator = _Evaluator(elab, rf_source, base_values, assumed)
+        try:
+            result = {eid: evaluator.value(eid) for eid in all_eids}
+        except _Cycle as cycle:
+            if not speculation_values:
+                return
+            if cycle.eid not in rf_source:
+                # A cycle that never passes through a read cannot happen:
+                # writes only depend on reads and literals.  Guard anyway.
+                return
+            for guess in speculation_values:
+                yield from attempt({**assumed, cycle.eid: guess})
+            return
+        # self-consistency: each speculated read's source write must in fact
+        # produce the speculated value under the same assumptions
+        for eid, guessed in assumed.items():
+            if result[rf_source[eid]] != guessed:
+                return
+        yield result
+
+    seen = set()
+    for valuation in attempt({}):
+        key = tuple(sorted(valuation.items()))
+        if key not in seen:
+            seen.add(key)
+            yield valuation

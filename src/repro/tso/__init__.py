@@ -1,0 +1,6 @@
+"""The TSO baseline model (paper Figure 2)."""
+
+from .model import TsoReport, build_env, check_execution
+from .spec import AXIOMS, DERIVED
+
+__all__ = ["AXIOMS", "DERIVED", "TsoReport", "build_env", "check_execution"]

@@ -1,0 +1,57 @@
+"""An axiomatic definition of TSO (paper Figure 2).
+
+The paper uses total store ordering to introduce the standard relational
+vocabulary (``rf``, ``co``, ``fr``, ``po_loc``, ``ppo``, ``fence``) before
+contrasting it with the PTX model, whose ``co`` is partial and which is not
+multi-copy atomic.  We implement TSO over the same event/program types so a
+litmus test can be checked under both models side by side.
+
+Base relations expected in the environment: ``po``, ``po_loc``, ``rf``,
+``co`` (a per-location *total* order here), ``ppo`` (program order minus
+store→load), ``fence`` (pairs separated by a fence or involving an atomic),
+and ``rfe`` (external reads-from).  Sets: ``R``, ``W``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..lang.ast import Acyclic, Expr, Formula, NoF, rel, set_
+
+po = rel("po")
+po_loc = rel("po_loc")
+rf = rel("rf")
+rfe = rel("rfe")
+co = rel("co")
+ppo = rel("ppo")
+fence = rel("fence")
+rmw = rel("rmw")
+
+R = set_("R")
+W = set_("W")
+
+#: from-reads, exactly as in §2.2: fr := rf⁻¹ ; co
+fr: Expr = (~rf) @ co
+
+DERIVED: Dict[str, Expr] = {"fr": fr}
+
+#: SC-per-Location (Figure 2): per-address communication settles into a
+#: total order consistent with program order.
+sc_per_location: Formula = Acyclic(rf | co | fr | po_loc)
+
+#: Causality (Figure 2): store buffering is the only visible reordering.
+#: Intra-thread rf is excluded (store-buffer forwarding), hence rfe.
+causality: Formula = Acyclic(rfe | co | fr | ppo | fence)
+
+#: RMW atomicity: no write intervenes between the halves of an atomic.
+#: Figure 2's illustrative definition omits this (its focus is ordering),
+#: but real TSO guarantees it — and the operational store-buffer machine
+#: (repro.operational) exhibits it, so the axiomatic side must too for the
+#: equivalence tests to be meaningful.
+atomicity: Formula = NoF((fr @ co) & rmw)
+
+AXIOMS: Dict[str, Formula] = {
+    "SC-per-Location": sc_per_location,
+    "Causality": causality,
+    "Atomicity": atomicity,
+}

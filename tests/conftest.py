@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Scope, device_thread, host_thread
+from repro.ptx import ProgramBuilder, Sem
+
+
+@pytest.fixture
+def t0():
+    """Device thread 0: GPU 0, CTA 0."""
+    return device_thread(0, 0, 0)
+
+
+@pytest.fixture
+def t1():
+    """Device thread 1: GPU 0, CTA 1 (different CTA, same GPU)."""
+    return device_thread(0, 1, 0)
+
+
+@pytest.fixture
+def t0_peer():
+    """A second thread in the same CTA as t0."""
+    return device_thread(0, 0, 1)
+
+
+@pytest.fixture
+def t_gpu1():
+    """A thread on a different GPU."""
+    return device_thread(1, 0, 0)
+
+
+@pytest.fixture
+def t_host():
+    """A host thread."""
+    return host_thread(0)
+
+
+def mp_program(producer, consumer, st_sem=Sem.RELEASE, st_scope=Scope.GPU,
+               ld_sem=Sem.ACQUIRE, ld_scope=Scope.GPU, name="MP"):
+    """Message-passing program used throughout the tests."""
+    return (
+        ProgramBuilder(name)
+        .thread(producer).st("x", 1).st("y", 1, sem=st_sem, scope=st_scope)
+        .thread(consumer)
+        .ld("r1", "y", sem=ld_sem, scope=ld_scope)
+        .ld("r2", "x")
+        .build()
+    )
+
+
+def observed(outcomes, predicate) -> bool:
+    """Whether any outcome satisfies the predicate."""
+    return any(predicate(outcome) for outcome in outcomes)

@@ -1,0 +1,222 @@
+"""Tests for the cat DSL: parser, interpreter, and shipped models."""
+
+import pytest
+
+from repro.cat import (
+    CatSyntaxError,
+    available_models,
+    cat_consistent,
+    check_cat,
+    load_model,
+    parse_cat,
+    tokenize,
+)
+from repro.lang import Env, ast
+from repro.relation import Relation
+
+
+class TestTokenizer:
+    def test_strips_comments(self):
+        tokens = tokenize('(* hi *) let x = rf // trailing\n')
+        assert [t.text for t in tokens] == ["let", "x", "=", "rf"]
+
+    def test_converse_token(self):
+        tokens = tokenize("rf^-1")
+        assert [t.kind for t in tokens] == ["name", "converse"]
+
+    def test_bad_character(self):
+        with pytest.raises(CatSyntaxError):
+            tokenize("let x = rf @ co")
+
+
+class TestParser:
+    def test_model_name(self):
+        model = parse_cat('"MyModel"\nlet fr = rf^-1 ; co\nacyclic fr as a')
+        assert model.name == "MyModel"
+
+    def test_definition_resolution(self):
+        model = parse_cat("let a = rf | co\nlet b = a ; a\nacyclic b as x")
+        b = model.definition("b")
+        assert isinstance(b, ast.Join)
+        assert isinstance(b.left, ast.Union_)
+
+    def test_precedence_union_loosest(self):
+        model = parse_cat("let e = rf ; co | po & fr\nacyclic e as x")
+        expr = model.definition("e")
+        assert isinstance(expr, ast.Union_)  # | binds loosest
+        assert isinstance(expr.left, ast.Join)
+        assert isinstance(expr.right, ast.Inter)
+
+    def test_difference(self):
+        model = parse_cat("let e = rf \\ co\nacyclic e as x")
+        assert isinstance(model.definition("e"), ast.Diff)
+
+    def test_postfix_closures(self):
+        model = parse_cat("let e = rf+ | co* | po?\nacyclic e as x")
+        expr = model.definition("e")
+        assert isinstance(expr.left.left, ast.TClosure)
+        assert isinstance(expr.left.right, ast.RTClosure)
+        assert isinstance(expr.right, ast.Optional_)
+
+    def test_converse(self):
+        model = parse_cat("let fr = rf^-1 ; co\nacyclic fr as x")
+        fr = model.definition("fr")
+        assert isinstance(fr.left, ast.Transpose)
+
+    def test_brackets_make_sets(self):
+        model = parse_cat("let e = [W] ; po ; [R]\nacyclic e as x")
+        expr = model.definition("e")
+        assert isinstance(expr.left.left, ast.Bracket)
+        assert expr.left.left.inner == ast.Var("W", arity=1)
+
+    def test_iden_builtin(self):
+        model = parse_cat("let e = rf \\ iden\nacyclic e as x")
+        assert isinstance(model.definition("e").right, ast.Iden)
+
+    def test_constraint_kinds(self):
+        model = parse_cat(
+            "acyclic rf as a\nirreflexive co as b\nempty po as c"
+        )
+        assert isinstance(model.constraint("a"), ast.Acyclic)
+        assert isinstance(model.constraint("b"), ast.Irreflexive)
+        assert isinstance(model.constraint("c"), ast.NoF)
+
+    def test_unnamed_constraints_numbered(self):
+        model = parse_cat("acyclic rf\nacyclic co")
+        names = [name for name, _ in model.constraints]
+        assert len(set(names)) == 2
+
+    def test_free_names(self):
+        model = parse_cat("let fr = rf^-1 ; co\nacyclic fr | po as x")
+        assert set(model.free_names) == {"rf", "co", "po"}
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(CatSyntaxError):
+            parse_cat("let e = (rf | co\nacyclic e as x")
+
+    def test_statement_required(self):
+        with pytest.raises(CatSyntaxError):
+            parse_cat("rf | co")
+
+
+class TestInterp:
+    def make_env(self):
+        return Env.over(
+            [1, 2, 3],
+            rf=Relation([(1, 2)]),
+            co=Relation([(2, 3)]),
+            po=Relation([(1, 3)]),
+        )
+
+    def test_definitions_visible_to_constraints(self):
+        model = parse_cat("let fr = rf^-1 ; co\nacyclic fr | po as x")
+        assert check_cat(model, self.make_env()) == {"x": True}
+
+    def test_violation_detected(self):
+        model = parse_cat("acyclic rf | co | back as x")
+        env = self.make_env().bind("back", Relation([(3, 1)]))
+        assert not cat_consistent(model, env)
+
+    def test_chained_definitions(self):
+        model = parse_cat(
+            "let a = rf | co\nlet b = a+\nirreflexive b as x"
+        )
+        assert cat_consistent(model, self.make_env())
+
+
+class TestShippedModels:
+    def test_catalogue(self):
+        assert set(available_models()) == {"ptx", "tso", "sc", "scoped-rc11"}
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            load_model("powerpc")
+
+    def test_ptx_cat_parses_with_expected_interface(self):
+        model = load_model("ptx")
+        assert model.name == "PTX"
+        assert {name for name, _ in model.constraints} == {
+            "coherence", "fence_sc", "atomicity", "no_thin_air",
+            "sc_per_location", "causality",
+        }
+
+    def test_rc11_cat_parses(self):
+        model = load_model("scoped-rc11")
+        assert "hb" in dict(model.definitions)
+
+
+class TestCatVsBuiltinPtx:
+    """The shipped ptx.cat must agree with repro.ptx.spec verdict-for-verdict."""
+
+    @pytest.mark.parametrize(
+        "test_name",
+        ["MP+rel_acq.gpu", "SB+fence.sc.gpu", "CoRR", "CoRW",
+         "2xAtomAdd.gpu", "IRIW+rel_acq", "MP+bar.sync", "WRC+rel_acq"],
+    )
+    def test_agreement_on_candidates(self, test_name):
+        from repro.litmus import BY_NAME
+        from repro.ptx.model import build_env
+        from repro.search import candidate_executions
+
+        model = load_model("ptx")
+        program = BY_NAME[test_name].program
+        checked = 0
+        for candidate in candidate_executions(
+            program, include_inconsistent=True
+        ):
+            env = build_env(candidate.execution)
+            assert cat_consistent(model, env) == candidate.report.consistent
+            checked += 1
+        assert checked > 0
+
+
+class TestCatVsBuiltinBaselines:
+    def test_tso_cat_agreement(self):
+        from repro.litmus import BY_NAME
+        from repro.search.total_search import total_co_candidates
+        from repro.tso import build_env as tso_env
+        from repro.tso import check_execution as tso_check
+
+        model = load_model("tso")
+        program = BY_NAME["SB+weak"].program
+        for candidate in total_co_candidates(
+            program, tso_check, include_inconsistent=True
+        ):
+            env = tso_env(candidate.execution)
+            assert cat_consistent(model, env) == candidate.report.consistent
+
+    def test_sc_cat_agreement(self):
+        from repro.litmus import BY_NAME
+        from repro.scmodel import build_env as sc_env
+        from repro.scmodel import check_execution as sc_check
+        from repro.search.total_search import total_co_candidates
+
+        model = load_model("sc")
+        program = BY_NAME["SB+weak"].program
+        for candidate in total_co_candidates(
+            program, sc_check, include_inconsistent=True
+        ):
+            env = sc_env(candidate.execution)
+            assert cat_consistent(model, env) == candidate.report.consistent
+
+    def test_rc11_cat_agreement(self):
+        from repro.core import Scope, device_thread
+        from repro.rc11 import CProgramBuilder, MemOrder
+        from repro.rc11.model import build_env as rc11_env
+        from repro.search.rc11_search import c_candidate_executions
+
+        model = load_model("scoped-rc11")
+        program = (
+            CProgramBuilder("MP")
+            .thread(device_thread(0, 0, 0))
+            .store("x", 1).store("y", 1, mo=MemOrder.REL, scope=Scope.GPU)
+            .thread(device_thread(0, 1, 0))
+            .load("r1", "y", mo=MemOrder.ACQ, scope=Scope.GPU)
+            .load("r2", "x")
+            .build()
+        )
+        for candidate in c_candidate_executions(
+            program, include_inconsistent=True
+        ):
+            env = rc11_env(candidate.execution)
+            assert cat_consistent(model, env) == candidate.report.consistent

@@ -1,0 +1,105 @@
+"""Round-trip tests: AST → cat text → AST preserves semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cat import parse_cat
+from repro.cat.unparse import expr_to_cat, formula_to_cat, model_to_cat, ptx_to_cat
+from repro.lang import Env, ast, eval_expr, eval_formula
+from repro.relation import Relation
+
+r = ast.rel("r")
+s = ast.rel("s")
+ATOMS = list(range(4))
+
+
+def expr_strategy():
+    base = st.sampled_from([r, s, ast.Iden()])
+
+    def extend(children):
+        unary = children.flatmap(
+            lambda e: st.sampled_from(
+                [ast.TClosure(e), ast.Transpose(e), ast.Optional_(e),
+                 ast.RTClosure(e)]
+            )
+        )
+        binary = st.tuples(children, children).flatmap(
+            lambda pair: st.sampled_from(
+                [ast.Union_(*pair), ast.Inter(*pair), ast.Diff(*pair),
+                 ast.Join(*pair)]
+            )
+        )
+        return unary | binary
+
+    return st.recursive(base, extend, max_leaves=5)
+
+
+def environments():
+    pair = st.tuples(st.sampled_from(ATOMS), st.sampled_from(ATOMS))
+    rel = st.frozensets(pair, max_size=6).map(Relation)
+    return st.tuples(rel, rel).map(
+        lambda pair: Env.over(ATOMS, r=pair[0], s=pair[1])
+    )
+
+
+@given(expr_strategy(), environments())
+@settings(max_examples=200, deadline=None)
+def test_expression_round_trip(expr, env):
+    text = expr_to_cat(expr)
+    model = parse_cat(f"let e = {text}\nacyclic e as x")
+    reparsed = model.definition("e")
+    assert eval_expr(expr, env) == eval_expr(reparsed, env)
+
+
+@given(expr_strategy(), environments())
+@settings(max_examples=100, deadline=None)
+def test_constraint_round_trip(expr, env):
+    for formula in (ast.Acyclic(expr), ast.Irreflexive(expr), ast.NoF(expr)):
+        line = formula_to_cat("x", formula)
+        model = parse_cat(line)
+        assert eval_formula(formula, env) == eval_formula(
+            model.constraint("x"), env
+        )
+
+
+@given(expr_strategy(), expr_strategy(), environments())
+@settings(max_examples=100, deadline=None)
+def test_subset_rewritten_as_emptiness(left, right, env):
+    line = formula_to_cat("x", ast.Subset(left, right))
+    model = parse_cat(line)
+    assert eval_formula(ast.Subset(left, right), env) == eval_formula(
+        model.constraint("x"), env
+    )
+
+
+class TestGeneratedPtxCat:
+    def test_parses(self):
+        model = parse_cat(ptx_to_cat())
+        assert model.name == "PTX-generated"
+
+    def test_agrees_with_builtin_on_candidates(self):
+        from repro.cat import cat_consistent
+        from repro.litmus import BY_NAME
+        from repro.ptx.model import build_env
+        from repro.search import candidate_executions
+
+        model = parse_cat(ptx_to_cat())
+        program = BY_NAME["SB+fence.sc.gpu"].program
+        for candidate in candidate_executions(
+            program, include_inconsistent=True
+        ):
+            env = build_env(candidate.execution)
+            assert cat_consistent(model, env) == candidate.report.consistent
+
+    def test_unsupported_product_rejected(self):
+        with pytest.raises(ValueError):
+            expr_to_cat(r.product(s))
+
+    def test_model_to_cat_structure(self):
+        text = model_to_cat(
+            "toy", {"fr": (~r) @ s}, {"Only": ast.Acyclic(ast.Var("fr"))}
+        )
+        assert text.startswith('"toy"')
+        assert "let fr = (r^-1 ; s)" in text
+        assert "acyclic fr as only" in text

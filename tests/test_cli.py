@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+MP_FILE = """
+ptx test MP
+thread d0c0t0
+  st.weak [x], 1
+  st.release.gpu [y], 1
+thread d0c1t0
+  ld.acquire.gpu r1, [y]
+  ld.weak r2, [x]
+forbidden: 1:r1=1 & 1:r2=0
+"""
+
+
+class TestProofsCommand:
+    def test_exit_zero(self, capsys):
+        assert main(["proofs"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out and "lemmas" in out
+
+    def test_verbose_lists_hypotheses(self, capsys):
+        assert main(["proofs", "--verbose"]) == 0
+        assert "hb_l" in capsys.readouterr().out
+
+
+class TestIsa2Command:
+    def test_demonstrates_figure_12(self, capsys):
+        assert main(["isa2"]) == 0
+        out = capsys.readouterr().out
+        assert "counterexample found" in out
+        assert "no counterexample" in out
+
+
+class TestMappingCommand:
+    def test_bound_1_clean(self, capsys):
+        assert main(["mapping", "--bound", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "holds" in out and "Coherence" in out
+
+    def test_descoped_variant(self, capsys):
+        assert main(["mapping", "--bound", "1", "--descoped"]) == 0
+        assert "de-scoped" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_runs_litmus_file(self, tmp_path, capsys):
+        path = tmp_path / "mp.litmus"
+        path.write_text(MP_FILE)
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "forbidden" in out
+
+    def test_outcomes_flag(self, tmp_path, capsys):
+        path = tmp_path / "mp.litmus"
+        path.write_text(MP_FILE)
+        assert main(["run", str(path), "--outcomes"]) == 0
+        assert "Outcome" in capsys.readouterr().out
+
+    def test_other_model(self, tmp_path, capsys):
+        path = tmp_path / "mp.litmus"
+        path.write_text(MP_FILE)
+        assert main(["run", str(path), "--model", "sc"]) == 0
+
+
+class TestSuiteCommand:
+    def test_runs_clean(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "all verdicts match" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

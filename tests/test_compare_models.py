@@ -1,0 +1,79 @@
+"""Tests for the automatic model-comparison tool."""
+
+import itertools
+
+import pytest
+
+from repro.litmus import (
+    Distinction,
+    compare_on,
+    distinguishing_tests,
+    first_distinction,
+    generate,
+)
+
+
+class TestFirstDistinction:
+    def test_tso_vs_sc_is_store_buffering(self):
+        """The canonical result: SB is the minimal TSO/SC separator."""
+        distinction = first_distinction("tso", "sc", max_length=4, limit=1)
+        assert distinction is not None
+        names = [e.name for e in distinction.generated.cycle]
+        assert names.count("Fre") == 2  # the SB shape: two fr edges
+        assert distinction.verdicts["tso"].value == "allowed"
+        assert distinction.verdicts["sc"].value == "forbidden"
+
+    def test_ptx_vs_tso_exists_at_length_3(self):
+        distinction = first_distinction("ptx", "tso", max_length=3, limit=1)
+        assert distinction is not None
+        assert distinction.verdicts["ptx"].value == "allowed"
+        assert distinction.verdicts["tso"].value == "forbidden"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            first_distinction("ptx", "powerpc")
+
+    def test_model_vs_itself_yields_nothing_short(self):
+        assert first_distinction("sc", "sc", max_length=2) is None
+
+
+class TestDistinctionStream:
+    def test_limit_respected(self):
+        found = list(
+            distinguishing_tests("ptx", "sc", max_length=3, limit=2)
+        )
+        assert len(found) == 2
+
+    def test_every_distinction_disagrees(self):
+        for distinction in itertools.islice(
+            distinguishing_tests("ptx", "sc", max_length=3), 5
+        ):
+            a, b = distinction.verdicts.values()
+            assert a is not b
+
+    def test_repr_mentions_models(self):
+        distinction = first_distinction("tso", "sc", max_length=4, limit=1)
+        assert "tso=" in repr(distinction) and "sc=" in repr(distinction)
+
+
+class TestCompareOn:
+    def test_verdict_map(self):
+        generated = generate("PodWR Fre PodWR Fre", name="SB")
+        verdicts = compare_on(generated, ("ptx", "tso", "sc"))
+        assert set(verdicts) == {"ptx", "tso", "sc"}
+        assert verdicts["sc"].value == "forbidden"
+
+    def test_variant_strengths_separate_within_ptx(self):
+        """relaxed-annotated MP is allowed; rel/acq-annotated is not —
+        the annotation lattice is behaviourally visible."""
+        from repro.core import Scope
+        from repro.litmus import classify
+        from repro.ptx.events import Sem
+
+        spec = "PodWW Rfe PodRR Fre"
+        relaxed = generate(spec, write_sem=Sem.RELAXED, read_sem=Sem.RELAXED,
+                           scope=Scope.GPU)
+        strong = generate(spec, write_sem=Sem.RELEASE, read_sem=Sem.ACQUIRE,
+                          scope=Scope.GPU)
+        assert classify(relaxed).value == "allowed"
+        assert classify(strong).value == "forbidden"

@@ -1,0 +1,118 @@
+"""Tests for the shared execution container and fixpoint utilities."""
+
+import pytest
+
+from repro.core import Execution, device_thread, program_order, same_location
+from repro.lang import eval_expr, rel
+from repro.ptx.events import Event, Kind, Sem
+from repro.relation import Relation, least_fixpoint, recursive_union
+
+T0 = device_thread(0, 0, 0)
+T1 = device_thread(0, 1, 0)
+
+
+def ev(eid, thread=T0, kind=Kind.READ, loc="x"):
+    return Event(eid=eid, thread=thread, kind=kind, sem=Sem.WEAK, loc=loc)
+
+
+class TestExecution:
+    def test_relation_defaults_empty(self):
+        execution = Execution(events=(ev(0),))
+        assert execution.relation("nope").is_empty()
+
+    def test_with_relations_is_functional(self):
+        execution = Execution(events=(ev(0), ev(1)))
+        updated = execution.with_relations(rf=Relation([(ev(0), ev(1))]))
+        assert execution.relation("rf").is_empty()
+        assert len(updated.relation("rf")) == 1
+
+    def test_env_binds_relations_and_universe(self):
+        a, b = ev(0), ev(1)
+        execution = Execution(
+            events=(a, b), relations={"po": Relation([(a, b)])}
+        )
+        env = execution.env()
+        assert eval_expr(rel("po"), env) == Relation([(a, b)])
+        assert set(env.atoms()) == {a, b}
+
+    def test_env_extra_bindings(self):
+        execution = Execution(events=(ev(0),))
+        env = execution.env(extra={"x": Relation([(1, 2)])})
+        assert eval_expr(rel("x"), env) == Relation([(1, 2)])
+
+    def test_events_of_thread_in_po_order(self):
+        a = ev(0, T0)
+        b = ev(1, T0)
+        c = ev(2, T1)
+        execution = Execution(
+            events=(c, b, a),
+            relations={"po": Relation([(a, b)])},
+        )
+        assert execution.events_of_thread(T0) == (a, b)
+        assert execution.events_of_thread(T1) == (c,)
+
+
+class TestProgramOrder:
+    def test_all_later_pairs(self):
+        a, b, c = ev(0), ev(1), ev(2)
+        po = program_order([[a, b, c]])
+        assert po == Relation([(a, b), (a, c), (b, c)])
+
+    def test_threads_unrelated(self):
+        a, b = ev(0, T0), ev(1, T1)
+        assert program_order([[a], [b]]).is_empty()
+
+    def test_transitive_by_construction(self):
+        events = [ev(i) for i in range(4)]
+        assert program_order([events]).is_transitive()
+
+
+class TestSameLocation:
+    def test_symmetric_irreflexive(self):
+        a, b = ev(0, loc="x"), ev(1, T1, loc="x")
+        c = ev(2, loc="y")
+        sloc = same_location([a, b, c])
+        assert (a, b) in sloc and (b, a) in sloc
+        assert sloc.is_irreflexive()
+        assert (a, c) not in sloc
+
+    def test_fences_excluded(self):
+        fence = Event(
+            eid=0, thread=T0, kind=Kind.FENCE, sem=Sem.SC,
+            scope=__import__("repro.core", fromlist=["Scope"]).Scope.GPU,
+        )
+        read = ev(1)
+        assert same_location([fence, read]).is_empty()
+
+
+class TestFixpoint:
+    def test_least_fixpoint_reaches_closure(self):
+        r = Relation([(1, 2), (2, 3)])
+        closed = least_fixpoint(lambda x: r | x.join(r), seed=r)
+        assert closed == r.closure()
+
+    def test_recursive_union_obs_shape(self):
+        """The PTX obs fixpoint: obs = base ∪ obs;step;obs."""
+        base = Relation([(1, 2), (3, 4)])
+        step = Relation([(2, 3)])
+        obs = recursive_union(
+            base, lambda o: o.join(step).join(o)
+        )
+        assert (1, 4) in obs  # 1→2 ;step; 3→4
+
+    def test_empty_seed_stays_empty_without_base(self):
+        result = least_fixpoint(lambda x: x.join(x))
+        assert result.is_empty()
+
+    def test_guard_against_oscillation(self):
+        """A non-monotone step is forced upward instead of looping."""
+        a = Relation([(1, 1)])
+        b = Relation([(2, 2)])
+        state = {"flip": False}
+
+        def step(x):
+            state["flip"] = not state["flip"]
+            return a if state["flip"] else b
+
+        result = least_fixpoint(step, seed=Relation.empty(2))
+        assert a.issubset(result) or b.issubset(result)

@@ -1,0 +1,106 @@
+"""Tests for the Alloy/Coq exporters (paper Figures 13 & 16)."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.export import (
+    export_ptx_alloy,
+    export_ptx_coq,
+    export_rc11_alloy,
+    export_rc11_coq,
+    to_alloy,
+    to_coq,
+)
+
+r = ast.rel("r")
+s = ast.rel("s")
+w = ast.set_("w")
+
+
+class TestAlloyExpressions:
+    def test_operators(self):
+        text = to_alloy("m", {"e": (r | s) @ ~r}, {})
+        assert "(r + s)" in text and "~r" in text and "." in text
+
+    def test_closures(self):
+        text = to_alloy("m", {"e": r.plus(), "f": r.star(), "g": r.opt()}, {})
+        assert "^r" in text and "*r" in text and "(r + iden)" in text
+
+    def test_bracket_uses_domain_restriction(self):
+        text = to_alloy("m", {"e": ast.bracket(w) @ r}, {})
+        assert "<: iden" in text
+
+    def test_acyclic_encoding(self):
+        """Figure 13's idiom: irreflexive via `no iden & r`."""
+        text = to_alloy("m", {}, {"X": ast.Acyclic(r)})
+        assert "no iden & ^r" in text
+
+    def test_irreflexive_encoding(self):
+        text = to_alloy("m", {}, {"X": ast.Irreflexive(r @ s)})
+        assert "no iden & (r . s)" in text
+
+    def test_module_structure(self):
+        text = to_alloy(
+            "my_model", {"fr": (~r) @ s}, {"Ax": ast.NoF(r & s)},
+            base_relations=("r", "s"), base_sets=("w",),
+        )
+        assert text.startswith("module my_model")
+        assert "fun fr : Event -> Event {" in text
+        assert "pred ax {" in text
+        assert "pred consistent { ax }" in text
+        assert "sig w in Event {}" in text
+
+
+class TestCoqExpressions:
+    def test_operators(self):
+        text = to_coq("m", {"e": (r - s).plus()}, {})
+        assert "(tc (diff r s))" in text
+
+    def test_inside_matches_alloy_v_convention(self):
+        """alloy.v's `inside` takes the superset first (Figure 16b)."""
+        text = to_coq("m", {}, {"X": ast.Subset(r, s)})
+        assert "(inside s r)" in text
+
+    def test_variables_declared(self):
+        text = to_coq("m", {}, {"X": ast.Acyclic(r)},
+                      base_relations=("r",), base_sets=("w",))
+        assert "Variable r : Rel 2." in text
+        assert "Variable w : Rel 1." in text
+
+    def test_axioms_become_props(self):
+        text = to_coq("m", {}, {"No-Thin-Air": ast.Acyclic(r)})
+        assert "Definition axiom_no_thin_air : Prop :=" in text
+        assert "(acyclic r)" in text
+
+    def test_consistency_conjunction(self):
+        text = to_coq("m", {}, {"A": ast.Acyclic(r), "B": ast.NoF(s)})
+        assert "axiom_a /\\ axiom_b" in text
+
+
+class TestFullModelExports:
+    def test_ptx_alloy_contains_all_axioms(self):
+        text = export_ptx_alloy()
+        for predicate in (
+            "coherence", "fencesc", "atomicity", "no_thin_air",
+            "sc_per_location", "causality",
+        ):
+            assert f"pred {predicate}" in text
+
+    def test_ptx_alloy_contains_figure4_relations(self):
+        text = export_ptx_alloy()
+        for fun in ("obs", "sw", "cause_base", "cause", "fr"):
+            assert f"fun {fun} :" in text
+
+    def test_ptx_coq_well_formed(self):
+        text = export_ptx_coq()
+        assert text.count("Definition") >= 12
+        assert "Require Import alloy." in text
+        assert "End Model." in text
+
+    def test_rc11_exports(self):
+        assert "fun hb :" in export_rc11_alloy()
+        assert "Definition psc" in export_rc11_coq()
+
+    def test_exports_are_deterministic(self):
+        assert export_ptx_alloy() == export_ptx_alloy()
+        assert export_ptx_coq() == export_ptx_coq()

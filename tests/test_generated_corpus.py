@@ -1,0 +1,75 @@
+"""A pinned regression corpus of synthesised litmus tests.
+
+Every closing critical cycle of length ≤ 3 is synthesised under each of
+the four annotation variants and classified under the PTX model; the
+verdicts are pinned here as goldens (100 test instances).  Any change to
+the model's relations or axioms that shifts a verdict shows up as a
+corpus diff — the regression role the paper's generated litmus suites
+play ([35]).
+
+The golden structure is telling in itself: *every* critical cycle at
+these lengths is forbidden except the two racy coherence shapes under
+fully ``weak`` annotations — PTX's signature racy-but-defined leniency
+(§3.3).  Cross-thread multi-location shapes (SB, MP, IRIW...) only exist
+at length ≥ 4 and are covered by the hand-written suite.
+"""
+
+import pytest
+
+from repro.litmus import CycleError, classify, enumerate_cycles, generate
+from repro.litmus.compare import VARIANTS
+
+#: (cycle, variant) pairs whose condition is ALLOWED under PTX; everything
+#: else in the ≤3-length corpus is forbidden.
+ALLOWED_EXCEPTIONS = {
+    ("PosRR+Fre+Rfe", "weak"),     # racy CoRR: weak reads may disagree
+    ("PosRW+Wse+Rfe", "weak"),     # racy CoRW shape
+}
+
+
+def corpus():
+    for length in (2, 3):
+        for cycle in enumerate_cycles(length):
+            name = "+".join(edge.name for edge in cycle)
+            for variant, kwargs in VARIANTS.items():
+                try:
+                    generated = generate(cycle, **kwargs)
+                except (CycleError, ValueError):
+                    continue
+                yield name, variant, generated
+
+
+CORPUS = list(corpus())
+
+
+def test_corpus_size_is_stable():
+    assert len(CORPUS) == 100
+
+
+@pytest.mark.parametrize(
+    "name,variant,generated",
+    CORPUS,
+    ids=[f"{name}@{variant}" for name, variant, _ in CORPUS],
+)
+def test_pinned_verdict(name, variant, generated):
+    expected = "allowed" if (name, variant) in ALLOWED_EXCEPTIONS else "forbidden"
+    assert classify(generated, "ptx").value == expected
+
+
+def test_exceptions_are_weak_only():
+    """The corpus's only allowed outcomes are unsynchronized races."""
+    for name, variant in ALLOWED_EXCEPTIONS:
+        assert variant == "weak"
+
+
+def test_strengthening_is_monotone_on_corpus():
+    """If the weak variant is forbidden, every stronger variant is too
+    (annotations only remove behaviours)."""
+    verdicts = {}
+    for name, variant, generated in CORPUS:
+        verdicts[(name, variant)] = classify(generated, "ptx").value
+    for name, variant, _ in CORPUS:
+        if variant == "weak" and verdicts[(name, variant)] == "forbidden":
+            for other in ("relaxed.gpu", "rel_acq.gpu", "fence.sc.gpu"):
+                if (name, other) in verdicts:
+                    assert verdicts[(name, other)] == "forbidden", (name, other)

@@ -1,0 +1,131 @@
+"""End-to-end integration: every experiment the paper reports, in one file.
+
+This is the executable table of contents for EXPERIMENTS.md: each test
+regenerates one paper artefact through the public API only.
+"""
+
+import pytest
+
+from repro import (
+    BUGGY_RMW_SC,
+    STANDARD,
+    MemOrder,
+    Scope,
+    Sem,
+    allowed_outcomes,
+    cpp_builder,
+    device_thread,
+    ptx_builder,
+    run_litmus,
+)
+from repro.litmus import BY_NAME
+from repro.mapping import check_mapping_axiom, check_program_against_axiom
+from repro.proof import all_theorems
+from repro.ptx.isa import AtomOp
+
+T0 = device_thread(0, 0, 0)
+T1 = device_thread(0, 1, 0)
+T2 = device_thread(0, 2, 0)
+
+
+class TestFigure5:
+    def test_mp_forbidden(self):
+        assert run_litmus(BY_NAME["MP+rel_acq.gpu"]).verdict.value == "forbidden"
+
+
+class TestFigure6:
+    def test_sb_with_fences_forbidden(self):
+        assert run_litmus(BY_NAME["SB+fence.sc.gpu"]).verdict.value == "forbidden"
+
+    def test_caption_requires_morally_strong_fences(self):
+        assert (
+            run_litmus(BY_NAME["SB+fence.sc.cta_cross_cta"]).verdict.value
+            == "allowed"
+        )
+
+
+class TestFigure8:
+    def test_out_of_thin_air_forbidden(self):
+        assert run_litmus(BY_NAME["LB+deps"]).verdict.value == "forbidden"
+
+    def test_axiom_4_is_what_forbids_it(self):
+        result = run_litmus(BY_NAME["LB+deps"], skip_axioms=("No-Thin-Air",))
+        assert result.verdict.value == "allowed"
+
+
+class TestFigure9:
+    @pytest.mark.parametrize("name", ["CoRR", "CoRW", "CoWR", "CoWW"])
+    def test_coherence_shapes_forbidden(self, name):
+        assert run_litmus(BY_NAME[name]).verdict.value == "forbidden"
+
+
+class TestFigure11:
+    def test_bounded_mapping_check_per_axiom(self):
+        """§6.1 in miniature: no counterexample at bound 1, either variant."""
+        for scoped in (True, False):
+            for axiom in ("Coherence", "Atomicity", "SC"):
+                result = check_mapping_axiom(1, axiom, scoped=scoped)
+                assert result.holds
+
+
+class TestFigure12:
+    def _isa2(self):
+        return (
+            cpp_builder("ISA2-rmw")
+            .thread(T0).store("x", 1).store("y", 1, mo=MemOrder.REL, scope=Scope.GPU)
+            .thread(T1)
+            .rmw("r1", "y", AtomOp.EXCH, 2, mo=MemOrder.SC, scope=Scope.GPU)
+            .store("y", 3, mo=MemOrder.RLX, scope=Scope.GPU)
+            .thread(T2)
+            .load("r2", "y", mo=MemOrder.ACQ, scope=Scope.GPU)
+            .load("r3", "x")
+            .build()
+        )
+
+    def test_standard_mapping_keeps_release_and_is_sound(self):
+        assert check_program_against_axiom(self._isa2(), "Coherence") is None
+
+    def test_elided_release_is_caught(self):
+        counterexample = check_program_against_axiom(
+            self._isa2(), "Coherence", scheme=BUGGY_RMW_SC
+        )
+        assert counterexample is not None
+
+
+class TestSection62:
+    def test_theorems_replay(self):
+        reports = all_theorems()
+        assert len(reports) == 3
+        for report in reports.values():
+            assert report.theorem.concl == report.statement
+
+
+class TestNonMultiCopyAtomicity:
+    """§3.4's claim that PTX is not multi-copy atomic, plus the cure."""
+
+    def test_iriw_allowed_with_acquires(self):
+        assert run_litmus(BY_NAME["IRIW+rel_acq"]).verdict.value == "allowed"
+
+    def test_iriw_forbidden_with_sc_fences(self):
+        assert run_litmus(BY_NAME["IRIW+fence.sc"]).verdict.value == "forbidden"
+
+
+class TestRacyButDefined:
+    """§3.3: PTX gives semantics to racy programs (unlike HRF/HSA)."""
+
+    def test_racy_outcome_enumerable(self):
+        program = (
+            ptx_builder("racy")
+            .thread(T0).st("x", 1)
+            .thread(T1).st("x", 2)
+            .build()
+        )
+        outcomes = allowed_outcomes(program)
+        assert outcomes  # the model judges racy programs, not rejects them
+        possible = set()
+        for outcome in outcomes:
+            possible |= set(outcome.memory_values("x"))
+        assert possible == {1, 2}
+
+    def test_weak_coherence_unconstrained(self):
+        assert run_litmus(BY_NAME["CoRR+weak"]).verdict.value == "allowed"

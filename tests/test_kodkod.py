@@ -1,0 +1,156 @@
+"""Tests for the bounded relational model finder (Alloy/Kodkod analog)."""
+
+import pytest
+
+from repro.kodkod import Bounds, Universe, check, instances, solve
+from repro.lang import Env, ast, eval_formula
+from repro.relation import Relation
+
+U = Universe(tuple("abcd"))
+r = ast.rel("r")
+s = ast.rel("s")
+
+
+def concrete_holds(formula, instance, atoms=U.atoms):
+    env = Env(
+        universe=Relation.set_of(atoms),
+        bindings=dict(instance.relations),
+    )
+    return eval_formula(formula, env)
+
+
+class TestBounds:
+    def test_universe_distinct(self):
+        with pytest.raises(ValueError):
+            Universe(("a", "a"))
+
+    def test_lower_within_upper(self):
+        from repro.kodkod import RelBound
+
+        with pytest.raises(ValueError):
+            RelBound(
+                name="r", arity=2,
+                lower=frozenset({("a", "b")}), upper=frozenset({("c", "d")}),
+            )
+
+    def test_bound_augments_upper_with_lower(self):
+        bounds = Bounds(U)
+        bounds.bound("r", 2, lower=[("a", "b")], upper=[("c", "d")])
+        assert ("a", "b") in bounds.get("r").upper
+
+    def test_exact_bound_has_no_slack(self):
+        bounds = Bounds(U)
+        bounds.bound_exactly("r", Relation([("a", "b")]))
+        assert bounds.get("r").slack == frozenset()
+
+    def test_default_upper_is_full(self):
+        bounds = Bounds(U)
+        bounds.bound("r", 2)
+        assert len(bounds.get("r").upper) == 16
+
+    def test_missing_bound_raises(self):
+        with pytest.raises(KeyError):
+            Bounds(U).get("nope")
+
+    def test_wrong_arity_tuple_rejected(self):
+        with pytest.raises(ValueError):
+            Bounds(U).bound("r", 2, upper=[("a",)])
+
+
+class TestSolve:
+    def test_some_nonempty(self):
+        bounds = Bounds(U).bound("r", 2)
+        instance = solve(ast.SomeF(r), bounds)
+        assert instance is not None and len(instance["r"]) >= 1
+
+    def test_unsat_returns_none(self):
+        bounds = Bounds(U).bound("r", 2, upper=[])
+        assert solve(ast.SomeF(r), bounds) is None
+
+    def test_lower_bound_respected(self):
+        bounds = Bounds(U).bound("r", 2, lower=[("a", "b")])
+        instance = solve(ast.TrueF(), bounds)
+        assert ("a", "b") in instance["r"]
+
+    def test_model_satisfies_formula_concretely(self):
+        formula = ast.And(ast.SomeF(r @ r), ast.Irreflexive(r))
+        bounds = Bounds(U).bound("r", 2)
+        instance = solve(formula, bounds)
+        assert instance is not None
+        assert concrete_holds(formula, instance)
+
+    def test_exact_relations_passed_through(self):
+        fixed = Relation([("a", "b"), ("b", "c")])
+        bounds = Bounds(U)
+        bounds.bound_exactly("r", fixed)
+        bounds.bound("s", 2)
+        instance = solve(ast.Subset(s, r) & ast.SomeF(s), bounds)
+        assert instance["r"] == fixed
+        assert instance["s"].issubset(fixed) and instance["s"]
+
+    def test_closure_constraint(self):
+        # find a cyclic r of exactly... some r whose closure is reflexive
+        formula = ast.Not(ast.Acyclic(r))
+        instance = solve(formula, Bounds(U).bound("r", 2))
+        assert instance is not None
+        assert not instance["r"].is_acyclic()
+
+
+class TestCheck:
+    def test_valid_assertion_has_no_counterexample(self):
+        bounds = Bounds(U).bound("r", 2)
+        assert check(ast.Subset(r, r.plus()), bounds) is None
+
+    def test_invalid_assertion_yields_counterexample(self):
+        bounds = Bounds(U).bound("r", 2)
+        instance = check(ast.Subset(r.plus(), r), bounds)
+        assert instance is not None
+        assert not concrete_holds(ast.Subset(r.plus(), r), instance)
+
+    def test_distribution_law_checked(self):
+        bounds = Bounds(U).bound("r", 2).bound("s", 2)
+        law = ast.Equal((r | s).plus(), (r.plus() | s.plus()).plus())
+        assert check(law, bounds) is None
+
+    def test_false_law_found(self):
+        bounds = Bounds(U).bound("r", 2).bound("s", 2)
+        bogus = ast.Equal((r | s).plus(), r.plus() | s.plus())
+        assert check(bogus, bounds) is not None
+
+
+class TestInstances:
+    def test_enumeration_distinct(self):
+        bounds = Bounds(Universe(("a", "b"))).bound("r", 2)
+        found = list(instances(ast.TrueF(), bounds))
+        assert len(found) == 16  # all subsets of a 2x2 relation
+        assert len({frozenset(i["r"].tuples) for i in found}) == 16
+
+    def test_limit(self):
+        bounds = Bounds(U).bound("r", 2)
+        assert len(list(instances(ast.TrueF(), bounds, limit=5))) == 5
+
+    def test_configure_hook(self):
+        bounds = Bounds(Universe(("a", "b"))).bound("r", 2)
+
+        def exactly_one(translator):
+            translator.exactly_one_of("r", [("a", "a"), ("b", "b")])
+
+        found = list(instances(ast.TrueF(), bounds, configure=exactly_one))
+        for instance in found:
+            diagonal = {t for t in instance["r"].tuples if t[0] == t[1]}
+            assert len(diagonal) == 1
+
+
+class TestSetVariables:
+    def test_bracket_over_set_var(self):
+        w = ast.set_("w")
+        bounds = Bounds(U)
+        bounds.bound_set_exactly("w", ["a", "b"])
+        bounds.bound("r", 2)
+        formula = ast.And(
+            ast.SomeF(r), ast.Subset(r, ast.bracket(w) @ r)
+        )
+        instance = solve(formula, bounds)
+        assert instance is not None
+        for a, b in instance["r"]:
+            assert a in ("a", "b")

@@ -1,0 +1,189 @@
+"""Unit tests for the relational language AST and its concrete evaluator."""
+
+import pytest
+
+from repro.lang import (
+    Acyclic,
+    Empty,
+    Env,
+    Iden,
+    Irreflexive,
+    NoF,
+    Not,
+    SomeF,
+    Subset,
+    TrueF,
+    UnboundRelation,
+    Univ,
+    Var,
+    bracket,
+    conj,
+    eval_expr,
+    eval_formula,
+    free_vars,
+    rel,
+    seq,
+    set_,
+    union,
+)
+from repro.lang import ast
+from repro.relation import Relation
+
+
+@pytest.fixture
+def env():
+    return Env.over(
+        [1, 2, 3],
+        r=Relation([(1, 2), (2, 3)]),
+        s=Relation([(2, 3)]),
+        w=Relation.set_of([1, 3]),
+    )
+
+
+r = rel("r")
+s = rel("s")
+w = set_("w")
+
+
+class TestAst:
+    def test_var_repr(self):
+        assert repr(rel("po")) == "po"
+
+    def test_arity_mismatch_in_union(self):
+        with pytest.raises(ValueError):
+            _ = rel("a") | set_("b")
+
+    def test_join_arity(self):
+        assert (rel("a") @ rel("b")).arity == 2
+        assert (set_("a") @ rel("b")).arity == 1
+
+    def test_join_arity_zero_rejected(self):
+        with pytest.raises(ValueError):
+            _ = set_("a") @ set_("b")
+
+    def test_transpose_requires_binary(self):
+        with pytest.raises(ValueError):
+            _ = ~set_("a")
+
+    def test_bracket_requires_set(self):
+        with pytest.raises(ValueError):
+            bracket(rel("a"))
+
+    def test_acyclic_requires_binary(self):
+        with pytest.raises(ValueError):
+            Acyclic(set_("a"))
+
+    def test_seq_builds_left_nested_joins(self):
+        e = seq(r, s, r)
+        assert isinstance(e, ast.Join)
+        assert isinstance(e.left, ast.Join)
+
+    def test_seq_empty_rejected(self):
+        with pytest.raises(ValueError):
+            seq()
+
+    def test_union_builder(self):
+        e = union(r, s, r)
+        assert isinstance(e, ast.Union_)
+
+    def test_conj(self):
+        f = conj(TrueF(), Subset(r, s))
+        assert isinstance(f, Subset)
+        g = conj(Subset(r, s), Subset(s, r))
+        assert isinstance(g, ast.And)
+
+    def test_free_vars(self):
+        e = (r | s) @ ~r
+        assert free_vars(e) == (Var("r", 2), Var("s", 2))
+
+    def test_free_vars_formula(self):
+        f = Subset(r @ s, r)
+        assert set(free_vars(f)) == {Var("r", 2), Var("s", 2)}
+
+    def test_structural_equality_and_hash(self):
+        assert (r | s) == (rel("r") | rel("s"))
+        assert hash(r.plus()) == hash(rel("r").plus())
+
+
+class TestEval:
+    def test_var(self, env):
+        assert eval_expr(r, env) == Relation([(1, 2), (2, 3)])
+
+    def test_unbound_raises(self, env):
+        with pytest.raises(UnboundRelation):
+            eval_expr(rel("missing"), env)
+
+    def test_arity_checked_at_lookup(self, env):
+        with pytest.raises(ValueError):
+            eval_expr(rel("w"), env)  # w is bound to a set
+
+    def test_union_inter_diff(self, env):
+        assert eval_expr(r | s, env) == Relation([(1, 2), (2, 3)])
+        assert eval_expr(r & s, env) == Relation([(2, 3)])
+        assert eval_expr(r - s, env) == Relation([(1, 2)])
+
+    def test_join(self, env):
+        assert eval_expr(r @ s, env) == Relation([(1, 3)])
+
+    def test_transpose(self, env):
+        assert eval_expr(~r, env) == Relation([(2, 1), (3, 2)])
+
+    def test_closure(self, env):
+        assert eval_expr(r.plus(), env) == Relation([(1, 2), (2, 3), (1, 3)])
+
+    def test_rt_closure(self, env):
+        rt = eval_expr(r.star(), env)
+        assert (1, 1) in rt and (1, 3) in rt
+
+    def test_optional(self, env):
+        opt = eval_expr(r.opt(), env)
+        assert (1, 1) in opt and (1, 2) in opt
+
+    def test_iden_univ_empty(self, env):
+        assert eval_expr(Iden(), env) == Relation.identity([1, 2, 3])
+        assert eval_expr(Univ(), env) == Relation.set_of([1, 2, 3])
+        assert eval_expr(Empty(2), env).is_empty()
+
+    def test_bracket(self, env):
+        assert eval_expr(bracket(w), env) == Relation([(1, 1), (3, 3)])
+
+    def test_bracket_restriction_idiom(self, env):
+        # [w] ; r — keeps edges whose source is in w
+        assert eval_expr(bracket(w) @ r, env) == Relation([(1, 2)])
+
+    def test_product(self, env):
+        assert eval_expr(w.product(w), env) == Relation(
+            [(1, 1), (1, 3), (3, 1), (3, 3)]
+        )
+
+
+class TestFormulaEval:
+    def test_subset(self, env):
+        assert eval_formula(Subset(s, r), env)
+        assert not eval_formula(Subset(r, s), env)
+
+    def test_equal(self, env):
+        assert eval_formula(ast.Equal(r, r | s), env)
+
+    def test_no_some(self, env):
+        assert eval_formula(NoF(r - r), env)
+        assert eval_formula(SomeF(r), env)
+
+    def test_acyclic_irreflexive(self, env):
+        assert eval_formula(Acyclic(r), env)
+        assert eval_formula(Irreflexive(r @ s), env)
+
+    def test_boolean_connectives(self, env):
+        f = Subset(s, r)
+        assert eval_formula(f & f, env)
+        assert eval_formula(f | Not(f), env)
+        assert not eval_formula(Not(f), env)
+        assert eval_formula(Not(f).implies(f), env)
+
+    def test_true(self, env):
+        assert eval_formula(TrueF(), env)
+
+    def test_env_bind_copies(self, env):
+        env2 = env.bind("r", Relation([(3, 1)]))
+        assert eval_expr(r, env2) == Relation([(3, 1)])
+        assert eval_expr(r, env) == Relation([(1, 2), (2, 3)])

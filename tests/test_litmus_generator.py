@@ -1,0 +1,157 @@
+"""Tests for the diy-style critical-cycle litmus generator."""
+
+import pytest
+
+from repro.core import Scope
+from repro.litmus import (
+    CycleError,
+    classify,
+    enumerate_cycles,
+    generate,
+    parse_cycle,
+    run_litmus,
+)
+from repro.litmus.generator import _walk, edge
+from repro.ptx.events import Sem
+
+CLASSIC = {
+    "SB": "PodWR Fre PodWR Fre",
+    "MP": "PodWW Rfe PodRR Fre",
+    "LB": "PodRW Rfe PodRW Rfe",
+    "CoWW": "PosWW Wsi",
+    "2+2W": "PodWW Wse PodWW Wse",
+    "IRIW": "Rfe PodRR Fre Rfe PodRR Fre",
+    "WRC": "Rfe PodRW Rfe PodRR Fre",
+    "S": "PodWW Rfe PodRW Wse",
+    "R": "PodWW Wse PodWR Fre",
+}
+
+
+class TestParsing:
+    def test_parse_space_and_plus(self):
+        assert parse_cycle("Rfe PodRR") == parse_cycle("Rfe+PodRR")
+
+    def test_unknown_edge(self):
+        with pytest.raises(CycleError):
+            parse_cycle("Bogus")
+
+    def test_edge_properties(self):
+        assert edge("Rfe").external and edge("Rfe").same_loc
+        assert not edge("Rfi").external
+        assert not edge("PodRR").same_loc
+        assert edge("PosWW").same_loc and not edge("PosWW").external
+        assert edge("Wse").is_com and not edge("PodRR").is_com
+
+
+class TestWalkValidation:
+    def test_kind_mismatch(self):
+        with pytest.raises(CycleError):
+            generate("Rfe Rfe")  # Rfe ends at R, next Rfe needs W
+
+    def test_closing_po_rejected(self):
+        with pytest.raises(CycleError):
+            generate("Rfe PodRR Fre PodWW")  # closes with po
+
+    def test_single_external_rejected(self):
+        with pytest.raises(CycleError):
+            generate("Rfe PosRW Wsi")  # hmm shape aside: one external edge
+
+    def test_single_pod_rejected(self):
+        with pytest.raises(CycleError):
+            generate("PodWW Wse")  # one location hop cannot wrap
+
+    def test_empty(self):
+        with pytest.raises(CycleError):
+            generate("")
+
+    def test_walk_slot_count(self):
+        slots = _walk(parse_cycle("PodWR Fre PodWR Fre"))
+        assert len(slots) == 4
+
+    def test_threads_contiguous(self):
+        slots = _walk(parse_cycle("Rfe PodRR Fre Rfe PodRR Fre"))
+        seen = []
+        for slot in slots:
+            if slot.thread not in seen:
+                seen.append(slot.thread)
+        assert seen == sorted(seen)  # each thread is one contiguous segment
+
+
+class TestClassicShapes:
+    @pytest.mark.parametrize("name,spec", CLASSIC.items(), ids=CLASSIC.keys())
+    def test_sc_forbids_every_critical_cycle(self, name, spec):
+        """The defining property of critical cycles."""
+        generated = generate(spec, name=name)
+        assert classify(generated, "sc").value == "forbidden"
+
+    def test_sb_allowed_relaxed_ptx(self):
+        assert classify(generate(CLASSIC["SB"])).value == "allowed"
+
+    def test_coww_forbidden_even_relaxed(self):
+        assert classify(generate(CLASSIC["CoWW"])).value == "forbidden"
+
+    def test_mp_fence_sc_forbidden(self):
+        generated = generate(
+            CLASSIC["MP"], fence_po=(Sem.SC, Scope.GPU)
+        )
+        assert classify(generated).value == "forbidden"
+
+    def test_mp_weak_allowed(self):
+        generated = generate(
+            CLASSIC["MP"], write_sem=Sem.WEAK, read_sem=Sem.WEAK, scope=None
+        )
+        assert classify(generated).value == "allowed"
+
+    def test_iriw_thread_count(self):
+        generated = generate(CLASSIC["IRIW"])
+        assert len(generated.test.program.threads) == 4
+
+    def test_condition_matches_suite_twin(self):
+        """The synthesised SB agrees with the hand-written suite SB."""
+        generated = generate(
+            CLASSIC["SB"], write_sem=Sem.WEAK, read_sem=Sem.WEAK, scope=None
+        )
+        result = run_litmus(generated.test)
+        assert result.verdict.value == "allowed"
+
+
+class TestEnumeration:
+    def test_cycles_close(self):
+        for cycle in enumerate_cycles(2):
+            _walk(cycle)  # must not raise
+
+    def test_canonical_ends_with_com(self):
+        for cycle in enumerate_cycles(3):
+            assert cycle[-1].is_com
+
+    def test_dedup_by_rotation(self):
+        cycles = {tuple(e.name for e in c) for c in enumerate_cycles(2)}
+        for cycle in cycles:
+            rotated = cycle[1:] + cycle[:1]
+            if rotated != cycle and rotated[-1][:2] in ("Rf", "Fr", "Ws"):
+                assert rotated not in cycles
+
+    def test_nonempty_spaces(self):
+        assert sum(1 for _ in enumerate_cycles(2)) > 0
+        assert sum(1 for _ in enumerate_cycles(3)) > 10
+
+
+class TestGeneratedSemantics:
+    @pytest.mark.parametrize("length", [2, 3])
+    def test_all_generated_cycles_sc_forbidden(self, length):
+        """Exhaustively: SC forbids every generated critical cycle."""
+        for cycle in enumerate_cycles(length):
+            try:
+                generated = generate(cycle)
+            except CycleError:
+                continue  # e.g. two writes without a Ws edge
+            verdict = classify(generated, "sc")
+            assert verdict.value == "forbidden", generated.test.name
+
+    def test_values_distinct_per_location(self):
+        generated = generate(CLASSIC["2+2W"])
+        for thread in generated.test.program.threads:
+            values = [
+                (i.loc, i.src) for i in thread.instructions if hasattr(i, "src")
+            ]
+            assert len(set(values)) == len(values)

@@ -1,0 +1,132 @@
+"""Tests for the litmus text-format parser."""
+
+import pytest
+
+from repro.core import Scope, device_thread, host_thread
+from repro.litmus import Expect, run_litmus
+from repro.litmus.parser import LitmusSyntaxError, parse_instruction, parse_litmus
+from repro.ptx import Atom, AtomOp, Bar, BarOp, Fence, Ld, Sem, St
+
+MP_TEXT = """
+ptx test MP
+thread d0c0t0
+  st.weak [x], 1
+  st.release.gpu [y], 1
+thread d0c1t0
+  ld.acquire.gpu r1, [y]
+  ld.weak r2, [x]
+forbidden: 1:r1=1 & 1:r2=0
+"""
+
+
+class TestInstructionParser:
+    def test_ld_weak(self):
+        instr = parse_instruction("ld.weak r1, [x]")
+        assert instr == Ld(dst="r1", loc="x")
+
+    def test_ld_default_weak(self):
+        assert parse_instruction("ld r1, [x]").sem is Sem.WEAK
+
+    def test_ld_scoped(self):
+        instr = parse_instruction("ld.acquire.gpu r1, [y]")
+        assert instr.sem is Sem.ACQUIRE and instr.scope is Scope.GPU
+
+    def test_ld_volatile(self):
+        instr = parse_instruction("ld.volatile r1, [x]")
+        assert instr.sem is Sem.RELAXED and instr.scope is Scope.SYS
+
+    def test_st(self):
+        instr = parse_instruction("st.release.sys [x], 2")
+        assert instr == St(loc="x", src=2, sem=Sem.RELEASE, scope=Scope.SYS)
+
+    def test_st_register_source(self):
+        assert parse_instruction("st.weak [x], r1").src == "r1"
+
+    def test_atom(self):
+        instr = parse_instruction("atom.add.acq_rel.gpu r1, [x], 1")
+        assert instr == Atom(
+            dst="r1", loc="x", op=AtomOp.ADD, operands=(1,),
+            sem=Sem.ACQ_REL, scope=Scope.GPU,
+        )
+
+    def test_atom_cas_two_operands(self):
+        instr = parse_instruction("atom.cas.relaxed.gpu r1, [x], 0, 5")
+        assert instr.operands == (0, 5)
+
+    def test_red(self):
+        instr = parse_instruction("red.add.relaxed.gpu [x], 1")
+        assert instr.op is AtomOp.ADD and not hasattr(instr, "dst")
+
+    def test_fence(self):
+        assert parse_instruction("fence.sc.gpu") == Fence(sem=Sem.SC, scope=Scope.GPU)
+
+    def test_fence_acq_rel(self):
+        assert parse_instruction("fence.acq_rel.cta").sem is Sem.ACQ_REL
+
+    def test_membar(self):
+        instr = parse_instruction("membar.gl")
+        assert instr == Fence(sem=Sem.SC, scope=Scope.GPU)
+
+    def test_membar_sys_default(self):
+        assert parse_instruction("membar").scope is Scope.SYS
+
+    def test_bar(self):
+        assert parse_instruction("bar.sync 0") == Bar(op=BarOp.SYNC, barrier=0)
+        assert parse_instruction("bar.arrive 2").barrier == 2
+
+    def test_comment_and_semicolon_stripped(self):
+        instr = parse_instruction("st.weak [x], 1; // store flag")
+        assert instr == St(loc="x", src=1)
+
+    def test_unknown_instruction(self):
+        with pytest.raises(LitmusSyntaxError):
+            parse_instruction("mov r1, r2")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(LitmusSyntaxError):
+            parse_instruction("ld.weak r1, x")
+
+
+class TestLitmusParser:
+    def test_parse_mp(self):
+        test = parse_litmus(MP_TEXT)
+        assert test.name == "MP"
+        assert test.expect is Expect.FORBIDDEN
+        assert len(test.program.threads) == 2
+        assert test.threads == (device_thread(0, 0, 0), device_thread(0, 1, 0))
+
+    def test_parsed_test_runs_correctly(self):
+        test = parse_litmus(MP_TEXT)
+        result = run_litmus(test)
+        assert result.verdict is Expect.FORBIDDEN
+        assert result.matches_expectation
+
+    def test_allowed_verdict(self):
+        text = MP_TEXT.replace("forbidden:", "allowed:")
+        assert parse_litmus(text).expect is Expect.ALLOWED
+
+    def test_host_thread_header(self):
+        text = """
+ptx test H
+thread host0
+  st.relaxed.sys [x], 1
+allowed: [x]=1
+"""
+        test = parse_litmus(text)
+        assert test.threads == (host_thread(0),)
+
+    def test_missing_header(self):
+        with pytest.raises(LitmusSyntaxError):
+            parse_litmus("thread d0c0t0\n st.weak [x], 1\nallowed: [x]=1")
+
+    def test_missing_condition(self):
+        with pytest.raises(LitmusSyntaxError):
+            parse_litmus("ptx test X\nthread d0c0t0\n st.weak [x], 1\n")
+
+    def test_instruction_before_thread(self):
+        with pytest.raises(LitmusSyntaxError):
+            parse_litmus("ptx test X\nst.weak [x], 1\nallowed: [x]=1")
+
+    def test_comments_ignored(self):
+        text = "// header comment\n" + MP_TEXT
+        assert parse_litmus(text).name == "MP"

@@ -1,0 +1,68 @@
+"""Tests for the multi-model litmus runner plumbing."""
+
+import pytest
+
+from repro.litmus import BY_NAME, Expect, MODELS, run_litmus, run_suite, summarize
+
+
+class TestRegistry:
+    def test_models_available(self):
+        assert set(MODELS) == {"ptx", "ptx-legacy", "tso", "sc"}
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            run_litmus(BY_NAME["MP+weak"], model="armv8")
+
+
+class TestRunLitmus:
+    def test_result_fields(self):
+        result = run_litmus(BY_NAME["MP+rel_acq.gpu"])
+        assert result.model == "ptx"
+        assert result.verdict is Expect.FORBIDDEN
+        assert result.matches_expectation is True
+        assert result.outcomes
+
+    def test_verdict_derivation(self):
+        result = run_litmus(BY_NAME["MP+weak"])
+        assert result.observed and result.verdict is Expect.ALLOWED
+
+    def test_undocumented_model_expectation_is_none(self):
+        test = BY_NAME["MP+rlx"]  # no tso expectation recorded
+        result = run_litmus(test, model="tso")
+        assert result.matches_expectation is None
+
+    def test_search_opts_forwarded(self):
+        """LB+deps carries speculation values in its search_opts; without
+        forwarding, the thin-air candidate space would be empty and the
+        test would be vacuously forbidden for the wrong reason."""
+        test = BY_NAME["LB+deps"]
+        relaxed = run_litmus(test, skip_axioms=("No-Thin-Air",))
+        assert relaxed.verdict is Expect.ALLOWED
+
+    def test_caller_opts_override(self):
+        test = BY_NAME["LB+deps"]
+        result = run_litmus(test, speculation_values=())
+        assert result.verdict is Expect.FORBIDDEN
+
+    def test_repr_has_status(self):
+        result = run_litmus(BY_NAME["CoRR"])
+        assert "OK" in repr(result)
+
+
+class TestSuiteHelpers:
+    def test_run_suite_preserves_order(self):
+        tests = [BY_NAME["CoRR"], BY_NAME["CoWW"]]
+        results = run_suite(tests)
+        assert [r.test.name for r in results] == ["CoRR", "CoWW"]
+
+    def test_summarize_table(self):
+        results = run_suite([BY_NAME["CoRR"]])
+        table = summarize(results)
+        assert "CoRR" in table and "forbidden" in table and "ok" in table
+
+    def test_summarize_marks_mismatch(self):
+        from dataclasses import replace
+
+        result = run_litmus(BY_NAME["CoRR"])
+        lying = replace(result, test=replace(result.test, expect=Expect.ALLOWED))
+        assert "MISMATCH" in summarize([lying])

@@ -1,0 +1,134 @@
+"""Tests for the bounded empirical mapping checker (§6.1) and skeletons."""
+
+import pytest
+
+from repro.core import Scope, device_thread
+from repro.mapping import (
+    BUGGY_RMW_SC,
+    STANDARD,
+    check_mapping_axiom,
+    check_program_against_axiom,
+    compositions,
+    count_skeletons,
+    cta_assignments,
+    source_skeletons,
+)
+from repro.ptx.isa import AtomOp
+from repro.rc11 import CProgramBuilder, MemOrder
+
+T0 = device_thread(0, 0, 0)
+T1 = device_thread(0, 1, 0)
+T2 = device_thread(0, 2, 0)
+
+
+def isa2_rmw_sc():
+    """The Figure 12 ISA2 variant probing the RMW_SC mapping."""
+    return (
+        CProgramBuilder("ISA2-rmw")
+        .thread(T0).store("x", 1).store("y", 1, mo=MemOrder.REL, scope=Scope.GPU)
+        .thread(T1)
+        .rmw("r1", "y", AtomOp.EXCH, 2, mo=MemOrder.SC, scope=Scope.GPU)
+        .store("y", 3, mo=MemOrder.RLX, scope=Scope.GPU)
+        .thread(T2)
+        .load("r2", "y", mo=MemOrder.ACQ, scope=Scope.GPU)
+        .load("r3", "x")
+        .build()
+    )
+
+
+class TestSkeletonGeneration:
+    def test_compositions(self):
+        assert sorted(compositions(3)) == [(1, 1, 1), (1, 2), (2, 1), (3,)]
+
+    def test_compositions_max_parts(self):
+        assert all(len(c) <= 2 for c in compositions(4, max_parts=2))
+
+    def test_cta_assignments_are_restricted_growth(self):
+        assignments = list(cta_assignments(3))
+        assert (0, 0, 0) in assignments
+        assert (0, 1, 0) in assignments
+        assert (0, 1, 2) in assignments
+        assert (1, 0, 0) not in assignments  # not canonical
+        assert len(assignments) == 5  # Bell(3)
+
+    def test_bound_1_counts(self):
+        # 17 kind×order combos; scoped: NA ops unscoped, others ×3 scopes
+        assert count_skeletons(1, scoped=False) == 17
+        assert count_skeletons(1, scoped=True) == 47
+
+    def test_scoped_space_larger(self):
+        assert count_skeletons(2, scoped=True) > count_skeletons(2, scoped=False)
+
+    def test_skeletons_are_valid_programs(self):
+        for program in source_skeletons(2, scoped=True):
+            assert program.threads
+            total_ops = sum(len(t.ops) for t in program.threads)
+            assert total_ops == 2
+
+    def test_locations_canonical(self):
+        """Location 'y' never appears before 'x'."""
+        for program in source_skeletons(2, scoped=False):
+            first_locs = [
+                op.loc
+                for thread in program.threads
+                for op in thread.ops
+                if getattr(op, "loc", None) is not None
+            ]
+            if first_locs:
+                assert first_locs[0] == "x"
+
+    def test_names_unique(self):
+        names = [p.name for p in source_skeletons(2, scoped=False)]
+        assert len(names) == len(set(names))
+
+
+class TestPerProgramCheck:
+    @pytest.mark.parametrize("axiom", ["Coherence", "Atomicity", "SC"])
+    def test_standard_mapping_clean_on_isa2(self, axiom):
+        assert check_program_against_axiom(isa2_rmw_sc(), axiom) is None
+
+    def test_buggy_mapping_caught_on_isa2(self):
+        """Figure 12: the elided-release variant breaks RC11 Coherence."""
+        counterexample = check_program_against_axiom(
+            isa2_rmw_sc(), "Coherence", scheme=BUGGY_RMW_SC
+        )
+        assert counterexample is not None
+        assert counterexample.axiom == "Coherence"
+
+    def test_unknown_axiom_rejected(self):
+        with pytest.raises(KeyError):
+            check_mapping_axiom(1, "NotAnAxiom")
+
+
+class TestBoundedCheck:
+    @pytest.mark.parametrize("axiom", ["Coherence", "Atomicity", "SC"])
+    def test_bound_1_scoped_holds(self, axiom):
+        result = check_mapping_axiom(1, axiom, scheme=STANDARD, scoped=True)
+        assert result.holds
+        assert result.stats.skeletons == 47
+
+    @pytest.mark.parametrize("axiom", ["Coherence", "Atomicity", "SC"])
+    def test_bound_1_descoped_holds(self, axiom):
+        result = check_mapping_axiom(1, axiom, scheme=STANDARD, scoped=False)
+        assert result.holds
+        assert result.stats.skeletons == 17
+
+    def test_time_budget_truncates(self):
+        result = check_mapping_axiom(
+            3, "Coherence", scoped=True, time_budget=0.2
+        )
+        assert result.stats.timed_out
+        assert result.stats.elapsed < 10
+
+    def test_custom_skeleton_stream(self):
+        result = check_mapping_axiom(
+            6, "Coherence", skeletons=[isa2_rmw_sc()]
+        )
+        assert result.holds and result.stats.skeletons == 1
+
+    def test_buggy_scheme_found_via_stream(self):
+        result = check_mapping_axiom(
+            6, "Coherence", scheme=BUGGY_RMW_SC, skeletons=[isa2_rmw_sc()]
+        )
+        assert not result.holds
+        assert result.counterexamples[0].program.name == "ISA2-rmw"

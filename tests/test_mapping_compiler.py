@@ -1,0 +1,185 @@
+"""Tests for the Figure 11 compilation mapping."""
+
+import pytest
+
+from repro.core import Scope, device_thread
+from repro.mapping import (
+    BUGGY_RMW_SC,
+    DESCOPED,
+    STANDARD,
+    MappingScheme,
+    compile_op,
+    compile_program,
+    event_map,
+)
+from repro.ptx import Atom, Fence, Ld, Sem, St, elaborate
+from repro.ptx.isa import AtomOp
+from repro.rc11 import (
+    CFence,
+    CLoad,
+    CProgramBuilder,
+    CRmw,
+    CStore,
+    MemOrder,
+    c_elaborate,
+)
+
+T0 = device_thread(0, 0, 0)
+T1 = device_thread(0, 1, 0)
+
+
+class TestFigure11Table:
+    """Each row of the paper's Figure 11, construct by construct."""
+
+    def test_read_na(self):
+        assert compile_op(CLoad(dst="r1", loc="x")) == [Ld(dst="r1", loc="x")]
+
+    def test_read_rlx(self):
+        [instr] = compile_op(CLoad(dst="r1", loc="x", mo=MemOrder.RLX, scope=Scope.GPU))
+        assert instr == Ld(dst="r1", loc="x", sem=Sem.RELAXED, scope=Scope.GPU)
+
+    def test_read_acq(self):
+        [instr] = compile_op(CLoad(dst="r1", loc="x", mo=MemOrder.ACQ, scope=Scope.CTA))
+        assert instr.sem is Sem.ACQUIRE and instr.scope is Scope.CTA
+
+    def test_read_sc_leading_fence(self):
+        fence, load = compile_op(
+            CLoad(dst="r1", loc="x", mo=MemOrder.SC, scope=Scope.SYS)
+        )
+        assert fence == Fence(sem=Sem.SC, scope=Scope.SYS)
+        assert load.sem is Sem.ACQUIRE
+
+    def test_write_na(self):
+        assert compile_op(CStore(loc="x", src=1)) == [St(loc="x", src=1)]
+
+    def test_write_rel(self):
+        [instr] = compile_op(CStore(loc="x", src=1, mo=MemOrder.REL, scope=Scope.GPU))
+        assert instr.sem is Sem.RELEASE
+
+    def test_write_sc_leading_fence(self):
+        fence, store = compile_op(
+            CStore(loc="x", src=1, mo=MemOrder.SC, scope=Scope.GPU)
+        )
+        assert fence.sem is Sem.SC
+        assert store.sem is Sem.RELEASE
+
+    @pytest.mark.parametrize(
+        "mo,expected",
+        [
+            (MemOrder.RLX, Sem.RELAXED),
+            (MemOrder.ACQ, Sem.ACQUIRE),
+            (MemOrder.REL, Sem.RELEASE),
+            (MemOrder.ACQREL, Sem.ACQ_REL),
+        ],
+    )
+    def test_rmw_orders(self, mo, expected):
+        [instr] = compile_op(
+            CRmw(dst="r1", loc="x", op=AtomOp.ADD, operands=(1,), mo=mo,
+                 scope=Scope.GPU)
+        )
+        assert isinstance(instr, Atom) and instr.sem is expected
+
+    def test_rmw_sc_keeps_release(self):
+        """The Figure 12 lesson: RMW_SC must compile to atom.acq_rel."""
+        fence, atom = compile_op(
+            CRmw(dst="r1", loc="x", op=AtomOp.EXCH, operands=(1,),
+                 mo=MemOrder.SC, scope=Scope.GPU)
+        )
+        assert fence.sem is Sem.SC
+        assert atom.sem is Sem.ACQ_REL
+
+    def test_rmw_sc_buggy_variant_elides_release(self):
+        fence, atom = compile_op(
+            CRmw(dst="r1", loc="x", op=AtomOp.EXCH, operands=(1,),
+                 mo=MemOrder.SC, scope=Scope.GPU),
+            scheme=BUGGY_RMW_SC,
+        )
+        assert atom.sem is Sem.ACQUIRE
+
+    @pytest.mark.parametrize(
+        "mo,expected",
+        [
+            (MemOrder.ACQ, Sem.ACQUIRE),
+            (MemOrder.REL, Sem.RELEASE),
+            (MemOrder.ACQREL, Sem.ACQ_REL),
+            (MemOrder.SC, Sem.SC),
+        ],
+    )
+    def test_fences(self, mo, expected):
+        [instr] = compile_op(CFence(mo=mo, scope=Scope.GPU))
+        assert isinstance(instr, Fence) and instr.sem is expected
+
+
+class TestSchemes:
+    def test_descoped_forces_sys(self):
+        [instr] = compile_op(
+            CLoad(dst="r1", loc="x", mo=MemOrder.ACQ, scope=Scope.CTA),
+            scheme=DESCOPED,
+        )
+        assert instr.scope is Scope.SYS
+
+    def test_standard_preserves_scope(self):
+        assert STANDARD.scope_of(Scope.CTA) is Scope.CTA
+
+    def test_custom_scheme(self):
+        scheme = MappingScheme(name="both", descope=True, elide_rmw_sc_release=True)
+        fence, atom = compile_op(
+            CRmw(dst="r1", loc="x", op=AtomOp.EXCH, operands=(1,),
+                 mo=MemOrder.SC, scope=Scope.CTA),
+            scheme=scheme,
+        )
+        assert atom.scope is Scope.SYS and atom.sem is Sem.ACQUIRE
+
+
+class TestProgramCompilation:
+    def source(self):
+        return (
+            CProgramBuilder("p")
+            .thread(T0).store("x", 1).store("y", 1, mo=MemOrder.SC, scope=Scope.GPU)
+            .thread(T1)
+            .rmw("r1", "y", AtomOp.EXCH, 2, mo=MemOrder.SC, scope=Scope.GPU)
+            .load("r2", "x")
+            .build()
+        )
+
+    def test_structure_preserved(self):
+        compiled = compile_program(self.source())
+        assert len(compiled.target.threads) == 2
+        assert compiled.target.threads[0].tid == T0
+        assert compiled.instructions_per_op == ((1, 2), (2, 1))
+
+    def test_target_name_mentions_scheme(self):
+        compiled = compile_program(self.source(), DESCOPED)
+        assert "descoped" in compiled.target.name
+
+    def test_event_map_covers_every_source_event(self):
+        compiled = compile_program(self.source())
+        c_elab = c_elaborate(compiled.source)
+        p_elab = elaborate(compiled.target)
+        mapping = event_map(compiled, c_elab, p_elab)
+        mapped_sources = {pair[0] for pair in mapping}
+        assert mapped_sources == set(c_elab.events)
+
+    def test_event_map_covers_every_target_event(self):
+        compiled = compile_program(self.source())
+        c_elab = c_elaborate(compiled.source)
+        p_elab = elaborate(compiled.target)
+        mapping = event_map(compiled, c_elab, p_elab)
+        mapped_targets = {pair[1] for pair in mapping}
+        assert mapped_targets == set(p_elab.events)
+
+    def test_rmw_maps_to_both_halves(self):
+        compiled = compile_program(self.source())
+        c_elab = c_elaborate(compiled.source)
+        p_elab = elaborate(compiled.target)
+        mapping = event_map(compiled, c_elab, p_elab)
+        rmw_source = next(e for e in c_elab.events if e.kind.value == "U")
+        targets = [t for s, t in mapping if s is rmw_source]
+        kinds = sorted(t.kind.value for t in targets)
+        assert kinds == ["F", "R", "W"]  # leading fence + both atom halves
+
+    def test_registers_preserved(self):
+        compiled = compile_program(self.source())
+        p_elab = elaborate(compiled.target)
+        assert "r1" in p_elab.read_dst.values()
+        assert "r2" in p_elab.read_dst.values()

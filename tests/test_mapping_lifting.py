@@ -1,0 +1,113 @@
+"""Tests for lifting PTX executions back to the source level (§5.2)."""
+
+from repro.core import Scope, device_thread
+from repro.mapping import STANDARD, compile_program, lift_candidate
+from repro.rc11 import CProgramBuilder, MemOrder, c_is_init
+from repro.rc11.model import check_execution as rc11_check
+from repro.search import candidate_executions
+
+T0 = device_thread(0, 0, 0)
+T1 = device_thread(0, 1, 0)
+
+
+def mp_source():
+    return (
+        CProgramBuilder("MP")
+        .thread(T0).store("x", 1).store("y", 1, mo=MemOrder.REL, scope=Scope.GPU)
+        .thread(T1)
+        .load("r1", "y", mo=MemOrder.ACQ, scope=Scope.GPU)
+        .load("r2", "x")
+        .build()
+    )
+
+
+def lifts(source, scheme=STANDARD):
+    compiled = compile_program(source, scheme)
+    for candidate in candidate_executions(compiled.target):
+        yield lift_candidate(compiled, candidate)
+
+
+class TestLiftStructure:
+    def test_rf_total_on_reads(self):
+        """Every source read gets exactly one rf source after lifting."""
+        for lift in lifts(mp_source()):
+            rf = lift.rf
+            reads = [e for e in lift.events if e.is_read]
+            for read in reads:
+                sources = [w for w, r in rf if r is read]
+                assert len(sources) == 1
+
+    def test_rf_same_location(self):
+        for lift in lifts(mp_source()):
+            for w, r in lift.rf:
+                assert w.loc == r.loc
+
+    def test_lifted_co_respects_init(self):
+        for lift in lifts(mp_source()):
+            for a, b in lift.lifted_co:
+                assert not c_is_init(b) or c_is_init(a)
+
+    def test_sb_covers_init(self):
+        for lift in lifts(mp_source()):
+            inits = [e for e in lift.events if c_is_init(e)]
+            programs = [e for e in lift.events if not c_is_init(e)]
+            for init in inits:
+                for event in programs:
+                    assert (init, event) in lift.sb
+
+    def test_valuation_covers_all_nodes(self):
+        from repro.rc11.program import read_node, write_node
+
+        for lift in lifts(mp_source()):
+            for event in lift.events:
+                if event.is_read:
+                    assert read_node(event) in lift.valuation
+                if event.is_write:
+                    assert write_node(event) in lift.valuation
+
+
+class TestLiftSemantics:
+    def test_every_lifted_execution_is_rc11_consistent(self):
+        """The observable soundness theorem at MP scale: every legal PTX
+        execution of the compiled program lifts to a legal RC11 execution
+        for every mo extension."""
+        count = 0
+        for lift in lifts(mp_source()):
+            for execution in lift.executions():
+                count += 1
+                assert rc11_check(execution).consistent
+        assert count > 0
+
+    def test_violating_axioms_empty_for_standard_mapping(self):
+        for lift in lifts(mp_source()):
+            assert lift.violating_axioms() == ()
+
+    def test_mo_extensions_extend_lifted_co(self):
+        for lift in lifts(mp_source()):
+            for execution in lift.executions():
+                mo = execution.relation("mo")
+                assert lift.lifted_co.issubset(mo)
+
+    def test_mo_total_per_location(self):
+        for lift in lifts(mp_source()):
+            for execution in lift.executions():
+                mo = execution.relation("mo")
+                writes_by_loc = {}
+                for event in execution.events:
+                    if event.is_write:
+                        writes_by_loc.setdefault(event.loc, []).append(event)
+                for writes in writes_by_loc.values():
+                    assert mo.is_total_over(writes)
+
+    def test_sc_loads_lift(self):
+        source = (
+            CProgramBuilder("sc-ops")
+            .thread(T0).store("x", 1, mo=MemOrder.SC, scope=Scope.SYS)
+            .thread(T1).load("r1", "x", mo=MemOrder.SC, scope=Scope.SYS)
+            .build()
+        )
+        seen = 0
+        for lift in lifts(source):
+            assert lift.violating_axioms() == ()
+            seen += 1
+        assert seen > 0

@@ -1,0 +1,133 @@
+"""Unit tests for the lowered-relation computation (§6.2's plumbing)."""
+
+import pytest
+
+from repro.core import Scope, device_thread
+from repro.mapping import STANDARD, compile_program, lift_candidate
+from repro.mapping.lowering import build_lowering_map, lowered_relations
+from repro.ptx.events import Kind, Sem
+from repro.rc11 import CProgramBuilder, CKind, MemOrder
+from repro.rc11.program import normalize_sc
+from repro.search import candidate_executions
+
+T0 = device_thread(0, 0, 0)
+T1 = device_thread(0, 1, 0)
+
+
+def first_lift(source, scheme=STANDARD):
+    compiled = compile_program(source, scheme)
+    candidate = next(iter(candidate_executions(compiled.target)))
+    lift = lift_candidate(compiled, candidate)
+    return compiled, candidate, lift
+
+
+class TestLoweringMap:
+    def sc_program(self):
+        return (
+            CProgramBuilder("p")
+            .thread(T0).store("x", 1, mo=MemOrder.SC, scope=Scope.GPU)
+            .thread(T1).load("r1", "x", mo=MemOrder.SC, scope=Scope.GPU)
+            .build()
+        )
+
+    def test_sc_store_endpoints(self):
+        compiled, candidate, lift = first_lift(self.sc_program())
+        lowering = build_lowering_map(compiled, lift, candidate)
+        store = next(e for e in lift.c_elab.events if e.kind is CKind.WRITE)
+        # the leading fence is excluded from in/out, included as the fence
+        assert lowering.in_event(store).kind is Kind.WRITE
+        assert lowering.out_event(store).kind is Kind.WRITE
+        fence = lowering.fence_event(store)
+        assert fence is not None and fence.sem is Sem.SC
+
+    def test_sc_load_endpoints(self):
+        compiled, candidate, lift = first_lift(self.sc_program())
+        lowering = build_lowering_map(compiled, lift, candidate)
+        load = next(e for e in lift.c_elab.events if e.kind is CKind.READ)
+        assert lowering.read_event(load).kind is Kind.READ
+        assert lowering.write_event(load) is None
+        assert lowering.fence_event(load) is not None
+
+    def test_rmw_endpoints_differ(self):
+        from repro.ptx.isa import AtomOp
+
+        source = (
+            CProgramBuilder("p")
+            .thread(T0)
+            .rmw("r1", "x", AtomOp.ADD, 1, mo=MemOrder.ACQREL, scope=Scope.GPU)
+            .build()
+        )
+        compiled, candidate, lift = first_lift(source)
+        lowering = build_lowering_map(compiled, lift, candidate)
+        rmw = lift.c_elab.events[0]
+        read = lowering.read_event(rmw)
+        write = lowering.write_event(rmw)
+        assert read.kind is Kind.READ and write.kind is Kind.WRITE
+        assert lowering.in_event(rmw) is read
+        assert lowering.out_event(rmw) is write
+
+    def test_plain_fence_is_its_own_everything(self):
+        source = (
+            CProgramBuilder("p")
+            .thread(T0).fence(MemOrder.SC, Scope.GPU)
+            .build()
+        )
+        compiled, candidate, lift = first_lift(source)
+        lowering = build_lowering_map(compiled, lift, candidate)
+        fence = lift.c_elab.events[0]
+        assert lowering.in_event(fence).is_fence
+        assert lowering.fence_event(fence) is lowering.in_event(fence)
+
+    def test_init_writes_map_to_ptx_inits(self):
+        compiled, candidate, lift = first_lift(self.sc_program())
+        lowering = build_lowering_map(compiled, lift, candidate)
+        init = next(e for e in lift.events if e not in lift.c_elab.events)
+        target = lowering.write_event(init)
+        assert target is not None and target.instr == -1
+
+
+class TestLoweredRelations:
+    def mp(self):
+        return normalize_sc(
+            CProgramBuilder("MP")
+            .thread(T0).store("x", 1).store("y", 1, mo=MemOrder.REL, scope=Scope.GPU)
+            .thread(T1)
+            .load("r1", "y", mo=MemOrder.ACQ, scope=Scope.GPU)
+            .load("r2", "x")
+            .build()
+        )
+
+    def all_lowerings(self, source):
+        compiled = compile_program(source, STANDARD)
+        for candidate in candidate_executions(compiled.target):
+            lift = lift_candidate(compiled, candidate)
+            for execution in lift.executions():
+                yield candidate, lowered_relations(
+                    compiled, lift, candidate, execution
+                )
+
+    def test_expected_keys(self):
+        _, lowered = next(iter(self.all_lowerings(self.mp())))
+        assert set(lowered) == {
+            "hb_l", "rf_l", "rb_l", "mo_l", "psc_l", "incl_l", "rmw_l"
+        }
+
+    def test_rf_l_is_subset_of_ptx_rf(self):
+        for candidate, lowered in self.all_lowerings(self.mp()):
+            ptx_rf = candidate.execution.relation("rf")
+            assert lowered["rf_l"].issubset(ptx_rf)
+
+    def test_hb_l_endpoints_are_ptx_events(self):
+        for candidate, lowered in self.all_lowerings(self.mp()):
+            events = set(candidate.execution.events)
+            for a, b in lowered["hb_l"]:
+                assert a in events and b in events
+
+    def test_hb_l_excludes_init_edges(self):
+        for candidate, lowered in self.all_lowerings(self.mp()):
+            for a, b in lowered["hb_l"]:
+                assert a.instr != -1 and b.instr != -1
+
+    def test_rmw_l_empty_without_atomics(self):
+        for _, lowered in self.all_lowerings(self.mp()):
+            assert lowered["rmw_l"].is_empty()

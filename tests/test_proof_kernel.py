@@ -1,0 +1,153 @@
+"""Unit tests for the LCF-style proof kernel."""
+
+import pytest
+
+from repro.lang import ast
+from repro.proof import ProofError, Thm, kernel
+
+r = ast.rel("r")
+s = ast.rel("s")
+t = ast.rel("t")
+
+
+class TestTrustBoundary:
+    def test_thm_not_forgeable(self):
+        with pytest.raises(ProofError):
+            Thm(hyps=frozenset(), concl=ast.Subset(r, s), rule="forged")
+
+    def test_assume_tracks_hypothesis(self):
+        f = ast.Subset(r, s)
+        thm = kernel.assume(f)
+        assert thm.concl == f and f in thm.hyps
+
+    def test_hypotheses_merge(self):
+        h1 = kernel.assume(ast.Subset(r, s))
+        h2 = kernel.assume(ast.Subset(s, t))
+        combined = kernel.subset_trans(h1, h2)
+        assert len(combined.hyps) == 2
+
+
+class TestLatticeRules:
+    def test_subset_refl(self):
+        assert kernel.subset_refl(r).concl == ast.Subset(r, r)
+
+    def test_subset_trans_checks_middle(self):
+        h1 = kernel.assume(ast.Subset(r, s))
+        bad = kernel.assume(ast.Subset(t, r))
+        with pytest.raises(ProofError):
+            kernel.subset_trans(h1, bad)
+
+    def test_subset_trans_requires_subsets(self):
+        with pytest.raises(ProofError):
+            kernel.subset_trans(
+                kernel.assume(ast.Acyclic(r)), kernel.assume(ast.Subset(r, s))
+            )
+
+    def test_union_rules(self):
+        assert kernel.union_left(r, s).concl == ast.Subset(r, r | s)
+        assert kernel.union_right(r, s).concl == ast.Subset(s, r | s)
+
+    def test_union_lub(self):
+        h1 = kernel.assume(ast.Subset(r, t))
+        h2 = kernel.assume(ast.Subset(s, t))
+        assert kernel.union_lub(h1, h2).concl == ast.Subset(r | s, t)
+
+    def test_union_lub_checks_target(self):
+        h1 = kernel.assume(ast.Subset(r, t))
+        h2 = kernel.assume(ast.Subset(s, r))
+        with pytest.raises(ProofError):
+            kernel.union_lub(h1, h2)
+
+    def test_inter_rules(self):
+        assert kernel.inter_left(r, s).concl == ast.Subset(r & s, r)
+        h1 = kernel.assume(ast.Subset(t, r))
+        h2 = kernel.assume(ast.Subset(t, s))
+        assert kernel.inter_glb(h1, h2).concl == ast.Subset(t, r & s)
+
+    def test_diff_subset(self):
+        assert kernel.diff_subset(r, s).concl == ast.Subset(r - s, r)
+
+
+class TestMonotonicity:
+    def test_join_mono(self):
+        h1 = kernel.assume(ast.Subset(r, s))
+        h2 = kernel.assume(ast.Subset(s, t))
+        assert kernel.join_mono(h1, h2).concl == ast.Subset(r @ s, s @ t)
+
+    def test_closure_mono(self):
+        h = kernel.assume(ast.Subset(r, s))
+        assert kernel.closure_mono(h).concl == ast.Subset(r.plus(), s.plus())
+
+    def test_transpose_mono(self):
+        h = kernel.assume(ast.Subset(r, s))
+        assert kernel.transpose_mono(h).concl == ast.Subset(~r, ~s)
+
+
+class TestClosureLaws:
+    def test_unfold_and_compose(self):
+        assert kernel.closure_unfold(r).concl == ast.Subset(r, r.plus())
+        assert kernel.closure_compose(r).concl == ast.Subset(
+            r.plus() @ r.plus(), r.plus()
+        )
+
+    def test_closure_least(self):
+        step = kernel.assume(ast.Subset(s @ s, s))
+        base = kernel.assume(ast.Subset(r, s))
+        assert kernel.closure_least(step, base).concl == ast.Subset(r.plus(), s)
+
+    def test_closure_least_shape_checked(self):
+        wrong_step = kernel.assume(ast.Subset(s @ t, s))
+        base = kernel.assume(ast.Subset(r, s))
+        with pytest.raises(ProofError):
+            kernel.closure_least(wrong_step, base)
+
+    def test_opt_rules(self):
+        assert kernel.opt_intro(r).concl == ast.Subset(r, r.opt())
+        assert kernel.opt_iden(r).concl == ast.Subset(ast.Iden(), r.opt())
+
+
+class TestIrreflexivityTransport:
+    def test_irreflexive_subset(self):
+        irr = kernel.assume(ast.Irreflexive(s))
+        sub = kernel.assume(ast.Subset(r, s))
+        assert kernel.irreflexive_subset(irr, sub).concl == ast.Irreflexive(r)
+
+    def test_irreflexive_subset_mismatch(self):
+        irr = kernel.assume(ast.Irreflexive(t))
+        sub = kernel.assume(ast.Subset(r, s))
+        with pytest.raises(ProofError):
+            kernel.irreflexive_subset(irr, sub)
+
+    def test_rotate(self):
+        irr = kernel.assume(ast.Irreflexive(r @ s))
+        assert kernel.irreflexive_rotate(irr).concl == ast.Irreflexive(s @ r)
+
+    def test_rotate_requires_join(self):
+        with pytest.raises(ProofError):
+            kernel.irreflexive_rotate(kernel.assume(ast.Irreflexive(r)))
+
+    def test_acyclic_irreflexive_closure_round_trip(self):
+        acy = kernel.assume(ast.Acyclic(r))
+        irr = kernel.acyclic_to_irreflexive_closure(acy)
+        assert irr.concl == ast.Irreflexive(r.plus())
+        back = kernel.irreflexive_closure_to_acyclic(irr)
+        assert back.concl == ast.Acyclic(r)
+
+    def test_irreflexive_union(self):
+        a = kernel.assume(ast.Irreflexive(r))
+        b = kernel.assume(ast.Irreflexive(s))
+        assert kernel.irreflexive_union(a, b).concl == ast.Irreflexive(r | s)
+
+    def test_empty_subset(self):
+        nof = kernel.assume(ast.NoF(s))
+        sub = kernel.assume(ast.Subset(r, s))
+        assert kernel.empty_subset(nof, sub).concl == ast.NoF(r)
+
+
+class TestConjunction:
+    def test_intro_and_elim(self):
+        a = kernel.assume(ast.Irreflexive(r))
+        b = kernel.assume(ast.Acyclic(s))
+        both = kernel.conj_intro(a, b)
+        assert kernel.conj_left(both).concl == a.concl
+        assert kernel.conj_right(both).concl == b.concl

@@ -1,0 +1,147 @@
+"""Semantic soundness of the proof kernel's inference rules.
+
+Every closed rule (no premises) must yield a conclusion that evaluates true
+in *every* concrete environment; every conditional rule must preserve truth
+(if the premises hold in an environment, the conclusion does too).  We fuzz
+this with random relations — the kernel's analog of validating alloy.v
+against Alloy's own semantics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import Env, ast, eval_formula
+from repro.proof import kernel
+from repro.relation import Relation
+
+ATOMS = list(range(4))
+r = ast.rel("r")
+s = ast.rel("s")
+t = ast.rel("t")
+
+
+def envs():
+    pair = st.tuples(st.sampled_from(ATOMS), st.sampled_from(ATOMS))
+    rel = st.frozensets(pair, max_size=8).map(Relation)
+    return st.tuples(rel, rel, rel).map(
+        lambda triple: Env.over(
+            ATOMS, r=triple[0], s=triple[1], t=triple[2]
+        )
+    )
+
+
+CLOSED_RULES = [
+    lambda: kernel.subset_refl(r @ s),
+    lambda: kernel.union_left(r, s),
+    lambda: kernel.union_right(r, s),
+    lambda: kernel.inter_left(r, s),
+    lambda: kernel.inter_right(r, s),
+    lambda: kernel.diff_subset(r, s),
+    lambda: kernel.closure_unfold(r),
+    lambda: kernel.closure_compose(r),
+    lambda: kernel.closure_idem(r),
+    lambda: kernel.opt_intro(r),
+    lambda: kernel.opt_unfold(r),
+    lambda: kernel.opt_fold(r),
+    lambda: kernel.opt_iden(r),
+    lambda: kernel.join_assoc_fwd(r, s, t),
+    lambda: kernel.join_assoc_bwd(r, s, t),
+    lambda: kernel.join_distrib_union_fwd(r, s, t),
+    lambda: kernel.join_distrib_union_bwd(r, s, t),
+    lambda: kernel.join_distrib_union_left_fwd(r, s, t),
+    lambda: kernel.join_opt_expand(r, s),
+    lambda: kernel.iden_join_left(r),
+    lambda: kernel.iden_join_right(r),
+    lambda: kernel.iden_intro_left(r),
+    lambda: kernel.iden_intro_right(r),
+]
+
+
+@given(envs(), st.sampled_from(range(len(CLOSED_RULES))))
+@settings(max_examples=300, deadline=None)
+def test_closed_rules_are_valid(env, rule_index):
+    thm = CLOSED_RULES[rule_index]()
+    assert thm.hyps == frozenset()
+    assert eval_formula(thm.concl, env), thm
+
+
+# Conditional rules: (premise formulas, rule application).
+def _bracket_rules():
+    w = ast.set_("w")
+    return [
+        kernel.bracket_drop_left(w, r),
+        kernel.bracket_drop_right(r, w),
+    ]
+
+
+@given(envs(), st.frozensets(st.sampled_from(ATOMS), max_size=4))
+@settings(max_examples=150, deadline=None)
+def test_bracket_rules_are_valid(env, w_atoms):
+    env = env.bind("w", Relation.set_of(w_atoms))
+    for thm in _bracket_rules():
+        assert eval_formula(thm.concl, env), thm
+
+
+CONDITIONAL_RULES = [
+    # (premises as formulas, application)
+    (
+        [ast.Subset(r, s), ast.Subset(s, t)],
+        lambda p: kernel.subset_trans(p[0], p[1]),
+    ),
+    (
+        [ast.Subset(r, t), ast.Subset(s, t)],
+        lambda p: kernel.union_lub(p[0], p[1]),
+    ),
+    (
+        [ast.Subset(t, r), ast.Subset(t, s)],
+        lambda p: kernel.inter_glb(p[0], p[1]),
+    ),
+    (
+        [ast.Subset(r, s), ast.Subset(s, t)],
+        lambda p: kernel.join_mono(p[0], p[1]),
+    ),
+    (
+        [ast.Subset(r, s), ast.Subset(s, t)],
+        lambda p: kernel.union_mono(p[0], p[1]),
+    ),
+    (
+        [ast.Subset(r, s), ast.Subset(s, t)],
+        lambda p: kernel.inter_mono(p[0], p[1]),
+    ),
+    ([ast.Subset(r, s)], lambda p: kernel.transpose_mono(p[0])),
+    ([ast.Subset(r, s)], lambda p: kernel.closure_mono(p[0])),
+    ([ast.Subset(r, s)], lambda p: kernel.opt_mono(p[0])),
+    (
+        [ast.Subset(s @ s, s), ast.Subset(r, s)],
+        lambda p: kernel.closure_least(p[0], p[1]),
+    ),
+    (
+        [ast.Irreflexive(s), ast.Subset(r, s)],
+        lambda p: kernel.irreflexive_subset(p[0], p[1]),
+    ),
+    (
+        [ast.Acyclic(s), ast.Subset(r, s)],
+        lambda p: kernel.acyclic_subset(p[0], p[1]),
+    ),
+    ([ast.Acyclic(r)], lambda p: kernel.acyclic_to_irreflexive_closure(p[0])),
+    ([ast.Acyclic(r)], lambda p: kernel.acyclic_irreflexive(p[0])),
+    ([ast.Irreflexive(r @ s)], lambda p: kernel.irreflexive_rotate(p[0])),
+    (
+        [ast.Irreflexive(r), ast.Irreflexive(s)],
+        lambda p: kernel.irreflexive_union(p[0], p[1]),
+    ),
+    (
+        [ast.NoF(s), ast.Subset(r, s)],
+        lambda p: kernel.empty_subset(p[0], p[1]),
+    ),
+]
+
+
+@given(envs(), st.sampled_from(range(len(CONDITIONAL_RULES))))
+@settings(max_examples=400, deadline=None)
+def test_conditional_rules_preserve_truth(env, rule_index):
+    premises, apply = CONDITIONAL_RULES[rule_index]
+    if not all(eval_formula(p, env) for p in premises):
+        return  # premises vacuously false in this environment
+    thm = apply([kernel.assume(p) for p in premises])
+    assert eval_formula(thm.concl, env), (premises, thm)

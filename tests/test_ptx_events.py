@@ -1,0 +1,111 @@
+"""Tests for PTX event construction and validation."""
+
+import pytest
+
+from repro.core import Scope, device_thread
+from repro.ptx import Event, Kind, Sem, init_write, is_init
+
+T = device_thread(0, 0, 0)
+
+
+class TestSem:
+    def test_strength(self):
+        assert not Sem.WEAK.is_strong
+        assert Sem.RELAXED.is_strong
+        assert Sem.SC.is_strong
+
+    def test_acquires(self):
+        assert Sem.ACQUIRE.acquires
+        assert Sem.ACQ_REL.acquires
+        assert Sem.SC.acquires
+        assert not Sem.RELEASE.acquires
+        assert not Sem.RELAXED.acquires
+
+    def test_releases(self):
+        assert Sem.RELEASE.releases
+        assert Sem.ACQ_REL.releases
+        assert Sem.SC.releases
+        assert not Sem.ACQUIRE.releases
+
+
+class TestEventValidation:
+    def test_weak_read(self):
+        e = Event(eid=0, thread=T, kind=Kind.READ, sem=Sem.WEAK, loc="x")
+        assert e.is_read and e.is_memory and not e.is_strong
+
+    def test_strong_needs_scope(self):
+        with pytest.raises(ValueError):
+            Event(eid=0, thread=T, kind=Kind.READ, sem=Sem.ACQUIRE, loc="x")
+
+    def test_weak_rejects_scope(self):
+        with pytest.raises(ValueError):
+            Event(
+                eid=0, thread=T, kind=Kind.READ, sem=Sem.WEAK,
+                scope=Scope.GPU, loc="x",
+            )
+
+    def test_read_cannot_release(self):
+        with pytest.raises(ValueError):
+            Event(
+                eid=0, thread=T, kind=Kind.READ, sem=Sem.RELEASE,
+                scope=Scope.GPU, loc="x",
+            )
+
+    def test_write_cannot_acquire(self):
+        with pytest.raises(ValueError):
+            Event(
+                eid=0, thread=T, kind=Kind.WRITE, sem=Sem.ACQUIRE,
+                scope=Scope.GPU, loc="x",
+            )
+
+    def test_fence_needs_no_loc(self):
+        with pytest.raises(ValueError):
+            Event(
+                eid=0, thread=T, kind=Kind.FENCE, sem=Sem.SC,
+                scope=Scope.GPU, loc="x",
+            )
+
+    def test_fence_cannot_be_weak(self):
+        with pytest.raises(ValueError):
+            Event(eid=0, thread=T, kind=Kind.FENCE, sem=Sem.WEAK)
+
+    def test_memory_needs_loc(self):
+        with pytest.raises(ValueError):
+            Event(eid=0, thread=T, kind=Kind.WRITE, sem=Sem.WEAK)
+
+    def test_barrier_needs_id(self):
+        with pytest.raises(ValueError):
+            Event(eid=0, thread=T, kind=Kind.BAR_SYNC, sem=Sem.WEAK)
+
+    def test_fence_is_strong(self):
+        e = Event(
+            eid=0, thread=T, kind=Kind.FENCE, sem=Sem.SC, scope=Scope.GPU
+        )
+        assert e.is_strong and e.is_fence and not e.is_memory
+
+    def test_barrier_is_not_strong(self):
+        e = Event(
+            eid=0, thread=T, kind=Kind.BAR_SYNC, sem=Sem.WEAK, barrier=0
+        )
+        assert e.is_barrier and not e.is_strong
+
+    def test_repr_mentions_kind(self):
+        e = Event(
+            eid=7, thread=T, kind=Kind.WRITE, sem=Sem.RELEASE,
+            scope=Scope.GPU, loc="x", value=1,
+        )
+        text = repr(e)
+        assert "e7" in text and "W" in text and "gpu" in text and "x=1" in text
+
+
+class TestInitWrites:
+    def test_init_write_properties(self):
+        e = init_write(eid=9, loc="x")
+        assert is_init(e)
+        assert e.is_write and e.is_strong
+        assert e.value == 0
+        assert e.scope is Scope.SYS
+
+    def test_regular_event_not_init(self):
+        e = Event(eid=0, thread=T, kind=Kind.WRITE, sem=Sem.WEAK, loc="x")
+        assert not is_init(e)

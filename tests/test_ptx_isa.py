@@ -1,0 +1,145 @@
+"""Tests for the PTX instruction surface (paper Figure 3)."""
+
+import pytest
+
+from repro.core import Scope
+from repro.ptx import Atom, AtomOp, Bar, BarOp, Fence, Ld, Membar, Red, Sem, St
+
+
+class TestLd:
+    def test_weak_default(self):
+        ld = Ld(dst="r1", loc="x")
+        assert ld.sem is Sem.WEAK and ld.scope is None
+
+    def test_scoped(self):
+        ld = Ld(dst="r1", loc="x", sem=Sem.ACQUIRE, scope=Scope.GPU)
+        assert ld.scope is Scope.GPU
+
+    def test_strong_requires_scope(self):
+        with pytest.raises(ValueError):
+            Ld(dst="r1", loc="x", sem=Sem.RELAXED)
+
+    def test_weak_rejects_scope(self):
+        with pytest.raises(ValueError):
+            Ld(dst="r1", loc="x", scope=Scope.GPU)
+
+    def test_release_load_rejected(self):
+        with pytest.raises(ValueError):
+            Ld(dst="r1", loc="x", sem=Sem.RELEASE, scope=Scope.GPU)
+
+    def test_volatile_is_relaxed_sys(self):
+        """§9.7.8.7: ld.volatile has the semantics of ld.relaxed.sys."""
+        ld = Ld(dst="r1", loc="x", volatile=True)
+        assert ld.sem is Sem.RELAXED and ld.scope is Scope.SYS
+
+    def test_volatile_rejects_other_qualifiers(self):
+        with pytest.raises(ValueError):
+            Ld(dst="r1", loc="x", sem=Sem.ACQUIRE, scope=Scope.GPU, volatile=True)
+
+
+class TestSt:
+    def test_acquire_store_rejected(self):
+        with pytest.raises(ValueError):
+            St(loc="x", src=1, sem=Sem.ACQUIRE, scope=Scope.GPU)
+
+    def test_volatile(self):
+        st = St(loc="x", src=1, volatile=True)
+        assert st.sem is Sem.RELAXED and st.scope is Scope.SYS
+
+    def test_register_operand(self):
+        st = St(loc="x", src="r1", sem=Sem.RELEASE, scope=Scope.CTA)
+        assert st.src == "r1"
+
+
+class TestAtom:
+    def test_default_relaxed(self):
+        atom = Atom(dst="r1", loc="x", op=AtomOp.ADD, operands=(1,), scope=Scope.GPU)
+        assert atom.sem is Sem.RELAXED
+
+    def test_weak_atom_rejected(self):
+        with pytest.raises(ValueError):
+            Atom(dst="r1", loc="x", op=AtomOp.ADD, operands=(1,), sem=Sem.WEAK)
+
+    def test_cas_needs_two_operands(self):
+        with pytest.raises(ValueError):
+            Atom(dst="r1", loc="x", op=AtomOp.CAS, operands=(1,), scope=Scope.GPU)
+
+    def test_split_sems_acq_rel(self):
+        atom = Atom(
+            dst="r1", loc="x", op=AtomOp.EXCH, operands=(1,),
+            sem=Sem.ACQ_REL, scope=Scope.GPU,
+        )
+        assert atom.read_sem is Sem.ACQUIRE
+        assert atom.write_sem is Sem.RELEASE
+
+    def test_split_sems_acquire_only(self):
+        atom = Atom(
+            dst="r1", loc="x", op=AtomOp.EXCH, operands=(1,),
+            sem=Sem.ACQUIRE, scope=Scope.GPU,
+        )
+        assert atom.read_sem is Sem.ACQUIRE
+        assert atom.write_sem is Sem.RELAXED
+
+    def test_split_sems_release_only(self):
+        atom = Atom(
+            dst="r1", loc="x", op=AtomOp.EXCH, operands=(1,),
+            sem=Sem.RELEASE, scope=Scope.GPU,
+        )
+        assert atom.read_sem is Sem.RELAXED
+        assert atom.write_sem is Sem.RELEASE
+
+
+class TestRed:
+    def test_red_has_no_dst(self):
+        red = Red(loc="x", op=AtomOp.ADD, operands=(1,), scope=Scope.GPU)
+        assert not hasattr(red, "dst")
+
+    def test_red_split_sems(self):
+        red = Red(
+            loc="x", op=AtomOp.ADD, operands=(1,), sem=Sem.RELEASE,
+            scope=Scope.GPU,
+        )
+        assert red.write_sem is Sem.RELEASE
+
+
+class TestAtomOps:
+    @pytest.mark.parametrize(
+        "op,old,operands,expected",
+        [
+            (AtomOp.EXCH, 5, (9,), 9),
+            (AtomOp.ADD, 5, (3,), 8),
+            (AtomOp.CAS, 5, (5, 7), 7),
+            (AtomOp.CAS, 5, (4, 7), 5),
+            (AtomOp.AND, 0b110, (0b011,), 0b010),
+            (AtomOp.OR, 0b100, (0b001,), 0b101),
+            (AtomOp.MAX, 5, (3,), 5),
+            (AtomOp.MAX, 3, (5,), 5),
+        ],
+    )
+    def test_apply(self, op, old, operands, expected):
+        assert op.apply(old, operands) == expected
+
+
+class TestFence:
+    def test_default_sc_sys(self):
+        fence = Fence()
+        assert fence.sem is Sem.SC and fence.scope is Scope.SYS
+
+    def test_weak_fence_rejected(self):
+        with pytest.raises(ValueError):
+            Fence(sem=Sem.WEAK)
+
+    def test_membar_synonym(self):
+        """Figure 3c: membar is a synonym for fence.sc."""
+        fence = Membar(Scope.GPU)
+        assert fence.sem is Sem.SC and fence.scope is Scope.GPU
+
+
+class TestBar:
+    def test_default(self):
+        bar = Bar()
+        assert bar.op is BarOp.SYNC and bar.barrier == 0
+
+    def test_flavours(self):
+        assert Bar(op=BarOp.ARRIVE, barrier=3).barrier == 3
+        assert Bar(op=BarOp.RED).op is BarOp.RED

@@ -1,0 +1,72 @@
+"""Tests for the pre-Volta legacy model variant (membar without sc order)."""
+
+import pytest
+
+from repro.litmus import BY_NAME, run_litmus
+from repro.ptx import Fence, Sem
+from repro.ptx.legacy import degrade_fences
+
+
+class TestDegrade:
+    def test_fence_sc_rewritten(self):
+        program = BY_NAME["SB+fence.sc.gpu"].program
+        legacy = degrade_fences(program)
+        fences = [
+            instr
+            for thread in legacy.threads
+            for instr in thread.instructions
+            if isinstance(instr, Fence)
+        ]
+        assert fences and all(f.sem is Sem.ACQ_REL for f in fences)
+
+    def test_scope_preserved(self):
+        program = BY_NAME["SB+fence.sc.gpu"].program
+        legacy = degrade_fences(program)
+        original = [
+            instr
+            for thread in program.threads
+            for instr in thread.instructions
+            if isinstance(instr, Fence)
+        ]
+        degraded = [
+            instr
+            for thread in legacy.threads
+            for instr in thread.instructions
+            if isinstance(instr, Fence)
+        ]
+        assert [f.scope for f in original] == [f.scope for f in degraded]
+
+    def test_name_tagged(self):
+        program = BY_NAME["MP+weak"].program
+        assert degrade_fences(program).name.endswith("@legacy")
+
+    def test_non_sc_fences_untouched(self):
+        program = BY_NAME["MP+fence.acq_rel"].program
+        assert degrade_fences(program).threads == program.threads
+
+
+class TestHistoricalWeakness:
+    def test_sb_membar_weakness_reproduced(self):
+        """Sorensen & Donaldson's observation [51]: SB observable on
+        pre-Volta hardware despite membar fences."""
+        test = BY_NAME["SB+fence.sc.gpu"]
+        modern = run_litmus(test, model="ptx")
+        legacy = run_litmus(test, model="ptx-legacy")
+        assert modern.verdict.value == "forbidden"
+        assert legacy.verdict.value == "allowed"
+
+    def test_iriw_also_weak_on_legacy(self):
+        test = BY_NAME["IRIW+fence.sc"]
+        assert run_litmus(test, model="ptx-legacy").verdict.value == "allowed"
+
+    def test_release_acquire_unaffected_by_generation(self):
+        """MP never needed fence.sc; both generations forbid it."""
+        test = BY_NAME["MP+rel_acq.gpu"]
+        assert run_litmus(test, model="ptx").verdict.value == "forbidden"
+        assert run_litmus(test, model="ptx-legacy").verdict.value == "forbidden"
+
+    def test_fence_patterns_still_work_on_legacy(self):
+        """Legacy membar still ordered accesses (the §8.7 patterns hold);
+        only the global SC order was missing."""
+        test = BY_NAME["MP+fence.acq_rel"]
+        assert run_litmus(test, model="ptx-legacy").verdict.value == "forbidden"

@@ -1,0 +1,193 @@
+"""Tests for PTX program construction and elaboration."""
+
+import pytest
+
+from repro.core import Scope, device_thread
+from repro.ptx import AtomOp, BarOp, Kind, Program, ProgramBuilder, Sem, elaborate
+from repro.ptx.program import ReadRef, ThreadCode
+from repro.ptx.isa import Ld
+
+T0 = device_thread(0, 0, 0)
+T1 = device_thread(0, 1, 0)
+T0B = device_thread(0, 0, 1)
+
+
+class TestBuilder:
+    def test_builds_threads_in_order(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).st("x", 1)
+            .thread(T1).ld("r1", "x")
+            .build()
+        )
+        assert [t.tid for t in prog.threads] == [T0, T1]
+
+    def test_instruction_before_thread_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramBuilder("p").st("x", 1)
+
+    def test_duplicate_threads_rejected(self):
+        with pytest.raises(ValueError):
+            (ProgramBuilder("p").thread(T0).st("x", 1).thread(T0).st("y", 1).build())
+
+    def test_locations_sorted(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).st("y", 1).st("x", 1).ld("r1", "z")
+            .build()
+        )
+        assert prog.locations == ("x", "y", "z")
+
+    def test_fence_default(self):
+        prog = ProgramBuilder("p").thread(T0).fence().build()
+        fence = prog.threads[0].instructions[0]
+        assert fence.sem is Sem.SC and fence.scope is Scope.SYS
+
+
+class TestElaboration:
+    def test_simple_events(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).st("x", 1).ld("r1", "x")
+            .build()
+        )
+        elab = elaborate(prog)
+        assert len(elab.events) == 2
+        write, read = elab.events
+        assert write.kind is Kind.WRITE and read.kind is Kind.READ
+        assert elab.read_dst[read.eid] == "r1"
+        assert elab.write_recipe[write.eid].operand == 1
+
+    def test_eids_are_indices(self):
+        prog = ProgramBuilder("p").thread(T0).st("x", 1).st("y", 2).build()
+        elab = elaborate(prog)
+        assert [e.eid for e in elab.events] == [0, 1]
+        assert elab.event(1) is elab.events[1]
+
+    def test_atom_splits_into_pair(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0)
+            .atom("r1", "x", AtomOp.ADD, 1, sem=Sem.ACQ_REL, scope=Scope.GPU)
+            .build()
+        )
+        elab = elaborate(prog)
+        assert len(elab.events) == 2
+        read, write = elab.events
+        assert read.kind is Kind.READ and read.sem is Sem.ACQUIRE
+        assert write.kind is Kind.WRITE and write.sem is Sem.RELEASE
+        assert (read, write) in elab.rmw
+        assert (read, write) in elab.dep  # write depends on the read value
+        assert read.instr == write.instr
+        recipe = elab.write_recipe[write.eid]
+        assert recipe.rmw_op is AtomOp.ADD and recipe.rmw_read_eid == read.eid
+
+    def test_red_has_no_dst(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).red("x", AtomOp.ADD, 1, scope=Scope.GPU)
+            .build()
+        )
+        elab = elaborate(prog)
+        assert elab.read_dst == {}
+        assert len(elab.rmw) == 1
+
+    def test_register_dataflow_dep(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).ld("r1", "y").st("x", "r1")
+            .build()
+        )
+        elab = elaborate(prog)
+        read, write = elab.events
+        assert (read, write) in elab.dep
+        assert elab.write_recipe[write.eid].operand == ReadRef(read.eid)
+
+    def test_use_before_def_rejected(self):
+        prog = ProgramBuilder("p").thread(T0).st("x", "r9").build()
+        with pytest.raises(ValueError):
+            elaborate(prog)
+
+    def test_register_redefinition_uses_latest(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).ld("r1", "x").ld("r1", "y").st("z", "r1")
+            .build()
+        )
+        elab = elaborate(prog)
+        first, second, write = elab.events
+        assert (second, write) in elab.dep
+        assert (first, write) not in elab.dep
+
+    def test_registers_are_thread_local(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).ld("r1", "x")
+            .thread(T1).st("y", "r1")
+            .build()
+        )
+        with pytest.raises(ValueError):
+            elaborate(prog)
+
+    def test_by_thread_shapes(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).st("x", 1).st("y", 1)
+            .thread(T1).ld("r1", "y")
+            .build()
+        )
+        elab = elaborate(prog)
+        assert [len(events) for events in elab.by_thread] == [2, 1]
+
+
+class TestBarrierElaboration:
+    def test_sync_pairs_within_cta(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).bar(BarOp.SYNC, 0)
+            .thread(T0B).bar(BarOp.SYNC, 0)
+            .build()
+        )
+        elab = elaborate(prog)
+        a, b = elab.events
+        assert (a, b) in elab.syncbarrier and (b, a) in elab.syncbarrier
+
+    def test_no_sync_across_ctas(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).bar(BarOp.SYNC, 0)
+            .thread(T1).bar(BarOp.SYNC, 0)
+            .build()
+        )
+        assert elaborate(prog).syncbarrier.is_empty()
+
+    def test_no_sync_across_barrier_ids(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).bar(BarOp.SYNC, 0)
+            .thread(T0B).bar(BarOp.SYNC, 1)
+            .build()
+        )
+        assert elaborate(prog).syncbarrier.is_empty()
+
+    def test_arrive_synchronizes_one_way(self):
+        """§8.8.4: bar.arrive synchronizes with bar.sync, not vice versa."""
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).bar(BarOp.ARRIVE, 0)
+            .thread(T0B).bar(BarOp.SYNC, 0)
+            .build()
+        )
+        elab = elaborate(prog)
+        arrive, sync = elab.events
+        assert (arrive, sync) in elab.syncbarrier
+        assert (sync, arrive) not in elab.syncbarrier
+
+
+class TestProgramDataclass:
+    def test_direct_construction(self):
+        prog = Program(
+            name="p",
+            threads=(ThreadCode(tid=T0, instructions=(Ld(dst="r1", loc="x"),)),),
+        )
+        assert prog.locations == ("x",)

@@ -1,0 +1,104 @@
+"""Tests for the PTX data-race judgment (§8.6.1)."""
+
+from repro.core import Scope, device_thread
+from repro.ptx import ProgramBuilder, Sem, data_races, is_race_free
+from repro.search import candidate_executions
+
+T0 = device_thread(0, 0, 0)
+T1 = device_thread(0, 1, 0)
+T0B = device_thread(0, 0, 1)
+
+
+def first_candidate(prog, **kw):
+    return next(iter(candidate_executions(prog, **kw)))
+
+
+class TestRaces:
+    def test_weak_conflict_races(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).st("x", 1)
+            .thread(T1).ld("r1", "x")
+            .build()
+        )
+        candidate = first_candidate(prog)
+        races = data_races(candidate.execution)
+        assert not races.is_empty()
+        assert races.is_symmetric()
+
+    def test_morally_strong_conflict_not_race(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).st("x", 1, sem=Sem.RELAXED, scope=Scope.GPU)
+            .thread(T1).ld("r1", "x", sem=Sem.RELAXED, scope=Scope.GPU)
+            .build()
+        )
+        candidate = first_candidate(prog)
+        assert is_race_free(candidate.execution)
+
+    def test_scope_mismatch_races_even_when_strong(self):
+        """Strong accesses with non-inclusive scopes still race."""
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).st("x", 1, sem=Sem.RELAXED, scope=Scope.CTA)
+            .thread(T1).ld("r1", "x", sem=Sem.RELAXED, scope=Scope.CTA)
+            .build()
+        )
+        candidate = first_candidate(prog)
+        assert not is_race_free(candidate.execution)
+
+    def test_synchronized_weak_access_not_race(self):
+        """Causality order (via release/acquire) removes the race."""
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).st("x", 1).st("y", 1, sem=Sem.RELEASE, scope=Scope.GPU)
+            .thread(T1)
+            .ld("r1", "y", sem=Sem.ACQUIRE, scope=Scope.GPU)
+            .ld("r2", "x")
+            .build()
+        )
+        for candidate in candidate_executions(prog):
+            rf = candidate.execution.relation("rf")
+            flag_seen = any(
+                w.loc == "y" and w.value != 0 and w.instr != -1 for w, _ in rf
+            )
+            races = data_races(candidate.execution)
+            if flag_seen:
+                assert races.is_empty(), races
+
+    def test_read_read_never_races(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).ld("r1", "x")
+            .thread(T1).ld("r2", "x")
+            .build()
+        )
+        candidate = first_candidate(prog)
+        assert is_race_free(candidate.execution)
+
+    def test_same_thread_never_races(self):
+        prog = ProgramBuilder("p").thread(T0).st("x", 1).ld("r1", "x").build()
+        candidate = first_candidate(prog)
+        assert is_race_free(candidate.execution)
+
+    def test_different_locations_never_race(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).st("x", 1)
+            .thread(T1).st("y", 1)
+            .build()
+        )
+        candidate = first_candidate(prog)
+        assert is_race_free(candidate.execution)
+
+    def test_barrier_synchronization_removes_race(self):
+        from repro.ptx import BarOp
+
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).st("x", 1).bar(BarOp.SYNC, 0)
+            .thread(T0B).bar(BarOp.SYNC, 0).ld("r1", "x")
+            .build()
+        )
+        candidate = first_candidate(prog)
+        assert is_race_free(candidate.execution)

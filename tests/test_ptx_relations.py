@@ -1,0 +1,219 @@
+"""Tests for moral strength and the Figure 4 derived relations."""
+
+import pytest
+
+from repro.core import Execution, Scope, device_thread, program_order
+from repro.lang import eval_expr
+from repro.ptx import (
+    DERIVED,
+    ProgramBuilder,
+    Sem,
+    build_env,
+    derived_relation,
+    elaborate,
+    init_write,
+    moral_strength,
+)
+from repro.ptx.events import Event, Kind
+from repro.relation import Relation
+
+T0 = device_thread(0, 0, 0)
+T1 = device_thread(0, 1, 0)
+T_GPU1 = device_thread(1, 0, 0)
+
+
+def event(eid, thread, kind, sem, loc=None, scope=None, **kw):
+    return Event(eid=eid, thread=thread, kind=kind, sem=sem, loc=loc, scope=scope, **kw)
+
+
+class TestMoralStrength:
+    def test_po_related_memory_same_loc(self):
+        a = event(0, T0, Kind.WRITE, Sem.WEAK, "x")
+        b = event(1, T0, Kind.READ, Sem.WEAK, "x")
+        po = Relation([(a, b)])
+        ms = moral_strength((a, b), po)
+        assert (a, b) in ms and (b, a) in ms
+
+    def test_po_related_memory_different_loc_not_ms(self):
+        """Condition 2 of §8.6: memory pairs must overlap even when
+        po-related."""
+        a = event(0, T0, Kind.WRITE, Sem.WEAK, "x")
+        b = event(1, T0, Kind.READ, Sem.WEAK, "y")
+        ms = moral_strength((a, b), Relation([(a, b)]))
+        assert (a, b) not in ms
+
+    def test_strong_inclusive_cross_thread(self):
+        a = event(0, T0, Kind.WRITE, Sem.RELAXED, "x", Scope.GPU)
+        b = event(1, T1, Kind.READ, Sem.RELAXED, "x", Scope.GPU)
+        ms = moral_strength((a, b), Relation.empty(2))
+        assert (a, b) in ms and (b, a) in ms
+
+    def test_weak_cross_thread_not_ms(self):
+        a = event(0, T0, Kind.WRITE, Sem.WEAK, "x")
+        b = event(1, T1, Kind.READ, Sem.WEAK, "x")
+        assert moral_strength((a, b), Relation.empty(2)).is_empty()
+
+    def test_scope_mismatch_not_ms(self):
+        a = event(0, T0, Kind.WRITE, Sem.RELAXED, "x", Scope.CTA)
+        b = event(1, T1, Kind.READ, Sem.RELAXED, "x", Scope.CTA)
+        assert moral_strength((a, b), Relation.empty(2)).is_empty()
+
+    def test_one_sided_scope_mismatch_not_ms(self):
+        """Inclusion must be mutual (§8.6)."""
+        a = event(0, T0, Kind.WRITE, Sem.RELAXED, "x", Scope.SYS)
+        b = event(1, T1, Kind.READ, Sem.RELAXED, "x", Scope.CTA)
+        assert moral_strength((a, b), Relation.empty(2)).is_empty()
+
+    def test_cross_gpu_needs_sys(self):
+        a = event(0, T0, Kind.WRITE, Sem.RELAXED, "x", Scope.GPU)
+        b = event(1, T_GPU1, Kind.READ, Sem.RELAXED, "x", Scope.GPU)
+        assert moral_strength((a, b), Relation.empty(2)).is_empty()
+        a2 = event(0, T0, Kind.WRITE, Sem.RELAXED, "x", Scope.SYS)
+        b2 = event(1, T_GPU1, Kind.READ, Sem.RELAXED, "x", Scope.SYS)
+        assert (a2, b2) in moral_strength((a2, b2), Relation.empty(2))
+
+    def test_fences_are_strong(self):
+        a = event(0, T0, Kind.FENCE, Sem.SC, scope=Scope.GPU)
+        b = event(1, T1, Kind.FENCE, Sem.SC, scope=Scope.GPU)
+        ms = moral_strength((a, b), Relation.empty(2))
+        assert (a, b) in ms
+
+    def test_no_self_pairs(self):
+        a = event(0, T0, Kind.WRITE, Sem.RELAXED, "x", Scope.SYS)
+        assert moral_strength((a,), Relation.empty(2)).is_irreflexive()
+
+
+def mp_execution():
+    """The Figure 5 MP execution with the forbidden rf/fr pattern."""
+    prog = (
+        ProgramBuilder("MP")
+        .thread(T0).st("x", 1).st("y", 1, sem=Sem.RELEASE, scope=Scope.GPU)
+        .thread(T1)
+        .ld("r1", "y", sem=Sem.ACQUIRE, scope=Scope.GPU)
+        .ld("r2", "x")
+        .build()
+    )
+    elab = elaborate(prog)
+    wx, wy, ry, rx = elab.events
+    init_x = init_write(4, "x")
+    init_y = init_write(5, "y")
+    events = elab.events + (init_x, init_y)
+    execution = Execution(
+        events=events,
+        relations={
+            "po": program_order(elab.by_thread),
+            "rf": Relation([(wy, ry), (init_x, rx)]),
+            "co": Relation([(init_x, wx), (init_y, wy)]),
+            "sc": Relation.empty(2),
+            "rmw": elab.rmw,
+            "dep": elab.dep,
+            "syncbarrier": elab.syncbarrier,
+        },
+    )
+    return execution, (wx, wy, ry, rx)
+
+
+class TestDerivedRelations:
+    def test_mp_sw_edge(self):
+        execution, (wx, wy, ry, rx) = mp_execution()
+        sw = derived_relation(execution, "sw")
+        assert (wy, ry) in sw
+
+    def test_mp_obs(self):
+        execution, (wx, wy, ry, rx) = mp_execution()
+        obs = derived_relation(execution, "obs")
+        assert (wy, ry) in obs  # morally strong rf
+        assert (wy, rx) not in obs
+
+    def test_mp_cause_reaches_stale_read(self):
+        """Figure 5's analysis: cause relates W[x] to R[x]."""
+        execution, (wx, wy, ry, rx) = mp_execution()
+        cause = derived_relation(execution, "cause")
+        assert (wx, rx) in cause
+
+    def test_mp_fr(self):
+        execution, (wx, wy, ry, rx) = mp_execution()
+        fr = derived_relation(execution, "fr")
+        assert (rx, wx) in fr  # reads init, init co-before wx
+
+    def test_release_pattern_endpoints(self):
+        execution, (wx, wy, ry, rx) = mp_execution()
+        pattern = derived_relation(execution, "pattern_rel")
+        assert (wy, wy) in pattern  # a release write alone is a pattern
+
+    def test_acquire_pattern_endpoints(self):
+        execution, (wx, wy, ry, rx) = mp_execution()
+        pattern = derived_relation(execution, "pattern_acq")
+        assert (ry, ry) in pattern
+
+    def test_cause_base_transitivity(self):
+        execution, _ = mp_execution()
+        cause_base = derived_relation(execution, "cause_base")
+        assert cause_base.is_transitive()
+
+
+class TestFencePatterns:
+    def test_fence_release_pattern_requires_strong_write(self):
+        """§8.7: 'a fence followed by a strong write' — weak writes do not
+        complete the pattern."""
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).fence(Sem.ACQ_REL, Scope.GPU).st("y", 1)
+            .build()
+        )
+        elab = elaborate(prog)
+        fence, write = elab.events
+        execution = Execution(
+            events=elab.events,
+            relations={
+                "po": program_order(elab.by_thread),
+                "rmw": elab.rmw,
+                "dep": elab.dep,
+                "syncbarrier": elab.syncbarrier,
+            },
+        )
+        pattern = derived_relation(execution, "pattern_rel")
+        assert (fence, write) not in pattern
+
+    def test_fence_release_pattern_with_strong_write(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).fence(Sem.ACQ_REL, Scope.GPU)
+            .st("y", 1, sem=Sem.RELAXED, scope=Scope.GPU)
+            .build()
+        )
+        elab = elaborate(prog)
+        fence, write = elab.events
+        execution = Execution(
+            events=elab.events,
+            relations={
+                "po": program_order(elab.by_thread),
+                "rmw": elab.rmw,
+                "dep": elab.dep,
+                "syncbarrier": elab.syncbarrier,
+            },
+        )
+        pattern = derived_relation(execution, "pattern_rel")
+        assert (fence, write) in pattern
+
+
+class TestEnvSets:
+    def test_sets_partition_events(self):
+        execution, _ = mp_execution()
+        env = build_env(execution)
+        reads = env.lookup("R")
+        writes = env.lookup("W")
+        assert len(reads) == 2
+        assert len(writes) == 4  # two stores + two init writes
+
+    def test_release_write_set(self):
+        execution, (wx, wy, ry, rx) = mp_execution()
+        env = build_env(execution)
+        assert (wy,) in env.lookup("W_rel").tuples
+        assert (wx,) not in env.lookup("W_rel").tuples
+
+    def test_acquire_read_set(self):
+        execution, (wx, wy, ry, rx) = mp_execution()
+        env = build_env(execution)
+        assert (ry,) in env.lookup("R_acq").tuples
+        assert (rx,) not in env.lookup("R_acq").tuples

@@ -1,0 +1,177 @@
+"""Tests for vector (.vec) accesses — §8.2.2's scalar-expansion semantics.
+
+The paper omits ``.vec`` from its formal model because §8.2.2 already
+reduces it: "vector accesses are modelled as a set of equivalent memory
+operations with a scalar data-type, executed in an unspecified order".
+We implement the reduction and additionally *test* the claim that the
+unspecified intra-instruction order is semantically inert — the element
+events touch different locations, so no model relation (po_loc, moral
+strength, dep) can observe their mutual order.
+"""
+
+import pytest
+
+from repro.core import Scope, device_thread
+from repro.ptx import Kind, Sem, elaborate
+from repro.ptx.isa import Ld, St, element_location
+from repro.ptx.program import Program, ThreadCode
+from repro.search import allowed_outcomes
+
+T0 = device_thread(0, 0, 0)
+T1 = device_thread(0, 1, 0)
+
+
+def vec_mp():
+    """MP where the payload is a v2 store/load pair."""
+    return Program(
+        name="vec-MP",
+        threads=(
+            ThreadCode(tid=T0, instructions=(
+                St(loc="x", src=(1, 2), vec=2),
+                St(loc="flag", src=1, sem=Sem.RELEASE, scope=Scope.GPU),
+            )),
+            ThreadCode(tid=T1, instructions=(
+                Ld(dst="r0", loc="flag", sem=Sem.ACQUIRE, scope=Scope.GPU),
+                Ld(dst=("r1", "r2"), loc="x", vec=2),
+            )),
+        ),
+    )
+
+
+class TestValidation:
+    def test_scalar_default(self):
+        assert Ld(dst="r1", loc="x").vec == 1
+
+    def test_vector_needs_tuple(self):
+        with pytest.raises(ValueError):
+            Ld(dst="r1", loc="x", vec=2)
+        with pytest.raises(ValueError):
+            St(loc="x", src=1, vec=2)
+
+    def test_tuple_length_must_match(self):
+        with pytest.raises(ValueError):
+            Ld(dst=("r1", "r2", "r3"), loc="x", vec=2)
+
+    def test_scalar_rejects_tuple(self):
+        with pytest.raises(ValueError):
+            St(loc="x", src=(1, 2))
+
+    def test_vec_must_be_1_2_4(self):
+        with pytest.raises(ValueError):
+            St(loc="x", src=(1, 2, 3), vec=3)
+
+    def test_element_locations(self):
+        assert element_location("x", 0) == "x"
+        assert element_location("x", 1) == "x+1"
+
+
+class TestElaboration:
+    def test_v2_store_expands_to_two_writes(self):
+        elab = elaborate(vec_mp())
+        writes = [e for e in elab.by_thread[0] if e.kind is Kind.WRITE]
+        assert [w.loc for w in writes] == ["x", "x+1", "flag"]
+        first, second = writes[0], writes[1]
+        assert first.instr == second.instr  # same source instruction
+
+    def test_v2_load_defines_both_registers(self):
+        elab = elaborate(vec_mp())
+        dsts = sorted(elab.read_dst.values())
+        assert dsts == ["r0", "r1", "r2"]
+
+    def test_element_values(self):
+        elab = elaborate(vec_mp())
+        writes = [e for e in elab.by_thread[0] if e.kind is Kind.WRITE]
+        assert elab.write_recipe[writes[0].eid].operand == 1
+        assert elab.write_recipe[writes[1].eid].operand == 2
+
+    def test_locations_include_elements(self):
+        assert set(vec_mp().locations) == {"x", "x+1", "flag"}
+
+    def test_v4(self):
+        program = Program(
+            name="v4",
+            threads=(
+                ThreadCode(tid=T0, instructions=(
+                    St(loc="x", src=(1, 2, 3, 4), vec=4),
+                )),
+            ),
+        )
+        assert len(elaborate(program).events) == 4
+        assert set(program.locations) == {"x", "x+1", "x+2", "x+3"}
+
+
+class TestSemantics:
+    def test_release_covers_all_elements(self):
+        """Synchronization publishes every element of the vector."""
+        outcomes = allowed_outcomes(vec_mp())
+        for outcome in outcomes:
+            if outcome.register(T1, "r0") == 1:
+                assert outcome.register(T1, "r1") == 1
+                assert outcome.register(T1, "r2") == 2
+
+    def test_unsynchronized_elements_tear(self):
+        """Without synchronization the elements may be observed torn —
+        one fresh, one stale — since each element is an independent
+        scalar access."""
+        program = Program(
+            name="tear",
+            threads=(
+                ThreadCode(tid=T0, instructions=(
+                    St(loc="x", src=(1, 2), vec=2),
+                )),
+                ThreadCode(tid=T1, instructions=(
+                    Ld(dst=("r1", "r2"), loc="x", vec=2),
+                )),
+            ),
+        )
+        observed = {
+            (o.register(T1, "r1"), o.register(T1, "r2"))
+            for o in allowed_outcomes(program)
+        }
+        assert (1, 0) in observed and (0, 2) in observed
+
+    def test_scalar_aliases_element_zero(self):
+        """A scalar access to the base address overlaps element 0
+        (§8.2.1's overlap), but not element 1."""
+        program = Program(
+            name="alias",
+            threads=(
+                ThreadCode(tid=T0, instructions=(
+                    St(loc="x", src=(7, 8), vec=2),
+                )),
+                ThreadCode(tid=T1, instructions=(
+                    Ld(dst="r1", loc="x"),
+                )),
+            ),
+        )
+        values = {
+            o.register(T1, "r1") for o in allowed_outcomes(program)
+        }
+        assert values == {0, 7}
+
+    def test_intra_vector_order_is_inert(self):
+        """Why §8.2.2's 'unspecified order' is safe to fix arbitrarily:
+        the element events never overlap and carry no dependencies, so
+        emitting them in either program order yields identical outcome
+        sets.  We check it on the scalar expansion directly."""
+        def expanded(order):
+            first = St(loc="x", src=1)                 # element 0
+            second = St(loc="x+1", src=2)              # element 1
+            stores = (first, second) if order == "fwd" else (second, first)
+            return Program(
+                name=f"expand-{order}",
+                threads=(
+                    ThreadCode(tid=T0, instructions=stores + (
+                        St(loc="flag", src=1, sem=Sem.RELEASE, scope=Scope.GPU),
+                    )),
+                    ThreadCode(tid=T1, instructions=(
+                        Ld(dst="r0", loc="flag", sem=Sem.ACQUIRE, scope=Scope.GPU),
+                        Ld(dst="r1", loc="x"),
+                        Ld(dst="r2", loc="x+1"),
+                    )),
+                ),
+            )
+
+        assert allowed_outcomes(expanded("fwd")) == allowed_outcomes(
+            expanded("rev")
+        )

@@ -1,0 +1,100 @@
+"""Tests for scoped C++ events and memory-order lattice."""
+
+import pytest
+
+from repro.core import Scope, device_thread
+from repro.rc11 import CEvent, CKind, MemOrder, c_init_write, c_is_init
+
+T = device_thread(0, 0, 0)
+
+
+class TestMemOrderLattice:
+    def test_at_least_rlx(self):
+        assert MemOrder.RLX.at_least_rlx
+        assert MemOrder.SC.at_least_rlx
+        assert not MemOrder.NA.at_least_rlx
+
+    def test_at_least_acq(self):
+        assert MemOrder.ACQ.at_least_acq
+        assert MemOrder.ACQREL.at_least_acq
+        assert MemOrder.SC.at_least_acq
+        assert not MemOrder.REL.at_least_acq  # ACQ and REL incomparable
+
+    def test_at_least_rel(self):
+        assert MemOrder.REL.at_least_rel
+        assert not MemOrder.ACQ.at_least_rel
+
+    def test_is_atomic(self):
+        assert not MemOrder.NA.is_atomic
+        assert MemOrder.RLX.is_atomic
+
+
+class TestLegalOrders:
+    """Figure 10a's legality table."""
+
+    def test_read_orders(self):
+        for mo in (MemOrder.NA, MemOrder.RLX, MemOrder.ACQ, MemOrder.SC):
+            scope = None if mo is MemOrder.NA else Scope.GPU
+            CEvent(eid=0, thread=T, kind=CKind.READ, mo=mo, scope=scope, loc="x")
+        with pytest.raises(ValueError):
+            CEvent(eid=0, thread=T, kind=CKind.READ, mo=MemOrder.REL,
+                   scope=Scope.GPU, loc="x")
+
+    def test_write_orders(self):
+        with pytest.raises(ValueError):
+            CEvent(eid=0, thread=T, kind=CKind.WRITE, mo=MemOrder.ACQ,
+                   scope=Scope.GPU, loc="x")
+
+    def test_rmw_orders(self):
+        CEvent(eid=0, thread=T, kind=CKind.RMW, mo=MemOrder.ACQREL,
+               scope=Scope.GPU, loc="x")
+        with pytest.raises(ValueError):
+            CEvent(eid=0, thread=T, kind=CKind.RMW, mo=MemOrder.NA, loc="x")
+
+    def test_fence_orders(self):
+        CEvent(eid=0, thread=T, kind=CKind.FENCE, mo=MemOrder.SC, scope=Scope.SYS)
+        with pytest.raises(ValueError):
+            CEvent(eid=0, thread=T, kind=CKind.FENCE, mo=MemOrder.RLX,
+                   scope=Scope.SYS)
+
+
+class TestEventValidation:
+    def test_na_rejects_scope(self):
+        with pytest.raises(ValueError):
+            CEvent(eid=0, thread=T, kind=CKind.READ, mo=MemOrder.NA,
+                   scope=Scope.GPU, loc="x")
+
+    def test_atomic_needs_scope(self):
+        with pytest.raises(ValueError):
+            CEvent(eid=0, thread=T, kind=CKind.READ, mo=MemOrder.RLX, loc="x")
+
+    def test_fence_needs_no_loc(self):
+        with pytest.raises(ValueError):
+            CEvent(eid=0, thread=T, kind=CKind.FENCE, mo=MemOrder.SC,
+                   scope=Scope.SYS, loc="x")
+
+    def test_memory_needs_loc(self):
+        with pytest.raises(ValueError):
+            CEvent(eid=0, thread=T, kind=CKind.WRITE, mo=MemOrder.NA)
+
+    def test_rmw_is_read_and_write(self):
+        rmw = CEvent(eid=0, thread=T, kind=CKind.RMW, mo=MemOrder.RLX,
+                     scope=Scope.GPU, loc="x")
+        assert rmw.is_read and rmw.is_write and rmw.is_memory
+
+    def test_fence_is_neither(self):
+        fence = CEvent(eid=0, thread=T, kind=CKind.FENCE, mo=MemOrder.SC,
+                       scope=Scope.SYS)
+        assert not fence.is_read and not fence.is_write and fence.is_fence
+
+
+class TestInit:
+    def test_init_write(self):
+        init = c_init_write(5, "x")
+        assert c_is_init(init)
+        assert init.is_write and init.mo is MemOrder.RLX
+        assert init.scope is Scope.SYS
+
+    def test_regular_not_init(self):
+        e = CEvent(eid=0, thread=T, kind=CKind.WRITE, mo=MemOrder.NA, loc="x")
+        assert not c_is_init(e)

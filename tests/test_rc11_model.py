@@ -1,0 +1,257 @@
+"""Tests for the scoped RC11 model: axioms, inclusion, and races."""
+
+import pytest
+
+from repro.core import Scope, device_thread
+from repro.ptx.isa import AtomOp
+from repro.rc11 import (
+    CProgramBuilder,
+    MemOrder,
+    c_elaborate,
+    data_races,
+    inclusion,
+    is_race_free,
+)
+from repro.search.rc11_search import c_allowed_outcomes, c_candidate_executions
+
+T0 = device_thread(0, 0, 0)
+T1 = device_thread(0, 1, 0)
+T0B = device_thread(0, 0, 1)
+
+
+def has(outcomes, predicate):
+    return any(predicate(o) for o in outcomes)
+
+
+class TestInclusion:
+    def test_na_events_never_included(self):
+        prog = (
+            CProgramBuilder("p")
+            .thread(T0).store("x", 1)
+            .thread(T1).load("r1", "x", mo=MemOrder.RLX, scope=Scope.SYS)
+            .build()
+        )
+        elab = c_elaborate(prog)
+        assert inclusion(elab.events).is_empty()
+
+    def test_mutual_inclusion_required(self):
+        prog = (
+            CProgramBuilder("p")
+            .thread(T0).store("x", 1, mo=MemOrder.RLX, scope=Scope.CTA)
+            .thread(T1).load("r1", "x", mo=MemOrder.RLX, scope=Scope.SYS)
+            .build()
+        )
+        elab = c_elaborate(prog)
+        assert inclusion(elab.events).is_empty()
+
+    def test_inclusive_pair_symmetric(self):
+        prog = (
+            CProgramBuilder("p")
+            .thread(T0).store("x", 1, mo=MemOrder.RLX, scope=Scope.GPU)
+            .thread(T1).load("r1", "x", mo=MemOrder.RLX, scope=Scope.GPU)
+            .build()
+        )
+        elab = c_elaborate(prog)
+        incl = inclusion(elab.events)
+        assert incl.is_symmetric() and len(incl) == 2
+
+
+class TestAxiomBehaviour:
+    def test_mp_release_acquire_forbidden(self):
+        prog = (
+            CProgramBuilder("MP")
+            .thread(T0).store("x", 1).store("y", 1, mo=MemOrder.REL, scope=Scope.GPU)
+            .thread(T1)
+            .load("r1", "y", mo=MemOrder.ACQ, scope=Scope.GPU)
+            .load("r2", "x")
+            .build()
+        )
+        outs = c_allowed_outcomes(prog)
+        assert not has(
+            outs,
+            lambda o: o.register(T1, "r1") == 1 and o.register(T1, "r2") == 0,
+        )
+
+    def test_scope_gated_synchronization(self):
+        """The incl twist: non-inclusive release/acquire does not sync."""
+        prog = (
+            CProgramBuilder("MP-cta")
+            .thread(T0)
+            .store("x", 1, mo=MemOrder.RLX, scope=Scope.CTA)
+            .store("y", 1, mo=MemOrder.REL, scope=Scope.CTA)
+            .thread(T1)
+            .load("r1", "y", mo=MemOrder.ACQ, scope=Scope.CTA)
+            .load("r2", "x", mo=MemOrder.RLX, scope=Scope.CTA)
+            .build()
+        )
+        outs = c_allowed_outcomes(prog)
+        assert has(
+            outs,
+            lambda o: o.register(T1, "r1") == 1 and o.register(T1, "r2") == 0,
+        )
+
+    def test_same_cta_cta_scope_synchronizes(self):
+        prog = (
+            CProgramBuilder("MP-cta-near")
+            .thread(T0)
+            .store("x", 1)
+            .store("y", 1, mo=MemOrder.REL, scope=Scope.CTA)
+            .thread(T0B)
+            .load("r1", "y", mo=MemOrder.ACQ, scope=Scope.CTA)
+            .load("r2", "x")
+            .build()
+        )
+        outs = c_allowed_outcomes(prog)
+        assert not has(
+            outs,
+            lambda o: o.register(T0B, "r1") == 1 and o.register(T0B, "r2") == 0,
+        )
+
+    def test_sc_accesses_forbid_sb(self):
+        prog = (
+            CProgramBuilder("SB")
+            .thread(T0)
+            .store("x", 1, mo=MemOrder.SC, scope=Scope.SYS)
+            .load("r1", "y", mo=MemOrder.SC, scope=Scope.SYS)
+            .thread(T1)
+            .store("y", 1, mo=MemOrder.SC, scope=Scope.SYS)
+            .load("r2", "x", mo=MemOrder.SC, scope=Scope.SYS)
+            .build()
+        )
+        outs = c_allowed_outcomes(prog)
+        assert not has(
+            outs,
+            lambda o: o.register(T0, "r1") == 0 and o.register(T1, "r2") == 0,
+        )
+
+    def test_release_sequence_through_rmw(self):
+        """An RMW continues a release sequence (the rs ;(rf;rmw)* arm)."""
+        prog = (
+            CProgramBuilder("rseq")
+            .thread(T0)
+            .store("x", 1)
+            .store("y", 1, mo=MemOrder.REL, scope=Scope.GPU)
+            .thread(T1)
+            .rmw("r1", "y", AtomOp.ADD, 1, mo=MemOrder.RLX, scope=Scope.GPU)
+            .thread(device_thread(0, 2, 0))
+            .load("r2", "y", mo=MemOrder.ACQ, scope=Scope.GPU)
+            .load("r3", "x")
+            .build()
+        )
+        t2 = device_thread(0, 2, 0)
+        outs = c_allowed_outcomes(prog)
+        # reading y==2 (the RMW's write) must still synchronize with T0
+        assert not has(
+            outs,
+            lambda o: o.register(t2, "r2") == 2 and o.register(t2, "r3") == 0,
+        )
+
+    def test_relaxed_store_breaks_release_sequence(self):
+        """A plain relaxed store from another thread does NOT continue the
+        release sequence (RC11 dropped same-thread-only rs extensions)."""
+        prog = (
+            CProgramBuilder("rseq-broken")
+            .thread(T0)
+            .store("x", 1)
+            .store("y", 1, mo=MemOrder.REL, scope=Scope.GPU)
+            .thread(T1)
+            .store("y", 2, mo=MemOrder.RLX, scope=Scope.GPU)
+            .thread(device_thread(0, 2, 0))
+            .load("r2", "y", mo=MemOrder.ACQ, scope=Scope.GPU)
+            .load("r3", "x")
+            .build()
+        )
+        t2 = device_thread(0, 2, 0)
+        outs = c_allowed_outcomes(prog)
+        assert has(
+            outs,
+            lambda o: o.register(t2, "r2") == 2 and o.register(t2, "r3") == 0,
+        )
+
+    def test_atomicity_no_lost_updates(self):
+        prog = (
+            CProgramBuilder("inc2")
+            .thread(T0).rmw("r1", "x", AtomOp.ADD, 1, mo=MemOrder.RLX, scope=Scope.GPU)
+            .thread(T1).rmw("r2", "x", AtomOp.ADD, 1, mo=MemOrder.RLX, scope=Scope.GPU)
+            .build()
+        )
+        outs = c_allowed_outcomes(prog)
+        assert all(o.memory_value("x") == 2 for o in outs)
+
+    def test_thin_air_flag(self):
+        """§4.1: the paper drops RC11's No-Thin-Air; the flag restores it."""
+        prog = (
+            CProgramBuilder("LB")
+            .thread(T0)
+            .load("r1", "y", mo=MemOrder.RLX, scope=Scope.GPU)
+            .store("x", 1, mo=MemOrder.RLX, scope=Scope.GPU)
+            .thread(T1)
+            .load("r2", "x", mo=MemOrder.RLX, scope=Scope.GPU)
+            .store("y", 1, mo=MemOrder.RLX, scope=Scope.GPU)
+            .build()
+        )
+        lb = lambda o: o.register(T0, "r1") == 1 and o.register(T1, "r2") == 1
+        assert has(c_allowed_outcomes(prog), lb)
+        assert not has(c_allowed_outcomes(prog, with_thin_air=True), lb)
+
+
+class TestRaces:
+    def first_candidate(self, prog):
+        return next(iter(c_candidate_executions(prog)))
+
+    def test_na_conflict_races(self):
+        prog = (
+            CProgramBuilder("race")
+            .thread(T0).store("x", 1)
+            .thread(T1).load("r1", "x")
+            .build()
+        )
+        candidate = self.first_candidate(prog)
+        assert not is_race_free(candidate.execution)
+
+    def test_inclusive_atomics_race_free(self):
+        prog = (
+            CProgramBuilder("ok")
+            .thread(T0).store("x", 1, mo=MemOrder.RLX, scope=Scope.GPU)
+            .thread(T1).load("r1", "x", mo=MemOrder.RLX, scope=Scope.GPU)
+            .build()
+        )
+        candidate = self.first_candidate(prog)
+        assert is_race_free(candidate.execution)
+
+    def test_non_inclusive_atomics_race(self):
+        """The scoped twist: atomic but non-inclusive conflicts race."""
+        prog = (
+            CProgramBuilder("heterogeneous-race")
+            .thread(T0).store("x", 1, mo=MemOrder.RLX, scope=Scope.CTA)
+            .thread(T1).load("r1", "x", mo=MemOrder.RLX, scope=Scope.CTA)
+            .build()
+        )
+        candidate = self.first_candidate(prog)
+        assert not is_race_free(candidate.execution)
+
+    def test_hb_ordering_removes_race(self):
+        prog = (
+            CProgramBuilder("sync")
+            .thread(T0).store("x", 1).store("y", 1, mo=MemOrder.REL, scope=Scope.GPU)
+            .thread(T1)
+            .load("r1", "y", mo=MemOrder.ACQ, scope=Scope.GPU)
+            .load("r2", "x")
+            .build()
+        )
+        # executions where the flag was observed must be race-free
+        for candidate in c_candidate_executions(prog):
+            outcome = candidate.outcome()
+            if outcome.register(T1, "r1") == 1:
+                assert candidate.race_free
+
+    def test_race_relation_symmetric(self):
+        prog = (
+            CProgramBuilder("race")
+            .thread(T0).store("x", 1)
+            .thread(T1).store("x", 2)
+            .build()
+        )
+        candidate = self.first_candidate(prog)
+        races = data_races(candidate.execution)
+        assert races.is_symmetric() and not races.is_empty()

@@ -1,0 +1,178 @@
+"""Tests for scoped C++ program construction, elaboration, and SC
+normalisation."""
+
+import pytest
+
+from repro.core import Scope, device_thread
+from repro.ptx.isa import AtomOp
+from repro.ptx.program import ReadRef
+from repro.rc11 import (
+    CFence,
+    CKind,
+    CLoad,
+    CProgramBuilder,
+    CRmw,
+    CStore,
+    MemOrder,
+    c_elaborate,
+    read_node,
+    write_node,
+)
+from repro.rc11.program import normalize_sc
+
+T0 = device_thread(0, 0, 0)
+T1 = device_thread(0, 1, 0)
+
+
+class TestBuilder:
+    def test_duplicate_thread_rejected(self):
+        with pytest.raises(ValueError):
+            (CProgramBuilder("p")
+             .thread(T0).store("x", 1)
+             .thread(T0).store("y", 1)
+             .build())
+
+    def test_op_before_thread_rejected(self):
+        with pytest.raises(ValueError):
+            CProgramBuilder("p").store("x", 1)
+
+    def test_locations(self):
+        program = (
+            CProgramBuilder("p")
+            .thread(T0).store("y", 1).load("r1", "x")
+            .build()
+        )
+        assert program.locations == ("x", "y")
+
+
+class TestElaboration:
+    def test_value_nodes_distinct(self):
+        program = (
+            CProgramBuilder("p")
+            .thread(T0).rmw("r1", "x", AtomOp.ADD, 1, mo=MemOrder.RLX, scope=Scope.GPU)
+            .build()
+        )
+        elab = c_elaborate(program)
+        event = elab.events[0]
+        assert read_node(event) != write_node(event)
+        assert read_node(event) in elab.read_dst
+        assert write_node(event) in elab.write_recipe
+
+    def test_rmw_recipe_references_own_read(self):
+        program = (
+            CProgramBuilder("p")
+            .thread(T0).rmw("r1", "x", AtomOp.ADD, 2, mo=MemOrder.RLX, scope=Scope.GPU)
+            .build()
+        )
+        elab = c_elaborate(program)
+        event = elab.events[0]
+        recipe = elab.write_recipe[write_node(event)]
+        assert recipe.rmw_read_eid == read_node(event)
+        assert recipe.rmw_op is AtomOp.ADD
+
+    def test_register_flow_uses_read_nodes(self):
+        program = (
+            CProgramBuilder("p")
+            .thread(T0).load("r1", "x").store("y", "r1")
+            .build()
+        )
+        elab = c_elaborate(program)
+        load, store = elab.events
+        recipe = elab.write_recipe[write_node(store)]
+        assert recipe.operand == ReadRef(read_node(load))
+
+    def test_use_before_def_rejected(self):
+        program = CProgramBuilder("p").thread(T0).store("x", "r9").build()
+        with pytest.raises(ValueError):
+            c_elaborate(program)
+
+    def test_fences_have_no_value_nodes(self):
+        program = CProgramBuilder("p").thread(T0).fence().build()
+        elab = c_elaborate(program)
+        assert not elab.read_dst and not elab.write_recipe
+
+
+class TestNormalizeSc:
+    def test_sc_load_becomes_fence_plus_acquire(self):
+        program = (
+            CProgramBuilder("p")
+            .thread(T0).load("r1", "x", mo=MemOrder.SC, scope=Scope.GPU)
+            .build()
+        )
+        normalized = normalize_sc(program)
+        ops = normalized.threads[0].ops
+        assert isinstance(ops[0], CFence) and ops[0].mo is MemOrder.SC
+        assert isinstance(ops[1], CLoad) and ops[1].mo is MemOrder.ACQ
+        assert ops[0].scope is Scope.GPU
+
+    def test_sc_store_becomes_fence_plus_release(self):
+        program = (
+            CProgramBuilder("p")
+            .thread(T0).store("x", 1, mo=MemOrder.SC, scope=Scope.SYS)
+            .build()
+        )
+        ops = normalize_sc(program).threads[0].ops
+        assert isinstance(ops[1], CStore) and ops[1].mo is MemOrder.REL
+
+    def test_sc_rmw_becomes_fence_plus_acqrel(self):
+        program = (
+            CProgramBuilder("p")
+            .thread(T0).rmw("r1", "x", AtomOp.EXCH, 1, mo=MemOrder.SC, scope=Scope.GPU)
+            .build()
+        )
+        ops = normalize_sc(program).threads[0].ops
+        assert isinstance(ops[1], CRmw) and ops[1].mo is MemOrder.ACQREL
+
+    def test_non_sc_untouched(self):
+        program = (
+            CProgramBuilder("p")
+            .thread(T0).store("x", 1, mo=MemOrder.REL, scope=Scope.GPU)
+            .load("r1", "y")
+            .fence(MemOrder.SC, Scope.GPU)
+            .build()
+        )
+        assert normalize_sc(program).threads[0].ops == program.threads[0].ops
+
+    def test_name_tagged(self):
+        program = CProgramBuilder("p").thread(T0).store("x", 1).build()
+        assert normalize_sc(program).name.endswith("+scnorm")
+
+    def test_normalisation_preserves_behaviour(self):
+        """Lahav et al.'s result, observed: normalising SC accesses does
+        not change the allowed outcomes."""
+        from repro.search.rc11_search import c_allowed_outcomes
+
+        program = (
+            CProgramBuilder("SB")
+            .thread(T0)
+            .store("x", 1, mo=MemOrder.SC, scope=Scope.GPU)
+            .load("r1", "y", mo=MemOrder.SC, scope=Scope.GPU)
+            .thread(T1)
+            .store("y", 1, mo=MemOrder.SC, scope=Scope.GPU)
+            .load("r2", "x", mo=MemOrder.SC, scope=Scope.GPU)
+            .build()
+        )
+        base = {
+            (o.register(T0, "r1"), o.register(T1, "r2"))
+            for o in c_allowed_outcomes(program)
+        }
+        normalized = {
+            (o.register(T0, "r1"), o.register(T1, "r2"))
+            for o in c_allowed_outcomes(normalize_sc(program))
+        }
+        assert base == normalized
+
+    def test_compilation_commutes_with_normalisation(self):
+        """§6.2 Theorem 3's footing: both sides compile to the same PTX."""
+        from repro.mapping import compile_program
+
+        program = (
+            CProgramBuilder("p")
+            .thread(T0)
+            .store("x", 1, mo=MemOrder.SC, scope=Scope.GPU)
+            .load("r1", "y", mo=MemOrder.SC, scope=Scope.GPU)
+            .build()
+        )
+        direct = compile_program(program).target
+        via_norm = compile_program(normalize_sc(program)).target
+        assert direct.threads[0].instructions == via_norm.threads[0].instructions

@@ -1,0 +1,227 @@
+"""Unit tests for the finite relation substrate."""
+
+import pytest
+
+from repro.relation import Relation, acyclic, iden_over, irreflexive
+
+
+class TestConstruction:
+    def test_empty(self):
+        r = Relation.empty()
+        assert len(r) == 0
+        assert not r
+        assert r.arity is None
+
+    def test_empty_with_arity(self):
+        assert Relation.empty(2).arity == 2
+
+    def test_pairs(self):
+        r = Relation.pairs([(1, 2), (2, 3)])
+        assert (1, 2) in r
+        assert (3, 2) not in r
+        assert r.arity == 2
+
+    def test_pairs_rejects_triples(self):
+        with pytest.raises(ValueError):
+            Relation.pairs([(1, 2, 3)])
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Relation([(1,), (1, 2)])
+
+    def test_declared_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            Relation([(1, 2)], arity=3)
+
+    def test_set_of(self):
+        s = Relation.set_of("ab")
+        assert ("a",) in s
+        assert s.arity == 1
+
+    def test_identity(self):
+        r = Relation.identity([1, 2])
+        assert r == Relation([(1, 1), (2, 2)])
+
+    def test_total_order(self):
+        r = Relation.total_order([1, 2, 3])
+        assert r == Relation([(1, 2), (1, 3), (2, 3)])
+
+    def test_from_successor(self):
+        r = Relation.from_successor({1: [2, 3], 2: [3]})
+        assert r == Relation([(1, 2), (1, 3), (2, 3)])
+
+    def test_deduplication(self):
+        assert len(Relation([(1, 2), (1, 2)])) == 1
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        assert Relation([(1, 2)]) | Relation([(2, 3)]) == Relation([(1, 2), (2, 3)])
+
+    def test_intersection(self):
+        assert Relation([(1, 2), (2, 3)]) & Relation([(2, 3)]) == Relation([(2, 3)])
+
+    def test_difference(self):
+        assert Relation([(1, 2), (2, 3)]) - Relation([(2, 3)]) == Relation([(1, 2)])
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Relation([(1, 2)]) | Relation([(1,)])
+
+    def test_union_with_empty(self):
+        r = Relation([(1, 2)])
+        assert r | Relation.empty() == r
+
+    def test_issubset(self):
+        assert Relation([(1, 2)]).issubset(Relation([(1, 2), (2, 3)]))
+        assert not Relation([(9, 9)]).issubset(Relation([(1, 2)]))
+
+
+class TestRelationalAlgebra:
+    def test_compose(self):
+        ab = Relation([("a", "b")])
+        bc = Relation([("b", "c")])
+        assert ab.compose(bc) == Relation([("a", "c")])
+
+    def test_compose_chain(self):
+        r = Relation([(1, 2)])
+        s = Relation([(2, 3)])
+        t = Relation([(3, 4)])
+        assert r.compose(s, t) == Relation([(1, 4)])
+
+    def test_compose_no_match(self):
+        assert Relation([(1, 2)]).compose(Relation([(9, 9)])).is_empty()
+
+    def test_join_set_with_relation(self):
+        s = Relation.set_of([1])
+        r = Relation([(1, 2), (3, 4)])
+        assert s.join(r) == Relation.set_of([2])
+
+    def test_join_empty(self):
+        assert Relation.empty(2).join(Relation([(1, 2)])).is_empty()
+
+    def test_join_arity_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Relation.set_of([1]).join(Relation.set_of([1]))
+
+    def test_transpose(self):
+        assert Relation([(1, 2)]).transpose() == Relation([(2, 1)])
+
+    def test_transpose_involution(self):
+        r = Relation([(1, 2), (3, 1)])
+        assert r.transpose().transpose() == r
+
+    def test_transpose_requires_binary(self):
+        with pytest.raises(ValueError):
+            Relation.set_of([1]).transpose()
+
+    def test_product(self):
+        p = Relation.set_of([1]).product(Relation.set_of([2, 3]))
+        assert p == Relation([(1, 2), (1, 3)])
+
+    def test_domain_range_field(self):
+        r = Relation([(1, 2), (3, 4)])
+        assert r.domain() == Relation.set_of([1, 3])
+        assert r.range() == Relation.set_of([2, 4])
+        assert r.field() == Relation.set_of([1, 2, 3, 4])
+
+    def test_restrict(self):
+        r = Relation([(1, 2), (2, 3), (3, 1)])
+        restricted = r.restrict(Relation.set_of([1, 2]), Relation.set_of([2, 3]))
+        assert restricted == Relation([(1, 2), (2, 3)])
+
+    def test_filter_map(self):
+        r = Relation([(1, 2), (2, 3)])
+        assert r.filter(lambda t: t[0] == 1) == Relation([(1, 2)])
+        assert r.map(lambda t: (t[1], t[0])) == r.transpose()
+
+
+class TestClosures:
+    def test_transitive_closure(self):
+        r = Relation([(1, 2), (2, 3)])
+        assert r.closure() == Relation([(1, 2), (2, 3), (1, 3)])
+
+    def test_closure_cycle(self):
+        r = Relation([(1, 2), (2, 1)])
+        closed = r.closure()
+        assert (1, 1) in closed and (2, 2) in closed
+
+    def test_closure_idempotent(self):
+        r = Relation([(1, 2), (2, 3), (3, 4), (4, 1)])
+        assert r.closure().closure() == r.closure()
+
+    def test_reflexive_closure(self):
+        r = Relation([(1, 2)])
+        assert r.reflexive_closure([1, 2, 3]) == Relation(
+            [(1, 2), (1, 1), (2, 2), (3, 3)]
+        )
+
+    def test_rt_closure(self):
+        r = Relation([(1, 2), (2, 3)])
+        rt = r.reflexive_transitive_closure([1, 2, 3])
+        assert (1, 3) in rt and (2, 2) in rt
+
+
+class TestOrderPredicates:
+    def test_irreflexive(self):
+        assert Relation([(1, 2)]).is_irreflexive()
+        assert not Relation([(1, 1)]).is_irreflexive()
+
+    def test_acyclic(self):
+        assert Relation([(1, 2), (2, 3)]).is_acyclic()
+        assert not Relation([(1, 2), (2, 1)]).is_acyclic()
+        assert not Relation([(1, 1)]).is_acyclic()
+
+    def test_helpers(self):
+        assert acyclic(Relation([(1, 2)]))
+        assert irreflexive(Relation([(1, 2)]))
+
+    def test_is_transitive(self):
+        assert Relation([(1, 2), (2, 3), (1, 3)]).is_transitive()
+        assert not Relation([(1, 2), (2, 3)]).is_transitive()
+
+    def test_strict_partial_order(self):
+        assert Relation([(1, 2), (2, 3), (1, 3)]).is_strict_partial_order()
+        assert not Relation([(1, 2), (2, 3)]).is_strict_partial_order()
+
+    def test_is_total_over(self):
+        r = Relation.total_order([1, 2, 3])
+        assert r.is_total_over([1, 2, 3])
+        assert not Relation([(1, 2)]).is_total_over([1, 2, 3])
+
+    def test_is_symmetric(self):
+        assert Relation([(1, 2), (2, 1)]).is_symmetric()
+        assert not Relation([(1, 2)]).is_symmetric()
+
+    def test_find_cycle(self):
+        r = Relation([(1, 2), (2, 3), (3, 1)])
+        cycle = r.find_cycle()
+        assert cycle is not None
+        # consecutive members are edges of r
+        for a, b in zip(cycle, cycle[1:]):
+            assert (a, b) in r
+
+    def test_find_cycle_none(self):
+        assert Relation([(1, 2), (2, 3)]).find_cycle() is None
+
+    def test_topological_order(self):
+        r = Relation([(1, 2), (2, 3), (1, 3)])
+        order = r.topological_order()
+        assert order.index(1) < order.index(2) < order.index(3)
+
+    def test_topological_cycle_raises(self):
+        with pytest.raises(ValueError):
+            Relation([(1, 2), (2, 1)]).topological_order()
+
+
+class TestIdenOver:
+    def test_brackets(self):
+        s = Relation.set_of([1, 2])
+        assert iden_over(s) == Relation([(1, 1), (2, 2)])
+
+    def test_bracket_restriction(self):
+        events = Relation.set_of([1, 2, 3])
+        writes = Relation.set_of([1, 3])
+        r = Relation([(1, 2), (1, 3), (2, 3)])
+        restricted = iden_over(writes).compose(r, iden_over(writes))
+        assert restricted == Relation([(1, 3)])

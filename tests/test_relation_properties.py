@@ -1,0 +1,100 @@
+"""Property-based tests for relational algebra laws (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relation import Relation, least_fixpoint
+
+ATOMS = list(range(5))
+
+
+def relations(max_size=12):
+    pair = st.tuples(st.sampled_from(ATOMS), st.sampled_from(ATOMS))
+    return st.frozensets(pair, max_size=max_size).map(Relation)
+
+
+@given(relations(), relations(), relations())
+def test_union_associative(a, b, c):
+    assert (a | b) | c == a | (b | c)
+
+
+@given(relations(), relations())
+def test_union_commutative(a, b):
+    assert a | b == b | a
+
+
+@given(relations(), relations(), relations())
+def test_join_associative(a, b, c):
+    assert a.join(b).join(c) == a.join(b.join(c))
+
+
+@given(relations(), relations(), relations())
+def test_join_distributes_over_union(a, b, c):
+    assert (a | b).join(c) == a.join(c) | b.join(c)
+
+
+@given(relations())
+def test_closure_idempotent(r):
+    assert r.closure().closure() == r.closure()
+
+
+@given(relations())
+def test_closure_contains_relation(r):
+    assert r.issubset(r.closure())
+
+
+@given(relations())
+def test_closure_transitive(r):
+    assert r.closure().is_transitive()
+
+
+@given(relations())
+def test_closure_is_least(r):
+    """The iterated-union fixpoint agrees with the DFS closure."""
+    closed = least_fixpoint(lambda x: r | x.join(r), seed=r)
+    assert closed == r.closure()
+
+
+@given(relations(), relations())
+def test_transpose_antidistributes_join(a, b):
+    assert a.join(b).transpose() == b.transpose().join(a.transpose())
+
+
+@given(relations())
+def test_transpose_involution(r):
+    assert r.transpose().transpose() == r
+
+
+@given(relations())
+def test_acyclic_iff_closure_irreflexive(r):
+    assert r.is_acyclic() == r.closure().is_irreflexive()
+
+
+@given(relations(), relations())
+def test_subset_monotone_closure(a, b):
+    assert (a & b).closure().issubset((a | b).closure())
+
+
+@given(relations())
+def test_cycle_witness_sound(r):
+    cycle = r.find_cycle()
+    if cycle is None:
+        assert r.is_acyclic()
+    else:
+        assert cycle[0] == cycle[-1]
+        for x, y in zip(cycle, cycle[1:]):
+            assert (x, y) in r
+
+
+@given(relations())
+def test_topological_order_consistent(r):
+    if r.is_acyclic():
+        order = r.topological_order()
+        position = {atom: i for i, atom in enumerate(order)}
+        for a, b in r:
+            assert position[a] < position[b]
+
+
+@given(relations(), relations())
+def test_domain_of_join(a, b):
+    assert a.join(b).domain().issubset(a.domain() | a.range())

@@ -1,0 +1,222 @@
+"""Unit tests for the CDCL SAT solver and CNF layer."""
+
+import io
+
+import pytest
+
+from repro.sat import (
+    Cnf,
+    Solver,
+    enumerate_models,
+    luby,
+    read_dimacs,
+    solve_cnf,
+    write_dimacs,
+)
+
+
+class TestCnf:
+    def test_new_vars(self):
+        cnf = Cnf()
+        assert cnf.new_vars(3) == [1, 2, 3]
+        assert cnf.num_vars == 3
+
+    def test_add_clause_checks_allocation(self):
+        cnf = Cnf()
+        with pytest.raises(ValueError):
+            cnf.add_clause([1])
+
+    def test_zero_literal_rejected(self):
+        cnf = Cnf()
+        cnf.new_var()
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+    def test_true_false_lits(self):
+        cnf = Cnf()
+        t = cnf.true_lit()
+        assert cnf.false_lit() == -t
+        model = solve_cnf(cnf)
+        assert model[abs(t)] is True
+
+    def test_gate_and(self):
+        cnf = Cnf()
+        a, b = cnf.new_vars(2)
+        out = cnf.gate_and([a, b])
+        cnf.add_clause([out])
+        model = solve_cnf(cnf)
+        assert model[a] and model[b]
+
+    def test_gate_and_empty_is_true(self):
+        cnf = Cnf()
+        out = cnf.gate_and([])
+        cnf.add_clause([out])
+        assert solve_cnf(cnf) is not None
+
+    def test_gate_or_forced_false(self):
+        cnf = Cnf()
+        a, b = cnf.new_vars(2)
+        out = cnf.gate_or([a, b])
+        cnf.add_clause([-out])
+        model = solve_cnf(cnf)
+        assert not model[a] and not model[b]
+
+    def test_gate_or_empty_is_false(self):
+        cnf = Cnf()
+        out = cnf.gate_or([])
+        cnf.add_clause([out])
+        assert solve_cnf(cnf) is None
+
+    def test_gate_iff(self):
+        cnf = Cnf()
+        a, b = cnf.new_vars(2)
+        out = cnf.gate_iff(a, b)
+        cnf.add_clause([out])
+        cnf.add_clause([a])
+        model = solve_cnf(cnf)
+        assert model[b] is True
+
+    def test_gate_ite(self):
+        cnf = Cnf()
+        c, t, e = cnf.new_vars(3)
+        out = cnf.gate_ite(c, t, e)
+        cnf.add_clause([out])
+        cnf.add_clause([c])
+        cnf.add_clause([-t])
+        assert solve_cnf(cnf) is None  # c true forces out == t == false
+
+    def test_exactly_one(self):
+        cnf = Cnf()
+        lits = cnf.new_vars(4)
+        cnf.exactly_one(lits)
+        model = solve_cnf(cnf)
+        assert sum(model[v] for v in lits) == 1
+
+    def test_at_most_one(self):
+        cnf = Cnf()
+        lits = cnf.new_vars(3)
+        cnf.at_most_one(lits)
+        cnf.add_clause([lits[0]])
+        cnf.add_clause([lits[1]])
+        assert solve_cnf(cnf) is None
+
+
+class TestSolver:
+    def test_trivially_sat(self):
+        cnf = Cnf()
+        a = cnf.new_var()
+        cnf.add_clause([a])
+        assert solve_cnf(cnf) == {a: True}
+
+    def test_trivially_unsat(self):
+        cnf = Cnf()
+        a = cnf.new_var()
+        cnf.add_clause([a])
+        cnf.add_clause([-a])
+        assert solve_cnf(cnf) is None
+
+    def test_empty_clause_unsat(self):
+        cnf = Cnf()
+        cnf.new_var()
+        cnf.clauses.append([])  # bypass validation deliberately
+        assert not Solver(cnf).solve()
+
+    def test_no_clauses_sat(self):
+        cnf = Cnf()
+        cnf.new_vars(3)
+        assert solve_cnf(cnf) is not None
+
+    def test_implication_chain(self):
+        cnf = Cnf()
+        xs = cnf.new_vars(20)
+        for a, b in zip(xs, xs[1:]):
+            cnf.add_clause([-a, b])
+        cnf.add_clause([xs[0]])
+        model = solve_cnf(cnf)
+        assert all(model[v] for v in xs)
+
+    def test_pigeonhole_unsat(self):
+        # 5 pigeons in 4 holes — classic UNSAT requiring real search
+        cnf = Cnf()
+        holes = [[cnf.new_var() for _ in range(4)] for _ in range(5)]
+        for row in holes:
+            cnf.add_clause(row)
+        for h in range(4):
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    cnf.add_clause([-holes[i][h], -holes[j][h]])
+        assert solve_cnf(cnf) is None
+
+    def test_xor_chain_sat(self):
+        cnf = Cnf()
+        a, b, c = cnf.new_vars(3)
+        # a xor b, b xor c
+        cnf.add_clauses([[a, b], [-a, -b], [b, c], [-b, -c]])
+        model = solve_cnf(cnf)
+        assert model[a] != model[b] and model[b] != model[c]
+
+    def test_stats_populated(self):
+        cnf = Cnf()
+        xs = cnf.new_vars(8)
+        for i in range(len(xs) - 2):
+            cnf.add_clause([-xs[i], xs[i + 1], xs[i + 2]])
+        solver = Solver(cnf)
+        assert solver.solve()
+        assert solver.stats["propagations"] >= 0
+
+
+class TestEnumerate:
+    def test_enumerate_all(self):
+        cnf = Cnf()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([a, b])
+        models = list(enumerate_models(cnf))
+        assert len(models) == 3
+
+    def test_enumerate_projection(self):
+        cnf = Cnf()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([a, b])
+        models = list(enumerate_models(cnf, projection=[a]))
+        assert len(models) == 2  # a true / a false
+
+    def test_enumerate_limit(self):
+        cnf = Cnf()
+        cnf.new_vars(4)
+        assert len(list(enumerate_models(cnf, limit=5))) == 5
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8
+        ]
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = Cnf()
+        a, b, c = cnf.new_vars(3)
+        cnf.add_clause([a, -b])
+        cnf.add_clause([b, c])
+        buffer = io.StringIO()
+        write_dimacs(cnf, buffer, comment="test")
+        buffer.seek(0)
+        loaded = read_dimacs(buffer)
+        assert loaded.num_vars == 3
+        assert loaded.clauses == [[a, -b], [b, c]]
+
+    def test_malformed_problem_line(self):
+        with pytest.raises(ValueError):
+            read_dimacs(io.StringIO("p qbf 3 1\n1 0\n"))
+
+    def test_same_satisfiability(self):
+        cnf = Cnf()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([a])
+        cnf.add_clause([-a, b])
+        buffer = io.StringIO()
+        write_dimacs(cnf, buffer)
+        buffer.seek(0)
+        loaded = read_dimacs(buffer)
+        assert (solve_cnf(loaded) is None) == (solve_cnf(cnf) is None)

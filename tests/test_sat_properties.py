@@ -1,0 +1,58 @@
+"""Property-based validation of the SAT solver against brute force."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import Cnf, solve_cnf
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any(bits[abs(l) - 1] == (l > 0) for l in c) for c in clauses):
+            return True
+    return False
+
+
+@st.composite
+def cnf_problems(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=8))
+    literal = st.integers(min_value=1, max_value=num_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clauses = draw(
+        st.lists(
+            st.lists(literal, min_size=1, max_size=3), min_size=1, max_size=24
+        )
+    )
+    return num_vars, clauses
+
+
+@given(cnf_problems())
+@settings(max_examples=300, deadline=None)
+def test_solver_agrees_with_brute_force(problem):
+    num_vars, clauses = problem
+    cnf = Cnf()
+    cnf.new_vars(num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    model = solve_cnf(cnf)
+    expected = brute_force_sat(num_vars, clauses)
+    assert (model is not None) == expected
+    if model is not None:
+        # returned model actually satisfies every clause
+        for clause in clauses:
+            assert any(model.get(abs(l), l < 0) == (l > 0) for l in clause)
+
+
+@given(cnf_problems())
+@settings(max_examples=100, deadline=None)
+def test_gates_preserve_satisfiability(problem):
+    """Tseitin-gating the conjunction of all clauses is equisatisfiable."""
+    num_vars, clauses = problem
+    cnf = Cnf()
+    cnf.new_vars(num_vars)
+    clause_lits = [cnf.gate_or(clause) for clause in clauses]
+    cnf.add_clause([cnf.gate_and(clause_lits)])
+    assert (solve_cnf(cnf) is not None) == brute_force_sat(num_vars, clauses)

@@ -1,0 +1,91 @@
+"""Tests for the Figure 14 relational scope-tree model."""
+
+import pytest
+
+from repro.core import SystemShape
+from repro.kodkod.scope_tree import (
+    check_shape,
+    count_scope_trees,
+    enumerate_scope_trees,
+    shape_subscope,
+    tree_facts,
+)
+from repro.lang import Env, ast, eval_formula
+from repro.relation import Relation
+
+
+class TestConcreteShapes:
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            SystemShape(),
+            SystemShape(gpus=1, ctas_per_gpu=1, threads_per_cta=1),
+            SystemShape(gpus=2, ctas_per_gpu=3, threads_per_cta=2),
+            SystemShape(gpus=2, ctas_per_gpu=1, threads_per_cta=1, host_threads=3),
+        ],
+        ids=["default", "minimal", "wide", "with-host"],
+    )
+    def test_machine_shapes_satisfy_figure14(self, shape):
+        assert check_shape(shape)
+
+    def test_host_threads_hang_off_system(self):
+        scope_set, sub = shape_subscope(SystemShape(host_threads=1))
+        host_edges = [
+            (parent, child) for parent, child in sub
+            if child[0] == "thread" and child[1].is_host
+        ]
+        assert host_edges and all(p == ("sys",) for p, _ in host_edges)
+
+    def test_node_counts(self):
+        shape = SystemShape(gpus=2, ctas_per_gpu=2, threads_per_cta=2)
+        scope_set, _ = shape_subscope(shape)
+        # 1 sys + 2 gpus + 4 ctas + 8 threads
+        assert len(scope_set) == 15
+
+
+class TestFactViolations:
+    def eval_facts(self, nodes, edges):
+        env = Env(
+            universe=Relation.set_of(nodes),
+            bindings={
+                "Scope": Relation.set_of(nodes),
+                "subscope": Relation(edges),
+            },
+        )
+        return eval_formula(tree_facts(), env)
+
+    def test_two_parents_rejected(self):
+        assert not self.eval_facts("abc", [("a", "c"), ("b", "c")])
+
+    def test_cycle_rejected(self):
+        assert not self.eval_facts("ab", [("a", "b"), ("b", "a")])
+
+    def test_forest_rejected(self):
+        """Two roots — Alloy's `one System` fails."""
+        assert not self.eval_facts("abcd", [("a", "b"), ("c", "d")])
+
+    def test_disconnected_node_rejected(self):
+        assert not self.eval_facts("abc", [("a", "b")])
+
+    def test_proper_tree_accepted(self):
+        assert self.eval_facts("abc", [("a", "b"), ("a", "c")])
+
+    def test_chain_accepted(self):
+        assert self.eval_facts("abc", [("a", "b"), ("b", "c")])
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("size,expected", [(1, 1), (2, 2), (3, 9)])
+    def test_cayley_counts(self, size, expected):
+        """Rooted labelled trees over n nodes number n^(n-1)."""
+        assert count_scope_trees(size) == expected
+
+    def test_instances_are_trees(self):
+        for instance in enumerate_scope_trees(3):
+            sub = instance["subscope"]
+            assert sub.is_acyclic()
+            # at most one parent per node
+            parents = {}
+            for parent, child in sub:
+                assert child not in parents
+                parents[child] = parent

@@ -1,0 +1,142 @@
+"""Tests for the scope hierarchy (paper Table 1)."""
+
+import pytest
+
+from repro.core import (
+    Scope,
+    SystemShape,
+    ThreadId,
+    device_thread,
+    distinct_cta_threads,
+    host_thread,
+    mutually_inclusive,
+    same_cta_threads,
+    scope_includes,
+    scope_instance,
+)
+
+
+class TestThreadId:
+    def test_device_thread_repr(self):
+        assert repr(device_thread(0, 1, 2)) == "d0c1t2"
+
+    def test_host_thread_repr(self):
+        assert repr(host_thread(3)) == "host:3"
+
+    def test_host_flag(self):
+        assert host_thread(0).is_host
+        assert not device_thread(0, 0, 0).is_host
+
+    def test_partial_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadId(gpu=0, cta=None, thread=0)
+
+    def test_ordering_stable(self):
+        threads = sorted([device_thread(0, 1, 0), device_thread(0, 0, 0)])
+        assert threads[0] == device_thread(0, 0, 0)
+
+
+class TestScopeLevels:
+    def test_rank_order(self):
+        assert Scope.CTA < Scope.GPU < Scope.SYS
+
+    def test_values(self):
+        assert Scope.CTA.value == "cta"
+        assert Scope.SYS.value == "sys"
+
+
+class TestScopeInstance:
+    def test_cta_scope_contains_same_cta_only(self):
+        a = device_thread(0, 0, 0)
+        inst = scope_instance(a, Scope.CTA)
+        assert inst.contains(device_thread(0, 0, 1))
+        assert not inst.contains(device_thread(0, 1, 0))
+
+    def test_gpu_scope_contains_same_gpu(self):
+        inst = scope_instance(device_thread(0, 0, 0), Scope.GPU)
+        assert inst.contains(device_thread(0, 5, 3))
+        assert not inst.contains(device_thread(1, 0, 0))
+
+    def test_sys_scope_contains_everything(self):
+        """Table 1: .sys includes 'all threads ... including the host'."""
+        inst = scope_instance(device_thread(0, 0, 0), Scope.SYS)
+        assert inst.contains(device_thread(1, 2, 3))
+        assert inst.contains(host_thread(0))
+
+    def test_host_thread_only_names_sys(self):
+        with pytest.raises(ValueError):
+            scope_instance(host_thread(0), Scope.CTA)
+        with pytest.raises(ValueError):
+            scope_instance(host_thread(0), Scope.GPU)
+        assert scope_instance(host_thread(0), Scope.SYS).contains(
+            device_thread(0, 0, 0)
+        )
+
+    def test_device_scope_excludes_host(self):
+        inst = scope_instance(device_thread(0, 0, 0), Scope.GPU)
+        assert not inst.contains(host_thread(0))
+
+
+class TestInclusion:
+    def test_scope_includes(self):
+        a = device_thread(0, 0, 0)
+        b = device_thread(0, 1, 0)
+        assert scope_includes(a, Scope.GPU, b)
+        assert not scope_includes(a, Scope.CTA, b)
+
+    def test_mutually_inclusive_symmetric_cases(self):
+        a = device_thread(0, 0, 0)
+        b = device_thread(0, 1, 0)
+        # gpu/gpu across CTAs: inclusive
+        assert mutually_inclusive(a, Scope.GPU, b, Scope.GPU)
+        # cta/gpu: a's cta scope does not include b
+        assert not mutually_inclusive(a, Scope.CTA, b, Scope.GPU)
+        # asymmetric the other way too (HRF-indirect style, not identical scopes)
+        assert not mutually_inclusive(a, Scope.GPU, b, Scope.CTA)
+
+    def test_inclusive_differing_scopes(self):
+        """PTX requires inclusion, not equality (contrast HRF-direct)."""
+        a = device_thread(0, 0, 0)
+        b = device_thread(0, 0, 1)  # same CTA
+        assert mutually_inclusive(a, Scope.CTA, b, Scope.SYS)
+
+    def test_cross_gpu_needs_sys(self):
+        a = device_thread(0, 0, 0)
+        b = device_thread(1, 0, 0)
+        assert not mutually_inclusive(a, Scope.GPU, b, Scope.GPU)
+        assert mutually_inclusive(a, Scope.SYS, b, Scope.SYS)
+
+
+class TestSystemShape:
+    def test_device_thread_enumeration(self):
+        shape = SystemShape(gpus=2, ctas_per_gpu=2, threads_per_cta=2)
+        assert len(list(shape.device_threads())) == 8
+
+    def test_all_threads_includes_host(self):
+        shape = SystemShape(gpus=1, ctas_per_gpu=1, threads_per_cta=1, host_threads=2)
+        assert len(list(shape.all_threads())) == 3
+
+    def test_same_cta_same_gpu(self):
+        shape = SystemShape()
+        a, b = device_thread(0, 0, 0), device_thread(0, 0, 1)
+        c = device_thread(0, 1, 0)
+        assert shape.same_cta(a, b)
+        assert not shape.same_cta(a, c)
+        assert shape.same_gpu(a, c)
+        assert not shape.same_gpu(a, host_thread(0))
+
+
+class TestPlacementHelpers:
+    def test_distinct_cta_threads(self):
+        threads = distinct_cta_threads(3)
+        ctas = {(t.gpu, t.cta) for t in threads}
+        assert len(ctas) == 3
+
+    def test_distinct_cta_threads_overflow(self):
+        with pytest.raises(ValueError):
+            distinct_cta_threads(5, SystemShape(gpus=1, ctas_per_gpu=2))
+
+    def test_same_cta_threads(self):
+        threads = same_cta_threads(3)
+        assert len({(t.gpu, t.cta) for t in threads}) == 1
+        assert len(set(threads)) == 3

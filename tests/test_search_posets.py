@@ -1,0 +1,90 @@
+"""Tests for the runtime-partial-order enumerators."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relation import Relation
+from repro.search import oriented_orders, total_orders, total_orders_with_first
+
+
+class TestOrientedOrders:
+    def test_no_requirements_yields_forced_closure(self):
+        forced = Relation([(1, 2), (2, 3)])
+        orders = list(oriented_orders([], forced))
+        assert orders == [forced.closure()]
+
+    def test_single_pair_two_orientations(self):
+        orders = list(oriented_orders([frozenset((1, 2))], Relation.empty(2)))
+        assert len(orders) == 2
+        assert Relation([(1, 2)]) in orders and Relation([(2, 1)]) in orders
+
+    def test_forced_decides_pair(self):
+        forced = Relation([(1, 2)])
+        orders = list(oriented_orders([frozenset((1, 2))], forced))
+        assert len(orders) == 1
+
+    def test_forced_decides_transitively(self):
+        forced = Relation([(1, 2), (2, 3)])
+        orders = list(oriented_orders([frozenset((1, 3))], forced))
+        assert len(orders) == 1
+        assert (1, 3) in orders[0]
+
+    def test_cyclic_orientations_skipped(self):
+        # pairs {1,2},{2,3},{1,3} with forced 1->2,2->3: only 1->3 survives
+        pairs = [frozenset((1, 3))]
+        forced = Relation([(1, 2), (2, 3)])
+        orders = list(oriented_orders(pairs, forced))
+        assert all(order.is_irreflexive() for order in orders)
+
+    def test_inconsistent_forced_yields_nothing(self):
+        forced = Relation([(1, 2), (2, 1)])
+        assert list(oriented_orders([], forced)) == []
+
+    def test_all_results_are_strict_partial_orders(self):
+        pairs = [frozenset((1, 2)), frozenset((2, 3)), frozenset((1, 3))]
+        for order in oriented_orders(pairs, Relation.empty(2)):
+            assert order.is_strict_partial_order()
+
+    def test_three_pairs_give_all_total_orders(self):
+        """Orienting every pair of a triangle enumerates the 6 total orders."""
+        pairs = [frozenset((1, 2)), frozenset((2, 3)), frozenset((1, 3))]
+        orders = list(oriented_orders(pairs, Relation.empty(2)))
+        assert len(orders) == 6
+        assert all(order.is_total_over([1, 2, 3]) for order in orders)
+
+    def test_duplicate_pairs_not_double_branched(self):
+        pairs = [frozenset((1, 2)), frozenset((2, 1))]
+        assert len(list(oriented_orders(pairs, Relation.empty(2)))) == 2
+
+
+class TestTotalOrders:
+    def test_counts_factorial(self):
+        assert len(list(total_orders([1, 2, 3]))) == math.factorial(3)
+
+    def test_with_first_pins_minimum(self):
+        for order in total_orders_with_first(0, [1, 2]):
+            assert (0, 1) in order and (0, 2) in order
+
+    def test_with_first_counts(self):
+        assert len(list(total_orders_with_first(0, [1, 2, 3]))) == 6
+
+    def test_empty_rest(self):
+        orders = list(total_orders_with_first(0, []))
+        assert len(orders) == 1 and orders[0].is_empty()
+
+
+@given(
+    st.lists(
+        st.frozensets(st.integers(0, 4), min_size=2, max_size=2),
+        max_size=4,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_oriented_orders_relate_all_required_pairs(pairs):
+    for order in oriented_orders(pairs, Relation.empty(2)):
+        for pair in pairs:
+            a, b = tuple(pair)
+            assert (a, b) in order or (b, a) in order
+        assert order.is_strict_partial_order()

@@ -1,0 +1,98 @@
+"""Property-based soundness checks on randomly generated programs.
+
+The theorem under test, observed end-to-end: compile a random scoped C++
+program, take any legal PTX execution of the result, lift it — the lifted
+execution must satisfy every RC11 axiom (when race-free).  Plus behavioural
+containment: the registers observable on the PTX side must be observable
+on the RC11 side.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Scope, device_thread
+from repro.mapping import STANDARD, compile_program, lift_candidate
+from repro.mapping.skeletons import source_skeletons
+from repro.rc11 import CLoad, CProgram, CStore, CThread, MemOrder
+from repro.rc11.model import check_execution as rc11_check
+from repro.rc11.model import is_race_free
+from repro.search import candidate_executions
+from repro.search.rc11_search import c_allowed_outcomes
+
+ORDERS_LOAD = [MemOrder.NA, MemOrder.RLX, MemOrder.ACQ, MemOrder.SC]
+ORDERS_STORE = [MemOrder.NA, MemOrder.RLX, MemOrder.REL, MemOrder.SC]
+SCOPES = [Scope.CTA, Scope.GPU, Scope.SYS]
+LOCS = ["x", "y"]
+
+
+@st.composite
+def small_programs(draw):
+    """Random 2-thread programs with 1–2 operations each."""
+    ops_per_thread = [draw(st.integers(1, 2)) for _ in range(2)]
+    threads = []
+    reg = 0
+    value = 0
+    for t_index, count in enumerate(ops_per_thread):
+        tid = device_thread(0, t_index, 0)
+        ops = []
+        for _ in range(count):
+            loc = draw(st.sampled_from(LOCS))
+            if draw(st.booleans()):
+                mo = draw(st.sampled_from(ORDERS_LOAD))
+                scope = None if mo is MemOrder.NA else draw(st.sampled_from(SCOPES))
+                reg += 1
+                ops.append(CLoad(dst=f"r{reg}", loc=loc, mo=mo, scope=scope))
+            else:
+                mo = draw(st.sampled_from(ORDERS_STORE))
+                scope = None if mo is MemOrder.NA else draw(st.sampled_from(SCOPES))
+                value += 1
+                ops.append(CStore(loc=loc, src=value, mo=mo, scope=scope))
+        threads.append(CThread(tid=tid, ops=tuple(ops)))
+    return CProgram(name="random", threads=tuple(threads))
+
+
+@given(small_programs())
+@settings(max_examples=40, deadline=None)
+def test_race_free_lifts_are_rc11_consistent(program):
+    compiled = compile_program(program, STANDARD)
+    for candidate in candidate_executions(compiled.target):
+        lift = lift_candidate(compiled, candidate)
+        for execution in lift.executions():
+            if is_race_free(execution):
+                report = rc11_check(execution)
+                assert report.consistent, (program, report.failed)
+
+
+@given(small_programs())
+@settings(max_examples=15, deadline=None)
+def test_behavioural_containment_for_race_free_programs(program):
+    """Every register outcome of the compiled program on race-free lifted
+    executions is an outcome the source model allows."""
+    source_outcomes = c_allowed_outcomes(program)
+    source_registers = {outcome.registers for outcome in source_outcomes}
+    compiled = compile_program(program, STANDARD)
+    for candidate in candidate_executions(compiled.target):
+        lift = lift_candidate(compiled, candidate)
+        race_free_somewhere = any(
+            is_race_free(execution) for execution in lift.executions()
+        )
+        if not race_free_somewhere:
+            continue
+        outcome = candidate.outcome()
+        ptx_regs = tuple(sorted(dict(outcome.registers).items(), key=repr))
+        assert ptx_regs in source_registers, (program, outcome)
+
+
+def test_skeleton_sample_lifts_consistently():
+    """A deterministic slice of the bound-2 skeleton space (quick CI cousin
+    of the Figure 17 sweep)."""
+    checked = 0
+    for index, program in enumerate(source_skeletons(2, scoped=True)):
+        if index % 97 != 0:  # sample ~1% of the 10302 skeletons
+            continue
+        compiled = compile_program(program, STANDARD)
+        for candidate in candidate_executions(compiled.target):
+            lift = lift_candidate(compiled, candidate)
+            assert lift.violating_axioms() == (), program
+            checked += 1
+    assert checked > 0

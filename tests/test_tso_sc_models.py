@@ -1,0 +1,132 @@
+"""Tests for the TSO (Figure 2) and SC baseline models."""
+
+from repro.core import Scope, device_thread
+from repro.ptx import ProgramBuilder, Sem
+from repro.scmodel import check_execution as sc_check
+from repro.search.total_search import allowed_outcomes_total, total_co_candidates
+from repro.tso import build_env as tso_env
+from repro.tso import check_execution as tso_check
+
+T0 = device_thread(0, 0, 0)
+T1 = device_thread(0, 1, 0)
+
+
+def sb(with_fence=False):
+    builder = ProgramBuilder("SB").thread(T0).st("x", 1)
+    if with_fence:
+        builder.fence(Sem.SC, Scope.SYS)
+    builder.ld("r1", "y").thread(T1).st("y", 1)
+    if with_fence:
+        builder.fence(Sem.SC, Scope.SYS)
+    builder.ld("r2", "x")
+    return builder.build()
+
+
+def observed_00(prog, check):
+    return any(
+        o.register(T0, "r1") == 0 and o.register(T1, "r2") == 0
+        for o in allowed_outcomes_total(prog, check)
+    )
+
+
+class TestTso:
+    def test_sb_allowed_without_fence(self):
+        """The defining TSO relaxation: store buffering."""
+        assert observed_00(sb(False), tso_check)
+
+    def test_sb_forbidden_with_fence(self):
+        assert not observed_00(sb(True), tso_check)
+
+    def test_mp_forbidden(self):
+        prog = (
+            ProgramBuilder("MP")
+            .thread(T0).st("x", 1).st("y", 1)
+            .thread(T1).ld("r1", "y").ld("r2", "x")
+            .build()
+        )
+        assert not any(
+            o.register(T1, "r1") == 1 and o.register(T1, "r2") == 0
+            for o in allowed_outcomes_total(prog, tso_check)
+        )
+
+    def test_lb_forbidden(self):
+        prog = (
+            ProgramBuilder("LB")
+            .thread(T0).ld("r1", "y").st("x", 1)
+            .thread(T1).ld("r2", "x").st("y", 1)
+            .build()
+        )
+        assert not any(
+            o.register(T0, "r1") == 1 and o.register(T1, "r2") == 1
+            for o in allowed_outcomes_total(prog, tso_check)
+        )
+
+    def test_store_forwarding_allowed(self):
+        """A thread may read its own buffered store early."""
+        prog = (
+            ProgramBuilder("SB+fwd")
+            .thread(T0).st("x", 1).ld("r0", "x").ld("r1", "y")
+            .thread(T1).st("y", 1).ld("r2", "x")
+            .build()
+        )
+        assert any(
+            o.register(T0, "r0") == 1
+            and o.register(T0, "r1") == 0
+            and o.register(T1, "r2") == 0
+            for o in allowed_outcomes_total(prog, tso_check)
+        )
+
+    def test_ppo_excludes_store_to_load_only(self):
+        prog = sb(False)
+        candidate = next(iter(total_co_candidates(prog, tso_check)))
+        env = tso_env(candidate.execution)
+        ppo = env.lookup("ppo")
+        po = env.lookup("po")
+        for a, b in po:
+            if a.is_memory and b.is_memory:
+                expected = not (a.is_write and b.is_read)
+                assert ((a, b) in ppo) == expected
+
+    def test_atomics_act_as_fences(self):
+        from repro.ptx import AtomOp
+
+        prog = (
+            ProgramBuilder("SB+atom")
+            .thread(T0).atom("r0", "x", AtomOp.EXCH, 1, scope=Scope.GPU).ld("r1", "y")
+            .thread(T1).atom("r2", "y", AtomOp.EXCH, 1, scope=Scope.GPU).ld("r3", "x")
+            .build()
+        )
+        assert not any(
+            o.register(T0, "r1") == 0 and o.register(T1, "r3") == 0
+            for o in allowed_outcomes_total(prog, tso_check)
+        )
+
+
+class TestSc:
+    def test_sb_forbidden(self):
+        assert not observed_00(sb(False), sc_check)
+
+    def test_interleavings_allowed(self):
+        prog = (
+            ProgramBuilder("p")
+            .thread(T0).st("x", 1)
+            .thread(T1).ld("r1", "x")
+            .build()
+        )
+        values = {
+            o.register(T1, "r1")
+            for o in allowed_outcomes_total(prog, sc_check)
+        }
+        assert values == {0, 1}
+
+    def test_coherence_respected(self):
+        prog = ProgramBuilder("p").thread(T0).st("x", 1).st("x", 2).build()
+        for outcome in allowed_outcomes_total(prog, sc_check):
+            assert outcome.memory_values("x") == {2}
+
+    def test_sc_stricter_than_tso(self):
+        """Everything SC allows, TSO allows (on plain loads/stores)."""
+        prog = sb(False)
+        sc_outcomes = allowed_outcomes_total(prog, sc_check)
+        tso_outcomes = allowed_outcomes_total(prog, tso_check)
+        assert sc_outcomes <= tso_outcomes
