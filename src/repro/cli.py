@@ -24,8 +24,11 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     for model in args.models:
         results = run_suite(SUITE, model=model)
         print(f"== model: {model} ==")
-        print(summarize(results))
+        print(summarize(results, show_stats=args.stats))
         failures += sum(1 for r in results if r.matches_expectation is False)
+        if args.stats:
+            total = sum(r.elapsed or 0.0 for r in results)
+            print(f"total search time: {total:.3f}s over {len(results)} tests")
         print()
     if failures:
         print(f"{failures} expectation mismatch(es)")
@@ -40,7 +43,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     with open(args.file) as handle:
         test = parse_litmus(handle.read())
-    result = run_litmus(test, model=args.model)
+    try:
+        result = run_litmus(test, model=args.model, engine=args.engine)
+    except ValueError as exc:  # e.g. symbolic engine on a non-PTX model
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"test       : {test.name}")
     print(f"model      : {args.model}")
     print(f"condition  : {test.condition!r}")
@@ -48,6 +55,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     expected = test.expected(args.model)
     if expected is not None:
         print(f"expected   : {expected.value}")
+    if args.stats:
+        print(f"engine     : {args.engine}")
+        print(f"elapsed    : {result.elapsed:.3f}s")
+        if result.solver_stats is not None:
+            print(f"sat        : {result.solver_stats.format()}")
     if args.outcomes:
         for outcome in sorted(result.outcomes, key=repr):
             print(f"  {outcome}")
@@ -233,6 +245,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_suite.add_argument(
         "--models", nargs="+", default=["ptx"], choices=["ptx", "tso", "sc"]
     )
+    p_suite.add_argument(
+        "--stats", action="store_true",
+        help="append per-test wall time (and SAT counters) to the table",
+    )
     p_suite.set_defaults(func=_cmd_suite)
 
     p_run = sub.add_parser("run", help="run a litmus test from a file")
@@ -244,6 +260,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument(
         "--explain", action="store_true",
         help="report the axioms rejecting the condition (PTX model only)",
+    )
+    p_run.add_argument(
+        "--engine", default="enumerative", choices=["enumerative", "symbolic"],
+        help="decision engine: explicit execution enumeration, or one "
+             "bounded SAT query (PTX model only)",
+    )
+    p_run.add_argument(
+        "--stats", action="store_true",
+        help="print wall time and SAT solver counters for the run",
     )
     p_run.set_defaults(func=_cmd_run)
 

@@ -1,7 +1,7 @@
 """Bounded relational model finding over SAT (the Alloy/Kodkod analog)."""
 
 from .bounds import Bounds, RelBound, Universe
-from .finder import Instance, check, instances, solve
+from .finder import Instance, check, instances, solve, solve_translation
 from .translate import Translation, Translator
 
 __all__ = [
@@ -14,4 +14,5 @@ __all__ = [
     "check",
     "instances",
     "solve",
+    "solve_translation",
 ]

@@ -5,16 +5,26 @@ for a counterexample to an assertion (Alloy's ``check`` command, Figure
 16a); ``instances`` enumerates satisfying instances up to the witness
 relations.  Instances come back as plain ``name -> Relation`` maps, so they
 plug directly into the concrete evaluator for cross-validation.
+
+Enumeration runs on one *incremental* SAT solver: blocking clauses are
+pushed into the live solver (never into the shared CNF), so learned
+clauses, variable activities and saved phases persist across the whole
+enumeration, and the caller's :class:`~repro.kodkod.translate.Translation`
+stays pristine and re-enumerable.
+
+Every SAT call records a :class:`~repro.sat.solver.SolverStats` snapshot on
+the translation (and into the optional ``stats`` collector), so callers can
+observe decisions/conflicts/learned-clause reuse per query.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
 
 from ..lang import ast
 from ..relation import Relation
-from ..sat.solver import Solver
+from ..sat.solver import Solver, SolverStats, enumerate_models
 from .bounds import Bounds
 from .translate import Translation, Translator
 
@@ -42,38 +52,72 @@ def _decode(translation: Translation, model: Dict[int, bool]) -> Instance:
     )
 
 
+def _translate(
+    formula: ast.Formula,
+    bounds: Bounds,
+    configure: Optional[callable],
+) -> Translation:
+    translator = Translator(bounds)
+    if configure is not None:
+        configure(translator)
+    translator.assert_formula(formula)
+    return translator.finish()
+
+
+def solve_translation(
+    translation: Translation,
+    stats: Optional[List[SolverStats]] = None,
+) -> Optional[Instance]:
+    """Solve a prepared translation, recording solver stats on it."""
+    solver = Solver(translation.cnf)
+    satisfiable = solver.solve()
+    snapshot = solver.stats.copy()
+    translation.solver_stats.append(snapshot)
+    if stats is not None:
+        stats.append(snapshot)
+    if not satisfiable:
+        return None
+    return _decode(translation, solver.model())
+
+
 def solve(
     formula: ast.Formula,
     bounds: Bounds,
     configure: Optional[callable] = None,
+    stats: Optional[List[SolverStats]] = None,
 ) -> Optional[Instance]:
     """Find an instance satisfying ``formula``, or None.
 
     ``configure`` receives the :class:`Translator` before solving, for
     extra-logical constraints (e.g. rf functionality via ``exactly_one_of``).
+    ``stats``, if given, receives one :class:`SolverStats` snapshot.
     """
-    translator = Translator(bounds)
-    if configure is not None:
-        configure(translator)
-    translator.assert_formula(formula)
-    translation = translator.finish()
-    solver = Solver(translation.cnf)
-    if not solver.solve():
-        return None
-    return _decode(translation, solver.model())
+    return solve_translation(_translate(formula, bounds, configure), stats=stats)
 
 
 def check(
     assertion: ast.Formula,
     bounds: Bounds,
     configure: Optional[callable] = None,
+    stats: Optional[List[SolverStats]] = None,
 ) -> Optional[Instance]:
     """Search for a counterexample to ``assertion`` (Alloy ``check``).
 
     Returns a violating instance, or None if the assertion holds within
     the bounds.
     """
-    return solve(ast.Not(assertion), bounds, configure=configure)
+    return solve(ast.Not(assertion), bounds, configure=configure, stats=stats)
+
+
+class _StatsFanout:
+    """Append-only sink duplicating per-solve stats into several lists."""
+
+    def __init__(self, *sinks: Optional[List[SolverStats]]):
+        self.sinks = [sink for sink in sinks if sink is not None]
+
+    def append(self, snapshot: SolverStats) -> None:
+        for sink in self.sinks:
+            sink.append(snapshot)
 
 
 def instances(
@@ -81,24 +125,31 @@ def instances(
     bounds: Bounds,
     configure: Optional[callable] = None,
     limit: Optional[int] = None,
+    incremental: bool = True,
+    stats: Optional[List[SolverStats]] = None,
 ) -> Iterator[Instance]:
-    """Enumerate satisfying instances, distinct on the witness relations."""
-    translator = Translator(bounds)
-    if configure is not None:
-        configure(translator)
-    translator.assert_formula(formula)
-    translation = translator.finish()
+    """Enumerate satisfying instances, distinct on the witness relations.
+
+    Distinctness is judged *up to the witness (slack) relation variables*:
+    two total SAT models that decode to the same relational binding count
+    as one instance.  In particular, when every relation is exactly bounded
+    there are no witness variables, and a satisfiable problem has exactly
+    one instance — the enumeration yields it and stops, regardless of
+    ``limit`` and of how many total SAT models the Tseitin internals admit.
+
+    One incremental solver carries learned clauses across the enumeration
+    (pass ``incremental=False`` for the rebuild-per-instance baseline); the
+    translation's CNF is never mutated, so the same formula/bounds can be
+    enumerated repeatedly with identical results.
+    """
+    translation = _translate(formula, bounds, configure)
     projection = translation.projection_vars()
-    count = 0
-    while limit is None or count < limit:
-        solver = Solver(translation.cnf)
-        if not solver.solve():
-            return
-        model = solver.model()
+    sink = _StatsFanout(translation.solver_stats, stats)
+    for model in enumerate_models(
+        translation.cnf,
+        projection=projection,
+        limit=limit,
+        incremental=incremental,
+        stats_out=sink,
+    ):
         yield _decode(translation, model)
-        count += 1
-        if not projection:
-            return
-        translation.cnf.add_clause(
-            [-(var) if model.get(var, False) else var for var in projection]
-        )

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..sat.solver import SolverStats
+
 from ..core.execution import Execution, program_order
 from ..lang import ast
 from ..litmus.conditions import AndC, Condition, MemEq, NotC, OrC, RegEq, TrueC
@@ -37,7 +39,7 @@ from ..ptx.model import build_env
 from ..ptx.program import elaborate
 from ..relation import Relation
 from .bounds import Bounds, Universe
-from .finder import solve
+from .finder import Instance, instances, solve
 from .translate import Translator
 
 
@@ -153,11 +155,12 @@ class _ConditionCompiler:
         raise UnsupportedCondition(f"unknown condition node {condition!r}")
 
 
-def symbolic_outcome_allowed(test: LitmusTest) -> bool:
-    """Decide the test condition with one bounded SAT query.
+def _encode(test: LitmusTest, include_condition: bool = True):
+    """Build the bounded relational problem for ``test``.
 
-    Returns True when some axiom-consistent execution satisfies the
-    condition (i.e. the outcome is *allowed*).
+    Returns ``(goal, bounds, configure)`` ready for the model finder: the
+    well-formedness facts and the six PTX axioms, conjoined with the
+    compiled litmus condition when ``include_condition`` is set.
     """
     program = test.program
     elab = elaborate(program)
@@ -231,12 +234,13 @@ def symbolic_outcome_allowed(test: LitmusTest) -> bool:
 
     axioms = ast.conj(*ptx_spec.AXIOMS.values())
 
-    compiler = _ConditionCompiler(test, elab, events)
-    condition = compiler.compile(test.condition)
-    for name, relation in compiler.consts.items():
-        bounds.bound_exactly(name, relation, arity=2)
-
-    goal = ast.conj(well_formed, axioms, condition)
+    parts = [well_formed, axioms]
+    if include_condition:
+        compiler = _ConditionCompiler(test, elab, events)
+        parts.append(compiler.compile(test.condition))
+        for name, relation in compiler.consts.items():
+            bounds.bound_exactly(name, relation, arity=2)
+    goal = ast.conj(*parts)
 
     def configure(translator: Translator) -> None:
         for read in reads:
@@ -245,4 +249,44 @@ def symbolic_outcome_allowed(test: LitmusTest) -> bool:
             ]
             translator.exactly_one_of("rf", candidates)
 
-    return solve(goal, bounds, configure=configure) is not None
+    return goal, bounds, configure
+
+
+def symbolic_outcome_allowed(
+    test: LitmusTest,
+    stats: Optional[List[SolverStats]] = None,
+) -> bool:
+    """Decide the test condition with one bounded SAT query.
+
+    Returns True when some axiom-consistent execution satisfies the
+    condition (i.e. the outcome is *allowed*).  ``stats``, if given,
+    receives the SAT call's :class:`SolverStats` snapshot.
+    """
+    goal, bounds, configure = _encode(test)
+    return solve(goal, bounds, configure=configure, stats=stats) is not None
+
+
+def symbolic_consistent_instances(
+    test: LitmusTest,
+    limit: Optional[int] = None,
+    incremental: bool = True,
+    stats: Optional[List[SolverStats]] = None,
+):
+    """Enumerate the axiom-consistent witness instances of ``test``.
+
+    Yields one :class:`~repro.kodkod.finder.Instance` per distinct
+    ``rf``/``co``/``sc`` binding admitted by the six PTX axioms — the
+    paper's §5.2 "enumerate all bounded instances" methodology, driven by
+    the incremental solver so learned clauses persist across the whole
+    enumeration (``incremental=False`` restores the per-instance rebuild
+    baseline for comparison).
+    """
+    goal, bounds, configure = _encode(test, include_condition=False)
+    return instances(
+        goal,
+        bounds,
+        configure=configure,
+        limit=limit,
+        incremental=incremental,
+        stats=stats,
+    )

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..lang import ast
 from ..sat.cnf import Cnf
+from ..sat.solver import SolverStats
 from .bounds import Bounds
 
 #: A sparse boolean matrix: tuple -> SAT literal (absent tuples are false).
@@ -32,6 +33,9 @@ class Translation:
     bounds: Bounds
     #: relation name -> (tuple -> SAT variable), for slack tuples only
     free_vars: Dict[str, Dict[tuple, int]] = field(default_factory=dict)
+    #: one SolverStats snapshot per SAT call made against this translation
+    #: (appended by :mod:`repro.kodkod.finder`; solver observability, §5.2)
+    solver_stats: List[SolverStats] = field(default_factory=list)
 
     def decode(self, model: Dict[int, bool]) -> Dict[str, set]:
         """Decode a SAT model into concrete relations (name -> tuple set)."""

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Optional, Sequence, Tuple
 
 from ..ptx.program import Program
+from ..sat.solver import SolverStats
 from ..scmodel import check_execution as sc_check
 from ..search.ptx_search import Outcome, allowed_outcomes
 from ..search.total_search import allowed_outcomes_total
@@ -42,6 +44,41 @@ MODELS: Dict[str, ModelFn] = {
     "sc": _sc_outcomes,
 }
 
+#: search options each model's engine accepts (everything else is an error)
+_MODEL_OPTS: Dict[str, FrozenSet[str]] = {
+    "ptx": frozenset({"skip_axioms", "speculation_values"}),
+    "ptx-legacy": frozenset({"skip_axioms", "speculation_values"}),
+    "tso": frozenset({"speculation_values"}),
+    "sc": frozenset({"speculation_values"}),
+}
+
+#: PTX-only options the total-co models tolerate and drop (a test tagged
+#: with e.g. ``skip_axioms`` must still be runnable under tso/sc)
+_IGNORED_OPTS: Dict[str, FrozenSet[str]] = {
+    "tso": frozenset({"skip_axioms"}),
+    "sc": frozenset({"skip_axioms"}),
+}
+
+
+def _filter_opts(model: str, opts: Dict[str, object]) -> Dict[str, object]:
+    """Keep the options ``model`` understands; reject unknown ones loudly.
+
+    Without this, a PTX-only option reaches the model's search function and
+    surfaces as a bare ``TypeError`` deep inside the enumerator.
+    """
+    allowed = _MODEL_OPTS[model]
+    ignored = _IGNORED_OPTS.get(model, frozenset())
+    kept: Dict[str, object] = {}
+    for name, value in opts.items():
+        if name in allowed:
+            kept[name] = value
+        elif name not in ignored:
+            raise ValueError(
+                f"search option {name!r} is not supported by model {model!r} "
+                f"(supported: {sorted(allowed)})"
+            )
+    return kept
+
 
 @dataclass(frozen=True)
 class LitmusResult:
@@ -51,6 +88,10 @@ class LitmusResult:
     model: str
     observed: bool
     outcomes: FrozenSet[Outcome]
+    #: wall-clock seconds spent deciding the test
+    elapsed: Optional[float] = None
+    #: SAT backend counters (populated by the symbolic engine only)
+    solver_stats: Optional[SolverStats] = None
 
     @property
     def verdict(self) -> Expect:
@@ -73,38 +114,121 @@ class LitmusResult:
         )
 
 
-def run_litmus(test: LitmusTest, model: str = "ptx", **opts) -> LitmusResult:
-    """Run one litmus test under the named model."""
+def _run_symbolic(
+    test: LitmusTest, opts: Dict[str, object]
+) -> Tuple[bool, FrozenSet[Outcome], Optional[SolverStats]]:
+    """Decide the condition with one bounded SAT query where possible.
+
+    Falls back to the enumerative engine when the test carries search
+    options (the single-query encoding has no search knobs) or when the
+    condition is value-dependent and cannot be phrased relationally.
+    """
+    from ..kodkod.litmus import UnsupportedCondition, symbolic_outcome_allowed
+
+    if not opts:
+        stats: list = []
+        try:
+            observed = symbolic_outcome_allowed(test, stats=stats)
+        except UnsupportedCondition:
+            pass
+        else:
+            merged = stats[0]
+            for snapshot in stats[1:]:
+                merged = merged + snapshot
+            return observed, frozenset(), merged
+    outcomes = _ptx_outcomes(test.program, **opts)
+    return test.condition_observed(outcomes), outcomes, None
+
+
+def run_litmus(
+    test: LitmusTest, model: str = "ptx", engine: str = "enumerative", **opts
+) -> LitmusResult:
+    """Run one litmus test under the named model.
+
+    ``engine`` selects how the PTX model decides the condition:
+    ``"enumerative"`` (default) explores candidate executions explicitly;
+    ``"symbolic"`` issues one bounded SAT query (§5.2) and surfaces the
+    solver's :class:`SolverStats` on the result.
+    """
     if model not in MODELS:
         raise KeyError(f"unknown model {model!r}; have {sorted(MODELS)}")
     merged = dict(test.search_opts)
     merged.update(opts)
-    outcomes = MODELS[model](test.program, **merged)
+    merged = _filter_opts(model, merged)
+    solver_stats: Optional[SolverStats] = None
+    started = time.perf_counter()
+    if engine == "symbolic":
+        if model != "ptx":
+            raise ValueError(
+                f"the symbolic engine supports only the 'ptx' model, not {model!r}"
+            )
+        observed, outcomes, solver_stats = _run_symbolic(test, merged)
+    elif engine == "enumerative":
+        outcomes = MODELS[model](test.program, **merged)
+        observed = test.condition_observed(outcomes)
+    else:
+        raise ValueError(
+            f"unknown engine {engine!r}; have ['enumerative', 'symbolic']"
+        )
+    elapsed = time.perf_counter() - started
     return LitmusResult(
         test=test,
         model=model,
-        observed=test.condition_observed(outcomes),
+        observed=observed,
         outcomes=outcomes,
+        elapsed=elapsed,
+        solver_stats=solver_stats,
     )
 
 
 def run_suite(
-    tests: Sequence[LitmusTest], model: str = "ptx", **opts
+    tests: Sequence[LitmusTest],
+    model: str = "ptx",
+    engine: str = "enumerative",
+    **opts,
 ) -> Tuple[LitmusResult, ...]:
     """Run a sequence of tests, returning their results in order."""
-    return tuple(run_litmus(test, model=model, **opts) for test in tests)
+    return tuple(
+        run_litmus(test, model=model, engine=engine, **opts) for test in tests
+    )
 
 
-def summarize(results: Sequence[LitmusResult]) -> str:
-    """A printable table of results (name, verdict, expectation check)."""
-    width = max((len(r.test.name) for r in results), default=4)
-    lines = [f"{'test'.ljust(width)}  model  verdict    expected   status"]
+def summarize(results: Sequence[LitmusResult], show_stats: bool = False) -> str:
+    """A printable table of results (name, verdict, expectation check).
+
+    ``show_stats`` appends a wall-time column (and SAT conflict counts when
+    the symbolic engine produced them).
+    """
+    width = max([len("test")] + [len(r.test.name) for r in results])
+    model_width = max([len("model")] + [len(r.model) for r in results])
+    header = (
+        f"{'test'.ljust(width)}  {'model'.ljust(model_width)}  "
+        f"verdict    expected   status"
+    )
+    if show_stats:
+        header += "    time       conflicts"
+    lines = [header]
     for result in results:
         expected = result.test.expected(result.model)
         status = {True: "ok", False: "MISMATCH", None: "-"}[result.matches_expectation]
-        lines.append(
-            f"{result.test.name.ljust(width)}  {result.model:<5}  "
+        line = (
+            f"{result.test.name.ljust(width)}  {result.model.ljust(model_width)}  "
             f"{result.verdict.value:<9}  "
-            f"{(expected.value if expected else '-'):<9}  {status}"
+            f"{(expected.value if expected else '-'):<9}  "
         )
+        if show_stats:
+            elapsed = (
+                f"{result.elapsed * 1000:8.1f}ms"
+                if result.elapsed is not None
+                else f"{'-':>10}"
+            )
+            conflicts = (
+                f"{result.solver_stats.conflicts:9d}"
+                if result.solver_stats is not None
+                else f"{'-':>9}"
+            )
+            line += f"{status:<8}  {elapsed}  {conflicts}"
+        else:
+            line += status
+        lines.append(line)
     return "\n".join(lines)

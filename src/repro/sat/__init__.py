@@ -1,12 +1,22 @@
-"""A from-scratch CDCL SAT solver: the backend of the relational model finder."""
+"""A from-scratch incremental CDCL SAT solver: the backend of the relational model finder."""
 
 from .cnf import Cnf
 from .dimacs import read_dimacs, write_dimacs
-from .solver import Solver, Unsatisfiable, enumerate_models, luby, solve_cnf
+from .solver import (
+    Clause,
+    Solver,
+    SolverStats,
+    Unsatisfiable,
+    enumerate_models,
+    luby,
+    solve_cnf,
+)
 
 __all__ = [
+    "Clause",
     "Cnf",
     "Solver",
+    "SolverStats",
     "Unsatisfiable",
     "enumerate_models",
     "luby",

@@ -26,6 +26,14 @@ class Cnf:
         self.clauses: List[List[int]] = []
         self._true_lit: Optional[int] = None
 
+    def copy(self) -> "Cnf":
+        """An independent copy (same variable counter, cloned clause lists)."""
+        clone = Cnf()
+        clone.num_vars = self.num_vars
+        clone.clauses = [list(clause) for clause in self.clauses]
+        clone._true_lit = self._true_lit
+        return clone
+
     def new_var(self) -> int:
         """Allocate a fresh variable and return it (as a positive literal)."""
         self.num_vars += 1

@@ -65,12 +65,34 @@ class TestRunCommand:
         path.write_text(MP_FILE)
         assert main(["run", str(path), "--model", "sc"]) == 0
 
+    def test_stats_flag(self, tmp_path, capsys):
+        path = tmp_path / "mp.litmus"
+        path.write_text(MP_FILE)
+        assert main(["run", str(path), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "elapsed" in out and "engine" in out
+
+    def test_symbolic_engine_with_stats(self, tmp_path, capsys):
+        path = tmp_path / "mp.litmus"
+        path.write_text(MP_FILE)
+        assert main(
+            ["run", str(path), "--engine", "symbolic", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "forbidden" in out
+        assert "sat" in out and "conflicts" in out  # SolverStats.format()
+
 
 class TestSuiteCommand:
     def test_runs_clean(self, capsys):
         assert main(["suite"]) == 0
         out = capsys.readouterr().out
         assert "all verdicts match" in out
+
+    def test_stats_flag(self, capsys):
+        assert main(["suite", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "conflicts" in out and "total search time" in out
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -140,6 +140,81 @@ class TestInstances:
             diagonal = {t for t in instance["r"].tuples if t[0] == t[1]}
             assert len(diagonal) == 1
 
+    def test_all_exact_bounds_yield_one_instance(self):
+        # no witness variables: every SAT model decodes identically, so the
+        # enumeration must stop after one instance even with a larger limit
+        bounds = Bounds(U)
+        bounds.bound_exactly("r", Relation([("a", "b"), ("b", "c")]))
+        found = list(instances(ast.SomeF(r), bounds, limit=10))
+        assert len(found) == 1
+        assert found[0]["r"] == Relation([("a", "b"), ("b", "c")])
+
+    def test_incremental_matches_rebuild(self):
+        formula = ast.And(ast.Acyclic(r | s), ast.Subset(s, r.plus()))
+
+        def make_bounds():
+            bounds = Bounds(Universe(("e0", "e1", "e2")))
+            bounds.bound("r", 2)
+            bounds.bound("s", 2)
+            return bounds
+
+        def as_set(found):
+            return {
+                frozenset(
+                    (name, frozenset(rel.tuples))
+                    for name, rel in inst.relations.items()
+                )
+                for inst in found
+            }
+
+        incremental = as_set(instances(formula, make_bounds()))
+        rebuilt = as_set(instances(formula, make_bounds(), incremental=False))
+        assert incremental == rebuilt
+        assert len(incremental) == 133
+
+    def test_enumeration_is_repeatable_from_one_translation(self):
+        """Blocking clauses never leak into the shared CNF: the same
+        translation enumerates to the same model set twice."""
+        from repro.kodkod.translate import Translator
+        from repro.sat import enumerate_models
+
+        bounds = Bounds(Universe(("a", "b"))).bound("r", 2)
+        translator = Translator(bounds)
+        translator.assert_formula(ast.SomeF(r))
+        translation = translator.finish()
+        clause_count = len(translation.cnf.clauses)
+        projection = translation.projection_vars()
+
+        def run():
+            return {
+                frozenset(m.items())
+                for m in enumerate_models(
+                    translation.cnf, projection=projection
+                )
+            }
+
+        first, second = run(), run()
+        assert first == second and len(first) == 15  # nonempty subsets
+        assert len(translation.cnf.clauses) == clause_count
+
+    def test_stats_recorded_on_translation_and_collector(self):
+        from repro.sat import SolverStats
+
+        bounds = Bounds(Universe(("a", "b"))).bound("r", 2)
+        collected = []
+        found = list(instances(ast.TrueF(), bounds, stats=collected))
+        assert len(collected) == len(found) == 16
+        assert all(isinstance(snap, SolverStats) for snap in collected)
+        assert all(snap.solves == 1 for snap in collected)
+
+    def test_solve_stats_collector(self):
+        from repro.sat import SolverStats
+
+        bounds = Bounds(U).bound("r", 2)
+        collected = []
+        assert solve(ast.SomeF(r), bounds, stats=collected) is not None
+        assert len(collected) == 1 and isinstance(collected[0], SolverStats)
+
 
 class TestSetVariables:
     def test_bracket_over_set_var(self):

@@ -48,6 +48,60 @@ class TestRunLitmus:
         result = run_litmus(BY_NAME["CoRR"])
         assert "OK" in repr(result)
 
+    def test_elapsed_populated(self):
+        result = run_litmus(BY_NAME["CoRR"])
+        assert result.elapsed is not None and result.elapsed >= 0.0
+
+    def test_unknown_option_rejected_with_clear_error(self):
+        with pytest.raises(ValueError, match=r"'frobnicate'.*'ptx'"):
+            run_litmus(BY_NAME["CoRR"], frobnicate=True)
+
+    def test_ptx_only_option_rejected_by_tso(self):
+        # speculation_values is fine everywhere, but a typo'd option must
+        # name both the option and the model instead of a deep TypeError
+        with pytest.raises(ValueError, match=r"'skip_axiomz'.*'tso'"):
+            run_litmus(BY_NAME["CoRR"], model="tso", skip_axiomz=())
+
+    def test_skip_axioms_silently_dropped_for_total_models(self):
+        """A test tagged with PTX-only search opts must stay runnable under
+        the total-order models (the opt is meaningless there, not an error)."""
+        result = run_litmus(
+            BY_NAME["CoRR"], model="tso", skip_axioms=("No-Thin-Air",)
+        )
+        assert result.model == "tso"
+
+
+class TestSymbolicEngine:
+    def test_agrees_with_enumerative(self):
+        for name in ("MP+rel_acq.gpu", "MP+weak", "SB+fence.sc.gpu"):
+            enumerative = run_litmus(BY_NAME[name])
+            symbolic = run_litmus(BY_NAME[name], engine="symbolic")
+            assert symbolic.verdict is enumerative.verdict, name
+
+    def test_populates_solver_stats(self):
+        result = run_litmus(BY_NAME["MP+rel_acq.gpu"], engine="symbolic")
+        assert result.solver_stats is not None
+        assert result.solver_stats.propagations > 0
+        assert result.elapsed is not None
+
+    def test_enumerative_has_no_solver_stats(self):
+        assert run_litmus(BY_NAME["CoRR"]).solver_stats is None
+
+    def test_symbolic_requires_ptx(self):
+        with pytest.raises(ValueError, match="symbolic"):
+            run_litmus(BY_NAME["CoRR"], model="tso", engine="symbolic")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="hamster"):
+            run_litmus(BY_NAME["CoRR"], engine="hamster")
+
+    def test_falls_back_for_search_opt_tests(self):
+        # LB+deps needs value speculation: the symbolic engine must defer
+        # to the enumerative path and still produce the right verdict
+        result = run_litmus(BY_NAME["LB+deps"], engine="symbolic")
+        assert result.verdict is Expect.FORBIDDEN
+        assert result.solver_stats is None  # enumerative fallback ran
+
 
 class TestSuiteHelpers:
     def test_run_suite_preserves_order(self):
@@ -66,3 +120,36 @@ class TestSuiteHelpers:
         result = run_litmus(BY_NAME["CoRR"])
         lying = replace(result, test=replace(result.test, expect=Expect.ALLOWED))
         assert "MISMATCH" in summarize([lying])
+
+    def test_summarize_columns_align_across_model_widths(self):
+        """'ptx-legacy' is wider than 'ptx'; the model column must expand so
+        the verdict/expected/status columns still line up."""
+        results = [
+            run_litmus(BY_NAME["CoRR"], model="ptx"),
+            run_litmus(BY_NAME["CoRR"], model="ptx-legacy"),
+        ]
+        lines = summarize(results).splitlines()
+        header, *rows = lines
+        verdict_col = header.index("verdict")
+        expected_col = header.index("expected")
+        for row in rows:
+            assert row[verdict_col:].startswith("forbidden")
+            # expectation may be undocumented for some model: either way the
+            # value must start exactly at the header's column
+            assert row[expected_col:].startswith(("forbidden", "-"))
+            assert row[expected_col - 1] == " "
+
+    def test_summarize_stats_columns(self):
+        results = [run_litmus(BY_NAME["CoRR"])]
+        table = summarize(results, show_stats=True)
+        assert "time" in table and "conflicts" in table
+        assert "ms" in table  # the elapsed column rendered
+
+    def test_summarize_stats_dashes_when_absent(self):
+        from dataclasses import replace
+
+        result = replace(
+            run_litmus(BY_NAME["CoRR"]), elapsed=None, solver_stats=None
+        )
+        row = summarize([result], show_stats=True).splitlines()[1]
+        assert row.rstrip().endswith("-")

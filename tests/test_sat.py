@@ -7,6 +7,7 @@ import pytest
 from repro.sat import (
     Cnf,
     Solver,
+    SolverStats,
     enumerate_models,
     luby,
     read_dimacs,
@@ -31,6 +32,16 @@ class TestCnf:
         cnf.new_var()
         with pytest.raises(ValueError):
             cnf.add_clause([0])
+
+    def test_copy_is_independent(self):
+        cnf = Cnf()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([a, b])
+        clone = cnf.copy()
+        clone.add_clause([-a])
+        clone.clauses[0].append(-b)
+        assert cnf.clauses == [[a, b]]
+        assert clone.num_vars == cnf.num_vars
 
     def test_true_false_lits(self):
         cnf = Cnf()
@@ -164,6 +175,100 @@ class TestSolver:
         assert solver.solve()
         assert solver.stats["propagations"] >= 0
 
+    def test_construction_leaves_cnf_pristine(self):
+        cnf = Cnf()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([a, b])
+        before = [list(c) for c in cnf.clauses]
+        solver = Solver(cnf)
+        assert solver.solve()
+        assert [list(c) for c in cnf.clauses] == before
+
+
+def _pigeonhole(pigeons, holes):
+    cnf = Cnf()
+    grid = [[cnf.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for row in grid:
+        cnf.add_clause(row)
+    for h in range(holes):
+        for i in range(pigeons):
+            for j in range(i + 1, pigeons):
+                cnf.add_clause([-grid[i][h], -grid[j][h]])
+    return cnf
+
+
+class TestIncremental:
+    def test_add_clause_after_solve(self):
+        cnf = Cnf()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([a, b])
+        solver = Solver(cnf)
+        assert solver.solve()
+        model = solver.model()
+        assert solver.add_clause([-a])
+        assert solver.solve()
+        assert solver.model()[b] is True
+        # -b is root-falsified (b was propagated at level 0): add_clause
+        # detects unsatisfiability immediately
+        assert not solver.add_clause([-b])
+        assert not solver.solve()
+
+    def test_add_clause_tightens_to_unsat(self):
+        cnf = Cnf()
+        a = cnf.new_var()
+        solver = Solver(cnf)
+        assert solver.solve()
+        solver.add_clause([a])
+        assert solver.solve()
+        assert not solver.add_clause([-a])
+        assert not solver.solve()
+
+    def test_add_clause_validates_literals(self):
+        cnf = Cnf()
+        cnf.new_var()
+        solver = Solver(cnf)
+        with pytest.raises(ValueError):
+            solver.add_clause([0])
+        with pytest.raises(ValueError):
+            solver.add_clause([7])
+
+    def test_learned_state_survives_solves(self):
+        cnf = _pigeonhole(5, 5)  # satisfiable: a permutation
+        solver = Solver(cnf)
+        assert solver.solve()
+        learned_before = solver.stats.learned
+        assert solver.solve()  # re-solve: keeps clauses, stays SAT
+        assert solver.stats.learned >= learned_before
+        assert solver.stats.solves == 2
+
+    def test_stats_snapshot_arithmetic(self):
+        cnf = _pigeonhole(5, 4)
+        solver = Solver(cnf)
+        before = solver.stats.copy()
+        assert not solver.solve()
+        delta = solver.stats - before
+        assert delta.conflicts > 0 and delta.solves == 1
+        assert (before + delta).conflicts == solver.stats.conflicts
+        with pytest.raises(KeyError):
+            solver.stats["no_such_counter"]
+
+    def test_learned_clause_database_reduction(self):
+        cnf = _pigeonhole(6, 5)
+        solver = Solver(cnf)
+        solver.max_learnts = 8.0  # force reductions during the search
+        assert not solver.solve()  # still correctly UNSAT
+        assert solver.stats.deleted > 0
+        assert solver.max_learnts > 8.0  # budget grew geometrically
+
+    def test_reduction_preserves_model_correctness(self):
+        cnf = _pigeonhole(6, 6)
+        solver = Solver(cnf)
+        solver.max_learnts = 8.0
+        assert solver.solve()
+        model = solver.model()
+        for clause in cnf.clauses:
+            assert any(model[abs(l)] == (l > 0) for l in clause)
+
 
 class TestEnumerate:
     def test_enumerate_all(self):
@@ -173,12 +278,50 @@ class TestEnumerate:
         models = list(enumerate_models(cnf))
         assert len(models) == 3
 
+    def test_enumerate_keeps_cnf_pristine(self):
+        cnf = Cnf()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([a, b])
+        first = {frozenset(m.items()) for m in enumerate_models(cnf)}
+        assert len(cnf.clauses) == 1  # no blocking clauses leaked
+        second = {frozenset(m.items()) for m in enumerate_models(cnf)}
+        assert first == second and len(first) == 3
+
+    def test_enumerate_rebuild_matches_incremental(self):
+        cnf = Cnf()
+        xs = cnf.new_vars(4)
+        cnf.add_clause(xs)
+        cnf.add_clause([-xs[0], -xs[1]])
+        incremental = {frozenset(m.items()) for m in enumerate_models(cnf)}
+        rebuilt = {
+            frozenset(m.items())
+            for m in enumerate_models(cnf, incremental=False)
+        }
+        assert incremental == rebuilt
+        assert len(cnf.clauses) == 2
+
+    def test_enumerate_stats_out(self):
+        cnf = Cnf()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([a, b])
+        stats = []
+        models = list(enumerate_models(cnf, stats_out=stats))
+        assert len(stats) == len(models) == 3
+        assert all(isinstance(s, SolverStats) for s in stats)
+        assert all(s.solves == 1 for s in stats)  # per-solve deltas
+
     def test_enumerate_projection(self):
         cnf = Cnf()
         a, b = cnf.new_vars(2)
         cnf.add_clause([a, b])
         models = list(enumerate_models(cnf, projection=[a]))
         assert len(models) == 2  # a true / a false
+
+    def test_enumerate_empty_projection_yields_one_model(self):
+        cnf = Cnf()
+        cnf.new_vars(3)
+        # all models agree on an empty projection: exactly one is distinct
+        assert len(list(enumerate_models(cnf, projection=[], limit=5))) == 1
 
     def test_enumerate_limit(self):
         cnf = Cnf()

@@ -5,7 +5,7 @@ import itertools
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sat import Cnf, solve_cnf
+from repro.sat import Cnf, Solver, enumerate_models, solve_cnf
 
 
 def brute_force_sat(num_vars, clauses):
@@ -13,6 +13,15 @@ def brute_force_sat(num_vars, clauses):
         if all(any(bits[abs(l) - 1] == (l > 0) for l in c) for c in clauses):
             return True
     return False
+
+
+def brute_force_models(num_vars, clauses):
+    """All satisfying total assignments, as frozensets of (var, bool)."""
+    found = set()
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any(bits[abs(l) - 1] == (l > 0) for l in c) for c in clauses):
+            found.add(frozenset((v + 1, bits[v]) for v in range(num_vars)))
+    return found
 
 
 @st.composite
@@ -44,6 +53,51 @@ def test_solver_agrees_with_brute_force(problem):
         # returned model actually satisfies every clause
         for clause in clauses:
             assert any(model.get(abs(l), l < 0) == (l > 0) for l in clause)
+
+
+@given(cnf_problems())
+@settings(max_examples=200, deadline=None)
+def test_incremental_solver_agrees_with_brute_force(problem):
+    """Clauses added to a LIVE solver (after solves) must behave exactly
+    like clauses present from construction — the incremental path must not
+    change satisfiability or produce bogus models."""
+    num_vars, clauses = problem
+    cnf = Cnf()
+    cnf.new_vars(num_vars)
+    half = len(clauses) // 2
+    for clause in clauses[:half]:
+        cnf.add_clause(clause)
+    solver = Solver(cnf)
+    solver.solve()  # intermediate solve: leaves trail/phases/learnts behind
+    for clause in clauses[half:]:
+        solver.add_clause(clause)
+    satisfiable = solver.solve()
+    assert satisfiable == brute_force_sat(num_vars, clauses)
+    if satisfiable:
+        model = solver.model()
+        for clause in clauses:
+            assert any(model.get(abs(l), l < 0) == (l > 0) for l in clause)
+
+
+@given(cnf_problems())
+@settings(max_examples=100, deadline=None)
+def test_incremental_enumeration_is_exact(problem):
+    """The incremental enumerator finds every model exactly once, agrees
+    with the rebuild baseline, and leaves the caller's formula intact."""
+    num_vars, clauses = problem
+    cnf = Cnf()
+    cnf.new_vars(num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    expected = brute_force_models(num_vars, clauses)
+    incremental = [frozenset(m.items()) for m in enumerate_models(cnf)]
+    assert len(incremental) == len(set(incremental))  # no duplicates
+    assert set(incremental) == expected
+    rebuilt = {
+        frozenset(m.items()) for m in enumerate_models(cnf, incremental=False)
+    }
+    assert rebuilt == expected
+    assert len(cnf.clauses) == len(clauses)  # caller formula untouched
 
 
 @given(cnf_problems())
