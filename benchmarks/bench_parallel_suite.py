@@ -1,0 +1,82 @@
+"""Execution subsystem: parallel suite sweeps and the persistent cache.
+
+Regenerates nothing from the paper directly — instead it guards the
+acceptance criteria of the parallel execution engine:
+
+* parallel and sequential sweeps of the full suite produce identical
+  verdicts (determinism is an invariant, not a timing matter);
+* a cache-warm rerun costs a small fraction of the cold sweep;
+* with ``REPRO_BENCH_FULL=1`` on a machine with >= 4 cores, a
+  ``jobs=cpu_count`` sweep must beat sequential by >= 2x.  The speedup
+  assertion is gated because CI containers are often 1-2 cores, where
+  process-pool overhead dominates and the comparison is meaningless.
+
+Timings and the observed speedup land in ``benchmark.extra_info``.
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from helpers import full_mode
+
+from repro.litmus import SUITE, RunConfig, Session
+
+
+def _sweep(config: RunConfig):
+    with Session(config) as session:
+        results = session.run_suite(SUITE)
+    return results
+
+
+def _verdicts(results):
+    return [(r.test.name, r.verdict.value) for r in results]
+
+
+def test_parallel_sweep_matches_sequential(benchmark):
+    sequential = _sweep(RunConfig(jobs=1))
+    jobs = os.cpu_count() or 1
+
+    seq_start = time.perf_counter()
+    _sweep(RunConfig(jobs=1))
+    seq_elapsed = time.perf_counter() - seq_start
+
+    par_start = time.perf_counter()
+    parallel = benchmark.pedantic(
+        _sweep, args=(RunConfig(jobs=jobs),), rounds=1, iterations=1
+    )
+    par_elapsed = time.perf_counter() - par_start
+
+    assert _verdicts(parallel) == _verdicts(sequential)
+    speedup = seq_elapsed / par_elapsed if par_elapsed else float("inf")
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["sequential_s"] = round(seq_elapsed, 3)
+    benchmark.extra_info["parallel_s"] = round(par_elapsed, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    if full_mode() and jobs >= 4:
+        assert speedup >= 2.0, (
+            f"jobs={jobs} sweep only {speedup:.2f}x faster than sequential"
+        )
+
+
+def test_cached_rerun_beats_cold_sweep(benchmark, tmp_path):
+    config = RunConfig(use_cache=True, cache_dir=str(tmp_path / "cache"))
+
+    cold_start = time.perf_counter()
+    cold = _sweep(config)
+    cold_elapsed = time.perf_counter() - cold_start
+
+    warm_start = time.perf_counter()
+    warm = benchmark.pedantic(_sweep, args=(config,), rounds=1, iterations=1)
+    warm_elapsed = time.perf_counter() - warm_start
+
+    assert list(warm) == list(cold)  # bit-identical, timing field included
+    benchmark.extra_info["cold_s"] = round(cold_elapsed, 3)
+    benchmark.extra_info["warm_s"] = round(warm_elapsed, 3)
+    assert warm_elapsed < 0.25 * cold_elapsed, (
+        f"cache-warm sweep {warm_elapsed:.3f}s not under 25% of cold "
+        f"{cold_elapsed:.3f}s"
+    )

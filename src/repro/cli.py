@@ -18,20 +18,40 @@ from typing import List, Optional
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
-    from .litmus import SUITE, run_suite, summarize
+    from .litmus import SUITE, RunConfig, Session, summarize
 
+    config = RunConfig(
+        timeout=args.timeout,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
     failures = 0
-    for model in args.models:
-        results = run_suite(SUITE, model=model)
-        print(f"== model: {model} ==")
-        print(summarize(results, show_stats=args.stats))
-        failures += sum(1 for r in results if r.matches_expectation is False)
+    incomplete = 0
+    with Session(config) as session:
+        for model in args.models:
+            results = session.run_suite(SUITE, config.for_model(model))
+            print(f"== model: {model} ==")
+            print(summarize(results, show_stats=args.stats))
+            failures += sum(1 for r in results if r.matches_expectation is False)
+            incomplete += sum(1 for r in results if r.status != "ok")
+            if args.stats:
+                total = sum(r.elapsed or 0.0 for r in results)
+                print(f"total search time: {total:.3f}s over {len(results)} tests")
+            print()
         if args.stats:
-            total = sum(r.elapsed or 0.0 for r in results)
-            print(f"total search time: {total:.3f}s over {len(results)} tests")
-        print()
+            print(f"session: {session.stats.format()}")
+            if session.cache is not None:
+                print(
+                    f"cache  : {session.cache.stats.format()} "
+                    f"({session.cache.directory})"
+                )
+            print()
     if failures:
         print(f"{failures} expectation mismatch(es)")
+        return 1
+    if incomplete:
+        print(f"{incomplete} test(s) timed out or errored before deciding")
         return 1
     print("all verdicts match documented expectations")
     return 0
@@ -44,7 +64,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     with open(args.file) as handle:
         test = parse_litmus(handle.read())
     try:
-        result = run_litmus(test, model=args.model, engine=args.engine)
+        result = run_litmus(
+            test, model=args.model, engine=args.engine, timeout=args.timeout
+        )
     except ValueError as exc:  # e.g. symbolic engine on a non-PTX model
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -52,6 +74,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"model      : {args.model}")
     print(f"condition  : {test.condition!r}")
     print(f"verdict    : {result.verdict.value}")
+    if result.status != "ok":
+        print(f"error      : {result.detail or result.status}", file=sys.stderr)
+        return 2
     expected = test.expected(args.model)
     if expected is not None:
         print(f"expected   : {expected.value}")
@@ -215,22 +240,53 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from .litmus import distinguishing_tests
+    from .litmus import RunConfig, Session, distinguishing_tests
 
     print(
         f"searching cycles up to length {args.max_length} for programs "
         f"separating {args.model_a!r} from {args.model_b!r}..."
     )
+    config = RunConfig(
+        timeout=args.timeout,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
     found = 0
-    for distinction in distinguishing_tests(
-        args.model_a, args.model_b,
-        max_length=args.max_length, limit=args.limit,
-    ):
-        print(f"  {distinction}")
-        found += 1
+    with Session(config) as session:
+        for distinction in distinguishing_tests(
+            args.model_a, args.model_b,
+            max_length=args.max_length, limit=args.limit,
+            session=session,
+        ):
+            print(f"  {distinction}")
+            found += 1
     if not found:
         print("  no distinguishing test found within the bound")
     return 0
+
+
+def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
+    """Execution-subsystem flags shared by the sweep commands."""
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for the sweep (0 = one per CPU core; "
+             "default 1 = in-process)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-test wall-clock budget; an over-budget test reports "
+             "TIMEOUT instead of hanging the sweep",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result-cache directory "
+             "(default: $PTXMM_CACHE_DIR or ~/.cache/ptxmm)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="solve every test fresh; do not read or write the result cache",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -247,8 +303,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_suite.add_argument(
         "--stats", action="store_true",
-        help="append per-test wall time (and SAT counters) to the table",
+        help="append per-test wall time (and SAT counters) to the table, "
+             "plus session/cache counters",
     )
+    _add_exec_flags(p_suite)
     p_suite.set_defaults(func=_cmd_suite)
 
     p_run = sub.add_parser("run", help="run a litmus test from a file")
@@ -269,6 +327,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument(
         "--stats", action="store_true",
         help="print wall time and SAT solver counters for the run",
+    )
+    p_run.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; an over-budget run reports TIMEOUT",
     )
     p_run.set_defaults(func=_cmd_run)
 
@@ -315,6 +377,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_cmp.add_argument("model_b", choices=["ptx", "tso", "sc"])
     p_cmp.add_argument("--max-length", type=int, default=4)
     p_cmp.add_argument("--limit", type=int, default=3)
+    _add_exec_flags(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
     args = parser.parse_args(argv)

@@ -31,12 +31,36 @@ from .translate import Translation, Translator
 
 @dataclass(frozen=True)
 class Instance:
-    """A concrete binding of every bounded relation."""
+    """A concrete binding of every bounded relation.
+
+    Instances are plain data by design: :meth:`to_dict` flattens them to
+    JSON-native structures so they can cross process boundaries (worker
+    IPC in the parallel litmus session) or be persisted, and
+    :meth:`from_dict` rebuilds an equal instance.  Atom order inside each
+    relation is canonicalized by sorting on the repr of the tuples.
+    """
 
     relations: Dict[str, Relation]
 
     def __getitem__(self, name: str) -> Relation:
         return self.relations[name]
+
+    def to_dict(self) -> Dict[str, List[list]]:
+        """The bindings as ``{name: sorted list of atom tuples}``."""
+        return {
+            name: sorted((list(t) for t in rel), key=repr)
+            for name, rel in sorted(self.relations.items())
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, List[list]]) -> "Instance":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            relations={
+                name: Relation(tuple(t) for t in tuples)
+                for name, tuples in payload.items()
+            }
+        )
 
     def __repr__(self) -> str:
         parts = ", ".join(

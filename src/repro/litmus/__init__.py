@@ -28,13 +28,17 @@ from .generator import (
     generate,
     parse_cycle,
 )
-from .runner import MODELS, LitmusResult, run_litmus, run_suite, summarize
-from .suite import BY_NAME, PAPER_TESTS, SUITE, build_suite
+from .cache import CacheStats, ResultCache, cache_key, default_cache_dir
+from .config import RunConfig
+from .runner import MODELS, LitmusResult, decide, run_litmus, run_suite, summarize
+from .session import Session, SessionStats
+from .suite import BY_NAME, PAPER_TESTS, SUITE, build_suite, tests_for_figures
 from .test import Expect, LitmusTest, make_test
 
 __all__ = [
     "AndC",
     "BY_NAME",
+    "CacheStats",
     "Condition",
     "ConditionSyntaxError",
     "CycleError",
@@ -60,12 +64,20 @@ __all__ = [
     "OrC",
     "PAPER_TESTS",
     "RegEq",
+    "ResultCache",
+    "RunConfig",
     "SUITE",
+    "Session",
+    "SessionStats",
     "TrueC",
     "build_suite",
+    "cache_key",
+    "decide",
+    "default_cache_dir",
     "make_test",
     "parse_condition",
     "run_litmus",
     "run_suite",
     "summarize",
+    "tests_for_figures",
 ]

@@ -6,6 +6,12 @@ on.  With the critical-cycle generator in hand this becomes a pipeline:
 enumerate closing cycles → synthesise a litmus test per annotation variant
 → classify under both models → report the distinguishing tests.
 
+Classification is the expensive leg, and each (candidate, model) pair is
+independent — so the search can fan out through a
+:class:`~repro.litmus.session.Session` (``session=`` / ``ptxmm compare
+--jobs N``): candidates are classified in parallel batches while the
+distinctions still stream out in deterministic enumeration order.
+
 Typical findings this surfaces (see ``tests/test_compare_models.py``):
 
 * PTX vs TSO — load buffering (``PodRW Rfe PodRW Rfe``) and IRIW separate
@@ -17,6 +23,7 @@ Typical findings this surfaces (see ``tests/test_compare_models.py``):
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Sequence, Tuple
 
@@ -64,12 +71,33 @@ class Distinction:
 def compare_on(
     generated: GeneratedTest,
     models: Sequence[str],
+    session=None,
 ) -> Dict[str, Expect]:
     """Classify one generated test under several models."""
+    if session is not None:
+        results = session.run_tasks(
+            [(generated.test, session.config.for_model(m)) for m in models]
+        )
+        return {m: r.verdict for m, r in zip(models, results)}
     return {
         model: run_litmus(generated.test, model=model).verdict
         for model in models
     }
+
+
+def _candidates(
+    max_length: int,
+    variants: Dict[str, Dict],
+    vocabulary: Sequence[str],
+) -> Iterator[Tuple[GeneratedTest, str]]:
+    """All (generated test, variant name) pairs, in deterministic order."""
+    for length in range(2, max_length + 1):
+        for cycle in enumerate_cycles(length, vocabulary):
+            for variant_name, kwargs in variants.items():
+                try:
+                    yield generate(cycle, **kwargs), variant_name
+                except ValueError:
+                    continue
 
 
 def distinguishing_tests(
@@ -79,6 +107,7 @@ def distinguishing_tests(
     variants: Optional[Dict[str, Dict]] = None,
     vocabulary: Sequence[str] = EDGE_NAMES,
     limit: Optional[int] = None,
+    session=None,
 ) -> Iterator[Distinction]:
     """Search cycles of length ≤ ``max_length`` for model-separating tests.
 
@@ -86,29 +115,59 @@ def distinguishing_tests(
     Variants that a model cannot express (e.g. scope annotations are
     meaningless to SC — it ignores them) still run; the comparison is
     behavioural.
+
+    With a :class:`~repro.litmus.session.Session`, candidates are
+    classified through its worker pool (and result cache) in batches;
+    the yielded distinctions and their order are identical to the
+    sequential search.
     """
     for model in (model_a, model_b):
         if model not in MODELS:
             raise KeyError(f"unknown model {model!r}; have {sorted(MODELS)}")
     variants = VARIANTS if variants is None else variants
+    candidates = _candidates(max_length, variants, vocabulary)
     found = 0
-    for length in range(2, max_length + 1):
-        for cycle in enumerate_cycles(length, vocabulary):
-            for variant_name, kwargs in variants.items():
-                try:
-                    generated = generate(cycle, **kwargs)
-                except ValueError:
-                    continue
-                verdicts = compare_on(generated, (model_a, model_b))
-                if verdicts[model_a] is not verdicts[model_b]:
-                    yield Distinction(
-                        generated=generated,
-                        variant=variant_name,
-                        verdicts=verdicts,
-                    )
-                    found += 1
-                    if limit is not None and found >= limit:
-                        return
+    if session is None:
+        for generated, variant_name in candidates:
+            verdicts = compare_on(generated, (model_a, model_b))
+            if verdicts[model_a] is not verdicts[model_b]:
+                yield Distinction(
+                    generated=generated,
+                    variant=variant_name,
+                    verdicts=verdicts,
+                )
+                found += 1
+                if limit is not None and found >= limit:
+                    return
+        return
+    # batched parallel classification, deterministic yield order
+    batch_size = max(1, session.jobs) * 8
+    config_a = session.config.for_model(model_a)
+    config_b = session.config.for_model(model_b)
+    while True:
+        batch = list(itertools.islice(candidates, batch_size))
+        if not batch:
+            return
+        tasks = []
+        for generated, _ in batch:
+            tasks.append((generated.test, config_a))
+            tasks.append((generated.test, config_b))
+        results = session.run_tasks(tasks)
+        decided = (Expect.ALLOWED, Expect.FORBIDDEN)
+        for pair_index, (generated, variant_name) in enumerate(batch):
+            verdict_a = results[2 * pair_index].verdict
+            verdict_b = results[2 * pair_index + 1].verdict
+            if verdict_a not in decided or verdict_b not in decided:
+                continue  # timeout/error is not a behavioural distinction
+            if verdict_a is not verdict_b:
+                yield Distinction(
+                    generated=generated,
+                    variant=variant_name,
+                    verdicts={model_a: verdict_a, model_b: verdict_b},
+                )
+                found += 1
+                if limit is not None and found >= limit:
+                    return
 
 
 def first_distinction(

@@ -1,10 +1,33 @@
-"""Running litmus tests against the implemented memory models."""
+"""Running litmus tests against the implemented memory models.
+
+The decision core (:func:`decide`) takes one test plus one
+:class:`~repro.litmus.config.RunConfig` and returns a
+:class:`LitmusResult`; :func:`run_litmus`/:func:`run_suite` are the
+friendly entry points, and :class:`~repro.litmus.session.Session` fans
+the same core out across worker processes with caching.  The legacy
+``**opts`` keyword surface still works but warns — new code should pass
+``RunConfig(search_opts={...})``.
+"""
 
 from __future__ import annotations
 
+import logging
+import signal
+import threading
 import time
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..ptx.program import Program
 from ..sat.solver import SolverStats
@@ -12,7 +35,10 @@ from ..scmodel import check_execution as sc_check
 from ..search.ptx_search import Outcome, allowed_outcomes
 from ..search.total_search import allowed_outcomes_total
 from ..tso import check_execution as tso_check
+from .config import RunConfig
 from .test import Expect, LitmusTest
+
+logger = logging.getLogger("repro.litmus")
 
 ModelFn = Callable[..., FrozenSet[Outcome]]
 
@@ -60,24 +86,99 @@ _IGNORED_OPTS: Dict[str, FrozenSet[str]] = {
 }
 
 
-def _filter_opts(model: str, opts: Dict[str, object]) -> Dict[str, object]:
-    """Keep the options ``model`` understands; reject unknown ones loudly.
+def partition_opts(
+    model: str, opts: Dict[str, object]
+) -> Tuple[Dict[str, object], Tuple[str, ...]]:
+    """Split options into (understood, silently-droppable) for ``model``.
 
-    Without this, a PTX-only option reaches the model's search function and
-    surfaces as a bare ``TypeError`` deep inside the enumerator.
+    Unknown options raise — without this, a PTX-only option would reach
+    the model's search function and surface as a bare ``TypeError`` deep
+    inside the enumerator.
     """
     allowed = _MODEL_OPTS[model]
     ignored = _IGNORED_OPTS.get(model, frozenset())
     kept: Dict[str, object] = {}
+    dropped = []
     for name, value in opts.items():
         if name in allowed:
             kept[name] = value
-        elif name not in ignored:
+        elif name in ignored:
+            dropped.append(name)
+        else:
             raise ValueError(
                 f"search option {name!r} is not supported by model {model!r} "
                 f"(supported: {sorted(allowed)})"
             )
+    return kept, tuple(sorted(dropped))
+
+
+def _warn_dropped(
+    model: str,
+    dropped: Tuple[str, ...],
+    warned: Optional[Set[Tuple[str, Tuple[str, ...]]]] = None,
+) -> None:
+    """Log PTX-only options a total-co model is about to ignore.
+
+    ``warned`` deduplicates: a suite run logs each (model, option-set)
+    pair once rather than once per test.
+    """
+    if not dropped:
+        return
+    key = (model, dropped)
+    if warned is not None:
+        if key in warned:
+            return
+        warned.add(key)
+    logger.warning(
+        "model %r does not understand option(s) %s; they apply to the PTX "
+        "model only and are ignored here",
+        model, ", ".join(repr(name) for name in dropped),
+    )
+
+
+def _filter_opts(
+    model: str,
+    opts: Dict[str, object],
+    warned: Optional[Set] = None,
+) -> Dict[str, object]:
+    """Keep the options ``model`` understands; reject unknown ones loudly;
+    log (rather than silently swallow) the tolerated-but-ignored ones."""
+    kept, dropped = partition_opts(model, opts)
+    _warn_dropped(model, dropped, warned)
     return kept
+
+
+class TimeoutExceeded(Exception):
+    """Internal signal: the per-test wall-clock deadline fired."""
+
+
+@contextmanager
+def deadline(seconds: Optional[float]):
+    """Raise :class:`TimeoutExceeded` in the block after ``seconds``.
+
+    Implemented with ``SIGALRM``/``setitimer``, so it interrupts a
+    pathological enumeration mid-search instead of waiting for it.  Only
+    armable on the main thread of a process (true for worker processes
+    and ordinary CLI use); elsewhere the block runs unbounded.
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _fire(signum, frame):
+        raise TimeoutExceeded()
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @dataclass(frozen=True)
@@ -92,19 +193,44 @@ class LitmusResult:
     elapsed: Optional[float] = None
     #: SAT backend counters (populated by the symbolic engine only)
     solver_stats: Optional[SolverStats] = None
+    #: ``"ok"`` normally; ``"timeout"``/``"error"`` when the decision
+    #: procedure was cut short (the verdict is then TIMEOUT/ERROR)
+    status: str = "ok"
+    #: human-readable failure detail for non-ok statuses
+    detail: Optional[str] = None
 
     @property
     def verdict(self) -> Expect:
         """The model's verdict on the test condition."""
+        if self.status == "timeout":
+            return Expect.TIMEOUT
+        if self.status == "error":
+            return Expect.ERROR
         return Expect.ALLOWED if self.observed else Expect.FORBIDDEN
 
     @property
     def matches_expectation(self) -> Optional[bool]:
-        """Whether the verdict matches the documented one (None = undocumented)."""
+        """Whether the verdict matches the documented one (None = undocumented,
+        or the run did not complete)."""
+        if self.status != "ok":
+            return None
         expected = self.test.expected(self.model)
         if expected is None:
             return None
         return expected is self.verdict
+
+    def to_dict(self, include_test: bool = True) -> Dict:
+        """Serialize (see :mod:`repro.litmus.serialize`)."""
+        from .serialize import result_to_dict
+
+        return result_to_dict(self, include_test=include_test)
+
+    @classmethod
+    def from_dict(cls, payload: Dict, test: Optional[LitmusTest] = None):
+        """Rebuild from :meth:`to_dict` output."""
+        from .serialize import result_from_dict
+
+        return result_from_dict(payload, test=test)
 
     def __repr__(self) -> str:
         status = {True: "OK", False: "MISMATCH", None: "?"}[self.matches_expectation]
@@ -140,57 +266,162 @@ def _run_symbolic(
     return test.condition_observed(outcomes), outcomes, None
 
 
-def run_litmus(
-    test: LitmusTest, model: str = "ptx", engine: str = "enumerative", **opts
+def decide(
+    test: LitmusTest,
+    config: RunConfig,
+    warned: Optional[Set] = None,
 ) -> LitmusResult:
-    """Run one litmus test under the named model.
+    """The decision core: run one test under one config.
+
+    Applies the config's per-test ``timeout`` (a test that exceeds it
+    yields a ``TIMEOUT`` verdict, not an exception).  Errors from the
+    decision procedure itself propagate — :class:`Session` wraps this
+    with failure isolation for sweeps.
+    """
+    merged = dict(test.search_opts)
+    merged.update(config.opts)
+    merged = _filter_opts(config.model, merged, warned=warned)
+    return decide_filtered(test, config, merged)
+
+
+def decide_filtered(
+    test: LitmusTest, config: RunConfig, opts: Dict[str, object]
+) -> LitmusResult:
+    """Like :func:`decide`, but over pre-merged, pre-filtered options.
+
+    Worker processes call this directly: the parent already merged the
+    test-level and config-level options and validated them against the
+    model, so re-filtering (and re-warning) in every worker is skipped.
+    """
+    merged = opts
+    solver_stats: Optional[SolverStats] = None
+    status = "ok"
+    detail: Optional[str] = None
+    observed = False
+    outcomes: FrozenSet[Outcome] = frozenset()
+    started = time.perf_counter()
+    try:
+        with deadline(config.timeout):
+            if config.engine == "symbolic":
+                if config.model != "ptx":
+                    raise ValueError(
+                        "the symbolic engine supports only the 'ptx' model, "
+                        f"not {config.model!r}"
+                    )
+                observed, outcomes, solver_stats = _run_symbolic(test, merged)
+            else:
+                outcomes = MODELS[config.model](test.program, **merged)
+                observed = test.condition_observed(outcomes)
+    except TimeoutExceeded:
+        status = "timeout"
+        detail = f"exceeded {config.timeout}s"
+        outcomes = frozenset()
+        solver_stats = None
+    elapsed = time.perf_counter() - started
+    return LitmusResult(
+        test=test,
+        model=config.model,
+        observed=observed,
+        outcomes=outcomes,
+        elapsed=elapsed,
+        solver_stats=solver_stats,
+        status=status,
+        detail=detail,
+    )
+
+
+def _coerce_config(
+    config: Optional[Union[RunConfig, str]],
+    model: Optional[str],
+    engine: Optional[str],
+    timeout: Optional[float],
+    opts: Dict[str, object],
+    caller: str,
+) -> RunConfig:
+    """Build the effective config from the mixed new/legacy surface."""
+    if isinstance(config, str):
+        # legacy positional: run_litmus(test, "tso")
+        if model is not None and model != config:
+            raise TypeError(f"{caller}() got two values for 'model'")
+        model, config = config, None
+    if opts:
+        warnings.warn(
+            f"passing search options to {caller}() as **kwargs is "
+            "deprecated; pass config=RunConfig(search_opts={...}) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    if config is None:
+        return RunConfig(
+            model=model or "ptx",
+            engine=engine or "enumerative",
+            search_opts=opts,
+            timeout=timeout,
+        )
+    if not isinstance(config, RunConfig):
+        raise TypeError(f"config must be a RunConfig, not {type(config).__name__}")
+    changes: Dict[str, object] = {}
+    if model is not None:
+        changes["model"] = model
+    if engine is not None:
+        changes["engine"] = engine
+    if timeout is not None:
+        changes["timeout"] = timeout
+    if opts:
+        merged = config.opts
+        merged.update(opts)
+        changes["search_opts"] = merged
+    return config.evolve(**changes) if changes else config
+
+
+def run_litmus(
+    test: LitmusTest,
+    config: Optional[Union[RunConfig, str]] = None,
+    model: Optional[str] = None,
+    engine: Optional[str] = None,
+    timeout: Optional[float] = None,
+    **opts,
+) -> LitmusResult:
+    """Run one litmus test.
+
+    Preferred form: ``run_litmus(test, config=RunConfig(...))``.  The
+    ``model``/``engine``/``timeout`` keywords are conveniences layered
+    over the config; bare ``**opts`` search options still work but emit
+    a :class:`DeprecationWarning` (migrate to
+    ``RunConfig(search_opts={...})``).
 
     ``engine`` selects how the PTX model decides the condition:
     ``"enumerative"`` (default) explores candidate executions explicitly;
     ``"symbolic"`` issues one bounded SAT query (§5.2) and surfaces the
     solver's :class:`SolverStats` on the result.
     """
-    if model not in MODELS:
-        raise KeyError(f"unknown model {model!r}; have {sorted(MODELS)}")
-    merged = dict(test.search_opts)
-    merged.update(opts)
-    merged = _filter_opts(model, merged)
-    solver_stats: Optional[SolverStats] = None
-    started = time.perf_counter()
-    if engine == "symbolic":
-        if model != "ptx":
-            raise ValueError(
-                f"the symbolic engine supports only the 'ptx' model, not {model!r}"
-            )
-        observed, outcomes, solver_stats = _run_symbolic(test, merged)
-    elif engine == "enumerative":
-        outcomes = MODELS[model](test.program, **merged)
-        observed = test.condition_observed(outcomes)
-    else:
-        raise ValueError(
-            f"unknown engine {engine!r}; have ['enumerative', 'symbolic']"
-        )
-    elapsed = time.perf_counter() - started
-    return LitmusResult(
-        test=test,
-        model=model,
-        observed=observed,
-        outcomes=outcomes,
-        elapsed=elapsed,
-        solver_stats=solver_stats,
-    )
+    cfg = _coerce_config(config, model, engine, timeout, opts, "run_litmus")
+    return decide(test, cfg)
 
 
 def run_suite(
     tests: Sequence[LitmusTest],
-    model: str = "ptx",
-    engine: str = "enumerative",
+    config: Optional[Union[RunConfig, str]] = None,
+    model: Optional[str] = None,
+    engine: Optional[str] = None,
+    timeout: Optional[float] = None,
+    jobs: Optional[int] = None,
     **opts,
 ) -> Tuple[LitmusResult, ...]:
-    """Run a sequence of tests, returning their results in order."""
-    return tuple(
-        run_litmus(test, model=model, engine=engine, **opts) for test in tests
-    )
+    """Run a sequence of tests, returning their results in order.
+
+    With ``jobs`` (or a config carrying ``jobs > 1``) the tests fan out
+    across worker processes; results come back in input order regardless
+    of completion order.  For cache control and stats, drive a
+    :class:`~repro.litmus.session.Session` directly.
+    """
+    cfg = _coerce_config(config, model, engine, timeout, opts, "run_suite")
+    if jobs is not None:
+        cfg = cfg.evolve(jobs=jobs)
+    from .session import Session
+
+    with Session(cfg) as session:
+        return session.run_suite(tests)
 
 
 def summarize(results: Sequence[LitmusResult], show_stats: bool = False) -> str:
@@ -211,6 +442,8 @@ def summarize(results: Sequence[LitmusResult], show_stats: bool = False) -> str:
     for result in results:
         expected = result.test.expected(result.model)
         status = {True: "ok", False: "MISMATCH", None: "-"}[result.matches_expectation]
+        if result.status != "ok":
+            status = result.status.upper()
         line = (
             f"{result.test.name.ljust(width)}  {result.model.ljust(model_width)}  "
             f"{result.verdict.value:<9}  "

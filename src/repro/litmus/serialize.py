@@ -1,0 +1,390 @@
+"""One serialization format for litmus tests and results.
+
+Cache entries, worker IPC, and external exports all need the same thing:
+a faithful, JSON-native rendering of :class:`~repro.litmus.test.LitmusTest`
+and :class:`~repro.litmus.runner.LitmusResult` that round-trips exactly.
+This module is that single format — everything is plain dicts/lists/
+scalars, so ``json.dumps`` works directly and :func:`canonical_json`
+yields a stable byte string suitable for content addressing.
+
+Round-trip guarantees (enforced by ``tests/test_litmus_serialize.py``):
+
+* ``test_from_dict(test_to_dict(t)) == t`` for every suite test,
+* ``result_from_dict(result_to_dict(r)) == r`` including outcomes,
+  solver stats, and status,
+* canonical JSON is independent of dict insertion order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from ..core.scopes import Scope, SystemShape, ThreadId
+from ..ptx.events import Sem
+from ..ptx.isa import Atom, AtomOp, Bar, BarOp, Fence, Instruction, Ld, Red, St
+from ..ptx.program import Program, ThreadCode
+from ..sat.solver import SolverStats
+from ..search.ptx_search import Outcome
+from .conditions import AndC, Condition, MemEq, NotC, OrC, RegEq, TrueC
+
+#: Bump when the serialized shape changes incompatibly.
+FORMAT_VERSION = 1
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON text (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# scope tree
+# ----------------------------------------------------------------------
+
+def thread_id_to_obj(tid: ThreadId):
+    return [tid.gpu, tid.cta, tid.thread]
+
+
+def thread_id_from_obj(obj) -> ThreadId:
+    gpu, cta, thread = obj
+    return ThreadId(gpu=gpu, cta=cta, thread=thread)
+
+
+def _shape_to_obj(shape: SystemShape) -> Dict:
+    return {
+        "gpus": shape.gpus,
+        "ctas_per_gpu": shape.ctas_per_gpu,
+        "threads_per_cta": shape.threads_per_cta,
+        "host_threads": shape.host_threads,
+    }
+
+
+def _shape_from_obj(obj: Dict) -> SystemShape:
+    return SystemShape(**obj)
+
+
+# ----------------------------------------------------------------------
+# instructions
+# ----------------------------------------------------------------------
+
+def _operands_to_obj(value):
+    """Operands (and register tuples) as lists; scalars pass through."""
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def _operands_from_obj(value):
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+def instruction_to_dict(instr: Instruction) -> Dict:
+    if isinstance(instr, Ld):
+        if instr.volatile:
+            return {
+                "op": "ld", "volatile": True, "vec": instr.vec,
+                "dst": _operands_to_obj(instr.dst), "loc": instr.loc,
+            }
+        return {
+            "op": "ld", "dst": _operands_to_obj(instr.dst), "loc": instr.loc,
+            "sem": instr.sem.value,
+            "scope": instr.scope.value if instr.scope else None,
+            "vec": instr.vec,
+        }
+    if isinstance(instr, St):
+        if instr.volatile:
+            return {
+                "op": "st", "volatile": True, "vec": instr.vec,
+                "loc": instr.loc, "src": _operands_to_obj(instr.src),
+            }
+        return {
+            "op": "st", "loc": instr.loc, "src": _operands_to_obj(instr.src),
+            "sem": instr.sem.value,
+            "scope": instr.scope.value if instr.scope else None,
+            "vec": instr.vec,
+        }
+    if isinstance(instr, Atom):
+        return {
+            "op": "atom", "dst": instr.dst, "loc": instr.loc,
+            "atom_op": instr.op.value,
+            "operands": _operands_to_obj(instr.operands),
+            "sem": instr.sem.value,
+            "scope": instr.scope.value if instr.scope else None,
+        }
+    if isinstance(instr, Red):
+        return {
+            "op": "red", "loc": instr.loc, "atom_op": instr.op.value,
+            "operands": _operands_to_obj(instr.operands),
+            "sem": instr.sem.value,
+            "scope": instr.scope.value if instr.scope else None,
+        }
+    if isinstance(instr, Fence):
+        return {"op": "fence", "sem": instr.sem.value, "scope": instr.scope.value}
+    if isinstance(instr, Bar):
+        return {"op": "bar", "bar_op": instr.op.value, "barrier": instr.barrier}
+    raise TypeError(f"cannot serialize instruction {instr!r}")
+
+
+def instruction_from_dict(obj: Dict) -> Instruction:
+    op = obj["op"]
+    scope = Scope(obj["scope"]) if obj.get("scope") else None
+    if op == "ld":
+        if obj.get("volatile"):
+            return Ld(
+                dst=_operands_from_obj(obj["dst"]), loc=obj["loc"],
+                volatile=True, vec=obj.get("vec", 1),
+            )
+        return Ld(
+            dst=_operands_from_obj(obj["dst"]), loc=obj["loc"],
+            sem=Sem(obj["sem"]), scope=scope, vec=obj.get("vec", 1),
+        )
+    if op == "st":
+        if obj.get("volatile"):
+            return St(
+                loc=obj["loc"], src=_operands_from_obj(obj["src"]),
+                volatile=True, vec=obj.get("vec", 1),
+            )
+        return St(
+            loc=obj["loc"], src=_operands_from_obj(obj["src"]),
+            sem=Sem(obj["sem"]), scope=scope, vec=obj.get("vec", 1),
+        )
+    if op == "atom":
+        return Atom(
+            dst=obj["dst"], loc=obj["loc"], op=AtomOp(obj["atom_op"]),
+            operands=_operands_from_obj(obj["operands"]),
+            sem=Sem(obj["sem"]), scope=scope,
+        )
+    if op == "red":
+        return Red(
+            loc=obj["loc"], op=AtomOp(obj["atom_op"]),
+            operands=_operands_from_obj(obj["operands"]),
+            sem=Sem(obj["sem"]), scope=scope,
+        )
+    if op == "fence":
+        return Fence(sem=Sem(obj["sem"]), scope=Scope(obj["scope"]))
+    if op == "bar":
+        return Bar(op=BarOp(obj["bar_op"]), barrier=obj["barrier"])
+    raise ValueError(f"unknown instruction kind {op!r}")
+
+
+# ----------------------------------------------------------------------
+# programs
+# ----------------------------------------------------------------------
+
+def program_to_dict(program: Program) -> Dict:
+    return {
+        "name": program.name,
+        "shape": _shape_to_obj(program.shape),
+        "threads": [
+            {
+                "tid": thread_id_to_obj(thread.tid),
+                "instructions": [
+                    instruction_to_dict(i) for i in thread.instructions
+                ],
+            }
+            for thread in program.threads
+        ],
+    }
+
+
+def program_from_dict(obj: Dict) -> Program:
+    return Program(
+        name=obj["name"],
+        shape=_shape_from_obj(obj["shape"]),
+        threads=tuple(
+            ThreadCode(
+                tid=thread_id_from_obj(t["tid"]),
+                instructions=tuple(
+                    instruction_from_dict(i) for i in t["instructions"]
+                ),
+            )
+            for t in obj["threads"]
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# conditions
+# ----------------------------------------------------------------------
+
+def condition_to_dict(cond: Condition) -> Dict:
+    if isinstance(cond, RegEq):
+        return {
+            "kind": "reg", "thread": cond.thread_index,
+            "name": cond.reg, "value": cond.value,
+        }
+    if isinstance(cond, MemEq):
+        return {"kind": "mem", "loc": cond.loc, "value": cond.value}
+    if isinstance(cond, AndC):
+        return {
+            "kind": "and",
+            "left": condition_to_dict(cond.left),
+            "right": condition_to_dict(cond.right),
+        }
+    if isinstance(cond, OrC):
+        return {
+            "kind": "or",
+            "left": condition_to_dict(cond.left),
+            "right": condition_to_dict(cond.right),
+        }
+    if isinstance(cond, NotC):
+        return {"kind": "not", "inner": condition_to_dict(cond.inner)}
+    if isinstance(cond, TrueC):
+        return {"kind": "true"}
+    raise TypeError(f"cannot serialize condition {cond!r}")
+
+
+def condition_from_dict(obj: Dict) -> Condition:
+    kind = obj["kind"]
+    if kind == "reg":
+        return RegEq(obj["thread"], obj["name"], obj["value"])
+    if kind == "mem":
+        return MemEq(obj["loc"], obj["value"])
+    if kind == "and":
+        return AndC(condition_from_dict(obj["left"]), condition_from_dict(obj["right"]))
+    if kind == "or":
+        return OrC(condition_from_dict(obj["left"]), condition_from_dict(obj["right"]))
+    if kind == "not":
+        return NotC(condition_from_dict(obj["inner"]))
+    if kind == "true":
+        return TrueC()
+    raise ValueError(f"unknown condition kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# tests
+# ----------------------------------------------------------------------
+
+def _search_opts_to_obj(opts: Dict[str, object]) -> Dict:
+    return {
+        name: list(value) if isinstance(value, (tuple, list)) else value
+        for name, value in sorted(opts.items())
+    }
+
+
+def _search_opts_from_obj(obj: Dict) -> Dict[str, object]:
+    return {
+        name: tuple(value) if isinstance(value, list) else value
+        for name, value in obj.items()
+    }
+
+
+def test_to_dict(test) -> Dict:
+    """A :class:`~repro.litmus.test.LitmusTest` as JSON-native data."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": test.name,
+        "program": program_to_dict(test.program),
+        "condition": condition_to_dict(test.condition),
+        "expect": test.expect.value,
+        "description": test.description,
+        "expect_other": {
+            model: verdict.value
+            for model, verdict in sorted(test.expect_other.items())
+        },
+        "figure": test.figure,
+        "search_opts": _search_opts_to_obj(test.search_opts),
+    }
+
+
+def test_from_dict(obj: Dict):
+    from .test import Expect, LitmusTest
+
+    return LitmusTest(
+        name=obj["name"],
+        program=program_from_dict(obj["program"]),
+        condition=condition_from_dict(obj["condition"]),
+        expect=Expect(obj["expect"]),
+        description=obj.get("description", ""),
+        expect_other={
+            model: Expect(v) for model, v in obj.get("expect_other", {}).items()
+        },
+        figure=obj.get("figure"),
+        search_opts=_search_opts_from_obj(obj.get("search_opts", {})),
+    )
+
+
+# ----------------------------------------------------------------------
+# outcomes and results
+# ----------------------------------------------------------------------
+
+def outcome_to_dict(outcome: Outcome) -> Dict:
+    return {
+        "registers": [
+            [thread_id_to_obj(tid), name, value]
+            for (tid, name), value in outcome.registers
+        ],
+        "memory": [
+            [loc, sorted(values)] for loc, values in outcome.memory
+        ],
+    }
+
+
+def outcome_from_dict(obj: Dict) -> Outcome:
+    return Outcome(
+        registers=tuple(
+            ((thread_id_from_obj(tid), name), value)
+            for tid, name, value in obj["registers"]
+        ),
+        memory=tuple(
+            (loc, frozenset(values)) for loc, values in obj["memory"]
+        ),
+    )
+
+
+def solver_stats_to_dict(stats: SolverStats) -> Dict:
+    return stats.as_dict()
+
+
+def solver_stats_from_dict(obj: Dict) -> SolverStats:
+    return SolverStats(**obj)
+
+
+def result_to_dict(result, include_test: bool = True) -> Dict:
+    """A :class:`~repro.litmus.runner.LitmusResult` as JSON-native data.
+
+    ``include_test=False`` drops the (bulky) test payload — the cache
+    stores results under a key derived from the test, so re-serializing
+    the test inside every entry would be redundant.
+    """
+    payload = {
+        "format": FORMAT_VERSION,
+        "model": result.model,
+        "observed": result.observed,
+        "outcomes": sorted(
+            (outcome_to_dict(o) for o in result.outcomes), key=canonical_json
+        ),
+        "elapsed": result.elapsed,
+        "solver_stats": (
+            solver_stats_to_dict(result.solver_stats)
+            if result.solver_stats is not None else None
+        ),
+        "status": result.status,
+        "detail": result.detail,
+    }
+    if include_test:
+        payload["test"] = test_to_dict(result.test)
+    return payload
+
+
+def result_from_dict(obj: Dict, test=None):
+    """Rebuild a result; pass ``test`` when the payload omits it."""
+    from .runner import LitmusResult
+
+    if test is None:
+        test = test_from_dict(obj["test"])
+    return LitmusResult(
+        test=test,
+        model=obj["model"],
+        observed=obj["observed"],
+        outcomes=frozenset(outcome_from_dict(o) for o in obj["outcomes"]),
+        elapsed=obj.get("elapsed"),
+        solver_stats=(
+            solver_stats_from_dict(obj["solver_stats"])
+            if obj.get("solver_stats") is not None else None
+        ),
+        status=obj.get("status", "ok"),
+        detail=obj.get("detail"),
+    )

@@ -576,3 +576,15 @@ BY_NAME: Dict[str, LitmusTest] = {test.name: test for test in SUITE}
 
 #: The paper-figure tests only.
 PAPER_TESTS: Tuple[LitmusTest, ...] = tuple(t for t in SUITE if t.figure)
+
+
+def tests_for_figures(*figures: str) -> Tuple[LitmusTest, ...]:
+    """The suite tests tagged with any of the given paper figures.
+
+    Figure tags match on their numeric prefix, so ``tests_for_figures("9")``
+    collects 9a–9d.
+    """
+    return tuple(
+        test for test in SUITE
+        if test.figure and any(test.figure.startswith(f) for f in figures)
+    )

@@ -12,10 +12,18 @@ from .conditions import Condition, parse_condition
 
 
 class Expect(enum.Enum):
-    """The documented verdict of a test's condition under a model."""
+    """The documented verdict of a test's condition under a model.
+
+    ``TIMEOUT``/``ERROR`` never appear as *documented* expectations;
+    they are the verdicts of runs the execution subsystem cut short
+    (per-test deadline exceeded, or a worker failure), so sweeps report
+    them in the same column instead of raising.
+    """
 
     FORBIDDEN = "forbidden"
     ALLOWED = "allowed"
+    TIMEOUT = "timeout"
+    ERROR = "error"
 
     def __repr__(self) -> str:
         return self.value
@@ -55,6 +63,19 @@ class LitmusTest:
         """Whether any outcome satisfies the test condition."""
         threads = self.threads
         return any(self.condition.holds(outcome, threads) for outcome in outcomes)
+
+    def to_dict(self) -> Dict:
+        """Serialize (see :mod:`repro.litmus.serialize`)."""
+        from .serialize import test_to_dict
+
+        return test_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "LitmusTest":
+        """Rebuild from :meth:`to_dict` output."""
+        from .serialize import test_from_dict
+
+        return test_from_dict(payload)
 
 
 def make_test(

@@ -4,6 +4,12 @@ import pytest
 
 from repro.cli import main
 
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(monkeypatch, tmp_path):
+    """The suite/compare commands cache by default; keep tests off ~/.cache."""
+    monkeypatch.setenv("PTXMM_CACHE_DIR", str(tmp_path / "ptxmm-cache"))
+
 MP_FILE = """
 ptx test MP
 thread d0c0t0
@@ -93,7 +99,57 @@ class TestSuiteCommand:
         assert main(["suite", "--stats"]) == 0
         out = capsys.readouterr().out
         assert "conflicts" in out and "total search time" in out
+        assert "session:" in out and "cache  :" in out
+
+    def test_parallel_jobs_end_to_end(self, capsys):
+        assert main(["suite", "--jobs", "2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "all verdicts match" in out
+
+    def test_cache_round_trip(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "explicit-cache")
+        assert main(["suite", "--cache-dir", cache_dir, "--stats"]) == 0
+        cold = capsys.readouterr().out
+        assert "cache_misses=41" in cold
+        assert cache_dir in cold
+        assert main(["suite", "--cache-dir", cache_dir, "--stats"]) == 0
+        warm = capsys.readouterr().out
+        assert "cache_hits=41" in warm and "cache_misses=0" in warm
+        assert "all verdicts match" in warm
+
+    def test_no_cache_leaves_no_entries(self, tmp_path, capsys):
+        cache_dir = tmp_path / "untouched"
+        assert main(
+            ["suite", "--no-cache", "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert not cache_dir.exists()
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestRunTimeout:
+    def test_timeout_reports_verdict_and_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "mp.litmus"
+        path.write_text(MP_FILE)
+        assert main(["run", str(path), "--timeout", "0.000001"]) == 2
+        captured = capsys.readouterr()
+        assert "verdict    : timeout" in captured.out
+        assert "exceeded" in captured.err
+
+    def test_generous_timeout_unchanged(self, tmp_path, capsys):
+        path = tmp_path / "mp.litmus"
+        path.write_text(MP_FILE)
+        assert main(["run", str(path), "--timeout", "600"]) == 0
+        assert "forbidden" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_finds_tso_sc_distinction_parallel(self, capsys):
+        assert main(
+            ["compare", "tso", "sc", "--jobs", "2", "--no-cache",
+             "--limit", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tso=allowed, sc=forbidden" in out

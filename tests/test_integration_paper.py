@@ -49,7 +49,10 @@ class TestFigure8:
         assert run_litmus(BY_NAME["LB+deps"]).verdict.value == "forbidden"
 
     def test_axiom_4_is_what_forbids_it(self):
-        result = run_litmus(BY_NAME["LB+deps"], skip_axioms=("No-Thin-Air",))
+        from repro.litmus import RunConfig
+
+        config = RunConfig(search_opts={"skip_axioms": ("No-Thin-Air",)})
+        result = run_litmus(BY_NAME["LB+deps"], config)
         assert result.verdict.value == "allowed"
 
 

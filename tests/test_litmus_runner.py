@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.litmus import BY_NAME, Expect, MODELS, run_litmus, run_suite, summarize
+from repro.litmus import (
+    BY_NAME,
+    Expect,
+    MODELS,
+    RunConfig,
+    run_litmus,
+    run_suite,
+    summarize,
+)
 
 
 class TestRegistry:
@@ -36,12 +44,14 @@ class TestRunLitmus:
         forwarding, the thin-air candidate space would be empty and the
         test would be vacuously forbidden for the wrong reason."""
         test = BY_NAME["LB+deps"]
-        relaxed = run_litmus(test, skip_axioms=("No-Thin-Air",))
+        config = RunConfig(search_opts={"skip_axioms": ("No-Thin-Air",)})
+        relaxed = run_litmus(test, config)
         assert relaxed.verdict is Expect.ALLOWED
 
     def test_caller_opts_override(self):
         test = BY_NAME["LB+deps"]
-        result = run_litmus(test, speculation_values=())
+        config = RunConfig(search_opts={"speculation_values": ()})
+        result = run_litmus(test, config)
         assert result.verdict is Expect.FORBIDDEN
 
     def test_repr_has_status(self):
@@ -53,21 +63,24 @@ class TestRunLitmus:
         assert result.elapsed is not None and result.elapsed >= 0.0
 
     def test_unknown_option_rejected_with_clear_error(self):
+        config = RunConfig(search_opts={"frobnicate": True})
         with pytest.raises(ValueError, match=r"'frobnicate'.*'ptx'"):
-            run_litmus(BY_NAME["CoRR"], frobnicate=True)
+            run_litmus(BY_NAME["CoRR"], config)
 
     def test_ptx_only_option_rejected_by_tso(self):
         # speculation_values is fine everywhere, but a typo'd option must
         # name both the option and the model instead of a deep TypeError
+        config = RunConfig(model="tso", search_opts={"skip_axiomz": ()})
         with pytest.raises(ValueError, match=r"'skip_axiomz'.*'tso'"):
-            run_litmus(BY_NAME["CoRR"], model="tso", skip_axiomz=())
+            run_litmus(BY_NAME["CoRR"], config)
 
     def test_skip_axioms_silently_dropped_for_total_models(self):
         """A test tagged with PTX-only search opts must stay runnable under
         the total-order models (the opt is meaningless there, not an error)."""
-        result = run_litmus(
-            BY_NAME["CoRR"], model="tso", skip_axioms=("No-Thin-Air",)
+        config = RunConfig(
+            model="tso", search_opts={"skip_axioms": ("No-Thin-Air",)}
         )
+        result = run_litmus(BY_NAME["CoRR"], config)
         assert result.model == "tso"
 
 

@@ -1,0 +1,105 @@
+"""Round-trip tests for the shared serialization format."""
+
+import json
+
+import pytest
+
+from repro.litmus import SUITE, run_litmus
+from repro.litmus.serialize import (
+    FORMAT_VERSION,
+    canonical_json,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.litmus.serialize import test_from_dict as load_test
+from repro.litmus.serialize import test_to_dict as dump_test
+
+
+class TestTestRoundTrip:
+    @pytest.mark.parametrize("test", SUITE, ids=lambda t: t.name)
+    def test_every_suite_test_round_trips(self, test):
+        assert load_test(dump_test(test)) == test
+
+    def test_payload_is_json_native(self):
+        payload = dump_test(SUITE[0])
+        rebuilt = json.loads(json.dumps(payload))
+        assert load_test(rebuilt) == SUITE[0]
+
+    def test_format_version_stamped(self):
+        assert dump_test(SUITE[0])["format"] == FORMAT_VERSION
+
+    def test_search_opts_survive(self):
+        tests = [t for t in SUITE if t.search_opts]
+        assert tests, "suite should contain at least one search_opts test"
+        for test in tests:
+            assert load_test(dump_test(test)).search_opts == \
+                test.search_opts
+
+
+class TestResultRoundTrip:
+    def test_enumerative_result(self):
+        result = run_litmus(SUITE[0])
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt == result
+
+    def test_symbolic_result_keeps_solver_stats(self):
+        result = run_litmus(SUITE[0], engine="symbolic")
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt == result
+        assert rebuilt.solver_stats == result.solver_stats
+
+    def test_without_test_payload(self):
+        result = run_litmus(SUITE[0])
+        payload = result_to_dict(result, include_test=False)
+        assert "test" not in payload
+        rebuilt = result_from_dict(payload, test=result.test)
+        assert rebuilt == result
+
+    def test_timeout_result_keeps_status_and_detail(self):
+        from dataclasses import replace
+
+        result = replace(
+            run_litmus(SUITE[0]), status="timeout", detail="exceeded 1.0s"
+        )
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.status == "timeout"
+        assert rebuilt.detail == "exceeded 1.0s"
+
+    def test_outcomes_survive_json(self):
+        result = run_litmus(SUITE[0])
+        payload = json.loads(json.dumps(result_to_dict(result)))
+        assert result_from_dict(payload).outcomes == result.outcomes
+
+
+class TestCanonicalJson:
+    def test_insertion_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_no_whitespace(self):
+        assert " " not in canonical_json({"a": [1, 2], "b": {"c": 3}})
+
+    def test_result_outcomes_canonically_ordered(self):
+        """Two runs of the same test serialize identically even though
+        outcomes live in an (unordered) frozenset."""
+        first = result_to_dict(run_litmus(SUITE[1]))
+        second = result_to_dict(run_litmus(SUITE[1]))
+        first.pop("elapsed"), second.pop("elapsed")
+        assert canonical_json(first) == canonical_json(second)
+
+
+class TestKodkodInstance:
+    def test_instance_round_trips(self):
+        from repro.kodkod.finder import Instance
+        from repro.relation import Relation
+
+        instance = Instance(
+            relations={
+                "rf": Relation([("w0", "r1"), ("w2", "r3")]),
+                "addr": Relation([("e0",)]),
+            }
+        )
+        payload = json.loads(json.dumps(instance.to_dict()))
+        rebuilt = Instance.from_dict(payload)
+        assert rebuilt.relations == instance.relations

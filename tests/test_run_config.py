@@ -1,0 +1,124 @@
+"""Tests for the RunConfig value object and the legacy **opts shim."""
+
+import pytest
+
+from repro.litmus import BY_NAME, Expect, RunConfig, run_litmus, run_suite
+
+
+class TestConstruction:
+    def test_defaults(self):
+        config = RunConfig()
+        assert config.model == "ptx"
+        assert config.engine == "enumerative"
+        assert config.search_opts == ()
+        assert config.timeout is None
+        assert config.jobs == 1
+        assert config.use_cache is False
+        assert config.max_attempts == 3
+
+    def test_frozen(self):
+        config = RunConfig()
+        with pytest.raises(AttributeError):
+            config.model = "sc"
+
+    def test_hashable_and_structural_equality(self):
+        a = RunConfig(search_opts={"b": [1, 2], "a": 3})
+        b = RunConfig(search_opts={"a": 3, "b": (1, 2)})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_search_opts_normalized_sorted(self):
+        config = RunConfig(search_opts={"z": 1, "a": {2, 1}})
+        assert config.search_opts == (("a", (1, 2)), ("z", 1))
+
+    def test_opts_property_returns_fresh_dict(self):
+        config = RunConfig(search_opts={"a": 1})
+        opts = config.opts
+        opts["a"] = 99
+        assert config.opts == {"a": 1}
+
+
+class TestValidation:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError, match="armv8"):
+            RunConfig(model="armv8")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="hamster"):
+            RunConfig(engine="hamster")
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            RunConfig(timeout=0)
+        with pytest.raises(ValueError, match="timeout"):
+            RunConfig(timeout=-1.5)
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            RunConfig(jobs=-1)
+
+    def test_zero_max_attempts_rejected(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RunConfig(max_attempts=0)
+
+
+class TestEvolve:
+    def test_evolve_replaces_fields(self):
+        base = RunConfig(timeout=5.0)
+        evolved = base.evolve(jobs=4)
+        assert evolved.jobs == 4 and evolved.timeout == 5.0
+        assert base.jobs == 1  # original untouched
+
+    def test_evolve_validates(self):
+        with pytest.raises(ValueError):
+            RunConfig().evolve(engine="nope")
+
+    def test_for_model(self):
+        config = RunConfig(timeout=2.0).for_model("tso")
+        assert config.model == "tso" and config.timeout == 2.0
+
+
+class TestRunnerAcceptsConfig:
+    def test_run_litmus_with_config(self):
+        result = run_litmus(BY_NAME["MP+rel_acq.gpu"], RunConfig(model="ptx"))
+        assert result.verdict is Expect.FORBIDDEN
+
+    def test_config_search_opts_applied(self):
+        config = RunConfig(search_opts={"skip_axioms": ("No-Thin-Air",)})
+        result = run_litmus(BY_NAME["LB+deps"], config)
+        assert result.verdict is Expect.ALLOWED
+
+    def test_run_suite_with_config(self):
+        tests = [BY_NAME["CoRR"], BY_NAME["CoWW"]]
+        results = run_suite(tests, RunConfig(model="sc"))
+        assert [r.model for r in results] == ["sc", "sc"]
+
+    def test_legacy_positional_model_string(self):
+        # run_litmus(test, "tso") predates RunConfig and must keep working
+        result = run_litmus(BY_NAME["CoRR"], "tso")
+        assert result.model == "tso"
+
+
+class TestDeprecationShim:
+    def test_kwarg_opts_warn(self):
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            result = run_litmus(
+                BY_NAME["LB+deps"], skip_axioms=("No-Thin-Air",)
+            )
+        assert result.verdict is Expect.ALLOWED
+
+    def test_kwarg_opts_behaviour_unchanged(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_litmus(BY_NAME["LB+deps"], speculation_values=())
+        modern = run_litmus(
+            BY_NAME["LB+deps"],
+            RunConfig(search_opts={"speculation_values": ()}),
+        )
+        assert legacy.verdict is modern.verdict is Expect.FORBIDDEN
+
+    def test_config_path_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_litmus(BY_NAME["CoRR"], RunConfig())
