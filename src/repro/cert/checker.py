@@ -1,0 +1,247 @@
+"""An independent RUP/DRAT checker and witness checker.
+
+This module is the trust anchor of the certificate subsystem: it shares
+*no* code with the solver's search loop.  No watched literals, no VSIDS,
+no conflict analysis — just a plain unit propagator over occurrence lists
+and a trail.  A bug in the solver therefore cannot certify itself; the
+checker re-derives every claimed consequence from scratch.
+
+``check_unsat_proof`` validates a trace produced by
+:class:`repro.cert.drat.DratLogger` against the original CNF:
+
+* every derived addition (``"a"``) must be RUP — assuming its negation
+  and unit-propagating over the current formula must yield a conflict;
+* extensions (``"e"``, e.g. enumeration blocking clauses) are added
+  unchecked: they are new assumptions, and the certified claim becomes
+  "original CNF plus extensions is unsatisfiable";
+* deletions (``"d"``) shrink the working formula (performance only; a
+  deletion that would remove a clause currently acting as a unit is
+  skipped, mirroring drat-trim, so root implications stay justified);
+* the trace must derive the empty clause, otherwise it is rejected as
+  truncated.
+
+``check_witness`` validates a SAT claim: a total assignment must satisfy
+every clause of the original CNF.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from .drat import ADD, DELETE, EXTEND, Step
+
+
+class CheckFailure(Exception):
+    """A certificate failed independent validation."""
+
+
+class _Propagator:
+    """Minimal unit propagation over occurrence lists with a trail.
+
+    Root-level consequences are permanent; RUP probes push assumptions on
+    the trail and roll back to the root mark afterwards.
+    """
+
+    def __init__(self, num_vars: int):
+        self.num_vars = num_vars
+        # assignment[var]: None / True / False
+        self.assign: List[object] = [None] * (num_vars + 1)
+        self.trail: List[int] = []
+        self.qhead = 0
+        self.clauses: Dict[int, Tuple[int, ...]] = {}
+        self.occurs: Dict[int, set] = {}
+        self.next_id = 0
+        self.contradiction = False
+
+    # -- assignment primitives ----------------------------------------
+
+    def value(self, lit: int):
+        value = self.assign[abs(lit)]
+        if value is None:
+            return None
+        return value if lit > 0 else not value
+
+    def _push(self, lit: int) -> bool:
+        """Assign ``lit`` true; False if it contradicts the assignment."""
+        current = self.value(lit)
+        if current is not None:
+            return current
+        self.assign[abs(lit)] = lit > 0
+        self.trail.append(lit)
+        return True
+
+    def _undo_to(self, mark: int) -> None:
+        for lit in self.trail[mark:]:
+            self.assign[abs(lit)] = None
+        del self.trail[mark:]
+        self.qhead = mark
+
+    # -- clause store -------------------------------------------------
+
+    def _validate(self, lits: Sequence[int]) -> None:
+        for lit in lits:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise CheckFailure(
+                    f"literal {lit} references an unknown variable "
+                    f"(formula has {self.num_vars})"
+                )
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        """Permanently add a clause and propagate its root consequences."""
+        self._validate(lits)
+        cid = self.next_id
+        self.next_id += 1
+        clause = tuple(lits)
+        self.clauses[cid] = clause
+        for lit in set(clause):
+            self.occurs.setdefault(lit, set()).add(cid)
+        if self.contradiction:
+            return
+        unassigned = [lit for lit in clause if self.value(lit) is None]
+        if any(self.value(lit) is True for lit in clause):
+            return
+        if not unassigned:
+            self.contradiction = True
+            return
+        if len(unassigned) == 1:
+            if not self._push(unassigned[0]) or not self.propagate():
+                self.contradiction = True
+
+    def delete_clause(self, lits: Sequence[int]) -> None:
+        """Remove one clause with these literals (best effort).
+
+        Skips the deletion when the clause is currently unit or falsified
+        under the root assignment (it may be justifying a root literal),
+        or when no matching clause exists — both choices only make the
+        working formula stronger, which never breaks soundness: every
+        retained clause was itself checked (or given) as an input/lemma.
+        """
+        if not lits:
+            return
+        key = tuple(sorted(lits))
+        for cid in tuple(self.occurs.get(lits[0], ())):
+            clause = self.clauses.get(cid)
+            if clause is None or tuple(sorted(clause)) != key:
+                continue
+            non_false = [lit for lit in clause if self.value(lit) is not False]
+            if len(non_false) <= 1 and not any(
+                self.value(lit) is True for lit in clause
+            ):
+                return  # acting as a unit/conflict at root; keep it
+            del self.clauses[cid]
+            for lit in set(clause):
+                self.occurs[lit].discard(cid)
+            return
+
+    # -- propagation --------------------------------------------------
+
+    def propagate(self) -> bool:
+        """Unit-propagate to fixpoint; False on conflict."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            for cid in tuple(self.occurs.get(-lit, ())):
+                clause = self.clauses.get(cid)
+                if clause is None:
+                    continue
+                unassigned = None
+                satisfied = False
+                for other in clause:
+                    value = self.value(other)
+                    if value is True:
+                        satisfied = True
+                        break
+                    if value is None:
+                        if unassigned is not None:
+                            unassigned = 0  # at least two open literals
+                            break
+                        unassigned = other
+                if satisfied or unassigned == 0:
+                    continue
+                if unassigned is None:
+                    return False  # conflict
+                self._push(unassigned)
+        return True
+
+    def rup(self, lits: Sequence[int]) -> bool:
+        """Whether the clause is a reverse-unit-propagation consequence."""
+        if self.contradiction:
+            return True  # anything follows from a root conflict
+        self._validate(lits)
+        mark = len(self.trail)
+        conflict = False
+        for lit in lits:
+            if not self._push(-lit):
+                conflict = True  # clause contains a root-true literal
+                break
+        if not conflict:
+            conflict = not self.propagate()
+        self._undo_to(mark)
+        return conflict
+
+
+def check_unsat_proof(
+    num_vars: int,
+    clauses: Iterable[Sequence[int]],
+    steps: Iterable[Step],
+) -> int:
+    """Validate an UNSAT trace against the original CNF.
+
+    Returns the number of RUP-verified additions.  Raises
+    :class:`CheckFailure` if any derived clause fails its RUP check, a
+    step is malformed, or the trace never derives the empty clause.
+    """
+    propagator = _Propagator(num_vars)
+    for clause in clauses:
+        propagator.add_clause(clause)
+    if not propagator.propagate():
+        propagator.contradiction = True
+    verified = 0
+    for index, (kind, lits) in enumerate(steps):
+        if kind == ADD:
+            if not propagator.rup(lits):
+                raise CheckFailure(
+                    f"step {index}: clause {list(lits)} is not a "
+                    "unit-propagation consequence of the formula"
+                )
+            verified += 1
+            if not lits:
+                return verified  # empty clause verified: UNSAT certified
+            propagator.add_clause(lits)
+        elif kind == EXTEND:
+            propagator.add_clause(lits)
+        elif kind == DELETE:
+            propagator.delete_clause(lits)
+        else:
+            raise CheckFailure(f"step {index}: unknown step kind {kind!r}")
+    raise CheckFailure(
+        "trace ended without deriving the empty clause (truncated or "
+        "non-refutation trace)"
+    )
+
+
+def check_witness(
+    clauses: Iterable[Sequence[int]],
+    assignment: Mapping[int, bool],
+) -> int:
+    """Validate a SAT claim: the assignment must satisfy every clause.
+
+    Returns the number of clauses checked; raises :class:`CheckFailure`
+    on the first clause left unsatisfied (an unassigned variable never
+    satisfies a literal — the witness must be total on every clause it
+    touches).
+    """
+    checked = 0
+    for index, clause in enumerate(clauses):
+        satisfied = False
+        for lit in clause:
+            value = assignment.get(abs(lit))
+            if value is not None and value == (lit > 0):
+                satisfied = True
+                break
+        if not satisfied:
+            raise CheckFailure(
+                f"witness violates clause {index}: {list(clause)}"
+            )
+        checked += 1
+    return checked

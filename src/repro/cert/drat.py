@@ -1,0 +1,132 @@
+"""DRAT-style proof logging for the CDCL backend.
+
+A :class:`DratLogger` plugs into :class:`repro.sat.solver.Solver` (via the
+``proof=`` constructor argument) and records the solver's clause traffic as
+an ordered trace of steps:
+
+* ``("a", lits)`` — a *derived* addition: a learned clause (or the final
+  empty clause).  Each must be a RUP consequence of the formula so far;
+  the independent checker re-derives it by unit propagation.
+* ``("d", lits)`` — a deletion from the learned-clause database
+  (:meth:`Solver._reduce_db`).  Deletions are an optimisation hint for the
+  checker; they never affect soundness.
+* ``("e", lits)`` — an *extension*: an input clause pushed into a live
+  solver through :meth:`Solver.add_clause`.  Blocking clauses pushed
+  during incremental model enumeration land here.  Extensions are new
+  assumptions, not consequences — the checker adds them unchecked, so an
+  UNSAT trace with extensions certifies "CNF plus these extensions is
+  unsatisfiable" (exactly the enumeration-completeness claim of §5.2).
+
+The trace lives in memory (``steps``) and can simultaneously be streamed
+line-by-line to a text sink, in the plain-text format of the DRAT tools:
+``<lits> 0`` for additions, ``d <lits> 0`` for deletions, and (our
+incremental extension) ``e <lits> 0`` for extensions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Optional, TextIO, Tuple
+
+#: One trace step: (kind, literal tuple).  Kinds: "a" / "d" / "e".
+Step = Tuple[str, Tuple[int, ...]]
+
+ADD = "a"
+DELETE = "d"
+EXTEND = "e"
+
+_KINDS = frozenset((ADD, DELETE, EXTEND))
+
+
+def format_step(step: Step) -> str:
+    """One trace step as a DRAT text line (without the newline)."""
+    kind, lits = step
+    body = " ".join(map(str, lits + (0,)))
+    return body if kind == ADD else f"{kind} {body}"
+
+
+def write_drat(steps: Iterable[Step], stream: TextIO) -> None:
+    """Write a whole trace in DRAT text format."""
+    for step in steps:
+        stream.write(format_step(step) + "\n")
+
+
+def read_drat(stream: TextIO) -> List[Step]:
+    """Parse a DRAT text trace back into a step list.
+
+    Tolerates blank lines and ``c``-prefixed comments; everything else
+    must be a well-formed step terminated by ``0``.
+    """
+    steps: List[Step] = []
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        tokens = line.split()
+        kind = ADD
+        if tokens[0] in (DELETE, EXTEND):
+            kind = tokens[0]
+            tokens = tokens[1:]
+        try:
+            lits = [int(token) for token in tokens]
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: non-integer literal: {exc}")
+        if not lits or lits[-1] != 0:
+            raise ValueError(f"line {lineno}: step not terminated by 0: {line!r}")
+        if any(lit == 0 for lit in lits[:-1]):
+            raise ValueError(f"line {lineno}: literal 0 inside a step: {line!r}")
+        steps.append((kind, tuple(lits[:-1])))
+    return steps
+
+
+def trace_digest(steps: Iterable[Step]) -> str:
+    """A stable sha256 content address of a trace."""
+    hasher = hashlib.sha256()
+    for step in steps:
+        hasher.update(format_step(step).encode("ascii"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+class DratLogger:
+    """Accumulates (and optionally streams) the solver's proof trace.
+
+    The solver calls :meth:`add`, :meth:`delete` and :meth:`extend`; the
+    logger copies the literals immediately (solver clauses are mutated in
+    place by watch maintenance, so holding references would corrupt the
+    trace).
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None):
+        self.steps: List[Step] = []
+        self.stream = stream
+
+    def _record(self, kind: str, lits: Iterable[int]) -> None:
+        step = (kind, tuple(lits))
+        self.steps.append(step)
+        if self.stream is not None:
+            self.stream.write(format_step(step) + "\n")
+
+    def add(self, lits: Iterable[int]) -> None:
+        """Record a derived (RUP-checkable) clause addition."""
+        self._record(ADD, lits)
+
+    def delete(self, lits: Iterable[int]) -> None:
+        """Record a learned-clause database deletion."""
+        self._record(DELETE, lits)
+
+    def extend(self, lits: Iterable[int]) -> None:
+        """Record an input clause added to a live solver (e.g. blocking)."""
+        self._record(EXTEND, lits)
+
+    @property
+    def empty_derived(self) -> bool:
+        """Whether the trace derives the empty clause (claims UNSAT)."""
+        return any(kind == ADD and not lits for kind, lits in self.steps)
+
+    def digest(self) -> str:
+        """The trace's sha256 content address."""
+        return trace_digest(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)

@@ -18,16 +18,18 @@ from typing import List, Optional
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
-    from .litmus import SUITE, RunConfig, Session, summarize
+    from .litmus import SUITE, Expect, RunConfig, Session, summarize
 
     config = RunConfig(
         timeout=args.timeout,
         jobs=args.jobs,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        certify=args.certify,
     )
     failures = 0
     incomplete = 0
+    uncertified = 0
     with Session(config) as session:
         for model in args.models:
             results = session.run_suite(SUITE, config.for_model(model))
@@ -35,9 +37,25 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             print(summarize(results, show_stats=args.stats))
             failures += sum(1 for r in results if r.matches_expectation is False)
             incomplete += sum(1 for r in results if r.status != "ok")
+            if args.certify:
+                # Every FORBIDDEN verdict must carry a certificate record
+                # (a checked DRAT refutation, or an explicit skip reason).
+                uncertified += sum(
+                    1 for r in results
+                    if r.status == "ok"
+                    and r.verdict is Expect.FORBIDDEN
+                    and r.certificate is None
+                )
             if args.stats:
                 total = sum(r.elapsed or 0.0 for r in results)
                 print(f"total search time: {total:.3f}s over {len(results)} tests")
+            print()
+        cert_failed = session.stats.cert_failed
+        if args.certify:
+            print(
+                f"certificates: {session.stats.certified} verified, "
+                f"{cert_failed} failed, {session.stats.cert_skipped} skipped"
+            )
             print()
         if args.stats:
             print(f"session: {session.stats.format()}")
@@ -47,26 +65,38 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                     f"({session.cache.directory})"
                 )
             print()
+    status = 0
     if failures:
         print(f"{failures} expectation mismatch(es)")
-        return 1
+        status = 1
     if incomplete:
         print(f"{incomplete} test(s) timed out or errored before deciding")
-        return 1
-    print("all verdicts match documented expectations")
-    return 0
+        status = 1
+    if cert_failed:
+        print(f"{cert_failed} certificate check(s) failed")
+        status = 1
+    if uncertified:
+        print(f"{uncertified} FORBIDDEN verdict(s) lack a certificate record")
+        status = 1
+    if status == 0:
+        print("all verdicts match documented expectations")
+    return status
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from .litmus import run_litmus
+    from .litmus import RunConfig, run_litmus
     from .litmus.parser import parse_litmus
 
     with open(args.file) as handle:
         test = parse_litmus(handle.read())
     try:
-        result = run_litmus(
-            test, model=args.model, engine=args.engine, timeout=args.timeout
+        config = RunConfig(
+            model=args.model,
+            engine=args.engine,
+            timeout=args.timeout,
+            certify=args.certify,
         )
+        result = run_litmus(test, config=config)
     except ValueError as exc:  # e.g. symbolic engine on a non-PTX model
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -74,6 +104,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"model      : {args.model}")
     print(f"condition  : {test.condition!r}")
     print(f"verdict    : {result.verdict.value}")
+    if result.certificate is not None:
+        print(f"certificate: {result.certificate.format()}")
     if result.status != "ok":
         print(f"error      : {result.detail or result.status}", file=sys.stderr)
         return 2
@@ -251,6 +283,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        certify=args.certify,
     )
     found = 0
     with Session(config) as session:
@@ -286,6 +319,12 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="solve every test fresh; do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--certify", action="store_true",
+        help="attach independently checked certificates to verdicts: DRAT "
+             "refutations for FORBIDDEN, satisfying witnesses for ALLOWED; "
+             "a failed check downgrades the verdict to ERROR",
     )
 
 
@@ -331,6 +370,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="wall-clock budget; an over-budget run reports TIMEOUT",
+    )
+    p_run.add_argument(
+        "--certify", action="store_true",
+        help="independently check the verdict (DRAT refutation or "
+             "satisfying witness) and print the certificate",
     )
     p_run.set_defaults(func=_cmd_run)
 

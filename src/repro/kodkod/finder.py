@@ -76,11 +76,17 @@ def _decode(translation: Translation, model: Dict[int, bool]) -> Instance:
     )
 
 
-def _translate(
+def translate_problem(
     formula: ast.Formula,
     bounds: Bounds,
-    configure: Optional[callable],
+    configure: Optional[callable] = None,
 ) -> Translation:
+    """Translate a bounded problem to CNF without solving it.
+
+    Public so the certificate layer (:mod:`repro.cert.verdict`) can hold
+    on to the translation — the original CNF and bounds are exactly what
+    an independent checker validates traces and witnesses against.
+    """
     translator = Translator(bounds)
     if configure is not None:
         configure(translator)
@@ -91,9 +97,15 @@ def _translate(
 def solve_translation(
     translation: Translation,
     stats: Optional[List[SolverStats]] = None,
+    proof=None,
 ) -> Optional[Instance]:
-    """Solve a prepared translation, recording solver stats on it."""
-    solver = Solver(translation.cnf)
+    """Solve a prepared translation, recording solver stats on it.
+
+    ``proof`` attaches a DRAT logger to the solver (see
+    :mod:`repro.cert.drat`), so an unsatisfiable query leaves a trace the
+    independent checker can validate.
+    """
+    solver = Solver(translation.cnf, proof=proof)
     satisfiable = solver.solve()
     snapshot = solver.stats.copy()
     translation.solver_stats.append(snapshot)
@@ -116,7 +128,9 @@ def solve(
     extra-logical constraints (e.g. rf functionality via ``exactly_one_of``).
     ``stats``, if given, receives one :class:`SolverStats` snapshot.
     """
-    return solve_translation(_translate(formula, bounds, configure), stats=stats)
+    return solve_translation(
+        translate_problem(formula, bounds, configure), stats=stats
+    )
 
 
 def check(
@@ -151,6 +165,8 @@ def instances(
     limit: Optional[int] = None,
     incremental: bool = True,
     stats: Optional[List[SolverStats]] = None,
+    proof=None,
+    blocking_out: Optional[List[List[int]]] = None,
 ) -> Iterator[Instance]:
     """Enumerate satisfying instances, distinct on the witness relations.
 
@@ -165,8 +181,12 @@ def instances(
     (pass ``incremental=False`` for the rebuild-per-instance baseline); the
     translation's CNF is never mutated, so the same formula/bounds can be
     enumerated repeatedly with identical results.
+
+    ``proof`` and ``blocking_out`` feed the certificate layer: the DRAT
+    logger records the solve, and every pushed blocking clause is exposed
+    so enumeration completeness can be independently certified.
     """
-    translation = _translate(formula, bounds, configure)
+    translation = translate_problem(formula, bounds, configure)
     projection = translation.projection_vars()
     sink = _StatsFanout(translation.solver_stats, stats)
     for model in enumerate_models(
@@ -175,5 +195,7 @@ def instances(
         limit=limit,
         incremental=incremental,
         stats_out=sink,
+        proof=proof,
+        blocking_out=blocking_out,
     ):
         yield _decode(translation, model)

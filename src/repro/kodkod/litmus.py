@@ -35,6 +35,7 @@ from ..litmus.conditions import AndC, Condition, MemEq, NotC, OrC, RegEq, TrueC
 from ..litmus.test import LitmusTest
 from ..ptx import spec as ptx_spec
 from ..ptx.events import Event, Sem, init_write
+from ..ptx.isa import AtomOp
 from ..ptx.model import build_env
 from ..ptx.program import elaborate
 from ..relation import Relation
@@ -66,6 +67,14 @@ class _ConditionCompiler:
         for eid, recipe in self.elab.write_recipe.items():
             if recipe.rmw_op is None and isinstance(recipe.operand, int):
                 values[eid] = recipe.operand
+            elif (
+                recipe.rmw_op is AtomOp.EXCH
+                and recipe.rmw_operands
+                and isinstance(recipe.rmw_operands[0], int)
+            ):
+                # exch stores its operand regardless of the value read, so
+                # a constant-operand exchange is as static as a plain store
+                values[eid] = recipe.rmw_operands[0]
             else:
                 values[eid] = None
         return values
@@ -155,12 +164,14 @@ class _ConditionCompiler:
         raise UnsupportedCondition(f"unknown condition node {condition!r}")
 
 
-def _encode(test: LitmusTest, include_condition: bool = True):
+def encode_litmus(test: LitmusTest, include_condition: bool = True):
     """Build the bounded relational problem for ``test``.
 
     Returns ``(goal, bounds, configure)`` ready for the model finder: the
     well-formedness facts and the six PTX axioms, conjoined with the
-    compiled litmus condition when ``include_condition`` is set.
+    compiled litmus condition when ``include_condition`` is set.  Public
+    so the certificate layer can translate the same problem and hand the
+    resulting CNF/bounds to the independent checker.
     """
     program = test.program
     elab = elaborate(program)
@@ -262,7 +273,7 @@ def symbolic_outcome_allowed(
     condition (i.e. the outcome is *allowed*).  ``stats``, if given,
     receives the SAT call's :class:`SolverStats` snapshot.
     """
-    goal, bounds, configure = _encode(test)
+    goal, bounds, configure = encode_litmus(test)
     return solve(goal, bounds, configure=configure, stats=stats) is not None
 
 
@@ -271,6 +282,8 @@ def symbolic_consistent_instances(
     limit: Optional[int] = None,
     incremental: bool = True,
     stats: Optional[List[SolverStats]] = None,
+    proof=None,
+    blocking_out: Optional[List[List[int]]] = None,
 ):
     """Enumerate the axiom-consistent witness instances of ``test``.
 
@@ -281,7 +294,7 @@ def symbolic_consistent_instances(
     enumeration (``incremental=False`` restores the per-instance rebuild
     baseline for comparison).
     """
-    goal, bounds, configure = _encode(test, include_condition=False)
+    goal, bounds, configure = encode_litmus(test, include_condition=False)
     return instances(
         goal,
         bounds,
@@ -289,4 +302,6 @@ def symbolic_consistent_instances(
         limit=limit,
         incremental=incremental,
         stats=stats,
+        proof=proof,
+        blocking_out=blocking_out,
     )

@@ -28,6 +28,7 @@ from .generator import (
     generate,
     parse_cycle,
 )
+from ..cert import Certificate
 from .cache import CacheStats, ResultCache, cache_key, default_cache_dir
 from .config import RunConfig
 from .runner import MODELS, LitmusResult, decide, run_litmus, run_suite, summarize
@@ -39,6 +40,7 @@ __all__ = [
     "AndC",
     "BY_NAME",
     "CacheStats",
+    "Certificate",
     "Condition",
     "ConditionSyntaxError",
     "CycleError",

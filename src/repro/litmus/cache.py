@@ -34,7 +34,10 @@ from .serialize import (
 
 #: Bumped (with FORMAT_VERSION / the package version) to invalidate
 #: every existing entry when results are no longer comparable.
-CACHE_SCHEMA_VERSION = 1
+#: v2: results carry an optional verdict certificate, and the cache key
+#: records whether the run certified — pre-bump entries become clean
+#: misses rather than being served to (or poisoning) certified runs.
+CACHE_SCHEMA_VERSION = 2
 
 
 def code_salt() -> str:
@@ -55,13 +58,24 @@ def default_cache_dir() -> Path:
     return Path(os.path.expanduser("~")) / ".cache" / "ptxmm"
 
 
-def cache_key(test, model: str, engine: str, opts: Dict[str, object]) -> str:
-    """The content address of one (test, model, engine, opts) task."""
+def cache_key(
+    test,
+    model: str,
+    engine: str,
+    opts: Dict[str, object],
+    certify: bool = False,
+) -> str:
+    """The content address of one (test, model, engine, opts, certify) task.
+
+    ``certify`` is part of the key: a certified sweep must never be served
+    a certificate-less cached verdict, and vice versa.
+    """
     payload = {
         "salt": code_salt(),
         "test": test_to_dict(test),
         "model": model,
         "engine": engine,
+        "certify": bool(certify),
         "opts": {
             name: list(value) if isinstance(value, (tuple, list)) else value
             for name, value in sorted(opts.items())

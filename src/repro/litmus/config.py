@@ -54,7 +54,14 @@ class RunConfig:
     * ``use_cache``/``cache_dir`` control the content-addressed result
       cache (``cache_dir=None`` with ``use_cache=True`` falls back to
       ``$PTXMM_CACHE_DIR`` or ``~/.cache/ptxmm``);
-    * ``max_attempts`` bounds retry-on-worker-death per test.
+    * ``max_attempts`` bounds retry-on-worker-death per test;
+    * ``certify`` asks for verdict certificates: tests decidable by one
+      bounded SAT query are decided through the proof-logging path, the
+      resulting DRAT trace or witness is validated by the independent
+      checker (:mod:`repro.cert`), and the certificate rides on the
+      result.  A verdict whose certificate fails the check is downgraded
+      to ERROR; undecidable-by-SAT tests fall back to the enumerative
+      engine with a ``skipped`` certificate.
 
     ``search_opts`` may be given as a mapping; it is normalized to a
     sorted tuple of pairs so configs hash and compare structurally.
@@ -68,6 +75,7 @@ class RunConfig:
     use_cache: bool = False
     cache_dir: Optional[str] = None
     max_attempts: int = 3
+    certify: bool = False
 
     def __post_init__(self):
         if isinstance(self.search_opts, Mapping):

@@ -29,6 +29,7 @@ from typing import (
     Union,
 )
 
+from ..cert.verdict import Certificate, skipped_certificate
 from ..ptx.program import Program
 from ..sat.solver import SolverStats
 from ..scmodel import check_execution as sc_check
@@ -198,6 +199,9 @@ class LitmusResult:
     status: str = "ok"
     #: human-readable failure detail for non-ok statuses
     detail: Optional[str] = None
+    #: independently checked evidence for the verdict (``certify`` runs
+    #: only); a failed certificate downgrades the verdict to ERROR
+    certificate: Optional[Certificate] = None
 
     @property
     def verdict(self) -> Expect:
@@ -266,6 +270,59 @@ def _run_symbolic(
     return test.condition_observed(outcomes), outcomes, None
 
 
+def _run_certified(
+    test: LitmusTest, config: RunConfig, opts: Dict[str, object]
+) -> Tuple[
+    bool, FrozenSet[Outcome], Optional[SolverStats], Certificate
+]:
+    """Decide the condition through the proof-logging path when possible.
+
+    Tests decidable by one bounded SAT query get a checked DRAT/witness
+    certificate; everything else runs on its normal engine and carries a
+    ``skipped`` certificate naming the reason — the caller can tell "not
+    checkable" apart from "not checked".
+    """
+    from ..cert.verdict import certify_symbolic
+    from ..kodkod.litmus import UnsupportedCondition
+
+    if config.model != "ptx":
+        if config.engine == "symbolic":
+            raise ValueError(
+                "the symbolic engine supports only the 'ptx' model, "
+                f"not {config.model!r}"
+            )
+        outcomes = MODELS[config.model](test.program, **opts)
+        return (
+            test.condition_observed(outcomes),
+            outcomes,
+            None,
+            skipped_certificate(
+                f"model {config.model!r} has no symbolic encoding"
+            ),
+        )
+    if opts:
+        outcomes = _ptx_outcomes(test.program, **opts)
+        return (
+            test.condition_observed(outcomes),
+            outcomes,
+            None,
+            skipped_certificate(
+                "search options require the enumerative engine"
+            ),
+        )
+    try:
+        observed, certificate, stats = certify_symbolic(test)
+    except UnsupportedCondition as exc:
+        outcomes = _ptx_outcomes(test.program)
+        return (
+            test.condition_observed(outcomes),
+            outcomes,
+            None,
+            skipped_certificate(f"condition not relationally encodable: {exc}"),
+        )
+    return observed, frozenset(), stats, certificate
+
+
 def decide(
     test: LitmusTest,
     config: RunConfig,
@@ -299,10 +356,15 @@ def decide_filtered(
     detail: Optional[str] = None
     observed = False
     outcomes: FrozenSet[Outcome] = frozenset()
+    certificate: Optional[Certificate] = None
     started = time.perf_counter()
     try:
         with deadline(config.timeout):
-            if config.engine == "symbolic":
+            if config.certify:
+                observed, outcomes, solver_stats, certificate = (
+                    _run_certified(test, config, merged)
+                )
+            elif config.engine == "symbolic":
                 if config.model != "ptx":
                     raise ValueError(
                         "the symbolic engine supports only the 'ptx' model, "
@@ -317,6 +379,12 @@ def decide_filtered(
         detail = f"exceeded {config.timeout}s"
         outcomes = frozenset()
         solver_stats = None
+        certificate = None
+    if certificate is not None and certificate.failed:
+        # never let an uncertified verdict pass silently: a trace or
+        # witness the independent checker rejects voids the verdict
+        status = "error"
+        detail = f"certificate check failed: {certificate.detail}"
     elapsed = time.perf_counter() - started
     return LitmusResult(
         test=test,
@@ -327,6 +395,7 @@ def decide_filtered(
         solver_stats=solver_stats,
         status=status,
         detail=detail,
+        certificate=certificate,
     )
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 from typing import Dict, Optional
 
+from ..cert.verdict import Certificate
 from ..core.scopes import Scope, SystemShape, ThreadId
 from ..ptx.events import Sem
 from ..ptx.isa import Atom, AtomOp, Bar, BarOp, Fence, Instruction, Ld, Red, St
@@ -342,6 +343,30 @@ def solver_stats_from_dict(obj: Dict) -> SolverStats:
     return SolverStats(**obj)
 
 
+def certificate_to_dict(cert: Certificate) -> Dict:
+    return {
+        "polarity": cert.polarity,
+        "status": cert.status,
+        "digest": cert.digest,
+        "steps": cert.steps,
+        "clauses": cert.clauses,
+        "check_time": cert.check_time,
+        "detail": cert.detail,
+    }
+
+
+def certificate_from_dict(obj: Dict) -> Certificate:
+    return Certificate(
+        polarity=obj["polarity"],
+        status=obj["status"],
+        digest=obj.get("digest"),
+        steps=obj.get("steps", 0),
+        clauses=obj.get("clauses", 0),
+        check_time=obj.get("check_time", 0.0),
+        detail=obj.get("detail"),
+    )
+
+
 def result_to_dict(result, include_test: bool = True) -> Dict:
     """A :class:`~repro.litmus.runner.LitmusResult` as JSON-native data.
 
@@ -363,6 +388,10 @@ def result_to_dict(result, include_test: bool = True) -> Dict:
         ),
         "status": result.status,
         "detail": result.detail,
+        "certificate": (
+            certificate_to_dict(result.certificate)
+            if result.certificate is not None else None
+        ),
     }
     if include_test:
         payload["test"] = test_to_dict(result.test)
@@ -387,4 +416,8 @@ def result_from_dict(obj: Dict, test=None):
         ),
         status=obj.get("status", "ok"),
         detail=obj.get("detail"),
+        certificate=(
+            certificate_from_dict(obj["certificate"])
+            if obj.get("certificate") is not None else None
+        ),
     )

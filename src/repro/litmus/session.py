@@ -59,6 +59,13 @@ class SessionStats:
     timeouts: int = 0
     errors: int = 0
     worker_retries: int = 0
+    #: verdicts whose certificate passed the independent checker
+    certified: int = 0
+    #: verdicts whose certificate was REJECTED (each also counts an error:
+    #: a failed check downgrades the verdict to ERROR)
+    cert_failed: int = 0
+    #: certify-mode verdicts with nothing checkable (enumerative fallback)
+    cert_skipped: int = 0
     elapsed: float = 0.0
     #: summed SAT counters from every symbolic-engine result
     solver: SolverStats = field(default_factory=SolverStats)
@@ -69,7 +76,8 @@ class SessionStats:
             f"tasks={self.tasks} cache_hits={self.cache_hits} "
             f"cache_misses={self.cache_misses} timeouts={self.timeouts} "
             f"errors={self.errors} worker_retries={self.worker_retries} "
-            f"elapsed={self.elapsed:.3f}s"
+            f"certified={self.certified} cert_failed={self.cert_failed} "
+            f"cert_skipped={self.cert_skipped} elapsed={self.elapsed:.3f}s"
         )
 
 
@@ -85,6 +93,7 @@ def _execute_task(payload: Dict) -> Dict:
         model=payload["model"],
         engine=payload["engine"],
         timeout=payload["timeout"],
+        certify=payload.get("certify", False),
     )
     try:
         result = decide_filtered(test, config, dict(payload["opts"]))
@@ -176,7 +185,10 @@ class Session:
             _warn_dropped(config.model, dropped, self._warned)
             self.stats.tasks += 1
             if self.cache is not None:
-                key = cache_key(test, config.model, config.engine, kept)
+                key = cache_key(
+                    test, config.model, config.engine, kept,
+                    certify=config.certify,
+                )
                 cached = self.cache.get(key, test)
                 if cached is not None:
                     self.stats.cache_hits += 1
@@ -190,6 +202,7 @@ class Session:
                 "engine": config.engine,
                 "opts": kept,
                 "timeout": config.timeout,
+                "certify": config.certify,
             }
         if misses:
             if self.jobs <= 1:
@@ -210,6 +223,14 @@ class Session:
                 self.stats.errors += 1
             if result.solver_stats is not None:
                 self.stats.solver = self.stats.solver + result.solver_stats
+            certificate = result.certificate
+            if certificate is not None:
+                if certificate.verified:
+                    self.stats.certified += 1
+                elif certificate.failed:
+                    self.stats.cert_failed += 1
+                else:
+                    self.stats.cert_skipped += 1
         self.stats.elapsed += time.perf_counter() - started
         return [results[index] for index in range(len(tasks))]
 

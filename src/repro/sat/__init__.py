@@ -1,7 +1,7 @@
 """A from-scratch incremental CDCL SAT solver: the backend of the relational model finder."""
 
 from .cnf import Cnf
-from .dimacs import read_dimacs, write_dimacs
+from .dimacs import read_dimacs, write_dimacs, write_dimacs_clauses
 from .solver import (
     Clause,
     Solver,
@@ -23,4 +23,5 @@ __all__ = [
     "read_dimacs",
     "solve_cnf",
     "write_dimacs",
+    "write_dimacs_clauses",
 ]

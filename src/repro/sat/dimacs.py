@@ -1,45 +1,105 @@
-"""DIMACS CNF serialisation, for interoperability and debugging."""
+"""DIMACS CNF serialisation, for interoperability and debugging.
+
+The reader is a tokenizing parser: clauses are sequences of non-zero
+integer literals terminated by ``0``, and may span lines or share a line,
+exactly as the DIMACS grammar allows.  Blank lines and ``c`` comments are
+skipped anywhere.  Malformed input — a non-integer token, a final clause
+missing its ``0`` terminator, a duplicate problem line — raises
+:class:`ValueError` with the offending token and line number rather than
+silently mis-parsing.
+
+``write_dimacs_clauses`` serialises a bare ``(num_vars, clauses)`` pair,
+which is what the certificate subsystem needs to emit the companion CNF
+next to a DRAT trace (external checkers like ``drat-trim`` take the
+formula and the proof as separate files).
+"""
 
 from __future__ import annotations
 
-from typing import TextIO
+from typing import Iterable, Sequence, TextIO
 
 from .cnf import Cnf
 
 
-def write_dimacs(cnf: Cnf, stream: TextIO, comment: str = "") -> None:
-    """Write ``cnf`` in DIMACS format to ``stream``."""
+def write_dimacs_clauses(
+    num_vars: int,
+    clauses: Sequence[Sequence[int]],
+    stream: TextIO,
+    comment: str = "",
+) -> None:
+    """Write a bare clause list in DIMACS format (DRAT companion CNF)."""
     if comment:
         for line in comment.splitlines():
             stream.write(f"c {line}\n")
-    stream.write(f"p cnf {cnf.num_vars} {len(cnf.clauses)}\n")
-    for clause in cnf.clauses:
+    stream.write(f"p cnf {num_vars} {len(clauses)}\n")
+    for clause in clauses:
         stream.write(" ".join(map(str, clause)) + " 0\n")
 
 
+def write_dimacs(cnf: Cnf, stream: TextIO, comment: str = "") -> None:
+    """Write ``cnf`` in DIMACS format to ``stream``."""
+    write_dimacs_clauses(cnf.num_vars, cnf.clauses, stream, comment=comment)
+
+
 def read_dimacs(stream: TextIO) -> Cnf:
-    """Parse a DIMACS CNF file into a :class:`Cnf`."""
+    """Parse a DIMACS CNF file into a :class:`Cnf`.
+
+    Tolerates comments, blank lines, clauses spanning several lines and
+    several clauses per line.  Raises :class:`ValueError` on non-integer
+    tokens, on a final clause missing its ``0`` terminator, and on a
+    malformed or repeated problem line.
+    """
     cnf = Cnf()
-    declared_vars = 0
-    for raw in stream:
+    seen_problem_line = False
+    current: list = []
+    for lineno, raw in enumerate(stream, start=1):
         line = raw.strip()
         if not line or line.startswith("c"):
             continue
         if line.startswith("p"):
+            if seen_problem_line:
+                raise ValueError(f"line {lineno}: duplicate problem line")
             parts = line.split()
             if len(parts) != 4 or parts[1] != "cnf":
-                raise ValueError(f"malformed problem line: {line!r}")
-            declared_vars = int(parts[2])
+                raise ValueError(
+                    f"line {lineno}: malformed problem line: {line!r}"
+                )
+            try:
+                declared_vars = int(parts[2])
+                int(parts[3])
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: malformed problem line: {line!r}"
+                ) from None
             while cnf.num_vars < declared_vars:
                 cnf.new_var()
+            seen_problem_line = True
             continue
-        lits = [int(tok) for tok in line.split()]
-        if lits and lits[-1] == 0:
-            lits = lits[:-1]
-        if not lits:
-            continue
-        needed = max(abs(l) for l in lits)
-        while cnf.num_vars < needed:
-            cnf.new_var()
-        cnf.add_clause(lits)
+        for token in line.split():
+            try:
+                lit = int(token)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: non-integer token {token!r} in clause"
+                ) from None
+            if lit == 0:
+                _add_parsed_clause(cnf, current)
+                current = []
+            else:
+                current.append(lit)
+    if current:
+        raise ValueError(
+            "unexpected end of input: final clause "
+            f"{current} is missing its terminating 0"
+        )
     return cnf
+
+
+def _add_parsed_clause(cnf: Cnf, lits: Iterable[int]) -> None:
+    lits = list(lits)
+    if not lits:
+        return
+    needed = max(abs(l) for l in lits)
+    while cnf.num_vars < needed:
+        cnf.new_var()
+    cnf.add_clause(lits)

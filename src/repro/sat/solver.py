@@ -227,7 +227,15 @@ class Solver:
     #: geometric growth of the learned-clause budget per reduction
     LEARNTS_GROWTH = 1.3
 
-    def __init__(self, cnf: Cnf):
+    def __init__(self, cnf: Cnf, proof=None):
+        #: optional proof sink (:class:`repro.cert.drat.DratLogger`-shaped:
+        #: ``add``/``delete``/``extend`` taking literal iterables).  The
+        #: solver logs every learned clause, every database deletion, every
+        #: incremental input addition, and the final empty clause, so an
+        #: UNSAT run leaves a DRAT trace checkable by
+        #: :func:`repro.cert.checker.check_unsat_proof`.
+        self.proof = proof
+        self._refutation_logged = False
         self.num_vars = cnf.num_vars
         self.assign: List[Optional[bool]] = [None] * (self.num_vars + 1)
         self.level: List[int] = [0] * (self.num_vars + 1)
@@ -273,9 +281,20 @@ class Solver:
                 raise ValueError(f"literal {lit} references an unallocated variable")
         if not self.ok:
             return False
+        if self.proof is not None:
+            # an incremental addition is a new input clause, not a derived
+            # consequence: log it as an extension before any refutation it
+            # may trigger
+            self.proof.extend(clause)
         self._cancel_until(0)
         self._add_clause(clause)
         return self.ok
+
+    def _log_refutation(self) -> None:
+        """Close the proof trace with the empty clause (once)."""
+        if self.proof is not None and not self._refutation_logged:
+            self._refutation_logged = True
+            self.proof.add(())
 
     def _add_clause(self, clause: List[int]) -> None:
         seen: set = set()
@@ -294,10 +313,12 @@ class Solver:
             simplified.append(lit)
         if not simplified:
             self.ok = False
+            self._log_refutation()
             return
         if len(simplified) == 1:
             if not self._enqueue(simplified[0], None) or self._propagate() is not None:
                 self.ok = False
+                self._log_refutation()
             return
         self._attach(Clause(simplified))
 
@@ -338,6 +359,8 @@ class Solver:
             ):
                 self._detach(clause)
                 removed += 1
+                if self.proof is not None:
+                    self.proof.delete(list(clause))
             else:
                 kept.append(clause)
         self.learnts = kept
@@ -537,13 +560,19 @@ class Solver:
                 conflicts_since_restart += 1
                 if self._decision_level() == 0:
                     self.ok = False
+                    self._log_refutation()
                     return False
                 learnt, back_level = self._analyze(conflict)
                 self._cancel_until(back_level)
                 self.stats.learned += 1
+                if self.proof is not None:
+                    # copy: the clause list is mutated in place by watch
+                    # maintenance after attachment
+                    self.proof.add(list(learnt))
                 if len(learnt) == 1:
                     if not self._enqueue(learnt[0], None):
                         self.ok = False
+                        self._log_refutation()
                         return False
                 else:
                     lbd = len({self.level[abs(q)] for q in learnt})
@@ -597,6 +626,8 @@ def enumerate_models(
     limit: Optional[int] = None,
     incremental: bool = True,
     stats_out: Optional[List[SolverStats]] = None,
+    proof=None,
+    blocking_out: Optional[List[List[int]]] = None,
 ) -> Iterator[Dict[int, bool]]:
     """Yield models, blocking each found (projected) assignment.
 
@@ -615,12 +646,23 @@ def enumerate_models(
 
     ``stats_out``, if given, receives one per-solve :class:`SolverStats`
     delta per yielded model (useful to observe learned-clause reuse).
+
+    ``blocking_out``, if given, receives every blocking clause pushed into
+    the solver, in push order — the certificate layer matches them against
+    the yielded models.  ``proof`` attaches a DRAT logger to the solver
+    (incremental mode only: a rebuilt-per-model solver has no single trace),
+    so an exhausted enumeration leaves a checkable completeness refutation.
     """
     proj = sorted(set(projection)) if projection is not None else None
     if not incremental:
-        yield from _enumerate_rebuild(cnf, proj, limit, stats_out)
+        if proof is not None:
+            raise ValueError(
+                "proof logging requires incremental enumeration (the "
+                "rebuild baseline has no single solver to trace)"
+            )
+        yield from _enumerate_rebuild(cnf, proj, limit, stats_out, blocking_out)
         return
-    solver = Solver(cnf)
+    solver = Solver(cnf, proof=proof)
     count = 0
     while limit is None or count < limit:
         before = solver.stats.copy()
@@ -633,7 +675,11 @@ def enumerate_models(
         count += 1
         block_vars = proj if proj is not None else sorted(model)
         block = [-(var) if model.get(var, False) else var for var in block_vars]
-        if not block or not solver.add_clause(block):
+        if not block:
+            return
+        if blocking_out is not None:
+            blocking_out.append(list(block))
+        if not solver.add_clause(block):
             return
 
 
@@ -642,6 +688,7 @@ def _enumerate_rebuild(
     proj: Optional[List[int]],
     limit: Optional[int],
     stats_out: Optional[List[SolverStats]],
+    blocking_out: Optional[List[List[int]]] = None,
 ) -> Iterator[Dict[int, bool]]:
     """Per-model solver rebuild: the pre-incremental enumeration baseline."""
     working = cnf.copy()
@@ -659,4 +706,6 @@ def _enumerate_rebuild(
         block = [-(var) if model.get(var, False) else var for var in block_vars]
         if not block:
             return
+        if blocking_out is not None:
+            blocking_out.append(list(block))
         working.add_clause(block)

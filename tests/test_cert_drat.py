@@ -1,0 +1,209 @@
+"""Solver-side DRAT logging: traces, deletions, enumeration extensions."""
+
+import io
+
+import pytest
+
+from repro.cert.checker import CheckFailure, check_unsat_proof
+from repro.cert.drat import (
+    ADD,
+    DELETE,
+    EXTEND,
+    DratLogger,
+    read_drat,
+    trace_digest,
+    write_drat,
+)
+from repro.kodkod import Bounds, Universe, instances
+from repro.lang import ast
+from repro.sat import Cnf, Solver, enumerate_models
+
+from tests.test_cert_checker import php_cnf
+
+
+class TestDratText:
+    def test_round_trip(self):
+        steps = [(ADD, (1, -2)), (DELETE, (3,)), (EXTEND, (-4, 5)), (ADD, ())]
+        buffer = io.StringIO()
+        write_drat(steps, buffer)
+        buffer.seek(0)
+        assert read_drat(buffer) == steps
+
+    def test_read_tolerates_blanks_and_comments(self):
+        text = "c proof\n\n1 -2 0\n\nd 3 0\n"
+        assert read_drat(io.StringIO(text)) == [(ADD, (1, -2)), (DELETE, (3,))]
+
+    def test_read_rejects_unterminated_step(self):
+        with pytest.raises(ValueError, match="not terminated"):
+            read_drat(io.StringIO("1 -2\n"))
+
+    def test_read_rejects_non_integer(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            read_drat(io.StringIO("1 x 0\n"))
+
+    def test_read_rejects_embedded_zero(self):
+        with pytest.raises(ValueError, match="literal 0 inside"):
+            read_drat(io.StringIO("1 0 2 0\n"))
+
+    def test_digest_tracks_content(self):
+        a = [(ADD, (1,)), (ADD, ())]
+        b = [(ADD, (-1,)), (ADD, ())]
+        assert trace_digest(a) != trace_digest(b)
+        assert trace_digest(a) == trace_digest(list(a))
+
+    def test_logger_streams_while_accumulating(self):
+        sink = io.StringIO()
+        logger = DratLogger(stream=sink)
+        logger.add([1, 2])
+        logger.delete([3])
+        logger.extend([4])
+        logger.add([])
+        assert logger.empty_derived
+        assert len(logger) == 4
+        sink.seek(0)
+        assert read_drat(sink) == logger.steps
+
+
+class TestSolverLogging:
+    def test_unsat_trace_ends_with_empty_clause(self):
+        cnf = php_cnf(4, 3)
+        logger = DratLogger()
+        assert Solver(cnf, proof=logger).solve() is False
+        assert logger.empty_derived
+        check_unsat_proof(cnf.num_vars, cnf.clauses, logger.steps)
+
+    def test_sat_solve_logs_no_refutation(self):
+        cnf = Cnf()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([a, b])
+        logger = DratLogger()
+        assert Solver(cnf, proof=logger).solve() is True
+        assert not logger.empty_derived
+
+    def test_incremental_add_clause_logged_as_extension(self):
+        cnf = Cnf()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([a, b])
+        logger = DratLogger()
+        solver = Solver(cnf, proof=logger)
+        assert solver.solve() is True
+        solver.add_clause([-a])
+        solver.add_clause([-b])
+        assert solver.solve() is False
+        extensions = [lits for kind, lits in logger.steps if kind == EXTEND]
+        assert ((-a,) in extensions) and ((-b,) in extensions)
+        # The final UNSAT verifies against original CNF + extensions.
+        check_unsat_proof(cnf.num_vars, cnf.clauses, logger.steps)
+
+    def test_reduce_db_deletions_are_logged_and_trace_still_checks(self):
+        cnf = php_cnf(5, 4)
+        logger = DratLogger()
+        solver = Solver(cnf, proof=logger)
+        solver.max_learnts = 8  # force database reductions on a small solve
+        assert solver.solve() is False
+        assert solver.stats.deleted > 0
+        deletions = [lits for kind, lits in logger.steps if kind == DELETE]
+        assert len(deletions) == solver.stats.deleted
+        check_unsat_proof(cnf.num_vars, cnf.clauses, logger.steps)
+
+    def test_root_conflict_on_add_clause_logged(self):
+        cnf = Cnf()
+        a = cnf.new_var()
+        cnf.add_clause([a])
+        logger = DratLogger()
+        solver = Solver(cnf, proof=logger)
+        assert solver.solve() is True
+        solver.add_clause([-a])
+        assert logger.empty_derived
+        check_unsat_proof(cnf.num_vars, cnf.clauses, logger.steps)
+
+
+class TestEnumerationLogging:
+    def _small_cnf(self):
+        cnf = Cnf()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([a, b])
+        return cnf
+
+    def test_blocking_clauses_are_extensions(self):
+        cnf = self._small_cnf()
+        logger = DratLogger()
+        blocking = []
+        models = list(
+            enumerate_models(cnf, proof=logger, blocking_out=blocking)
+        )
+        assert len(models) == 3
+        extensions = [
+            list(lits) for kind, lits in logger.steps if kind == EXTEND
+        ]
+        assert extensions == blocking
+        assert len(blocking) == 3
+        assert logger.empty_derived
+        check_unsat_proof(cnf.num_vars, cnf.clauses, logger.steps)
+
+    def test_proof_requires_incremental_mode(self):
+        cnf = self._small_cnf()
+        with pytest.raises(ValueError, match="incremental"):
+            list(enumerate_models(cnf, incremental=False, proof=DratLogger()))
+
+
+class TestFinderEnumerationRegression:
+    """Incremental and rebuild enumeration must yield identical instances."""
+
+    U = Universe(tuple("abc"))
+
+    def _problems(self):
+        # Small upper bounds keep the full instance sets enumerable fast.
+        r = ast.rel("r")
+        s = ast.rel("s")
+        r_upper = [("a", "b"), ("b", "c"), ("a", "c")]
+        yield ast.SomeF(r), Bounds(self.U).bound("r", 2, upper=r_upper)
+        yield (
+            ast.And(ast.SomeF(r @ r), ast.Irreflexive(r)),
+            Bounds(self.U).bound(
+                "r", 2, upper=[("a", "b"), ("b", "c"), ("b", "a")]
+            ),
+        )
+        yield (
+            ast.And(ast.SomeF(r), ast.SomeF(s)),
+            Bounds(self.U)
+            .bound("r", 2, upper=r_upper)
+            .bound("s", 2, upper=[("c", "a"), ("c", "b")]),
+        )
+
+    @staticmethod
+    def _instance_set(found):
+        return frozenset(
+            frozenset(
+                (name, frozenset(rel.tuples))
+                for name, rel in inst.relations.items()
+            )
+            for inst in found
+        )
+
+    def test_incremental_matches_rebuild_on_seeded_problems(self):
+        for index, (formula, bounds) in enumerate(self._problems()):
+            fast = self._instance_set(
+                instances(formula, bounds, incremental=True)
+            )
+            slow = self._instance_set(
+                instances(formula, bounds, incremental=False)
+            )
+            assert fast == slow, f"problem {index} diverged"
+            assert fast  # seeded problems are all satisfiable
+
+    def test_incremental_enumeration_is_certifiable(self):
+        r = ast.rel("r")
+        bounds = Bounds(self.U).bound("r", 2, upper=[("a", "b"), ("b", "c")])
+        logger = DratLogger()
+        blocking = []
+        found = list(
+            instances(
+                ast.SomeF(r), bounds, proof=logger, blocking_out=blocking
+            )
+        )
+        assert found
+        extensions = [
+            list(lits) for kind, lits in logger.steps if kind == EXTEND
+        ]
+        assert extensions == blocking

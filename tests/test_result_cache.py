@@ -101,3 +101,33 @@ class TestDefaultDir:
     def test_fallback_under_home(self, monkeypatch):
         monkeypatch.delenv("PTXMM_CACHE_DIR", raising=False)
         assert default_cache_dir().name == "ptxmm"
+
+
+class TestSchemaMigration:
+    """Entries written under an older CACHE_SCHEMA_VERSION must be plain
+    misses after a bump — never parse errors, never stale hits."""
+
+    def test_pre_bump_entries_are_misses(self, tmp_path, monkeypatch):
+        test = BY_NAME["CoRR"]
+        cache = ResultCache(tmp_path / "cache")
+        result = run_litmus(test)
+
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA_VERSION", 1)
+        old_key = cache_key(test, "ptx", "enumerative", {})
+        cache.put(old_key, result)
+        assert cache.get(old_key, test) == result
+
+        monkeypatch.undo()
+        new_key = cache_key(test, "ptx", "enumerative", {})
+        assert new_key != old_key
+        assert cache.get(new_key, test) is None  # miss, not an error
+        assert cache.stats.misses == 1
+
+    def test_current_version_is_two(self):
+        assert cache_mod.CACHE_SCHEMA_VERSION == 2
+
+    def test_certify_flag_salts_key_under_any_version(self, monkeypatch):
+        test = BY_NAME["CoRR"]
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA_VERSION", 99)
+        assert cache_key(test, "ptx", "enumerative", {}) != \
+            cache_key(test, "ptx", "enumerative", {}, certify=True)

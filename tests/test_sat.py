@@ -363,3 +363,45 @@ class TestDimacs:
         buffer.seek(0)
         loaded = read_dimacs(buffer)
         assert (solve_cnf(loaded) is None) == (solve_cnf(cnf) is None)
+
+    def test_blank_lines_and_comments_anywhere(self):
+        text = "c header\n\np cnf 2 2\n\n1 -2 0\nc mid\n2 0\n\n"
+        loaded = read_dimacs(io.StringIO(text))
+        assert loaded.clauses == [[1, -2], [2]]
+
+    def test_clause_spanning_lines(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        loaded = read_dimacs(io.StringIO(text))
+        assert loaded.clauses == [[1, 2, 3]]
+
+    def test_multiple_clauses_per_line(self):
+        text = "p cnf 2 2\n1 0 -2 0\n"
+        loaded = read_dimacs(io.StringIO(text))
+        assert loaded.clauses == [[1], [-2]]
+
+    def test_unterminated_final_clause_rejected(self):
+        with pytest.raises(ValueError, match="missing its terminating 0"):
+            read_dimacs(io.StringIO("p cnf 2 1\n1 -2\n"))
+
+    def test_non_integer_token_rejected(self):
+        with pytest.raises(ValueError, match="non-integer token"):
+            read_dimacs(io.StringIO("p cnf 2 1\n1 x 0\n"))
+
+    def test_duplicate_problem_line_rejected(self):
+        with pytest.raises(ValueError, match="duplicate problem line"):
+            read_dimacs(io.StringIO("p cnf 1 1\np cnf 1 1\n1 0\n"))
+
+    def test_problem_line_with_bad_counts_rejected(self):
+        with pytest.raises(ValueError, match="malformed problem line"):
+            read_dimacs(io.StringIO("p cnf two 1\n1 0\n"))
+
+    def test_write_dimacs_clauses_bare_pair(self):
+        from repro.sat import write_dimacs_clauses
+
+        buffer = io.StringIO()
+        write_dimacs_clauses(3, [[1, -2], [3]], buffer, comment="companion")
+        text = buffer.getvalue()
+        assert "c companion\n" in text
+        assert "p cnf 3 2\n" in text
+        buffer.seek(0)
+        assert read_dimacs(buffer).clauses == [[1, -2], [3]]

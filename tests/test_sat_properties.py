@@ -110,3 +110,24 @@ def test_gates_preserve_satisfiability(problem):
     clause_lits = [cnf.gate_or(clause) for clause in clauses]
     cnf.add_clause([cnf.gate_and(clause_lits)])
     assert (solve_cnf(cnf) is not None) == brute_force_sat(num_vars, clauses)
+
+
+@given(cnf_problems())
+@settings(max_examples=150, deadline=None)
+def test_dimacs_write_read_round_trip(problem):
+    """write_dimacs → read_dimacs is the identity on vars and clauses."""
+    import io
+
+    from repro.sat import read_dimacs, write_dimacs
+
+    num_vars, clauses = problem
+    cnf = Cnf()
+    cnf.new_vars(num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    buffer = io.StringIO()
+    write_dimacs(cnf, buffer, comment="round trip")
+    buffer.seek(0)
+    loaded = read_dimacs(buffer)
+    assert loaded.num_vars == cnf.num_vars
+    assert loaded.clauses == cnf.clauses
