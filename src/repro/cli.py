@@ -6,7 +6,8 @@ Subcommands:
 * ``run``     — run a litmus test from a file (see repro.litmus.parser);
 * ``mapping`` — bounded empirical check of the scoped C++ → PTX mapping;
 * ``proofs``  — replay the kernel lemma library and §6.2 theorems;
-* ``isa2``    — demonstrate the Figure 12 buggy-mapping counterexample.
+* ``isa2``    — demonstrate the Figure 12 buggy-mapping counterexample;
+* ``fuzz``    — differential conformance fuzzing of the decision engines.
 """
 
 from __future__ import annotations
@@ -214,6 +215,86 @@ def _cmd_isa2(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import FuzzBudget, recheck_artifact, run_fuzz
+
+    if args.recheck is not None:
+        verdict, reshrunk = recheck_artifact(
+            args.recheck, perturb=args.perturb, timeout=args.timeout
+        )
+        if verdict.clean:
+            print(f"{args.recheck}: no discrepancy (engines agree)")
+            if verdict.undecided:
+                print(f"  undecided checks: {', '.join(verdict.undecided)}")
+            return 0
+        for d in verdict.discrepancies:
+            print(f"{args.recheck}: {d.kind} still reproduces")
+            print(f"  {d.left_label} vs {d.right_label}: {d.detail}")
+        if reshrunk is not None and reshrunk.steps:
+            print(f"  re-shrunk in {reshrunk.steps} step(s):")
+            from .litmus.serialize import test_to_litmus
+
+            print("    " + test_to_litmus(reshrunk.test).replace("\n", "\n    "))
+        return 1
+
+    try:
+        budget = FuzzBudget.parse(args.budget)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(stats):
+        if args.stats:
+            print(f"  ... {stats.format()}", file=sys.stderr)
+
+    print(
+        f"fuzzing: seed={args.seed} budget={budget} jobs={args.jobs}"
+        + (f" perturb={args.perturb}" if args.perturb else "")
+    )
+    try:
+        report = run_fuzz(
+            seed=args.seed,
+            budget=budget,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            perturb=args.perturb,
+            artifact_dir=args.artifact_dir,
+            max_found=args.max_found,
+            progress=progress,
+        )
+    except ValueError as exc:  # e.g. unknown --perturb axiom
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{report.stats.format()} elapsed={report.elapsed:.1f}s")
+    if report.ok:
+        print("no discrepancies: all engines agree on every generated test")
+        return 0
+    for found in report.found:
+        d = found.discrepancy
+        print()
+        print(
+            f"DISCREPANCY {d.kind} on case {found.case.index} "
+            f"(cycle {found.case.cycle})"
+        )
+        print(f"  {d.left_label} vs {d.right_label}: {d.detail}")
+        print(
+            f"  shrunk in {found.shrunk.steps} step(s) "
+            f"({found.shrunk.attempts} candidate(s) tried)"
+        )
+        if found.artifact_dir is not None:
+            print(f"  artifact: {found.artifact_dir}")
+        else:
+            from .litmus.serialize import test_to_litmus
+
+            print("  " + test_to_litmus(found.shrunk.test).replace("\n", "\n  "))
+    print()
+    print(
+        f"{len(report.found)} discrepancy(ies); reproduce with "
+        f"--seed {report.seed}"
+    )
+    return 1
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from .core import Scope
     from .litmus import classify, generate
@@ -338,7 +419,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_suite = sub.add_parser("suite", help="run the standard litmus suite")
     p_suite.add_argument(
-        "--models", nargs="+", default=["ptx"], choices=["ptx", "tso", "sc"]
+        "--models", nargs="+", default=["ptx"],
+        choices=["ptx", "tso", "sc", "sc-op", "tso-op"],
     )
     p_suite.add_argument(
         "--stats", action="store_true",
@@ -351,7 +433,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run = sub.add_parser("run", help="run a litmus test from a file")
     p_run.add_argument("file")
     p_run.add_argument(
-        "--model", default="ptx", choices=["ptx", "ptx-legacy", "tso", "sc"]
+        "--model", default="ptx",
+        choices=["ptx", "ptx-legacy", "tso", "sc", "sc-op", "tso-op"],
     )
     p_run.add_argument("--outcomes", action="store_true")
     p_run.add_argument(
@@ -359,9 +442,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="report the axioms rejecting the condition (PTX model only)",
     )
     p_run.add_argument(
-        "--engine", default="enumerative", choices=["enumerative", "symbolic"],
-        help="decision engine: explicit execution enumeration, or one "
-             "bounded SAT query (PTX model only)",
+        "--engine", default="enumerative",
+        choices=["enumerative", "symbolic", "symbolic-enum"],
+        help="decision engine: explicit execution enumeration, one bounded "
+             "SAT query, or SAT-based instance enumeration producing the "
+             "full outcome set (the symbolic engines are PTX-model only)",
     )
     p_run.add_argument(
         "--stats", action="store_true",
@@ -406,6 +491,55 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=["ptx", "tso", "sc"],
     )
     p_gen.set_defaults(func=_cmd_generate)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generate tests, cross-check all engines",
+    )
+    p_fuzz.add_argument(
+        "--budget", default="200", metavar="N|Ns|Nm|Nh",
+        help="how long to fuzz: a case count ('200') or wall clock "
+             "('60s', '5m', '1h'); default 200 cases",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed; the same seed and budget replay the identical "
+             "case stream (default 0)",
+    )
+    p_fuzz.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for engine runs (0 = one per CPU core; "
+             "default 1 = in-process)",
+    )
+    p_fuzz.add_argument(
+        "--timeout", type=float, default=20.0, metavar="SECONDS",
+        help="per-engine-run budget; over-budget runs make their checks "
+             "undecided, never a discrepancy (default 20)",
+    )
+    p_fuzz.add_argument(
+        "--perturb", default=None, metavar="AXIOM",
+        help="deliberately skip one PTX axiom on the enumerative side "
+             "(negative control: the run must find discrepancies)",
+    )
+    p_fuzz.add_argument(
+        "--artifact-dir", default=None, metavar="DIR",
+        help="write case-<index>-<kind>/ artifacts (shrunk repro.litmus, "
+             "original.litmus, report.json) for every discrepancy",
+    )
+    p_fuzz.add_argument(
+        "--max-found", type=int, default=10,
+        help="stop after shrinking this many discrepancies (default 10)",
+    )
+    p_fuzz.add_argument(
+        "--recheck", default=None, metavar="LITMUS_FILE",
+        help="instead of fuzzing, replay one artifact litmus file through "
+             "the oracle (exit 1 if the discrepancy still reproduces)",
+    )
+    p_fuzz.add_argument(
+        "--stats", action="store_true",
+        help="print running counters to stderr after every batch",
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_exp = sub.add_parser(
         "export", help="emit a model as Alloy or Coq text (Figures 13/16)"

@@ -18,7 +18,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Iterable, Iterator, Optional, Tuple
 
 
 class Scope(enum.Enum):
@@ -146,6 +146,31 @@ def mutually_inclusive(
     """
     return scope_includes(thread_a, level_a, thread_b) and scope_includes(
         thread_b, level_b, thread_a
+    )
+
+
+def covering_shape(tids: "Iterable[ThreadId]") -> "SystemShape":
+    """The smallest shape (no smaller than the default) covering ``tids``.
+
+    Litmus text carries placements but no topology line, so the parser —
+    and anything else reconstructing a program from placements alone —
+    needs a canonical shape.  Growing the *default* shape keeps programs
+    whose threads already fit it bit-identical to ones built with
+    ``SystemShape()``, so text round-trips compare equal.
+    """
+    shape = SystemShape()
+    gpus, ctas = shape.gpus, shape.ctas_per_gpu
+    threads, hosts = shape.threads_per_cta, shape.host_threads
+    for tid in tids:
+        if tid.is_host:
+            hosts = max(hosts, tid.thread + 1)
+        else:
+            gpus = max(gpus, tid.gpu + 1)
+            ctas = max(ctas, tid.cta + 1)
+            threads = max(threads, tid.thread + 1)
+    return SystemShape(
+        gpus=gpus, ctas_per_gpu=ctas,
+        threads_per_cta=threads, host_threads=hosts,
     )
 
 

@@ -1,0 +1,57 @@
+"""Differential conformance fuzzing of the litmus decision engines.
+
+The repository carries four independent deciders for the same question —
+the explicit enumeration search, the symbolic kodkod+SAT engine, the
+operational SC/TSO machines, and DRAT-certified verdicts.  This package
+cross-checks them against each other over *generated* programs, the way
+weak-memory tooling is validated in practice:
+
+* :mod:`.gen` — seed-reproducible program generation: critical cycles
+  from :mod:`repro.litmus.generator` with randomized annotation, scope,
+  placement, value, and fence perturbations;
+* :mod:`.oracle` — the cross-engine oracle: each generated test runs
+  through several engine configurations and the *full outcome sets* are
+  compared (two engines can agree on a verdict while disagreeing on the
+  outcomes);
+* :mod:`.shrink` — a greedy discrepancy minimizer: drop threads and
+  instructions, weaken conditions and annotations, canonicalize values,
+  keeping every step that still reproduces the discrepancy;
+* :mod:`.harness` — the ``ptxmm fuzz`` engine: budgets (count or
+  wall-clock), parallel execution through the session machinery, and
+  artifact emission (shrunk repro as parseable litmus text plus a JSON
+  report) on every discrepancy.
+"""
+
+from .gen import DEFAULT_VOCABULARY, FuzzCase, cycle_pool, generate_case
+from .harness import FuzzBudget, FuzzReport, FuzzStats, recheck_artifact, run_fuzz
+from .oracle import (
+    Check,
+    CaseVerdict,
+    Discrepancy,
+    EngineSpec,
+    Oracle,
+    check_test,
+    default_checks,
+)
+from .shrink import ShrinkResult, shrink
+
+__all__ = [
+    "DEFAULT_VOCABULARY",
+    "FuzzCase",
+    "cycle_pool",
+    "generate_case",
+    "FuzzBudget",
+    "FuzzReport",
+    "FuzzStats",
+    "recheck_artifact",
+    "run_fuzz",
+    "Check",
+    "CaseVerdict",
+    "Discrepancy",
+    "EngineSpec",
+    "Oracle",
+    "check_test",
+    "default_checks",
+    "ShrinkResult",
+    "shrink",
+]

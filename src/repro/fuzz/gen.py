@@ -1,0 +1,183 @@
+"""Seed-reproducible generation of perturbed litmus tests.
+
+Each fuzz case is a pure function of ``(seed, index)``: the case derives
+its own child RNG from both, so any case can be regenerated in isolation
+— parallel runs, partial runs, and replays of a single index all see the
+identical test.  That property is what makes ``ptxmm fuzz --seed N``
+bit-reproducible and what lets a CI artifact name a case by seed+index
+alone.
+
+Generation starts from a critical cycle (the diy-style synthesis in
+:mod:`repro.litmus.generator`) and perturbs every knob the generator
+exposes: per-slot semantics/scope annotations, thread placements
+(same-CTA, per-CTA, cross-GPU, or mixed coordinates), per-location value
+sequences, and randomized fence insertion on program-order edges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Sequence, Tuple
+
+from ..core.scopes import Scope, ThreadId, device_thread
+from ..litmus.generator import (
+    EDGE_NAMES,
+    _LOC_NAMES,
+    CycleError,
+    GeneratedTest,
+    _walk,
+    edge,
+    enumerate_cycles,
+    generate,
+)
+from ..litmus.test import LitmusTest
+from ..ptx.events import Sem
+
+#: Edge vocabulary for fuzzed cycles: the generator's full diy alphabet
+#: — external and internal communication edges plus all program-order
+#: edges.  Internal edges matter here: they exercise the coherence
+#: axioms, exactly where the symbolic encoding's co handling is
+#: subtlest.
+DEFAULT_VOCABULARY: Tuple[str, ...] = EDGE_NAMES
+
+#: Valid (sem, scope) annotations per access kind.  ``weak`` carries no
+#: scope; every other semantic takes one of the three scope levels.
+_SCOPES = (Scope.CTA, Scope.GPU, Scope.SYS)
+_READ_ANNOTATIONS: Tuple[Tuple[Sem, Optional[Scope]], ...] = (
+    (Sem.WEAK, None),
+) + tuple((sem, scope) for sem in (Sem.RELAXED, Sem.ACQUIRE) for scope in _SCOPES)
+_WRITE_ANNOTATIONS: Tuple[Tuple[Sem, Optional[Scope]], ...] = (
+    (Sem.WEAK, None),
+) + tuple((sem, scope) for sem in (Sem.RELAXED, Sem.RELEASE) for scope in _SCOPES)
+_FENCE_ANNOTATIONS: Tuple[Tuple[Sem, Scope], ...] = tuple(
+    (sem, scope)
+    for sem in (Sem.ACQUIRE, Sem.RELEASE, Sem.ACQ_REL, Sem.SC)
+    for scope in _SCOPES
+)
+
+#: Cycle lengths and their sampling weights: longer cycles exercise more
+#: annotation combinations but cost more per decision, so mid lengths
+#: dominate.
+_LENGTHS = (2, 3, 3, 3, 4, 4)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated test, addressable by ``(seed, index)`` alone."""
+
+    seed: int
+    index: int
+    test: LitmusTest
+    cycle: str
+
+    @property
+    def name(self) -> str:
+        return self.test.name
+
+
+@lru_cache(maxsize=None)
+def cycle_pool(
+    length: int, vocabulary: Tuple[str, ...] = DEFAULT_VOCABULARY
+) -> Tuple[Tuple[str, ...], ...]:
+    """All generable cycles of ``length`` over ``vocabulary`` (cached).
+
+    ``enumerate_cycles`` yields every *closing* cycle; a few of those
+    still violate the generator's one-co-chain discipline (two ``Ws``
+    edges on one location, three writes to one location), so the pool
+    keeps only cycles that actually synthesize.  Returned as name tuples
+    in enumeration order, so indexing into the pool with a seeded RNG is
+    deterministic across runs and processes.
+    """
+    pool = []
+    for cycle in enumerate_cycles(length, vocabulary):
+        names = tuple(edge.name for edge in cycle)
+        try:
+            generate("+".join(names))
+        except CycleError:
+            continue
+        pool.append(names)
+    return tuple(pool)
+
+
+def _placements(rng: random.Random, num_threads: int) -> Optional[Sequence[ThreadId]]:
+    """Pick a thread layout: the scope tree position of every thread.
+
+    Layouts bias toward the interesting boundaries: same-CTA placements
+    make ``.cta`` scopes sufficient, cross-GPU placements make ``.gpu``
+    scopes insufficient, and mixed placements produce asymmetric moral
+    strength between different thread pairs of one test.
+    """
+    layout = rng.choice(("cta", "gpu", "sys", "mixed"))
+    if layout == "gpu":
+        return None  # the generator's default: one CTA per thread
+    if layout == "cta":
+        return tuple(device_thread(0, 0, t) for t in range(num_threads))
+    if layout == "sys":
+        return tuple(device_thread(t, 0, 0) for t in range(num_threads))
+    grid = [
+        device_thread(gpu, cta, thread)
+        for gpu in range(2)
+        for cta in range(2)
+        for thread in range(2)
+    ]
+    return tuple(rng.sample(grid, num_threads))
+
+
+def _loc_values(
+    rng: random.Random, slots
+) -> Optional[dict]:
+    """Occasionally replace the default 1, 2 values with random ones."""
+    if rng.random() >= 0.25:
+        return None
+    writes_per_loc: dict = {}
+    for slot in slots:
+        if slot.kind == "W":
+            writes_per_loc[slot.loc] = writes_per_loc.get(slot.loc, 0) + 1
+    return {
+        _LOC_NAMES[loc]: tuple(rng.sample(range(1, 10), count))
+        for loc, count in sorted(writes_per_loc.items())
+    }
+
+
+def generate_case(seed: int, index: int) -> FuzzCase:
+    """The ``index``-th test of the fuzz stream for ``seed`` (pure).
+
+    Seeding the child RNG with the string ``"seed:index"`` keeps every
+    case independent of every other: batching, parallelism, and budget
+    shape cannot change what any given index generates.
+    """
+    rng = random.Random(f"{seed}:{index}")
+    length = rng.choice(_LENGTHS)
+    pool = cycle_pool(length)
+    cycle_names = pool[rng.randrange(len(pool))]
+    spec = "+".join(cycle_names)
+    slots = _walk(tuple(edge(name) for name in cycle_names))
+
+    annotations = {}
+    for slot in slots:
+        choices = _READ_ANNOTATIONS if slot.kind == "R" else _WRITE_ANNOTATIONS
+        annotations[slot.index] = rng.choice(choices)
+
+    fences = {}
+    if rng.random() < 0.35:
+        # fence some po edges: decided per (thread, slot) pair lazily so
+        # the callable stays deterministic for the generator's traversal
+        for slot in slots:
+            if rng.random() < 0.5:
+                fences[(slot.thread, slot.index)] = rng.choice(_FENCE_ANNOTATIONS)
+
+    def fence_po(thread: int, slot_index: int):
+        return fences.get((thread, slot_index))
+
+    num_threads = max(s.thread for s in slots) + 1
+    generated: GeneratedTest = generate(
+        spec,
+        name=f"fuzz_{seed}_{index}",
+        annotations=annotations,
+        placements=_placements(rng, num_threads),
+        loc_values=_loc_values(rng, slots),
+        fence_po=fence_po,
+    )
+    return FuzzCase(seed=seed, index=index, test=generated.test, cycle=spec)

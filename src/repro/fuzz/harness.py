@@ -1,0 +1,299 @@
+"""The fuzzing engine behind ``ptxmm fuzz``.
+
+Drives the generate → oracle → shrink pipeline under a budget (a case
+count or a wall-clock limit), batching engine work through one
+:class:`~repro.litmus.session.Session` so ``--jobs`` parallelism and
+failure isolation come from the existing machinery.
+
+Reproducibility contract: with a count budget, a run is a pure function
+of ``(seed, budget, checks)`` — the generated tests, the per-check
+counters, and any discrepancies found are identical across runs, job
+counts, and machines.  Wall-clock budgets necessarily vary in how *far*
+they get, but the case stream itself is still the same, so any case a
+timed run found can be replayed by index.
+
+On a discrepancy the harness shrinks the failing test (re-checking
+candidates in-process against the same check battery) and, given an
+artifact directory, writes ``case-<index>-<kind>/`` containing the
+shrunk ``repro.litmus`` (parseable, with the seed in a comment header),
+the unshrunk ``original.litmus``, and a machine-readable ``report.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..litmus.config import RunConfig
+from ..litmus.parser import parse_litmus
+from ..litmus.serialize import test_to_dict, test_to_litmus
+from ..litmus.session import Session
+from ..litmus.test import LitmusTest
+from .gen import FuzzCase, generate_case
+from .oracle import CaseVerdict, Check, Discrepancy, Oracle, default_checks
+from .shrink import ShrinkResult, shrink
+
+_BUDGET_RE = re.compile(r"^(\d+)\s*(s|m|h)?$")
+
+
+@dataclass(frozen=True)
+class FuzzBudget:
+    """How long to fuzz: a case count or a wall-clock limit."""
+
+    count: Optional[int] = None
+    seconds: Optional[float] = None
+
+    def __post_init__(self):
+        if (self.count is None) == (self.seconds is None):
+            raise ValueError("budget needs exactly one of count/seconds")
+        if self.count is not None and self.count <= 0:
+            raise ValueError("budget count must be positive")
+        if self.seconds is not None and self.seconds <= 0:
+            raise ValueError("budget seconds must be positive")
+
+    @classmethod
+    def parse(cls, text: str) -> "FuzzBudget":
+        """``"200"`` = 200 cases; ``"60s"``/``"5m"``/``"1h"`` = wall clock."""
+        match = _BUDGET_RE.match(text.strip())
+        if not match:
+            raise ValueError(
+                f"bad budget {text!r}: use a count ('200') or a duration "
+                "('60s', '5m', '1h')"
+            )
+        amount, unit = int(match.group(1)), match.group(2)
+        if unit is None:
+            return cls(count=amount)
+        return cls(seconds=amount * {"s": 1, "m": 60, "h": 3600}[unit])
+
+    def __str__(self) -> str:
+        if self.count is not None:
+            return str(self.count)
+        return f"{int(self.seconds)}s"
+
+
+@dataclass
+class FuzzStats:
+    """Deterministic counters for one fuzz run (time kept separate)."""
+
+    generated: int = 0
+    #: (test, check) pairs that ran to a comparison
+    checks_run: int = 0
+    #: (test, check) pairs skipped for engine timeout/error
+    undecided: int = 0
+    discrepancies: int = 0
+    #: per-check-kind agree counts
+    by_check: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, verdict: CaseVerdict) -> None:
+        self.generated += 1
+        self.checks_run += len(verdict.agreed) + len(verdict.discrepancies)
+        self.undecided += len(verdict.undecided)
+        self.discrepancies += len(verdict.discrepancies)
+        for kind in verdict.agreed:
+            self.by_check[kind] = self.by_check.get(kind, 0) + 1
+
+    def format(self) -> str:
+        per_check = " ".join(
+            f"{kind}={count}" for kind, count in sorted(self.by_check.items())
+        )
+        return (
+            f"generated={self.generated} checks={self.checks_run} "
+            f"undecided={self.undecided} discrepancies={self.discrepancies}"
+            + (f" [{per_check}]" if per_check else "")
+        )
+
+
+@dataclass(frozen=True)
+class FoundDiscrepancy:
+    """One discrepancy plus its minimized repro and artifact location."""
+
+    case: FuzzCase
+    discrepancy: Discrepancy
+    shrunk: ShrinkResult
+    artifact_dir: Optional[str] = None
+
+
+@dataclass
+class FuzzReport:
+    """Everything one fuzz run produced."""
+
+    seed: int
+    budget: FuzzBudget
+    stats: FuzzStats
+    found: List[FoundDiscrepancy] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.found
+
+
+def _repro_header(case: FuzzCase, discrepancy: Discrepancy) -> str:
+    return (
+        f"// ptxmm fuzz repro — seed {case.seed}, case {case.index}\n"
+        f"// check: {discrepancy.kind} "
+        f"({discrepancy.left_label} vs {discrepancy.right_label})\n"
+        f"// detail: {discrepancy.detail}\n"
+    )
+
+
+def write_artifact(
+    directory: Path,
+    case: FuzzCase,
+    discrepancy: Discrepancy,
+    shrunk: ShrinkResult,
+) -> Path:
+    """Dump one discrepancy: shrunk repro, original test, JSON report."""
+    target = directory / f"case-{case.index:06d}-{discrepancy.kind}"
+    target.mkdir(parents=True, exist_ok=True)
+    header = _repro_header(case, discrepancy)
+    (target / "repro.litmus").write_text(
+        header + test_to_litmus(shrunk.test)
+    )
+    (target / "original.litmus").write_text(
+        header + test_to_litmus(case.test)
+    )
+    (target / "report.json").write_text(
+        json.dumps(
+            {
+                "seed": case.seed,
+                "index": case.index,
+                "cycle": case.cycle,
+                "kind": discrepancy.kind,
+                "left": discrepancy.left_label,
+                "right": discrepancy.right_label,
+                "detail": discrepancy.detail,
+                "shrink_steps": shrunk.steps,
+                "shrink_attempts": shrunk.attempts,
+                "original_test": test_to_dict(case.test),
+                "shrunk_test": test_to_dict(shrunk.test),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    return target
+
+
+def _shrink_predicate(
+    oracle: Oracle, kind: str
+) -> Callable[[LitmusTest], bool]:
+    """Does a candidate still exhibit a discrepancy of the same kind?"""
+
+    def still_fails(candidate: LitmusTest) -> bool:
+        verdict = oracle.evaluate_one(candidate)
+        return any(d.kind == kind for d in verdict.discrepancies)
+
+    return still_fails
+
+
+def run_fuzz(
+    seed: int,
+    budget: FuzzBudget,
+    jobs: int = 1,
+    timeout: Optional[float] = 20.0,
+    perturb: Optional[str] = None,
+    checks: Optional[Sequence[Check]] = None,
+    artifact_dir: Optional[str] = None,
+    shrink_attempts: int = 2000,
+    max_found: int = 10,
+    progress: Optional[Callable[[FuzzStats], None]] = None,
+) -> FuzzReport:
+    """Fuzz the engines; see the module docstring for the contract.
+
+    ``perturb`` deliberately breaks the enumerative PTX engine by
+    skipping the named axiom — the self-test mode proving the pipeline
+    detects and shrinks real disagreements.  ``max_found`` stops a run
+    early once that many discrepancies were minimized: a systematically
+    broken engine would otherwise turn the whole budget into slow
+    shrinking work.
+    """
+    oracle = Oracle(
+        checks if checks is not None else default_checks(perturb),
+        base_config=RunConfig(timeout=timeout),
+    )
+    stats = FuzzStats()
+    report = FuzzReport(seed=seed, budget=budget, stats=stats)
+    started = time.perf_counter()
+    session_config = RunConfig(jobs=jobs, timeout=timeout)
+    directory = Path(artifact_dir) if artifact_dir is not None else None
+    index = 0
+    with Session(session_config) as session:
+        batch_size = max(2 * session.jobs, 8)
+        while True:
+            if budget.count is not None:
+                remaining = budget.count - stats.generated
+                if remaining <= 0:
+                    break
+                batch = min(batch_size, remaining)
+            else:
+                if time.perf_counter() - started >= budget.seconds:
+                    break
+                batch = batch_size
+            cases = [generate_case(seed, i) for i in range(index, index + batch)]
+            index += batch
+            verdicts = oracle.evaluate([case.test for case in cases], session)
+            for case, verdict in zip(cases, verdicts):
+                stats.record(verdict)
+                for discrepancy in verdict.discrepancies:
+                    if len(report.found) >= max_found:
+                        continue
+                    shrunk = shrink(
+                        case.test,
+                        _shrink_predicate(oracle, discrepancy.kind),
+                        max_attempts=shrink_attempts,
+                    )
+                    location = None
+                    if directory is not None:
+                        location = str(
+                            write_artifact(directory, case, discrepancy, shrunk)
+                        )
+                    report.found.append(
+                        FoundDiscrepancy(
+                            case=case,
+                            discrepancy=discrepancy,
+                            shrunk=shrunk,
+                            artifact_dir=location,
+                        )
+                    )
+            if progress is not None:
+                progress(stats)
+            if len(report.found) >= max_found:
+                break
+    report.elapsed = time.perf_counter() - started
+    return report
+
+
+def recheck_artifact(
+    path: str,
+    perturb: Optional[str] = None,
+    checks: Optional[Sequence[Check]] = None,
+    timeout: Optional[float] = 20.0,
+    shrink_attempts: int = 2000,
+) -> Tuple[CaseVerdict, Optional[ShrinkResult]]:
+    """Replay a CI artifact: parse the litmus file, re-run the oracle,
+    and re-shrink if the discrepancy still reproduces.
+
+    Accepts either of the emitted files (``repro.litmus`` or
+    ``original.litmus``) — or any parseable litmus file.  Returns the
+    oracle's verdict on the parsed test and, when it still finds a
+    discrepancy, a fresh shrink of it (None otherwise).
+    """
+    test = parse_litmus(Path(path).read_text())
+    oracle = Oracle(
+        checks if checks is not None else default_checks(perturb),
+        base_config=RunConfig(timeout=timeout),
+    )
+    verdict = oracle.evaluate_one(test)
+    if verdict.clean:
+        return verdict, None
+    kind = verdict.discrepancies[0].kind
+    shrunk = shrink(
+        test, _shrink_predicate(oracle, kind), max_attempts=shrink_attempts
+    )
+    return verdict, shrunk

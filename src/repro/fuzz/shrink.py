@@ -1,0 +1,423 @@
+"""Greedy minimization of discrepancy-triggering litmus tests.
+
+Given a failing test and a predicate ("does this candidate still exhibit
+the discrepancy?"), the shrinker repeatedly applies the smallest-first
+transformation that keeps the predicate true:
+
+1. drop a whole thread (condition atoms about it are pruned, remaining
+   thread indices renumbered);
+2. drop a single instruction (register atoms about a dropped load go
+   with it; a thread emptied this way is removed);
+3. weaken the condition structurally (replace a conjunction/disjunction
+   by one operand, strip a negation);
+4. canonicalize values (stored values become 1, 2 per location, with the
+   condition remapped to match);
+5. weaken annotations (step one semantic down, narrow one scope).
+
+Every accepted step strictly decreases a well-founded cost, so shrinking
+terminates; the transformation order and tie-breaks are fully
+deterministic, so the same input shrinks to the same repro every time.
+The result is still a valid, parseable test: candidates that would break
+ISA validation or leave an unprintable condition are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..core.scopes import Scope, covering_shape
+from ..litmus.conditions import AndC, Condition, MemEq, NotC, OrC, RegEq
+from ..litmus.test import LitmusTest
+from ..ptx.events import Sem
+from ..ptx.isa import Atom, Instruction, Ld, Red, St
+from ..ptx.program import Program, ThreadCode
+
+#: semantic strength for the cost function and for step-down weakening
+_SEM_RANK = {
+    Sem.WEAK: 0, Sem.RELAXED: 1, Sem.ACQUIRE: 2,
+    Sem.RELEASE: 2, Sem.ACQ_REL: 3, Sem.SC: 4,
+}
+_SEM_WEAKER = {
+    Sem.SC: Sem.ACQ_REL,
+    Sem.ACQ_REL: Sem.RELAXED,
+    Sem.ACQUIRE: Sem.RELAXED,
+    Sem.RELEASE: Sem.RELAXED,
+    Sem.RELAXED: Sem.WEAK,
+}
+_SCOPE_RANK = {None: 0, Scope.CTA: 1, Scope.GPU: 2, Scope.SYS: 3}
+_SCOPE_NARROWER = {Scope.SYS: Scope.GPU, Scope.GPU: Scope.CTA}
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The minimized test plus how much work minimization did."""
+
+    test: LitmusTest
+    #: accepted shrinking steps
+    steps: int
+    #: candidate evaluations (predicate calls)
+    attempts: int
+
+
+# ----------------------------------------------------------------------
+# condition surgery
+# ----------------------------------------------------------------------
+
+def condition_atoms(cond: Condition) -> List[Condition]:
+    """The RegEq/MemEq leaves of a condition, left to right."""
+    if isinstance(cond, (AndC, OrC)):
+        return condition_atoms(cond.left) + condition_atoms(cond.right)
+    if isinstance(cond, NotC):
+        return condition_atoms(cond.inner)
+    return [cond]
+
+
+def condition_size(cond: Condition) -> int:
+    if isinstance(cond, (AndC, OrC)):
+        return 1 + condition_size(cond.left) + condition_size(cond.right)
+    if isinstance(cond, NotC):
+        return 1 + condition_size(cond.inner)
+    return 1
+
+
+def _filter_condition(
+    cond: Condition, keep: Callable[[Condition], bool]
+) -> Optional[Condition]:
+    """The condition with non-``keep`` atoms removed (None = nothing left)."""
+    if isinstance(cond, AndC) or isinstance(cond, OrC):
+        left = _filter_condition(cond.left, keep)
+        right = _filter_condition(cond.right, keep)
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return type(cond)(left, right)
+    if isinstance(cond, NotC):
+        inner = _filter_condition(cond.inner, keep)
+        return None if inner is None else NotC(inner)
+    return cond if keep(cond) else None
+
+
+def _map_condition(
+    cond: Condition, transform: Callable[[Condition], Optional[Condition]]
+) -> Optional[Condition]:
+    """Rebuild with every atom passed through ``transform`` (None poisons:
+    a transform that cannot handle an atom aborts the whole rewrite)."""
+    if isinstance(cond, (AndC, OrC)):
+        left = _map_condition(cond.left, transform)
+        right = _map_condition(cond.right, transform)
+        if left is None or right is None:
+            return None
+        return type(cond)(left, right)
+    if isinstance(cond, NotC):
+        inner = _map_condition(cond.inner, transform)
+        return None if inner is None else NotC(inner)
+    return transform(cond)
+
+
+def _weakened_conditions(cond: Condition) -> Iterator[Condition]:
+    """Every condition obtainable by replacing one internal node with one
+    of its children (or stripping one negation), in deterministic order."""
+    if isinstance(cond, (AndC, OrC)):
+        yield cond.left
+        yield cond.right
+        for weak_left in _weakened_conditions(cond.left):
+            yield type(cond)(weak_left, cond.right)
+        for weak_right in _weakened_conditions(cond.right):
+            yield type(cond)(cond.left, weak_right)
+    elif isinstance(cond, NotC):
+        yield cond.inner
+        for weak_inner in _weakened_conditions(cond.inner):
+            yield NotC(weak_inner)
+
+
+# ----------------------------------------------------------------------
+# the cost order
+# ----------------------------------------------------------------------
+
+def _instructions(program: Program) -> List[Tuple[int, int, Instruction]]:
+    return [
+        (t, i, instr)
+        for t, thread in enumerate(program.threads)
+        for i, instr in enumerate(thread.instructions)
+    ]
+
+
+def _annotation_weight(instr: Instruction) -> int:
+    sem = getattr(instr, "sem", None)
+    scope = getattr(instr, "scope", None)
+    weight = 0
+    if sem is not None:
+        weight += _SEM_RANK[sem]
+    weight += _SCOPE_RANK.get(scope, 0)
+    return weight
+
+
+def cost(test: LitmusTest) -> Tuple[int, int, int, int, int]:
+    """A well-founded measure: every shrink step strictly decreases it."""
+    instructions = _instructions(test.program)
+    value_sum = 0
+    for _, _, instr in instructions:
+        if isinstance(instr, St) and isinstance(instr.src, int):
+            value_sum += abs(instr.src)
+        atoms_like = isinstance(instr, (Atom, Red))
+        if atoms_like:
+            value_sum += sum(
+                abs(op) for op in instr.operands if isinstance(op, int)
+            )
+    for atom in condition_atoms(test.condition):
+        value_sum += abs(atom.value)
+    return (
+        len(instructions),
+        len(test.program.threads),
+        condition_size(test.condition),
+        sum(_annotation_weight(instr) for _, _, instr in instructions),
+        value_sum,
+    )
+
+
+# ----------------------------------------------------------------------
+# candidate transformations
+# ----------------------------------------------------------------------
+
+def _rebuild(test: LitmusTest, threads: List[ThreadCode], cond: Condition):
+    """A candidate test over new threads/condition (None if invalid)."""
+    if not threads or all(not t.instructions for t in threads):
+        return None
+    try:
+        program = replace(
+            test.program,
+            threads=tuple(threads),
+            shape=covering_shape(t.tid for t in threads),
+        )
+        return replace(test, program=program, condition=cond)
+    except ValueError:
+        return None
+
+
+def _without_thread(test: LitmusTest, drop: int) -> Optional[LitmusTest]:
+    threads = [t for i, t in enumerate(test.program.threads) if i != drop]
+    if not threads:
+        return None
+    remaining_locs = {
+        loc
+        for thread in threads
+        for instr in thread.instructions
+        for loc in [getattr(instr, "loc", None)]
+        if loc is not None
+    }
+
+    def keep(atom: Condition) -> bool:
+        if isinstance(atom, RegEq):
+            return atom.thread_index != drop
+        if isinstance(atom, MemEq):
+            return atom.loc in remaining_locs
+        return True
+
+    cond = _filter_condition(test.condition, keep)
+    if cond is None:
+        return None
+
+    def renumber(atom: Condition) -> Condition:
+        if isinstance(atom, RegEq) and atom.thread_index > drop:
+            return RegEq(atom.thread_index - 1, atom.reg, atom.value)
+        return atom
+
+    cond = _map_condition(cond, renumber)
+    if cond is None:
+        return None
+    return _rebuild(test, threads, cond)
+
+
+def _without_instruction(
+    test: LitmusTest, thread: int, index: int
+) -> Optional[LitmusTest]:
+    target = test.program.threads[thread]
+    removed = target.instructions[index]
+    instructions = (
+        target.instructions[:index] + target.instructions[index + 1:]
+    )
+    if not instructions:
+        return _without_thread(test, thread)
+    threads = list(test.program.threads)
+    threads[thread] = replace(target, instructions=instructions)
+
+    dropped_regs = set()
+    if isinstance(removed, Ld):
+        dst = removed.dst if isinstance(removed.dst, tuple) else (removed.dst,)
+        dropped_regs.update(dst)
+    elif isinstance(removed, Atom):
+        dropped_regs.add(removed.dst)
+
+    def keep(atom: Condition) -> bool:
+        if isinstance(atom, RegEq) and atom.thread_index == thread:
+            return atom.reg not in dropped_regs
+        return True
+
+    cond = _filter_condition(test.condition, keep)
+    if cond is None:
+        return None
+    return _rebuild(test, threads, cond)
+
+
+def _value_map(program: Program) -> Dict[str, Dict[int, int]]:
+    """Per location: stored value -> canonical 1, 2, ... (program order)."""
+    mapping: Dict[str, Dict[int, int]] = {}
+    for _, _, instr in _instructions(program):
+        if isinstance(instr, St) and isinstance(instr.src, int):
+            per_loc = mapping.setdefault(instr.loc, {})
+            if instr.src not in per_loc:
+                per_loc[instr.src] = len(per_loc) + 1
+    return mapping
+
+
+def _canonical_values(test: LitmusTest) -> Optional[LitmusTest]:
+    mapping = _value_map(test.program)
+    if all(old == new for per in mapping.values() for old, new in per.items()):
+        return None
+
+    threads: List[ThreadCode] = []
+    for thread in test.program.threads:
+        instructions = []
+        for instr in thread.instructions:
+            if isinstance(instr, St) and isinstance(instr.src, int):
+                instr = replace(instr, src=mapping[instr.loc][instr.src])
+            instructions.append(instr)
+        threads.append(replace(thread, instructions=tuple(instructions)))
+
+    # a register's value is tied to a location through the load defining
+    # it; remap condition values through that location's table
+    reg_loc: Dict[Tuple[int, str], str] = {}
+    for t, thread in enumerate(test.program.threads):
+        for instr in thread.instructions:
+            if isinstance(instr, Ld):
+                dst = instr.dst if isinstance(instr.dst, tuple) else (instr.dst,)
+                for name in dst:
+                    reg_loc[(t, name)] = instr.loc
+            elif isinstance(instr, Atom):
+                reg_loc[(t, instr.dst)] = instr.loc
+
+    def remap(atom: Condition) -> Optional[Condition]:
+        if isinstance(atom, MemEq):
+            per_loc = mapping.get(atom.loc, {})
+            if atom.value == 0:
+                return atom
+            if atom.value in per_loc:
+                return MemEq(atom.loc, per_loc[atom.value])
+            return None  # value with no producing write: bail out
+        if isinstance(atom, RegEq):
+            loc = reg_loc.get((atom.thread_index, atom.reg))
+            if loc is None:
+                return None
+            per_loc = mapping.get(loc, {})
+            if atom.value == 0:
+                return atom
+            if atom.value in per_loc:
+                return RegEq(atom.thread_index, atom.reg, per_loc[atom.value])
+            return None
+        return atom
+
+    cond = _map_condition(test.condition, remap)
+    if cond is None:
+        return None
+    return _rebuild(test, threads, cond)
+
+
+def _weakened_instruction(instr: Instruction) -> Iterator[Instruction]:
+    """Strictly weaker variants of one instruction (may be invalid —
+    callers build the program inside try/except)."""
+    if getattr(instr, "volatile", False):
+        return
+    sem = getattr(instr, "sem", None)
+    scope = getattr(instr, "scope", None)
+    if sem in _SEM_WEAKER:
+        weaker = _SEM_WEAKER[sem]
+        try:
+            if weaker is Sem.WEAK:
+                yield replace(instr, sem=weaker, scope=None)
+            else:
+                yield replace(instr, sem=weaker)
+        except ValueError:
+            pass
+    if scope in _SCOPE_NARROWER:
+        try:
+            yield replace(instr, scope=_SCOPE_NARROWER[scope])
+        except ValueError:
+            pass
+
+
+def _candidates(test: LitmusTest) -> Iterator[LitmusTest]:
+    """Every single-step shrink of ``test``, smallest-first."""
+    for drop in range(len(test.program.threads)):
+        candidate = _without_thread(test, drop)
+        if candidate is not None:
+            yield candidate
+    for thread, index, _ in _instructions(test.program):
+        candidate = _without_instruction(test, thread, index)
+        if candidate is not None:
+            yield candidate
+    for cond in _weakened_conditions(test.condition):
+        yield replace(test, condition=cond)
+    candidate = _canonical_values(test)
+    if candidate is not None:
+        yield candidate
+    for thread, index, instr in _instructions(test.program):
+        for weaker in _weakened_instruction(instr):
+            target = test.program.threads[thread]
+            instructions = list(target.instructions)
+            instructions[index] = weaker
+            threads = list(test.program.threads)
+            try:
+                threads[thread] = replace(
+                    target, instructions=tuple(instructions)
+                )
+            except ValueError:
+                continue
+            candidate = _rebuild(test, threads, test.condition)
+            if candidate is not None:
+                yield candidate
+
+
+# ----------------------------------------------------------------------
+# the greedy loop
+# ----------------------------------------------------------------------
+
+def shrink(
+    test: LitmusTest,
+    still_fails: Callable[[LitmusTest], bool],
+    max_attempts: int = 2000,
+) -> ShrinkResult:
+    """Minimize ``test`` while ``still_fails`` holds.
+
+    Greedy first-improvement search: in each pass the candidates are
+    tried in a fixed order and the first strictly-cheaper one that still
+    fails is adopted; the search ends when a whole pass adopts nothing
+    (or after ``max_attempts`` predicate calls).  The input test is
+    assumed failing — callers verify that before shrinking.
+    """
+    current = test
+    current_cost = cost(test)
+    steps = 0
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _candidates(current):
+            candidate_cost = cost(candidate)
+            if candidate_cost >= current_cost:
+                continue
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            try:
+                failing = still_fails(candidate)
+            except Exception:  # noqa: BLE001 — a crashing candidate is no repro
+                continue
+            if failing:
+                current = candidate
+                current_cost = candidate_cost
+                steps += 1
+                improved = True
+                break
+    return ShrinkResult(test=current, steps=steps, attempts=attempts)

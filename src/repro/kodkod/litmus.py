@@ -48,6 +48,34 @@ class UnsupportedCondition(ValueError):
     """The condition cannot be phrased relationally (value-dependent)."""
 
 
+class UnsupportedProgram(ValueError):
+    """The program's outcomes cannot be decoded from relational instances
+    (some write stores a data-dependent value)."""
+
+
+def static_write_values(elab) -> Dict[int, Optional[int]]:
+    """Statically determined stored value per write eid (None = dynamic).
+
+    Plain stores of integer literals are static; so is ``atom.exch`` with
+    a constant operand (the exchange stores its operand regardless of the
+    value read).  Everything else — RMW combines, register-valued stores —
+    depends on the execution and maps to None.
+    """
+    values: Dict[int, Optional[int]] = {}
+    for eid, recipe in elab.write_recipe.items():
+        if recipe.rmw_op is None and isinstance(recipe.operand, int):
+            values[eid] = recipe.operand
+        elif (
+            recipe.rmw_op is AtomOp.EXCH
+            and recipe.rmw_operands
+            and isinstance(recipe.rmw_operands[0], int)
+        ):
+            values[eid] = recipe.rmw_operands[0]
+        else:
+            values[eid] = None
+    return values
+
+
 class _ConditionCompiler:
     """Compiles final-state conditions to relational formulas.
 
@@ -60,24 +88,7 @@ class _ConditionCompiler:
         self.elab = elab
         self.events = events
         self.consts: Dict[str, Relation] = {}
-        self._write_values = self._static_write_values()
-
-    def _static_write_values(self) -> Dict[int, Optional[int]]:
-        values: Dict[int, Optional[int]] = {}
-        for eid, recipe in self.elab.write_recipe.items():
-            if recipe.rmw_op is None and isinstance(recipe.operand, int):
-                values[eid] = recipe.operand
-            elif (
-                recipe.rmw_op is AtomOp.EXCH
-                and recipe.rmw_operands
-                and isinstance(recipe.rmw_operands[0], int)
-            ):
-                # exch stores its operand regardless of the value read, so
-                # a constant-operand exchange is as static as a plain store
-                values[eid] = recipe.rmw_operands[0]
-            else:
-                values[eid] = None
-        return values
+        self._write_values = static_write_values(elab)
 
     def _value_of(self, write: Event) -> Optional[int]:
         if write not in self.elab.events:
@@ -305,3 +316,101 @@ def symbolic_consistent_instances(
         proof=proof,
         blocking_out=blocking_out,
     )
+
+
+def symbolic_outcomes(
+    test: LitmusTest,
+    limit: Optional[int] = None,
+    stats: Optional[List[SolverStats]] = None,
+):
+    """The full allowed-outcome *set* of ``test``, computed symbolically.
+
+    Enumerates every axiom-consistent ``rf``/``co``/``sc`` instance
+    (:func:`symbolic_consistent_instances`) and decodes each to the same
+    :class:`~repro.search.ptx_search.Outcome` the enumerative engine
+    reports — registers from ``rf`` plus static write values, memory from
+    coherence-maximal writes.  This is the cross-engine oracle's strong
+    comparison: two engines can agree on a verdict while disagreeing on
+    the outcome set, and only the set comparison catches that.
+
+    Decoding subtlety: the relational encoding leaves ``co`` free on
+    *non*-morally-strong same-location write pairs, so the SAT solver may
+    order racy writes the enumerative search deliberately leaves
+    unordered.  Observability is therefore computed over the instance's
+    ``co`` restricted to the edges the enumerative engine can produce —
+    morally strong pairs, init-write edges, and causality-forced edges —
+    which maps every spuriously-ordered instance onto the outcome of its
+    minimally-ordered counterpart.
+
+    Raises :class:`UnsupportedProgram` when some write's value is
+    data-dependent (the instance alone cannot determine it).
+    """
+    from ..lang import eval_expr
+    from ..search.ptx_search import Outcome, co_maximal_memory
+
+    program = test.program
+    elab = elaborate(program)
+    init_events = tuple(
+        init_write(eid=len(elab.events) + index, loc=loc)
+        for index, loc in enumerate(program.locations)
+    )
+    events: Tuple[Event, ...] = elab.events + init_events
+    values = static_write_values(elab)
+
+    def value_of(event: Event) -> int:
+        if event in init_events:
+            return 0
+        value = values.get(event.eid)
+        if value is None:
+            raise UnsupportedProgram(
+                f"write {event!r} stores a data-dependent value"
+            )
+        return value
+
+    writes = [e for e in events if e.is_write]
+    for write in writes:
+        value_of(write)  # fail fast, before any SAT work
+
+    static = Execution(
+        events=events,
+        relations={
+            "po": program_order(elab.by_thread),
+            "rmw": elab.rmw,
+            "dep": elab.dep,
+            "syncbarrier": elab.syncbarrier,
+        },
+    )
+    env = build_env(static)
+    ms = env.lookup("morally_strong")
+    init_edges = Relation(
+        (init, w)
+        for init in init_events
+        for w in writes
+        if w.loc == init.loc and w is not init
+    )
+
+    cause_expr = ptx_spec.DERIVED["cause"]
+    outcomes = set()
+    for instance in symbolic_consistent_instances(test, limit=limit, stats=stats):
+        rf, co, sc = instance["rf"], instance["co"], instance["sc"]
+        registers: Dict = {}
+        for write, read in rf:
+            dst = elab.read_dst.get(read.eid)
+            if dst is not None:
+                registers[(read.thread, dst)] = value_of(write)
+        bound = env.bind("rf", rf).bind("sc", sc)
+        cause = eval_expr(cause_expr, bound)
+        observable_co = Relation(
+            (a, b)
+            for a, b in co
+            if (a, b) in ms
+            or (a, b) in init_edges
+            or ((a, b) in cause and a.is_write and b.is_write and a.loc == b.loc)
+        )
+        outcomes.add(
+            Outcome(
+                registers=tuple(sorted(registers.items(), key=repr)),
+                memory=co_maximal_memory(writes, observable_co, value_of),
+            )
+        )
+    return frozenset(outcomes)

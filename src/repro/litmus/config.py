@@ -18,8 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Dict, Mapping, Optional, Tuple
 
-#: Engines the runner knows how to drive.
-ENGINES: Tuple[str, ...] = ("enumerative", "symbolic")
+#: Engines the runner knows how to drive.  ``symbolic`` answers the
+#: litmus condition with one bounded SAT query; ``symbolic-enum``
+#: enumerates every consistent relational instance and decodes the full
+#: outcome set (the differential oracle's strong comparison).
+ENGINES: Tuple[str, ...] = ("enumerative", "symbolic", "symbolic-enum")
 
 
 def _freeze_value(value):

@@ -36,7 +36,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..core.scopes import Scope, device_thread
+from ..core.scopes import Scope, ThreadId, covering_shape, device_thread
 from ..ptx.events import Sem
 from ..ptx.isa import Fence, Instruction, Ld, St
 from ..ptx.program import Program, ThreadCode
@@ -169,6 +169,40 @@ def parse_cycle(spec: str) -> Tuple[Edge, ...]:
     return tuple(edge(name) for name in names)
 
 
+def _write_value(
+    loc_values: Optional[Dict[str, Sequence[int]]],
+    loc_name: str,
+    appearance: int,
+) -> int:
+    """The value the ``appearance``-th write to ``loc_name`` stores.
+
+    Defaults to 1, 2, ...; a ``loc_values`` sequence overrides.  Values
+    must be positive (0 is the init value — a write storing it would make
+    the observing condition ambiguous) and distinct per location (the
+    condition distinguishes the two writes of a Ws chain by value).
+    """
+    if loc_values is None or loc_name not in loc_values:
+        return appearance
+    sequence = loc_values[loc_name]
+    if appearance > len(sequence):
+        raise CycleError(
+            f"loc_values[{loc_name!r}] provides {len(sequence)} value(s) "
+            f"but the cycle writes the location at least {appearance} times"
+        )
+    value = sequence[appearance - 1]
+    if value <= 0:
+        raise CycleError(
+            f"loc_values[{loc_name!r}] must be positive (0 is the init "
+            f"value), got {value}"
+        )
+    if value in sequence[: appearance - 1]:
+        raise CycleError(
+            f"loc_values[{loc_name!r}] repeats {value}; per-location "
+            "values must be distinct"
+        )
+    return value
+
+
 @dataclass(frozen=True)
 class GeneratedTest:
     """A synthesised test plus the cycle it observes."""
@@ -183,16 +217,36 @@ def generate(
     write_sem: Sem = Sem.RELAXED,
     read_sem: Sem = Sem.RELAXED,
     scope: Optional[Scope] = Scope.GPU,
-    fence_po: Optional[Tuple[Sem, Scope]] = None,
+    fence_po=None,
     expect: Expect = Expect.ALLOWED,
+    annotations: Optional[Dict[int, Tuple[Sem, Optional[Scope]]]] = None,
+    placements: Optional[Sequence[ThreadId]] = None,
+    loc_values: Optional[Dict[str, Sequence[int]]] = None,
 ) -> GeneratedTest:
     """Synthesise a litmus test from a critical cycle.
 
     ``write_sem``/``read_sem``/``scope`` annotate the generated accesses
     (use ``Sem.WEAK`` with ``scope=None`` for unsynchronized variants);
-    ``fence_po`` optionally inserts a fence on every program-order edge.
-    ``expect`` documents the anticipated PTX verdict (callers usually run
-    the classifier in :func:`classify` instead of guessing).
+    ``fence_po`` optionally inserts a fence on every program-order edge —
+    either a uniform ``(sem, scope)`` pair or a callable
+    ``(thread, slot_index) -> Optional[(sem, scope)]`` deciding per edge
+    (the fuzzer's randomized fence placement).  ``expect`` documents the
+    anticipated PTX verdict (callers usually run the classifier in
+    :func:`classify` instead of guessing).
+
+    The perturbation hooks override the uniform defaults point-wise:
+
+    * ``annotations`` — per-*slot* ``{index: (sem, scope)}`` overriding
+      the access annotation at that cycle position (invalid sem/scope
+      combinations surface as the ISA's ``ValueError``);
+    * ``placements`` — one :class:`ThreadId` per cycle thread, replacing
+      the default one-CTA-per-thread layout (same-CTA, per-CTA and
+      cross-GPU layouts change which edges are morally strong); the
+      program's shape is the canonical covering shape, so the test
+      round-trips through litmus text;
+    * ``loc_values`` — per-location value sequences (``{"x": (3, 7)}``)
+      replacing the default 1, 2 assignment; the observing condition
+      tracks the chosen values automatically.
     """
     edges = (
         parse_cycle(cycle_spec) if isinstance(cycle_spec, str) else tuple(cycle_spec)
@@ -201,14 +255,17 @@ def generate(
     name = name or "+".join(e.name for e in edges)
 
     # value assignment: writes per location in first-appearance order get
-    # 1, 2, ...; coherence order per location is dictated by its Ws edge.
+    # 1, 2, ... (or the caller's loc_values sequence); coherence order per
+    # location is dictated by its Ws edge.
     writes_per_loc: Dict[int, List[int]] = {}
     value_of: Dict[int, int] = {}
     for slot in slots:
         if slot.kind == "W":
             appearance = writes_per_loc.setdefault(slot.loc, [])
             appearance.append(slot.index)
-            value_of[slot.index] = len(appearance)
+            value_of[slot.index] = _write_value(
+                loc_values, _LOC_NAMES[slot.loc], len(appearance)
+            )
             if len(appearance) > 2:
                 raise CycleError("more than two writes to one location")
     ws_of_loc: Dict[int, Tuple[int, int]] = {}
@@ -261,37 +318,54 @@ def generate(
     for conjunct in conjuncts[1:]:
         condition = AndC(condition, conjunct)
 
-    # emit the program: one CTA per thread, events in slot order
+    # emit the program: one CTA per thread (unless placed), slot order
     num_threads = max(s.thread for s in slots) + 1
+    if placements is None:
+        tids = tuple(device_thread(0, t, 0) for t in range(num_threads))
+    else:
+        tids = tuple(placements)
+        if len(tids) != num_threads:
+            raise CycleError(
+                f"cycle spans {num_threads} thread(s) but placements "
+                f"names {len(tids)}"
+            )
     per_thread: List[List[Instruction]] = [[] for _ in range(num_threads)]
     last_slot_of_thread: Dict[int, int] = {}
     for slot in sorted(slots, key=lambda s: s.index):
         instructions = per_thread[slot.thread]
-        if (
-            fence_po is not None
-            and slot.thread in last_slot_of_thread
-        ):
-            instructions.append(Fence(sem=fence_po[0], scope=fence_po[1]))
+        if slot.thread in last_slot_of_thread:
+            fence = (
+                fence_po(slot.thread, slot.index)
+                if callable(fence_po)
+                else fence_po
+            )
+            if fence is not None:
+                instructions.append(Fence(sem=fence[0], scope=fence[1]))
         last_slot_of_thread[slot.thread] = slot.index
         loc_name = _LOC_NAMES[slot.loc]
         if slot.kind == "W":
+            slot_sem, slot_scope = (annotations or {}).get(
+                slot.index, (write_sem, scope)
+            )
             instructions.append(
                 St(loc=loc_name, src=value_of[slot.index],
-                   sem=write_sem, scope=scope)
+                   sem=slot_sem, scope=slot_scope)
             )
         else:
+            slot_sem, slot_scope = (annotations or {}).get(
+                slot.index, (read_sem, scope)
+            )
             instructions.append(
                 Ld(dst=reg_of[slot.index], loc=loc_name,
-                   sem=read_sem, scope=scope)
+                   sem=slot_sem, scope=slot_scope)
             )
     program = Program(
         name=name,
         threads=tuple(
-            ThreadCode(
-                tid=device_thread(0, t, 0), instructions=tuple(instrs)
-            )
-            for t, instrs in enumerate(per_thread)
+            ThreadCode(tid=tid, instructions=tuple(instrs))
+            for tid, instrs in zip(tids, per_thread)
         ),
+        shape=covering_shape(tids),
     )
     test = LitmusTest(
         name=name,

@@ -25,7 +25,13 @@ from __future__ import annotations
 import re
 from typing import List, Optional, Tuple
 
-from ..core.scopes import Scope, ThreadId, device_thread, host_thread
+from ..core.scopes import (
+    Scope,
+    ThreadId,
+    covering_shape,
+    device_thread,
+    host_thread,
+)
 from ..ptx.events import Sem
 from ..ptx.isa import Atom, AtomOp, Bar, BarOp, Fence, Instruction, Ld, Red, St
 from ..ptx.program import Program, ThreadCode
@@ -218,5 +224,9 @@ def parse_litmus(text: str) -> LitmusTest:
             ThreadCode(tid=tid, instructions=tuple(instrs))
             for tid, instrs in threads
         ),
+        # the text format carries placements but no topology line: infer
+        # the canonical covering shape (identical to the default when all
+        # threads fit it, so ordinary tests round-trip bit-exactly)
+        shape=covering_shape(tid for tid, _ in threads),
     )
     return make_test(name, program, condition, expect)

@@ -64,11 +64,25 @@ def _ptx_legacy_outcomes(program: Program, **opts) -> FrozenSet[Outcome]:
     return legacy_allowed_outcomes(program, **opts)
 
 
+def _sc_op_outcomes(program: Program, **opts) -> FrozenSet[Outcome]:
+    from ..operational import sc_operational_outcomes
+
+    return sc_operational_outcomes(program)
+
+
+def _tso_op_outcomes(program: Program, **opts) -> FrozenSet[Outcome]:
+    from ..operational import tso_operational_outcomes
+
+    return tso_operational_outcomes(program)
+
+
 MODELS: Dict[str, ModelFn] = {
     "ptx": _ptx_outcomes,
     "ptx-legacy": _ptx_legacy_outcomes,
     "tso": _tso_outcomes,
     "sc": _sc_outcomes,
+    "sc-op": _sc_op_outcomes,
+    "tso-op": _tso_op_outcomes,
 }
 
 #: search options each model's engine accepts (everything else is an error)
@@ -77,6 +91,8 @@ _MODEL_OPTS: Dict[str, FrozenSet[str]] = {
     "ptx-legacy": frozenset({"skip_axioms", "speculation_values"}),
     "tso": frozenset({"speculation_values"}),
     "sc": frozenset({"speculation_values"}),
+    "sc-op": frozenset(),
+    "tso-op": frozenset(),
 }
 
 #: PTX-only options the total-co models tolerate and drop (a test tagged
@@ -84,6 +100,10 @@ _MODEL_OPTS: Dict[str, FrozenSet[str]] = {
 _IGNORED_OPTS: Dict[str, FrozenSet[str]] = {
     "tso": frozenset({"skip_axioms"}),
     "sc": frozenset({"skip_axioms"}),
+    # the machines have no search knobs at all: options that merely
+    # annotate a test must not make it unrunnable operationally
+    "sc-op": frozenset({"skip_axioms", "speculation_values"}),
+    "tso-op": frozenset({"skip_axioms", "speculation_values"}),
 }
 
 
@@ -270,6 +290,38 @@ def _run_symbolic(
     return test.condition_observed(outcomes), outcomes, None
 
 
+def _run_symbolic_enum(
+    test: LitmusTest, opts: Dict[str, object]
+) -> Tuple[bool, FrozenSet[Outcome], Optional[SolverStats]]:
+    """Compute the *full outcome set* by enumerating SAT instances.
+
+    Unlike :func:`_run_symbolic` (one query, verdict only) this decodes
+    every axiom-consistent relational instance into an
+    :class:`~repro.search.ptx_search.Outcome`, so the result carries the
+    same outcome set the enumerative engine reports — the comparison the
+    differential fuzzer's oracle is built on.  Falls back to the
+    enumerative engine when the test carries search options (the encoding
+    has no search knobs) or when write values are data-dependent and
+    instances cannot be decoded (``solver_stats`` is then ``None``,
+    letting callers detect the fallback).
+    """
+    from ..kodkod.litmus import UnsupportedProgram, symbolic_outcomes
+
+    if not opts:
+        stats: list = []
+        try:
+            outcomes = symbolic_outcomes(test, stats=stats)
+        except UnsupportedProgram:
+            pass
+        else:
+            merged = stats[0] if stats else SolverStats()
+            for snapshot in stats[1:]:
+                merged = merged + snapshot
+            return test.condition_observed(outcomes), outcomes, merged
+    outcomes = _ptx_outcomes(test.program, **opts)
+    return test.condition_observed(outcomes), outcomes, None
+
+
 def _run_certified(
     test: LitmusTest, config: RunConfig, opts: Dict[str, object]
 ) -> Tuple[
@@ -286,10 +338,10 @@ def _run_certified(
     from ..kodkod.litmus import UnsupportedCondition
 
     if config.model != "ptx":
-        if config.engine == "symbolic":
+        if config.engine in ("symbolic", "symbolic-enum"):
             raise ValueError(
-                "the symbolic engine supports only the 'ptx' model, "
-                f"not {config.model!r}"
+                f"the {config.engine!r} engine supports only the 'ptx' "
+                f"model, not {config.model!r}"
             )
         outcomes = MODELS[config.model](test.program, **opts)
         return (
@@ -364,13 +416,18 @@ def decide_filtered(
                 observed, outcomes, solver_stats, certificate = (
                     _run_certified(test, config, merged)
                 )
-            elif config.engine == "symbolic":
+            elif config.engine in ("symbolic", "symbolic-enum"):
                 if config.model != "ptx":
                     raise ValueError(
-                        "the symbolic engine supports only the 'ptx' model, "
-                        f"not {config.model!r}"
+                        f"the {config.engine!r} engine supports only the "
+                        f"'ptx' model, not {config.model!r}"
                     )
-                observed, outcomes, solver_stats = _run_symbolic(test, merged)
+                run = (
+                    _run_symbolic
+                    if config.engine == "symbolic"
+                    else _run_symbolic_enum
+                )
+                observed, outcomes, solver_stats = run(test, merged)
             else:
                 outcomes = MODELS[config.model](test.program, **merged)
                 observed = test.condition_observed(outcomes)
@@ -462,7 +519,9 @@ def run_litmus(
     ``engine`` selects how the PTX model decides the condition:
     ``"enumerative"`` (default) explores candidate executions explicitly;
     ``"symbolic"`` issues one bounded SAT query (§5.2) and surfaces the
-    solver's :class:`SolverStats` on the result.
+    solver's :class:`SolverStats` on the result; ``"symbolic-enum"``
+    enumerates every consistent SAT instance and reports the full
+    outcome set (what differential cross-checks compare).
     """
     cfg = _coerce_config(config, model, engine, timeout, opts, "run_litmus")
     return decide(test, cfg)

@@ -308,6 +308,96 @@ def test_from_dict(obj: Dict):
 
 
 # ----------------------------------------------------------------------
+# litmus text (the parser's format, inverted)
+# ----------------------------------------------------------------------
+
+def _qualifiers(sem: Sem, scope) -> str:
+    suffix = f".{sem.value}"
+    if scope is not None:
+        suffix += f".{scope.value}"
+    return suffix
+
+
+def _thread_header(tid: ThreadId) -> str:
+    if tid.gpu is None:
+        return f"thread host{tid.thread}"
+    return f"thread d{tid.gpu}c{tid.cta}t{tid.thread}"
+
+
+def instruction_to_text(instr: Instruction) -> str:
+    """One instruction as the dotted assembly line the parser accepts."""
+    if isinstance(instr, Ld):
+        mnemonic = "ld.volatile" if instr.volatile else (
+            "ld" + _qualifiers(instr.sem, instr.scope)
+        )
+        if instr.vec > 1:
+            mnemonic += f".v{instr.vec}"
+        dst = instr.dst if isinstance(instr.dst, tuple) else (instr.dst,)
+        return f"{mnemonic} {', '.join(dst)}, [{instr.loc}]"
+    if isinstance(instr, St):
+        mnemonic = "st.volatile" if instr.volatile else (
+            "st" + _qualifiers(instr.sem, instr.scope)
+        )
+        if instr.vec > 1:
+            mnemonic += f".v{instr.vec}"
+        src = instr.src if isinstance(instr.src, tuple) else (instr.src,)
+        operands = ", ".join(str(s) for s in src)
+        return f"{mnemonic} [{instr.loc}], {operands}"
+    if isinstance(instr, Atom):
+        operands = ", ".join(str(o) for o in instr.operands)
+        return (
+            f"atom{_qualifiers(instr.sem, instr.scope)}.{instr.op.value} "
+            f"{instr.dst}, [{instr.loc}], {operands}"
+        )
+    if isinstance(instr, Red):
+        operands = ", ".join(str(o) for o in instr.operands)
+        return (
+            f"red{_qualifiers(instr.sem, instr.scope)}.{instr.op.value} "
+            f"[{instr.loc}], {operands}"
+        )
+    if isinstance(instr, Fence):
+        return f"fence{_qualifiers(instr.sem, instr.scope)}"
+    if isinstance(instr, Bar):
+        return f"bar.{instr.op.value} {instr.barrier}"
+    raise TypeError(f"cannot unparse instruction {instr!r}")
+
+
+def condition_to_text(cond: Condition) -> str:
+    """The condition in the grammar ``parse_condition`` accepts.
+
+    Condition ``repr`` was designed to be re-parseable; the one exception
+    is :class:`TrueC`, whose ``true`` spelling the grammar has no atom
+    for — and which no meaningful litmus test uses as its condition.
+    """
+    if isinstance(cond, TrueC):
+        raise TypeError("a bare 'true' condition has no litmus text form")
+    return repr(cond)
+
+
+def test_to_litmus(test) -> str:
+    """A :class:`~repro.litmus.test.LitmusTest` as parseable litmus text.
+
+    Inverse of :func:`~repro.litmus.parser.parse_litmus` for the fields
+    the text format carries: ``parse_litmus(test_to_litmus(t))`` restores
+    the name, program (threads, placements, covering shape), condition,
+    and expected verdict.  Description, per-model expectations and search
+    options are JSON-only — use :func:`test_to_dict` when those matter.
+    The fuzzer's shrunk repros are emitted in this format so a
+    discrepancy can be replayed from a plain text artifact.
+    """
+    from .test import Expect
+
+    lines = [f"ptx test {test.name}"]
+    for thread in test.program.threads:
+        lines.append(_thread_header(thread.tid))
+        for instr in thread.instructions:
+            lines.append(f"  {instruction_to_text(instr)}")
+    keyword = "forbidden" if test.expect is Expect.FORBIDDEN else "allowed"
+    lines.append(f"{keyword}: {condition_to_text(test.condition)}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
 # outcomes and results
 # ----------------------------------------------------------------------
 

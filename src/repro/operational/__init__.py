@@ -5,6 +5,7 @@ from .machine import (
     TsoMachine,
     UnsupportedInstruction,
     sc_operational_outcomes,
+    supports_program,
     tso_operational_outcomes,
 )
 
@@ -13,5 +14,6 @@ __all__ = [
     "TsoMachine",
     "UnsupportedInstruction",
     "sc_operational_outcomes",
+    "supports_program",
     "tso_operational_outcomes",
 ]

@@ -267,11 +267,40 @@ class TsoMachine(_BaseMachine):
                 raise UnsupportedInstruction(repr(instr))
 
 
+def supports_program(program: Program) -> bool:
+    """Whether the baseline machines can execute ``program``.
+
+    The machines reject CTA barriers and vector accesses; everything
+    else on the PTX instruction surface runs (with scope/semantics
+    qualifiers ignored).  Callers fanning programs out to the
+    operational models — the differential fuzzer in particular — probe
+    this instead of paying for an ERROR-status task per unsupported
+    program.
+    """
+    for thread in program.threads:
+        for instr in thread.instructions:
+            if isinstance(instr, Bar):
+                return False
+            if getattr(instr, "vec", 1) > 1:
+                return False
+    return True
+
+
+def _check_supported(program: Program) -> None:
+    if not supports_program(program):
+        raise UnsupportedInstruction(
+            "program outside the operational fragment "
+            "(CTA barriers and vector accesses are not modelled)"
+        )
+
+
 def sc_operational_outcomes(program: Program) -> FrozenSet[Outcome]:
     """All final states of the SC interleaving machine."""
+    _check_supported(program)
     return ScMachine(program).final_outcomes()
 
 
 def tso_operational_outcomes(program: Program) -> FrozenSet[Outcome]:
     """All final states of the TSO store-buffer machine."""
+    _check_supported(program)
     return TsoMachine(program).final_outcomes()

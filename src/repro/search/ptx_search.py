@@ -67,6 +67,32 @@ class Outcome:
         return f"<Outcome {regs} | {mem}>"
 
 
+def co_maximal_memory(
+    writes: Sequence[Event],
+    co: Relation,
+    value_of,
+) -> Tuple[Tuple[str, FrozenSet[int]], ...]:
+    """Final memory contents: per location, the values of co-maximal writes.
+
+    Under PTX's partial coherence order several writes can sit unordered
+    at the top; the location's final value is then any of them (§8.8.6).
+    ``value_of`` maps a write event to its stored value.  Shared by the
+    enumerative engine and the symbolic instance decoder so both report
+    memory through the identical observability rule.
+    """
+    memory: Dict[str, set] = {}
+    for event in writes:
+        is_maximal = not any(
+            other.loc == event.loc and (event, other) in co
+            for other in writes
+        )
+        if is_maximal:
+            memory.setdefault(event.loc, set()).add(value_of(event))
+    return tuple(
+        sorted((loc, frozenset(vals)) for loc, vals in memory.items())
+    )
+
+
 @dataclass(frozen=True)
 class Candidate:
     """A consistent (or, on request, inconsistent) candidate execution."""
@@ -84,21 +110,15 @@ class Candidate:
                 dst = self.elaboration.read_dst.get(event.eid)
                 if dst is not None:
                     registers[(event.thread, dst)] = self.valuation[event.eid]
-        co = self.execution.relation("co")
-        memory: Dict[str, set] = {}
         writes = [e for e in self.execution.events if e.is_write]
-        for event in writes:
-            is_maximal = not any(
-                other.loc == event.loc and (event, other) in co
-                for other in writes
-            )
-            if is_maximal:
-                memory.setdefault(event.loc, set()).add(self.valuation[event.eid])
+        memory = co_maximal_memory(
+            writes,
+            self.execution.relation("co"),
+            lambda event: self.valuation[event.eid],
+        )
         return Outcome(
             registers=tuple(sorted(registers.items(), key=repr)),
-            memory=tuple(
-                sorted((loc, frozenset(vals)) for loc, vals in memory.items())
-            ),
+            memory=memory,
         )
 
 

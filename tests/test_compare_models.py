@@ -4,6 +4,8 @@ import itertools
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.litmus import (
     Distinction,
     compare_on,

@@ -1,0 +1,154 @@
+"""Tests for the fuzzing harness: budgets, reproducibility, artifacts,
+and the deliberately-broken-engine negative control."""
+
+import json
+
+import pytest
+
+from repro.fuzz import FuzzBudget, recheck_artifact, run_fuzz
+from repro.fuzz.harness import FuzzStats
+from repro.litmus.parser import parse_litmus
+
+#: the negative-control axiom: racy generated tests trip per-location SC
+#: constantly, so even a tiny budget reliably finds the injected bug
+PERTURB = "SC-per-Location"
+
+
+class TestFuzzBudget:
+    def test_count_budget(self):
+        assert FuzzBudget.parse("200") == FuzzBudget(count=200)
+
+    @pytest.mark.parametrize(
+        "text,seconds", [("60s", 60), ("5m", 300), ("1h", 3600)]
+    )
+    def test_duration_budget(self, text, seconds):
+        assert FuzzBudget.parse(text) == FuzzBudget(seconds=seconds)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "-5", "10x", "1.5s"])
+    def test_bad_budgets_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FuzzBudget.parse(bad)
+
+    def test_exactly_one_dimension(self):
+        with pytest.raises(ValueError):
+            FuzzBudget()
+        with pytest.raises(ValueError):
+            FuzzBudget(count=1, seconds=1.0)
+
+    def test_str_round_trips(self):
+        for text in ("200", "60s"):
+            assert str(FuzzBudget.parse(text)) == text
+
+
+@pytest.mark.slow
+class TestReproducibility:
+    def test_stats_are_bit_reproducible(self):
+        a = run_fuzz(seed=3, budget=FuzzBudget(count=10))
+        b = run_fuzz(seed=3, budget=FuzzBudget(count=10))
+        assert a.stats == b.stats
+        assert a.ok and b.ok
+
+    def test_job_count_does_not_change_the_stats(self):
+        solo = run_fuzz(seed=3, budget=FuzzBudget(count=10), jobs=1)
+        multi = run_fuzz(seed=3, budget=FuzzBudget(count=10), jobs=2)
+        assert solo.stats == multi.stats
+
+    def test_wall_clock_budget_terminates(self):
+        report = run_fuzz(seed=3, budget=FuzzBudget(seconds=1.0))
+        assert report.stats.generated > 0
+        # a generous ceiling: one batch may straddle the deadline
+        assert report.elapsed < 30.0
+
+
+@pytest.mark.slow
+class TestNegativeControl:
+    """The acceptance test: a deliberately broken engine must be caught,
+    shrunk, and written out as a replayable artifact."""
+
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("artifacts")
+        return directory, run_fuzz(
+            seed=7,
+            budget=FuzzBudget(count=12),
+            perturb=PERTURB,
+            artifact_dir=str(directory),
+            max_found=2,
+        )
+
+    def test_broken_engine_is_caught(self, report):
+        _, result = report
+        assert not result.ok
+        assert result.stats.discrepancies > 0
+
+    def test_discrepancies_are_shrunk(self, report):
+        _, result = report
+        for found in result.found:
+            shrunk_size = sum(
+                len(t.instructions)
+                for t in found.shrunk.test.program.threads
+            )
+            original_size = sum(
+                len(t.instructions)
+                for t in found.case.test.program.threads
+            )
+            assert shrunk_size <= original_size
+            assert found.shrunk.steps > 0
+
+    def test_artifacts_are_parseable_litmus(self, report):
+        directory, result = report
+        assert result.found
+        for found in result.found:
+            target = directory / found.artifact_dir.rsplit("/", 1)[-1]
+            repro = (target / "repro.litmus").read_text()
+            assert f"seed {result.seed}" in repro
+            parsed = parse_litmus(repro)
+            assert parsed.program == found.shrunk.test.program
+            parse_litmus((target / "original.litmus").read_text())
+
+    def test_report_json_replays_by_seed_and_index(self, report):
+        from repro.fuzz.gen import generate_case
+
+        directory, result = report
+        found = result.found[0]
+        target = directory / found.artifact_dir.rsplit("/", 1)[-1]
+        data = json.loads((target / "report.json").read_text())
+        assert data["kind"] == found.discrepancy.kind
+        replayed = generate_case(data["seed"], data["index"])
+        assert replayed.test == found.case.test
+
+    def test_recheck_still_reproduces_under_perturbation(self, report):
+        directory, result = report
+        found = result.found[0]
+        target = directory / found.artifact_dir.rsplit("/", 1)[-1]
+        verdict, reshrunk = recheck_artifact(
+            str(target / "repro.litmus"), perturb=PERTURB
+        )
+        assert not verdict.clean
+        assert reshrunk is not None
+        assert reshrunk.steps == 0  # already minimal
+
+    def test_recheck_is_clean_without_perturbation(self, report):
+        """The bug lives in the perturbed engine, not the repro."""
+        directory, result = report
+        found = result.found[0]
+        target = directory / found.artifact_dir.rsplit("/", 1)[-1]
+        verdict, reshrunk = recheck_artifact(str(target / "repro.litmus"))
+        assert verdict.clean
+        assert reshrunk is None
+
+    def test_max_found_stops_the_run_early(self, report):
+        _, result = report
+        assert len(result.found) <= 2
+
+
+class TestFuzzStats:
+    def test_format_is_stable(self):
+        stats = FuzzStats(
+            generated=4, checks_run=20, undecided=1, discrepancies=0,
+            by_check={"ptx-verdict": 4},
+        )
+        assert stats.format() == (
+            "generated=4 checks=20 undecided=1 discrepancies=0 "
+            "[ptx-verdict=4]"
+        )

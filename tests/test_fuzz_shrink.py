@@ -1,0 +1,177 @@
+"""Shrinker unit tests against injected fake oracles.
+
+The shrinker takes an arbitrary predicate, so these tests drive it with
+hand-written fakes — no engines involved — to pin the structural
+properties: termination, preservation of the failing property,
+determinism, and validity (every shrunk test still parses).
+"""
+
+from repro.fuzz.gen import generate_case
+from repro.fuzz.shrink import (
+    ShrinkResult,
+    condition_atoms,
+    condition_size,
+    cost,
+    shrink,
+)
+from repro.litmus.conditions import MemEq, RegEq
+from repro.litmus.parser import parse_litmus
+from repro.litmus.serialize import test_to_litmus as to_litmus_text
+from repro.ptx.isa import St
+
+SB = """
+ptx test SB
+thread d0c0t0
+  st.relaxed.gpu [x], 1
+  ld.relaxed.gpu r1, [y]
+thread d0c1t0
+  st.relaxed.gpu [y], 1
+  ld.relaxed.gpu r2, [x]
+allowed: 0:r1=0 & 1:r2=0
+"""
+
+IRIW = """
+ptx test IRIW
+thread d0c0t0
+  st.release.sys [x], 1
+thread d0c1t0
+  st.release.sys [y], 1
+thread d0c2t0
+  ld.acquire.sys r1, [x]
+  ld.acquire.sys r2, [y]
+thread d0c3t0
+  ld.acquire.sys r3, [y]
+  ld.acquire.sys r4, [x]
+allowed: 2:r1=1 & 2:r2=0 & 3:r3=1 & 3:r4=0
+"""
+
+
+def n_instructions(test):
+    return sum(len(t.instructions) for t in test.program.threads)
+
+
+class TestTermination:
+    def test_always_failing_predicate_reaches_a_fixpoint(self):
+        """With an all-accepting oracle the shrinker must still halt, at
+        a minimal test no candidate can improve on."""
+        test = parse_litmus(IRIW)
+        result = shrink(test, lambda _: True)
+        assert isinstance(result, ShrinkResult)
+        assert n_instructions(result.test) == 1
+        assert len(result.test.program.threads) == 1
+
+    def test_never_failing_predicate_changes_nothing(self):
+        test = parse_litmus(SB)
+        result = shrink(test, lambda _: False)
+        assert result.test == test
+        assert result.steps == 0
+
+    def test_max_attempts_caps_predicate_calls(self):
+        test = parse_litmus(IRIW)
+        calls = []
+
+        def oracle(candidate):
+            calls.append(candidate)
+            return True
+
+        result = shrink(test, oracle, max_attempts=5)
+        assert len(calls) <= 5
+        assert result.attempts == len(calls)
+
+    def test_every_accepted_step_strictly_decreases_cost(self):
+        test = parse_litmus(IRIW)
+        trail = []
+
+        def oracle(candidate):
+            trail.append(cost(candidate))
+            return True
+
+        result = shrink(test, oracle)
+        assert cost(result.test) < cost(test)
+        assert result.steps <= result.attempts
+
+
+class TestPreservation:
+    def test_shrunk_test_still_satisfies_the_predicate(self):
+        """Discrepancy preservation: whatever property the fake oracle
+        checks, the minimized test still has it."""
+        def has_write_to_x(test):
+            return any(
+                isinstance(i, St) and i.loc == "x"
+                for t in test.program.threads for i in t.instructions
+            )
+
+        test = parse_litmus(IRIW)
+        result = shrink(test, has_write_to_x)
+        assert has_write_to_x(result.test)
+        assert n_instructions(result.test) < n_instructions(test)
+
+    def test_two_threads_preserved_when_required(self):
+        def two_threads(test):
+            return len(test.program.threads) >= 2
+
+        result = shrink(parse_litmus(IRIW), two_threads)
+        assert len(result.test.program.threads) == 2
+
+    def test_condition_atom_preserved_when_required(self):
+        def mentions_r2(test):
+            return any(
+                isinstance(a, RegEq) and a.reg == "r2"
+                for a in condition_atoms(test.condition)
+            )
+
+        result = shrink(parse_litmus(IRIW), mentions_r2)
+        assert mentions_r2(result.test)
+
+    def test_crashing_candidates_are_skipped(self):
+        """A predicate exception rejects the candidate, never aborts."""
+        test = parse_litmus(SB)
+
+        def fragile(candidate):
+            if len(candidate.program.threads) < 2:
+                raise RuntimeError("boom")
+            return True
+
+        result = shrink(test, fragile)
+        assert len(result.test.program.threads) == 2
+
+
+class TestDeterminism:
+    def test_same_input_same_output(self):
+        def fake(test):
+            return any(
+                isinstance(a, MemEq) or a.value == 0
+                for a in condition_atoms(test.condition)
+            )
+
+        a = shrink(parse_litmus(IRIW), fake)
+        b = shrink(parse_litmus(IRIW), fake)
+        assert a == b
+
+    def test_fuzz_cases_shrink_deterministically(self):
+        test = generate_case(7, 3).test
+        a = shrink(test, lambda _: True)
+        b = shrink(test, lambda _: True)
+        assert a.test == b.test
+        assert a.steps == b.steps
+
+
+class TestValidity:
+    def test_shrunk_tests_round_trip_through_litmus_text(self):
+        for source in (SB, IRIW):
+            result = shrink(parse_litmus(source), lambda _: True)
+            parsed = parse_litmus(to_litmus_text(result.test))
+            assert parsed.program == result.test.program
+            assert parsed.condition == result.test.condition
+
+    def test_shrunk_fuzz_cases_round_trip(self):
+        for i in range(5):
+            test = generate_case(11, i).test
+            result = shrink(test, lambda _: True)
+            parsed = parse_litmus(to_litmus_text(result.test))
+            assert parsed.program == result.test.program
+
+    def test_condition_helpers(self):
+        test = parse_litmus(IRIW)
+        assert len(condition_atoms(test.condition)) == 4
+        assert condition_size(test.condition) == 7

@@ -16,6 +16,8 @@ at length ≥ 4 and are covered by the hand-written suite.
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.litmus import CycleError, classify, enumerate_cycles, generate
 from repro.litmus.compare import VARIANTS
 
@@ -24,6 +26,45 @@ from repro.litmus.compare import VARIANTS
 ALLOWED_EXCEPTIONS = {
     ("PosRR+Fre+Rfe", "weak"),     # racy CoRR: weak reads may disagree
     ("PosRW+Wse+Rfe", "weak"),     # racy CoRW shape
+}
+
+#: External-edge vocabulary for the length-4 corpus: all communication is
+#: cross-thread, producing the classic named shapes (SB, MP, LB, 2+2W...)
+#: rather than same-thread coherence noise.
+EXT_VOCABULARY = ("Rfe", "Fre", "Wse", "PodRR", "PodRW", "PodWR", "PodWW")
+
+#: ALLOWED (cycle, variant) pairs in the length-4 external corpus; every
+#: other pair is forbidden.  The structure mirrors §4 of the paper:
+#: ``weak`` forbids nothing beyond coherence, ``relaxed.gpu`` still
+#: admits store-buffering-like reorderings, release/acquire kills the
+#: read-side shapes (MP and friends) but not the write/write ones, and
+#: ``fence.sc.gpu`` restores SC outright.
+ALLOWED_LENGTH4 = {
+    # store buffering (SB), 2+2W, and the W-W hybrid survive rel/acq —
+    # release and acquire do not order a write before a later read
+    ("PodWR+Fre+PodWR+Fre", "weak"),
+    ("PodWR+Fre+PodWR+Fre", "relaxed.gpu"),
+    ("PodWR+Fre+PodWR+Fre", "rel_acq.gpu"),
+    ("PodWR+Fre+PodWW+Wse", "weak"),
+    ("PodWR+Fre+PodWW+Wse", "relaxed.gpu"),
+    ("PodWR+Fre+PodWW+Wse", "rel_acq.gpu"),
+    ("PodWW+Wse+PodWW+Wse", "weak"),
+    ("PodWW+Wse+PodWW+Wse", "relaxed.gpu"),
+    ("PodWW+Wse+PodWW+Wse", "rel_acq.gpu"),
+    # load buffering (LB) and the R/W mixes die at rel/acq but survive
+    # relaxed (no release/acquire edge to synchronize through)
+    ("PodRW+Rfe+PodRW+Rfe", "weak"),
+    ("PodRW+Rfe+PodRW+Rfe", "relaxed.gpu"),
+    ("PodRW+Wse+PodWW+Rfe", "weak"),
+    ("PodRW+Wse+PodWW+Rfe", "relaxed.gpu"),
+    ("PodRR+Fre+PodWW+Rfe", "weak"),
+    ("PodRR+Fre+PodWW+Rfe", "relaxed.gpu"),
+    # message passing (MP) and its R-side relatives: already forbidden
+    # at relaxed — the cycle needs the read to bypass a same-scope write
+    ("Rfe+PodRR+PodRR+Fre", "weak"),
+    ("Rfe+PodRR+PodRW+Wse", "weak"),
+    ("Rfe+PodRW+PodWR+Fre", "weak"),
+    ("Rfe+PodRW+PodWW+Wse", "weak"),
 }
 
 
@@ -39,7 +80,19 @@ def corpus():
                 yield name, variant, generated
 
 
+def corpus_length4():
+    for cycle in enumerate_cycles(4, EXT_VOCABULARY):
+        name = "+".join(edge.name for edge in cycle)
+        for variant, kwargs in VARIANTS.items():
+            try:
+                generated = generate(cycle, **kwargs)
+            except (CycleError, ValueError):
+                continue
+            yield name, variant, generated
+
+
 CORPUS = list(corpus())
+CORPUS4 = list(corpus_length4())
 
 
 def test_corpus_size_is_stable():
@@ -56,6 +109,27 @@ def test_pinned_verdict(name, variant, generated):
     assert classify(generated, "ptx").value == expected
 
 
+def test_corpus4_size_is_stable():
+    assert len(CORPUS4) == 48
+
+
+@pytest.mark.parametrize(
+    "name,variant,generated",
+    CORPUS4,
+    ids=[f"{name}@{variant}" for name, variant, _ in CORPUS4],
+)
+def test_pinned_verdict_length4(name, variant, generated):
+    expected = "allowed" if (name, variant) in ALLOWED_LENGTH4 else "forbidden"
+    assert classify(generated, "ptx").value == expected
+
+
+def test_fence_sc_restores_sc_on_length4():
+    """fence.sc.gpu between every po pair forbids every length-4 cycle."""
+    for name, variant, generated in CORPUS4:
+        if variant == "fence.sc.gpu":
+            assert classify(generated, "ptx").value == "forbidden", name
+
+
 def test_exceptions_are_weak_only():
     """The corpus's only allowed outcomes are unsynchronized races."""
     for name, variant in ALLOWED_EXCEPTIONS:
@@ -66,9 +140,9 @@ def test_strengthening_is_monotone_on_corpus():
     """If the weak variant is forbidden, every stronger variant is too
     (annotations only remove behaviours)."""
     verdicts = {}
-    for name, variant, generated in CORPUS:
+    for name, variant, generated in CORPUS + CORPUS4:
         verdicts[(name, variant)] = classify(generated, "ptx").value
-    for name, variant, _ in CORPUS:
+    for name, variant in list(verdicts):
         if variant == "weak" and verdicts[(name, variant)] == "forbidden":
             for other in ("relaxed.gpu", "rel_acq.gpu", "fence.sc.gpu"):
                 if (name, other) in verdicts:

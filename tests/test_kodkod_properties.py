@@ -14,6 +14,10 @@ from repro.kodkod import Bounds, Universe, solve
 from repro.lang import Env, ast, eval_formula
 from repro.relation import Relation
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 ATOMS = ("a", "b", "c")
 U = Universe(ATOMS)
 r = ast.rel("r")

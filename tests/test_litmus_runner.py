@@ -15,7 +15,9 @@ from repro.litmus import (
 
 class TestRegistry:
     def test_models_available(self):
-        assert set(MODELS) == {"ptx", "ptx-legacy", "tso", "sc"}
+        assert set(MODELS) == {
+            "ptx", "ptx-legacy", "tso", "sc", "sc-op", "tso-op",
+        }
 
     def test_unknown_model_rejected(self):
         with pytest.raises(KeyError):

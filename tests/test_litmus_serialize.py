@@ -103,3 +103,88 @@ class TestKodkodInstance:
         payload = json.loads(json.dumps(instance.to_dict()))
         rebuilt = Instance.from_dict(payload)
         assert rebuilt.relations == instance.relations
+
+
+class TestLitmusText:
+    """test_to_litmus: the parseable text form fuzz artifacts use."""
+
+    def _reparse(self, test):
+        from repro.litmus.parser import parse_litmus
+        from repro.litmus.serialize import test_to_litmus
+
+        return parse_litmus(test_to_litmus(test))
+
+    @pytest.mark.parametrize("test", SUITE, ids=lambda t: t.name)
+    def test_suite_semantics_round_trip(self, test):
+        """Threads, condition and expectation survive the text form.
+
+        (The program's SystemShape may legitimately differ: the parser
+        infers the smallest covering shape, while some hand-written
+        suite programs carry the default shape.)"""
+        parsed = self._reparse(test)
+        assert parsed.name == test.name
+        assert parsed.program.threads == test.program.threads
+        assert parsed.condition == test.condition
+        assert parsed.expect == test.expect
+
+    def test_generated_tests_round_trip_exactly(self):
+        """Generator-built tests use the covering shape, so the whole
+        program compares equal — the artifact replay guarantee."""
+        from repro.litmus import generate
+
+        for cycle in ("PodWR Fre PodWR Fre", "Rfe PodRR PodRR Fre"):
+            test = generate(cycle).test
+            parsed = self._reparse(test)
+            assert parsed.program == test.program
+            assert parsed.condition == test.condition
+
+    def test_volatile_and_vector_accesses(self):
+        from repro.litmus.serialize import instruction_to_text
+        from repro.ptx.events import Sem
+        from repro.ptx.isa import Ld, St
+
+        assert instruction_to_text(
+            Ld(dst="r1", loc="x", volatile=True)
+        ) == "ld.volatile r1, [x]"
+        assert instruction_to_text(
+            Ld(dst=("r1", "r2"), loc="x", sem=Sem.WEAK, vec=2)
+        ) == "ld.weak.v2 r1, r2, [x]"
+        assert instruction_to_text(
+            St(loc="x", src=(1, 2), sem=Sem.WEAK, vec=2)
+        ) == "st.weak.v2 [x], 1, 2"
+
+    def test_fence_atom_red_bar(self):
+        from repro.core import Scope
+        from repro.litmus.serialize import instruction_to_text
+        from repro.ptx.events import Sem
+        from repro.ptx.isa import Atom, AtomOp, Bar, BarOp, Fence, Red
+
+        assert instruction_to_text(
+            Fence(sem=Sem.SC, scope=Scope.GPU)
+        ) == "fence.sc.gpu"
+        assert instruction_to_text(
+            Atom(dst="r1", loc="x", op=AtomOp.ADD, operands=(1,),
+                 sem=Sem.ACQ_REL, scope=Scope.CTA)
+        ) == "atom.acq_rel.cta.add r1, [x], 1"
+        assert instruction_to_text(
+            Red(loc="x", op=AtomOp.ADD, operands=(1,),
+                sem=Sem.RELAXED, scope=Scope.SYS)
+        ) == "red.relaxed.sys.add [x], 1"
+        assert instruction_to_text(
+            Bar(op=BarOp.SYNC, barrier=0)
+        ) == "bar.sync 0"
+
+    def test_true_condition_has_no_text_form(self):
+        from dataclasses import replace
+
+        from repro.litmus.conditions import TrueC
+        from repro.litmus.serialize import test_to_litmus
+
+        degenerate = replace(SUITE[0], condition=TrueC())
+        with pytest.raises(TypeError):
+            test_to_litmus(degenerate)
+
+    def test_text_is_stable(self):
+        from repro.litmus.serialize import test_to_litmus
+
+        assert test_to_litmus(SUITE[0]) == test_to_litmus(SUITE[0])

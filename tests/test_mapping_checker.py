@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core import Scope, device_thread
 from repro.mapping import (
     BUGGY_RMW_SC,

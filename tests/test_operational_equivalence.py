@@ -8,6 +8,9 @@ and likewise for the TSO store-buffer machine vs the Figure 2 axioms.
 """
 
 import pytest
+
+pytestmark = pytest.mark.slow
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

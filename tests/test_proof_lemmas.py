@@ -10,6 +10,8 @@ ways, mirroring the paper's Alloy ↔ Coq discipline:
 """
 
 import pytest
+
+pytestmark = pytest.mark.slow
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

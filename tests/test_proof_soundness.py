@@ -7,12 +7,15 @@ this with random relations — the kernel's analog of validating alloy.v
 against Alloy's own semantics.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.lang import Env, ast, eval_formula
 from repro.proof import kernel
 from repro.relation import Relation
+
+pytestmark = pytest.mark.slow
 
 ATOMS = list(range(4))
 r = ast.rel("r")

@@ -5,6 +5,10 @@ from hypothesis import strategies as st
 
 from repro.relation import Relation, least_fixpoint
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 ATOMS = list(range(5))
 
 

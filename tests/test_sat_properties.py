@@ -2,10 +2,13 @@
 
 import itertools
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sat import Cnf, Solver, enumerate_models, solve_cnf
+
+pytestmark = pytest.mark.slow
 
 
 def brute_force_sat(num_vars, clauses):

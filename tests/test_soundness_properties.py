@@ -19,6 +19,10 @@ from repro.rc11.model import is_race_free
 from repro.search import candidate_executions
 from repro.search.rc11_search import c_allowed_outcomes
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 ORDERS_LOAD = [MemOrder.NA, MemOrder.RLX, MemOrder.ACQ, MemOrder.SC]
 ORDERS_STORE = [MemOrder.NA, MemOrder.RLX, MemOrder.REL, MemOrder.SC]
 SCOPES = [Scope.CTA, Scope.GPU, Scope.SYS]
