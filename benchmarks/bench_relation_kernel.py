@@ -1,0 +1,229 @@
+"""Relation-kernel benchmark: frozenset Relation vs dense BitRel.
+
+Measures the two relation representations behind the cat evaluator
+(README "Two relation representations"):
+
+* **micro** — each core operator (union, inter, join, transpose,
+  transitive closure) on random suite-shaped relations, per universe
+  size; reported as a set/bit time ratio per operator;
+* **end-to-end** — ``allowed_outcomes`` on standard-suite litmus tests
+  with ``kernel="set"`` vs ``kernel="bit"`` (identical outcome sets are
+  asserted, so a kernel bug cannot masquerade as a speedup).
+
+Emits ``BENCH_relation_kernel.json`` next to this file.  ``--check
+BASELINE.json`` compares *speedup ratios* (machine-independent, unlike
+absolute times) and exits non-zero when the current end-to-end speedup
+has regressed to below a third of the committed baseline's — the CI
+perf-smoke gate.
+
+Usage::
+
+    python benchmarks/bench_relation_kernel.py [--quick] [--out PATH]
+                                               [--check BASELINE]
+
+Functions are named ``measure_*`` so pytest does not collect this file
+as a test module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.litmus import SUITE  # noqa: E402
+from repro.litmus.runner import partition_opts  # noqa: E402
+from repro.relation import BitRel, Relation, Universe  # noqa: E402
+from repro.search.ptx_search import allowed_outcomes  # noqa: E402
+
+#: Geometry-skewed test subset for --quick: the coherence pair exercises
+#: the prune path, MP/WRC/ISA2 the memoised co loop, IRIW the worst case.
+QUICK_TESTS = (
+    "CoRR", "CoRW", "MP+rel_acq.gpu", "WRC+rel_acq",
+    "ISA2+rel_acq", "IRIW+rel_acq",
+)
+
+#: Historical reference, measured once (best-of-5 per test, warm
+#: process) against the pre-kernel engine at commit 3ea04ae: the full
+#: standard suite went from 0.284s to 0.093s (3.1x overall), and the
+#: enumeration-heavy tests cleared 5x — IRIW+fence.sc 55.8ms -> 9.8ms
+#: (5.7x).  Kept for context only — the --check gate compares freshly
+#: measured ratios, never these numbers.
+REFERENCE = {
+    "seed_commit": "3ea04ae",
+    "suite_seconds_before": 0.284,
+    "suite_seconds_after": 0.093,
+    "suite_speedup": 3.1,
+    "largest_single_test": {
+        "name": "IRIW+fence.sc",
+        "before_ms": 55.8,
+        "after_ms": 9.8,
+        "speedup": 5.7,
+    },
+}
+
+
+def _random_pairs(rng: random.Random, n: int, density: float):
+    return [
+        (a, b)
+        for a in range(n)
+        for b in range(n)
+        if rng.random() < density
+    ]
+
+
+def _time(fn, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_micro(quick: bool) -> dict:
+    """Per-operator set/bit timing ratios on random relations."""
+    rng = random.Random(20260806)
+    sizes = (16, 48) if quick else (16, 48, 96)
+    repeat = 3 if quick else 5
+    inner = 20 if quick else 50
+    out: dict = {}
+    for n in sizes:
+        atoms = list(range(n))
+        u = Universe(atoms)
+        p = _random_pairs(rng, n, 0.08)
+        q = _random_pairs(rng, n, 0.08)
+        rel_p, rel_q = Relation.pairs(p), Relation.pairs(q)
+        bit_p, bit_q = BitRel.from_pairs(u, p), BitRel.from_pairs(u, q)
+        ops = {
+            "union": (lambda: rel_p | rel_q, lambda: bit_p | bit_q),
+            "inter": (lambda: rel_p & rel_q, lambda: bit_p & bit_q),
+            "join": (lambda: rel_p.join(rel_q), lambda: bit_p.join(bit_q)),
+            "transpose": (rel_p.transpose, bit_p.transpose),
+            "closure": (rel_p.closure, bit_p.closure),
+        }
+        per_size = {}
+        for name, (set_fn, bit_fn) in ops.items():
+            set_s = _time(lambda: [set_fn() for _ in range(inner)], repeat)
+            bit_s = _time(lambda: [bit_fn() for _ in range(inner)], repeat)
+            per_size[name] = {
+                "set_s": set_s,
+                "bit_s": bit_s,
+                "speedup": set_s / bit_s if bit_s else float("inf"),
+            }
+        out[str(n)] = per_size
+    return out
+
+
+def measure_end_to_end(quick: bool) -> dict:
+    """Full allowed_outcomes timing per kernel, per suite test."""
+    tests = [t for t in SUITE if not quick or t.name in QUICK_TESTS]
+    repeat = 1 if quick else 3
+    per_test: dict = {}
+    totals = {"set": 0.0, "bit": 0.0}
+    for test in tests:
+        opts, _ = partition_opts("ptx", dict(test.search_opts))
+        outcomes: dict = {}
+        timings = {}
+        for kernel in ("set", "bit"):
+            def run(kernel=kernel):
+                outcomes[kernel] = allowed_outcomes(
+                    test.program, kernel=kernel, **opts
+                )
+            timings[kernel] = _time(run, repeat)
+            totals[kernel] += timings[kernel]
+        if outcomes["set"] != outcomes["bit"]:
+            raise AssertionError(
+                f"kernel outcome mismatch on {test.name}: the benchmark "
+                "refuses to time an unsound kernel"
+            )
+        per_test[test.name] = {
+            "set_s": timings["set"],
+            "bit_s": timings["bit"],
+            "speedup": (
+                timings["set"] / timings["bit"]
+                if timings["bit"] else float("inf")
+            ),
+        }
+    return {
+        "tests": per_test,
+        "total": {
+            "set_s": totals["set"],
+            "bit_s": totals["bit"],
+            "speedup": (
+                totals["set"] / totals["bit"]
+                if totals["bit"] else float("inf")
+            ),
+        },
+    }
+
+
+def measure(quick: bool) -> dict:
+    return {
+        "schema": 1,
+        "quick": quick,
+        "micro": measure_micro(quick),
+        "end_to_end": measure_end_to_end(quick),
+        "reference": REFERENCE,
+    }
+
+
+def check_regression(current: dict, baseline: dict) -> int:
+    """Ratio-based regression gate: fail when the measured end-to-end
+    speedup drops below a third of the committed baseline's (absolute
+    times are machine-dependent; ratios survive hardware changes)."""
+    base = baseline["end_to_end"]["total"]["speedup"]
+    now = current["end_to_end"]["total"]["speedup"]
+    floor = base / 3.0
+    print(
+        f"end-to-end kernel speedup: baseline {base:.2f}x, "
+        f"measured {now:.2f}x, floor {floor:.2f}x"
+    )
+    if now < floor:
+        print("FAIL: bitset kernel speedup regressed past the 3x margin")
+        return 1
+    print("ok: kernel speedup within the regression margin")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small operator sweep and a 6-test suite subset (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).parent / "BENCH_relation_kernel.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--check", type=Path, metavar="BASELINE",
+        help="compare speedup ratios against a committed baseline JSON; "
+        "exit 1 on a >3x regression",
+    )
+    args = parser.parse_args(argv)
+
+    # read the baseline before writing anything: --check and --out may
+    # name the same file, and the comparison must be against the
+    # committed numbers, not the report we are about to emit
+    baseline = json.loads(args.check.read_text()) if args.check else None
+    report = measure(args.quick)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    total = report["end_to_end"]["total"]
+    print(
+        f"end-to-end: set {total['set_s']:.3f}s, bit {total['bit_s']:.3f}s "
+        f"({total['speedup']:.2f}x); report -> {args.out}"
+    )
+    if baseline is not None:
+        return check_regression(report, baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -118,6 +118,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"elapsed    : {result.elapsed:.3f}s")
         if result.solver_stats is not None:
             print(f"sat        : {result.solver_stats.format()}")
+        if result.enum_stats is not None:
+            print(f"enum       : {result.enum_stats.format()}")
     if args.outcomes:
         for outcome in sorted(result.outcomes, key=repr):
             print(f"  {outcome}")

@@ -346,7 +346,7 @@ def symbolic_outcomes(
     data-dependent (the instance alone cannot determine it).
     """
     from ..lang import eval_expr
-    from ..search.ptx_search import Outcome, co_maximal_memory
+    from ..search.ptx_search import Outcome, co_maximal_memory, register_sort_key
 
     program = test.program
     elab = elaborate(program)
@@ -380,7 +380,10 @@ def symbolic_outcomes(
             "syncbarrier": elab.syncbarrier,
         },
     )
-    env = build_env(static)
+    # decode on the bitset kernel: one cause evaluation per instance is
+    # the oracle path's hot spot, and the retained memo carries the
+    # rf/sc-independent subexpressions across instances
+    env = build_env(static, kernel="bit")
     ms = env.lookup("morally_strong")
     init_edges = Relation(
         (init, w)
@@ -398,7 +401,7 @@ def symbolic_outcomes(
             dst = elab.read_dst.get(read.eid)
             if dst is not None:
                 registers[(read.thread, dst)] = value_of(write)
-        bound = env.bind("rf", rf).bind("sc", sc)
+        bound = env.bind("rf", env.to_kernel(rf)).bind("sc", env.to_kernel(sc))
         cause = eval_expr(cause_expr, bound)
         observable_co = Relation(
             (a, b)
@@ -409,7 +412,7 @@ def symbolic_outcomes(
         )
         outcomes.add(
             Outcome(
-                registers=tuple(sorted(registers.items(), key=repr)),
+                registers=tuple(sorted(registers.items(), key=register_sort_key)),
                 memory=co_maximal_memory(writes, observable_co, value_of),
             )
         )

@@ -91,7 +91,11 @@ class Translator:
                     f"relation {expr.name!r} bound at arity {bound.arity}, "
                     f"used at arity {expr.arity}"
                 )
-            out: Matrix = {t: cnf.true_lit() for t in bound.lower}
+            # sort the frozenset lower bound: matrix insertion order feeds
+            # downstream gate creation, and hash order varies per process
+            out: Matrix = {
+                t: cnf.true_lit() for t in sorted(bound.lower, key=repr)
+            }
             out.update(self.free_vars[expr.name])
             return out
         if isinstance(expr, ast.Iden):
@@ -102,16 +106,23 @@ class Translator:
             return {}
         if isinstance(expr, ast.Union_):
             left, right = self.matrix(expr.left), self.matrix(expr.right)
+            # iterate in insertion order (left first, then right-only):
+            # raw set unions would make Tseitin gate numbering — and hence
+            # the emitted CNF and DRAT certificates — vary with hash
+            # randomization across runs
             out = {}
-            for t in set(left) | set(right):
-                lits = [m[t] for m in (left, right) if t in m]
-                out[t] = lits[0] if len(lits) == 1 else cnf.gate_or(lits)
+            for t, lit in left.items():
+                out[t] = cnf.gate_or([lit, right[t]]) if t in right else lit
+            for t, lit in right.items():
+                if t not in left:
+                    out[t] = lit
             return out
         if isinstance(expr, ast.Inter):
             left, right = self.matrix(expr.left), self.matrix(expr.right)
             return {
-                t: cnf.gate_and([left[t], right[t]])
-                for t in set(left) & set(right)
+                t: cnf.gate_and([lit, right[t]])
+                for t, lit in left.items()
+                if t in right
             }
         if isinstance(expr, ast.Diff):
             left, right = self.matrix(expr.left), self.matrix(expr.right)
@@ -183,10 +194,16 @@ class Translator:
     def _square(self, matrix: Matrix) -> Matrix:
         """One squaring step: r ∪ r;r."""
         composed = self._join(matrix, matrix)
+        # insertion-order iteration, for the same determinism reason as
+        # the Union_ case
         out = {}
-        for t in set(matrix) | set(composed):
-            lits = [m[t] for m in (matrix, composed) if t in m]
-            out[t] = lits[0] if len(lits) == 1 else self.cnf.gate_or(lits)
+        for t, lit in matrix.items():
+            out[t] = (
+                self.cnf.gate_or([lit, composed[t]]) if t in composed else lit
+            )
+        for t, lit in composed.items():
+            if t not in matrix:
+                out[t] = lit
         return out
 
     # ------------------------------------------------------------------

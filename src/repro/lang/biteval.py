@@ -1,0 +1,97 @@
+"""Bitset-kernel evaluation environments.
+
+:class:`BitEnv` is an :class:`~repro.lang.eval.Env` whose values live in
+the dense bitset kernel (:mod:`repro.relation.bitrel`) instead of
+frozenset-backed :class:`~repro.relation.Relation` objects.  The
+interpreter (:func:`~repro.lang.eval.eval_expr` /
+:func:`~repro.lang.eval.eval_formula`) is unchanged — only the value
+factory methods differ — so both kernels evaluate the very same spec ASTs
+and, by the property tests, agree on every operator.
+
+Use :func:`bit_env` to build one from the ``Relation`` bindings a model's
+``build_env`` already computes; the converters are lossless, so verdicts
+are identical to the set kernel's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..relation import BitRel, BitSet, Relation, Universe
+from .eval import Env
+
+
+@dataclass
+class BitEnv(Env):
+    """An evaluation environment over the dense bitset kernel.
+
+    ``universe`` holds the full :class:`BitSet` (what the ``univ`` AST
+    node evaluates to); ``space`` is the shared frozen atom universe all
+    kernel values index into.
+    """
+
+    space: Optional[Universe] = None
+
+    @classmethod
+    def over_atoms(cls, atoms: Iterable, **bindings) -> "BitEnv":
+        space = Universe(atoms)
+        return cls(
+            universe=BitSet(space, space.full),
+            bindings=dict(bindings),
+            space=space,
+        )
+
+    def _derive(self, bindings, cache) -> "BitEnv":
+        return BitEnv(
+            universe=self.universe, bindings=bindings, cache=cache,
+            stats=self.stats, space=self.space,
+        )
+
+    def atoms(self) -> list:
+        return list(self.space.atoms)
+
+    # -- kernel factory methods ---------------------------------------
+    def iden_value(self) -> BitRel:
+        return BitRel.identity(self.space)
+
+    def empty_value(self, arity: Optional[int]):
+        if arity == 1:
+            return BitSet(self.space)
+        return BitRel(self.space)
+
+    def bracket_value(self, inner: BitSet) -> BitRel:
+        return inner.diag()
+
+    def make_relation(self, pairs: Iterable[tuple]) -> BitRel:
+        return BitRel.from_pairs(self.space, pairs)
+
+    def make_set(self, atoms: Iterable) -> BitSet:
+        return BitSet.from_atoms(self.space, atoms)
+
+    def to_kernel(self, rel, arity: int = 2):
+        if isinstance(rel, (BitRel, BitSet)):
+            return rel
+        if arity == 1:
+            return BitSet.from_relation(self.space, rel)
+        return BitRel.from_relation(self.space, rel)
+
+
+def bit_env(
+    atoms: Iterable,
+    bindings: Dict[str, Relation],
+    sets: Iterable[str] = (),
+) -> BitEnv:
+    """A :class:`BitEnv` over ``atoms`` from plain ``Relation`` bindings.
+
+    ``sets`` names the bindings to be represented as :class:`BitSet`
+    (arity 1); everything else becomes a :class:`BitRel`.  This is the
+    bridge the model ``build_env`` functions use: they compute their
+    bindings as before and hand them over for conversion.
+    """
+    env = BitEnv.over_atoms(atoms)
+    set_names = frozenset(sets)
+    for name, rel in bindings.items():
+        arity = 1 if name in set_names or rel.arity == 1 else 2
+        env.bindings[name] = env.to_kernel(rel, arity=arity)
+    return env

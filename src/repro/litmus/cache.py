@@ -37,7 +37,11 @@ from .serialize import (
 #: v2: results carry an optional verdict certificate, and the cache key
 #: records whether the run certified — pre-bump entries become clean
 #: misses rather than being served to (or poisoning) certified runs.
-CACHE_SCHEMA_VERSION = 2
+#: v3: outcome registers are sorted by a natural (thread, name) key
+#: rather than by repr, and results carry optional enumeration
+#: counters — pre-bump entries would disagree byte-for-byte with fresh
+#: runs on register order, so they become clean misses.
+CACHE_SCHEMA_VERSION = 3
 
 
 def code_salt() -> str:

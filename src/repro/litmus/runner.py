@@ -33,7 +33,7 @@ from ..cert.verdict import Certificate, skipped_certificate
 from ..ptx.program import Program
 from ..sat.solver import SolverStats
 from ..scmodel import check_execution as sc_check
-from ..search.ptx_search import Outcome, allowed_outcomes
+from ..search.ptx_search import EnumStats, Outcome, allowed_outcomes
 from ..search.total_search import allowed_outcomes_total
 from ..tso import check_execution as tso_check
 from .config import RunConfig
@@ -214,6 +214,10 @@ class LitmusResult:
     elapsed: Optional[float] = None
     #: SAT backend counters (populated by the symbolic engine only)
     solver_stats: Optional[SolverStats] = None
+    #: enumeration counters (populated by the enumerative PTX engine only):
+    #: rf assignments visited, candidates pruned before the co loop,
+    #: candidates fully checked, and evaluator memo hits/misses
+    enum_stats: Optional[EnumStats] = None
     #: ``"ok"`` normally; ``"timeout"``/``"error"`` when the decision
     #: procedure was cut short (the verdict is then TIMEOUT/ERROR)
     status: str = "ok"
@@ -404,6 +408,7 @@ def decide_filtered(
     """
     merged = opts
     solver_stats: Optional[SolverStats] = None
+    enum_stats: Optional[EnumStats] = None
     status = "ok"
     detail: Optional[str] = None
     observed = False
@@ -429,6 +434,9 @@ def decide_filtered(
                 )
                 observed, outcomes, solver_stats = run(test, merged)
             else:
+                if config.model == "ptx":
+                    enum_stats = EnumStats()
+                    merged = dict(merged, stats=enum_stats)
                 outcomes = MODELS[config.model](test.program, **merged)
                 observed = test.condition_observed(outcomes)
     except TimeoutExceeded:
@@ -436,6 +444,7 @@ def decide_filtered(
         detail = f"exceeded {config.timeout}s"
         outcomes = frozenset()
         solver_stats = None
+        enum_stats = None
         certificate = None
     if certificate is not None and certificate.failed:
         # never let an uncertified verdict pass silently: a trace or
@@ -450,6 +459,7 @@ def decide_filtered(
         outcomes=outcomes,
         elapsed=elapsed,
         solver_stats=solver_stats,
+        enum_stats=enum_stats,
         status=status,
         detail=detail,
         certificate=certificate,

@@ -26,7 +26,7 @@ from ..ptx.events import Sem
 from ..ptx.isa import Atom, AtomOp, Bar, BarOp, Fence, Instruction, Ld, Red, St
 from ..ptx.program import Program, ThreadCode
 from ..sat.solver import SolverStats
-from ..search.ptx_search import Outcome
+from ..search.ptx_search import EnumStats, Outcome
 from .conditions import AndC, Condition, MemEq, NotC, OrC, RegEq, TrueC
 
 #: Bump when the serialized shape changes incompatibly.
@@ -433,6 +433,14 @@ def solver_stats_from_dict(obj: Dict) -> SolverStats:
     return SolverStats(**obj)
 
 
+def enum_stats_to_dict(stats: EnumStats) -> Dict:
+    return stats.as_dict()
+
+
+def enum_stats_from_dict(obj: Dict) -> EnumStats:
+    return EnumStats.from_dict(obj)
+
+
 def certificate_to_dict(cert: Certificate) -> Dict:
     return {
         "polarity": cert.polarity,
@@ -476,6 +484,10 @@ def result_to_dict(result, include_test: bool = True) -> Dict:
             solver_stats_to_dict(result.solver_stats)
             if result.solver_stats is not None else None
         ),
+        "enum_stats": (
+            enum_stats_to_dict(result.enum_stats)
+            if result.enum_stats is not None else None
+        ),
         "status": result.status,
         "detail": result.detail,
         "certificate": (
@@ -503,6 +515,10 @@ def result_from_dict(obj: Dict, test=None):
         solver_stats=(
             solver_stats_from_dict(obj["solver_stats"])
             if obj.get("solver_stats") is not None else None
+        ),
+        enum_stats=(
+            enum_stats_from_dict(obj["enum_stats"])
+            if obj.get("enum_stats") is not None else None
         ),
         status=obj.get("status", "ok"),
         detail=obj.get("detail"),

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sat.solver import SolverStats
+from ..search.ptx_search import EnumStats
 from .cache import ResultCache, cache_key, default_cache_dir
 from .config import RunConfig
 from .runner import (
@@ -69,16 +70,21 @@ class SessionStats:
     elapsed: float = 0.0
     #: summed SAT counters from every symbolic-engine result
     solver: SolverStats = field(default_factory=SolverStats)
+    #: summed enumeration counters from every enumerative PTX result
+    enum: EnumStats = field(default_factory=EnumStats)
 
     def format(self) -> str:
         """A compact one-line rendering for CLI/benchmark output."""
-        return (
+        line = (
             f"tasks={self.tasks} cache_hits={self.cache_hits} "
             f"cache_misses={self.cache_misses} timeouts={self.timeouts} "
             f"errors={self.errors} worker_retries={self.worker_retries} "
             f"certified={self.certified} cert_failed={self.cert_failed} "
             f"cert_skipped={self.cert_skipped} elapsed={self.elapsed:.3f}s"
         )
+        if self.enum.rf_assignments:
+            line += f"\nenum: {self.enum.format()}"
+        return line
 
 
 def _execute_task(payload: Dict) -> Dict:
@@ -223,6 +229,8 @@ class Session:
                 self.stats.errors += 1
             if result.solver_stats is not None:
                 self.stats.solver = self.stats.solver + result.solver_stats
+            if result.enum_stats is not None:
+                self.stats.enum = self.stats.enum + result.enum_stats
             certificate = result.certificate
             if certificate is not None:
                 if certificate.verified:

@@ -33,7 +33,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 from ..core.scopes import ThreadId
 from ..ptx.isa import Atom, Bar, Fence, Ld, Red, St
 from ..ptx.program import Program
-from ..search.ptx_search import Outcome
+from ..search.ptx_search import Outcome, register_sort_key
 
 
 class UnsupportedInstruction(ValueError):
@@ -145,7 +145,7 @@ class _BaseMachine:
             sorted((loc, frozenset({value})) for loc, value in state.memory)
         )
         return Outcome(
-            registers=tuple(sorted(registers.items(), key=repr)),
+            registers=tuple(sorted(registers.items(), key=register_sort_key)),
             memory=memory,
         )
 

@@ -112,6 +112,25 @@ class Event:
         if self.kind in (Kind.BAR_ARRIVE, Kind.BAR_SYNC) and self.barrier is None:
             raise ValueError("barrier events need a barrier id")
 
+    def __hash__(self) -> int:
+        # The relation kernels hash events millions of times per search;
+        # the fields are frozen, so compute once and pin the result.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((
+                self.eid, self.thread, self.kind, self.sem, self.scope,
+                self.loc, self.value, self.barrier, self.instr,
+            ))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __getstate__(self):
+        # str hashes are salted per process: never ship a cached hash
+        # across a pickle boundary.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     # ------------------------------------------------------------------
     @property
     def is_read(self) -> bool:

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.execution import Execution, same_location
 from ..core.scopes import mutually_inclusive
-from ..lang import Env, eval_expr, eval_formula
+from ..lang import Env, bit_env, eval_expr, eval_formula
 from ..relation import Relation
 from . import spec
 from .events import Event, Sem, is_init
@@ -50,13 +50,18 @@ def moral_strength(events: Tuple[Event, ...], po: Relation) -> Relation:
     return Relation(pairs)
 
 
-def build_env(execution: Execution) -> Env:
+def build_env(execution: Execution, kernel: str = "set") -> Env:
     """Build the evaluation environment for the PTX spec.
 
     ``execution.relations`` must already provide the witness relations
     ``po``, ``rf``, ``co``, ``sc``, ``rmw``, ``dep`` and ``syncbarrier``;
     everything else (event-class sets, ``sloc``, ``po_loc``,
     ``morally_strong``) is derived here from the events themselves.
+
+    ``kernel`` selects the relation representation: ``"set"`` (the
+    frozenset-backed :class:`Relation`, the default) or ``"bit"`` (the
+    dense bitset kernel the enumerative engine uses).  Verdicts are
+    identical either way.
     """
     events = execution.events
     po = execution.relation("po")
@@ -97,6 +102,10 @@ def build_env(execution: Execution) -> Env:
             e for e in events if e.is_fence and e.sem is Sem.SC
         ),
     }
+    if kernel == "bit":
+        return bit_env(events, bindings, sets=spec.BASE_SETS)
+    if kernel != "set":
+        raise ValueError(f"unknown relation kernel {kernel!r}")
     return Env(universe=Relation.set_of(events), bindings=bindings)
 
 
@@ -146,7 +155,8 @@ def check_execution(
 def derived_relation(execution: Execution, name: str) -> Relation:
     """Evaluate one of the Figure 4 derived relations (e.g. ``cause``)."""
     env = build_env(execution)
-    return eval_expr(spec.DERIVED[name], env)
+    value = eval_expr(spec.DERIVED[name], env)
+    return value if isinstance(value, Relation) else value.to_relation()
 
 
 def data_races(execution: Execution) -> Relation:

@@ -100,6 +100,25 @@ class CEvent:
         if self.mo is not MemOrder.NA and self.scope is None:
             raise ValueError("atomic operations need a scope")
 
+    def __hash__(self) -> int:
+        # The relation kernels hash events millions of times per search;
+        # the fields are frozen, so compute once and pin the result.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((
+                self.eid, self.thread, self.kind, self.mo, self.scope,
+                self.loc, self.instr,
+            ))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __getstate__(self):
+        # str hashes are salted per process: never ship a cached hash
+        # across a pickle boundary.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     @property
     def is_read(self) -> bool:
         """Whether the event reads (reads and RMWs)."""

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.execution import Execution, same_location
 from ..core.scopes import mutually_inclusive
-from ..lang import Env, eval_expr, eval_formula
+from ..lang import Env, bit_env, eval_expr, eval_formula
 from ..relation import Relation
 from . import spec
 from .events import CEvent, CKind, MemOrder, c_is_init
@@ -35,12 +35,13 @@ def inclusion(events: Tuple[CEvent, ...]) -> Relation:
     return Relation(pairs)
 
 
-def build_env(execution: Execution) -> Env:
+def build_env(execution: Execution, kernel: str = "set") -> Env:
     """Environment for the scoped RC11 spec.
 
     ``execution.relations`` must provide ``sb``, ``rf`` and ``mo``; the
     event-class sets, ``sloc``, ``incl`` and the single-event ``rmw``
-    identity are derived here.
+    identity are derived here.  ``kernel`` selects the relation
+    representation (``"set"`` or ``"bit"``); verdicts are identical.
     """
     events = execution.events
     bindings: Dict[str, Relation] = {
@@ -70,6 +71,10 @@ def build_env(execution: Execution) -> Env:
             e for e in events if e.is_fence and e.mo is MemOrder.SC
         ),
     }
+    if kernel == "bit":
+        return bit_env(events, bindings, sets=spec.BASE_SETS)
+    if kernel != "set":
+        raise ValueError(f"unknown relation kernel {kernel!r}")
     return Env(universe=Relation.set_of(events), bindings=bindings)
 
 
@@ -101,7 +106,9 @@ def check_execution(
     ``with_thin_air`` re-enables the RC11 No-Thin-Air axiom the paper drops
     (§4.1), for ablation experiments.
     """
-    env = env or build_env(execution)
+    # the self-built environment runs on the bitset kernel: this is the
+    # enumeration hot path (verdicts are kernel-independent)
+    env = env or build_env(execution, kernel="bit")
     axioms = spec.AXIOMS_WITH_THIN_AIR if with_thin_air else spec.AXIOMS
     results = {name: eval_formula(axiom, env) for name, axiom in axioms.items()}
     return Rc11Report(axioms=results, execution=execution)
@@ -114,7 +121,7 @@ def data_races(execution: Execution, env: Optional[Env] = None) -> Relation:
     different threads, unordered by happens-before, where additionally at
     least one side is non-atomic or the pair is not scope-inclusive.
     """
-    env = env or build_env(execution)
+    env = env or build_env(execution, kernel="bit")
     hb = eval_expr(spec.DERIVED["hb"], env)
     incl = env.lookup("incl")
     pairs: List[Tuple[CEvent, CEvent]] = []

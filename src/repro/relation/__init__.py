@@ -1,10 +1,14 @@
 """Finite relational algebra: the substrate under every axiomatic model."""
 
+from .bitrel import BitRel, BitSet, Universe
 from .fixpoint import least_fixpoint, recursive_union
 from .relation import Relation, acyclic, iden_over, irreflexive
 
 __all__ = [
+    "BitRel",
+    "BitSet",
     "Relation",
+    "Universe",
     "acyclic",
     "iden_over",
     "irreflexive",

@@ -1,0 +1,396 @@
+"""Dense bitset relations over a frozen atom universe.
+
+:class:`~repro.relation.relation.Relation` stores frozensets of tuples —
+flexible, but every join/closure re-hashes event objects millions of times
+in the enumerative engines.  This module provides the herd-style dense
+alternative: freeze the execution's event list into a :class:`Universe`
+(atom → row index), then represent
+
+* a **set** of atoms as one Python int bitmask (:class:`BitSet`), and
+* a **binary relation** as a tuple of per-row bitmasks (:class:`BitRel`),
+  ``rows[i]`` holding the successor mask of atom ``i``.
+
+Union/intersection/difference become single bitwise ops, composition a
+masked row-OR, transpose a bit transposition, and transitive closure a
+Warshall sweep over bitrows.  Both classes mirror the :class:`Relation`
+method vocabulary used by :func:`repro.lang.eval_expr`, so the cat
+evaluator runs unchanged over either representation, and lossless
+converters (`from_relation` / `to_relation`) bridge the two at the
+engine boundaries.
+
+Arity discipline: ``BitSet.arity == 1`` and ``BitRel.arity == 2`` are
+fixed (unlike the polymorphic empty ``Relation``); mixing the two kinds
+in a set operation raises, exactly like a ``Relation`` arity mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .relation import Atom, Relation
+
+
+def _bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class Universe:
+    """A frozen, ordered atom list with O(1) atom → row-index lookup.
+
+    Build one per execution (the event tuple) and share it across every
+    relation of that execution; operations between relations over
+    *different* universes raise.
+    """
+
+    __slots__ = ("atoms", "index", "n", "full")
+
+    def __init__(self, atoms: Iterable[Atom]):
+        self.atoms: Tuple[Atom, ...] = tuple(atoms)
+        self.index: Dict[Atom, int] = {a: i for i, a in enumerate(self.atoms)}
+        if len(self.index) != len(self.atoms):
+            raise ValueError("universe atoms must be distinct")
+        self.n = len(self.atoms)
+        self.full = (1 << self.n) - 1 if self.n else 0
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return f"<Universe of {self.n} atoms>"
+
+
+def _same_universe(a, b) -> None:
+    if a.u is not b.u:
+        raise ValueError("operands live in different universes")
+
+
+class BitSet:
+    """A set of universe atoms as one bitmask (the arity-1 kernel value)."""
+
+    __slots__ = ("u", "mask")
+    arity = 1
+
+    def __init__(self, u: Universe, mask: int = 0):
+        self.u = u
+        self.mask = mask & u.full
+
+    # -- constructors / converters ------------------------------------
+    @classmethod
+    def from_atoms(cls, u: Universe, atoms: Iterable[Atom]) -> "BitSet":
+        mask = 0
+        for a in atoms:
+            mask |= 1 << u.index[a]
+        return cls(u, mask)
+
+    @classmethod
+    def from_relation(cls, u: Universe, rel: Relation) -> "BitSet":
+        if rel.arity not in (None, 1):
+            raise ValueError(f"cannot build a BitSet from arity {rel.arity}")
+        return cls.from_atoms(u, (t[0] for t in rel.tuples))
+
+    def to_relation(self) -> Relation:
+        return Relation.set_of(self.u.atoms[i] for i in _bits(self.mask))
+
+    # -- basic protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return self.mask.bit_count()
+
+    def __bool__(self) -> bool:
+        return bool(self.mask)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return ((self.u.atoms[i],) for i in _bits(self.mask))
+
+    def __contains__(self, item) -> bool:
+        (atom,) = tuple(item)
+        i = self.u.index.get(atom)
+        return i is not None and bool(self.mask >> i & 1)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BitSet):
+            return NotImplemented
+        return self.u is other.u and self.mask == other.mask
+
+    def __hash__(self) -> int:
+        return hash((id(self.u), self.mask))
+
+    def __repr__(self) -> str:
+        return f"BitSet({sorted(map(repr, (t[0] for t in self)))})"
+
+    # -- set algebra ---------------------------------------------------
+    def __or__(self, other: "BitSet") -> "BitSet":
+        if not isinstance(other, BitSet):
+            raise ValueError("arity mismatch: 1 vs 2")
+        _same_universe(self, other)
+        return BitSet(self.u, self.mask | other.mask)
+
+    def __and__(self, other: "BitSet") -> "BitSet":
+        if not isinstance(other, BitSet):
+            raise ValueError("arity mismatch: 1 vs 2")
+        _same_universe(self, other)
+        return BitSet(self.u, self.mask & other.mask)
+
+    def __sub__(self, other: "BitSet") -> "BitSet":
+        if not isinstance(other, BitSet):
+            raise ValueError("arity mismatch: 1 vs 2")
+        _same_universe(self, other)
+        return BitSet(self.u, self.mask & ~other.mask)
+
+    def issubset(self, other: "BitSet") -> bool:
+        if not isinstance(other, BitSet):
+            raise ValueError("arity mismatch: 1 vs 2")
+        _same_universe(self, other)
+        return not (self.mask & ~other.mask)
+
+    def is_empty(self) -> bool:
+        return not self.mask
+
+    # -- relational algebra -------------------------------------------
+    def join(self, other: "BitRel") -> "BitSet":
+        """Alloy dot join set.rel: the image of this set under ``other``."""
+        if not isinstance(other, BitRel):
+            raise ValueError("BitSet.join expects a BitRel")
+        _same_universe(self, other)
+        out = 0
+        rows = other.rows
+        for i in _bits(self.mask):
+            out |= rows[i]
+        return BitSet(self.u, out)
+
+    def product(self, other: "BitSet") -> "BitRel":
+        """Cartesian product (Alloy's ``->``), yielding a binary relation."""
+        if not isinstance(other, BitSet):
+            raise ValueError("BitSet.product expects a BitSet")
+        _same_universe(self, other)
+        rows = [other.mask if self.mask >> i & 1 else 0 for i in range(self.u.n)]
+        return BitRel(self.u, rows)
+
+    def diag(self) -> "BitRel":
+        """The ``[s]`` bracket: identity restricted to this set."""
+        rows = [(1 << i) if self.mask >> i & 1 else 0 for i in range(self.u.n)]
+        return BitRel(self.u, rows)
+
+
+class BitRel:
+    """A binary relation as per-row successor bitmasks (the arity-2 kernel
+    value); ``rows[i]`` has bit ``j`` set iff (atoms[i], atoms[j]) holds."""
+
+    __slots__ = ("u", "rows")
+    arity = 2
+
+    def __init__(self, u: Universe, rows: Iterable[int] = ()):
+        self.u = u
+        rows = tuple(rows)
+        if not rows:
+            rows = (0,) * u.n
+        elif len(rows) != u.n:
+            raise ValueError(f"expected {u.n} rows, got {len(rows)}")
+        self.rows = rows
+
+    # -- constructors / converters ------------------------------------
+    @classmethod
+    def from_pairs(cls, u: Universe, pairs: Iterable[tuple]) -> "BitRel":
+        rows = [0] * u.n
+        index = u.index
+        for a, b in pairs:
+            rows[index[a]] |= 1 << index[b]
+        return cls(u, rows)
+
+    @classmethod
+    def from_relation(cls, u: Universe, rel: Relation) -> "BitRel":
+        if rel.arity not in (None, 2):
+            raise ValueError(f"cannot build a BitRel from arity {rel.arity}")
+        return cls.from_pairs(u, rel.tuples)
+
+    def to_relation(self) -> Relation:
+        return Relation.pairs(self)
+
+    def same_kind(self, pairs: Iterable[tuple]) -> "BitRel":
+        """A relation of the same representation from explicit pairs."""
+        return BitRel.from_pairs(self.u, pairs)
+
+    @classmethod
+    def identity(cls, u: Universe) -> "BitRel":
+        return cls(u, [1 << i for i in range(u.n)])
+
+    # -- basic protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return sum(row.bit_count() for row in self.rows)
+
+    def __bool__(self) -> bool:
+        return any(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        atoms = self.u.atoms
+        for i, row in enumerate(self.rows):
+            a = atoms[i]
+            for j in _bits(row):
+                yield (a, atoms[j])
+
+    def __contains__(self, item) -> bool:
+        a, b = tuple(item)
+        index = self.u.index
+        i = index.get(a)
+        j = index.get(b)
+        return i is not None and j is not None and bool(self.rows[i] >> j & 1)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BitRel):
+            return NotImplemented
+        return self.u is other.u and self.rows == other.rows
+
+    def __hash__(self) -> int:
+        return hash((id(self.u), self.rows))
+
+    def __repr__(self) -> str:
+        preview = sorted(map(repr, self))
+        if len(preview) > 8:
+            preview = preview[:8] + ["..."]
+        return f"BitRel({{{', '.join(preview)}}})"
+
+    # -- set algebra ---------------------------------------------------
+    def __or__(self, other: "BitRel") -> "BitRel":
+        if not isinstance(other, BitRel):
+            raise ValueError("arity mismatch: 2 vs 1")
+        _same_universe(self, other)
+        return BitRel(self.u, map(int.__or__, self.rows, other.rows))
+
+    def __and__(self, other: "BitRel") -> "BitRel":
+        if not isinstance(other, BitRel):
+            raise ValueError("arity mismatch: 2 vs 1")
+        _same_universe(self, other)
+        return BitRel(self.u, map(int.__and__, self.rows, other.rows))
+
+    def __sub__(self, other: "BitRel") -> "BitRel":
+        if not isinstance(other, BitRel):
+            raise ValueError("arity mismatch: 2 vs 1")
+        _same_universe(self, other)
+        return BitRel(self.u, (a & ~b for a, b in zip(self.rows, other.rows)))
+
+    def issubset(self, other: "BitRel") -> bool:
+        if not isinstance(other, BitRel):
+            raise ValueError("arity mismatch: 2 vs 1")
+        _same_universe(self, other)
+        return all(not (a & ~b) for a, b in zip(self.rows, other.rows))
+
+    def is_empty(self) -> bool:
+        return not any(self.rows)
+
+    # -- relational algebra -------------------------------------------
+    def join(self, other) -> object:
+        """Alloy dot join: rel.rel is composition, rel.set is the preimage."""
+        if isinstance(other, BitRel):
+            _same_universe(self, other)
+            orows = other.rows
+            out: List[int] = []
+            for row in self.rows:
+                acc = 0
+                for j in _bits(row):
+                    acc |= orows[j]
+                out.append(acc)
+            return BitRel(self.u, out)
+        if isinstance(other, BitSet):
+            _same_universe(self, other)
+            mask = other.mask
+            out_mask = 0
+            for i, row in enumerate(self.rows):
+                if row & mask:
+                    out_mask |= 1 << i
+            return BitSet(self.u, out_mask)
+        raise ValueError("BitRel.join expects a BitRel or BitSet")
+
+    def compose(self, *others: "BitRel") -> "BitRel":
+        result = self
+        for other in others:
+            result = result.join(other)
+        return result
+
+    def transpose(self) -> "BitRel":
+        cols = [0] * self.u.n
+        for i, row in enumerate(self.rows):
+            bit = 1 << i
+            for j in _bits(row):
+                cols[j] |= bit
+        return BitRel(self.u, cols)
+
+    def domain(self) -> BitSet:
+        mask = 0
+        for i, row in enumerate(self.rows):
+            if row:
+                mask |= 1 << i
+        return BitSet(self.u, mask)
+
+    def range(self) -> BitSet:
+        mask = 0
+        for row in self.rows:
+            mask |= row
+        return BitSet(self.u, mask)
+
+    def field(self) -> BitSet:
+        return self.domain() | self.range()
+
+    def restrict_domain(self, atoms: BitSet) -> "BitRel":
+        _same_universe(self, atoms)
+        mask = atoms.mask
+        return BitRel(
+            self.u,
+            (row if mask >> i & 1 else 0 for i, row in enumerate(self.rows)),
+        )
+
+    def restrict_range(self, atoms: BitSet) -> "BitRel":
+        _same_universe(self, atoms)
+        mask = atoms.mask
+        return BitRel(self.u, (row & mask for row in self.rows))
+
+    def restrict(self, domain: BitSet, range_: BitSet) -> "BitRel":
+        return self.restrict_domain(domain).restrict_range(range_)
+
+    # -- closures ------------------------------------------------------
+    def closure(self) -> "BitRel":
+        """Transitive closure ``r+`` by Warshall over bitrows."""
+        rows = list(self.rows)
+        for k in range(self.u.n):
+            rk = rows[k]
+            if not rk:
+                continue
+            kbit = 1 << k
+            for i in range(self.u.n):
+                if rows[i] & kbit:
+                    rows[i] |= rk
+        return BitRel(self.u, rows)
+
+    def reflexive_closure(self, universe: Optional[Iterable[Atom]] = None) -> "BitRel":
+        """``r ∪ iden``; the universe argument (accepted for signature
+        parity with :class:`Relation`) is implied by the frozen atom list."""
+        return BitRel(self.u, (row | (1 << i) for i, row in enumerate(self.rows)))
+
+    def reflexive_transitive_closure(
+        self, universe: Optional[Iterable[Atom]] = None
+    ) -> "BitRel":
+        return self.closure().reflexive_closure()
+
+    def optional(self, universe: Optional[Iterable[Atom]] = None) -> "BitRel":
+        return self.reflexive_closure()
+
+    # -- predicates ----------------------------------------------------
+    def is_irreflexive(self) -> bool:
+        return all(not (row >> i & 1) for i, row in enumerate(self.rows))
+
+    def is_acyclic(self) -> bool:
+        return self.closure().is_irreflexive()
+
+    def is_transitive(self) -> bool:
+        return self.closure().rows == self.rows
+
+    def is_total_over(self, atoms: Iterable[Atom]) -> bool:
+        index = self.u.index
+        ids = [index[a] for a in atoms]
+        return all(
+            self.rows[i] >> j & 1 or self.rows[j] >> i & 1
+            for pos, i in enumerate(ids)
+            for j in ids[pos + 1 :]
+        )

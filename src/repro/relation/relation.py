@@ -91,6 +91,15 @@ class Relation:
         """Build a binary relation from an adjacency mapping atom -> iterable."""
         return cls((a, b) for a, bs in succ.items() for b in bs)
 
+    def same_kind(self, pairs: Iterable[tuple]) -> "Relation":
+        """A relation of the same representation from explicit pairs.
+
+        Kernel-polymorphic constructor: code handed either a
+        :class:`Relation` or a :class:`~repro.relation.bitrel.BitRel` can
+        build compatible values without knowing which it holds.
+        """
+        return Relation(pairs)
+
     # ------------------------------------------------------------------
     # basic protocol
     # ------------------------------------------------------------------

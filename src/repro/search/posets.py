@@ -25,8 +25,8 @@ from ..relation import Relation
 
 def oriented_orders(
     required_pairs: Iterable[FrozenSet],
-    forced: Relation,
-) -> Iterator[Relation]:
+    forced,
+) -> Iterator:
     """Yield all strict partial orders extending ``forced`` and relating
     every pair in ``required_pairs``.
 
@@ -34,6 +34,10 @@ def oriented_orders(
     yields either a→b or b→a.  Pairs already decided by the transitive
     closure of ``forced`` are not branched on.  Results are transitively
     closed and irreflexive; orders that would induce a cycle are skipped.
+
+    ``forced`` may be either relation kernel (:class:`Relation` or
+    :class:`~repro.relation.bitrel.BitRel`); the yielded orders share its
+    representation (built via ``same_kind``).
     """
     forced_closed = forced.closure()
     if not forced_closed.is_irreflexive():
@@ -55,7 +59,7 @@ def oriented_orders(
             (b, a) if flip else (a, b)
             for (a, b), flip in zip(undecided, choice)
         ]
-        candidate = (forced | Relation(extra)).closure()
+        candidate = (forced | forced.same_kind(extra)).closure()
         if candidate.is_irreflexive():
             yield candidate
 

@@ -9,31 +9,112 @@ determine the program's allowed outcomes.
 Enumeration order matters for efficiency and mirrors the dependency
 structure of the model:
 
-1. pick ``rf`` (which also fixes all values, via :mod:`.values`);
+1. pick ``rf`` (which also fixes all values, via :mod:`.values`),
+   discarding assignments whose per-location coherence conflict (a
+   morally strong read-from-po-later-write) already dooms
+   SC-per-Location for every co;
 2. pick ``sc`` — orientations of morally strong ``fence.sc`` pairs;
-3. compute ``cause`` (independent of ``co``) and derive the edges that
-   Axiom 1 forces into ``co``;
+3. compute ``cause`` and check the co-*independent* axioms once, derive
+   the edges that Axiom 1 forces into ``co``;
 4. pick ``co`` — orientations of the remaining morally strong write pairs,
    seeded with init-write edges and the cause-forced edges;
-5. check all axioms.
+5. check the co-*dependent* axioms only.
+
+The hot path runs on the dense bitset kernel
+(:mod:`repro.relation.bitrel`) with dependency-aware memoisation: binding
+``co`` keeps every cached co-independent value, so each co candidate costs
+only the genuinely co-dependent evaluations.  ``kernel="set"`` retains the
+frozenset representation (the two are compared by the engine-agreement
+tests and the kernel benchmark).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.execution import Execution, program_order
 from ..core.scopes import ThreadId
-from ..lang import eval_expr
+from ..lang import eval_expr, eval_formula, var_deps, warm_independent
 from ..ptx import spec
-from ..ptx.events import Event, Sem, init_write, is_init
-from ..ptx.model import ConsistencyReport, build_env, check_execution
+from ..ptx.events import Event, Sem, init_write
+from ..ptx.model import ConsistencyReport, build_env
 from ..ptx.program import Elaboration, Program, elaborate
 from ..relation import Relation
 from .posets import oriented_orders
 from .values import valuations
+
+
+def _thread_sort_key(thread: ThreadId) -> Tuple[bool, int, int, int]:
+    """A total order over thread ids: device threads by coordinates, then
+    host threads by index (``gpu``/``cta`` are None for hosts, so the raw
+    dataclass order would raise on mixed programs)."""
+    return (
+        thread.is_host,
+        -1 if thread.gpu is None else thread.gpu,
+        -1 if thread.cta is None else thread.cta,
+        thread.thread,
+    )
+
+
+def register_sort_key(item) -> Tuple[Tuple[bool, int, int, int], str]:
+    """Sort key for ``((thread, name), value)`` register items: the natural
+    (thread, register-name) order rather than ``repr`` text."""
+    (thread, name), _value = item
+    return (_thread_sort_key(thread), name)
+
+
+@dataclass
+class EnumStats:
+    """Observability counters for one enumerative search.
+
+    ``rf_assignments`` counts reads-from choices visited; ``rf_pruned``
+    those discarded by the per-location coherence-conflict pre-check;
+    ``pre_co_pruned`` the (rf, sc) prefixes whose co-independent axioms
+    already failed (skipping the whole co loop); ``candidates_checked``
+    the fully axiom-checked candidates; ``memo_hits``/``memo_misses`` the
+    closure-evaluation cache behaviour (an :class:`~repro.lang.Env` stats
+    sink).
+    """
+
+    rf_assignments: int = 0
+    rf_pruned: int = 0
+    pre_co_pruned: int = 0
+    candidates_checked: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+
+    # Env.stats protocol: eval_expr reports cache hits/misses here.
+    def hit(self) -> None:
+        self.memo_hits += 1
+
+    def miss(self) -> None:
+        self.memo_misses += 1
+
+    def __add__(self, other: "EnumStats") -> "EnumStats":
+        if not isinstance(other, EnumStats):
+            return NotImplemented
+        return EnumStats(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)
+        })
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "EnumStats":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: int(v) for k, v in data.items() if k in known})
+
+    def format(self) -> str:
+        return (
+            f"rf={self.rf_assignments} rf-pruned={self.rf_pruned} "
+            f"pre-co-pruned={self.pre_co_pruned} "
+            f"checked={self.candidates_checked} "
+            f"memo-hits={self.memo_hits} memo-misses={self.memo_misses}"
+        )
 
 
 @dataclass(frozen=True)
@@ -80,14 +161,14 @@ def co_maximal_memory(
     enumerative engine and the symbolic instance decoder so both report
     memory through the identical observability rule.
     """
-    memory: Dict[str, set] = {}
+    by_loc: Dict[str, List[Event]] = {}
     for event in writes:
-        is_maximal = not any(
-            other.loc == event.loc and (event, other) in co
-            for other in writes
-        )
-        if is_maximal:
-            memory.setdefault(event.loc, set()).add(value_of(event))
+        by_loc.setdefault(event.loc, []).append(event)
+    memory: Dict[str, set] = {}
+    for loc, group in by_loc.items():
+        for event in group:
+            if not any((event, other) in co for other in group):
+                memory.setdefault(loc, set()).add(value_of(event))
     return tuple(
         sorted((loc, frozenset(vals)) for loc, vals in memory.items())
     )
@@ -117,9 +198,21 @@ class Candidate:
             lambda event: self.valuation[event.eid],
         )
         return Outcome(
-            registers=tuple(sorted(registers.items(), key=repr)),
+            registers=tuple(sorted(registers.items(), key=register_sort_key)),
             memory=memory,
         )
+
+
+#: axioms that mention ``co`` and therefore need re-evaluation per co
+#: candidate; the rest are decided once per (rf, sc) prefix.
+_CO_DEPENDENT: FrozenSet[str] = frozenset(
+    name for name, axiom in spec.AXIOMS.items() if "co" in var_deps(axiom)
+)
+
+
+def _as_relation(value) -> Relation:
+    """A plain :class:`Relation` from either kernel's value."""
+    return value if isinstance(value, Relation) else value.to_relation()
 
 
 def candidate_executions(
@@ -127,6 +220,8 @@ def candidate_executions(
     skip_axioms: Tuple[str, ...] = (),
     speculation_values: Sequence[int] = (),
     include_inconsistent: bool = False,
+    kernel: str = "bit",
+    stats: Optional[EnumStats] = None,
 ) -> Iterator[Candidate]:
     """Enumerate candidate executions of ``program``.
 
@@ -134,7 +229,10 @@ def candidate_executions(
     ``skip_axioms`` disables individual axioms (ablation);
     ``speculation_values`` enables out-of-thin-air valuations (Figure 8);
     ``include_inconsistent`` yields every candidate with its per-axiom
-    report attached (useful for diagnostics and tests).
+    report attached (useful for diagnostics and tests) and disables the
+    early pruning stages; ``kernel`` picks the relation representation
+    (outcomes and reports are identical for both); ``stats`` receives
+    enumeration counters when provided.
     """
     elab = elaborate(program)
     init_events = tuple(
@@ -165,8 +263,11 @@ def candidate_executions(
             "syncbarrier": elab.syncbarrier,
         },
     )
-    static_env = build_env(static)
+    stats = stats if stats is not None else EnumStats()
+    static_env = build_env(static, kernel=kernel)
+    static_env.stats = stats
     ms = static_env.lookup("morally_strong")
+    po_loc = static_env.lookup("po_loc")
 
     sc_required = [
         frozenset((a, b))
@@ -182,52 +283,120 @@ def candidate_executions(
         for b in writes[i + 1 :]
         if (a, b) in ms
     ]
-    init_forced = Relation(
+    init_forced = static_env.make_relation(
         (init, other)
         for init in init_events
         for other in writes_by_loc[init.loc]
         if other is not init
     )
+    empty_order = static_env.make_relation(())
+    cause_expr = spec.DERIVED["cause"]
+    co_dependent_axioms = [
+        spec.AXIOMS[name]
+        for name in _CO_DEPENDENT
+        if name not in skip_axioms
+    ]
+    # A read taking its value from a po-later overlapping write forms a
+    # morally strong (ms ∩ rf) / po_loc 2-cycle: SC-per-Location then
+    # fails for every sc/co completion, so the whole rf assignment can be
+    # discarded up front.  Only sound when that axiom is enforced and
+    # inconsistent candidates are not requested.
+    prune_rf = (
+        "SC-per-Location" not in skip_axioms and not include_inconsistent
+    )
 
     rf_choices = [writes_by_loc[read.loc] for read in reads]
     for rf_assignment in itertools.product(*rf_choices):
+        stats.rf_assignments += 1
+        if prune_rf and any(
+            (read, write) in po_loc and (read, write) in ms
+            for read, write in zip(reads, rf_assignment)
+        ):
+            stats.rf_pruned += 1
+            continue
         rf_source = {
             read.eid: write.eid for read, write in zip(reads, rf_assignment)
         }
         rf_rel = Relation(
             (write, read) for read, write in zip(reads, rf_assignment)
         )
+        # rebind only the witness relations: the derived sets,
+        # sloc/po_loc and moral strength are rf/sc/co-independent,
+        # so the statically built environment can be reused.
+        rf_env = static_env.bind("rf", static_env.to_kernel(rf_rel))
+
+        # Everything per-sc is valuation-independent: compute it once per
+        # rf choice and replay it inside the valuation loop.
+        sc_variants = []
+        for sc_order in oriented_orders(sc_required, empty_order):
+            env = rf_env.bind("sc", sc_order)
+            pre_results: Dict[str, bool] = {}
+            pre_ok = True
+            for name, axiom in spec.AXIOMS.items():
+                if name in _CO_DEPENDENT:
+                    continue
+                ok = name in skip_axioms or eval_formula(axiom, env)
+                pre_results[name] = ok
+                pre_ok = pre_ok and ok
+            if not pre_ok and not include_inconsistent:
+                stats.pre_co_pruned += 1
+                continue
+            cause = eval_expr(cause_expr, env)
+            cause_forced = [
+                (a, b)
+                for a, b in cause
+                if a.is_write and b.is_write and a.loc == b.loc
+            ]
+            forced = init_forced | env.make_relation(cause_forced)
+            # pre-evaluate the co-independent parts of the co-dependent
+            # axioms (e.g. the causality left-hand sides): bind("co")
+            # retains them, so each co candidate pays only for what
+            # genuinely changed.
+            for axiom in co_dependent_axioms:
+                warm_independent(axiom, env, frozenset(("co",)))
+            sc_variants.append((sc_order, env, forced, pre_results))
+
+        if not sc_variants:
+            continue
         for valuation in valuations(elab, rf_source, base_values, speculation_values):
-            for sc_rel in oriented_orders(sc_required, Relation.empty(2)):
-                partial = static.with_relations(rf=rf_rel, sc=sc_rel)
-                # rebind only the witness relations: the derived sets,
-                # sloc/po_loc and moral strength are rf/sc/co-independent,
-                # so the statically built environment can be reused.
-                env = static_env.bind("rf", rf_rel).bind("sc", sc_rel)
-                cause = eval_expr(spec.DERIVED["cause"], env)
-                cause_forced = Relation(
-                    (a, b)
-                    for a, b in cause
-                    if isinstance(a, Event)
-                    and isinstance(b, Event)
-                    and a.is_write
-                    and b.is_write
-                    and a.loc == b.loc
-                )
-                forced = init_forced | cause_forced
-                cause_expr = spec.DERIVED["cause"]
-                for co_rel in oriented_orders(ms_write_pairs, forced):
-                    execution = partial.with_relations(co=co_rel)
-                    co_env = env.bind("co", co_rel)
-                    # cause is coherence-independent: seed the memo so the
-                    # axiom checks don't rederive it per co candidate.
-                    co_env.cache[cause_expr] = cause
-                    report = check_execution(
-                        execution,
-                        skip_axioms=skip_axioms,
-                        env=co_env,
-                    )
-                    if report.consistent or include_inconsistent:
+            for sc_order, env, forced, pre_results in sc_variants:
+                pre_ok = all(pre_results.values())
+                partial: Optional[Execution] = None
+                for co_order in oriented_orders(ms_write_pairs, forced):
+                    co_env = env.bind("co", co_order)
+                    stats.candidates_checked += 1
+                    co_results: Dict[str, bool] = {}
+                    consistent = pre_ok
+                    for name, axiom in spec.AXIOMS.items():
+                        if name not in _CO_DEPENDENT:
+                            continue
+                        ok = name in skip_axioms or eval_formula(
+                            axiom, co_env
+                        )
+                        co_results[name] = ok
+                        if not ok:
+                            consistent = False
+                            # a rejected candidate's report is never
+                            # observed unless inconsistent candidates
+                            # were requested: stop paying for the
+                            # remaining co-dependent evaluations
+                            if not include_inconsistent:
+                                break
+                    if consistent or include_inconsistent:
+                        results = {
+                            name: co_results.get(name, pre_results.get(name))
+                            for name in spec.AXIOMS
+                        }
+                        if partial is None:
+                            partial = static.with_relations(
+                                rf=rf_rel, sc=_as_relation(sc_order)
+                            )
+                        execution = partial.with_relations(
+                            co=_as_relation(co_order)
+                        )
+                        report = ConsistencyReport(
+                            axioms=results, execution=execution
+                        )
                         yield Candidate(
                             execution=execution,
                             valuation=dict(valuation),
@@ -240,6 +409,8 @@ def allowed_outcomes(
     program: Program,
     skip_axioms: Tuple[str, ...] = (),
     speculation_values: Sequence[int] = (),
+    kernel: str = "bit",
+    stats: Optional[EnumStats] = None,
 ) -> FrozenSet[Outcome]:
     """All outcomes of axiom-consistent executions of ``program``."""
     return frozenset(
@@ -248,5 +419,7 @@ def allowed_outcomes(
             program,
             skip_axioms=skip_axioms,
             speculation_values=speculation_values,
+            kernel=kernel,
+            stats=stats,
         )
     )

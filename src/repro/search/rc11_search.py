@@ -25,6 +25,7 @@ from ..rc11.program import (
     write_node,
 )
 from .posets import total_orders_with_first
+from .ptx_search import register_sort_key
 from .values import valuations
 
 
@@ -82,7 +83,7 @@ class CCandidate:
             ):
                 memory[event.loc] = self.valuation[write_node(event)]
         return COutcome(
-            registers=tuple(sorted(registers.items(), key=repr)),
+            registers=tuple(sorted(registers.items(), key=register_sort_key)),
             memory=tuple(sorted(memory.items())),
         )
 

@@ -6,12 +6,12 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..core.execution import Execution, same_location
-from ..lang import Env, eval_formula
+from ..lang import Env, bit_env, eval_formula
 from ..relation import Relation
 from . import spec
 
 
-def build_env(execution: Execution) -> Env:
+def build_env(execution: Execution, kernel: str = "set") -> Env:
     """Environment for the TSO spec over PTX-style events.
 
     TSO has no scopes and no strength distinctions: every access is an
@@ -61,6 +61,10 @@ def build_env(execution: Execution) -> Env:
         "R": Relation.set_of(e for e in memory if e.is_read),
         "W": Relation.set_of(e for e in memory if e.is_write),
     }
+    if kernel == "bit":
+        return bit_env(events, bindings, sets=("R", "W"))
+    if kernel != "set":
+        raise ValueError(f"unknown relation kernel {kernel!r}")
     return Env(universe=Relation.set_of(events), bindings=bindings)
 
 
@@ -79,7 +83,9 @@ class TsoReport:
 
 def check_execution(execution: Execution, env: Optional[Env] = None) -> TsoReport:
     """Evaluate the Figure 2 axioms on a candidate execution."""
-    env = env or build_env(execution)
+    # the self-built environment runs on the bitset kernel: this is the
+    # enumeration hot path (verdicts are kernel-independent)
+    env = env or build_env(execution, kernel="bit")
     results = {
         name: eval_formula(axiom, env) for name, axiom in spec.AXIOMS.items()
     }

@@ -1,0 +1,265 @@
+"""Property tests: the bitset kernel agrees with the frozenset kernel.
+
+Every :class:`~repro.relation.bitrel.BitRel`/:class:`BitSet` operator is
+checked against its :class:`~repro.relation.Relation` counterpart on
+random relations over a small universe — the bitset kernel is the hot
+path of the enumerative searches, so any divergence here is a soundness
+bug, not a performance bug.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relation import BitRel, BitSet, Relation, Universe
+
+ATOMS = list(range(6))
+U = Universe(ATOMS)
+
+
+def relations(max_size=14):
+    pair = st.tuples(st.sampled_from(ATOMS), st.sampled_from(ATOMS))
+    return st.frozensets(pair, max_size=max_size)
+
+
+def atom_sets(max_size=6):
+    return st.frozensets(st.sampled_from(ATOMS), max_size=max_size)
+
+
+def both(pairs):
+    """The same pair set in both representations."""
+    return Relation.pairs(pairs), BitRel.from_pairs(U, pairs)
+
+
+def both_sets(atoms):
+    return Relation.set_of(atoms), BitSet.from_atoms(U, atoms)
+
+
+# ----------------------------------------------------------------------
+# binary relation operators
+# ----------------------------------------------------------------------
+
+@given(relations(), relations())
+def test_union_agrees(p, q):
+    ra, ba = both(p)
+    rb, bb = both(q)
+    assert (ba | bb).to_relation() == ra | rb
+
+
+@given(relations(), relations())
+def test_inter_agrees(p, q):
+    ra, ba = both(p)
+    rb, bb = both(q)
+    assert (ba & bb).to_relation() == ra & rb
+
+
+@given(relations(), relations())
+def test_diff_agrees(p, q):
+    ra, ba = both(p)
+    rb, bb = both(q)
+    assert (ba - bb).to_relation() == ra - rb
+
+
+@given(relations(), relations())
+def test_join_agrees(p, q):
+    ra, ba = both(p)
+    rb, bb = both(q)
+    assert ba.join(bb).to_relation() == ra.join(rb)
+
+
+@given(relations(), relations(), relations())
+def test_compose_agrees(p, q, r):
+    ra, ba = both(p)
+    rb, bb = both(q)
+    rc, bc = both(r)
+    assert ba.compose(bb, bc).to_relation() == ra.compose(rb, rc)
+
+
+@given(relations())
+def test_transpose_agrees(p):
+    r, b = both(p)
+    assert b.transpose().to_relation() == r.transpose()
+
+
+@given(relations())
+def test_closure_agrees(p):
+    r, b = both(p)
+    assert b.closure().to_relation() == r.closure()
+
+
+@given(relations())
+def test_reflexive_closure_agrees(p):
+    r, b = both(p)
+    assert (
+        b.reflexive_closure().to_relation() == r.reflexive_closure(ATOMS)
+    )
+
+
+@given(relations())
+def test_reflexive_transitive_closure_agrees(p):
+    r, b = both(p)
+    assert (
+        b.reflexive_transitive_closure().to_relation()
+        == r.reflexive_transitive_closure(ATOMS)
+    )
+
+
+@given(relations())
+def test_optional_agrees(p):
+    r, b = both(p)
+    assert b.optional().to_relation() == r.optional(ATOMS)
+
+
+@given(relations(), atom_sets())
+def test_restrict_domain_agrees(p, atoms):
+    r, b = both(p)
+    rs, bs = both_sets(atoms)
+    assert b.restrict_domain(bs).to_relation() == r.restrict_domain(rs)
+
+
+@given(relations(), atom_sets())
+def test_restrict_range_agrees(p, atoms):
+    r, b = both(p)
+    rs, bs = both_sets(atoms)
+    assert b.restrict_range(bs).to_relation() == r.restrict_range(rs)
+
+
+@given(relations(), atom_sets(), atom_sets())
+def test_restrict_agrees(p, dom, rng):
+    r, b = both(p)
+    rd, bd = both_sets(dom)
+    rr, br = both_sets(rng)
+    assert b.restrict(bd, br).to_relation() == r.restrict(rd, rr)
+
+
+@given(relations())
+def test_domain_range_field_agree(p):
+    r, b = both(p)
+    assert b.domain().to_relation() == r.domain()
+    assert b.range().to_relation() == r.range()
+    assert b.field().to_relation() == r.field()
+
+
+@given(relations(), relations())
+def test_issubset_agrees(p, q):
+    ra, ba = both(p)
+    rb, bb = both(q)
+    assert ba.issubset(bb) == ra.issubset(rb)
+
+
+@given(relations())
+def test_predicates_agree(p):
+    r, b = both(p)
+    assert b.is_empty() == r.is_empty()
+    assert b.is_irreflexive() == r.is_irreflexive()
+    assert b.is_acyclic() == r.is_acyclic()
+    assert b.is_transitive() == r.is_transitive()
+
+
+@given(relations(), atom_sets())
+def test_is_total_over_agrees(p, atoms):
+    r, b = both(p)
+    assert b.is_total_over(atoms) == r.is_total_over(atoms)
+
+
+@given(relations())
+def test_iteration_and_membership_agree(p):
+    r, b = both(p)
+    assert frozenset(b) == r.tuples
+    assert len(b) == len(r)
+    for pair in p:
+        assert pair in b
+
+
+# ----------------------------------------------------------------------
+# sets (arity 1) and the bracket
+# ----------------------------------------------------------------------
+
+@given(atom_sets(), atom_sets())
+def test_set_operators_agree(xs, ys):
+    ra, ba = both_sets(xs)
+    rb, bb = both_sets(ys)
+    assert (ba | bb).to_relation() == ra | rb
+    assert (ba & bb).to_relation() == ra & rb
+    assert (ba - bb).to_relation() == ra - rb
+    assert ba.issubset(bb) == ra.issubset(rb)
+
+
+@given(atom_sets())
+def test_bracket_diag_agrees(xs):
+    r, b = both_sets(xs)
+    expected = Relation((t[0], t[0]) for t in r)
+    assert b.diag().to_relation() == expected
+
+
+@given(atom_sets(), relations())
+def test_set_join_relation_agrees(xs, p):
+    """[S];r via BitSet.join is the relational image of S under r."""
+    rs, bs = both_sets(xs)
+    rr, br = both(p)
+    assert bs.join(br).to_relation() == rs.join(rr)
+
+
+@given(atom_sets(), atom_sets())
+def test_product_agrees(xs, ys):
+    ra, ba = both_sets(xs)
+    rb, bb = both_sets(ys)
+    assert ba.product(bb).to_relation() == ra.product(rb)
+
+
+# ----------------------------------------------------------------------
+# converters and edge cases
+# ----------------------------------------------------------------------
+
+@given(relations())
+def test_relation_round_trip(p):
+    rel = Relation.pairs(p)
+    assert BitRel.from_relation(U, rel).to_relation() == rel
+
+
+@given(atom_sets())
+def test_set_round_trip(xs):
+    rel = Relation.set_of(xs)
+    assert BitSet.from_relation(U, rel).to_relation() == rel
+
+
+def test_empty_relation_round_trip():
+    assert BitRel.from_pairs(U, ()).to_relation() == Relation.empty(2)
+    assert BitSet.from_atoms(U, ()).to_relation() == Relation.empty(1)
+    assert BitRel(U).is_empty() and BitSet(U).is_empty()
+
+
+def test_identity():
+    assert BitRel.identity(U).to_relation() == Relation.identity(ATOMS)
+
+
+def test_same_kind_constructor():
+    b = BitRel.from_pairs(U, [(0, 1)])
+    assert b.same_kind([(2, 3)]).to_relation() == Relation.pairs([(2, 3)])
+    r = Relation.pairs([(0, 1)])
+    assert r.same_kind([(2, 3)]) == Relation.pairs([(2, 3)])
+
+
+def test_arity_mismatch_rejected():
+    rel = BitRel.from_pairs(U, [(0, 1)])
+    a_set = BitSet.from_atoms(U, [0])
+    with pytest.raises(ValueError, match="arity"):
+        rel | a_set  # noqa: B018 — the operator itself must raise
+    with pytest.raises(ValueError, match="arity"):
+        a_set & rel  # noqa: B018
+
+
+def test_distinct_universes_rejected():
+    other = Universe(ATOMS)
+    with pytest.raises(ValueError, match="universe"):
+        BitRel.from_pairs(U, ()) | BitRel.from_pairs(other, ())
+
+
+def test_unknown_atom_rejected():
+    with pytest.raises(KeyError):
+        BitRel.from_pairs(U, [(0, "nope")])
+
+
+def test_duplicate_universe_atoms_rejected():
+    with pytest.raises(ValueError):
+        Universe([1, 1, 2])

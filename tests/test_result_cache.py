@@ -123,8 +123,9 @@ class TestSchemaMigration:
         assert cache.get(new_key, test) is None  # miss, not an error
         assert cache.stats.misses == 1
 
-    def test_current_version_is_two(self):
-        assert cache_mod.CACHE_SCHEMA_VERSION == 2
+    def test_current_version_is_three(self):
+        # v3: register sort order changed and results grew enum counters
+        assert cache_mod.CACHE_SCHEMA_VERSION == 3
 
     def test_certify_flag_salts_key_under_any_version(self, monkeypatch):
         test = BY_NAME["CoRR"]
