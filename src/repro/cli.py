@@ -21,7 +21,17 @@ from typing import List, Optional
 def _cmd_suite(args: argparse.Namespace) -> int:
     from .litmus import SUITE, Expect, RunConfig, Session, summarize
 
+    if args.engine != "enumerative":
+        non_ptx = [model for model in args.models if model != "ptx"]
+        if non_ptx:
+            print(
+                f"error: engine {args.engine!r} supports only the 'ptx' "
+                f"model (requested: {', '.join(non_ptx)})",
+                file=sys.stderr,
+            )
+            return 2
     config = RunConfig(
+        engine=args.engine,
         timeout=args.timeout,
         jobs=args.jobs,
         use_cache=not args.no_cache,
@@ -429,6 +439,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="append per-test wall time (and SAT counters) to the table, "
              "plus session/cache counters",
     )
+    p_suite.add_argument(
+        "--engine", default="enumerative",
+        choices=["enumerative", "symbolic", "symbolic-enum", "rf-check"],
+        help="decision engine for every suite run (the symbolic and "
+             "rf-check engines are PTX-model only)",
+    )
     _add_exec_flags(p_suite)
     p_suite.set_defaults(func=_cmd_suite)
 
@@ -445,10 +461,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_run.add_argument(
         "--engine", default="enumerative",
-        choices=["enumerative", "symbolic", "symbolic-enum"],
+        choices=["enumerative", "symbolic", "symbolic-enum", "rf-check"],
         help="decision engine: explicit execution enumeration, one bounded "
-             "SAT query, or SAT-based instance enumeration producing the "
-             "full outcome set (the symbolic engines are PTX-model only)",
+             "SAT query, SAT-based instance enumeration producing the "
+             "full outcome set, or reads-from enumeration with coherence "
+             "saturation (the symbolic and rf-check engines are PTX-model "
+             "only)",
     )
     p_run.add_argument(
         "--stats", action="store_true",

@@ -1,0 +1,133 @@
+"""Wall-clock deadlines for the decision engines.
+
+Two cooperating mechanisms enforce a per-test ``timeout``:
+
+* **Preemptive** — on the main thread of a process ``SIGALRM`` /
+  ``setitimer`` interrupts a pathological enumeration mid-expression,
+  even inside code that never polls.
+* **Cooperative** — everywhere (including worker threads and platforms
+  without ``SIGALRM``) the :func:`deadline` context manager pushes a
+  monotonic-clock deadline onto a thread-local stack, and the engines'
+  long-running loops call :func:`check_deadline` each iteration.
+
+Before the cooperative guard existed, ``timeout=`` off the main thread
+was a silent no-op: the old guard simply skipped arming the timer and
+ran the block unbounded.  Now the bound always holds wherever an engine
+loop polls; code paths that cannot be interrupted preemptively are
+flagged once via a :class:`DeadlineNotPreemptive` warning so callers can
+tell "enforced cooperatively" from "enforced by signal".
+
+This module lives in :mod:`repro.core` (not the litmus runner) so the
+search engines can poll it without importing the runner — the runner
+imports the search layer, and the reverse import would be circular.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import warnings
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+
+class TimeoutExceeded(Exception):
+    """Internal signal: the per-test wall-clock deadline fired."""
+
+
+class DeadlineNotPreemptive(UserWarning):
+    """A deadline could not arm ``SIGALRM`` (off the main thread, or the
+    platform lacks it): enforcement is cooperative-only, relying on the
+    engines' loop polls rather than a hard interrupt."""
+
+
+class _DeadlineState(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[float] = []
+
+
+_state = _DeadlineState()
+
+#: process-wide: warn once (not per test) when falling back to
+#: cooperative-only enforcement.
+_warned_not_preemptive = False
+
+
+def active_deadline() -> Optional[float]:
+    """The innermost deadline (a ``time.monotonic`` instant) on this
+    thread, or ``None`` when no deadline is active."""
+    stack = _state.stack
+    return min(stack) if stack else None
+
+
+def check_deadline() -> None:
+    """Raise :class:`TimeoutExceeded` if this thread's deadline passed.
+
+    The engines call this from their enumeration loops; it is a no-op
+    (one thread-local read) when no deadline is active, so the poll is
+    safe on every hot path.
+    """
+    stack = _state.stack
+    if stack and time.monotonic() >= min(stack):
+        raise TimeoutExceeded()
+
+
+def _can_preempt() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def deadline(seconds: Optional[float]) -> Iterator[bool]:
+    """Bound the block to ``seconds`` of wall-clock time.
+
+    Yields ``True`` when the bound is preemptive (``SIGALRM`` armed),
+    ``False`` when it is cooperative-only — the block is still bounded
+    through :func:`check_deadline` polls, and a one-shot
+    :class:`DeadlineNotPreemptive` warning records the downgrade.
+    ``seconds=None`` means unbounded.
+    """
+    if seconds is None:
+        yield True
+        return
+
+    preemptive = _can_preempt()
+    if not preemptive:
+        global _warned_not_preemptive
+        if not _warned_not_preemptive:
+            _warned_not_preemptive = True
+            warnings.warn(
+                "deadline(): SIGALRM unavailable here (worker thread or "
+                "platform without it); the timeout is enforced "
+                "cooperatively by engine loop polls only",
+                DeadlineNotPreemptive,
+                stacklevel=3,
+            )
+
+    _state.stack.append(time.monotonic() + seconds)
+    previous = None
+    try:
+        # arm *inside* the try: a very short timer can fire between
+        # setitimer() and the next statement, and the raise must not
+        # leave the timer armed or the stack entry pushed
+        if preemptive:
+            def _fire(signum, frame):
+                raise TimeoutExceeded()
+
+            previous = signal.signal(signal.SIGALRM, _fire)
+            signal.setitimer(signal.ITIMER_REAL, seconds)
+        yield preemptive
+    finally:
+        # the alarm may also fire *inside* this finally (before the
+        # disarm call lands); the nested finally makes sure the stack
+        # entry is popped even then, or an expired deadline would leak
+        # and time out every later run on the thread
+        try:
+            if previous is not None:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+                signal.signal(signal.SIGALRM, previous)
+        finally:
+            _state.stack.pop()

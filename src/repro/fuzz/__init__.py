@@ -33,7 +33,7 @@ from .oracle import (
     check_test,
     default_checks,
 )
-from .shrink import ShrinkResult, shrink
+from .shrink import EngineCrash, ShrinkResult, shrink
 
 __all__ = [
     "DEFAULT_VOCABULARY",
@@ -52,6 +52,7 @@ __all__ = [
     "Oracle",
     "check_test",
     "default_checks",
+    "EngineCrash",
     "ShrinkResult",
     "shrink",
 ]

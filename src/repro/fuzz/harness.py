@@ -35,7 +35,7 @@ from ..litmus.session import Session
 from ..litmus.test import LitmusTest
 from .gen import FuzzCase, generate_case
 from .oracle import CaseVerdict, Check, Discrepancy, Oracle, default_checks
-from .shrink import ShrinkResult, shrink
+from .shrink import EngineCrash, ShrinkResult, shrink
 
 _BUDGET_RE = re.compile(r"^(\d+)\s*(s|m|h)?$")
 
@@ -169,6 +169,8 @@ def write_artifact(
                 "detail": discrepancy.detail,
                 "shrink_steps": shrunk.steps,
                 "shrink_attempts": shrunk.attempts,
+                "shrink_crashes": shrunk.crashes,
+                "shrink_crash_details": list(shrunk.crash_details),
                 "original_test": test_to_dict(case.test),
                 "shrunk_test": test_to_dict(shrunk.test),
             },
@@ -183,11 +185,22 @@ def write_artifact(
 def _shrink_predicate(
     oracle: Oracle, kind: str
 ) -> Callable[[LitmusTest], bool]:
-    """Does a candidate still exhibit a discrepancy of the same kind?"""
+    """Does a candidate still exhibit a discrepancy of the same kind?
+
+    An engine *crash* on the checked kind raises
+    :class:`~repro.fuzz.shrink.EngineCrash` instead of returning False:
+    "the engine blew up on this candidate" must not shrink-step as if
+    the discrepancy had disappeared.
+    """
 
     def still_fails(candidate: LitmusTest) -> bool:
         verdict = oracle.evaluate_one(candidate)
-        return any(d.kind == kind for d in verdict.discrepancies)
+        if any(d.kind == kind for d in verdict.discrepancies):
+            return True
+        for error_kind, detail in verdict.errors:
+            if error_kind == kind:
+                raise EngineCrash(detail)
+        return False
 
     return still_fails
 

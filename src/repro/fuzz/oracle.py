@@ -94,6 +94,10 @@ class CaseVerdict:
     undecided: Tuple[str, ...] = ()
     #: check kinds that ran and agreed
     agreed: Tuple[str, ...] = ()
+    #: ``(check kind, detail)`` for checks undecided by an engine *crash*
+    #: (status ``error``, not ``timeout``) — the shrinker treats these as
+    #: blockers to report, never as "discrepancy gone"
+    errors: Tuple[Tuple[str, str], ...] = ()
 
     @property
     def clean(self) -> bool:
@@ -123,6 +127,7 @@ def default_checks(perturb: Optional[str] = None) -> Tuple[Check, ...]:
     enum = EngineSpec(label, search_opts=opts)
     symbolic = EngineSpec("ptx/symbolic", engine="symbolic")
     symbolic_enum = EngineSpec("ptx/symbolic-enum", engine="symbolic-enum")
+    rf_check = EngineSpec("ptx/rf-check", engine="rf-check")
     sc = EngineSpec("sc/enumerative", model="sc")
     sc_op = EngineSpec("sc/operational", model="sc-op")
     tso = EngineSpec("tso/enumerative", model="tso")
@@ -130,6 +135,11 @@ def default_checks(perturb: Optional[str] = None) -> Tuple[Check, ...]:
     return (
         Check("ptx-verdict", enum, symbolic, compare="verdict"),
         Check("ptx-outcomes", enum, symbolic_enum, compare="outcomes"),
+        # the saturation engine must reproduce the enumerative outcome
+        # set byte for byte; under a perturbed enumerative side this
+        # doubles as a negative control (the clean rf-check engine
+        # should disagree with the broken reference)
+        Check("ptx-rf-outcomes", enum, rf_check, compare="outcomes"),
         Check(
             "sc-operational", sc, sc_op,
             compare="outcomes", requires_operational=True,
@@ -260,6 +270,7 @@ class Oracle:
         discrepancies: List[Discrepancy] = []
         undecided: List[str] = []
         agreed: List[str] = []
+        errors: List[Tuple[str, str]] = []
         for check in self.checks:
             if not check.applies(test):
                 continue
@@ -270,6 +281,14 @@ class Oracle:
                 continue
             if left.status != "ok" or right.status != "ok":
                 undecided.append(check.kind)
+                # a *crash* is recorded separately from a timeout: the
+                # shrinker must not mistake "the engine blew up" for
+                # "the discrepancy no longer reproduces"
+                for side, result in (("left", left), ("right", right)):
+                    if result.status == "error":
+                        errors.append(
+                            (check.kind, f"{side}: {result.detail}")
+                        )
                 continue
             detail = compare_results(check, left, right)
             if detail is None:
@@ -289,6 +308,7 @@ class Oracle:
             discrepancies=tuple(discrepancies),
             undecided=tuple(undecided),
             agreed=tuple(agreed),
+            errors=tuple(errors),
         )
 
 

@@ -49,6 +49,20 @@ _SCOPE_RANK = {None: 0, Scope.CTA: 1, Scope.GPU: 2, Scope.SYS: 3}
 _SCOPE_NARROWER = {Scope.SYS: Scope.GPU, Scope.GPU: Scope.CTA}
 
 
+class EngineCrash(Exception):
+    """A shrink candidate made an engine *crash* (status ``error``), as
+    opposed to the oracle merely not finding the discrepancy on it.
+
+    The predicate raises this so :func:`shrink` can tell the two apart:
+    a crash must never be silently treated as "no repro" — the pre-crash
+    best repro is kept and the crash is recorded on the result.
+    """
+
+    def __init__(self, detail: str):
+        super().__init__(detail)
+        self.detail = detail
+
+
 @dataclass(frozen=True)
 class ShrinkResult:
     """The minimized test plus how much work minimization did."""
@@ -58,6 +72,10 @@ class ShrinkResult:
     steps: int
     #: candidate evaluations (predicate calls)
     attempts: int
+    #: candidates on which an engine crashed (not: failed to reproduce)
+    crashes: int = 0
+    #: details of the first few crashes, for the artifact report
+    crash_details: Tuple[str, ...] = ()
 
 
 # ----------------------------------------------------------------------
@@ -395,11 +413,21 @@ def shrink(
     fails is adopted; the search ends when a whole pass adopts nothing
     (or after ``max_attempts`` predicate calls).  The input test is
     assumed failing — callers verify that before shrinking.
+
+    A predicate raising :class:`EngineCrash` (or any other exception)
+    marks the candidate as *crashing*, which is different from "the
+    discrepancy is gone": the candidate is not adopted, the best
+    pre-crash repro is kept, and the crash is counted and detailed on
+    the result so callers can surface it — an engine that crashes while
+    shrinking used to be silently indistinguishable from a clean
+    non-repro.
     """
     current = test
     current_cost = cost(test)
     steps = 0
     attempts = 0
+    crashes = 0
+    crash_details: List[str] = []
     improved = True
     while improved and attempts < max_attempts:
         improved = False
@@ -412,7 +440,15 @@ def shrink(
             attempts += 1
             try:
                 failing = still_fails(candidate)
-            except Exception:  # noqa: BLE001 — a crashing candidate is no repro
+            except EngineCrash as crash:
+                crashes += 1
+                if len(crash_details) < 10:
+                    crash_details.append(crash.detail)
+                continue
+            except Exception as exc:  # noqa: BLE001 — an unexpected predicate failure is also a crash
+                crashes += 1
+                if len(crash_details) < 10:
+                    crash_details.append(f"{type(exc).__name__}: {exc}")
                 continue
             if failing:
                 current = candidate
@@ -420,4 +456,10 @@ def shrink(
                 steps += 1
                 improved = True
                 break
-    return ShrinkResult(test=current, steps=steps, attempts=attempts)
+    return ShrinkResult(
+        test=current,
+        steps=steps,
+        attempts=attempts,
+        crashes=crashes,
+        crash_details=tuple(crash_details),
+    )

@@ -41,7 +41,10 @@ from .serialize import (
 #: rather than by repr, and results carry optional enumeration
 #: counters — pre-bump entries would disagree byte-for-byte with fresh
 #: runs on register order, so they become clean misses.
-CACHE_SCHEMA_VERSION = 3
+#: v4: the ``rf-check`` engine joins the runner and enumeration
+#: counters gain saturation/fallback fields — stats shapes shifted and
+#: a new engine value enters keys, so pre-bump entries miss cleanly.
+CACHE_SCHEMA_VERSION = 4
 
 
 def code_salt() -> str:

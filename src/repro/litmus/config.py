@@ -21,8 +21,16 @@ from typing import Dict, Mapping, Optional, Tuple
 #: Engines the runner knows how to drive.  ``symbolic`` answers the
 #: litmus condition with one bounded SAT query; ``symbolic-enum``
 #: enumerates every consistent relational instance and decodes the full
-#: outcome set (the differential oracle's strong comparison).
-ENGINES: Tuple[str, ...] = ("enumerative", "symbolic", "symbolic-enum")
+#: outcome set (the differential oracle's strong comparison);
+#: ``rf-check`` enumerates only reads-from choices and decides each by
+#: coherence saturation, falling back to ``enumerative`` outside its
+#: fragment (:mod:`repro.search.rf_check`).
+ENGINES: Tuple[str, ...] = (
+    "enumerative",
+    "symbolic",
+    "symbolic-enum",
+    "rf-check",
+)
 
 
 def _freeze_value(value):

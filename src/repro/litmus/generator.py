@@ -77,7 +77,10 @@ for _a, _b in itertools.product("RW", repeat=2):
 EDGE_NAMES: Tuple[str, ...] = tuple(sorted(_EDGES))
 
 #: Locations available to generated tests.
-_LOC_NAMES = ("x", "y", "z", "w", "v", "u")
+#: enough distinct locations for the widest generated tests the repo
+#: exercises (the rf-check crossover benchmark synthesises 10-thread,
+#: 10-location cycles)
+_LOC_NAMES = ("x", "y", "z", "w", "v", "u", "t", "s", "q", "p", "n", "m")
 
 
 def edge(name: str) -> Edge:

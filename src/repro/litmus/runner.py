@@ -12,11 +12,8 @@ the same core out across worker processes with caching.  The legacy
 from __future__ import annotations
 
 import logging
-import signal
-import threading
 import time
 import warnings
-from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -30,10 +27,12 @@ from typing import (
 )
 
 from ..cert.verdict import Certificate, skipped_certificate
+from ..core.deadline import TimeoutExceeded, deadline
 from ..ptx.program import Program
 from ..sat.solver import SolverStats
 from ..scmodel import check_execution as sc_check
 from ..search.ptx_search import EnumStats, Outcome, allowed_outcomes
+from ..search.rf_check import rf_check_outcomes
 from ..search.total_search import allowed_outcomes_total
 from ..tso import check_execution as tso_check
 from .config import RunConfig
@@ -169,37 +168,9 @@ def _filter_opts(
     return kept
 
 
-class TimeoutExceeded(Exception):
-    """Internal signal: the per-test wall-clock deadline fired."""
-
-
-@contextmanager
-def deadline(seconds: Optional[float]):
-    """Raise :class:`TimeoutExceeded` in the block after ``seconds``.
-
-    Implemented with ``SIGALRM``/``setitimer``, so it interrupts a
-    pathological enumeration mid-search instead of waiting for it.  Only
-    armable on the main thread of a process (true for worker processes
-    and ordinary CLI use); elsewhere the block runs unbounded.
-    """
-    if (
-        seconds is None
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
-        yield
-        return
-
-    def _fire(signum, frame):
-        raise TimeoutExceeded()
-
-    previous = signal.signal(signal.SIGALRM, _fire)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+# TimeoutExceeded / deadline historically lived here; they moved to
+# :mod:`repro.core.deadline` so the engines can poll check_deadline()
+# without importing the runner.  Re-exported for compatibility.
 
 
 @dataclass(frozen=True)
@@ -415,8 +386,9 @@ def decide_filtered(
     outcomes: FrozenSet[Outcome] = frozenset()
     certificate: Optional[Certificate] = None
     started = time.perf_counter()
+    preemptive = True
     try:
-        with deadline(config.timeout):
+        with deadline(config.timeout) as preemptive:
             if config.certify:
                 observed, outcomes, solver_stats, certificate = (
                     _run_certified(test, config, merged)
@@ -433,6 +405,17 @@ def decide_filtered(
                     else _run_symbolic_enum
                 )
                 observed, outcomes, solver_stats = run(test, merged)
+            elif config.engine == "rf-check":
+                if config.model != "ptx":
+                    raise ValueError(
+                        f"the 'rf-check' engine supports only the 'ptx' "
+                        f"model, not {config.model!r}"
+                    )
+                enum_stats = EnumStats()
+                outcomes = rf_check_outcomes(
+                    test.program, stats=enum_stats, **merged
+                )
+                observed = test.condition_observed(outcomes)
             else:
                 if config.model == "ptx":
                     enum_stats = EnumStats()
@@ -442,6 +425,11 @@ def decide_filtered(
     except TimeoutExceeded:
         status = "timeout"
         detail = f"exceeded {config.timeout}s"
+        if not preemptive:
+            # the deadline could not arm SIGALRM here (worker thread /
+            # no such signal): the bound held through cooperative engine
+            # polls only, which the result records
+            detail += " (cooperative guard)"
         outcomes = frozenset()
         solver_stats = None
         enum_stats = None
@@ -531,7 +519,10 @@ def run_litmus(
     ``"symbolic"`` issues one bounded SAT query (§5.2) and surfaces the
     solver's :class:`SolverStats` on the result; ``"symbolic-enum"``
     enumerates every consistent SAT instance and reports the full
-    outcome set (what differential cross-checks compare).
+    outcome set (what differential cross-checks compare); ``"rf-check"``
+    enumerates reads-from choices only and decides each by coherence
+    saturation (:mod:`repro.search.rf_check`), falling back to the
+    enumerative engine outside its fragment.
     """
     cfg = _coerce_config(config, model, engine, timeout, opts, "run_litmus")
     return decide(test, cfg)

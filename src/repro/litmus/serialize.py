@@ -272,6 +272,35 @@ def _search_opts_from_obj(obj: Dict) -> Dict[str, object]:
     }
 
 
+def config_to_dict(config) -> Dict:
+    """A :class:`~repro.litmus.config.RunConfig` as JSON-native data.
+
+    Iterates the dataclass fields so a config field added later is
+    serialized automatically — worker IPC used to rebuild configs from a
+    hand-picked subset of fields, silently dropping the rest.
+    """
+    from dataclasses import fields
+
+    payload = {}
+    for f in fields(config):
+        value = getattr(config, f.name)
+        if f.name == "search_opts":
+            value = _search_opts_to_obj(dict(value))
+        payload[f.name] = value
+    return payload
+
+
+def config_from_dict(obj: Dict):
+    """Rebuild a :class:`~repro.litmus.config.RunConfig` from
+    :func:`config_to_dict` output."""
+    from .config import RunConfig
+
+    data = dict(obj)
+    if "search_opts" in data:
+        data["search_opts"] = _search_opts_from_obj(data["search_opts"])
+    return RunConfig(**data)
+
+
 def test_to_dict(test) -> Dict:
     """A :class:`~repro.litmus.test.LitmusTest` as JSON-native data."""
     return {

@@ -42,7 +42,13 @@ from .runner import (
     decide_filtered,
     partition_opts,
 )
-from .serialize import result_from_dict, test_from_dict, test_to_dict
+from .serialize import (
+    config_from_dict,
+    config_to_dict,
+    result_from_dict,
+    test_from_dict,
+    test_to_dict,
+)
 from .test import LitmusTest
 
 
@@ -95,18 +101,16 @@ def _execute_task(payload: Dict) -> Dict:
     result so the worker survives for the next task.
     """
     test = test_from_dict(payload["test"])
-    config = RunConfig(
-        model=payload["model"],
-        engine=payload["engine"],
-        timeout=payload["timeout"],
-        certify=payload.get("certify", False),
-    )
+    # the payload carries the *whole* serialized config: rebuilding from
+    # a hand-picked field subset used to silently drop any config field
+    # the subset didn't know about (e.g. engine knobs added later)
+    config = config_from_dict(payload["config"])
     try:
         result = decide_filtered(test, config, dict(payload["opts"]))
     except Exception as exc:  # noqa: BLE001 — isolation is the point
         result = LitmusResult(
             test=test,
-            model=payload["model"],
+            model=config.model,
             observed=False,
             outcomes=frozenset(),
             status="error",
@@ -204,11 +208,8 @@ class Session:
                 keys[index] = key
             misses[index] = {
                 "test": test_to_dict(test),
-                "model": config.model,
-                "engine": config.engine,
+                "config": config_to_dict(config),
                 "opts": kept,
-                "timeout": config.timeout,
-                "certify": config.certify,
             }
         if misses:
             if self.jobs <= 1:
@@ -331,7 +332,7 @@ class Session:
     ) -> LitmusResult:
         return LitmusResult(
             test=test,
-            model=payload["model"],
+            model=payload["config"]["model"],
             observed=False,
             outcomes=frozenset(),
             status="error",

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
+from ..core.deadline import check_deadline
 from ..core.scopes import ThreadId
 from ..ptx.isa import Atom, Bar, Fence, Ld, Red, St
 from ..ptx.program import Program
@@ -120,6 +121,7 @@ class _BaseMachine:
         finals: set = set()
         stack = [self.initial()]
         while stack:
+            check_deadline()
             state = stack.pop()
             if state in seen:
                 continue

@@ -38,6 +38,7 @@ from collections import defaultdict
 from dataclasses import dataclass, fields, replace
 from typing import Dict, Iterable, Iterator, List, Optional
 
+from ..core.deadline import check_deadline
 from .cnf import Cnf
 
 
@@ -554,6 +555,7 @@ class Solver:
         conflicts_until_restart = self.RESTART_BASE * luby(restart_count)
         conflicts_since_restart = 0
         while True:
+            check_deadline()
             conflict = self._propagate()
             if conflict is not None:
                 self.stats.conflicts += 1

@@ -2,6 +2,7 @@
 
 from .posets import oriented_orders, total_orders, total_orders_with_first
 from .ptx_search import Candidate, Outcome, allowed_outcomes, candidate_executions
+from .rf_check import rf_check_outcomes
 from .values import valuations
 
 __all__ = [
@@ -10,6 +11,7 @@ __all__ = [
     "allowed_outcomes",
     "candidate_executions",
     "oriented_orders",
+    "rf_check_outcomes",
     "total_orders",
     "total_orders_with_first",
     "valuations",

@@ -34,6 +34,7 @@ import itertools
 from dataclasses import dataclass, fields
 from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from ..core.deadline import check_deadline
 from ..core.execution import Execution, program_order
 from ..core.scopes import ThreadId
 from ..lang import eval_expr, eval_formula, var_deps, warm_independent
@@ -84,6 +85,12 @@ class EnumStats:
     candidates_checked: int = 0
     memo_hits: int = 0
     memo_misses: int = 0
+    #: coherence-edge orientations forced by unit propagation (the
+    #: rf-check engine's saturation loop; zero for plain enumeration)
+    saturation_steps: int = 0
+    #: rf-check requests answered by the enumerative engine instead —
+    #: out-of-fragment options or a defensive internal fallback
+    fallbacks: int = 0
 
     # Env.stats protocol: eval_expr reports cache hits/misses here.
     def hit(self) -> None:
@@ -109,12 +116,18 @@ class EnumStats:
         return cls(**{k: int(v) for k, v in data.items() if k in known})
 
     def format(self) -> str:
-        return (
+        text = (
             f"rf={self.rf_assignments} rf-pruned={self.rf_pruned} "
             f"pre-co-pruned={self.pre_co_pruned} "
             f"checked={self.candidates_checked} "
             f"memo-hits={self.memo_hits} memo-misses={self.memo_misses}"
         )
+        if self.saturation_steps or self.fallbacks:
+            text += (
+                f" sat-steps={self.saturation_steps}"
+                f" fallbacks={self.fallbacks}"
+            )
+        return text
 
 
 @dataclass(frozen=True)
@@ -174,6 +187,26 @@ def co_maximal_memory(
     )
 
 
+def register_assignment(
+    elab: Elaboration, valuation: Mapping[int, int]
+) -> Tuple[Tuple[Tuple[ThreadId, str], int], ...]:
+    """Final register values of one execution, in :class:`Outcome` order.
+
+    Registers are written only by reads (``read_dst``); the valuation
+    fixes each read's value, so the register file is rf-determined and
+    independent of the ``sc``/``co`` completion.  Shared by the
+    enumerative engine and the rf-check engine so both report registers
+    through identical code.
+    """
+    registers: Dict[Tuple[ThreadId, str], int] = {}
+    for thread_events in elab.by_thread:
+        for event in thread_events:
+            dst = elab.read_dst.get(event.eid)
+            if dst is not None:
+                registers[(event.thread, dst)] = valuation[event.eid]
+    return tuple(sorted(registers.items(), key=register_sort_key))
+
+
 @dataclass(frozen=True)
 class Candidate:
     """A consistent (or, on request, inconsistent) candidate execution."""
@@ -185,12 +218,6 @@ class Candidate:
 
     def outcome(self) -> Outcome:
         """Compute the observable outcome of this execution."""
-        registers: Dict[Tuple[ThreadId, str], int] = {}
-        for thread_events in self.elaboration.by_thread:
-            for event in thread_events:
-                dst = self.elaboration.read_dst.get(event.eid)
-                if dst is not None:
-                    registers[(event.thread, dst)] = self.valuation[event.eid]
         writes = [e for e in self.execution.events if e.is_write]
         memory = co_maximal_memory(
             writes,
@@ -198,7 +225,7 @@ class Candidate:
             lambda event: self.valuation[event.eid],
         )
         return Outcome(
-            registers=tuple(sorted(registers.items(), key=register_sort_key)),
+            registers=register_assignment(self.elaboration, self.valuation),
             memory=memory,
         )
 
@@ -307,6 +334,7 @@ def candidate_executions(
 
     rf_choices = [writes_by_loc[read.loc] for read in reads]
     for rf_assignment in itertools.product(*rf_choices):
+        check_deadline()
         stats.rf_assignments += 1
         if prune_rf and any(
             (read, write) in po_loc and (read, write) in ms
@@ -363,6 +391,7 @@ def candidate_executions(
                 pre_ok = all(pre_results.values())
                 partial: Optional[Execution] = None
                 for co_order in oriented_orders(ms_write_pairs, forced):
+                    check_deadline()
                     co_env = env.bind("co", co_order)
                     stats.candidates_checked += 1
                     co_results: Dict[str, bool] = {}

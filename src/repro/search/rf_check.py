@@ -1,0 +1,427 @@
+"""Reads-from consistency checking by constraint saturation.
+
+The enumerative engine (:mod:`.ptx_search`) explores every ``(rf, sc,
+co)`` completion — superexponential in test size, because the number of
+coherence orders is the product of ``2^p_L`` over the undecided morally
+strong write pairs ``p_L`` of every location.  Following the
+reads-from-centric consistency checkers of Tunç et al. (*Optimal
+Reads-From Consistency Checking*) and Chakraborty et al. (*How Hard is
+Weak-Memory Testing?*), this engine enumerates only the reads-from
+choices (plus PTX's runtime ``sc`` orders, which are usually trivial)
+and decides each prefix by **saturation** over per-location coherence
+constraints:
+
+1. PTX coherence order never crosses locations — forced edges (init
+   writes, Axiom-1 causality) and morally strong write pairs are all
+   same-location, and transitive closure stays inside a location.  Every
+   remaining axiom's violation witness is likewise confined to a single
+   location's ``co`` (each of ``rf``/``co``/``fr``/``po_loc`` relates
+   same-location events), so global consistency is the *conjunction* of
+   independent per-location problems: ``Σ_L 2^(p_L)`` work replaces
+   ``Π_L 2^(p_L)``.
+2. Per location, sound **forbidden edges** are derived up front:
+   orientations that necessarily break Causality (a read of ``w`` is
+   causally after ``w'``, so ``co(w, w')`` creates a forbidden
+   ``fr``-into-``cause`` loop) or SC-per-Location (the orientation
+   closes a cycle with the co-free skeleton ``(ms∩rf) ∪ po_loc``).
+3. **Unit propagation** then saturates: an orientation whose closure is
+   cyclic or touches a forbidden edge is doomed, forcing the opposite
+   orientation; both doomed means the location — hence the whole
+   prefix — is inconsistent.  Only the pairs still open after the
+   fixpoint are enumerated, and each survivor is certified by evaluating
+   the co-dependent axioms themselves, so the forbidden-edge analysis
+   only ever *prunes*; it is never trusted for a positive verdict.
+
+Coherence (Axiom 1) needs no per-candidate check at all: its left-hand
+side is exactly the causality-forced same-location write pairs, which
+are seeded into every candidate's forced set — the axiom holds by
+construction (or the forced closure is cyclic and the location has no
+coherence order, which is the same verdict enumeration would reach).
+
+Out-of-fragment requests — axiom ablations (``skip_axioms``) and
+out-of-thin-air speculation (``speculation_values``) invalidate both the
+rf prune and the forbidden-edge derivations — fall back to the
+enumerative engine, as does any unexpected internal failure, so the
+engine is *sound by construction*: every answer is either certified by
+the axiom evaluations or produced by the reference engine.  Fallbacks
+are counted in :class:`~.ptx_search.EnumStats`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.deadline import TimeoutExceeded, check_deadline
+from ..core.execution import Execution, program_order
+from ..lang import Irreflexive, eval_expr, eval_formula, rel, warm_independent
+from ..ptx import spec
+from ..ptx.events import Event, Sem, init_write
+from ..ptx.model import build_env
+from ..ptx.program import Program, elaborate
+from ..relation import Relation
+from .posets import oriented_orders
+from .ptx_search import (
+    _CO_DEPENDENT,
+    EnumStats,
+    Outcome,
+    allowed_outcomes,
+    register_assignment,
+)
+from .values import valuations
+
+logger = logging.getLogger("repro.search.rf_check")
+
+#: co-dependent axioms that still need a per-candidate evaluation once a
+#: location's coherence order is chosen.  Coherence is excluded: its
+#: required edges are seeded into the forced set, so it holds by
+#: construction (see module docstring).
+_PER_CANDIDATE: Tuple[str, ...] = tuple(
+    name
+    for name in spec.AXIOMS
+    if name in _CO_DEPENDENT and name != "Coherence"
+)
+
+#: the co-free half of Axiom 6 (Causality): ``rf`` edges must respect
+#: causality regardless of any coherence choice, so one evaluation per
+#: (rf, sc) prefix can discard it early.  Built once at import time so
+#: the evaluator's identity-keyed memoisation applies, and sharing the
+#: ``cause`` node with :mod:`repro.ptx.spec` reuses its cached value.
+_RF_CAUSALITY = Irreflexive(rel("rf") @ spec.DERIVED["cause"])
+
+
+def _hits(relation, forbidden: Set[Tuple[Event, Event]]) -> bool:
+    """Whether any forbidden edge is present in ``relation``."""
+    return any(edge in relation for edge in forbidden)
+
+
+def _forbidden_edges(
+    writes: Sequence[Event],
+    cause,
+    b_closed,
+    ms,
+    reads_of: Dict[int, List[Event]],
+) -> Set[Tuple[Event, Event]]:
+    """Coherence-edge orientations no consistent execution can contain.
+
+    Each returned edge ``(a, b)`` is *monotonically* forbidden — any
+    coherence order including it violates an axiom no matter which other
+    edges are chosen — which is what makes forcing the opposite
+    orientation sound:
+
+    * **Causality** (exact): some read of ``a`` is causally after ``b``,
+      so ``co(a, b)`` yields ``fr(r, b)`` with ``(b, r) ∈ cause``.
+    * **SC-per-Location** (single-co-edge cycles): the edge itself, or
+      an ``fr`` edge it induces through a morally strong read of ``a``,
+      closes a cycle with ``b_closed`` — the transitively closed co-free
+      skeleton ``(ms ∩ rf) ∪ po_loc`` of the axiom's relation.  Cycles
+      threading *multiple* undecided co edges are not derived here; the
+      per-candidate axiom evaluation catches them.
+    """
+    forbidden: Set[Tuple[Event, Event]] = set()
+    for a in writes:
+        a_reads = reads_of.get(a.eid, ())
+        for b in writes:
+            if a is b:
+                continue
+            if any((b, read) in cause for read in a_reads):
+                forbidden.add((a, b))
+                continue
+            if (a, b) in ms and (b, a) in b_closed:
+                forbidden.add((a, b))
+                continue
+            if any(
+                (read, b) in ms and (b, read) in b_closed
+                for read in a_reads
+            ):
+                forbidden.add((a, b))
+    return forbidden
+
+
+def _saturate(
+    forced,
+    pairs: Sequence[Tuple[Event, Event]],
+    forbidden: Set[Tuple[Event, Event]],
+    stats: EnumStats,
+):
+    """Unit-propagate one location's coherence constraints to a fixpoint.
+
+    An orientation is *doomed* when adding it to the forced closure
+    creates a cycle or a forbidden edge; a doomed orientation forces its
+    opposite, and both doomed means the location is inconsistent.
+    Returns ``(forced_closure, still_open_pairs)`` or ``None`` when
+    inconsistent.
+    """
+    forced = forced.closure()
+    if not forced.is_irreflexive() or _hits(forced, forbidden):
+        return None
+    pending = list(pairs)
+    changed = True
+    while changed:
+        changed = False
+        still: List[Tuple[Event, Event]] = []
+        for a, b in pending:
+            check_deadline()
+            if (a, b) in forced or (b, a) in forced:
+                continue  # decided transitively by an earlier forcing
+            ab = (forced | forced.same_kind(((a, b),))).closure()
+            ab_ok = ab.is_irreflexive() and not _hits(ab, forbidden)
+            ba = (forced | forced.same_kind(((b, a),))).closure()
+            ba_ok = ba.is_irreflexive() and not _hits(ba, forbidden)
+            if not ab_ok and not ba_ok:
+                return None
+            if ab_ok and ba_ok:
+                still.append((a, b))
+                continue
+            forced = ab if ab_ok else ba
+            stats.saturation_steps += 1
+            changed = True
+        pending = still
+    return forced, pending
+
+
+def _location_families(
+    env,
+    cause,
+    b_closed,
+    ms,
+    locs: Sequence[str],
+    writes_by_loc: Dict[str, List[Event]],
+    pairs_by_loc: Dict[str, List[Tuple[Event, Event]]],
+    init_forced_by_loc: Dict[str, List[Tuple[Event, Event]]],
+    reads_of: Dict[int, List[Event]],
+    axioms,
+    stats: EnumStats,
+) -> Optional[List[Set[FrozenSet[int]]]]:
+    """Per location (in ``locs`` order), the *families* of co-maximal
+    write eids over that location's consistent coherence orders — or
+    ``None`` when some location admits no consistent order, killing the
+    whole (rf, sc) prefix."""
+    cause_forced_by_loc: Dict[str, List[Tuple[Event, Event]]] = {}
+    for a, b in cause:
+        if a.is_write and b.is_write and a.loc == b.loc:
+            cause_forced_by_loc.setdefault(a.loc, []).append((a, b))
+
+    result: List[Set[FrozenSet[int]]] = []
+    for loc in locs:
+        writes = writes_by_loc[loc]
+        forbidden = _forbidden_edges(writes, cause, b_closed, ms, reads_of)
+        forced = env.make_relation(
+            tuple(init_forced_by_loc.get(loc, ()))
+            + tuple(cause_forced_by_loc.get(loc, ()))
+        )
+        saturated = _saturate(forced, pairs_by_loc.get(loc, ()), forbidden, stats)
+        if saturated is None:
+            return None
+        forced, open_pairs = saturated
+        families: Set[FrozenSet[int]] = set()
+        for co_order in oriented_orders(
+            [frozenset(pair) for pair in open_pairs], forced
+        ):
+            check_deadline()
+            # combined orientations can close a forbidden transitive
+            # edge even though each was individually survivable
+            if _hits(co_order, forbidden):
+                continue
+            co_env = env.bind("co", co_order)
+            stats.candidates_checked += 1
+            if all(eval_formula(axiom, co_env) for axiom in axioms):
+                families.add(
+                    frozenset(
+                        w.eid
+                        for w in writes
+                        if not any((w, other) in co_order for other in writes)
+                    )
+                )
+        if not families:
+            return None
+        result.append(families)
+    return result
+
+
+def _saturation_outcomes(
+    program: Program, kernel: str, stats: EnumStats
+) -> FrozenSet[Outcome]:
+    """The in-fragment engine: all six axioms enforced, no speculation."""
+    elab = elaborate(program)
+    init_events = tuple(
+        init_write(eid=len(elab.events) + index, loc=loc)
+        for index, loc in enumerate(program.locations)
+    )
+    events: Tuple[Event, ...] = elab.events + init_events
+    po = program_order(elab.by_thread)
+    base_values = {event.eid: 0 for event in init_events}
+
+    reads = [e for e in elab.events if e.is_read]
+    writes_by_loc: Dict[str, List[Event]] = {}
+    for event in events:
+        if event.is_write:
+            writes_by_loc.setdefault(event.loc, []).append(event)
+    locs = sorted(writes_by_loc)
+
+    sc_fences = [e for e in events if e.is_fence and e.sem is Sem.SC]
+
+    static = Execution(
+        events=events,
+        relations={
+            "po": po,
+            "rf": Relation.empty(2),
+            "co": Relation.empty(2),
+            "sc": Relation.empty(2),
+            "rmw": elab.rmw,
+            "dep": elab.dep,
+            "syncbarrier": elab.syncbarrier,
+        },
+    )
+    static_env = build_env(static, kernel=kernel)
+    static_env.stats = stats
+    ms = static_env.lookup("morally_strong")
+    po_loc = static_env.lookup("po_loc")
+
+    sc_required = [
+        frozenset((a, b))
+        for a in sc_fences
+        for b in sc_fences
+        if a.eid < b.eid and (a, b) in ms
+    ]
+    pairs_by_loc = {
+        loc: [
+            (a, b)
+            for i, a in enumerate(writes)
+            for b in writes[i + 1 :]
+            if (a, b) in ms
+        ]
+        for loc, writes in writes_by_loc.items()
+    }
+    init_forced_by_loc = {
+        init.loc: [
+            (init, other)
+            for other in writes_by_loc[init.loc]
+            if other is not init
+        ]
+        for init in init_events
+    }
+    empty_order = static_env.make_relation(())
+    cause_expr = spec.DERIVED["cause"]
+    axioms = [spec.AXIOMS[name] for name in _PER_CANDIDATE]
+    co_independent = [
+        axiom
+        for name, axiom in spec.AXIOMS.items()
+        if name not in _CO_DEPENDENT
+    ]
+
+    outcomes: Set[Outcome] = set()
+    rf_choices = [writes_by_loc[read.loc] for read in reads]
+    for rf_assignment in itertools.product(*rf_choices):
+        check_deadline()
+        stats.rf_assignments += 1
+        # same pre-check as the enumerative engine: a morally strong
+        # read-from-po-later-write dooms SC-per-Location for every co
+        # (sound here because the fast path never skips that axiom)
+        if any(
+            (read, write) in po_loc and (read, write) in ms
+            for read, write in zip(reads, rf_assignment)
+        ):
+            stats.rf_pruned += 1
+            continue
+        rf_source = {
+            read.eid: write.eid for read, write in zip(reads, rf_assignment)
+        }
+        rf_rel = Relation(
+            (write, read) for read, write in zip(reads, rf_assignment)
+        )
+        rf_env = static_env.bind("rf", static_env.to_kernel(rf_rel))
+        rf_kernel = rf_env.lookup("rf")
+        reads_of: Dict[int, List[Event]] = {}
+        for read, write in zip(reads, rf_assignment):
+            reads_of.setdefault(write.eid, []).append(read)
+
+        # SC-per-Location's co-free skeleton, shared by every sc variant
+        b_closed = ((ms & rf_kernel) | po_loc).closure()
+
+        #: all observable (co-maximal eids per location) tuples over the
+        #: prefix's consistent executions, deduplicated across sc orders
+        memory_families: Set[Tuple[FrozenSet[int], ...]] = set()
+        for sc_order in oriented_orders(sc_required, empty_order):
+            check_deadline()
+            env = rf_env.bind("sc", sc_order)
+            pre_ok = all(
+                eval_formula(axiom, env) for axiom in co_independent
+            ) and eval_formula(_RF_CAUSALITY, env)
+            if not pre_ok:
+                stats.pre_co_pruned += 1
+                continue
+            cause = eval_expr(cause_expr, env)
+            # pre-evaluate co-independent subtrees of the per-candidate
+            # axioms; bind("co") retains them across candidates
+            for axiom in axioms:
+                warm_independent(axiom, env, frozenset(("co",)))
+            families = _location_families(
+                env,
+                cause,
+                b_closed,
+                ms,
+                locs,
+                writes_by_loc,
+                pairs_by_loc,
+                init_forced_by_loc,
+                reads_of,
+                axioms,
+                stats,
+            )
+            if families is not None:
+                memory_families.update(itertools.product(*families))
+
+        if not memory_families:
+            continue
+        for valuation in valuations(elab, rf_source, base_values):
+            registers = register_assignment(elab, valuation)
+            for combo in memory_families:
+                memory = tuple(
+                    sorted(
+                        (loc, frozenset(valuation[eid] for eid in family))
+                        for loc, family in zip(locs, combo)
+                    )
+                )
+                outcomes.add(Outcome(registers=registers, memory=memory))
+    return frozenset(outcomes)
+
+
+def rf_check_outcomes(
+    program: Program,
+    skip_axioms: Tuple[str, ...] = (),
+    speculation_values: Sequence[int] = (),
+    kernel: str = "bit",
+    stats: Optional[EnumStats] = None,
+) -> FrozenSet[Outcome]:
+    """All outcomes of axiom-consistent executions of ``program``,
+    decided by reads-from saturation where possible.
+
+    Guaranteed sound: requests outside the saturation fragment — axiom
+    ablations or out-of-thin-air speculation — and any internal failure
+    fall back to :func:`~.ptx_search.allowed_outcomes`, counted in
+    ``stats.fallbacks``.  The result is always identical to the
+    enumerative engine's.
+    """
+    stats = stats if stats is not None else EnumStats()
+    if skip_axioms or speculation_values:
+        stats.fallbacks += 1
+        return allowed_outcomes(
+            program,
+            skip_axioms=skip_axioms,
+            speculation_values=speculation_values,
+            kernel=kernel,
+            stats=stats,
+        )
+    try:
+        return _saturation_outcomes(program, kernel, stats)
+    except TimeoutExceeded:
+        raise
+    except Exception:  # noqa: BLE001 — soundness net: defer to the reference engine
+        logger.exception(
+            "rf-check saturation failed; falling back to the enumerative "
+            "engine (the verdict is unaffected)"
+        )
+        stats.fallbacks += 1
+        return allowed_outcomes(program, kernel=kernel, stats=stats)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, FrozenSet, Iterator, List, Sequence, Tuple
 
+from ..core.deadline import check_deadline
 from ..core.execution import Execution, program_order
 from ..ptx.events import Event, init_write
 from ..ptx.program import Program, elaborate
@@ -74,6 +75,7 @@ def total_co_candidates(
 
     rf_choices = [writes_by_loc[read.loc] for read in reads]
     for rf_assignment in itertools.product(*rf_choices):
+        check_deadline()
         rf_source = {
             read.eid: write.eid for read, write in zip(reads, rf_assignment)
         }

@@ -1,0 +1,211 @@
+"""Tests for the wall-clock deadline machinery (:mod:`repro.core.deadline`).
+
+The regression pinned here: ``timeout=`` used to be a silent no-op off
+the main thread (or wherever ``SIGALRM`` is missing) — the old guard
+just skipped arming the timer and ran the block unbounded.  Now the
+bound always holds through cooperative engine polls, the downgrade is
+warned about once, and the result's detail says the cooperative guard
+(not the signal) enforced it.
+"""
+
+import threading
+import time
+import warnings
+
+import pytest
+
+import repro.core.deadline as deadline_mod
+from repro.core.deadline import (
+    DeadlineNotPreemptive,
+    TimeoutExceeded,
+    active_deadline,
+    check_deadline,
+    deadline,
+)
+from repro.litmus import BY_NAME, Expect, RunConfig, run_litmus
+
+
+@pytest.fixture()
+def fresh_warning_state(monkeypatch):
+    """Re-arm the one-shot DeadlineNotPreemptive warning for this test."""
+    monkeypatch.setattr(deadline_mod, "_warned_not_preemptive", False)
+
+
+class TestPrimitives:
+    def test_no_deadline_no_op(self):
+        assert active_deadline() is None
+        check_deadline()  # must not raise
+
+    def test_deadline_pushes_and_pops(self):
+        with deadline(60.0):
+            assert active_deadline() is not None
+            check_deadline()  # far in the future: no raise
+        assert active_deadline() is None
+
+    def test_nested_deadlines_use_the_tightest(self):
+        # the inner alarm may fire preemptively (signal) or at the poll;
+        # pytest.raises around the whole inner block accepts either
+        with deadline(60.0):
+            outer = active_deadline()
+            with pytest.raises(TimeoutExceeded):
+                with deadline(1e-9):
+                    assert active_deadline() < outer
+                    time.sleep(0.001)
+                    check_deadline()
+            # inner popped: the generous outer bound is active again
+            assert active_deadline() == outer
+            check_deadline()
+
+    def test_none_means_unbounded(self):
+        with deadline(None) as preemptive:
+            assert preemptive is True
+            assert active_deadline() is None
+
+    def test_main_thread_is_preemptive(self):
+        with deadline(60.0) as preemptive:
+            assert preemptive is True
+
+    def test_expired_deadline_raises(self):
+        # preemptively (SIGALRM mid-sleep) or cooperatively (the poll):
+        # either way the block must not outlive its bound
+        with pytest.raises(TimeoutExceeded):
+            with deadline(1e-9):
+                time.sleep(0.001)
+                check_deadline()
+        # and the expired entry is popped even when the signal fired
+        # inside the context manager's cleanup
+        assert active_deadline() is None
+        check_deadline()
+
+
+class TestOffMainThread:
+    """The bugfix proper: deadlines off the main thread must bound the
+    block (cooperatively) instead of silently doing nothing."""
+
+    def _in_thread(self, fn):
+        box = {}
+
+        def target():
+            try:
+                box["value"] = fn()
+            except BaseException as exc:  # noqa: BLE001 — reraised below
+                box["raised"] = exc
+
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "worker thread hung: deadline was a no-op"
+        if "raised" in box:
+            raise box["raised"]
+        return box["value"]
+
+    def test_thread_deadline_is_cooperative_not_skipped(
+        self, fresh_warning_state
+    ):
+        def body():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                with deadline(1e-9) as preemptive:
+                    inner_active = active_deadline()
+                    time.sleep(0.001)
+                    with pytest.raises(TimeoutExceeded):
+                        check_deadline()
+            return preemptive, inner_active, caught
+
+        preemptive, inner_active, caught = self._in_thread(body)
+        assert preemptive is False
+        assert inner_active is not None
+        assert any(
+            issubclass(w.category, DeadlineNotPreemptive) for w in caught
+        )
+
+    def test_downgrade_warning_is_one_shot(self, fresh_warning_state):
+        def body():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                with deadline(60.0):
+                    pass
+                with deadline(60.0):
+                    pass
+            return [
+                w for w in caught
+                if issubclass(w.category, DeadlineNotPreemptive)
+            ]
+
+        assert len(self._in_thread(body)) == 1
+
+    def test_run_litmus_timeout_enforced_off_main_thread(
+        self, fresh_warning_state
+    ):
+        """End to end: a tiny timeout off the main thread yields a
+        TIMEOUT verdict whose detail names the cooperative guard —
+        previously this run was unbounded and the verdict a lie."""
+
+        def body():
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeadlineNotPreemptive)
+                return run_litmus(
+                    BY_NAME["MP+weak"], RunConfig(timeout=1e-6)
+                )
+
+        result = self._in_thread(body)
+        assert result.status == "timeout"
+        assert result.verdict is Expect.TIMEOUT
+        assert "(cooperative guard)" in result.detail
+
+    def test_main_thread_timeout_detail_has_no_guard_marker(self):
+        result = run_litmus(BY_NAME["MP+weak"], RunConfig(timeout=1e-6))
+        assert result.status == "timeout"
+        assert "(cooperative guard)" not in result.detail
+
+    def test_generous_timeout_off_main_thread_completes(
+        self, fresh_warning_state
+    ):
+        def body():
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeadlineNotPreemptive)
+                return run_litmus(BY_NAME["CoRR"], RunConfig(timeout=600.0))
+
+        result = self._in_thread(body)
+        assert result.status == "ok"
+        assert result.verdict is Expect.FORBIDDEN
+
+
+class TestEnginePolls:
+    """Every engine's hot loop polls check_deadline, so the cooperative
+    bound holds regardless of the configured engine."""
+
+    @pytest.mark.parametrize(
+        "engine", ["enumerative", "symbolic", "symbolic-enum", "rf-check"]
+    )
+    def test_each_engine_times_out_off_main_thread(self, engine):
+        def body():
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeadlineNotPreemptive)
+                return run_litmus(
+                    BY_NAME["MP+weak"],
+                    RunConfig(engine=engine, timeout=1e-6),
+                )
+
+        box = {}
+        thread = threading.Thread(target=lambda: box.update(r=body()))
+        thread.start()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert box["r"].status == "timeout"
+
+    def test_operational_model_times_out(self):
+        def body():
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeadlineNotPreemptive)
+                return run_litmus(
+                    BY_NAME["MP+weak"],
+                    RunConfig(model="sc-op", timeout=1e-6),
+                )
+
+        box = {}
+        thread = threading.Thread(target=lambda: box.update(r=body()))
+        thread.start()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert box["r"].status == "timeout"

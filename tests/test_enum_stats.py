@@ -63,6 +63,16 @@ class TestEnumStats:
                       "memo-hits=", "memo-misses="):
             assert label in text
 
+    def test_format_saturation_counters_are_conditional(self):
+        """The rf-check counters only appear when the engine ran: the
+        enumerative engine's stats line is unchanged by their existence."""
+        plain = EnumStats(rf_assignments=1).format()
+        assert "sat-steps=" not in plain
+        assert "fallbacks=" not in plain
+        saturated = EnumStats(saturation_steps=3, fallbacks=1).format()
+        assert "sat-steps=3" in saturated
+        assert "fallbacks=1" in saturated
+
     def test_rf_prune_counter(self):
         """CoRW reads from a po-later overlapping write in some rf
         assignment — the per-location coherence pre-check cuts it before

@@ -152,3 +152,88 @@ class TestFuzzStats:
             "generated=4 checks=20 undecided=1 discrepancies=0 "
             "[ptx-verdict=4]"
         )
+
+
+class TestCrashReporting:
+    """The shrink predicate distinguishes an engine *crash* from a
+    clean non-repro, and artifacts record crashes seen while
+    shrinking — both used to be silently swallowed."""
+
+    def _verdict(self, discrepancies=(), errors=()):
+        from repro.fuzz.oracle import CaseVerdict
+        from repro.litmus.parser import parse_litmus
+
+        test = parse_litmus(
+            "ptx test t\nthread d0c0t0\n  st.weak [x], 1\nallowed: [x]=1\n"
+        )
+        return CaseVerdict(
+            test=test,
+            discrepancies=tuple(discrepancies),
+            errors=tuple(errors),
+        )
+
+    def _fake_oracle(self, verdict):
+        class FakeOracle:
+            def evaluate_one(self, candidate):
+                return verdict
+
+        return FakeOracle()
+
+    def test_predicate_raises_on_matching_crash(self):
+        from repro.fuzz.harness import _shrink_predicate
+        from repro.fuzz.shrink import EngineCrash
+
+        verdict = self._verdict(errors=[("ptx-outcomes", "left: boom")])
+        predicate = _shrink_predicate(
+            self._fake_oracle(verdict), "ptx-outcomes"
+        )
+        with pytest.raises(EngineCrash, match="boom"):
+            predicate(verdict.test)
+
+    def test_predicate_ignores_crashes_of_other_kinds(self):
+        from repro.fuzz.harness import _shrink_predicate
+
+        verdict = self._verdict(errors=[("sc-operational", "left: boom")])
+        predicate = _shrink_predicate(
+            self._fake_oracle(verdict), "ptx-outcomes"
+        )
+        assert predicate(verdict.test) is False
+
+    def test_predicate_prefers_the_discrepancy_over_the_crash(self):
+        from repro.fuzz.harness import _shrink_predicate
+        from repro.fuzz.oracle import Discrepancy
+
+        verdict = self._verdict(
+            discrepancies=[Discrepancy(
+                kind="ptx-outcomes", test=None, left_label="L",
+                right_label="R", detail="disagree",
+            )],
+            errors=[("ptx-outcomes", "right: boom")],
+        )
+        predicate = _shrink_predicate(
+            self._fake_oracle(verdict), "ptx-outcomes"
+        )
+        # still a live repro: shrinking continues, no crash raised
+        assert predicate(verdict.test) is True
+
+    def test_report_json_records_shrink_crashes(self, tmp_path):
+        from repro.fuzz.gen import generate_case
+        from repro.fuzz.harness import write_artifact
+        from repro.fuzz.oracle import Discrepancy
+        from repro.fuzz.shrink import ShrinkResult
+
+        case = generate_case(seed=1, index=0)
+        discrepancy = Discrepancy(
+            kind="ptx-outcomes", test=case.test, left_label="L",
+            right_label="R", detail="disagree",
+        )
+        shrunk = ShrinkResult(
+            test=case.test, steps=2, attempts=9, crashes=3,
+            crash_details=("left: boom", "left: boom", "right: bang"),
+        )
+        target = write_artifact(tmp_path, case, discrepancy, shrunk)
+        data = json.loads((target / "report.json").read_text())
+        assert data["shrink_crashes"] == 3
+        assert data["shrink_crash_details"] == [
+            "left: boom", "left: boom", "right: bang",
+        ]

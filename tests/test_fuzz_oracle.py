@@ -36,11 +36,26 @@ BAR_TEST = next(
 class TestDefaultChecks:
     def test_battery_shape(self):
         checks = default_checks()
-        assert len(checks) == 5
+        assert len(checks) == 6
         assert {c.kind for c in checks} == {
-            "ptx-verdict", "ptx-outcomes", "sc-operational",
-            "tso-operational", "sc-within-tso",
+            "ptx-verdict", "ptx-outcomes", "ptx-rf-outcomes",
+            "sc-operational", "tso-operational", "sc-within-tso",
         }
+
+    def test_rf_check_engine_is_cross_checked_against_enumerative(self):
+        check = next(
+            c for c in default_checks() if c.kind == "ptx-rf-outcomes"
+        )
+        assert check.right.engine == "rf-check"
+        assert check.compare == "outcomes"
+        # under a perturbed enumerative reference the clean rf-check
+        # side must disagree, so the check doubles as negative control
+        broken = next(
+            c for c in default_checks("SC-per-Location")
+            if c.kind == "ptx-rf-outcomes"
+        )
+        assert "skip SC-per-Location" in broken.left.label
+        assert broken.right.engine == "rf-check"
 
     def test_unknown_perturb_axiom_rejected(self):
         with pytest.raises(ValueError, match="unknown axiom"):
@@ -142,6 +157,45 @@ class TestOracle:
         )
         assert verdict.clean
         assert verdict.undecided == ("k",)
+        # a timeout is undecided but NOT a crash
+        assert verdict.errors == ()
+
+    def test_engine_crash_is_recorded_on_the_errors_field(self):
+        test = parse_litmus(SCPL_SENSITIVE)
+        oracle = Oracle((Check("k", EngineSpec("L"), EngineSpec("R")),))
+        good = LitmusResult(
+            test=test, model="ptx", observed=True, outcomes=frozenset({1}),
+        )
+        crashed = LitmusResult(
+            test=test, model="ptx", observed=False, outcomes=frozenset(),
+            status="error", detail="KeyError: 'r9'",
+        )
+        verdict = oracle._judge(
+            test, {EngineSpec("L"): good, EngineSpec("R"): crashed}
+        )
+        # still undecided (a crash decides nothing), but the crash is
+        # additionally recorded so the shrinker can tell the two apart
+        assert verdict.clean
+        assert verdict.undecided == ("k",)
+        assert verdict.errors == (("k", "right: KeyError: 'r9'"),)
+
+    def test_evaluate_one_surfaces_a_raising_engine_as_error(self, monkeypatch):
+        import repro.fuzz.oracle as oracle_mod
+
+        test = parse_litmus(SCPL_SENSITIVE)
+        real_decide = oracle_mod.decide
+
+        def exploding(t, config):
+            if config.engine == "symbolic-enum":
+                raise RuntimeError("solver blew up")
+            return real_decide(t, config)
+
+        monkeypatch.setattr(oracle_mod, "decide", exploding)
+        verdict = Oracle(default_checks()).evaluate_one(test)
+        assert any(
+            kind == "ptx-outcomes" and "solver blew up" in detail
+            for kind, detail in verdict.errors
+        )
 
     def test_evaluate_batches_through_a_session(self):
         from repro.litmus import RunConfig, Session

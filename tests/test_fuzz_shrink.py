@@ -8,6 +8,7 @@ determinism, and validity (every shrunk test still parses).
 
 from repro.fuzz.gen import generate_case
 from repro.fuzz.shrink import (
+    EngineCrash,
     ShrinkResult,
     condition_atoms,
     condition_size,
@@ -134,6 +135,75 @@ class TestPreservation:
 
         result = shrink(test, fragile)
         assert len(result.test.program.threads) == 2
+
+
+class TestCrashAccounting:
+    """Engine crashes during shrinking are counted and detailed, never
+    silently folded into "the discrepancy is gone" — the old behaviour
+    lost the repro whenever an engine blew up mid-shrink."""
+
+    def test_engine_crash_is_counted_with_its_detail(self):
+        test = parse_litmus(SB)
+
+        def crashing(candidate):
+            if len(candidate.program.threads) < 2:
+                raise EngineCrash("KeyError: 'r7'")
+            return True
+
+        result = shrink(test, crashing)
+        assert result.crashes > 0
+        assert "KeyError: 'r7'" in result.crash_details
+
+    def test_pre_crash_best_repro_is_kept(self):
+        """Crashes reject the candidate only: progress made before the
+        crashing candidate survives on the result."""
+        test = parse_litmus(IRIW)
+
+        def fragile(candidate):
+            if n_instructions(candidate) <= 2:
+                raise EngineCrash("engine exploded near the minimum")
+            return True
+
+        result = shrink(test, fragile)
+        # shrinking progressed below the original but stopped at the
+        # crash frontier instead of discarding everything
+        assert n_instructions(result.test) < n_instructions(test)
+        assert n_instructions(result.test) >= 3
+        assert result.crashes > 0
+        assert result.steps > 0
+
+    def test_generic_exception_detail_names_the_type(self):
+        test = parse_litmus(SB)
+
+        def broken(candidate):
+            if len(candidate.program.threads) < 2:
+                raise ZeroDivisionError("1/0 in the fake engine")
+            return True
+
+        result = shrink(test, broken)
+        assert result.crashes > 0
+        assert any(
+            d.startswith("ZeroDivisionError:") for d in result.crash_details
+        )
+
+    def test_crash_details_are_capped_at_ten(self):
+        test = parse_litmus(IRIW)
+        counter = {"n": 0}
+
+        def always_crashing(candidate):
+            counter["n"] += 1
+            raise EngineCrash(f"crash #{counter['n']}")
+
+        result = shrink(test, always_crashing)
+        assert result.crashes == result.attempts
+        assert result.crashes > 10
+        assert len(result.crash_details) == 10
+
+    def test_crash_free_shrink_reports_zero(self):
+        test = parse_litmus(SB)
+        result = shrink(test, lambda _: True)
+        assert result.crashes == 0
+        assert result.crash_details == ()
 
 
 class TestDeterminism:

@@ -36,6 +36,91 @@ class TestTestRoundTrip:
                 test.search_opts
 
 
+class TestConfigRoundTrip:
+    """Worker IPC must carry the *whole* RunConfig.
+
+    The regression pinned here: ``_execute_task`` used to rebuild its
+    config from a hand-picked four-field subset, so any field added
+    later silently reverted to its default inside worker processes.
+    The samples dict below intentionally gives EVERY field a
+    non-default value and asserts full coverage — adding a RunConfig
+    field without extending it fails this test, which is the point.
+    """
+
+    #: one non-default sample per RunConfig field
+    SAMPLES = {
+        "model": "tso",
+        "engine": "symbolic",
+        "search_opts": {"skip_axioms": ("SC-per-Location",)},
+        "timeout": 12.5,
+        "jobs": 3,
+        "use_cache": True,
+        "cache_dir": "/tmp/ptxmm-roundtrip-test",
+        "max_attempts": 7,
+        "certify": True,
+    }
+
+    def _config(self):
+        from repro.litmus.config import RunConfig
+
+        # symbolic is PTX-only and certify excludes skip_axioms at run
+        # time, but the *serialization* layer must carry any well-formed
+        # config; construction-level validation still applies
+        return RunConfig(
+            **{**self.SAMPLES, "model": "ptx", "engine": "symbolic"}
+        )
+
+    def test_samples_cover_every_field(self):
+        from dataclasses import fields
+
+        from repro.litmus.config import RunConfig
+
+        field_names = {f.name for f in fields(RunConfig)}
+        assert set(self.SAMPLES) == field_names, (
+            "a RunConfig field has no non-default sample here: add one "
+            "so the IPC round-trip keeps proving every field survives"
+        )
+        defaults = RunConfig()
+        for name, sample in self.SAMPLES.items():
+            if name in ("model", "engine"):
+                continue  # overridden in _config for validity
+            normalized = getattr(
+                RunConfig(**{name: sample} if name != "search_opts"
+                          else {"search_opts": sample}),
+                name,
+            )
+            assert normalized != getattr(defaults, name), (
+                f"sample for {name!r} equals the default: the round trip "
+                "could not detect this field being dropped"
+            )
+
+    def test_config_round_trips(self):
+        from repro.litmus.serialize import config_from_dict, config_to_dict
+
+        config = self._config()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_config_payload_is_json_native(self):
+        from repro.litmus.serialize import config_from_dict, config_to_dict
+
+        config = self._config()
+        rebuilt = json.loads(json.dumps(config_to_dict(config)))
+        assert config_from_dict(rebuilt) == config
+
+    def test_every_field_survives_individually(self):
+        from dataclasses import fields
+
+        from repro.litmus.config import RunConfig
+        from repro.litmus.serialize import config_from_dict, config_to_dict
+
+        config = self._config()
+        rebuilt = config_from_dict(config_to_dict(config))
+        for f in fields(RunConfig):
+            assert getattr(rebuilt, f.name) == getattr(config, f.name), (
+                f"RunConfig.{f.name} did not survive the IPC payload"
+            )
+
+
 class TestResultRoundTrip:
     def test_enumerative_result(self):
         result = run_litmus(SUITE[0])

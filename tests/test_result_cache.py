@@ -123,9 +123,10 @@ class TestSchemaMigration:
         assert cache.get(new_key, test) is None  # miss, not an error
         assert cache.stats.misses == 1
 
-    def test_current_version_is_three(self):
-        # v3: register sort order changed and results grew enum counters
-        assert cache_mod.CACHE_SCHEMA_VERSION == 3
+    def test_current_version_is_four(self):
+        # v4: rf-check engine added and enum counters grew
+        # saturation/fallback fields
+        assert cache_mod.CACHE_SCHEMA_VERSION == 4
 
     def test_certify_flag_salts_key_under_any_version(self, monkeypatch):
         test = BY_NAME["CoRR"]

@@ -118,6 +118,66 @@ class TestTimeouts:
         assert result.verdict is Expect.FORBIDDEN
 
 
+class TestWorkerConfigFidelity:
+    """The worker-side task payload carries the whole RunConfig: any
+    field a future change adds must reach ``decide_filtered`` in the
+    worker untouched (it used to be rebuilt from a four-field subset)."""
+
+    def _full_config(self):
+        return RunConfig(
+            model="ptx",
+            engine="symbolic",
+            search_opts={"skip_axioms": ("SC-per-Location",)},
+            timeout=12.5,
+            jobs=3,
+            use_cache=True,
+            cache_dir="/tmp/ptxmm-worker-fidelity",
+            max_attempts=7,
+            certify=False,
+        )
+
+    def test_execute_task_sees_every_config_field(self, monkeypatch):
+        from dataclasses import fields
+
+        from repro.litmus.serialize import config_to_dict, test_to_dict
+
+        config = self._full_config()
+        seen = {}
+        real = session_mod.decide_filtered
+
+        def capturing(test, cfg, opts):
+            seen["config"] = cfg
+            return real(test, cfg.evolve(engine="enumerative"), opts)
+
+        monkeypatch.setattr(session_mod, "decide_filtered", capturing)
+        test = BY_NAME["CoRR"]
+        payload = {
+            "test": test_to_dict(test),
+            "config": config_to_dict(config),
+            "opts": {},
+        }
+        session_mod._execute_task(payload)
+        rebuilt = seen["config"]
+        for f in fields(RunConfig):
+            assert getattr(rebuilt, f.name) == getattr(config, f.name), (
+                f"RunConfig.{f.name} was dropped on the way to the worker"
+            )
+
+    def test_parallel_run_uses_the_configured_engine(self, tmp_path):
+        """End to end across real worker processes: a non-default engine
+        must survive IPC — rf-check and enumerative agree on the suite,
+        so equality of full outcome sets here is engine-independent
+        evidence only; the real assertion is that no worker crashed and
+        verdicts match the sequential run with the same config."""
+        config = RunConfig(engine="rf-check", jobs=2, timeout=60.0)
+        with Session(config) as session:
+            parallel = session.run_suite(PAPER_SUBSET)
+        with Session(config.evolve(jobs=1)) as session:
+            sequential = session.run_suite(PAPER_SUBSET)
+        assert all(r.status == "ok" for r in parallel)
+        assert _strip_timing(parallel) == _strip_timing(sequential)
+
+
 def _killer_task(payload):
     """Fork-inherited replacement worker: dies hard on the victim test."""
     if payload["test"]["name"] == "CoRR":
