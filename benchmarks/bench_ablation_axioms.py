@@ -28,7 +28,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from repro.litmus import SUITE, Expect, run_litmus
+from repro.litmus import SUITE, Expect, RunConfig, run_litmus
 from repro.ptx.spec import AXIOMS
 
 FORBIDDEN_TESTS = [t for t in SUITE if t.expect is Expect.FORBIDDEN]
@@ -37,7 +37,9 @@ FORBIDDEN_TESTS = [t for t in SUITE if t.expect is Expect.FORBIDDEN]
 def _flips(axiom: str):
     flipped = []
     for test in FORBIDDEN_TESTS:
-        result = run_litmus(test, skip_axioms=(axiom,))
+        result = run_litmus(
+            test, RunConfig(search_opts={"skip_axioms": (axiom,)})
+        )
         if result.verdict is Expect.ALLOWED:
             flipped.append(test.name)
     return flipped

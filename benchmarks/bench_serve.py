@@ -1,0 +1,102 @@
+"""The verdict service: warm/cold throughput and coalescing effectiveness.
+
+Guards the serving layer's acceptance criteria rather than a paper
+figure:
+
+* a warm suite request (every verdict resident in the in-memory LRU)
+  must be served at least 10x faster than the cold computation pass —
+  the two-level store, not engine speed, carries repeat traffic;
+* N identical concurrent requests must trigger exactly one Session
+  computation, i.e. a coalesce hit rate of (N-1)/N.
+
+Measured req/s for both passes and the coalesce rate land in
+``benchmark.extra_info`` (the EXPERIMENTS.md table quotes them).
+"""
+
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.litmus.suite import SUITE
+from repro.serve import Client, ServeConfig, VerdictService, start_in_thread
+
+
+def _start(**overrides):
+    config = ServeConfig(port=0, use_cache=False, **overrides)
+    service = VerdictService(config)
+    handle = start_in_thread(config, service=service)
+    return service, handle
+
+
+def test_warm_suite_requests_beat_cold(benchmark):
+    service, handle = _start(jobs=2)
+    try:
+        with Client(handle.host, handle.port, timeout=600.0) as client:
+            cold_start = time.perf_counter()
+            cold = client.suite()
+            cold_elapsed = time.perf_counter() - cold_start
+
+            warm_start = time.perf_counter()
+            warm = benchmark.pedantic(
+                client.suite, rounds=1, iterations=1
+            )
+            warm_elapsed = time.perf_counter() - warm_start
+
+        assert cold["count"] == warm["count"] == len(SUITE)
+        cold_digests = [v["digest"] for v in cold["verdicts"]]
+        warm_digests = [v["digest"] for v in warm["verdicts"]]
+        assert cold_digests == warm_digests
+        assert all(v["source"] == "memory" for v in warm["verdicts"])
+
+        benchmark.extra_info["suite_tests"] = len(SUITE)
+        benchmark.extra_info["cold_s"] = round(cold_elapsed, 3)
+        benchmark.extra_info["warm_s"] = round(warm_elapsed, 4)
+        benchmark.extra_info["cold_verdicts_per_s"] = round(
+            len(SUITE) / cold_elapsed, 1
+        )
+        benchmark.extra_info["warm_verdicts_per_s"] = round(
+            len(SUITE) / warm_elapsed, 1
+        )
+        assert warm_elapsed < 0.1 * cold_elapsed, (
+            f"warm suite {warm_elapsed:.3f}s not under 10% of cold "
+            f"{cold_elapsed:.3f}s"
+        )
+    finally:
+        handle.stop()
+
+
+def test_coalesce_hit_rate_under_identical_load(benchmark):
+    clients = 8
+    service, handle = _start(compute_delay=1.0, queue_limit=16)
+    try:
+        def storm():
+            barrier = threading.Barrier(clients)
+            payloads = []
+
+            def hit():
+                with Client(handle.host, handle.port) as client:
+                    barrier.wait(timeout=30)
+                    payloads.append(client.run("MP+rel_acq.gpu"))
+
+            threads = [threading.Thread(target=hit) for _ in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            return payloads
+
+        payloads = benchmark.pedantic(storm, rounds=1, iterations=1)
+        assert len(payloads) == clients
+        assert len({p["digest"] for p in payloads}) == 1
+        stats = service.coalescer.stats
+        rate = stats.followers / (stats.leaders + stats.followers)
+        benchmark.extra_info["clients"] = clients
+        benchmark.extra_info["computations"] = service.stats.computations
+        benchmark.extra_info["coalesce_hit_rate"] = round(rate, 3)
+        assert service.stats.computations == 1
+        assert rate == (clients - 1) / clients
+    finally:
+        handle.stop()

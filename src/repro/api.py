@@ -1,0 +1,91 @@
+"""The supported public API of the toolkit, in one place.
+
+Everything in ``__all__`` is the surface downstream code may rely on;
+anything reached by deep module paths is internal and may move without
+notice.  The surface is deliberately small:
+
+* **configure** — :class:`RunConfig` (the sole way to choose model,
+  engine, search options, deadlines, caching, certification; the old
+  ``run_litmus(test, "tso", **opts)`` keyword surface is gone);
+* **execute** — :func:`run_litmus` / :func:`run_suite` for one-shot
+  calls, :class:`Session` for sweeps that want a shared worker pool,
+  result cache, and counters;
+* **inspect** — :class:`LitmusResult`, :class:`Expect`,
+  :class:`Certificate` (checked DRAT refutations / witnesses),
+  :func:`summarize`;
+* **enumerate** — :data:`MODELS` / :data:`ENGINES` and their
+  capability flags (:mod:`repro.registry`); unknown names raise
+  :class:`UnknownNameError` with the valid choices listed;
+* **serve** — the verdict service and its client
+  (:class:`ServeConfig` / :func:`serve_forever` /
+  :func:`start_in_thread` / :class:`Client`), the HTTP face of the
+  same engine stack (``ptxmm serve`` / ``ptxmm client``).
+
+``API_VERSION`` counts redesigns of this surface; it is independent of
+the package version and of :data:`~repro.schema.CACHE_SCHEMA_VERSION`
+(which tracks the on-disk/wire payload format).
+"""
+
+from __future__ import annotations
+
+from . import __version__
+from .cert.verdict import Certificate
+from .litmus.config import RunConfig, freeze_opts
+from .litmus.runner import LitmusResult, run_litmus, run_suite, summarize
+from .litmus.session import Session, SessionStats
+from .litmus.test import Expect, LitmusTest
+from .registry import (
+    ENGINES,
+    MODELS,
+    UnknownNameError,
+    engine_names,
+    engines_for_model,
+    model_names,
+    resolve_engine,
+    resolve_model,
+)
+from .schema import CACHE_SCHEMA_VERSION
+from .serve import (
+    Client,
+    ServeConfig,
+    ServiceError,
+    ServiceSaturated,
+    VerdictService,
+    serve_forever,
+    start_in_thread,
+)
+
+#: bumped when this surface changes incompatibly
+API_VERSION = 1
+
+__all__ = [
+    "API_VERSION",
+    "CACHE_SCHEMA_VERSION",
+    "Certificate",
+    "Client",
+    "ENGINES",
+    "Expect",
+    "LitmusResult",
+    "LitmusTest",
+    "MODELS",
+    "RunConfig",
+    "ServeConfig",
+    "ServiceError",
+    "ServiceSaturated",
+    "Session",
+    "SessionStats",
+    "UnknownNameError",
+    "VerdictService",
+    "__version__",
+    "engine_names",
+    "engines_for_model",
+    "freeze_opts",
+    "model_names",
+    "resolve_engine",
+    "resolve_model",
+    "run_litmus",
+    "run_suite",
+    "serve_forever",
+    "start_in_thread",
+    "summarize",
+]

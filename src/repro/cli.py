@@ -7,7 +7,13 @@ Subcommands:
 * ``mapping`` — bounded empirical check of the scoped C++ → PTX mapping;
 * ``proofs``  — replay the kernel lemma library and §6.2 theorems;
 * ``isa2``    — demonstrate the Figure 12 buggy-mapping counterexample;
-* ``fuzz``    — differential conformance fuzzing of the decision engines.
+* ``fuzz``    — differential conformance fuzzing of the decision engines;
+* ``serve``   — run the long-lived verdict service (HTTP/JSON daemon);
+* ``client``  — query a running verdict service.
+
+Model and engine choices are not hard-coded here: they come from
+:mod:`repro.registry`, so a newly registered model or engine shows up in
+``--help`` and in error messages without touching this module.
 """
 
 from __future__ import annotations
@@ -20,8 +26,9 @@ from typing import List, Optional
 
 def _cmd_suite(args: argparse.Namespace) -> int:
     from .litmus import SUITE, Expect, RunConfig, Session, summarize
+    from .registry import resolve_engine
 
-    if args.engine != "enumerative":
+    if resolve_engine(args.engine).ptx_only:
         non_ptx = [model for model in args.models if model != "ptx"]
         if non_ptx:
             print(
@@ -392,6 +399,186 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        model=args.model,
+        engine=args.engine,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        certify=args.certify,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        capacity=args.capacity,
+        queue_limit=args.queue_limit,
+    )
+    serve_forever(config)
+    return 0
+
+
+def _client_overrides(args: argparse.Namespace) -> dict:
+    overrides = {}
+    if getattr(args, "model", None) is not None:
+        overrides["model"] = args.model
+    if getattr(args, "engine", None) is not None:
+        overrides["engine"] = args.engine
+    if getattr(args, "timeout", None) is not None:
+        overrides["timeout"] = args.timeout
+    if getattr(args, "certify", False):
+        overrides["certify"] = True
+    return overrides
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .serve import Client, ServiceError
+
+    client = Client(args.host, args.port, timeout=args.socket_timeout)
+    try:
+        if args.action == "health":
+            print(_json.dumps(client.health(), indent=2))
+            return 0
+        if args.action == "stats":
+            print(_json.dumps(client.stats(), indent=2))
+            return 0
+        if args.action == "warm":
+            warmed = client.warm(**_client_overrides(args))
+            print(
+                f"warmed {warmed['warmed']} verdicts "
+                f"({warmed['loaded_from_disk']} from disk, "
+                f"{warmed['computed']} computed); "
+                f"{warmed['entries']} entries resident"
+            )
+            return 0
+        if args.action == "run":
+            return _client_run(client, args)
+        return _client_suite(client, args)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        raise  # stdout piped into a closed pager; main() treats this as ok
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"error: cannot reach {args.host}:{args.port} ({exc})",
+            file=sys.stderr,
+        )
+        return 2
+    finally:
+        client.close()
+
+
+def _client_run(client, args: argparse.Namespace) -> int:
+    overrides = _client_overrides(args)
+    if args.file is not None:
+        with open(args.file) as handle:
+            payload = client.run(handle.read(), **overrides)
+    elif args.test is not None:
+        payload = client.run(args.test, **overrides)
+    else:
+        print("error: give a suite test name or --file", file=sys.stderr)
+        return 2
+    print(f"test       : {payload['test']}")
+    print(f"verdict    : {payload['verdict']}")
+    print(f"source     : {payload['source']}")
+    print(f"digest     : {payload['digest']}")
+    if "certificate_digest" in payload:
+        print(f"certificate: drat sha256 {payload['certificate_digest']}")
+    status = payload["result"].get("status", "ok")
+    if status != "ok":
+        detail = payload["result"].get("detail") or status
+        print(f"error      : {detail}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _client_suite(client, args: argparse.Namespace) -> int:
+    """Fetch suite verdicts, optionally over several client threads.
+
+    ``--jobs N`` slices the corpus into N chunks requested concurrently
+    on independent connections — the service end stays one process; this
+    exercises (and demonstrates) its concurrent-request handling.
+    Verdicts are checked against the suite's documented expectations.
+    """
+    import threading
+
+    from .litmus.suite import BY_NAME
+    from .serve import Client, ServiceError
+
+    overrides = _client_overrides(args)
+    model = overrides.get("model", "ptx")
+    names = args.tests if args.tests else client.suite_tests()
+    jobs = max(1, args.jobs)
+    chunks = [names[index::jobs] for index in range(jobs)]
+    chunks = [chunk for chunk in chunks if chunk]
+    verdicts: dict = {}
+    failures: List[str] = []
+
+    def fetch(chunk: List[str]) -> None:
+        try:
+            with Client(
+                args.host, args.port, timeout=args.socket_timeout
+            ) as worker:
+                response = worker.suite(tests=chunk, **overrides)
+            for verdict in response["verdicts"]:
+                verdicts[verdict["test"]] = verdict
+        except (ServiceError, ConnectionError, OSError) as exc:
+            failures.append(str(exc))
+
+    if len(chunks) == 1:
+        fetch(chunks[0])
+    else:
+        threads = [
+            threading.Thread(target=fetch, args=(chunk,)) for chunk in chunks
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    if failures:
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        return 2
+    mismatches = 0
+    incomplete = 0
+    for name in names:
+        payload = verdicts.get(name)
+        if payload is None:
+            incomplete += 1
+            continue
+        expected = None
+        test = BY_NAME.get(name)
+        if test is not None:
+            documented = test.expected(model)
+            expected = documented.value if documented is not None else None
+        marker = ""
+        if payload["result"].get("status", "ok") != "ok":
+            incomplete += 1
+            marker = f"  [{payload['result']['status']}]"
+        elif expected is not None and expected != payload["verdict"]:
+            mismatches += 1
+            marker = f"  [expected {expected}]"
+        print(
+            f"{name:<28} {payload['verdict']:<9} "
+            f"{payload['source']:<9} {payload['digest'][:16]}{marker}"
+        )
+    print()
+    if mismatches or incomplete:
+        print(
+            f"{mismatches} expectation mismatch(es), "
+            f"{incomplete} incomplete verdict(s)"
+        )
+        return 1
+    print(
+        f"{len(names)} verdicts; all match documented expectations"
+    )
+    return 0
+
+
 def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
     """Execution-subsystem flags shared by the sweep commands."""
     parser.add_argument(
@@ -423,6 +610,10 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``ptxmm`` console script."""
+    from .registry import engine_names, model_names
+
+    models = model_names()
+    engines = engine_names()
     parser = argparse.ArgumentParser(
         prog="ptxmm",
         description="Formal analysis toolkit for the NVIDIA PTX memory model",
@@ -430,43 +621,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_suite = sub.add_parser("suite", help="run the standard litmus suite")
-    p_suite.add_argument(
-        "--models", nargs="+", default=["ptx"],
-        choices=["ptx", "tso", "sc", "sc-op", "tso-op"],
-    )
+    p_suite.add_argument("--models", nargs="+", default=["ptx"], choices=models)
     p_suite.add_argument(
         "--stats", action="store_true",
         help="append per-test wall time (and SAT counters) to the table, "
              "plus session/cache counters",
     )
     p_suite.add_argument(
-        "--engine", default="enumerative",
-        choices=["enumerative", "symbolic", "symbolic-enum", "rf-check"],
-        help="decision engine for every suite run (the symbolic and "
-             "rf-check engines are PTX-model only)",
+        "--engine", default="enumerative", choices=engines,
+        help="decision engine for every suite run (ptx-only engines "
+             "reject other models)",
     )
     _add_exec_flags(p_suite)
     p_suite.set_defaults(func=_cmd_suite)
 
     p_run = sub.add_parser("run", help="run a litmus test from a file")
     p_run.add_argument("file")
-    p_run.add_argument(
-        "--model", default="ptx",
-        choices=["ptx", "ptx-legacy", "tso", "sc", "sc-op", "tso-op"],
-    )
+    p_run.add_argument("--model", default="ptx", choices=models)
     p_run.add_argument("--outcomes", action="store_true")
     p_run.add_argument(
         "--explain", action="store_true",
         help="report the axioms rejecting the condition (PTX model only)",
     )
     p_run.add_argument(
-        "--engine", default="enumerative",
-        choices=["enumerative", "symbolic", "symbolic-enum", "rf-check"],
+        "--engine", default="enumerative", choices=engines,
         help="decision engine: explicit execution enumeration, one bounded "
              "SAT query, SAT-based instance enumeration producing the "
              "full outcome set, or reads-from enumeration with coherence "
-             "saturation (the symbolic and rf-check engines are PTX-model "
-             "only)",
+             "saturation (ptx-only engines reject other models)",
     )
     p_run.add_argument(
         "--stats", action="store_true",
@@ -506,10 +688,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_gen.add_argument("--fences", action="store_true",
                        help="insert fence.sc on program-order edges")
-    p_gen.add_argument(
-        "--models", nargs="+", default=["ptx", "sc"],
-        choices=["ptx", "tso", "sc"],
-    )
+    p_gen.add_argument("--models", nargs="+", default=["ptx", "sc"], choices=models)
     p_gen.set_defaults(func=_cmd_generate)
 
     p_fuzz = sub.add_parser(
@@ -571,12 +750,113 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_cmp = sub.add_parser(
         "compare", help="find litmus tests distinguishing two models"
     )
-    p_cmp.add_argument("model_a", choices=["ptx", "tso", "sc"])
-    p_cmp.add_argument("model_b", choices=["ptx", "tso", "sc"])
+    p_cmp.add_argument("model_a", choices=models)
+    p_cmp.add_argument("model_b", choices=models)
     p_cmp.add_argument("--max-length", type=int, default=4)
     p_cmp.add_argument("--limit", type=int, default=3)
     _add_exec_flags(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the verdict service: a long-lived HTTP/JSON daemon with "
+             "request coalescing, a two-level verdict store, and "
+             "back-pressure",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8787)
+    p_srv.add_argument(
+        "--model", default="ptx", choices=models,
+        help="default model for requests that do not override it",
+    )
+    p_srv.add_argument(
+        "--engine", default="enumerative", choices=engines,
+        help="default decision engine for requests that do not override it",
+    )
+    p_srv.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes behind the service's Session "
+             "(0 = one per CPU core)",
+    )
+    p_srv.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="maximum per-request deadline; requests may ask for less, "
+             "never more (default 60)",
+    )
+    p_srv.add_argument(
+        "--capacity", type=int, default=4096,
+        help="in-memory verdict LRU capacity, entries (default 4096)",
+    )
+    p_srv.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="admitted compute-bound requests before 503 + Retry-After "
+             "(default 16)",
+    )
+    p_srv.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="on-disk verdict store directory "
+             "(default: $PTXMM_CACHE_DIR or ~/.cache/ptxmm)",
+    )
+    p_srv.add_argument(
+        "--no-cache", action="store_true",
+        help="serve from memory only; no on-disk verdict tier",
+    )
+    p_srv.add_argument(
+        "--certify", action="store_true",
+        help="certify verdicts by default; FORBIDDEN responses carry the "
+             "checked DRAT refutation's digest",
+    )
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_cli = sub.add_parser(
+        "client", help="query a running verdict service"
+    )
+    p_cli.add_argument("--host", default="127.0.0.1")
+    p_cli.add_argument("--port", type=int, default=8787)
+    p_cli.add_argument(
+        "--socket-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="per-request socket timeout (default 300)",
+    )
+    cli_sub = p_cli.add_subparsers(dest="action", required=True)
+
+    c_run = cli_sub.add_parser("run", help="one verdict")
+    c_run.add_argument(
+        "test", nargs="?", default=None,
+        help="standard-suite test name (or use --file)",
+    )
+    c_run.add_argument(
+        "--file", default=None, help="litmus file to submit instead of a name"
+    )
+    c_suite = cli_sub.add_parser(
+        "suite", help="verdicts for the standard suite (or --tests ...)"
+    )
+    c_suite.add_argument(
+        "--tests", nargs="+", default=None, help="subset of suite test names"
+    )
+    c_suite.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="concurrent client connections to spread the suite over",
+    )
+    c_warm = cli_sub.add_parser(
+        "warm", help="preload the suite corpus into the service's store"
+    )
+    for sub_parser in (c_run, c_suite, c_warm):
+        sub_parser.add_argument(
+            "--model", default=None, choices=models,
+            help="override the service's default model",
+        )
+        sub_parser.add_argument(
+            "--engine", default=None, choices=engines,
+            help="override the service's default engine",
+        )
+        sub_parser.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-request deadline (clamped by the service maximum)",
+        )
+        sub_parser.add_argument("--certify", action="store_true")
+    cli_sub.add_parser("stats", help="service counters as JSON")
+    cli_sub.add_parser("health", help="liveness probe")
+    p_cli.set_defaults(func=_cmd_client)
 
     args = parser.parse_args(argv)
     try:

@@ -24,6 +24,7 @@ from ..litmus.runner import LitmusResult, decide
 from ..litmus.session import Session
 from ..litmus.test import LitmusTest
 from ..operational import supports_program
+from ..registry import resolve_engine, resolve_model
 
 
 @dataclass(frozen=True)
@@ -35,6 +36,12 @@ class EngineSpec:
     engine: str = "enumerative"
     search_opts: Tuple[Tuple[str, object], ...] = ()
     certify: bool = False
+
+    def __post_init__(self):
+        # one uniform unknown-name error, at spec construction rather
+        # than deep inside a batched oracle run
+        resolve_model(self.model)
+        resolve_engine(self.engine)
 
     def config(self, base: Optional[RunConfig] = None) -> RunConfig:
         """This spec as a run config (timeout inherited from ``base``)."""

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional
 
+from ..schema import CACHE_SCHEMA_VERSION, assert_schema
 from .serialize import (
     canonical_json,
     result_from_dict,
@@ -32,19 +33,10 @@ from .serialize import (
     FORMAT_VERSION,
 )
 
-#: Bumped (with FORMAT_VERSION / the package version) to invalidate
-#: every existing entry when results are no longer comparable.
-#: v2: results carry an optional verdict certificate, and the cache key
-#: records whether the run certified — pre-bump entries become clean
-#: misses rather than being served to (or poisoning) certified runs.
-#: v3: outcome registers are sorted by a natural (thread, name) key
-#: rather than by repr, and results carry optional enumeration
-#: counters — pre-bump entries would disagree byte-for-byte with fresh
-#: runs on register order, so they become clean misses.
-#: v4: the ``rf-check`` engine joins the runner and enumeration
-#: counters gain saturation/fallback fields — stats shapes shifted and
-#: a new engine value enters keys, so pre-bump entries miss cleanly.
-CACHE_SCHEMA_VERSION = 4
+# CACHE_SCHEMA_VERSION lives in repro.schema (one place, re-exported
+# here for compatibility); this module pins the version it was written
+# against so a half-applied bump fails at import, not at cache time.
+assert_schema("repro.litmus.cache", cache=5)
 
 
 def code_salt() -> str:

@@ -30,7 +30,8 @@ from typing import Dict, Iterator, Optional, Sequence, Tuple
 from ..core.scopes import Scope
 from ..ptx.events import Sem
 from .generator import EDGE_NAMES, GeneratedTest, enumerate_cycles, generate
-from .runner import MODELS, run_litmus
+from ..registry import resolve_model
+from .runner import run_litmus
 from .test import Expect
 
 #: Annotation variants applied to every generated cycle.
@@ -111,7 +112,7 @@ def distinguishing_tests(
 ) -> Iterator[Distinction]:
     """Search cycles of length ≤ ``max_length`` for model-separating tests.
 
-    Both model names must come from :data:`repro.litmus.runner.MODELS`.
+    Both model names must come from :data:`repro.registry.MODELS`.
     Variants that a model cannot express (e.g. scope annotations are
     meaningless to SC — it ignores them) still run; the comparison is
     behavioural.
@@ -122,8 +123,7 @@ def distinguishing_tests(
     sequential search.
     """
     for model in (model_a, model_b):
-        if model not in MODELS:
-            raise KeyError(f"unknown model {model!r}; have {sorted(MODELS)}")
+        resolve_model(model)
     variants = VARIANTS if variants is None else variants
     candidates = _candidates(max_length, variants, vocabulary)
     found = 0

@@ -18,19 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Dict, Mapping, Optional, Tuple
 
-#: Engines the runner knows how to drive.  ``symbolic`` answers the
-#: litmus condition with one bounded SAT query; ``symbolic-enum``
-#: enumerates every consistent relational instance and decodes the full
-#: outcome set (the differential oracle's strong comparison);
-#: ``rf-check`` enumerates only reads-from choices and decides each by
-#: coherence saturation, falling back to ``enumerative`` outside its
-#: fragment (:mod:`repro.search.rf_check`).
-ENGINES: Tuple[str, ...] = (
-    "enumerative",
-    "symbolic",
-    "symbolic-enum",
-    "rf-check",
-)
+from ..registry import engine_names, resolve_engine, resolve_model
+
+#: Engine names the runner knows how to drive (re-exported for
+#: compatibility; the authoritative table with capability flags is
+#: :data:`repro.registry.ENGINES`).
+ENGINES: Tuple[str, ...] = engine_names()
 
 
 def _freeze_value(value):
@@ -95,16 +88,9 @@ class RunConfig:
             object.__setattr__(
                 self, "search_opts", freeze_opts(dict(self.search_opts))
             )
-        from .runner import MODELS  # late: runner imports this module
-
-        if self.model not in MODELS:
-            raise KeyError(
-                f"unknown model {self.model!r}; have {sorted(MODELS)}"
-            )
-        if self.engine not in ENGINES:
-            raise ValueError(
-                f"unknown engine {self.engine!r}; have {list(ENGINES)}"
-            )
+        # uniform unknown-name errors, one place (repro.registry)
+        resolve_model(self.model)
+        resolve_engine(self.engine)
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError("timeout must be positive (or None)")
         if self.jobs < 0:

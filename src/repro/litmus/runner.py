@@ -4,132 +4,45 @@ The decision core (:func:`decide`) takes one test plus one
 :class:`~repro.litmus.config.RunConfig` and returns a
 :class:`LitmusResult`; :func:`run_litmus`/:func:`run_suite` are the
 friendly entry points, and :class:`~repro.litmus.session.Session` fans
-the same core out across worker processes with caching.  The legacy
-``**opts`` keyword surface still works but warns — new code should pass
-``RunConfig(search_opts={...})``.
+the same core out across worker processes with caching.  Model and
+engine dispatch is data-driven: both resolve through
+:mod:`repro.registry`, so adding a model or engine never touches this
+module.
+
+The search-option surface is :class:`RunConfig` only — the historical
+``run_litmus(test, skip_axioms=...)`` keyword shim is gone; pass
+``RunConfig(search_opts={...})`` (see :mod:`repro.api` for the supported
+public surface).
 """
 
 from __future__ import annotations
 
 import logging
 import time
-import warnings
 from dataclasses import dataclass
 from typing import (
-    Callable,
     Dict,
     FrozenSet,
     Optional,
     Sequence,
     Set,
     Tuple,
-    Union,
 )
 
 from ..cert.verdict import Certificate, skipped_certificate
 from ..core.deadline import TimeoutExceeded, deadline
-from ..ptx.program import Program
+from ..registry import (
+    MODELS,
+    partition_opts,
+    resolve_engine,
+    resolve_model,
+)
 from ..sat.solver import SolverStats
-from ..scmodel import check_execution as sc_check
-from ..search.ptx_search import EnumStats, Outcome, allowed_outcomes
-from ..search.rf_check import rf_check_outcomes
-from ..search.total_search import allowed_outcomes_total
-from ..tso import check_execution as tso_check
+from ..search.ptx_search import EnumStats, Outcome
 from .config import RunConfig
 from .test import Expect, LitmusTest
 
 logger = logging.getLogger("repro.litmus")
-
-ModelFn = Callable[..., FrozenSet[Outcome]]
-
-
-def _ptx_outcomes(program: Program, **opts) -> FrozenSet[Outcome]:
-    return allowed_outcomes(program, **opts)
-
-
-def _tso_outcomes(program: Program, **opts) -> FrozenSet[Outcome]:
-    opts.pop("skip_axioms", None)
-    return allowed_outcomes_total(program, tso_check, **opts)
-
-
-def _sc_outcomes(program: Program, **opts) -> FrozenSet[Outcome]:
-    opts.pop("skip_axioms", None)
-    return allowed_outcomes_total(program, sc_check, **opts)
-
-
-def _ptx_legacy_outcomes(program: Program, **opts) -> FrozenSet[Outcome]:
-    from ..ptx.legacy import legacy_allowed_outcomes
-
-    return legacy_allowed_outcomes(program, **opts)
-
-
-def _sc_op_outcomes(program: Program, **opts) -> FrozenSet[Outcome]:
-    from ..operational import sc_operational_outcomes
-
-    return sc_operational_outcomes(program)
-
-
-def _tso_op_outcomes(program: Program, **opts) -> FrozenSet[Outcome]:
-    from ..operational import tso_operational_outcomes
-
-    return tso_operational_outcomes(program)
-
-
-MODELS: Dict[str, ModelFn] = {
-    "ptx": _ptx_outcomes,
-    "ptx-legacy": _ptx_legacy_outcomes,
-    "tso": _tso_outcomes,
-    "sc": _sc_outcomes,
-    "sc-op": _sc_op_outcomes,
-    "tso-op": _tso_op_outcomes,
-}
-
-#: search options each model's engine accepts (everything else is an error)
-_MODEL_OPTS: Dict[str, FrozenSet[str]] = {
-    "ptx": frozenset({"skip_axioms", "speculation_values"}),
-    "ptx-legacy": frozenset({"skip_axioms", "speculation_values"}),
-    "tso": frozenset({"speculation_values"}),
-    "sc": frozenset({"speculation_values"}),
-    "sc-op": frozenset(),
-    "tso-op": frozenset(),
-}
-
-#: PTX-only options the total-co models tolerate and drop (a test tagged
-#: with e.g. ``skip_axioms`` must still be runnable under tso/sc)
-_IGNORED_OPTS: Dict[str, FrozenSet[str]] = {
-    "tso": frozenset({"skip_axioms"}),
-    "sc": frozenset({"skip_axioms"}),
-    # the machines have no search knobs at all: options that merely
-    # annotate a test must not make it unrunnable operationally
-    "sc-op": frozenset({"skip_axioms", "speculation_values"}),
-    "tso-op": frozenset({"skip_axioms", "speculation_values"}),
-}
-
-
-def partition_opts(
-    model: str, opts: Dict[str, object]
-) -> Tuple[Dict[str, object], Tuple[str, ...]]:
-    """Split options into (understood, silently-droppable) for ``model``.
-
-    Unknown options raise — without this, a PTX-only option would reach
-    the model's search function and surface as a bare ``TypeError`` deep
-    inside the enumerator.
-    """
-    allowed = _MODEL_OPTS[model]
-    ignored = _IGNORED_OPTS.get(model, frozenset())
-    kept: Dict[str, object] = {}
-    dropped = []
-    for name, value in opts.items():
-        if name in allowed:
-            kept[name] = value
-        elif name in ignored:
-            dropped.append(name)
-        else:
-            raise ValueError(
-                f"search option {name!r} is not supported by model {model!r} "
-                f"(supported: {sorted(allowed)})"
-            )
-    return kept, tuple(sorted(dropped))
 
 
 def _warn_dropped(
@@ -239,64 +152,6 @@ class LitmusResult:
         )
 
 
-def _run_symbolic(
-    test: LitmusTest, opts: Dict[str, object]
-) -> Tuple[bool, FrozenSet[Outcome], Optional[SolverStats]]:
-    """Decide the condition with one bounded SAT query where possible.
-
-    Falls back to the enumerative engine when the test carries search
-    options (the single-query encoding has no search knobs) or when the
-    condition is value-dependent and cannot be phrased relationally.
-    """
-    from ..kodkod.litmus import UnsupportedCondition, symbolic_outcome_allowed
-
-    if not opts:
-        stats: list = []
-        try:
-            observed = symbolic_outcome_allowed(test, stats=stats)
-        except UnsupportedCondition:
-            pass
-        else:
-            merged = stats[0]
-            for snapshot in stats[1:]:
-                merged = merged + snapshot
-            return observed, frozenset(), merged
-    outcomes = _ptx_outcomes(test.program, **opts)
-    return test.condition_observed(outcomes), outcomes, None
-
-
-def _run_symbolic_enum(
-    test: LitmusTest, opts: Dict[str, object]
-) -> Tuple[bool, FrozenSet[Outcome], Optional[SolverStats]]:
-    """Compute the *full outcome set* by enumerating SAT instances.
-
-    Unlike :func:`_run_symbolic` (one query, verdict only) this decodes
-    every axiom-consistent relational instance into an
-    :class:`~repro.search.ptx_search.Outcome`, so the result carries the
-    same outcome set the enumerative engine reports — the comparison the
-    differential fuzzer's oracle is built on.  Falls back to the
-    enumerative engine when the test carries search options (the encoding
-    has no search knobs) or when write values are data-dependent and
-    instances cannot be decoded (``solver_stats`` is then ``None``,
-    letting callers detect the fallback).
-    """
-    from ..kodkod.litmus import UnsupportedProgram, symbolic_outcomes
-
-    if not opts:
-        stats: list = []
-        try:
-            outcomes = symbolic_outcomes(test, stats=stats)
-        except UnsupportedProgram:
-            pass
-        else:
-            merged = stats[0] if stats else SolverStats()
-            for snapshot in stats[1:]:
-                merged = merged + snapshot
-            return test.condition_observed(outcomes), outcomes, merged
-    outcomes = _ptx_outcomes(test.program, **opts)
-    return test.condition_observed(outcomes), outcomes, None
-
-
 def _run_certified(
     test: LitmusTest, config: RunConfig, opts: Dict[str, object]
 ) -> Tuple[
@@ -313,12 +168,13 @@ def _run_certified(
     from ..kodkod.litmus import UnsupportedCondition
 
     if config.model != "ptx":
-        if config.engine in ("symbolic", "symbolic-enum"):
+        # the uniform ptx-only gate still applies under certify
+        if resolve_engine(config.engine).ptx_only:
             raise ValueError(
                 f"the {config.engine!r} engine supports only the 'ptx' "
                 f"model, not {config.model!r}"
             )
-        outcomes = MODELS[config.model](test.program, **opts)
+        outcomes = resolve_model(config.model).run(test.program, **opts)
         return (
             test.condition_observed(outcomes),
             outcomes,
@@ -328,7 +184,7 @@ def _run_certified(
             ),
         )
     if opts:
-        outcomes = _ptx_outcomes(test.program, **opts)
+        outcomes = resolve_model("ptx").run(test.program, **opts)
         return (
             test.condition_observed(outcomes),
             outcomes,
@@ -340,7 +196,7 @@ def _run_certified(
     try:
         observed, certificate, stats = certify_symbolic(test)
     except UnsupportedCondition as exc:
-        outcomes = _ptx_outcomes(test.program)
+        outcomes = resolve_model("ptx").run(test.program)
         return (
             test.condition_observed(outcomes),
             outcomes,
@@ -377,7 +233,6 @@ def decide_filtered(
     test-level and config-level options and validated them against the
     model, so re-filtering (and re-warning) in every worker is skipped.
     """
-    merged = opts
     solver_stats: Optional[SolverStats] = None
     enum_stats: Optional[EnumStats] = None
     status = "ok"
@@ -391,37 +246,13 @@ def decide_filtered(
         with deadline(config.timeout) as preemptive:
             if config.certify:
                 observed, outcomes, solver_stats, certificate = (
-                    _run_certified(test, config, merged)
+                    _run_certified(test, config, opts)
                 )
-            elif config.engine in ("symbolic", "symbolic-enum"):
-                if config.model != "ptx":
-                    raise ValueError(
-                        f"the {config.engine!r} engine supports only the "
-                        f"'ptx' model, not {config.model!r}"
-                    )
-                run = (
-                    _run_symbolic
-                    if config.engine == "symbolic"
-                    else _run_symbolic_enum
-                )
-                observed, outcomes, solver_stats = run(test, merged)
-            elif config.engine == "rf-check":
-                if config.model != "ptx":
-                    raise ValueError(
-                        f"the 'rf-check' engine supports only the 'ptx' "
-                        f"model, not {config.model!r}"
-                    )
-                enum_stats = EnumStats()
-                outcomes = rf_check_outcomes(
-                    test.program, stats=enum_stats, **merged
-                )
-                observed = test.condition_observed(outcomes)
             else:
-                if config.model == "ptx":
-                    enum_stats = EnumStats()
-                    merged = dict(merged, stats=enum_stats)
-                outcomes = MODELS[config.model](test.program, **merged)
-                observed = test.condition_observed(outcomes)
+                engine = resolve_engine(config.engine)
+                observed, outcomes, solver_stats, enum_stats = engine.decide(
+                    test, config, opts
+                )
     except TimeoutExceeded:
         status = "timeout"
         detail = f"exceeded {config.timeout}s"
@@ -455,35 +286,23 @@ def decide_filtered(
 
 
 def _coerce_config(
-    config: Optional[Union[RunConfig, str]],
+    config: Optional[RunConfig],
     model: Optional[str],
     engine: Optional[str],
     timeout: Optional[float],
-    opts: Dict[str, object],
-    caller: str,
 ) -> RunConfig:
-    """Build the effective config from the mixed new/legacy surface."""
-    if isinstance(config, str):
-        # legacy positional: run_litmus(test, "tso")
-        if model is not None and model != config:
-            raise TypeError(f"{caller}() got two values for 'model'")
-        model, config = config, None
-    if opts:
-        warnings.warn(
-            f"passing search options to {caller}() as **kwargs is "
-            "deprecated; pass config=RunConfig(search_opts={...}) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
+    """Build the effective config from the keyword conveniences."""
     if config is None:
         return RunConfig(
             model=model or "ptx",
             engine=engine or "enumerative",
-            search_opts=opts,
             timeout=timeout,
         )
     if not isinstance(config, RunConfig):
-        raise TypeError(f"config must be a RunConfig, not {type(config).__name__}")
+        raise TypeError(
+            f"config must be a RunConfig, not {type(config).__name__}; "
+            "search options go in RunConfig(search_opts={...})"
+        )
     changes: Dict[str, object] = {}
     if model is not None:
         changes["model"] = model
@@ -491,28 +310,22 @@ def _coerce_config(
         changes["engine"] = engine
     if timeout is not None:
         changes["timeout"] = timeout
-    if opts:
-        merged = config.opts
-        merged.update(opts)
-        changes["search_opts"] = merged
     return config.evolve(**changes) if changes else config
 
 
 def run_litmus(
     test: LitmusTest,
-    config: Optional[Union[RunConfig, str]] = None,
+    config: Optional[RunConfig] = None,
     model: Optional[str] = None,
     engine: Optional[str] = None,
     timeout: Optional[float] = None,
-    **opts,
 ) -> LitmusResult:
     """Run one litmus test.
 
     Preferred form: ``run_litmus(test, config=RunConfig(...))``.  The
     ``model``/``engine``/``timeout`` keywords are conveniences layered
-    over the config; bare ``**opts`` search options still work but emit
-    a :class:`DeprecationWarning` (migrate to
-    ``RunConfig(search_opts={...})``).
+    over the config; search options are configured via
+    ``RunConfig(search_opts={...})`` only.
 
     ``engine`` selects how the PTX model decides the condition:
     ``"enumerative"`` (default) explores candidate executions explicitly;
@@ -522,20 +335,20 @@ def run_litmus(
     outcome set (what differential cross-checks compare); ``"rf-check"``
     enumerates reads-from choices only and decides each by coherence
     saturation (:mod:`repro.search.rf_check`), falling back to the
-    enumerative engine outside its fragment.
+    enumerative engine outside its fragment.  See
+    :data:`repro.registry.ENGINES` for the full capability table.
     """
-    cfg = _coerce_config(config, model, engine, timeout, opts, "run_litmus")
+    cfg = _coerce_config(config, model, engine, timeout)
     return decide(test, cfg)
 
 
 def run_suite(
     tests: Sequence[LitmusTest],
-    config: Optional[Union[RunConfig, str]] = None,
+    config: Optional[RunConfig] = None,
     model: Optional[str] = None,
     engine: Optional[str] = None,
     timeout: Optional[float] = None,
     jobs: Optional[int] = None,
-    **opts,
 ) -> Tuple[LitmusResult, ...]:
     """Run a sequence of tests, returning their results in order.
 
@@ -544,7 +357,7 @@ def run_suite(
     of completion order.  For cache control and stats, drive a
     :class:`~repro.litmus.session.Session` directly.
     """
-    cfg = _coerce_config(config, model, engine, timeout, opts, "run_suite")
+    cfg = _coerce_config(config, model, engine, timeout)
     if jobs is not None:
         cfg = cfg.evolve(jobs=jobs)
     from .session import Session

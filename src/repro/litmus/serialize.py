@@ -26,11 +26,14 @@ from ..ptx.events import Sem
 from ..ptx.isa import Atom, AtomOp, Bar, BarOp, Fence, Instruction, Ld, Red, St
 from ..ptx.program import Program, ThreadCode
 from ..sat.solver import SolverStats
+from ..schema import FORMAT_VERSION, assert_schema
 from ..search.ptx_search import EnumStats, Outcome
 from .conditions import AndC, Condition, MemEq, NotC, OrC, RegEq, TrueC
 
-#: Bump when the serialized shape changes incompatibly.
-FORMAT_VERSION = 1
+# FORMAT_VERSION lives in repro.schema (one place, re-exported here);
+# this module pins the versions it renders so a half-applied schema bump
+# fails at import.
+assert_schema("repro.litmus.serialize", cache=5)
 
 
 def canonical_json(payload) -> str:
@@ -556,3 +559,41 @@ def result_from_dict(obj: Dict, test=None):
             if obj.get("certificate") is not None else None
         ),
     )
+
+
+# ----------------------------------------------------------------------
+# verdict payloads (the byte-comparable form)
+# ----------------------------------------------------------------------
+
+#: timing fields that legitimately differ between two runs of the same
+#: decision (wall clocks, not verdict content)
+_VOLATILE_RESULT_FIELDS = ("elapsed",)
+
+
+def verdict_payload(result, include_test: bool = False) -> Dict:
+    """The result as a dict with every wall-clock field normalized out.
+
+    Two computations of the same (test, config) task must produce
+    *byte-identical* canonical JSON of this payload — counters, outcome
+    sets, certificates and all — regardless of where they ran (in
+    process, in a worker, behind the verdict service) or how long they
+    took.  This is the object the serving layer's equivalence gate
+    compares; only genuinely nondeterministic fields (elapsed wall time,
+    solver/checker solve times) are zeroed.
+    """
+    payload = result_to_dict(result, include_test=include_test)
+    for name in _VOLATILE_RESULT_FIELDS:
+        payload.pop(name, None)
+    if payload.get("solver_stats") is not None:
+        payload["solver_stats"] = dict(payload["solver_stats"], solve_time=0.0)
+    if payload.get("certificate") is not None:
+        payload["certificate"] = dict(payload["certificate"], check_time=0.0)
+    return payload
+
+
+def verdict_digest(result) -> str:
+    """A content address of the timing-normalized verdict payload."""
+    import hashlib
+
+    text = canonical_json(verdict_payload(result, include_test=False))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sat.solver import SolverStats
+from ..schema import assert_schema
 from ..search.ptx_search import EnumStats
 from .cache import ResultCache, cache_key, default_cache_dir
 from .config import RunConfig
@@ -50,6 +51,10 @@ from .serialize import (
     test_to_dict,
 )
 from .test import LitmusTest
+
+# worker IPC payloads and cached results share one schema version; a
+# half-bumped tree must fail here, not with mysterious worker errors
+assert_schema("repro.litmus.session", cache=5)
 
 
 @dataclass

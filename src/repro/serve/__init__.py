@@ -1,0 +1,45 @@
+"""The verdict service: a long-lived asyncio daemon serving litmus
+verdicts over HTTP/JSON (``ptxmm serve``), plus its thin client.
+
+Layering (each module usable on its own):
+
+* :mod:`repro.serve.protocol` — request schemas, validation, and the
+  content-addressed request key (the same key the on-disk cache uses);
+* :mod:`repro.serve.store` — the sharded two-level verdict store:
+  bounded in-memory LRU in front of the on-disk content-addressed cache;
+* :mod:`repro.serve.coalesce` — in-flight request coalescing: identical
+  queries share one computation via a keyed future table;
+* :mod:`repro.serve.service` — the service core: admission control
+  (bounded queue, 503 back-pressure), per-request deadlines, the
+  :class:`~repro.litmus.session.Session`-backed compute path, stats;
+* :mod:`repro.serve.http` — the stdlib asyncio HTTP/1.1 front end and
+  graceful SIGTERM shutdown;
+* :mod:`repro.serve.client` — a blocking client (``ptxmm client``).
+
+Everything is standard library only; the service exists so later scale
+work (fuzzing-farm fan-out, remote cache tiers) has a skeleton to plug
+into.
+"""
+
+from .client import Client, ServiceError, ServiceSaturated
+from .coalesce import Coalescer
+from .protocol import ApiError, REQUEST_LIMIT_BYTES, request_key
+from .service import ServeConfig, VerdictService
+from .store import VerdictStore, StoreStats
+from .http import serve_forever, start_in_thread
+
+__all__ = [
+    "ApiError",
+    "Client",
+    "Coalescer",
+    "REQUEST_LIMIT_BYTES",
+    "ServeConfig",
+    "ServiceError",
+    "ServiceSaturated",
+    "StoreStats",
+    "VerdictService",
+    "VerdictStore",
+    "request_key",
+    "serve_forever",
+    "start_in_thread",
+]

@@ -1,0 +1,193 @@
+"""A thin blocking client for the verdict service (``ptxmm client``).
+
+Speaks the same wire format the service serves (:mod:`.protocol`), over
+one keep-alive :class:`http.client.HTTPConnection`.  Back-pressure is a
+first-class part of the protocol, so the client handles it natively:
+a 503 response sleeps for the server's ``Retry-After`` hint and retries,
+up to ``retries`` attempts, then raises :class:`ServiceSaturated`.
+
+The client never interprets verdicts — it returns the server's payloads
+verbatim (``verdict``, ``digest``, ``source``, ``certificate_digest``)
+so callers can do their own equivalence checking against direct
+:class:`~repro.litmus.session.Session` runs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, Optional
+
+from ..litmus.serialize import test_to_dict
+from ..litmus.test import LitmusTest
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the verdict service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceSaturated(ServiceError):
+    """The service kept answering 503 past the retry budget."""
+
+    def __init__(self, message: str, retry_after: Optional[float]) -> None:
+        super().__init__(503, message)
+        self.retry_after = retry_after
+
+
+class Client:
+    """One connection to one verdict service.
+
+    ``timeout`` is the socket timeout per request (bound it above the
+    service's per-request deadline or slow queries read as socket
+    errors); ``retries`` bounds 503 retry attempts.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        timeout: float = 120.0,
+        retries: int = 5,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport -----------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _once(self, method: str, path: str, payload: Optional[Dict]):
+        conn = self._connection()
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (ConnectionError, http.client.HTTPException, OSError):
+            # stale keep-alive socket: reconnect once at the next call
+            self.close()
+            raise
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except ValueError:
+            raise ServiceError(
+                response.status, f"non-JSON response: {raw[:200]!r}"
+            ) from None
+        return response.status, response.getheader("Retry-After"), decoded
+
+    def _request(self, method: str, path: str, payload: Optional[Dict]) -> Dict:
+        last_hint: Optional[float] = None
+        for attempt in range(self.retries + 1):
+            try:
+                status, retry_header, decoded = self._once(
+                    method, path, payload
+                )
+            except (ConnectionError, http.client.HTTPException, OSError):
+                if attempt >= self.retries:
+                    raise
+                time.sleep(0.1 * (attempt + 1))
+                continue
+            if status == 503:
+                hint = decoded.get("retry_after")
+                if hint is None and retry_header is not None:
+                    try:
+                        hint = float(retry_header)
+                    except ValueError:
+                        hint = None
+                last_hint = hint
+                if attempt >= self.retries:
+                    break
+                time.sleep(hint if hint is not None else 0.5)
+                continue
+            if status >= 400:
+                raise ServiceError(
+                    status, decoded.get("error", f"request failed: {decoded}")
+                )
+            return decoded
+        raise ServiceSaturated(
+            f"service still saturated after {self.retries + 1} attempts",
+            last_hint,
+        )
+
+    # -- API surface ---------------------------------------------------
+
+    def health(self) -> Dict:
+        return self._request("GET", "/healthz", None)
+
+    def stats(self) -> Dict:
+        return self._request("GET", "/v1/stats", None)
+
+    def suite_tests(self) -> List[str]:
+        return self._request("GET", "/v1/suite/tests", None)["tests"]
+
+    def run(self, test, **overrides) -> Dict:
+        """One verdict.  ``test`` is a suite name, litmus text containing
+        a newline, or a :class:`~repro.litmus.test.LitmusTest`."""
+        payload = dict(overrides)
+        if isinstance(test, LitmusTest):
+            payload["test"] = test_to_dict(test)
+        elif isinstance(test, str) and "\n" in test:
+            payload["litmus"] = test
+        else:
+            payload["name"] = test
+        return self._request("POST", "/v1/run", payload)
+
+    def suite(self, tests: Optional[List] = None, **overrides) -> Dict:
+        """Verdicts for many tests (default: the whole standard suite)."""
+        payload = dict(overrides)
+        if tests is not None:
+            payload["tests"] = [
+                test_to_dict(t) if isinstance(t, LitmusTest) else t
+                for t in tests
+            ]
+        return self._request("POST", "/v1/suite", payload)
+
+    def compare(
+        self,
+        model_a: str,
+        model_b: str,
+        max_length: int = 3,
+        limit: int = 10,
+    ) -> Dict:
+        return self._request(
+            "POST",
+            "/v1/compare",
+            {
+                "model_a": model_a,
+                "model_b": model_b,
+                "max_length": max_length,
+                "limit": limit,
+            },
+        )
+
+    def warm(self, **overrides) -> Dict:
+        return self._request("POST", "/v1/warm", dict(overrides))

@@ -1,0 +1,304 @@
+"""The stdlib asyncio HTTP/1.1 front end for the verdict service.
+
+Deliberately small: request line + headers + optional JSON body in,
+JSON body out, keep-alive supported, everything else (routing,
+validation, back-pressure) delegated to
+:class:`~repro.serve.service.VerdictService.handle`.  No web framework —
+the repo's no-new-dependencies rule is load-bearing, and the protocol
+surface is six endpoints.
+
+Two ways to run it:
+
+* :func:`serve_forever` — the blocking daemon entry point behind
+  ``ptxmm serve``: installs SIGTERM/SIGINT handlers, announces the bound
+  address on stderr, drains cleanly (stops accepting, closes the
+  compute thread and worker pool) on shutdown;
+* :func:`start_in_thread` — a test/embedding helper that runs the same
+  server on a background thread (ephemeral port supported) and returns
+  a handle with ``stop()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+from concurrent.futures import Future as ThreadFuture
+from typing import Optional, Tuple
+
+from .protocol import REQUEST_LIMIT_BYTES
+from .service import ServeConfig, VerdictService
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_MAX_HEADER_BYTES = 16 * 1024
+
+
+def _render(status: int, payload: dict, keep_alive: bool) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    retry_after = payload.get("retry_after")
+    if retry_after is not None:
+        # ceil to whole seconds: Retry-After: 0 would invite an
+        # immediate retry against a still-saturated service
+        lines.append(f"Retry-After: {max(1, int(-(-retry_after // 1)))}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("ascii") + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Optional[dict], bool, Optional[Tuple[int, dict]]]]:
+    """One parsed request, or None on clean EOF.
+
+    Returns ``(method, path, payload, keep_alive, early_error)`` where
+    ``early_error`` is a ready (status, body) response for protocol-level
+    failures (oversized/malformed input) that never reach the service.
+    """
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not request_line:
+        return None
+    try:
+        method, target, _version = request_line.decode("ascii").split(None, 2)
+    except ValueError:
+        return "GET", "/", None, False, (400, {"error": "malformed request line"})
+    headers = {}
+    total = 0
+    while True:
+        line = await reader.readline()
+        total += len(line)
+        if total > _MAX_HEADER_BYTES:
+            return method, target, None, False, (400, {"error": "headers too large"})
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+    length = headers.get("content-length", "0")
+    try:
+        length = int(length)
+    except ValueError:
+        return method, target, None, False, (400, {"error": "bad Content-Length"})
+    if length > REQUEST_LIMIT_BYTES:
+        return method, target, None, False, (
+            413,
+            {"error": f"body exceeds {REQUEST_LIMIT_BYTES} bytes"},
+        )
+    payload = None
+    if length:
+        try:
+            raw = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return None
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            return method, target, None, keep_alive, (
+                400,
+                {"error": "request body is not valid JSON"},
+            )
+        if not isinstance(payload, dict):
+            return method, target, None, keep_alive, (
+                400,
+                {"error": "request body must be a JSON object"},
+            )
+    # strip any query string; the API carries everything in bodies
+    path = target.split("?", 1)[0]
+    return method, path, payload, keep_alive, None
+
+
+async def _serve_connection(
+    service: VerdictService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            parsed = await _read_request(reader)
+            if parsed is None:
+                break
+            method, path, payload, keep_alive, early = parsed
+            if early is not None:
+                status, body = early
+                keep_alive = False
+            else:
+                status, body = await service.handle(method, path, payload)
+            writer.write(_render(status, body, keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                break
+    except (ConnectionError, asyncio.CancelledError):
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _run_server(
+    service: VerdictService,
+    host: str,
+    port: int,
+    stop: asyncio.Event,
+    bound: Optional[ThreadFuture] = None,
+    announce: bool = False,
+) -> None:
+    connections: set = set()
+
+    async def on_connection(reader, writer):
+        task = asyncio.current_task()
+        connections.add(task)
+        try:
+            await _serve_connection(service, reader, writer)
+        finally:
+            connections.discard(task)
+
+    server = await asyncio.start_server(on_connection, host, port)
+    actual_port = server.sockets[0].getsockname()[1]
+    if bound is not None:
+        bound.set_result(actual_port)
+    if announce:
+        print(
+            f"ptxmm serve: listening on http://{host}:{actual_port}",
+            file=sys.stderr,
+            flush=True,
+        )
+    try:
+        async with server:
+            await stop.wait()
+    finally:
+        # drain order: listener already closing → cut live connections →
+        # join the compute thread → shut the worker pool down
+        for task in list(connections):
+            task.cancel()
+        if connections:
+            await asyncio.gather(*connections, return_exceptions=True)
+        service.close()
+        if announce:
+            print("ptxmm serve: shut down cleanly", file=sys.stderr, flush=True)
+
+
+def serve_forever(config: Optional[ServeConfig] = None) -> None:
+    """Run the daemon until SIGTERM/SIGINT; drain and close on the way out.
+
+    Shutdown order matters for the "no orphaned workers" guarantee: the
+    listener closes first (no new requests), then the service's compute
+    thread is joined, then the Session's process pool is shut down.
+    """
+    config = config if config is not None else ServeConfig()
+    # the daemon never computes on the main thread, so every deadline is
+    # cooperative by design — the downgrade warning is pure noise here
+    import warnings
+
+    from ..core.deadline import DeadlineNotPreemptive
+
+    warnings.filterwarnings("ignore", category=DeadlineNotPreemptive)
+    service = VerdictService(config)
+
+    async def main():
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix platforms: Ctrl-C still raises
+        await _run_server(
+            service, config.host, config.port, stop, announce=True
+        )
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        service.close()
+
+
+class ServerHandle:
+    """A running background server (tests/embedding): ``stop()`` when done."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        service: VerdictService,
+        loop: asyncio.AbstractEventLoop,
+        stop: asyncio.Event,
+        thread: threading.Thread,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.service = service
+        self._loop = loop
+        self._stop = stop
+        self._thread = thread
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+            self._thread.join(timeout=timeout)
+
+
+def start_in_thread(
+    config: Optional[ServeConfig] = None,
+    service: Optional[VerdictService] = None,
+) -> ServerHandle:
+    """Start the server on a daemon thread; returns once it is accepting.
+
+    ``port=0`` binds an ephemeral port (the handle reports the real
+    one).  Pass a pre-built ``service`` to inspect its stores/counters
+    from the test while the server runs.
+    """
+    config = config if config is not None else ServeConfig(port=0)
+    service = service if service is not None else VerdictService(config)
+    bound: ThreadFuture = ThreadFuture()
+    state: dict = {}
+
+    def run():
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        stop = asyncio.Event()
+        state["loop"] = loop
+        state["stop"] = stop
+        try:
+            loop.run_until_complete(
+                _run_server(service, config.host, config.port, stop, bound)
+            )
+        except BaseException as exc:  # noqa: BLE001 — surface bind errors
+            if not bound.done():
+                bound.set_exception(exc)
+        finally:
+            loop.close()
+
+    thread = threading.Thread(
+        target=run, name="verdict-http", daemon=True
+    )
+    thread.start()
+    port = bound.result(timeout=30.0)
+    return ServerHandle(
+        config.host, port, service, state["loop"], state["stop"], thread
+    )

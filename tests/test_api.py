@@ -1,0 +1,64 @@
+"""The versioned public facade: repro.api is the supported surface."""
+
+import repro.api as api
+
+
+class TestFacade:
+    def test_api_version(self):
+        assert api.API_VERSION == 1
+
+    def test_all_names_exist(self):
+        for name in api.__all__:
+            assert hasattr(api, name), f"__all__ names missing symbol {name}"
+
+    def test_core_surface_present(self):
+        # the documented entrypoints of the redesigned API
+        for name in (
+            "RunConfig",
+            "Session",
+            "run_litmus",
+            "run_suite",
+            "Certificate",
+            "ServeConfig",
+            "VerdictService",
+            "Client",
+            "serve_forever",
+            "start_in_thread",
+        ):
+            assert name in api.__all__
+
+    def test_registry_tables_exposed(self):
+        assert "ptx" in api.MODELS
+        assert "enumerative" in api.ENGINES
+        assert api.model_names() == tuple(sorted(api.MODELS))
+
+    def test_schema_version_single_source(self):
+        from repro.schema import CACHE_SCHEMA_VERSION
+
+        assert api.CACHE_SCHEMA_VERSION == CACHE_SCHEMA_VERSION
+
+    def test_star_import_is_bounded(self):
+        namespace = {}
+        exec("from repro.api import *", namespace)
+        public = {name for name in namespace if not name.startswith("__")}
+        declared = {
+            name for name in api.__all__ if not name.startswith("__")
+        }
+        assert public == declared
+
+
+class TestFacadeBehaviour:
+    def test_run_litmus_through_facade(self):
+        from repro.litmus.suite import BY_NAME
+
+        test = BY_NAME["MP+weak"]
+        result = api.run_litmus(test, api.RunConfig(model="ptx"))
+        assert result.verdict is api.Expect.ALLOWED
+
+    def test_unknown_engine_is_uniform_error(self):
+        try:
+            api.RunConfig(engine="warp-drive")
+        except api.UnknownNameError as exc:
+            assert "unknown engine 'warp-drive'" in str(exc)
+        else:
+            raise AssertionError("expected UnknownNameError")

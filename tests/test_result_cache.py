@@ -123,10 +123,13 @@ class TestSchemaMigration:
         assert cache.get(new_key, test) is None  # miss, not an error
         assert cache.stats.misses == 1
 
-    def test_current_version_is_four(self):
-        # v4: rf-check engine added and enum counters grew
-        # saturation/fallback fields
-        assert cache_mod.CACHE_SCHEMA_VERSION == 4
+    def test_current_version_is_five(self):
+        # v5: the serving layer's LRU tier + wire payloads joined the
+        # verdict store (single source: repro.schema)
+        from repro import schema
+
+        assert cache_mod.CACHE_SCHEMA_VERSION == 5
+        assert schema.CACHE_SCHEMA_VERSION == cache_mod.CACHE_SCHEMA_VERSION
 
     def test_certify_flag_salts_key_under_any_version(self, monkeypatch):
         test = BY_NAME["CoRR"]

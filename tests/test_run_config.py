@@ -1,4 +1,4 @@
-"""Tests for the RunConfig value object and the legacy **opts shim."""
+"""Tests for the RunConfig value object (the sole configuration surface)."""
 
 import pytest
 
@@ -93,28 +93,26 @@ class TestRunnerAcceptsConfig:
         results = run_suite(tests, RunConfig(model="sc"))
         assert [r.model for r in results] == ["sc", "sc"]
 
-    def test_legacy_positional_model_string(self):
-        # run_litmus(test, "tso") predates RunConfig and must keep working
-        result = run_litmus(BY_NAME["CoRR"], "tso")
+    def test_model_keyword_convenience(self):
+        result = run_litmus(BY_NAME["CoRR"], model="tso")
         assert result.model == "tso"
 
 
-class TestDeprecationShim:
-    def test_kwarg_opts_warn(self):
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
-            result = run_litmus(
-                BY_NAME["LB+deps"], skip_axioms=("No-Thin-Air",)
-            )
-        assert result.verdict is Expect.ALLOWED
+class TestLegacySurfaceRetired:
+    """The historical ``**opts`` shim and positional-string model are gone:
+    RunConfig is the sole configuration surface (see repro.api)."""
 
-    def test_kwarg_opts_behaviour_unchanged(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = run_litmus(BY_NAME["LB+deps"], speculation_values=())
-        modern = run_litmus(
-            BY_NAME["LB+deps"],
-            RunConfig(search_opts={"speculation_values": ()}),
-        )
-        assert legacy.verdict is modern.verdict is Expect.FORBIDDEN
+    def test_positional_model_string_rejected(self):
+        with pytest.raises(TypeError, match="RunConfig"):
+            run_litmus(BY_NAME["CoRR"], "tso")
+
+    def test_kwarg_search_opts_rejected(self):
+        with pytest.raises(TypeError):
+            run_litmus(BY_NAME["LB+deps"], skip_axioms=("No-Thin-Air",))
+
+    def test_kwarg_search_opts_rejected_on_suite(self):
+        with pytest.raises(TypeError):
+            run_suite([BY_NAME["LB+deps"]], speculation_values=())
 
     def test_config_path_does_not_warn(self):
         import warnings
@@ -122,3 +120,10 @@ class TestDeprecationShim:
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             run_litmus(BY_NAME["CoRR"], RunConfig())
+
+    def test_search_opts_via_config(self):
+        result = run_litmus(
+            BY_NAME["LB+deps"],
+            RunConfig(search_opts={"skip_axioms": ("No-Thin-Air",)}),
+        )
+        assert result.verdict is Expect.ALLOWED
