@@ -19,7 +19,13 @@ notice.  The surface is deliberately small:
 * **serve** — the verdict service and its client
   (:class:`ServeConfig` / :func:`serve_forever` /
   :func:`start_in_thread` / :class:`Client`), the HTTP face of the
-  same engine stack (``ptxmm serve`` / ``ptxmm client``).
+  same engine stack (``ptxmm serve`` / ``ptxmm client``);
+* **zoo** — the declarative model zoo (:class:`ZooModel` and its parts,
+  :data:`ZOO_MODELS`, :func:`zoo_names`, :func:`containment_claims`),
+  the generic axiomatic engine (:func:`zoo_outcomes`,
+  :func:`concrete_observations`), and the cross-model conformance
+  matrix (:func:`build_matrix` / :class:`ModelMatrix`, the library face
+  of ``ptxmm matrix``).
 
 ``API_VERSION`` counts redesigns of this surface; it is independent of
 the package version and of :data:`~repro.schema.CACHE_SCHEMA_VERSION`
@@ -54,6 +60,19 @@ from .serve import (
     serve_forever,
     start_in_thread,
 )
+from .zoo import (
+    ZOO_MODELS,
+    Claim,
+    EventSignature,
+    ModelMatrix,
+    WitnessSpec,
+    ZooModel,
+    build_matrix,
+    concrete_observations,
+    containment_claims,
+    zoo_names,
+    zoo_outcomes,
+)
 
 #: bumped when this surface changes incompatibly
 API_VERSION = 1
@@ -62,12 +81,15 @@ __all__ = [
     "API_VERSION",
     "CACHE_SCHEMA_VERSION",
     "Certificate",
+    "Claim",
     "Client",
     "ENGINES",
+    "EventSignature",
     "Expect",
     "LitmusResult",
     "LitmusTest",
     "MODELS",
+    "ModelMatrix",
     "RunConfig",
     "ServeConfig",
     "ServiceError",
@@ -76,7 +98,13 @@ __all__ = [
     "SessionStats",
     "UnknownNameError",
     "VerdictService",
+    "WitnessSpec",
+    "ZOO_MODELS",
+    "ZooModel",
     "__version__",
+    "build_matrix",
+    "concrete_observations",
+    "containment_claims",
     "engine_names",
     "engines_for_model",
     "freeze_opts",
@@ -88,4 +116,6 @@ __all__ = [
     "serve_forever",
     "start_in_thread",
     "summarize",
+    "zoo_names",
+    "zoo_outcomes",
 ]

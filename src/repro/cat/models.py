@@ -77,11 +77,70 @@ empty rmw & (rb ; mo) as atomicity
 acyclic incl & psc as sc
 """
 
+IMM_CAT = """
+"IMM"  (* Podkopaev, Lahav, Vafeiadis (POPL 2019), scoped adaptation *)
+
+(* The RC11 fragment: same derived relations as scoped-RC11. *)
+let sb_loc = sb & sloc
+let sb_nloc = sb \\ sb_loc
+let rb = (rf^-1 ; mo) \\ iden
+let eco = (rf | mo | rb)+
+let rs = [W] ; sb_loc? ; [W_rlx] ; ((incl & rf) ; rmw)*
+let sw = [E_rel] ; ([F] ; sb)? ; rs ; (incl & rf) ; [R_rlx] ; (sb ; [F])? ; [E_acq]
+let hb = (sb | (incl & sw))+
+let hb_loc = hb & sloc
+let scb = sb | (sb_nloc ; hb ; sb_nloc) | hb_loc | mo | rb
+let psc_base = ([E_sc] | ([F_sc] ; hb?)) ; scb ; ([E_sc] | (hb? ; [F_sc]))
+let psc_f = [F_sc] ; (hb | (hb ; eco ; hb)) ; [F_sc]
+let psc = psc_base | psc_f
+
+(* The IMM acyclicity condition: preserved program order (syntactic
+   dependencies and internal reads-from), barrier-ordered-before, and
+   external reads-from must not form a cycle — the hardware-checkable
+   no-thin-air guarantee that replaces RC11's dropped (sb|rf) axiom. *)
+let rfi = rf & int
+let rfe = rf \\ int
+let ppo = [R] ; (dep | rfi)+ ; [W]
+let bob = (sb ; [F]) | ([F] ; sb) | ([E_acq] ; sb) | (sb ; [E_rel]) | ([E_rel] ; sb_loc)
+let ar = rfe | bob | ppo
+
+irreflexive hb ; eco? as coherence
+empty rmw & (rb ; mo) as atomicity
+acyclic incl & psc as sc
+acyclic ar as no_thin_air
+"""
+
+SCOPED_RC11_SC_CAT = """
+"scoped-RC11-SC"  (* Batty, Donaldson, Wickerson: Overhauling SC Atomics *)
+
+(* The repaired SC-atomics semantics: the partial-SC base order is the
+   *whole* of hb|mo|rb rather than RC11's carefully carved scb, which
+   is provably weaker (scb is contained in hb|mo|rb).  The repair
+   trades the compilation-efficiency carve-outs for a simpler, stronger
+   SC axiom; everything else is scoped-RC11 verbatim. *)
+let sb_loc = sb & sloc
+let rb = (rf^-1 ; mo) \\ iden
+let eco = (rf | mo | rb)+
+let rs = [W] ; sb_loc? ; [W_rlx] ; ((incl & rf) ; rmw)*
+let sw = [E_rel] ; ([F] ; sb)? ; rs ; (incl & rf) ; [R_rlx] ; (sb ; [F])? ; [E_acq]
+let hb = (sb | (incl & sw))+
+let scb = hb | mo | rb
+let psc_base = ([E_sc] | ([F_sc] ; hb?)) ; scb ; ([E_sc] | (hb? ; [F_sc]))
+let psc_f = [F_sc] ; (hb | (hb ; eco ; hb)) ; [F_sc]
+let psc = psc_base | psc_f
+
+irreflexive hb ; eco? as coherence
+empty rmw & (rb ; mo) as atomicity
+acyclic incl & psc as sc
+"""
+
 _SOURCES = {
     "ptx": PTX_CAT,
     "tso": TSO_CAT,
     "sc": SC_CAT,
     "scoped-rc11": SCOPED_RC11_CAT,
+    "imm": IMM_CAT,
+    "scoped-rc11-sc": SCOPED_RC11_SC_CAT,
 }
 
 

@@ -38,7 +38,19 @@ from ..lang import ast
 
 
 class CatSyntaxError(ValueError):
-    """Malformed cat source."""
+    """Malformed cat source.
+
+    Messages locate the failure as ``line L, column C`` (1-based) and
+    name the offending token, so a broken ``.cat`` file points at its
+    own defect instead of a bare character offset.
+    """
+
+
+def _line_col(source: str, position: int) -> Tuple[int, int]:
+    """1-based (line, column) of a character offset in ``source``."""
+    line = source.count("\n", 0, position) + 1
+    column = position - source.rfind("\n", 0, position)
+    return line, column
 
 
 _TOKEN = re.compile(
@@ -62,6 +74,13 @@ class Token:
     kind: str
     text: str
     position: int
+    #: 1-based source location (defaults keep hand-built tokens valid)
+    line: int = 1
+    column: int = 1
+
+    @property
+    def location(self) -> str:
+        return f"line {self.line}, column {self.column}"
 
 
 def tokenize(source: str) -> List[Token]:
@@ -71,8 +90,10 @@ def tokenize(source: str) -> List[Token]:
     while position < len(source):
         match = _TOKEN.match(source, position)
         if not match:
+            line, column = _line_col(source, position)
             raise CatSyntaxError(
-                f"unexpected character {source[position]!r} at {position}"
+                f"unexpected character {source[position]!r} at "
+                f"line {line}, column {column}"
             )
         position = match.end()
         if match.lastgroup in ("ws", "comment", "line_comment"):
@@ -81,7 +102,16 @@ def tokenize(source: str) -> List[Token]:
         text = match.group()
         if kind == "name" and text in _KEYWORDS:
             kind = "keyword"
-        tokens.append(Token(kind=kind, text=text, position=match.start()))
+        line, column = _line_col(source, match.start())
+        tokens.append(
+            Token(
+                kind=kind,
+                text=text,
+                position=match.start(),
+                line=line,
+                column=column,
+            )
+        )
     return tokens
 
 
@@ -137,7 +167,13 @@ class _Parser:
     def next(self) -> Token:
         token = self.peek()
         if token is None:
-            raise CatSyntaxError("unexpected end of input")
+            if self.tokens:
+                last = self.tokens[-1]
+                raise CatSyntaxError(
+                    f"unexpected end of input after {last.text!r} at "
+                    f"{last.location}"
+                )
+            raise CatSyntaxError("unexpected end of input (empty source)")
         self.index += 1
         return token
 
@@ -146,7 +182,7 @@ class _Parser:
         if token.kind != kind or (text is not None and token.text != text):
             raise CatSyntaxError(
                 f"expected {text or kind}, found {token.text!r} at "
-                f"{token.position}"
+                f"{token.location}"
             )
         return token
 
@@ -216,7 +252,7 @@ class _Parser:
         if token.kind == "name":
             return self._name_to_expr(token.text, arity=2)
         raise CatSyntaxError(
-            f"unexpected token {token.text!r} at {token.position}"
+            f"unexpected token {token.text!r} at {token.location}"
         )
 
     def _name_to_expr(self, name: str, arity: int) -> ast.Expr:
@@ -243,7 +279,7 @@ class _Parser:
             if token.kind != "keyword":
                 raise CatSyntaxError(
                     f"expected a statement, found {token.text!r} at "
-                    f"{token.position}"
+                    f"{token.location}"
                 )
             if token.text == "let":
                 defined = self.expect("name").text
@@ -267,7 +303,7 @@ class _Parser:
                 constraints.append((label, formula))
             else:
                 raise CatSyntaxError(
-                    f"unexpected keyword {token.text!r} at {token.position}"
+                    f"unexpected keyword {token.text!r} at {token.location}"
                 )
         return CatModel(
             name=name,

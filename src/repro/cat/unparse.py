@@ -96,6 +96,37 @@ def model_to_cat(
     return "\n".join(lines) + "\n"
 
 
+def _constraint_to_cat(label: str, formula: ast.Formula) -> str:
+    """One parsed constraint back to cat, label preserved verbatim."""
+    if isinstance(formula, ast.Acyclic):
+        return f"acyclic {expr_to_cat(formula.expr)} as {label}"
+    if isinstance(formula, ast.Irreflexive):
+        return f"irreflexive {expr_to_cat(formula.expr)} as {label}"
+    if isinstance(formula, ast.NoF):
+        return f"empty {expr_to_cat(formula.expr)} as {label}"
+    raise ValueError(
+        f"constraint {label!r} has no cat rendering: {formula!r}"
+    )
+
+
+def catmodel_to_cat(model) -> str:
+    """Unparse a parsed :class:`~repro.cat.parser.CatModel` to cat source.
+
+    Unlike :func:`model_to_cat` this preserves definition and constraint
+    names exactly (no sanitizing), so ``parse → unparse → parse`` is a
+    fixpoint: re-parsing the emitted text reproduces the same
+    :class:`CatModel` value.  The emitted definitions are the parser's
+    *inlined* expressions, so each ``let`` references only base names.
+    """
+    lines = [f'"{model.name}"', ""]
+    for defined, expr in model.definitions:
+        lines.append(f"let {defined} = {expr_to_cat(expr)}")
+    lines.append("")
+    for label, formula in model.constraints:
+        lines.append(_constraint_to_cat(label, formula))
+    return "\n".join(lines) + "\n"
+
+
 def ptx_to_cat() -> str:
     """The built-in PTX spec, unparsed to cat.
 

@@ -399,6 +399,63 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from .zoo.matrix import MatrixError, ModelMatrix, build_matrix, verify_claims
+
+    session = None
+    try:
+        if args.jobs != 1:
+            from .litmus import RunConfig, Session
+
+            session = Session(RunConfig(jobs=args.jobs, use_cache=False))
+        try:
+            matrix = build_matrix(
+                models=args.models or None,
+                fast=args.fast,
+                session=session,
+                timeout=args.timeout,
+            )
+        except (KeyError, MatrixError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        if session is not None:
+            session.close()
+    corpus = "fast suite" if args.fast else "suite + generated corpus"
+    print(f"conformance matrix over the {corpus} ({len(matrix.tests)} tests)")
+    print()
+    print(matrix.format_table())
+    witnesses = matrix.format_witnesses()
+    if witnesses:
+        print()
+        print(witnesses)
+    problems = verify_claims(matrix)
+    if problems:
+        print()
+        for problem in problems:
+            print(f"CLAIM VIOLATION: {problem}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(matrix.to_json())
+        print(f"\nwrote {args.out}")
+    if args.check:
+        try:
+            with open(args.check, encoding="utf-8") as handle:
+                golden = ModelMatrix.from_json(handle.read())
+        except (OSError, ValueError, MatrixError) as exc:
+            print(f"error: cannot load golden {args.check!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        flips = matrix.diff(golden)
+        if flips:
+            print(f"\nmatrix deviates from golden {args.check}:")
+            for flip in flips:
+                print(f"  {flip}")
+            return 1
+        print(f"\nmatrix matches golden {args.check}")
+    return 1 if problems else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import ServeConfig, serve_forever
 
@@ -756,6 +813,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_cmp.add_argument("--limit", type=int, default=3)
     _add_exec_flags(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_mtx = sub.add_parser(
+        "matrix",
+        help="N×N cross-model conformance matrix with witness tests",
+    )
+    p_mtx.add_argument(
+        "--models", nargs="+", metavar="MODEL",
+        help="zoo models to compare (default: every registered model)",
+    )
+    p_mtx.add_argument(
+        "--fast", action="store_true",
+        help="run the hand-written suite only (skip the generated corpus)",
+    )
+    p_mtx.add_argument(
+        "--out", metavar="FILE", help="write the matrix as JSON"
+    )
+    p_mtx.add_argument(
+        "--check", metavar="GOLDEN",
+        help="compare against a committed golden matrix; exit 1 on any "
+             "cell flip",
+    )
+    p_mtx.add_argument("--jobs", type=int, default=1)
+    p_mtx.add_argument("--timeout", type=float, default=None)
+    p_mtx.set_defaults(func=_cmd_matrix)
 
     p_srv = sub.add_parser(
         "serve",

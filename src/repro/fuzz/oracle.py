@@ -62,7 +62,11 @@ class Check:
 
     * ``"outcomes"`` — the full outcome sets must be equal;
     * ``"verdict"`` — the allowed/forbidden answers must agree;
-    * ``"subset"`` — every left outcome must be a right outcome.
+    * ``"subset"`` — every left outcome must be a right outcome;
+    * ``"contained"`` — every left *concrete observation* must be a
+      right one (outcomes concretized through
+      :func:`repro.zoo.engine.concrete_observations` first, so models
+      with partial and total coherence witnesses compare soundly).
 
     ``requires_operational`` gates the check on the baseline machines
     being able to execute the program (no CTA barriers).
@@ -111,8 +115,35 @@ class CaseVerdict:
         return not self.discrepancies
 
 
+def containment_checks() -> Tuple[Check, ...]:
+    """One cross-model check per declared zoo containment claim.
+
+    Every ``A ⊑ B`` claim in the zoo (:func:`repro.zoo.models.
+    containment_claims`) derives a ``contained`` check named
+    ``A-within-B``: each model registered with a claim is fuzzed against
+    its weaker neighbour for free, generalizing the original
+    hand-written SC⊆TSO check to the whole declared order.
+    """
+    from ..zoo.models import containment_claims
+
+    return tuple(
+        Check(
+            kind=f"{claim.stronger}-within-{claim.weaker}",
+            left=EngineSpec(
+                f"{claim.stronger}/enumerative", model=claim.stronger
+            ),
+            right=EngineSpec(
+                f"{claim.weaker}/enumerative", model=claim.weaker
+            ),
+            compare="contained",
+        )
+        for claim in containment_claims()
+    )
+
+
 def default_checks(perturb: Optional[str] = None) -> Tuple[Check, ...]:
-    """The standard differential battery.
+    """The standard differential battery: the hand-written engine
+    comparisons plus the zoo-derived containment checks.
 
     ``perturb`` names a PTX axiom to skip on the *enumerative* side
     (``skip_axioms``), deliberately breaking one engine — the negative
@@ -155,10 +186,9 @@ def default_checks(perturb: Optional[str] = None) -> Tuple[Check, ...]:
             "tso-operational", tso, tso_op,
             compare="outcomes", requires_operational=True,
         ),
-        Check(
-            "sc-within-tso", sc, tso,
-            compare="subset", requires_operational=True,
-        ),
+        # the declared zoo containments (sc-within-tso and friends):
+        # purely axiomatic, so they run on barrier programs too
+        *containment_checks(),
     )
 
 
@@ -193,6 +223,19 @@ def compare_results(
         if extra:
             return (
                 f"{check.left.label} outcomes not contained in "
+                f"{check.right.label}: {sorted(map(repr, extra))}"
+            )
+        return None
+    if check.compare == "contained":
+        from ..zoo.engine import concrete_observations
+
+        extra = (
+            concrete_observations(left.outcomes)
+            - concrete_observations(right.outcomes)
+        )
+        if extra:
+            return (
+                f"{check.left.label} observations not contained in "
                 f"{check.right.label}: {sorted(map(repr, extra))}"
             )
         return None

@@ -1,0 +1,45 @@
+"""Pinned generated litmus corpora, shared by tests and the matrix.
+
+The length-4 external-edge corpus (``CORPUS4``) synthesises every
+closing critical cycle over cross-thread communication edges under each
+annotation variant — the classic named shapes (SB, MP, LB, 2+2W, ...)
+the paper's generated suites revolve around.  It started life inside
+``tests/test_generated_corpus.py``; the conformance matrix
+(:mod:`repro.zoo.matrix`) runs the same corpus through every zoo model,
+so the generator lives here and the test imports it back.
+
+Generation is deterministic (cycle enumeration order × variant
+declaration order), which the matrix goldens rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from .compare import VARIANTS
+from .generator import CycleError, GeneratedTest, enumerate_cycles, generate
+
+#: External-edge vocabulary for the length-4 corpus: all communication is
+#: cross-thread, producing the classic named shapes (SB, MP, LB, 2+2W...)
+#: rather than same-thread coherence noise.
+EXT_VOCABULARY: Tuple[str, ...] = (
+    "Rfe", "Fre", "Wse", "PodRR", "PodRW", "PodWR", "PodWW",
+)
+
+
+def corpus_length4() -> Iterator[Tuple[str, str, GeneratedTest]]:
+    """Yield ``(cycle name, variant, generated test)`` for every
+    length-4 external critical cycle under every annotation variant."""
+    for cycle in enumerate_cycles(4, EXT_VOCABULARY):
+        name = "+".join(edge.name for edge in cycle)
+        for variant, kwargs in VARIANTS.items():
+            try:
+                generated = generate(cycle, **kwargs)
+            except (CycleError, ValueError):
+                continue
+            yield name, variant, generated
+
+
+def corpus4() -> List[Tuple[str, str, GeneratedTest]]:
+    """The pinned length-4 corpus (48 instances), as a list."""
+    return list(corpus_length4())

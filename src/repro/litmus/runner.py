@@ -167,14 +167,11 @@ def _run_certified(
     from ..cert.verdict import certify_symbolic
     from ..kodkod.litmus import UnsupportedCondition
 
-    if config.model != "ptx":
-        # the uniform ptx-only gate still applies under certify
-        if resolve_engine(config.engine).ptx_only:
-            raise ValueError(
-                f"the {config.engine!r} engine supports only the 'ptx' "
-                f"model, not {config.model!r}"
-            )
-        outcomes = resolve_model(config.model).run(test.program, **opts)
+    spec = resolve_model(config.model)
+    # the uniform engine capability gate still applies under certify
+    resolve_engine(config.engine).check_model(config.model)
+    if not spec.symbolic:
+        outcomes = spec.run(test.program, **opts)
         return (
             test.condition_observed(outcomes),
             outcomes,
@@ -184,7 +181,7 @@ def _run_certified(
             ),
         )
     if opts:
-        outcomes = resolve_model("ptx").run(test.program, **opts)
+        outcomes = spec.run(test.program, **opts)
         return (
             test.condition_observed(outcomes),
             outcomes,
@@ -196,7 +193,7 @@ def _run_certified(
     try:
         observed, certificate, stats = certify_symbolic(test)
     except UnsupportedCondition as exc:
-        outcomes = resolve_model("ptx").run(test.program)
+        outcomes = spec.run(test.program)
         return (
             test.condition_observed(outcomes),
             outcomes,

@@ -76,6 +76,7 @@ def _tso_outcomes(program, **opts):
     from .tso import check_execution as tso_check
 
     opts.pop("skip_axioms", None)
+    opts.pop("stats", None)
     return allowed_outcomes_total(program, tso_check, **opts)
 
 
@@ -84,6 +85,7 @@ def _sc_outcomes(program, **opts):
     from .search.total_search import allowed_outcomes_total
 
     opts.pop("skip_axioms", None)
+    opts.pop("stats", None)
     return allowed_outcomes_total(program, sc_check, **opts)
 
 
@@ -99,6 +101,17 @@ def _tso_op_outcomes(program, **opts):
     return tso_operational_outcomes(program)
 
 
+def _zoo_run(name: str) -> Callable:
+    """The generic zoo enumeration, curried on the declared model."""
+
+    def run(program, **opts):
+        from .zoo.engine import zoo_outcomes
+
+        return zoo_outcomes(name, program, **opts)
+
+    return run
+
+
 @dataclass(frozen=True)
 class ModelSpec:
     """One memory model: its outcome function plus its option surface."""
@@ -111,37 +124,59 @@ class ModelSpec:
     #: PTX-only options tolerated and dropped (a test tagged with e.g.
     #: ``skip_axioms`` must still be runnable under tso/sc)
     ignored_opts: FrozenSet[str] = frozenset()
+    #: ``run`` accepts a ``stats=EnumStats()`` observability sink
+    enum_stats: bool = False
+    #: the model has a symbolic (SAT) encoding — certify-eligible
+    symbolic: bool = False
+    #: the :mod:`repro.zoo` declaration backing this spec, if any
+    zoo: Optional[str] = None
     description: str = ""
+
+
+#: zoo models with a dedicated engine: the declaration still defines the
+#: option surface and claims, but dispatch goes to the optimized native
+#: search (prunes, saturation) rather than the generic enumeration
+_NATIVE_RUNS: Dict[str, Callable] = {
+    "ptx": _ptx_outcomes,
+    "tso": _tso_outcomes,
+    "sc": _sc_outcomes,
+}
+
+
+def _zoo_specs() -> Tuple[ModelSpec, ...]:
+    """One ``ModelSpec`` per zoo declaration — the registry entries are
+    pure data derived from :mod:`repro.zoo.models`."""
+    from .zoo.models import ZOO_MODELS
+
+    specs = []
+    for model in ZOO_MODELS:
+        run = _NATIVE_RUNS.get(model.name) or _zoo_run(model.name)
+        specs.append(
+            ModelSpec(
+                model.name,
+                run,
+                opts=model.opts,
+                ignored_opts=model.ignored_opts,
+                # every enumerative path except the CPU total searches
+                # threads EnumStats through (the zoo engine always does)
+                enum_stats=model.name not in ("tso", "sc"),
+                symbolic=model.name == "ptx",
+                zoo=model.name,
+                description=model.description,
+            )
+        )
+    return tuple(specs)
 
 
 MODELS: Dict[str, ModelSpec] = {
     spec.name: spec
     for spec in (
-        ModelSpec(
-            "ptx",
-            _ptx_outcomes,
-            opts=frozenset({"skip_axioms", "speculation_values"}),
-            description="axiomatic PTX 6.0 scoped model (the paper, §3)",
-        ),
+        *_zoo_specs(),
         ModelSpec(
             "ptx-legacy",
             _ptx_legacy_outcomes,
             opts=frozenset({"skip_axioms", "speculation_values"}),
             description="pre-Volta variant: membar without an sc order",
-        ),
-        ModelSpec(
-            "tso",
-            _tso_outcomes,
-            opts=frozenset({"speculation_values"}),
-            ignored_opts=frozenset({"skip_axioms"}),
-            description="total-store-order baseline (Figure 2)",
-        ),
-        ModelSpec(
-            "sc",
-            _sc_outcomes,
-            opts=frozenset({"speculation_values"}),
-            ignored_opts=frozenset({"skip_axioms"}),
-            description="sequential-consistency baseline",
         ),
         # the machines have no search knobs at all: options that merely
         # annotate a test must not make it unrunnable operationally
@@ -215,11 +250,12 @@ def _run_enumerative(test, config, opts):
     """Explicit candidate-execution enumeration, any model."""
     from .search.ptx_search import EnumStats
 
+    spec = resolve_model(config.model)
     enum_stats = None
-    if config.model == "ptx":
+    if spec.enum_stats:
         enum_stats = EnumStats()
         opts = dict(opts, stats=enum_stats)
-    outcomes = resolve_model(config.model).run(test.program, **opts)
+    outcomes = spec.run(test.program, **opts)
     return test.condition_observed(outcomes), outcomes, None, enum_stats
 
 
@@ -243,7 +279,7 @@ def _run_symbolic(test, config, opts):
             for snapshot in stats[1:]:
                 merged = merged + snapshot
             return observed, frozenset(), merged, None
-    outcomes = _ptx_outcomes(test.program, **opts)
+    outcomes = resolve_model(config.model).run(test.program, **opts)
     return test.condition_observed(outcomes), outcomes, None, None
 
 
@@ -273,7 +309,7 @@ def _run_symbolic_enum(test, config, opts):
             for snapshot in stats[1:]:
                 merged = merged + snapshot
             return test.condition_observed(outcomes), outcomes, merged, None
-    outcomes = _ptx_outcomes(test.program, **opts)
+    outcomes = resolve_model(config.model).run(test.program, **opts)
     return test.condition_observed(outcomes), outcomes, None, None
 
 
@@ -303,9 +339,13 @@ class EngineSpec:
     supports_outcomes: bool = True
     description: str = ""
 
+    def check_model(self, model: str) -> None:
+        """Raise if this engine cannot decide tests under ``model``."""
+        _check_ptx_only(self, model)
+
     def decide(self, test, config, opts):
         """Run with the uniform capability gate applied."""
-        _check_ptx_only(self, config.model)
+        self.check_model(config.model)
         return self.run(test, config, opts)
 
 

@@ -189,5 +189,23 @@ class Client:
             },
         )
 
+    def models(self) -> Dict:
+        """The registered model zoo: signatures, claims, engines."""
+        return self._request("GET", "/v1/models", None)
+
+    def matrix(
+        self,
+        models: Optional[List[str]] = None,
+        fast: bool = False,
+        **overrides,
+    ) -> Dict:
+        """The N×N conformance matrix (computed through the store)."""
+        payload = dict(overrides)
+        if models is not None:
+            payload["models"] = list(models)
+        if fast:
+            payload["fast"] = True
+        return self._request("POST", "/v1/matrix", payload)
+
     def warm(self, **overrides) -> Dict:
         return self._request("POST", "/v1/warm", dict(overrides))

@@ -364,6 +364,153 @@ class VerdictService:
             ],
         }
 
+    def models_payload(self) -> Dict:
+        """Everything ``GET /v1/models`` reports: the registered zoo."""
+        from ..registry import engines_for_model
+        from ..zoo import ZOO_MODELS
+
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "count": len(ZOO_MODELS),
+            "models": [
+                {
+                    "name": model.name,
+                    "description": model.description,
+                    "cat": model.cat,
+                    "co_style": model.witnesses.co_style,
+                    "co_name": model.witnesses.co_name,
+                    "sc_fences": model.witnesses.sc_fences,
+                    "opts": sorted(model.opts),
+                    "engines": list(engines_for_model(model.name)),
+                    "claims": [
+                        {
+                            "stronger": claim.stronger,
+                            "weaker": claim.weaker,
+                            "basis": claim.basis,
+                        }
+                        for claim in model.claims
+                    ],
+                }
+                for model in ZOO_MODELS
+            ],
+        }
+
+    async def matrix_query(self, payload: Dict) -> Dict:
+        """The N×N conformance matrix, computed through the store.
+
+        Every (model, test) pair goes through the standard pipeline —
+        store probe, coalesce, one batched Session call for the misses —
+        so repeated matrix requests (and overlapping suite traffic) are
+        answered from the two-level store rather than recomputed.
+        """
+        from ..zoo.engine import concrete_observations
+        from ..zoo.matrix import (
+            MatrixError,
+            assemble_matrix,
+            matrix_corpus,
+            verify_claims,
+        )
+        from ..zoo.models import resolve_zoo, zoo_names
+
+        models = payload.get("models")
+        if models is None:
+            models = list(zoo_names())
+        if (
+            not isinstance(models, list)
+            or not models
+            or not all(isinstance(name, str) for name in models)
+        ):
+            raise ApiError(400, "'models' must be a non-empty string array")
+        try:
+            for name in models:
+                resolve_zoo(name)
+        except KeyError as exc:
+            raise ApiError(400, str(exc.args[0]) if exc.args else str(exc))
+        models = tuple(sorted(set(models)))
+        fast = bool(payload.get("fast", False))
+        corpus = matrix_corpus(fast=fast)
+        base = build_config(self.base_config, payload, self.config.timeout)
+        # every zoo model must be decidable: the enumerative engine is
+        # the one engine with no capability restriction
+        configs = {
+            model: base.evolve(model=model, engine="enumerative")
+            for model in models
+        }
+
+        entries = [
+            (model, name, test, request_key(test, configs[model]))
+            for model in models
+            for name, test in corpus
+        ]
+        answers: Dict[int, object] = {}
+        followers = []
+        to_compute = []
+        sources = {"memory": 0, "disk": 0, "coalesced": 0, "computed": 0}
+        # no await between probe/join/lead: decisions stay atomic on the
+        # event loop (the suite pipeline's discipline)
+        for index, (model, name, test, key) in enumerate(entries):
+            result, source = self._probe(key, test)
+            if result is not None:
+                answers[index] = result
+                sources[source] += 1
+                continue
+            existing = self.coalescer.join(key)
+            if existing is not None:
+                followers.append((index, existing))
+            else:
+                to_compute.append((index, test, key, configs[model]))
+        batches = []
+        if to_compute:
+            # one batch per config (Session tasks carry their config, so
+            # a single call would also work; per-model batches keep the
+            # store/coalescer bookkeeping identical to the suite path)
+            by_config: Dict[object, List] = {}
+            for index, test, key, config in to_compute:
+                by_config.setdefault(config, []).append((index, test, key))
+            for config, items in by_config.items():
+                batch = asyncio.ensure_future(
+                    self._compute_batch(
+                        [(test, key) for _, test, key in items], config
+                    )
+                )
+                batch.add_done_callback(
+                    lambda task: task.cancelled() or task.exception()
+                )
+                batches.append((items, batch))
+        for index, future in followers:
+            answers[index] = await asyncio.shield(future)
+            sources["coalesced"] += 1
+        for items, batch in batches:
+            results = await batch
+            for (index, _, _), result in zip(items, results):
+                answers[index] = result
+                sources["computed"] += 1
+
+        table = {}
+        for index, (model, name, test, key) in enumerate(entries):
+            result = answers[index]
+            if result.status != "ok":
+                raise ApiError(
+                    500,
+                    f"matrix incomplete: {name} under {model} ended "
+                    f"{result.status}",
+                )
+            table[(model, name)] = concrete_observations(result.outcomes)
+        try:
+            matrix = assemble_matrix(
+                models, [name for name, _ in corpus], table
+            )
+        except MatrixError as exc:
+            raise ApiError(500, str(exc))
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "corpus": "fast" if fast else "full",
+            "matrix": matrix.to_dict(),
+            "table": matrix.format_table(),
+            "claim_violations": verify_claims(matrix),
+            "sources": sources,
+        }
+
     async def warm_query(self, payload: Dict) -> Dict:
         """Preload the standard suite's verdicts into the store.
 
@@ -437,6 +584,8 @@ class VerdictService:
                 return 200, self.stats_payload()
             if route == ("GET", "/v1/suite/tests"):
                 return 200, {"tests": suite_test_names()}
+            if route == ("GET", "/v1/models"):
+                return 200, self.models_payload()
             if method != "POST":
                 raise ApiError(405, f"{method} not supported on {path}")
             body = payload if payload is not None else {}
@@ -446,6 +595,8 @@ class VerdictService:
                 return 200, await self.suite_query(body)
             if path == "/v1/compare":
                 return 200, await self.compare_query(body)
+            if path == "/v1/matrix":
+                return 200, await self.matrix_query(body)
             if path == "/v1/warm":
                 return 200, await self.warm_query(body)
             raise ApiError(404, f"no such endpoint: {path}")

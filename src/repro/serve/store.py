@@ -9,8 +9,12 @@ into memory; writes go to both levels.
 The LRU is sharded: the key's leading hex bytes pick a shard, each shard
 holds its own ``OrderedDict`` and lock, so concurrent readers on
 different shards never contend on one global lock.  Capacity is divided
-across shards; eviction is per-shard LRU, which bounds total residency
-at ``capacity`` entries while keeping eviction O(1).
+across shards; eviction is per-shard and *cost-aware*: a full shard
+scans a small window of its coldest entries and drops the one that was
+cheapest to compute, so expensive verdicts (certified runs, rf-check
+fallbacks) survive longer than cheap ones of the same age.  The window
+is a constant (:data:`_EVICTION_SCAN`), which bounds total residency at
+``capacity`` entries while keeping eviction O(1).
 
 Counters tell the operator where traffic lands: ``mem_hits`` /
 ``disk_hits`` / ``misses`` / ``evictions`` / ``stores``; the service's
@@ -19,6 +23,7 @@ Counters tell the operator where traffic lands: ``mem_hits`` /
 
 from __future__ import annotations
 
+import itertools
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -59,39 +64,61 @@ class StoreStats:
         )
 
 
+#: how many of a shard's coldest entries compete for eviction: the
+#: cheapest of the window goes first, so an expensive verdict is only
+#: dropped once it has aged past ``_EVICTION_SCAN`` cheaper entries
+_EVICTION_SCAN = 8
+
+
 class _Shard:
-    """One LRU shard: an ordered dict + lock, most-recent at the end."""
+    """One LRU shard: an ordered dict + lock, most-recent at the end.
+
+    Entries are stored as ``(value, cost)`` pairs; eviction picks the
+    minimum-cost entry among the :data:`_EVICTION_SCAN` least recently
+    used (ties resolve to the older entry, i.e. plain LRU).
+    """
 
     __slots__ = ("capacity", "entries", "lock")
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
-        self.entries: "OrderedDict[str, object]" = OrderedDict()
+        self.entries: "OrderedDict[str, tuple]" = OrderedDict()
         self.lock = threading.Lock()
 
     def get(self, key: str):
         with self.lock:
             try:
-                value = self.entries[key]
+                value, _cost = self.entries[key]
             except KeyError:
                 return None
             self.entries.move_to_end(key)
             return value
 
-    def put(self, key: str, value) -> int:
+    def put(self, key: str, value, cost: float = 0.0) -> int:
         """Insert/refresh ``key``; returns the number of evictions (0/1)."""
         evicted = 0
         with self.lock:
-            self.entries[key] = value
+            self.entries[key] = (value, cost)
             self.entries.move_to_end(key)
             while len(self.entries) > self.capacity:
-                self.entries.popitem(last=False)
+                victim = min(
+                    itertools.islice(
+                        self.entries.items(), _EVICTION_SCAN
+                    ),
+                    key=lambda item: item[1][1],
+                )[0]
+                del self.entries[victim]
                 evicted += 1
         return evicted
 
     def __len__(self) -> int:
         with self.lock:
             return len(self.entries)
+
+
+def _result_cost(result) -> float:
+    """Eviction weight of a stored result: its recorded compute time."""
+    return getattr(result, "elapsed", None) or 0.0
 
 
 class VerdictStore:
@@ -143,7 +170,9 @@ class VerdictStore:
                 with self._stats_lock:
                     self.stats.disk_hits += 1
                 # promote: the disk hit is now hot
-                evicted = self._shard_for(key).put(key, result)
+                evicted = self._shard_for(key).put(
+                    key, result, cost=_result_cost(result)
+                )
                 if evicted:
                     with self._stats_lock:
                         self.stats.evictions += evicted
@@ -154,7 +183,9 @@ class VerdictStore:
 
     def put(self, key: str, result) -> None:
         """Store a completed result in both levels."""
-        evicted = self._shard_for(key).put(key, result)
+        evicted = self._shard_for(key).put(
+            key, result, cost=_result_cost(result)
+        )
         with self._stats_lock:
             self.stats.stores += 1
             self.stats.evictions += evicted

@@ -1,0 +1,63 @@
+"""repro.zoo — the model zoo: memory models as data, compared N×N.
+
+The zoo turns model registration into declaration: a
+:class:`~repro.zoo.model.ZooModel` names a ``.cat`` axiom file, an event
+signature (set predicates + base-relation builders from the shared
+registries), a witness spec, and optional containment claims.  The
+generic engine (:func:`zoo_outcomes`) enumerates any declared model; the
+conformance matrix (:func:`~repro.zoo.matrix.build_matrix`) compares all
+of them pairwise with witness litmus tests; the fuzz oracle derives a
+cross-model check from every declared claim.
+
+The declarations (:mod:`.model`, :mod:`.models`) import eagerly — they
+are pure data, cheap enough for the registry.  The engine and matrix
+load lazily on first attribute access so ``import repro.registry`` does
+not pay for the search machinery.
+"""
+
+from .model import Claim, EventSignature, WitnessSpec, ZooModel
+from .models import (
+    ZOO,
+    ZOO_MODELS,
+    containment_claims,
+    resolve_zoo,
+    zoo_names,
+)
+
+#: lazily loaded from :mod:`.engine` / :mod:`.matrix` (PEP 562)
+_LAZY = {
+    "BUILDERS": "engine",
+    "PREDICATES": "engine",
+    "concrete_observations": "engine",
+    "zoo_candidates": "engine",
+    "zoo_outcomes": "engine",
+    "ModelMatrix": "matrix",
+    "MatrixCell": "matrix",
+    "build_matrix": "matrix",
+    "matrix_corpus": "matrix",
+}
+
+__all__ = [
+    "Claim",
+    "EventSignature",
+    "WitnessSpec",
+    "ZOO",
+    "ZOO_MODELS",
+    "ZooModel",
+    "containment_claims",
+    "resolve_zoo",
+    "zoo_names",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name):
+    try:
+        module_name = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from importlib import import_module
+
+    return getattr(import_module(f".{module_name}", __name__), name)

@@ -1,0 +1,155 @@
+"""The ``Model`` protocol: a memory model as pure data.
+
+A zoo model is three declarations and nothing else:
+
+* an **event signature** — how PTX execution events are classified into
+  the model's event sets, and which base relations the model's axioms
+  read (each relation names a builder from the shared registry in
+  :mod:`repro.zoo.engine`);
+* a **witness spec** — which relations the model existentially
+  quantifies over (the coherence-order style and name, and whether a
+  runtime ``fence.sc`` order is enumerated);
+* the **axioms** — a ``.cat`` source shipped in
+  :mod:`repro.cat.models`, referenced by name.
+
+Given those, the generic engine (:func:`repro.zoo.engine.zoo_outcomes`)
+enumerates candidate executions and filters them through the cat
+constraints: adding a model to the repository means writing a ``.cat``
+file and one :class:`ZooModel` declaration — no new engine code.
+
+Models additionally declare **containment claims**: ``A ⊑ B`` asserts
+that every behaviour ``A`` allows, ``B`` allows too (``A`` is the
+*stronger* model).  Claims are consumed twice — the conformance matrix
+(:mod:`repro.zoo.matrix`) verifies them cell-by-cell with witness
+tests, and the fuzz oracle derives a cross-model containment check from
+every claim (:func:`repro.fuzz.oracle.containment_checks`), so each
+declared edge is fuzzed continuously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class EventSignature:
+    """How a model reads a PTX candidate execution.
+
+    ``sets`` maps cat set names to event predicates; ``relations`` maps
+    cat relation names to base-relation builders.  Both name entries in
+    the shared registries (:data:`repro.zoo.engine.PREDICATES` /
+    :data:`repro.zoo.engine.BUILDERS`); the names on the left are
+    whatever the model's ``.cat`` file expects to find bound.
+    """
+
+    #: ``(cat set name, predicate name)`` pairs
+    sets: Tuple[Tuple[str, str], ...] = ()
+    #: ``(cat relation name, builder name)`` pairs
+    relations: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def set_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.sets)
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.relations)
+
+
+@dataclass(frozen=True)
+class WitnessSpec:
+    """The existentially quantified relations of a model.
+
+    ``co_style`` picks the coherence-order witness space:
+
+    * ``"total"`` — a total order over the writes to each location with
+      the init write pinned first (CPU-style: TSO, SC, RC11's ``mo``);
+    * ``"partial-ms"`` — orientations of the *morally strong* write
+      pairs only (the PTX partial coherence order, §3.2), seeded with
+      init-first edges and, when ``co_forced_from`` names a cat
+      definition, the same-location write pairs that definition forces
+      (PTX Axiom 1 forces ``cause`` edges into ``co``).
+
+    ``sc_fences`` additionally enumerates a runtime order over morally
+    strong ``fence.sc`` pairs, bound as ``sc`` (PTX §3.4).
+    """
+
+    co_style: str = "total"
+    co_name: str = "co"
+    sc_fences: bool = False
+    co_forced_from: Optional[str] = None
+
+    def __post_init__(self):
+        if self.co_style not in ("total", "partial-ms"):
+            raise ValueError(
+                f"unknown coherence witness style {self.co_style!r}; "
+                "expected 'total' or 'partial-ms'"
+            )
+        if self.co_forced_from is not None and self.co_style != "partial-ms":
+            raise ValueError(
+                "co_forced_from only applies to the 'partial-ms' style "
+                "(total orders have no orientation left to force)"
+            )
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A declared behavioural containment: ``stronger ⊑ weaker``.
+
+    Every outcome the *stronger* model allows, the *weaker* model must
+    allow too (outcomes are compared after concretizing racy final
+    memory — see :func:`repro.zoo.engine.concrete_observations`).
+
+    ``basis`` records why the claim is believed: ``"structural"`` claims
+    follow from axiom implication over a shared witness space (they hold
+    for *every* program); ``"empirical"`` claims are validated by the
+    conformance matrix over the corpus and fuzzed continuously.
+    """
+
+    stronger: str
+    weaker: str
+    rationale: str = ""
+    basis: str = "structural"
+
+    def __post_init__(self):
+        if self.basis not in ("structural", "empirical"):
+            raise ValueError(f"unknown claim basis {self.basis!r}")
+
+
+@dataclass(frozen=True)
+class ZooModel:
+    """One registered memory model, declared entirely as data."""
+
+    name: str
+    #: key into :data:`repro.cat.models._SOURCES` (the axioms)
+    cat: str
+    signature: EventSignature
+    witnesses: WitnessSpec
+    #: containment claims in which this model is the *stronger* side
+    claims: Tuple[Claim, ...] = ()
+    #: search options the model's enumeration understands
+    opts: FrozenSet[str] = frozenset()
+    #: options tolerated and dropped (e.g. PTX-only annotations)
+    ignored_opts: FrozenSet[str] = frozenset()
+    description: str = ""
+
+    def __post_init__(self):
+        for claim in self.claims:
+            if claim.stronger != self.name:
+                raise ValueError(
+                    f"model {self.name!r} may only declare claims in "
+                    f"which it is the stronger side, got "
+                    f"{claim.stronger!r} ⊑ {claim.weaker!r}"
+                )
+
+    def bound_names(self) -> FrozenSet[str]:
+        """Every name the engine will bind before evaluating the cat
+        constraints: signature sets/relations plus the witnesses."""
+        names = set(self.signature.set_names)
+        names.update(self.signature.relation_names)
+        names.add("rf")
+        names.add(self.witnesses.co_name)
+        if self.witnesses.sc_fences:
+            names.add("sc")
+        return frozenset(names)

@@ -24,6 +24,10 @@ class TestFacade:
             "Client",
             "serve_forever",
             "start_in_thread",
+            "ZooModel",
+            "ZOO_MODELS",
+            "build_matrix",
+            "containment_claims",
         ):
             assert name in api.__all__
 
@@ -62,3 +66,12 @@ class TestFacadeBehaviour:
             assert "unknown engine 'warp-drive'" in str(exc)
         else:
             raise AssertionError("expected UnknownNameError")
+
+    def test_zoo_surface_is_consistent(self):
+        assert api.zoo_names() == tuple(
+            sorted(m.name for m in api.ZOO_MODELS)
+        )
+        for claim in api.containment_claims():
+            assert isinstance(claim, api.Claim)
+            assert claim.stronger in api.MODELS
+            assert claim.weaker in api.MODELS

@@ -99,6 +99,64 @@ class TestParser:
             parse_cat("rf | co")
 
 
+class TestErrorLocations:
+    """Parse failures name the offending token and its line/column."""
+
+    def test_bad_character_reports_line_and_column(self):
+        with pytest.raises(
+            CatSyntaxError, match=r"'@' at line 2, column 11"
+        ):
+            tokenize("let x = rf\nlet bad = @ co")
+
+    def test_bad_character_column_counts_from_one(self):
+        with pytest.raises(
+            CatSyntaxError, match=r"'%' at line 1, column 1"
+        ):
+            tokenize("% let x = rf")
+
+    def test_statement_error_names_the_token(self):
+        with pytest.raises(
+            CatSyntaxError,
+            match=r"expected a statement, found 'rf' at line 1, column 1",
+        ):
+            parse_cat("rf | co")
+
+    def test_expect_error_locates_missing_equals(self):
+        with pytest.raises(
+            CatSyntaxError, match=r"expected =, found 'rf' at line 2"
+        ):
+            parse_cat("let good = rf\nlet bad rf | co")
+
+    def test_unexpected_token_inside_expression(self):
+        with pytest.raises(
+            CatSyntaxError,
+            match=r"unexpected token '\)' at line 1, column 15",
+        ):
+            parse_cat("let e = (rf | ) ; co\nacyclic e as x")
+
+    def test_truncated_input_names_the_last_token(self):
+        with pytest.raises(
+            CatSyntaxError, match=r"end of input after '=' at line 3"
+        ):
+            parse_cat("let a = rf\n\nlet b =")
+
+    def test_empty_source_is_reported_distinctly(self):
+        with pytest.raises(CatSyntaxError, match=r"\(empty source\)"):
+            _Parser_next_on_empty()
+
+    def test_keyword_in_expression_position(self):
+        with pytest.raises(
+            CatSyntaxError, match=r"unexpected token 'let' at line 1"
+        ):
+            parse_cat("let a = let")
+
+
+def _Parser_next_on_empty():
+    from repro.cat.parser import _Parser
+
+    _Parser([], frozenset()).next()
+
+
 class TestInterp:
     def make_env(self):
         return Env.over(
@@ -126,7 +184,9 @@ class TestInterp:
 
 class TestShippedModels:
     def test_catalogue(self):
-        assert set(available_models()) == {"ptx", "tso", "sc", "scoped-rc11"}
+        assert set(available_models()) == {
+            "ptx", "tso", "sc", "scoped-rc11", "imm", "scoped-rc11-sc",
+        }
 
     def test_unknown_model(self):
         with pytest.raises(KeyError):

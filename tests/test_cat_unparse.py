@@ -4,8 +4,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cat import parse_cat
-from repro.cat.unparse import expr_to_cat, formula_to_cat, model_to_cat, ptx_to_cat
+from repro.cat import available_models, load_model, parse_cat
+from repro.cat.unparse import (
+    catmodel_to_cat,
+    expr_to_cat,
+    formula_to_cat,
+    model_to_cat,
+    ptx_to_cat,
+)
 from repro.lang import Env, ast, eval_expr, eval_formula
 from repro.relation import Relation
 
@@ -71,6 +77,38 @@ def test_subset_rewritten_as_emptiness(left, right, env):
     assert eval_formula(ast.Subset(left, right), env) == eval_formula(
         model.constraint("x"), env
     )
+
+
+class TestShippedModelFixpoint:
+    """parse → unparse → parse is a fixpoint for every shipped ``.cat``."""
+
+    @pytest.mark.parametrize("name", available_models())
+    def test_fixpoint(self, name):
+        model = load_model(name)
+        text = catmodel_to_cat(model)
+        reparsed = parse_cat(text)
+        assert reparsed == model
+        # and the unparse of the reparse is byte-identical: the cycle
+        # has genuinely converged, not merely alpha-equivalent
+        assert catmodel_to_cat(reparsed) == text
+
+    @pytest.mark.parametrize("name", available_models())
+    def test_labels_survive_verbatim(self, name):
+        """Unlike model_to_cat, catmodel_to_cat must not sanitize
+        constraint labels — downstream skip_axioms matching is exact."""
+        model = load_model(name)
+        reparsed = parse_cat(catmodel_to_cat(model))
+        assert [n for n, _ in reparsed.constraints] == [
+            n for n, _ in model.constraints
+        ]
+        assert [n for n, _ in reparsed.definitions] == [
+            n for n, _ in model.definitions
+        ]
+
+    def test_generated_ptx_cat_also_reaches_fixpoint(self):
+        """The unparse of the builtin spec converges after one parse."""
+        model = parse_cat(ptx_to_cat())
+        assert parse_cat(catmodel_to_cat(model)) == model
 
 
 class TestGeneratedPtxCat:

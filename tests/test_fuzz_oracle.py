@@ -36,11 +36,28 @@ BAR_TEST = next(
 class TestDefaultChecks:
     def test_battery_shape(self):
         checks = default_checks()
-        assert len(checks) == 6
+        assert len(checks) == 9
         assert {c.kind for c in checks} == {
             "ptx-verdict", "ptx-outcomes", "ptx-rf-outcomes",
-            "sc-operational", "tso-operational", "sc-within-tso",
+            "sc-operational", "tso-operational",
+            # derived from the zoo's declared containment claims
+            "sc-within-tso", "sc-within-imm",
+            "scoped-rc11-within-ptx",
+            "scoped-rc11-sc-within-scoped-rc11",
         }
+
+    def test_containment_checks_derive_from_zoo_claims(self):
+        from repro.fuzz.oracle import containment_checks
+        from repro.zoo import containment_claims
+
+        checks = containment_checks()
+        claims = containment_claims()
+        assert len(checks) == len(claims)
+        for check, claim in zip(checks, claims):
+            assert check.kind == f"{claim.stronger}-within-{claim.weaker}"
+            assert check.left.model == claim.stronger
+            assert check.right.model == claim.weaker
+            assert check.compare == "contained"
 
     def test_rf_check_engine_is_cross_checked_against_enumerative(self):
         check = next(

@@ -28,10 +28,7 @@ ALLOWED_EXCEPTIONS = {
     ("PosRW+Wse+Rfe", "weak"),     # racy CoRW shape
 }
 
-#: External-edge vocabulary for the length-4 corpus: all communication is
-#: cross-thread, producing the classic named shapes (SB, MP, LB, 2+2W...)
-#: rather than same-thread coherence noise.
-EXT_VOCABULARY = ("Rfe", "Fre", "Wse", "PodRR", "PodRW", "PodWR", "PodWW")
+from repro.litmus.corpus import EXT_VOCABULARY, corpus_length4
 
 #: ALLOWED (cycle, variant) pairs in the length-4 external corpus; every
 #: other pair is forbidden.  The structure mirrors §4 of the paper:
@@ -78,17 +75,6 @@ def corpus():
                 except (CycleError, ValueError):
                     continue
                 yield name, variant, generated
-
-
-def corpus_length4():
-    for cycle in enumerate_cycles(4, EXT_VOCABULARY):
-        name = "+".join(edge.name for edge in cycle)
-        for variant, kwargs in VARIANTS.items():
-            try:
-                generated = generate(cycle, **kwargs)
-            except (CycleError, ValueError):
-                continue
-            yield name, variant, generated
 
 
 CORPUS = list(corpus())

@@ -17,6 +17,7 @@ class TestRegistry:
     def test_models_available(self):
         assert set(MODELS) == {
             "ptx", "ptx-legacy", "tso", "sc", "sc-op", "tso-op",
+            "scoped-rc11", "imm", "scoped-rc11-sc",
         }
 
     def test_unknown_model_rejected(self):

@@ -73,6 +73,63 @@ class TestVerdictStore:
         assert store.get(warm, None) is None
         assert store.get(cold, None) == "cold"
 
+    def test_cheap_entries_evicted_before_expensive_ones(self):
+        """Cost-aware eviction: within the scan window the cheapest
+        entry goes first, so an old-but-expensive verdict outlives a
+        stream of cheap ones (counter-asserted)."""
+        from repro.serve.store import _EVICTION_SCAN
+
+        store = VerdictStore(capacity=_EVICTION_SCAN, shards=1)
+        shard = store._shards[0]
+        expensive = _key("certified")
+        shard.put(expensive, "certified", cost=30.0)
+        for index in range(_EVICTION_SCAN - 1):
+            shard.put(_key(f"cheap-{index}"), index, cost=0.001)
+        # the shard is now full; every further cheap insert must evict
+        # one of the cheap entries, never the expensive one, even
+        # though the expensive entry is the coldest
+        evictions = 0
+        for index in range(2 * _EVICTION_SCAN):
+            evictions += shard.put(
+                _key(f"churn-{index}"), index, cost=0.001
+            )
+        assert evictions == 2 * _EVICTION_SCAN
+        assert shard.get(expensive) == "certified"
+
+    def test_expensive_entry_still_evictable_when_window_is_rich(self):
+        """Cost weighting must not make entries immortal: once the
+        window's other entries are pricier, the formerly expensive
+        entry is the minimum and goes."""
+        store = VerdictStore(capacity=2, shards=1)
+        shard = store._shards[0]
+        shard.put(_key("a"), "a", cost=1.0)
+        shard.put(_key("b"), "b", cost=2.0)
+        assert shard.put(_key("c"), "c", cost=3.0) == 1
+        assert shard.get(_key("a")) is None
+        assert shard.get(_key("b")) == "b"
+
+    def test_store_weighs_results_by_recorded_elapsed(self):
+        """VerdictStore.put extracts the eviction weight from the
+        result's ``elapsed`` field."""
+        from repro.litmus.runner import LitmusResult
+
+        test = BY_NAME["MP+weak"]
+        slow = LitmusResult(
+            test=test, model="ptx", observed=True,
+            outcomes=frozenset(), elapsed=45.0,
+        )
+        fast = LitmusResult(
+            test=test, model="ptx", observed=True,
+            outcomes=frozenset(), elapsed=0.002,
+        )
+        store = VerdictStore(capacity=2, shards=1)
+        store.put(_key("slow"), slow)
+        store.put(_key("fast"), fast)
+        store.put(_key("next"), fast)  # over capacity: evict cheapest
+        assert store.stats.evictions == 1
+        assert store.get(_key("slow"), test) is slow
+        assert store.get(_key("fast"), test) is None
+
     def test_counters_track_tiers(self):
         store = VerdictStore(capacity=8, shards=2)
         key = _key("counted")
@@ -377,13 +434,42 @@ class TestServiceStoreIntegration:
         config = ServeConfig(port=0, use_cache=False, capacity=2, shards=1)
         service, handle = _start(config)
         try:
+            names = ["MP+weak", "MP+rlx", "MP+volatile"]
+            run_config = build_config(
+                service.base_config, {}, config.timeout
+            )
+            keys = {
+                name: request_key(BY_NAME[name], run_config)
+                for name in names
+            }
+
+            def resident():
+                return {
+                    name for name in names
+                    if service.store.get(keys[name], BY_NAME[name])
+                    is not None
+                }
+
             with Client(handle.host, handle.port) as client:
-                for name in ["MP+weak", "MP+rlx", "MP+volatile", "MP+weak"]:
+                for name in names:
                     client.run(name)
+                assert len(service.store) <= 2
+                assert service.store.stats.evictions == 1
+                assert service.stats.computations == 3
+                # eviction is cost-aware: the dropped entry is whichever
+                # of the residents was cheapest to compute, not
+                # necessarily the oldest.  The evicted one recomputes
+                # (memory-only service); a resident repeat is a memory
+                # hit
+                survivors = resident()
+                assert len(survivors) == 2
+                evicted = (set(names) - survivors).pop()
+                assert client.run(evicted)["source"] == "computed"
+                assert service.stats.computations == 4
+                hot = (resident() - {evicted}).pop()
+                assert client.run(hot)["source"] == "memory"
+                assert service.stats.computations == 4
             assert len(service.store) <= 2
-            assert service.store.stats.evictions >= 1
-            # the evicted first entry recomputes (memory-only service)
-            assert service.stats.computations == 4
         finally:
             handle.stop()
 
@@ -414,6 +500,64 @@ class TestServiceStoreIntegration:
             assert payload["source"] == "memory"
         finally:
             handle2.stop()
+
+
+class TestServiceZoo:
+    def test_models_endpoint_lists_the_zoo(self):
+        from repro.zoo import ZOO, zoo_names
+
+        config = ServeConfig(port=0, use_cache=False)
+        service, handle = _start(config)
+        try:
+            with Client(handle.host, handle.port) as client:
+                payload = client.models()
+            assert payload["count"] == len(ZOO)
+            names = [entry["name"] for entry in payload["models"]]
+            assert sorted(names) == list(zoo_names())
+            by_name = {entry["name"]: entry for entry in payload["models"]}
+            assert by_name["ptx"]["co_style"] == "partial-ms"
+            assert by_name["ptx"]["sc_fences"] is True
+            assert "enumerative" in by_name["sc"]["engines"]
+            assert any(
+                claim["weaker"] == "tso"
+                for claim in by_name["sc"]["claims"]
+            )
+        finally:
+            handle.stop()
+
+    def test_matrix_endpoint_computes_then_serves_from_store(self):
+        config = ServeConfig(port=0, use_cache=False, jobs=2)
+        service, handle = _start(config)
+        try:
+            with Client(handle.host, handle.port) as client:
+                first = client.matrix(models=["sc", "tso"], fast=True)
+                second = client.matrix(models=["tso", "sc"], fast=True)
+            assert first["matrix"]["models"] == ["sc", "tso"]
+            cell = next(
+                c for c in first["matrix"]["cells"]
+                if c["left"] == "sc" and c["right"] == "tso"
+            )
+            assert cell["relation"] == "stronger"
+            assert first["claim_violations"] == []
+            assert first["sources"]["computed"] == 2 * len(SUITE)
+            # the repeat answers every pair from the two-level store
+            assert second["sources"]["computed"] == 0
+            assert second["sources"]["memory"] == 2 * len(SUITE)
+            assert second["matrix"] == first["matrix"]
+        finally:
+            handle.stop()
+
+    def test_matrix_unknown_model_is_a_400(self):
+        config = ServeConfig(port=0, use_cache=False)
+        service, handle = _start(config)
+        try:
+            with Client(handle.host, handle.port) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.matrix(models=["sc", "itanium"], fast=True)
+            assert excinfo.value.status == 400
+            assert "unknown zoo model" in excinfo.value.message
+        finally:
+            handle.stop()
 
 
 class TestServiceIntegrity:
