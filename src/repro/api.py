@@ -20,6 +20,9 @@ notice.  The surface is deliberately small:
   (:class:`ServeConfig` / :func:`serve_forever` /
   :func:`start_in_thread` / :class:`Client`), the HTTP face of the
   same engine stack (``ptxmm serve`` / ``ptxmm client``);
+* **fuzz** — the coverage-guided fuzzing farm (:class:`FarmConfig` /
+  :func:`run_farm` / :class:`CoverageMap` / :func:`sensitivity_matrix`),
+  the library face of ``ptxmm farm``;
 * **zoo** — the declarative model zoo (:class:`ZooModel` and its parts,
   :data:`ZOO_MODELS`, :func:`zoo_names`, :func:`containment_claims`),
   the generic axiomatic engine (:func:`zoo_outcomes`,
@@ -36,7 +39,17 @@ from __future__ import annotations
 
 from . import __version__
 from .cert.verdict import Certificate
+from .fuzz import (
+    CoverageMap,
+    FarmConfig,
+    FarmReport,
+    run_farm,
+    sensitivity_matrix,
+    undetected_axioms,
+    write_corpus,
+)
 from .litmus.config import RunConfig, freeze_opts
+from .litmus.corpus import regression_corpus
 from .litmus.runner import LitmusResult, run_litmus, run_suite, summarize
 from .litmus.session import Session, SessionStats
 from .litmus.test import Expect, LitmusTest
@@ -83,9 +96,12 @@ __all__ = [
     "Certificate",
     "Claim",
     "Client",
+    "CoverageMap",
     "ENGINES",
     "EventSignature",
     "Expect",
+    "FarmConfig",
+    "FarmReport",
     "LitmusResult",
     "LitmusTest",
     "MODELS",
@@ -109,13 +125,18 @@ __all__ = [
     "engines_for_model",
     "freeze_opts",
     "model_names",
+    "regression_corpus",
     "resolve_engine",
     "resolve_model",
+    "run_farm",
     "run_litmus",
     "run_suite",
+    "sensitivity_matrix",
     "serve_forever",
     "start_in_thread",
     "summarize",
+    "undetected_axioms",
+    "write_corpus",
     "zoo_names",
     "zoo_outcomes",
 ]

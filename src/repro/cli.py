@@ -314,6 +314,127 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_farm(args: argparse.Namespace) -> int:
+    from .fuzz import FuzzBudget
+    from .fuzz.farm import FarmConfig, run_farm, write_corpus
+    from .fuzz.sensitivity import (
+        axiom_probes,
+        render_sensitivity,
+        sensitivity_matrix,
+        undetected_axioms,
+    )
+
+    try:
+        budget = FuzzBudget.parse(args.budget)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    config = FarmConfig(
+        seed=args.seed,
+        budget=budget,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        round_size=args.round_size,
+        steer=not args.no_steer,
+        boost=args.boost,
+        perturb=args.perturb,
+        artifact_dir=args.artifact_dir,
+        max_found=args.max_found,
+        checkpoint=args.checkpoint,
+    )
+
+    def progress(report):
+        if args.stats:
+            print(
+                f"  ... round {report.rounds}: {report.stats.format()} "
+                f"coverage={len(report.coverage)}",
+                file=sys.stderr,
+            )
+
+    print(
+        f"farm: seed={config.seed} budget={budget} jobs={config.jobs} "
+        f"steer={'on' if config.steer else 'off'}"
+        + (f" perturb={config.perturb}" if config.perturb else "")
+        + (f" checkpoint={config.checkpoint}" if config.checkpoint else "")
+    )
+    try:
+        report = run_farm(config, progress=progress)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{report.stats.format()} rounds={report.rounds} "
+        f"coverage={len(report.coverage)} candidates={len(report.candidates)} "
+        f"elapsed={report.elapsed:.1f}s"
+    )
+    print(f"coverage digest: {report.coverage.digest()}")
+
+    if args.coverage_out is not None:
+        from .litmus.serialize import canonical_json
+        from pathlib import Path
+
+        Path(args.coverage_out).write_text(
+            canonical_json(report.coverage.to_dict()) + "\n"
+        )
+        print(f"coverage map written to {args.coverage_out}")
+
+    status = 0
+    if args.corpus_out is not None:
+        names = write_corpus(report, args.corpus_out, extra_tests=axiom_probes())
+        print(f"distilled corpus: {len(names)} test(s) -> {args.corpus_out}")
+
+    if args.check_sensitivity:
+        # probes always ship with the corpus, so probing them plus a few
+        # distilled shapes is exactly what the committed corpus can detect
+        shapes = list(axiom_probes())
+        have = {test.name for test in shapes}
+        from .litmus.serialize import test_from_dict
+
+        for name in report.distilled():
+            if len(shapes) >= len(have) + 5:
+                break
+            if name not in have:
+                shapes.append(test_from_dict(report.candidates[name]["test"]))
+        payload = sensitivity_matrix(shapes)
+        missing = undetected_axioms(payload)
+        if args.sensitivity_out is not None:
+            from pathlib import Path
+
+            Path(args.sensitivity_out).write_text(render_sensitivity(payload))
+            print(f"sensitivity matrix written to {args.sensitivity_out}")
+        if missing:
+            print(
+                "SENSITIVITY FAILURE: no corpus shape detects ablation of: "
+                + ", ".join(missing)
+            )
+            status = 1
+        else:
+            print(
+                f"sensitivity: all {len(payload['axioms'])} axioms detected "
+                f"across {len(payload['shapes'])} shape(s)"
+            )
+
+    if not report.ok:
+        for found in report.found:
+            d = found.discrepancy
+            print()
+            print(
+                f"DISCREPANCY {d.kind} on case {found.case.index} "
+                f"(cycle {found.case.cycle})"
+            )
+            print(f"  {d.left_label} vs {d.right_label}: {d.detail}")
+            if found.artifact_dir is not None:
+                print(f"  artifact: {found.artifact_dir}")
+        print()
+        print(
+            f"{report.found_total} distinct discrepancy(ies); reproduce "
+            f"with --seed {report.config.seed}"
+        )
+        return 1
+    return status
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from .core import Scope
     from .litmus import classify, generate
@@ -779,8 +900,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_fuzz.add_argument(
         "--artifact-dir", default=None, metavar="DIR",
-        help="write case-<index>-<kind>/ artifacts (shrunk repro.litmus, "
-             "original.litmus, report.json) for every discrepancy",
+        help="write repro-<kind>-<hash>/ artifacts (shrunk repro.litmus, "
+             "original.litmus, report.json) for every distinct discrepancy",
     )
     p_fuzz.add_argument(
         "--max-found", type=int, default=10,
@@ -796,6 +917,87 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print running counters to stderr after every batch",
     )
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_farm = sub.add_parser(
+        "farm",
+        help="coverage-guided fuzzing farm: steer generation toward "
+             "uncovered features, checkpoint/resume, distill a corpus",
+    )
+    p_farm.add_argument(
+        "--budget", default="300", metavar="N|Ns|Nm|Nh",
+        help="a count budget N is the total stream length (resume "
+             "continues toward it); a duration bounds this invocation "
+             "(default 300 cases)",
+    )
+    p_farm.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for the case stream (default 0)",
+    )
+    p_farm.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for engine runs (0 = one per CPU core; "
+             "default 1 = in-process)",
+    )
+    p_farm.add_argument(
+        "--timeout", type=float, default=20.0, metavar="SECONDS",
+        help="per-engine-run budget (default 20)",
+    )
+    p_farm.add_argument(
+        "--round-size", type=int, default=64, metavar="N",
+        help="cases per steering round; generation bias refreshes from "
+             "the coverage map at round boundaries only (default 64)",
+    )
+    p_farm.add_argument(
+        "--no-steer", action="store_true",
+        help="disable coverage steering (blind farm; still checkpoints)",
+    )
+    p_farm.add_argument(
+        "--boost", type=float, default=8.0,
+        help="sampling weight multiplier for uncovered features "
+             "(default 8)",
+    )
+    p_farm.add_argument(
+        "--perturb", default=None, metavar="AXIOM",
+        help="skip one PTX axiom on the enumerative side "
+             "(negative control)",
+    )
+    p_farm.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="checkpoint file: saved after every round, resumed from "
+             "when it exists (config must match)",
+    )
+    p_farm.add_argument(
+        "--artifact-dir", default=None, metavar="DIR",
+        help="write repro-<kind>-<hash>/ artifacts for every distinct "
+             "shrunk discrepancy",
+    )
+    p_farm.add_argument(
+        "--max-found", type=int, default=10,
+        help="stop after this many distinct discrepancies (default 10)",
+    )
+    p_farm.add_argument(
+        "--corpus-out", default=None, metavar="DIR",
+        help="distill the frontier-preserving corpus (plus the pinned "
+             "axiom probes) into DIR with a MANIFEST.json",
+    )
+    p_farm.add_argument(
+        "--coverage-out", default=None, metavar="FILE",
+        help="write the merged coverage map as canonical JSON",
+    )
+    p_farm.add_argument(
+        "--check-sensitivity", action="store_true",
+        help="run the axiom-ablation sensitivity matrix over the corpus "
+             "shapes; exit 1 if any axiom goes undetected",
+    )
+    p_farm.add_argument(
+        "--sensitivity-out", default=None, metavar="FILE",
+        help="with --check-sensitivity, write the matrix JSON here",
+    )
+    p_farm.add_argument(
+        "--stats", action="store_true",
+        help="print per-round counters to stderr",
+    )
+    p_farm.set_defaults(func=_cmd_farm)
 
     p_exp = sub.add_parser(
         "export", help="emit a model as Alloy or Coq text (Figures 13/16)"

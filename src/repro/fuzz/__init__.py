@@ -19,11 +19,48 @@ weak-memory tooling is validated in practice:
 * :mod:`.harness` — the ``ptxmm fuzz`` engine: budgets (count or
   wall-clock), parallel execution through the session machinery, and
   artifact emission (shrunk repro as parseable litmus text plus a JSON
-  report) on every discrepancy.
+  report) on every distinct discrepancy (deduped by canonical-form
+  hash);
+* :mod:`.coverage` — the structural coverage signal (feature
+  extraction, the mergeable :class:`~repro.fuzz.coverage.CoverageMap`,
+  greedy corpus distillation);
+* :mod:`.farm` — the ``ptxmm farm`` engine: coverage-steered rounds,
+  checkpoint/resume, artifact dedup, corpus emission;
+* :mod:`.sensitivity` — the axiom-ablation sensitivity matrix (the
+  empirical mirror of the paper's Figure 17) over corpus shapes.
 """
 
-from .gen import DEFAULT_VOCABULARY, FuzzCase, cycle_pool, generate_case
-from .harness import FuzzBudget, FuzzReport, FuzzStats, recheck_artifact, run_fuzz
+from .coverage import (
+    CoverageMap,
+    bias_from_coverage,
+    case_features,
+    distill,
+    feature_hash,
+    result_features,
+)
+from .farm import (
+    FarmConfig,
+    FarmReport,
+    load_checkpoint,
+    run_farm,
+    save_checkpoint,
+    write_corpus,
+)
+from .gen import DEFAULT_VOCABULARY, FuzzCase, GenBias, cycle_pool, generate_case
+from .harness import (
+    FuzzBudget,
+    FuzzReport,
+    FuzzStats,
+    canonical_test_hash,
+    recheck_artifact,
+    run_fuzz,
+)
+from .sensitivity import (
+    axiom_probes,
+    render_sensitivity,
+    sensitivity_matrix,
+    undetected_axioms,
+)
 from .oracle import (
     Check,
     CaseVerdict,
@@ -38,13 +75,31 @@ from .shrink import EngineCrash, ShrinkResult, shrink
 __all__ = [
     "DEFAULT_VOCABULARY",
     "FuzzCase",
+    "GenBias",
     "cycle_pool",
     "generate_case",
     "FuzzBudget",
     "FuzzReport",
     "FuzzStats",
+    "canonical_test_hash",
     "recheck_artifact",
     "run_fuzz",
+    "CoverageMap",
+    "bias_from_coverage",
+    "case_features",
+    "distill",
+    "feature_hash",
+    "result_features",
+    "FarmConfig",
+    "FarmReport",
+    "load_checkpoint",
+    "run_farm",
+    "save_checkpoint",
+    "write_corpus",
+    "axiom_probes",
+    "render_sensitivity",
+    "sensitivity_matrix",
+    "undetected_axioms",
     "Check",
     "CaseVerdict",
     "Discrepancy",

@@ -1,0 +1,431 @@
+"""Structural coverage for differential fuzzing.
+
+The fuzzer already computes everything interesting about a case — the
+cycle it was synthesized from, the annotations and thread layout it
+drew, and (through the enumerative engine) which axioms fired, which
+prune branches were taken, and what the outcome set looked like.  This
+module folds those observations into a deterministic
+:class:`CoverageMap` so the farm driver can (a) steer generation toward
+features never seen, (b) decide which cases are worth keeping, and
+(c) distill a minimal regression corpus that preserves the frontier.
+
+Features are short structured labels (``"edge:Rfe"``,
+``"annot:W:release.gpu"``, ``"axiom-failed:Causality"``); the label set
+is open-ended by design — any new observation source just contributes
+new labels and old maps keep merging.  :func:`feature_hash` gives a
+stable 64-bit content hash of a label for compact external references
+(artifact names, logs); the map itself keys by the readable label.
+
+A :class:`CoverageMap` records, per feature, the smallest case index
+that first exhibited it.  Merging maps takes the pointwise minimum,
+which makes merge associative, commutative, and idempotent — exactly
+the algebra a sharded, checkpoint/resume farm needs: any interleaving
+of partial maps folds to the same result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..litmus.test import LitmusTest
+from ..ptx.isa import Atom, Bar, Fence, Ld, Red, St
+from ..ptx.events import Sem
+
+#: serialization shape of CoverageMap.to_dict
+COVERAGE_SCHEMA = 1
+
+
+def feature_hash(label: str) -> str:
+    """A stable 64-bit (16 hex digit) content hash of a feature label.
+
+    Independent of process hash randomization and Python version, so
+    hashes embedded in artifacts and checkpoints stay comparable.
+    """
+    return hashlib.sha256(label.encode("utf-8")).hexdigest()[:16]
+
+
+def _annotation_label(sem, scope) -> str:
+    return sem.value if scope is None else f"{sem.value}.{scope.value}"
+
+
+def _scope_level(a, b) -> str:
+    """The narrowest scope level containing threads ``a`` and ``b``."""
+    if a.is_host or b.is_host:
+        return "sys"
+    if a.gpu == b.gpu:
+        return "cta" if a.cta == b.cta else "gpu"
+    return "sys"
+
+
+def _layout_label(threads: Sequence) -> str:
+    """Classify a program's thread placement like the generator's knob."""
+    tids = [t.tid for t in threads]
+    if any(t.is_host for t in tids):
+        return "host"
+    ctas = {(t.gpu, t.cta) for t in tids}
+    gpus = {t.gpu for t in tids}
+    if len(ctas) == 1:
+        return "cta"
+    if len(gpus) == 1:
+        return "gpu"
+    if len(gpus) == len(tids):
+        return "sys"
+    return "mixed"
+
+
+def case_features(
+    test: LitmusTest, cycle: Optional[str] = None
+) -> FrozenSet[str]:
+    """Static features of a litmus test (plus its cycle when known).
+
+    Purely syntactic: annotation combinations per access kind, thread
+    layout, program shape, and — when the generating cycle is available
+    — the edge alphabet and the scope level each communication edge
+    spans under the chosen placement.
+    """
+    program = test.program
+    features = {
+        f"threads:{len(program.threads)}",
+        f"locs:{len(program.locations)}",
+        f"layout:{_layout_label(program.threads)}",
+    }
+    for thread in program.threads:
+        for instr in thread.instructions:
+            if isinstance(instr, Ld):
+                features.add(
+                    f"annot:R:{_annotation_label(instr.sem, instr.scope)}"
+                )
+            elif isinstance(instr, St):
+                features.add(
+                    f"annot:W:{_annotation_label(instr.sem, instr.scope)}"
+                )
+                srcs = instr.src if instr.vec > 1 else (instr.src,)
+                if any(not isinstance(s, int) for s in srcs):
+                    features.add("has:dep")
+            elif isinstance(instr, (Atom, Red)):
+                features.add(
+                    f"annot:U:{_annotation_label(instr.sem, instr.scope)}"
+                )
+                features.add("has:rmw")
+                features.add("has:dep")
+            elif isinstance(instr, Fence):
+                features.add(
+                    f"annot:F:{_annotation_label(instr.sem, instr.scope)}"
+                )
+                features.add("has:fence")
+                if instr.sem is Sem.SC:
+                    features.add("has:sc-fence")
+            elif isinstance(instr, Bar):
+                features.add("has:syncbarrier")
+    if cycle:
+        features |= cycle_features(cycle, [t.tid for t in program.threads])
+    return frozenset(features)
+
+
+def cycle_features(
+    cycle: str, thread_ids: Optional[Sequence] = None
+) -> FrozenSet[str]:
+    """Features of a diy cycle spec: length, edge alphabet, and — given
+    the placed thread ids — the scope level each edge spans."""
+    from ..litmus.generator import _walk, edge
+
+    names = tuple(cycle.split("+"))
+    features = {f"len:{len(names)}"}
+    for name in names:
+        features.add(f"edge:{name}")
+    if thread_ids:
+        slots = _walk(tuple(edge(name) for name in names))
+        for i, name in enumerate(names):
+            src = slots[i]
+            dst = slots[(i + 1) % len(slots)]
+            if src.thread == dst.thread:
+                continue  # po edges span no scope boundary
+            level = _scope_level(
+                thread_ids[src.thread], thread_ids[dst.thread]
+            )
+            features.add(f"edge-scope:{name}:{level}")
+    return frozenset(features)
+
+
+def result_features(result) -> FrozenSet[str]:
+    """Dynamic features of one engine run (a :class:`LitmusResult`).
+
+    Extracted from observations the run already made: the verdict, the
+    outcome-set size, and the enumeration counters — including the
+    per-axiom failure counts recorded by the search (schema v6).
+    """
+    features = set()
+    status = getattr(result, "status", None)
+    if status and status != "ok":
+        features.add(f"status:{status}")
+    observed = getattr(result, "observed", None)
+    if observed is not None:
+        features.add(f"observed:{str(bool(observed)).lower()}")
+    outcomes = getattr(result, "outcomes", None)
+    if outcomes is not None:
+        features.add(f"outcomes:{_bucket(len(outcomes))}")
+    stats = getattr(result, "enum_stats", None)
+    if stats is not None:
+        data = stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
+        if data.get("rf_pruned"):
+            features.add("prune:rf")
+        if data.get("pre_co_pruned"):
+            features.add("prune:pre-co")
+        if data.get("saturation_steps"):
+            features.add("prune:saturation")
+        for axiom, count in dict(data.get("axiom_failed") or {}).items():
+            if count:
+                features.add(f"axiom-failed:{axiom}")
+    return frozenset(features)
+
+
+def _bucket(count: int) -> str:
+    """Log-ish bucketing so outcome-set size is a small feature family."""
+    if count <= 2:
+        return str(count)
+    for bound in (4, 8, 16, 32):
+        if count <= bound:
+            return f"<={bound}"
+    return ">32"
+
+
+class CoverageMap:
+    """Feature -> smallest case index that first exhibited it.
+
+    ``merge`` takes the pointwise minimum of first-hit indices, making
+    it associative, commutative, and idempotent: shards and resumed
+    sessions can fold their partial maps in any order and arrive at the
+    same map (and the same :meth:`digest`).
+    """
+
+    __slots__ = ("_first_hit",)
+
+    def __init__(self, first_hit: Optional[Mapping[str, int]] = None):
+        self._first_hit: Dict[str, int] = dict(first_hit or {})
+
+    def observe(self, features: Iterable[str], index: int) -> FrozenSet[str]:
+        """Record ``features`` as hit by case ``index``; return the ones
+        that were new (never seen before this call)."""
+        new = set()
+        for feature in features:
+            seen = self._first_hit.get(feature)
+            if seen is None:
+                self._first_hit[feature] = index
+                new.add(feature)
+            elif index < seen:
+                self._first_hit[feature] = index
+        return frozenset(new)
+
+    def merge(self, other: "CoverageMap") -> "CoverageMap":
+        """The pointwise-minimum join of two maps (a new map)."""
+        merged = dict(self._first_hit)
+        for feature, index in other._first_hit.items():
+            seen = merged.get(feature)
+            if seen is None or index < seen:
+                merged[feature] = index
+        return CoverageMap(merged)
+
+    def features(self) -> FrozenSet[str]:
+        return frozenset(self._first_hit)
+
+    def first_hit(self, feature: str) -> Optional[int]:
+        return self._first_hit.get(feature)
+
+    def __len__(self) -> int:
+        return len(self._first_hit)
+
+    def __contains__(self, feature: str) -> bool:
+        return feature in self._first_hit
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CoverageMap):
+            return NotImplemented
+        return self._first_hit == other._first_hit
+
+    def __repr__(self) -> str:
+        return f"<CoverageMap {len(self._first_hit)} features>"
+
+    def to_dict(self) -> Dict:
+        """Deterministic serialization (sorted by feature label)."""
+        return {
+            "schema": COVERAGE_SCHEMA,
+            "features": dict(sorted(self._first_hit.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CoverageMap":
+        if payload.get("schema") != COVERAGE_SCHEMA:
+            raise ValueError(
+                f"unsupported coverage map schema {payload.get('schema')!r} "
+                f"(this build reads v{COVERAGE_SCHEMA})"
+            )
+        return cls({
+            str(k): int(v) for k, v in dict(payload["features"]).items()
+        })
+
+    def digest(self) -> str:
+        """Content hash of the map (canonical JSON, key-sorted)."""
+        from ..litmus.serialize import canonical_json
+
+        return hashlib.sha256(
+            canonical_json(self.to_dict()).encode("utf-8")
+        ).hexdigest()
+
+
+#: which generator layouts can realize each cross-thread scope level: a
+#: same-CTA pair needs the "cta" layout; "mixed" placements can span
+#: either the gpu or the sys boundary depending on the sampled grid
+_LEVEL_LAYOUTS = {
+    "cta": ("cta",),
+    "gpu": ("gpu", "mixed"),
+    "sys": ("sys", "mixed"),
+}
+_SCOPE_LEVELS = tuple(_LEVEL_LAYOUTS)
+
+
+def bias_from_coverage(coverage: "CoverageMap", boost: float = 8.0):
+    """A :class:`~repro.fuzz.gen.GenBias` steering toward the uncovered.
+
+    Every generation knob whose ``annot:*`` / ``edge:*`` / ``layout:*``
+    / ``len:*`` feature is missing from ``coverage`` gets its sampling
+    weight multiplied by ``boost``; covered choices keep weight 1.0, so
+    nothing is ever excluded — only reweighted.  Deterministic in the
+    map contents, so a farm round replays from its checkpointed map.
+
+    Pair features need joint steering: no single knob produces an
+    ``edge-scope:<edge>:<level>`` observation, so once the individual
+    labels are covered a per-knob bias goes neutral and the pair is
+    left to luck.  Each uncovered pair therefore raises both the edge's
+    weight and the weights of the layouts able to realize that scope
+    level — to ``sqrt(boost)``, an intermediate tier, so direct gaps
+    (weight ``boost``) still dominate while they exist.  Likewise the
+    ``layout:mixed`` classification needs at least three threads (two
+    threads always reduce to cta/gpu/sys), so while it is uncovered the
+    cycle lengths that can yield three-plus threads stay raised.
+    """
+    from ..litmus.generator import edge as _edge
+    from .gen import (
+        DEFAULT_VOCABULARY,
+        GenBias,
+        _FENCE_ANNOTATIONS,
+        _LAYOUTS,
+        _LENGTHS,
+        _READ_ANNOTATIONS,
+        _WRITE_ANNOTATIONS,
+        annotation_label,
+    )
+
+    indirect = boost ** 0.5
+
+    def weight(feature: str) -> float:
+        return 1.0 if feature in coverage else boost
+
+    # only external communication edges hop threads, so only they can
+    # exhibit edge-scope pair features; collect the uncovered pairs
+    pair_edges = set()
+    pair_layouts = set()
+    for name in DEFAULT_VOCABULARY:
+        if not _edge(name).external:
+            continue
+        for level in _SCOPE_LEVELS:
+            if f"edge-scope:{name}:{level}" not in coverage:
+                pair_edges.add(name)
+                pair_layouts.update(_LEVEL_LAYOUTS[level])
+
+    def edge_weight(name: str) -> float:
+        direct = weight(f"edge:{name}")
+        return direct if direct > 1.0 else (
+            indirect if name in pair_edges else 1.0
+        )
+
+    def layout_weight(layout: str) -> float:
+        direct = weight(f"layout:{layout}")
+        return direct if direct > 1.0 else (
+            indirect if layout in pair_layouts else 1.0
+        )
+
+    mixed_uncovered = "layout:mixed" not in coverage
+
+    def length_weight(length: int) -> float:
+        direct = weight(f"len:{length}")
+        return direct if direct > 1.0 else (
+            indirect if length >= 3 and mixed_uncovered else 1.0
+        )
+
+    annotation_weights = {}
+    for kind, choices in (("R", _READ_ANNOTATIONS), ("W", _WRITE_ANNOTATIONS)):
+        for sem, scope in choices:
+            label = annotation_label(sem, scope)
+            annotation_weights[f"{kind}:{label}"] = weight(
+                f"annot:{kind}:{label}"
+            )
+    fence_weights = {
+        annotation_label(sem, scope): weight(
+            f"annot:F:{annotation_label(sem, scope)}"
+        )
+        for sem, scope in _FENCE_ANNOTATIONS
+    }
+    # uncovered fence annotations are unreachable unless fences are
+    # emitted at all, so raise the fence rate while any remain unseen
+    fence_rate = 0.35 if all(w == 1.0 for w in fence_weights.values()) else 0.7
+    return GenBias(
+        edge_weights={
+            name: edge_weight(name) for name in DEFAULT_VOCABULARY
+        },
+        annotation_weights=annotation_weights,
+        fence_weights=fence_weights,
+        layout_weights={
+            layout: layout_weight(layout) for layout in _LAYOUTS
+        },
+        length_weights={
+            length: length_weight(length) for length in set(_LENGTHS)
+        },
+        fence_rate=fence_rate,
+    )
+
+
+def distill(
+    candidates: Mapping[str, Iterable[str]],
+    frontier: Optional[Iterable[str]] = None,
+) -> List[str]:
+    """Greedy minimal test set preserving the coverage frontier.
+
+    ``candidates`` maps a stable key (test name) to the feature set that
+    test exhibits; the returned keys, in selection order, jointly cover
+    exactly the union of all candidate features (or ``frontier``
+    restricted to what the candidates can reach, when given).  Greedy
+    set cover with a deterministic tie-break: largest gain first, then
+    lexicographically smallest key, so the same inputs always distill
+    to the same corpus.
+    """
+    feature_sets = {
+        key: frozenset(features) for key, features in candidates.items()
+    }
+    reachable = frozenset().union(*feature_sets.values()) if feature_sets else frozenset()
+    uncovered = (
+        set(reachable) if frontier is None
+        else set(frontier) & set(reachable)
+    )
+    selected: List[str] = []
+    while uncovered:
+        best_key = min(
+            feature_sets,
+            key=lambda key: (-len(feature_sets[key] & uncovered), key),
+        )
+        gain = feature_sets[best_key] & uncovered
+        if not gain:
+            break
+        selected.append(best_key)
+        uncovered -= gain
+        del feature_sets[best_key]
+    return selected

@@ -12,14 +12,20 @@ Generation starts from a critical cycle (the diy-style synthesis in
 exposes: per-slot semantics/scope annotations, thread placements
 (same-CTA, per-CTA, cross-GPU, or mixed coordinates), per-location value
 sequences, and randomized fence insertion on program-order edges.
+
+Coverage steering reuses the same knobs: a :class:`GenBias` reweights
+each choice toward features the farm's coverage map has not seen yet.
+A case is then a pure function of ``(seed, index, bias)`` — with
+``bias=None`` the choice sequence is byte-identical to the unbiased
+fuzzer, so existing seeds replay unchanged.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 from ..core.scopes import Scope, ThreadId, device_thread
 from ..litmus.generator import (
@@ -63,6 +69,80 @@ _FENCE_ANNOTATIONS: Tuple[Tuple[Sem, Scope], ...] = tuple(
 _LENGTHS = (2, 3, 3, 3, 4, 4)
 
 
+def annotation_label(sem: Sem, scope: Optional[Scope]) -> str:
+    """The canonical short label of a (sem, scope) annotation — the same
+    spelling :mod:`repro.fuzz.coverage` uses in ``annot:*`` features."""
+    return sem.value if scope is None else f"{sem.value}.{scope.value}"
+
+
+@dataclass(frozen=True)
+class GenBias:
+    """Per-knob choice weights for coverage-steered generation.
+
+    Every mapping gives a multiplicative weight per choice label; absent
+    labels weigh 1.0, so an empty bias reproduces the blind
+    distribution through the weighted code path (though not the same
+    RNG stream — replaying a blind seed requires ``bias=None``).
+    Weights only reshape sampling: any case the blind fuzzer can emit
+    remains emittable, so steering never hides part of the space.
+    """
+
+    #: weight per cycle edge name ("Rfe", "PodWW", ...); a cycle's
+    #: weight is the sum of its edges' weights
+    edge_weights: Mapping[str, float] = field(default_factory=dict)
+    #: weight per "<kind>:<annotation>" label ("R:acquire.gpu", "W:weak")
+    annotation_weights: Mapping[str, float] = field(default_factory=dict)
+    #: weight per fence annotation label ("sc.cta", "acq_rel.sys")
+    fence_weights: Mapping[str, float] = field(default_factory=dict)
+    #: weight per thread-layout name ("cta", "gpu", "sys", "mixed")
+    layout_weights: Mapping[str, float] = field(default_factory=dict)
+    #: weight per cycle length
+    length_weights: Mapping[int, float] = field(default_factory=dict)
+    #: probability of fencing any po edges at all (blind default 0.35)
+    fence_rate: float = 0.35
+
+    def to_dict(self) -> dict:
+        """Wire form (the ``/v1/fuzz`` endpoint's ``bias`` field)."""
+        return {
+            "edge_weights": dict(sorted(self.edge_weights.items())),
+            "annotation_weights": dict(
+                sorted(self.annotation_weights.items())
+            ),
+            "fence_weights": dict(sorted(self.fence_weights.items())),
+            "layout_weights": dict(sorted(self.layout_weights.items())),
+            "length_weights": {
+                str(k): v for k, v in sorted(self.length_weights.items())
+            },
+            "fence_rate": self.fence_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "GenBias":
+        return cls(
+            edge_weights={
+                str(k): float(v)
+                for k, v in dict(payload.get("edge_weights", {})).items()
+            },
+            annotation_weights={
+                str(k): float(v)
+                for k, v in dict(payload.get("annotation_weights", {})).items()
+            },
+            fence_weights={
+                str(k): float(v)
+                for k, v in dict(payload.get("fence_weights", {})).items()
+            },
+            layout_weights={
+                str(k): float(v)
+                for k, v in dict(payload.get("layout_weights", {})).items()
+            },
+            length_weights={
+                int(k): float(v)
+                for k, v in dict(payload.get("length_weights", {})).items()
+            },
+            fence_rate=float(payload.get("fence_rate", 0.35)),
+        )
+
+
 @dataclass(frozen=True)
 class FuzzCase:
     """One generated test, addressable by ``(seed, index)`` alone."""
@@ -101,7 +181,14 @@ def cycle_pool(
     return tuple(pool)
 
 
-def _placements(rng: random.Random, num_threads: int) -> Optional[Sequence[ThreadId]]:
+_LAYOUTS = ("cta", "gpu", "sys", "mixed")
+
+
+def _placements(
+    rng: random.Random,
+    num_threads: int,
+    bias: Optional[GenBias] = None,
+) -> Optional[Sequence[ThreadId]]:
     """Pick a thread layout: the scope tree position of every thread.
 
     Layouts bias toward the interesting boundaries: same-CTA placements
@@ -109,7 +196,13 @@ def _placements(rng: random.Random, num_threads: int) -> Optional[Sequence[Threa
     scopes insufficient, and mixed placements produce asymmetric moral
     strength between different thread pairs of one test.
     """
-    layout = rng.choice(("cta", "gpu", "sys", "mixed"))
+    if bias is None:
+        layout = rng.choice(_LAYOUTS)
+    else:
+        layout = rng.choices(
+            _LAYOUTS,
+            weights=[bias.layout_weights.get(l, 1.0) for l in _LAYOUTS],
+        )[0]
     if layout == "gpu":
         return None  # the generator's default: one CTA per thread
     if layout == "cta":
@@ -141,32 +234,78 @@ def _loc_values(
     }
 
 
-def generate_case(seed: int, index: int) -> FuzzCase:
+def generate_case(
+    seed: int, index: int, bias: Optional[GenBias] = None
+) -> FuzzCase:
     """The ``index``-th test of the fuzz stream for ``seed`` (pure).
 
     Seeding the child RNG with the string ``"seed:index"`` keeps every
     case independent of every other: batching, parallelism, and budget
-    shape cannot change what any given index generates.
+    shape cannot change what any given index generates.  With a
+    :class:`GenBias` the same purity holds for ``(seed, index, bias)``
+    — the farm only changes bias at round boundaries, so every case in
+    a round is replayable from the round's checkpointed bias.  With
+    ``bias=None`` the RNG consumption is byte-identical to the original
+    blind fuzzer: historical seeds reproduce exactly.
     """
     rng = random.Random(f"{seed}:{index}")
-    length = rng.choice(_LENGTHS)
+    if bias is None:
+        length = rng.choice(_LENGTHS)
+    else:
+        length = rng.choices(
+            _LENGTHS,
+            weights=[bias.length_weights.get(l, 1.0) for l in _LENGTHS],
+        )[0]
     pool = cycle_pool(length)
-    cycle_names = pool[rng.randrange(len(pool))]
+    if bias is None:
+        cycle_names = pool[rng.randrange(len(pool))]
+    else:
+        cycle_names = rng.choices(
+            pool,
+            weights=[
+                sum(bias.edge_weights.get(name, 1.0) for name in names)
+                for names in pool
+            ],
+        )[0]
     spec = "+".join(cycle_names)
     slots = _walk(tuple(edge(name) for name in cycle_names))
 
     annotations = {}
     for slot in slots:
         choices = _READ_ANNOTATIONS if slot.kind == "R" else _WRITE_ANNOTATIONS
-        annotations[slot.index] = rng.choice(choices)
+        if bias is None:
+            annotations[slot.index] = rng.choice(choices)
+        else:
+            annotations[slot.index] = rng.choices(
+                choices,
+                weights=[
+                    bias.annotation_weights.get(
+                        f"{slot.kind}:{annotation_label(sem, scope)}", 1.0
+                    )
+                    for sem, scope in choices
+                ],
+            )[0]
 
     fences = {}
-    if rng.random() < 0.35:
+    fence_rate = 0.35 if bias is None else bias.fence_rate
+    if rng.random() < fence_rate:
         # fence some po edges: decided per (thread, slot) pair lazily so
         # the callable stays deterministic for the generator's traversal
         for slot in slots:
             if rng.random() < 0.5:
-                fences[(slot.thread, slot.index)] = rng.choice(_FENCE_ANNOTATIONS)
+                if bias is None:
+                    chosen = rng.choice(_FENCE_ANNOTATIONS)
+                else:
+                    chosen = rng.choices(
+                        _FENCE_ANNOTATIONS,
+                        weights=[
+                            bias.fence_weights.get(
+                                annotation_label(sem, scope), 1.0
+                            )
+                            for sem, scope in _FENCE_ANNOTATIONS
+                        ],
+                    )[0]
+                fences[(slot.thread, slot.index)] = chosen
 
     def fence_po(thread: int, slot_index: int):
         return fences.get((thread, slot_index))
@@ -176,7 +315,7 @@ def generate_case(seed: int, index: int) -> FuzzCase:
         spec,
         name=f"fuzz_{seed}_{index}",
         annotations=annotations,
-        placements=_placements(rng, num_threads),
+        placements=_placements(rng, num_threads, bias),
         loc_values=_loc_values(rng, slots),
         fence_po=fence_po,
     )

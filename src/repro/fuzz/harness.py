@@ -14,13 +14,18 @@ timed run found can be replayed by index.
 
 On a discrepancy the harness shrinks the failing test (re-checking
 candidates in-process against the same check battery) and, given an
-artifact directory, writes ``case-<index>-<kind>/`` containing the
+artifact directory, writes ``repro-<kind>-<hash>/`` containing the
 shrunk ``repro.litmus`` (parseable, with the seed in a comment header),
 the unshrunk ``original.litmus``, and a machine-readable ``report.json``.
+The hash is the canonical-form hash of the shrunk test, so two cases
+that minimize to the same repro share one artifact — index-based names
+collided when ``--max-found`` raced the jobs pool, and hid the fact
+that a hundred "findings" were one bug.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 import time
@@ -30,7 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..litmus.config import RunConfig
 from ..litmus.parser import parse_litmus
-from ..litmus.serialize import test_to_dict, test_to_litmus
+from ..litmus.serialize import canonical_json, test_to_dict, test_to_litmus
 from ..litmus.session import Session
 from ..litmus.test import LitmusTest
 from .gen import FuzzCase, generate_case
@@ -85,6 +90,9 @@ class FuzzStats:
     #: (test, check) pairs skipped for engine timeout/error
     undecided: int = 0
     discrepancies: int = 0
+    #: discrepancies whose shrunk repro duplicated an earlier finding
+    #: (same check kind, same canonical-form hash)
+    deduped: int = 0
     #: per-check-kind agree counts
     by_check: Dict[str, int] = field(default_factory=dict)
 
@@ -103,6 +111,7 @@ class FuzzStats:
         return (
             f"generated={self.generated} checks={self.checks_run} "
             f"undecided={self.undecided} discrepancies={self.discrepancies}"
+            + (f" deduped={self.deduped}" if self.deduped else "")
             + (f" [{per_check}]" if per_check else "")
         )
 
@@ -132,6 +141,23 @@ class FuzzReport:
         return not self.found
 
 
+def canonical_test_hash(test: LitmusTest) -> str:
+    """Canonical-form hash of a test: program + condition, nothing else.
+
+    Naming metadata (name, description, figure) and documented verdicts
+    are stripped before hashing, so two generated tests that reduce to
+    the same program and condition — regardless of which fuzz index
+    produced them — hash identically.  This is the dedup key for
+    shrunk artifacts and the farm's corpus candidates.
+    """
+    payload = test_to_dict(test)
+    for key in ("name", "description", "figure", "expect", "expect_other"):
+        payload.pop(key, None)
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()[:12]
+
+
 def _repro_header(case: FuzzCase, discrepancy: Discrepancy) -> str:
     return (
         f"// ptxmm fuzz repro — seed {case.seed}, case {case.index}\n"
@@ -147,8 +173,16 @@ def write_artifact(
     discrepancy: Discrepancy,
     shrunk: ShrinkResult,
 ) -> Path:
-    """Dump one discrepancy: shrunk repro, original test, JSON report."""
-    target = directory / f"case-{case.index:06d}-{discrepancy.kind}"
+    """Dump one discrepancy: shrunk repro, original test, JSON report.
+
+    The directory name keys on the *shrunk* test's canonical-form hash:
+    cases that minimize to the same repro land in the same directory
+    (last writer wins — the contents describe the same bug).
+    """
+    target = (
+        directory
+        / f"repro-{discrepancy.kind}-{canonical_test_hash(shrunk.test)}"
+    )
     target.mkdir(parents=True, exist_ok=True)
     header = _repro_header(case, discrepancy)
     (target / "repro.litmus").write_text(
@@ -236,6 +270,9 @@ def run_fuzz(
     session_config = RunConfig(jobs=jobs, timeout=timeout)
     directory = Path(artifact_dir) if artifact_dir is not None else None
     index = 0
+    # (check kind, canonical-form hash of the shrunk repro) -> artifact:
+    # identical findings dedup to one entry however many cases hit them
+    seen_repros: Dict[Tuple[str, str], Optional[str]] = {}
     with Session(session_config) as session:
         batch_size = max(2 * session.jobs, 8)
         while True:
@@ -261,11 +298,18 @@ def run_fuzz(
                         _shrink_predicate(oracle, discrepancy.kind),
                         max_attempts=shrink_attempts,
                     )
+                    dedup_key = (
+                        discrepancy.kind, canonical_test_hash(shrunk.test)
+                    )
+                    if dedup_key in seen_repros:
+                        stats.deduped += 1
+                        continue
                     location = None
                     if directory is not None:
                         location = str(
                             write_artifact(directory, case, discrepancy, shrunk)
                         )
+                    seen_repros[dedup_key] = location
                     report.found.append(
                         FoundDiscrepancy(
                             case=case,

@@ -109,6 +109,10 @@ class CaseVerdict:
     #: (status ``error``, not ``timeout``) — the shrinker treats these as
     #: blockers to report, never as "discrepancy gone"
     errors: Tuple[Tuple[str, str], ...] = ()
+    #: the reference (ptx/enumerative) run, when the battery produced
+    #: one — the coverage extractor reads verdict and enumeration
+    #: counters from here without re-running anything
+    primary: Optional[LitmusResult] = None
 
     @property
     def clean(self) -> bool:
@@ -353,12 +357,20 @@ class Oracle:
                         detail=detail,
                     )
                 )
+        primary = None
+        for spec, result in produced.items():
+            if spec.model != "ptx" or spec.engine != "enumerative":
+                continue
+            if result.status == "ok":
+                primary = result
+                break
         return CaseVerdict(
             test=test,
             discrepancies=tuple(discrepancies),
             undecided=tuple(undecided),
             agreed=tuple(agreed),
             errors=tuple(errors),
+            primary=primary,
         )
 
 

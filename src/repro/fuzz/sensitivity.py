@@ -1,0 +1,250 @@
+"""Axiom-ablation sensitivity: which corpus shapes detect which axiom.
+
+The paper's Figure 17 validates the model empirically: remove any one
+axiom and some litmus family must notice.  This module is the
+generalization of the fuzzer's single-axiom ``--perturb`` negative
+control into a systematic matrix — for every PTX axiom × corpus shape,
+re-run the enumerative search with that axiom skipped and record which
+of two channels detects the ablation:
+
+* **outcomes** — the allowed outcome set changes (the classic Figure 17
+  signal; also recorded as a ``verdict`` channel when the documented
+  condition flips between allowed and forbidden);
+* **witnesses** — the set of consistent executions changes even though
+  every outcome survives.  This channel exists because some axioms are
+  outcome-invisible on this fragment: a FenceSC-violating sc
+  orientation whose cause path contains an ``obs`` edge also violates
+  Causality, so dropping FenceSC alone never flips an outcome — but it
+  does admit new witness executions, which the digest of the execution
+  set catches.
+
+The matrix is emitted as byte-deterministic JSON (canonical form,
+sorted keys) and pinned as a committed golden: every axiom must stay
+detected by at least one corpus shape, or the corpus has lost its
+sensitivity and the golden test names the blind spot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.scopes import Scope, device_thread
+from ..litmus.serialize import canonical_json
+from ..litmus.test import LitmusTest, make_test
+from ..ptx import spec
+from ..ptx.events import Sem
+from ..ptx.program import ProgramBuilder
+from ..search.ptx_search import candidate_executions
+
+#: serialization shape of the sensitivity matrix payload
+SENSITIVITY_SCHEMA = 1
+
+#: the detection channels, in reporting order
+CHANNELS = ("outcomes", "verdict", "witnesses")
+
+
+def _execution_key(candidate) -> Tuple:
+    """A canonical, hashable identity for one consistent execution."""
+    execution = candidate.execution
+    return (
+        tuple(sorted(
+            (a.eid, b.eid) for a, b in execution.relation("rf")
+        )),
+        tuple(sorted(
+            (a.eid, b.eid) for a, b in execution.relation("co")
+        )),
+        tuple(sorted(
+            (a.eid, b.eid) for a, b in execution.relation("sc")
+        )),
+        tuple(sorted(candidate.valuation.items())),
+    )
+
+
+def summarize_shape(
+    test: LitmusTest, skip_axioms: Tuple[str, ...] = ()
+) -> Tuple[FrozenSet, str, bool]:
+    """One enumeration pass over a test: (outcomes, witness digest,
+    condition observed).
+
+    The witness digest hashes the canonical identities of *all*
+    consistent executions, so it changes whenever an ablation admits or
+    removes a witness — even if every observable outcome survives.
+    """
+    speculation = tuple(
+        test.search_opts.get("speculation_values", ())
+    )
+    outcomes = set()
+    keys = set()
+    for candidate in candidate_executions(
+        test.program,
+        skip_axioms=skip_axioms,
+        speculation_values=speculation,
+    ):
+        outcomes.add(candidate.outcome())
+        keys.add(_execution_key(candidate))
+    digest = hashlib.sha256(
+        canonical_json(sorted(map(repr, sorted(keys)))).encode("utf-8")
+    ).hexdigest()
+    frozen = frozenset(outcomes)
+    return frozen, digest, test.condition_observed(frozen)
+
+
+def detection_channels(
+    test: LitmusTest,
+    axiom: str,
+    baseline: Tuple[FrozenSet, str, bool],
+) -> Tuple[str, ...]:
+    """Which channels notice ``axiom`` being skipped on ``test``."""
+    outcomes, digest, observed = baseline
+    ab_outcomes, ab_digest, ab_observed = summarize_shape(
+        test, skip_axioms=(axiom,)
+    )
+    channels = []
+    if ab_outcomes != outcomes:
+        channels.append("outcomes")
+    if ab_observed != observed:
+        channels.append("verdict")
+    if ab_digest != digest:
+        channels.append("witnesses")
+    return tuple(channels)
+
+
+def sensitivity_matrix(
+    tests: Sequence[LitmusTest],
+    axioms: Optional[Sequence[str]] = None,
+) -> Dict:
+    """The full ablation matrix over ``tests`` as a JSON-ready payload.
+
+    Deterministic: shapes sort by name, axioms by spec order, channel
+    lists by :data:`CHANNELS` order — so the canonical JSON is
+    byte-stable across runs and machines and can be pinned as a golden.
+    """
+    names = sorted(test.name for test in tests)
+    by_name = {test.name: test for test in tests}
+    if len(by_name) != len(tests):
+        raise ValueError("sensitivity matrix needs unique test names")
+    axiom_names = list(axioms) if axioms is not None else list(spec.AXIOMS)
+    baselines = {
+        name: summarize_shape(by_name[name]) for name in names
+    }
+    matrix: Dict[str, Dict] = {}
+    for axiom in axiom_names:
+        detected_by: Dict[str, List[str]] = {}
+        for name in names:
+            channels = detection_channels(by_name[name], axiom, baselines[name])
+            if channels:
+                detected_by[name] = list(channels)
+        matrix[axiom] = {
+            "detected": bool(detected_by),
+            "detected_by": detected_by,
+        }
+    return {
+        "schema": SENSITIVITY_SCHEMA,
+        "axioms": matrix,
+        "shapes": names,
+    }
+
+
+def render_sensitivity(payload: Dict) -> str:
+    """The byte-deterministic JSON form (what the golden file pins)."""
+    return canonical_json(payload) + "\n"
+
+
+def undetected_axioms(payload: Dict) -> List[str]:
+    """Axioms no corpus shape detects — the golden test's failure list."""
+    return sorted(
+        axiom
+        for axiom, entry in payload.get("axioms", {}).items()
+        if not entry.get("detected")
+    )
+
+
+def coherence_probe() -> LitmusTest:
+    """A shape whose *outcome set* flips when Coherence is skipped.
+
+    The two writes to ``x`` are weak, hence not morally strong: the
+    partial coherence order never orients them by enumeration, only the
+    Coherence axiom's cause-forced edge does (W x=1 precedes W x=2
+    through the release/acquire synchronization).  With the axiom
+    enforced and r1=1, x settles to 2; skipped, both writes are
+    co-maximal and x may also read 1.
+    """
+    t0, t1 = device_thread(0, 0, 0), device_thread(0, 0, 1)
+    program = (
+        ProgramBuilder("probe/Coherence")
+        .thread(t0)
+        .st("x", 1)
+        .st("y", 1, sem=Sem.RELEASE, scope=Scope.SYS)
+        .thread(t1)
+        .ld("r1", "y", sem=Sem.ACQUIRE, scope=Scope.SYS)
+        .st("x", 2)
+        .build()
+    )
+    return make_test(
+        "probe/Coherence",
+        program,
+        "1:r1=1 & [x]=1",
+        "forbidden",
+        description=(
+            "weak same-location writes ordered only by the Coherence "
+            "axiom's cause-forced co edge; ablation makes [x]=1 reachable"
+        ),
+    )
+
+
+def fence_sc_probe() -> LitmusTest:
+    """A shape whose *witness set* grows when FenceSC is skipped.
+
+    The CTA execution barrier gives cause(F1 -> F0) with no rf edge on
+    the path, so the sc orientation F0 -> F1 violates FenceSC and
+    nothing else: skipping the axiom admits exactly that extra witness
+    while every outcome survives — the channel outcome-diffing misses
+    and the witness digest catches.
+    """
+    t0, t1 = device_thread(0, 0, 0), device_thread(0, 0, 1)
+    program = (
+        ProgramBuilder("probe/FenceSC")
+        .thread(t0)
+        .bar()
+        .fence(sem=Sem.SC, scope=Scope.CTA)
+        .st("x", 1)
+        .thread(t1)
+        .fence(sem=Sem.SC, scope=Scope.CTA)
+        .bar()
+        .build()
+    )
+    return make_test(
+        "probe/FenceSC",
+        program,
+        "[x]=1",
+        "allowed",
+        description=(
+            "bar.sync-induced cause between fence.sc pairs; FenceSC "
+            "ablation admits the reversed sc orientation as a new witness"
+        ),
+    )
+
+
+def axiom_probes() -> Tuple[LitmusTest, ...]:
+    """Pinned shapes guaranteeing every axiom stays detectable.
+
+    The suite members cover the axioms whose violations need program
+    shapes the fuzz generator cannot emit (RMWs for Atomicity, register
+    dependencies for No-Thin-Air); the two hand-built probes cover the
+    axioms invisible to outcome-only comparison on generated shapes.
+    """
+    from ..litmus.suite import SUITE
+
+    by_name = {test.name: test for test in SUITE}
+    return (
+        coherence_probe(),
+        fence_sc_probe(),
+        by_name["2xAtomAdd.gpu"],
+        by_name["AtomExch+MP"],
+        by_name["LB+deps"],
+        by_name["CoWR"],
+        by_name["CoWW"],
+        by_name["MP+rel_acq.gpu"],
+        by_name["IRIW+fence.sc"],
+    )

@@ -14,10 +14,12 @@ declaration order), which the matrix goldens rely on.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
 
 from .compare import VARIANTS
 from .generator import CycleError, GeneratedTest, enumerate_cycles, generate
+from .test import LitmusTest
 
 #: External-edge vocabulary for the length-4 corpus: all communication is
 #: cross-thread, producing the classic named shapes (SB, MP, LB, 2+2W...)
@@ -43,3 +45,66 @@ def corpus_length4() -> Iterator[Tuple[str, str, GeneratedTest]]:
 def corpus4() -> List[Tuple[str, str, GeneratedTest]]:
     """The pinned length-4 corpus (48 instances), as a list."""
     return list(corpus_length4())
+
+
+def find_regression_corpus(start: Optional[str] = None) -> Path:
+    """Locate the committed ``tests/regression_corpus`` directory.
+
+    Searches upward from ``start`` (default: the current directory) for
+    a ``tests/regression_corpus/MANIFEST.json``, so the loader works
+    from the repo root, from inside ``tests/``, and from any nested
+    working directory of a checkout.
+    """
+    origin = Path(start) if start is not None else Path.cwd()
+    for base in (origin, *origin.parents):
+        candidate = base / "tests" / "regression_corpus"
+        if (candidate / "MANIFEST.json").is_file():
+            return candidate
+    raise FileNotFoundError(
+        "no tests/regression_corpus/MANIFEST.json found above "
+        f"{origin} — run `ptxmm farm --corpus-out tests/regression_corpus` "
+        "from a checkout to (re)generate the distilled corpus"
+    )
+
+
+def regression_corpus(
+    directory: Optional[str] = None,
+) -> List["LitmusTest"]:
+    """Load the distilled regression corpus (committed by the farm).
+
+    Returns the parsed tests in manifest order (sorted by name).  Every
+    listed file must parse and match its recorded canonical-form hash —
+    a mismatch means the corpus files were edited without regenerating
+    the manifest, and is reported per file.  ``search_opts`` can't ride
+    in litmus text, so the manifest carries them and the loader
+    re-attaches them after hash verification.
+    """
+    import dataclasses
+    import json
+
+    from ..fuzz.harness import canonical_test_hash
+    from .parser import parse_litmus
+    from .serialize import _search_opts_from_obj
+
+    target = (
+        Path(directory) if directory is not None else find_regression_corpus()
+    )
+    manifest = json.loads((target / "MANIFEST.json").read_text())
+    tests: List[LitmusTest] = []
+    stale: List[str] = []
+    for name, entry in sorted(manifest["tests"].items()):
+        test = parse_litmus((target / entry["file"]).read_text())
+        if canonical_test_hash(test) != entry["hash"]:
+            stale.append(name)
+        if entry.get("search_opts"):
+            test = dataclasses.replace(
+                test,
+                search_opts=_search_opts_from_obj(entry["search_opts"]),
+            )
+        tests.append(test)
+    if stale:
+        raise ValueError(
+            f"regression corpus files out of sync with MANIFEST.json: "
+            f"{', '.join(stale)} — regenerate with ptxmm farm --corpus-out"
+        )
+    return tests

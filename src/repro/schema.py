@@ -22,7 +22,10 @@ History of cache-schema bumps:
   gain saturation/fallback fields;
 * v5 — the serving layer's in-memory LRU tier joins the verdict store
   and results flow over HTTP: cache keys now also guard the wire
-  payloads the service replays byte-for-byte.
+  payloads the service replays byte-for-byte;
+* v6 — enumeration counters gain per-axiom failure counts
+  (``axiom_failed``), the structural coverage signal the fuzzing farm
+  steers on; stored stats change shape.
 
 Every consumer module pins the version it was written against via
 :func:`assert_schema` at import time.  A schema bump that edits this
@@ -34,7 +37,7 @@ under the new salt with the old shape.
 from __future__ import annotations
 
 #: Salts every content-addressed verdict key (cache, LRU tier, wire).
-CACHE_SCHEMA_VERSION = 5
+CACHE_SCHEMA_VERSION = 6
 
 #: The JSON serialization shape of tests/results.
 FORMAT_VERSION = 1

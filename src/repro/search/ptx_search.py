@@ -31,7 +31,7 @@ tests and the kernel benchmark).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.deadline import check_deadline
@@ -76,7 +76,9 @@ class EnumStats:
     already failed (skipping the whole co loop); ``candidates_checked``
     the fully axiom-checked candidates; ``memo_hits``/``memo_misses`` the
     closure-evaluation cache behaviour (an :class:`~repro.lang.Env` stats
-    sink).
+    sink); ``axiom_failed`` how often each named axiom rejected a
+    candidate (or, for SC-per-Location, doomed an rf assignment in the
+    pre-check) — the coverage signal the fuzzing farm steers on.
     """
 
     rf_assignments: int = 0
@@ -91,6 +93,11 @@ class EnumStats:
     #: rf-check requests answered by the enumerative engine instead —
     #: out-of-fragment options or a defensive internal fallback
     fallbacks: int = 0
+    #: per-axiom rejection counts (axiom name -> times it failed)
+    axiom_failed: Dict[str, int] = field(default_factory=dict)
+
+    def record_axiom_failure(self, name: str, count: int = 1) -> None:
+        self.axiom_failed[name] = self.axiom_failed.get(name, 0) + count
 
     # Env.stats protocol: eval_expr reports cache hits/misses here.
     def hit(self) -> None:
@@ -102,18 +109,40 @@ class EnumStats:
     def __add__(self, other: "EnumStats") -> "EnumStats":
         if not isinstance(other, EnumStats):
             return NotImplemented
-        return EnumStats(**{
-            f.name: getattr(self, f.name) + getattr(other, f.name)
-            for f in fields(self)
-        })
+        merged = {}
+        for f in fields(self):
+            mine, theirs = getattr(self, f.name), getattr(other, f.name)
+            if f.name == "axiom_failed":
+                combined = dict(mine)
+                for name, count in theirs.items():
+                    combined[name] = combined.get(name, 0) + count
+                merged[f.name] = combined
+            else:
+                merged[f.name] = mine + theirs
+        return EnumStats(**merged)
 
-    def as_dict(self) -> Dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = (
+                dict(sorted(value.items())) if f.name == "axiom_failed"
+                else value
+            )
+        return out
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, int]) -> "EnumStats":
+    def from_dict(cls, data: Mapping[str, object]) -> "EnumStats":
         known = {f.name for f in fields(cls)}
-        return cls(**{k: int(v) for k, v in data.items() if k in known})
+        kwargs: Dict[str, object] = {}
+        for key, value in data.items():
+            if key not in known:
+                continue
+            if key == "axiom_failed":
+                kwargs[key] = {str(k): int(v) for k, v in dict(value).items()}
+            else:
+                kwargs[key] = int(value)
+        return cls(**kwargs)
 
     def format(self) -> str:
         text = (
@@ -127,6 +156,12 @@ class EnumStats:
                 f" sat-steps={self.saturation_steps}"
                 f" fallbacks={self.fallbacks}"
             )
+        if self.axiom_failed:
+            failed = " ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.axiom_failed.items())
+            )
+            text += f" axiom-failed[{failed}]"
         return text
 
 
@@ -341,6 +376,8 @@ def candidate_executions(
             for read, write in zip(reads, rf_assignment)
         ):
             stats.rf_pruned += 1
+            # the pre-check is exactly an SC-per-Location doom proof
+            stats.record_axiom_failure("SC-per-Location")
             continue
         rf_source = {
             read.eid: write.eid for read, write in zip(reads, rf_assignment)
@@ -366,16 +403,25 @@ def candidate_executions(
                 ok = name in skip_axioms or eval_formula(axiom, env)
                 pre_results[name] = ok
                 pre_ok = pre_ok and ok
+                if not ok:
+                    stats.record_axiom_failure(name)
             if not pre_ok and not include_inconsistent:
                 stats.pre_co_pruned += 1
                 continue
             cause = eval_expr(cause_expr, env)
-            cause_forced = [
-                (a, b)
-                for a, b in cause
-                if a.is_write and b.is_write and a.loc == b.loc
-            ]
-            forced = init_forced | env.make_relation(cause_forced)
+            if "Coherence" in skip_axioms:
+                # Seeding cause-implied co edges is exactly the content of
+                # the Coherence axiom; under ablation the violating co
+                # orientations must actually be enumerated or skipping the
+                # axiom would be outcome-invisible.
+                forced = init_forced
+            else:
+                cause_forced = [
+                    (a, b)
+                    for a, b in cause
+                    if a.is_write and b.is_write and a.loc == b.loc
+                ]
+                forced = init_forced | env.make_relation(cause_forced)
             # pre-evaluate the co-independent parts of the co-dependent
             # axioms (e.g. the causality left-hand sides): bind("co")
             # retains them, so each co candidate pays only for what
@@ -405,6 +451,7 @@ def candidate_executions(
                         co_results[name] = ok
                         if not ok:
                             consistent = False
+                            stats.record_axiom_failure(name)
                             # a rejected candidate's report is never
                             # observed unless inconsistent candidates
                             # were requested: stop paying for the

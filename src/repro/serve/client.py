@@ -171,6 +171,22 @@ class Client:
             ]
         return self._request("POST", "/v1/suite", payload)
 
+    def fuzz(
+        self,
+        seed: int,
+        start: int = 0,
+        count: int = 32,
+        bias=None,
+        **overrides,
+    ) -> Dict:
+        """Decide one fuzz seed range server-side and return per-case
+        coverage features (the farm's remote compute tier).  ``bias`` is
+        a :class:`~repro.fuzz.gen.GenBias` or its ``to_dict()`` form."""
+        payload = dict(overrides, seed=seed, start=start, count=count)
+        if bias is not None:
+            payload["bias"] = bias if isinstance(bias, dict) else bias.to_dict()
+        return self._request("POST", "/v1/fuzz", payload)
+
     def compare(
         self,
         model_a: str,

@@ -51,7 +51,7 @@ from .protocol import (
 )
 from .store import VerdictStore
 
-assert_schema("repro.serve.service", cache=5)
+assert_schema("repro.serve.service", cache=6)
 
 
 @dataclass(frozen=True)
@@ -306,6 +306,73 @@ class VerdictService:
             "schema": CACHE_SCHEMA_VERSION,
             "count": len(ordered),
             "verdicts": ordered,
+        }
+
+    async def fuzz_query(self, payload: Dict) -> Dict:
+        """A farm compute tier: generate a seed range, decide it, and
+        return per-case coverage features.
+
+        The cases run through the same store/coalescer path as any
+        other test (reusing :meth:`suite_query` on the serialized
+        programs), so a re-requested range is served from cache.  The
+        response carries, per case, the static+dynamic feature labels
+        the farm folds into its coverage map, plus the verdict digest;
+        shrinking stays client-side, where the oracle battery lives.
+        """
+        from ..fuzz.coverage import case_features, result_features
+        from ..fuzz.gen import GenBias, generate_case
+        from ..litmus.serialize import result_from_dict, test_to_dict
+
+        # fuzz payloads always target the reference decider unless the
+        # caller overrides; the farm's oracle battery stays client-side
+
+        seed = payload.get("seed", 0)
+        start = payload.get("start", 0)
+        count = payload.get("count", 32)
+        if not all(isinstance(v, int) for v in (seed, start, count)):
+            raise ApiError(400, "'seed', 'start', 'count' must be integers")
+        if not 1 <= count <= 512:
+            raise ApiError(400, "'count' must be between 1 and 512")
+        bias = None
+        if payload.get("bias") is not None:
+            if not isinstance(payload["bias"], dict):
+                raise ApiError(400, "'bias' must be a GenBias object")
+            try:
+                bias = GenBias.from_dict(payload["bias"])
+            except (TypeError, ValueError) as exc:
+                raise ApiError(400, f"malformed 'bias': {exc}") from None
+        cases = [
+            generate_case(seed, index, bias)
+            for index in range(start, start + count)
+        ]
+        sub_payload = {
+            key: payload[key]
+            for key in ("model", "engine", "timeout", "search_opts")
+            if key in payload
+        }
+        sub_payload["tests"] = [test_to_dict(case.test) for case in cases]
+        answers = await self.suite_query(sub_payload)
+        entries = []
+        for case, verdict in zip(cases, answers["verdicts"]):
+            result = result_from_dict(verdict["result"], test=case.test)
+            features = case_features(case.test, case.cycle) | result_features(
+                result
+            )
+            entries.append({
+                "index": case.index,
+                "name": case.name,
+                "cycle": case.cycle,
+                "features": sorted(features),
+                "verdict": verdict["verdict"],
+                "digest": verdict["digest"],
+                "source": verdict["source"],
+            })
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "seed": seed,
+            "start": start,
+            "count": count,
+            "cases": entries,
         }
 
     async def compare_query(self, payload: Dict) -> Dict:
@@ -593,6 +660,8 @@ class VerdictService:
                 return 200, await self.run_query(body)
             if path == "/v1/suite":
                 return 200, await self.suite_query(body)
+            if path == "/v1/fuzz":
+                return 200, await self.fuzz_query(body)
             if path == "/v1/compare":
                 return 200, await self.compare_query(body)
             if path == "/v1/matrix":

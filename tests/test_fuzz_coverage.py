@@ -1,0 +1,366 @@
+"""Properties of the structural coverage layer.
+
+The coverage map is the farm's accumulator across shards, rounds, and
+resumed sessions, so its merge must be a true join (associative,
+commutative, idempotent) — any interleaving of partial maps has to fold
+to the same map and the same digest.  Distillation must preserve the
+coverage frontier *exactly*: the distilled corpus covers every feature
+the candidates cover, nothing dropped.
+"""
+
+import json
+import types
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.coverage import (
+    COVERAGE_SCHEMA,
+    CoverageMap,
+    bias_from_coverage,
+    case_features,
+    cycle_features,
+    distill,
+    feature_hash,
+    result_features,
+)
+from repro.litmus.parser import parse_litmus
+from repro.litmus.suite import BY_NAME
+
+#: a small closed label alphabet keeps collisions (shared features
+#: between maps) likely, which is where the min-merge actually decides
+LABELS = st.sampled_from(
+    [f"edge:{x}" for x in "abcdef"] + [f"annot:R:{x}" for x in "xyz"]
+)
+MAPS = st.dictionaries(LABELS, st.integers(min_value=-50, max_value=50))
+
+
+def coverage(mapping):
+    return CoverageMap(mapping)
+
+
+class TestFeatureHash:
+    def test_pinned_value(self):
+        # pinned: artifacts and logs embed these hashes, so the function
+        # changing silently would orphan every external reference
+        assert feature_hash("edge:Rfe") == "4558ca6cfa0a69b0"
+
+    def test_shape(self):
+        digest = feature_hash("annot:W:release.gpu")
+        assert len(digest) == 16
+        int(digest, 16)
+
+    def test_distinct_labels_distinct_hashes(self):
+        labels = ["edge:Rfe", "edge:Fre", "annot:R:weak", "len:3"]
+        assert len({feature_hash(l) for l in labels}) == len(labels)
+
+
+class TestCaseFeatures:
+    def test_suite_message_passing(self):
+        features = case_features(BY_NAME["MP+rel_acq.gpu"])
+        assert "threads:2" in features
+        assert "annot:W:release.gpu" in features
+        assert "annot:R:acquire.gpu" in features
+        assert "layout:gpu" in features
+
+    def test_rmw_and_fence_flags(self):
+        features = case_features(BY_NAME["IRIW+fence.sc"])
+        assert "has:fence" in features
+        assert "has:sc-fence" in features
+        rmw = case_features(BY_NAME["2xAtomAdd.gpu"])
+        assert "has:rmw" in rmw
+        assert "has:dep" in rmw
+
+    def test_dependency_detected_from_register_source(self):
+        test = parse_litmus(
+            "ptx test dep\n"
+            "thread d0c0t0\n"
+            "  ld.weak r0, [x]\n"
+            "  st.weak [y], r0\n"
+            "allowed: [y]=0\n"
+        )
+        assert "has:dep" in case_features(test)
+
+    def test_cycle_features_merge_in(self):
+        test = BY_NAME["MP+rel_acq.gpu"]
+        with_cycle = case_features(test, "PodWW+Rfe+PodRR+Fre")
+        assert "edge:Rfe" in with_cycle
+        assert "len:4" in with_cycle
+        assert case_features(test) < with_cycle
+
+
+class TestCycleFeatures:
+    def test_edge_alphabet_and_length(self):
+        features = cycle_features("PodWW+Rfe+PodRR+Fre")
+        assert features >= {"len:4", "edge:Rfe", "edge:PodRR", "edge:Fre"}
+
+    def test_scope_levels_from_placement(self):
+        from repro.core.scopes import device_thread
+
+        same_cta = cycle_features(
+            "PodWW+Rfe+PodRR+Fre",
+            [device_thread(0, 0, 0), device_thread(0, 0, 1)],
+        )
+        cross_gpu = cycle_features(
+            "PodWW+Rfe+PodRR+Fre",
+            [device_thread(0, 0, 0), device_thread(1, 0, 0)],
+        )
+        assert "edge-scope:Rfe:cta" in same_cta
+        assert "edge-scope:Rfe:sys" in cross_gpu
+        # po edges never span a scope boundary
+        assert not any("edge-scope:PodRR" in f for f in same_cta)
+
+
+class TestResultFeatures:
+    def _result(self, **overrides):
+        base = dict(
+            status="ok",
+            observed=False,
+            outcomes=frozenset({1, 2, 3}),
+            enum_stats=None,
+        )
+        base.update(overrides)
+        return types.SimpleNamespace(**base)
+
+    def test_verdict_and_bucketing(self):
+        features = result_features(self._result())
+        assert "observed:false" in features
+        assert "outcomes:<=4" in features
+        assert not any(f.startswith("status:") for f in features)
+
+    def test_error_status_is_a_feature(self):
+        features = result_features(self._result(status="timeout"))
+        assert "status:timeout" in features
+
+    def test_axiom_failures_and_prunes(self):
+        stats = {
+            "rf_pruned": 7,
+            "pre_co_pruned": 0,
+            "axiom_failed": {"Causality": 3, "Atomicity": 0},
+        }
+        features = result_features(self._result(enum_stats=stats))
+        assert "prune:rf" in features
+        assert "prune:pre-co" not in features
+        assert "axiom-failed:Causality" in features
+        # zero-count axioms never fired; they are not covered
+        assert "axiom-failed:Atomicity" not in features
+
+
+class TestCoverageMapBasics:
+    def test_observe_returns_only_new_features(self):
+        cov = CoverageMap()
+        assert cov.observe({"a", "b"}, 5) == frozenset({"a", "b"})
+        assert cov.observe({"b", "c"}, 9) == frozenset({"c"})
+        assert cov.first_hit("b") == 5
+
+    def test_observe_keeps_smallest_index(self):
+        cov = CoverageMap()
+        cov.observe({"a"}, 9)
+        cov.observe({"a"}, 2)
+        assert cov.first_hit("a") == 2
+
+    def test_round_trip_and_digest(self):
+        cov = coverage({"edge:a": 3, "annot:R:x": 0})
+        again = CoverageMap.from_dict(cov.to_dict())
+        assert again == cov
+        assert again.digest() == cov.digest()
+
+    def test_schema_mismatch_rejected(self):
+        payload = {"schema": COVERAGE_SCHEMA + 1, "features": {}}
+        with pytest.raises(ValueError, match="schema"):
+            CoverageMap.from_dict(payload)
+
+    def test_to_dict_is_json_deterministic(self):
+        a = coverage({"b": 1, "a": 2}).to_dict()
+        b = coverage({"a": 2, "b": 1}).to_dict()
+        assert json.dumps(a) == json.dumps(b)
+
+
+class TestMergeAlgebra:
+    """merge is a join: the farm can fold shard/checkpoint maps in any
+    order, any grouping, any number of times."""
+
+    @given(MAPS, MAPS)
+    @settings(max_examples=200)
+    def test_commutative(self, x, y):
+        assert coverage(x).merge(coverage(y)) == coverage(y).merge(
+            coverage(x)
+        )
+
+    @given(MAPS, MAPS, MAPS)
+    @settings(max_examples=200)
+    def test_associative(self, x, y, z):
+        a, b, c = coverage(x), coverage(y), coverage(z)
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(MAPS)
+    @settings(max_examples=100)
+    def test_idempotent(self, x):
+        a = coverage(x)
+        assert a.merge(a) == a
+
+    @given(MAPS)
+    @settings(max_examples=100)
+    def test_empty_is_identity(self, x):
+        a = coverage(x)
+        assert a.merge(CoverageMap()) == a
+        assert CoverageMap().merge(a) == a
+
+    @given(MAPS, MAPS)
+    @settings(max_examples=100)
+    def test_merge_equals_observing_both_streams(self, x, y):
+        """Merging checkpoint maps is the same as one map having seen
+        every (feature, index) observation directly."""
+        direct = CoverageMap()
+        for feature, index in x.items():
+            direct.observe({feature}, index)
+        for feature, index in y.items():
+            direct.observe({feature}, index)
+        assert coverage(x).merge(coverage(y)) == direct
+
+    @given(MAPS, MAPS)
+    @settings(max_examples=100)
+    def test_digest_respects_equality(self, x, y):
+        a, b = coverage(x), coverage(y)
+        if a == b:
+            assert a.digest() == b.digest()
+        else:
+            assert a.digest() != b.digest()
+
+
+FEATURE_SETS = st.dictionaries(
+    st.sampled_from([f"t{i}" for i in range(8)]),
+    st.frozensets(LABELS, max_size=6),
+    max_size=8,
+)
+
+
+class TestDistill:
+    @given(FEATURE_SETS)
+    @settings(max_examples=200)
+    def test_preserves_frontier_exactly(self, candidates):
+        selected = distill(candidates)
+        covered = frozenset().union(
+            *(candidates[k] for k in selected)
+        ) if selected else frozenset()
+        everything = frozenset().union(*candidates.values()) if candidates else frozenset()
+        assert covered == everything
+
+    @given(FEATURE_SETS)
+    @settings(max_examples=100)
+    def test_selection_is_minimal_greedy(self, candidates):
+        selected = distill(candidates)
+        assert len(selected) == len(set(selected))
+        # every selected key earns its place: it contributed a feature
+        # no earlier selection covered
+        covered = set()
+        for key in selected:
+            gain = set(candidates[key]) - covered
+            assert gain, key
+            covered |= gain
+
+    @given(FEATURE_SETS)
+    @settings(max_examples=100)
+    def test_deterministic(self, candidates):
+        assert distill(candidates) == distill(dict(candidates))
+
+    def test_frontier_restriction(self):
+        candidates = {"a": {"x", "y"}, "b": {"y", "z"}, "c": {"w"}}
+        assert distill(candidates, frontier={"z"}) == ["b"]
+        # frontier features no candidate reaches are ignored, not an error
+        assert distill(candidates, frontier={"nope"}) == []
+
+    def test_greedy_prefers_larger_gain_then_name(self):
+        candidates = {"big": {"x", "y", "z"}, "a": {"x"}, "b": {"w"}}
+        assert distill(candidates) == ["big", "b"]
+        tie = {"b": {"x"}, "a": {"x"}}
+        assert distill(tie) == ["a"]
+
+
+class TestBiasFromCoverage:
+    def test_everything_uncovered_boosts_everything(self):
+        bias = bias_from_coverage(CoverageMap(), boost=4.0)
+        assert set(bias.edge_weights.values()) == {4.0}
+        assert set(bias.annotation_weights.values()) == {4.0}
+        assert bias.fence_rate == 0.7
+
+    @staticmethod
+    def _saturated():
+        """A map covering every knob label AND every pair feature: the
+        whole steerable space, the only state where bias goes neutral."""
+        cov = CoverageMap()
+        probe = bias_from_coverage(cov)
+        cov.observe(
+            [f"edge:{name}" for name in probe.edge_weights]
+            + [f"annot:{label}" for label in probe.annotation_weights]
+            + [f"annot:F:{label}" for label in probe.fence_weights]
+            + [f"layout:{label}" for label in probe.layout_weights]
+            + [f"len:{length}" for length in probe.length_weights]
+            + [
+                f"edge-scope:{name}:{level}"
+                for name in probe.edge_weights
+                for level in ("cta", "gpu", "sys")
+            ],
+            0,
+        )
+        return cov
+
+    def test_fully_covered_is_neutral(self):
+        bias = bias_from_coverage(self._saturated())
+        assert set(bias.edge_weights.values()) == {1.0}
+        assert set(bias.annotation_weights.values()) == {1.0}
+        assert set(bias.fence_weights.values()) == {1.0}
+        assert set(bias.layout_weights.values()) == {1.0}
+        assert set(bias.length_weights.values()) == {1.0}
+        assert bias.fence_rate == 0.35
+
+    def test_partial_coverage_boosts_only_the_gap(self):
+        cov = self._saturated()
+        # re-open exactly one direct gap: Fre (both its label and pairs)
+        hits = {
+            f: i for f, i in cov.to_dict()["features"].items()
+            if not f.startswith(("edge:Fre", "edge-scope:Fre"))
+        }
+        bias = bias_from_coverage(CoverageMap(hits), boost=8.0)
+        assert bias.edge_weights["Rfe"] == 1.0
+        assert bias.edge_weights["Fre"] == 8.0
+
+    def test_uncovered_pair_raises_edge_and_layouts_jointly(self):
+        """Once every direct label is seen, a missing
+        edge-scope:Rfe:sys must keep steering Rfe and the layouts that
+        can realize a sys-level hop — at the intermediate tier, below a
+        direct gap's full boost."""
+        cov = self._saturated()
+        hits = {
+            f: i for f, i in cov.to_dict()["features"].items()
+            if f != "edge-scope:Rfe:sys"
+        }
+        bias = bias_from_coverage(CoverageMap(hits), boost=16.0)
+        assert bias.edge_weights["Rfe"] == 4.0  # sqrt(16)
+        assert bias.edge_weights["Fre"] == 1.0
+        assert bias.layout_weights["sys"] == 4.0
+        assert bias.layout_weights["mixed"] == 4.0
+        assert bias.layout_weights["cta"] == 1.0
+
+    def test_uncovered_mixed_layout_keeps_long_cycles_raised(self):
+        """layout:mixed needs >=3 threads, so while it is missing the
+        lengths that can produce them stay above neutral even though
+        their own len:N labels are covered."""
+        cov = self._saturated()
+        hits = {
+            f: i for f, i in cov.to_dict()["features"].items()
+            if f != "layout:mixed"
+        }
+        bias = bias_from_coverage(CoverageMap(hits), boost=16.0)
+        assert bias.layout_weights["mixed"] == 16.0
+        assert all(
+            weight == (4.0 if length >= 3 else 1.0)
+            for length, weight in bias.length_weights.items()
+        )
+
+    def test_deterministic_in_map_contents(self):
+        cov = coverage({"edge:Rfe": 3, "layout:cta": 1})
+        assert bias_from_coverage(cov) == bias_from_coverage(
+            coverage({"layout:cta": 9, "edge:Rfe": 0})
+        )

@@ -237,3 +237,88 @@ class TestCrashReporting:
         assert data["shrink_crash_details"] == [
             "left: boom", "left: boom", "right: bang",
         ]
+
+
+class TestArtifactDedup:
+    """Identical findings — same check kind, same canonical shrunk form
+    — must produce ONE artifact, however many cases hit them.  Artifact
+    directories key on the shrunk test's canonical-form hash, so two
+    identical repros can no longer clobber each other under different
+    index-based names (the old collision) or double-report one bug."""
+
+    def _fixed_point(self):
+        from repro.litmus.parser import parse_litmus
+
+        return parse_litmus(
+            "ptx test minimal\n"
+            "thread d0c0t0\n"
+            "  st.weak [x], 1\n"
+            "  st.weak [x], 2\n"
+            "allowed: [x]=1\n"
+        )
+
+    def test_canonical_hash_ignores_presentation_fields(self):
+        import dataclasses
+
+        from repro.fuzz import canonical_test_hash
+
+        test = self._fixed_point()
+        renamed = dataclasses.replace(
+            test, name="other", description="something else"
+        )
+        assert canonical_test_hash(test) == canonical_test_hash(renamed)
+
+    def test_write_artifact_is_stable_under_identical_repros(self, tmp_path):
+        from repro.fuzz.gen import generate_case
+        from repro.fuzz.harness import write_artifact
+        from repro.fuzz.oracle import Discrepancy
+        from repro.fuzz.shrink import ShrinkResult
+
+        shrunk = ShrinkResult(test=self._fixed_point(), steps=1, attempts=3)
+        dirs = set()
+        for index in (0, 1):
+            case = generate_case(3, index)
+            discrepancy = Discrepancy(
+                kind="ptx-outcomes",
+                test=case.test,
+                left_label="a",
+                right_label="b",
+                detail="disagree",
+            )
+            dirs.add(write_artifact(tmp_path, case, discrepancy, shrunk))
+        assert len(dirs) == 1
+
+    @pytest.mark.slow
+    def test_identical_discrepancies_dedup_to_one_artifact(
+        self, tmp_path, monkeypatch
+    ):
+        """Two fuzz cases whose discrepancies minimize to the same
+        canonical form: one artifact on disk, one found entry, the
+        duplicate counted in stats.deduped."""
+        import repro.fuzz.harness as harness
+        from repro.fuzz import FuzzBudget, run_fuzz
+        from repro.fuzz.shrink import ShrinkResult
+
+        fixed = ShrinkResult(test=self._fixed_point(), steps=0, attempts=1)
+        monkeypatch.setattr(harness, "shrink", lambda *a, **kw: fixed)
+
+        report = run_fuzz(
+            seed=7,
+            budget=FuzzBudget(count=8),
+            perturb=PERTURB,
+            artifact_dir=str(tmp_path),
+            max_found=50,
+        )
+        assert report.stats.discrepancies >= 2
+        by_kind = {}
+        for found in report.found:
+            by_kind.setdefault(found.discrepancy.kind, []).append(found)
+        # per check kind, the identical shrunk form surfaced exactly once
+        assert all(len(entries) == 1 for entries in by_kind.values())
+        assert report.stats.deduped == (
+            report.stats.discrepancies - len(report.found)
+        )
+        assert report.stats.deduped > 0
+        artifact_dirs = [p for p in tmp_path.iterdir() if p.is_dir()]
+        assert len(artifact_dirs) == len(by_kind)
+        assert "deduped=" in report.stats.format()

@@ -1,0 +1,62 @@
+"""Golden replay of the committed distilled regression corpus.
+
+``tests/regression_corpus/`` is the farm's minimal frontier-preserving
+test set plus the pinned axiom probes.  This suite is the corpus's
+reason to exist: every committed shape must still decide cleanly, and
+all deciders — the enumerative search, the SAT-based symbolic engines,
+and the rf-first saturation engine — must agree on it.  A regression in
+any engine that the frontier can see fails here before the nightly
+farm ever runs.
+"""
+
+import pytest
+
+from repro.kodkod.litmus import UnsupportedProgram, symbolic_outcomes
+from repro.litmus import RunConfig, run_litmus
+from repro.litmus.corpus import find_regression_corpus, regression_corpus
+
+pytestmark = pytest.mark.slow
+
+CORPUS = regression_corpus()
+
+
+def test_corpus_is_present_and_verified():
+    """Loading alone proves the committed files match their manifest
+    hashes (the loader raises on any drift)."""
+    assert find_regression_corpus().name == "regression_corpus"
+    assert len(CORPUS) >= 20
+    names = [t.name for t in CORPUS]
+    assert len(set(names)) == len(names)
+
+
+def test_corpus_spans_the_probe_set():
+    """The pinned axiom probes ride along with the distilled selection."""
+    names = {t.name for t in CORPUS}
+    assert {"probe/Coherence", "probe/FenceSC"} <= names
+
+
+@pytest.mark.parametrize("test", CORPUS, ids=lambda t: t.name)
+def test_replays_green_on_the_enumerative_engine(test):
+    result = run_litmus(test, engine="enumerative")
+    assert result.status == "ok", result.detail
+
+
+@pytest.mark.parametrize("test", CORPUS, ids=lambda t: t.name)
+def test_enumerative_and_rf_check_agree_on_outcomes(test):
+    enumerative = run_litmus(test, engine="enumerative")
+    rf = run_litmus(test, engine="rf-check")
+    assert rf.status == "ok", rf.detail
+    assert rf.outcomes == enumerative.outcomes
+    assert rf.verdict == enumerative.verdict
+
+
+@pytest.mark.parametrize("test", CORPUS, ids=lambda t: t.name)
+def test_symbolic_engines_agree_on_the_corpus(test):
+    enumerative = run_litmus(test, engine="enumerative")
+    try:
+        symbolic = frozenset(symbolic_outcomes(test))
+    except UnsupportedProgram:
+        pytest.skip("program outside the symbolic fragment")
+    assert symbolic == enumerative.outcomes
+    single_query = run_litmus(test, config=RunConfig(engine="symbolic"))
+    assert single_query.verdict == enumerative.verdict

@@ -123,12 +123,13 @@ class TestSchemaMigration:
         assert cache.get(new_key, test) is None  # miss, not an error
         assert cache.stats.misses == 1
 
-    def test_current_version_is_five(self):
-        # v5: the serving layer's LRU tier + wire payloads joined the
-        # verdict store (single source: repro.schema)
+    def test_current_version_is_six(self):
+        # v6: enumeration counters gained per-axiom failure counts
+        # (``axiom_failed``), the coverage signal the farm steers on
+        # (single source: repro.schema)
         from repro import schema
 
-        assert cache_mod.CACHE_SCHEMA_VERSION == 5
+        assert cache_mod.CACHE_SCHEMA_VERSION == 6
         assert schema.CACHE_SCHEMA_VERSION == cache_mod.CACHE_SCHEMA_VERSION
 
     def test_certify_flag_salts_key_under_any_version(self, monkeypatch):

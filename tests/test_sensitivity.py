@@ -1,0 +1,145 @@
+"""The axiom-ablation sensitivity matrix and its committed golden.
+
+The empirical mirror of the paper's Figure 17 exhaustiveness claim:
+every PTX axiom, when ablated from the enumerative search, must change
+something observable — the outcome set, the verdict, or the witness
+structure — on at least one shape in the committed corpus.  The golden
+``SENSITIVITY.json`` at the repo root pins the full matrix
+byte-for-byte; a refactor that silently makes an axiom untestable
+fails here by name.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.sensitivity import (
+    CHANNELS,
+    SENSITIVITY_SCHEMA,
+    axiom_probes,
+    render_sensitivity,
+    sensitivity_matrix,
+    summarize_shape,
+    undetected_axioms,
+)
+from repro.ptx.spec import AXIOMS
+
+pytestmark = pytest.mark.slow
+
+GOLDEN = Path(__file__).resolve().parent.parent / "SENSITIVITY.json"
+
+
+def _golden_tests():
+    """The exact shape set the golden was computed over: the pinned
+    probes plus the distilled corpus shapes the manifest names."""
+    from repro.litmus.corpus import regression_corpus
+
+    data = json.loads(GOLDEN.read_text())
+    pool = {t.name: t for t in regression_corpus()}
+    for probe in axiom_probes():
+        pool[probe.name] = probe
+    return [pool[name] for name in data["shapes"]], data
+
+
+@pytest.fixture(scope="module")
+def golden_matrix():
+    tests, data = _golden_tests()
+    return sensitivity_matrix(tests), data
+
+
+class TestGolden:
+    def test_matrix_matches_committed_golden_byte_for_byte(
+        self, golden_matrix
+    ):
+        matrix, _ = golden_matrix
+        assert render_sensitivity(matrix) == GOLDEN.read_text(), (
+            "sensitivity matrix drifted from SENSITIVITY.json — if the "
+            "change is intentional, regenerate with "
+            "`ptxmm farm --check-sensitivity --sensitivity-out "
+            "SENSITIVITY.json`"
+        )
+
+    def test_every_axiom_is_detected(self, golden_matrix):
+        matrix, _ = golden_matrix
+        undetected = undetected_axioms(matrix)
+        assert not undetected, (
+            f"axiom(s) {', '.join(undetected)} ablate invisibly: no "
+            "corpus shape changes outcomes, verdict, or witnesses "
+            "without them — the corpus cannot test these axioms"
+        )
+
+    def test_golden_covers_all_search_axioms(self, golden_matrix):
+        """The matrix rows are exactly the search's axiom alphabet: a
+        new axiom added to the search must enter the golden too."""
+        matrix, data = golden_matrix
+        assert sorted(matrix["axioms"]) == sorted(AXIOMS)
+        assert sorted(data["axioms"]) == sorted(AXIOMS)
+
+    def test_schema_and_channels_pinned(self, golden_matrix):
+        matrix, data = golden_matrix
+        assert data["schema"] == SENSITIVITY_SCHEMA
+        for record in matrix["axioms"].values():
+            for channels in record["detected_by"].values():
+                assert channels  # a detecting shape names its channels
+                assert set(channels) <= set(CHANNELS)
+
+
+class TestDetectionChannels:
+    def test_fence_sc_is_witness_only_in_this_fragment(self, golden_matrix):
+        """The theoretically-predicted blind spot: ablating FenceSC
+        never changes an outcome set here (sc fences order only through
+        cause), so detection must come from the witness channel."""
+        matrix, _ = golden_matrix
+        record = matrix["axioms"]["FenceSC"]
+        channels = set().union(*record["detected_by"].values())
+        assert "witnesses" in channels
+        assert "outcomes" not in channels
+
+    def test_coherence_probe_flips_outcomes(self, golden_matrix):
+        """Coherence ablation frees the violating co orientation, which
+        the probe converts into a visible outcome."""
+        matrix, _ = golden_matrix
+        record = matrix["axioms"]["Coherence"]
+        assert any(
+            "outcomes" in channels
+            for channels in record["detected_by"].values()
+        )
+
+
+class TestMatrixMechanics:
+    def test_missing_probe_is_reported_by_axiom_name(self):
+        """Dropping the one Coherence-detecting shape must surface as
+        that axiom, undetected, by name."""
+        tests, data = _golden_tests()
+        detectors = set(
+            json.loads(GOLDEN.read_text())["axioms"]["Coherence"][
+                "detected_by"
+            ]
+        )
+        reduced = [t for t in tests if t.name not in detectors]
+        matrix = sensitivity_matrix(reduced)
+        assert "Coherence" in undetected_axioms(matrix)
+        assert matrix["axioms"]["Coherence"]["detected"] is False
+        del data  # only shapes list used
+
+    def test_duplicate_shape_names_rejected(self):
+        tests, _ = _golden_tests()
+        with pytest.raises(ValueError, match="unique"):
+            sensitivity_matrix([tests[0], tests[0]])
+
+    def test_render_is_canonical_and_newline_terminated(self):
+        tests, _ = _golden_tests()
+        matrix = sensitivity_matrix(tests[:2], axioms=("Coherence",))
+        text = render_sensitivity(matrix)
+        assert text.endswith("\n")
+        assert json.dumps(
+            json.loads(text), sort_keys=True, separators=(",", ":")
+        ) + "\n" == text
+
+    def test_summarize_shape_ablation_is_deterministic(self):
+        tests, _ = _golden_tests()
+        shape = tests[0]
+        assert summarize_shape(shape) == summarize_shape(shape)
+        ablated = summarize_shape(shape, skip_axioms=("Causality",))
+        assert ablated == summarize_shape(shape, skip_axioms=("Causality",))

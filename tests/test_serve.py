@@ -583,7 +583,9 @@ class TestServiceIntegrity:
                 client.run("MP+weak")
                 client.run("MP+weak")
                 stats = client.stats()
-            assert stats["schema"] == 5
+            from repro.schema import CACHE_SCHEMA_VERSION
+
+            assert stats["schema"] == CACHE_SCHEMA_VERSION
             assert stats["service"]["requests"] >= 3
             assert stats["service"]["computations"] == 1
             assert stats["coalesce"]["leaders"] == 1
@@ -719,3 +721,91 @@ class TestHttpDirectEquivalence:
         obj = dict(payload["result"])
         reconstructed = result_from_dict(obj, test=test)
         assert verdict_digest(reconstructed) == payload["digest"]
+
+
+class TestServiceFuzz:
+    """The /v1/fuzz endpoint: the farm's remote compute tier."""
+
+    def test_fuzz_range_matches_local_generation(self):
+        from repro.fuzz.coverage import case_features, result_features
+        from repro.fuzz.gen import generate_case
+        from repro.litmus.runner import run_litmus
+
+        config = ServeConfig(port=0, use_cache=False)
+        service, handle = _start(config)
+        try:
+            with Client(handle.host, handle.port) as client:
+                payload = client.fuzz(seed=3, start=0, count=3)
+            assert payload["count"] == 3
+            for entry in payload["cases"]:
+                case = generate_case(3, entry["index"])
+                assert entry["name"] == case.name
+                assert entry["cycle"] == case.cycle
+                local = run_litmus(case.test, engine="enumerative")
+                expected = case_features(case.test, case.cycle) | (
+                    result_features(local)
+                )
+                assert entry["features"] == sorted(expected)
+                assert entry["verdict"] == local.verdict.value
+        finally:
+            handle.stop()
+
+    def test_repeat_range_is_served_from_cache(self):
+        config = ServeConfig(port=0, use_cache=False)
+        service, handle = _start(config)
+        try:
+            with Client(handle.host, handle.port) as client:
+                first = client.fuzz(seed=3, count=4)
+                second = client.fuzz(seed=3, count=4)
+            assert all(
+                c["source"] == "computed" for c in first["cases"]
+            )
+            assert all(c["source"] == "memory" for c in second["cases"])
+            assert [c["features"] for c in first["cases"]] == [
+                c["features"] for c in second["cases"]
+            ]
+            # one pooled suite batch for the whole range
+            assert service.stats.computations == 1
+        finally:
+            handle.stop()
+
+    def test_bias_reshapes_server_side_generation(self):
+        from repro.fuzz.gen import GenBias, generate_case
+
+        bias = GenBias(edge_weights={"Rfe": 64.0}, fence_rate=0.7)
+        config = ServeConfig(port=0, use_cache=False)
+        _, handle = _start(config)
+        try:
+            with Client(handle.host, handle.port) as client:
+                payload = client.fuzz(seed=3, start=4, count=4, bias=bias)
+            for entry in payload["cases"]:
+                case = generate_case(3, entry["index"], bias)
+                assert entry["name"] == case.name
+                assert entry["cycle"] == case.cycle
+        finally:
+            handle.stop()
+
+    def test_invalid_ranges_rejected(self):
+        config = ServeConfig(port=0, use_cache=False)
+        _, handle = _start(config)
+        try:
+            with Client(handle.host, handle.port) as client:
+                with pytest.raises(ServiceError, match="count"):
+                    client.fuzz(seed=1, count=0)
+                with pytest.raises(ServiceError, match="count"):
+                    client.fuzz(seed=1, count=513)
+                with pytest.raises(ServiceError, match="integers"):
+                    client.fuzz(seed="nope")
+                with pytest.raises(ServiceError, match="bias"):
+                    # raw request dodges client-side bias serialization
+                    client._request(
+                        "POST",
+                        "/v1/fuzz",
+                        {"seed": 1, "count": 1, "bias": "broken"},
+                    )
+                with pytest.raises(ServiceError, match="bias"):
+                    client.fuzz(
+                        seed=1, count=1, bias={"fence_rate": "sideways"}
+                    )
+        finally:
+            handle.stop()
