@@ -14,6 +14,8 @@ emptiness of the set difference instead — equivalent by definition.
 
 from __future__ import annotations
 
+import functools
+
 from .parser import CatModel, parse_cat
 
 PTX_CAT = """
@@ -144,8 +146,15 @@ _SOURCES = {
 }
 
 
+@functools.lru_cache(maxsize=None)
 def load_model(name: str) -> CatModel:
-    """Load one of the shipped cat models by name."""
+    """Load one of the shipped cat models by name.
+
+    Cached: :class:`CatModel` is frozen and the compiled kernel
+    (:mod:`repro.lang.compile`) dispatches generated functions by AST
+    node *identity*, so repeated loads must return the same objects for
+    its template/instance caches to hit.
+    """
     try:
         source = _SOURCES[name]
     except KeyError:

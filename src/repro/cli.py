@@ -44,6 +44,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         certify=args.certify,
+        kernel=args.kernel,
     )
     failures = 0
     incomplete = 0
@@ -113,6 +114,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             engine=args.engine,
             timeout=args.timeout,
             certify=args.certify,
+            kernel=args.kernel,
         )
         result = run_litmus(test, config=config)
     except ValueError as exc:  # e.g. symbolic engine on a non-PTX model
@@ -239,7 +241,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
     if args.recheck is not None:
         verdict, reshrunk = recheck_artifact(
-            args.recheck, perturb=args.perturb, timeout=args.timeout
+            args.recheck, perturb=args.perturb, timeout=args.timeout,
+            kernel=args.kernel,
         )
         if verdict.clean:
             print(f"{args.recheck}: no discrepancy (engines agree)")
@@ -280,6 +283,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             artifact_dir=args.artifact_dir,
             max_found=args.max_found,
             progress=progress,
+            kernel=args.kernel,
         )
     except ValueError as exc:  # e.g. unknown --perturb axiom
         print(f"error: {exc}", file=sys.stderr)
@@ -342,6 +346,7 @@ def _cmd_farm(args: argparse.Namespace) -> int:
         artifact_dir=args.artifact_dir,
         max_found=args.max_found,
         checkpoint=args.checkpoint,
+        kernel=args.kernel,
     )
 
     def progress(report):
@@ -505,6 +510,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         certify=args.certify,
+        kernel=args.kernel,
     )
     found = 0
     with Session(config) as session:
@@ -757,8 +763,22 @@ def _client_suite(client, args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_kernel_flag(parser: argparse.ArgumentParser) -> None:
+    """The relation-kernel knob (one help string, one choices source)."""
+    from .registry import kernel_names
+
+    parser.add_argument(
+        "--kernel", default="bit", choices=kernel_names(),
+        help="relation representation for the enumerative searches: "
+             "hashed tuple sets ('set'), dense bitsets ('bit', default), "
+             "or per-test compiled axiom checkers ('compiled'); verdicts "
+             "and outcome sets are identical across kernels",
+    )
+
+
 def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
     """Execution-subsystem flags shared by the sweep commands."""
+    _add_kernel_flag(parser)
     parser.add_argument(
         "--jobs", "-j", type=int, default=1,
         help="worker processes for the sweep (0 = one per CPU core; "
@@ -841,6 +861,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="independently check the verdict (DRAT refutation or "
              "satisfying witness) and print the certificate",
     )
+    _add_kernel_flag(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_map = sub.add_parser("mapping", help="bounded mapping soundness check")
@@ -916,6 +937,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--stats", action="store_true",
         help="print running counters to stderr after every batch",
     )
+    _add_kernel_flag(p_fuzz)
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_farm = sub.add_parser(
@@ -997,6 +1019,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--stats", action="store_true",
         help="print per-round counters to stderr",
     )
+    _add_kernel_flag(p_farm)
     p_farm.set_defaults(func=_cmd_farm)
 
     p_exp = sub.add_parser(

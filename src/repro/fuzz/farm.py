@@ -86,6 +86,9 @@ class FarmConfig:
     #: generator cannot emit still reach the corpus
     seed_corpus: bool = True
     checkpoint: Optional[str] = None
+    #: relation kernel for every engine run (verdict-neutral, so it is
+    #: deliberately absent from the resume fingerprint)
+    kernel: str = "bit"
 
     def fingerprint(self) -> Dict[str, object]:
         """The resume-compatibility echo stored in checkpoints."""
@@ -254,7 +257,10 @@ def run_farm(
     the resume tests use to simulate kills.
     """
     battery = tuple(checks) if checks is not None else default_checks(config.perturb)
-    oracle = Oracle(battery, base_config=RunConfig(timeout=config.timeout))
+    oracle = Oracle(
+        battery,
+        base_config=RunConfig(timeout=config.timeout, kernel=config.kernel),
+    )
     primary_spec = EngineSpec("ptx/enumerative")
 
     if config.checkpoint is not None and Path(config.checkpoint).exists():
@@ -268,7 +274,9 @@ def run_farm(
     directory = (
         Path(config.artifact_dir) if config.artifact_dir is not None else None
     )
-    session_config = RunConfig(jobs=config.jobs, timeout=config.timeout)
+    session_config = RunConfig(
+        jobs=config.jobs, timeout=config.timeout, kernel=config.kernel
+    )
 
     def evaluate(
         session: Session, tests: List[LitmusTest]

@@ -250,6 +250,7 @@ def run_fuzz(
     shrink_attempts: int = 2000,
     max_found: int = 10,
     progress: Optional[Callable[[FuzzStats], None]] = None,
+    kernel: str = "bit",
 ) -> FuzzReport:
     """Fuzz the engines; see the module docstring for the contract.
 
@@ -262,12 +263,12 @@ def run_fuzz(
     """
     oracle = Oracle(
         checks if checks is not None else default_checks(perturb),
-        base_config=RunConfig(timeout=timeout),
+        base_config=RunConfig(timeout=timeout, kernel=kernel),
     )
     stats = FuzzStats()
     report = FuzzReport(seed=seed, budget=budget, stats=stats)
     started = time.perf_counter()
-    session_config = RunConfig(jobs=jobs, timeout=timeout)
+    session_config = RunConfig(jobs=jobs, timeout=timeout, kernel=kernel)
     directory = Path(artifact_dir) if artifact_dir is not None else None
     index = 0
     # (check kind, canonical-form hash of the shrunk repro) -> artifact:
@@ -332,6 +333,7 @@ def recheck_artifact(
     checks: Optional[Sequence[Check]] = None,
     timeout: Optional[float] = 20.0,
     shrink_attempts: int = 2000,
+    kernel: str = "bit",
 ) -> Tuple[CaseVerdict, Optional[ShrinkResult]]:
     """Replay a CI artifact: parse the litmus file, re-run the oracle,
     and re-shrink if the discrepancy still reproduces.
@@ -344,7 +346,7 @@ def recheck_artifact(
     test = parse_litmus(Path(path).read_text())
     oracle = Oracle(
         checks if checks is not None else default_checks(perturb),
-        base_config=RunConfig(timeout=timeout),
+        base_config=RunConfig(timeout=timeout, kernel=kernel),
     )
     verdict = oracle.evaluate_one(test)
     if verdict.clean:

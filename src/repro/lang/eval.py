@@ -67,6 +67,12 @@ class EvalStats:
     def miss(self) -> None:
         self.misses += 1
 
+    def add_memo(self, hits: int, misses: int) -> None:
+        """Bulk form of :meth:`hit`/:meth:`miss` (compiled kernels count
+        locally and flush once per generated function call)."""
+        self.hits += hits
+        self.misses += misses
+
 
 @dataclass
 class Env:
@@ -153,6 +159,24 @@ class Env:
     def to_kernel(self, rel: Relation, arity: int = 2):
         """Convert a plain :class:`Relation` to this kernel's representation."""
         return rel
+
+    # -- evaluation entry points --------------------------------------
+    # The enumeration engines go through these instead of calling
+    # eval_formula/eval_expr/warm_independent directly, so a compiled
+    # environment (repro.lang.compile) can dispatch to its generated
+    # functions while interpreted environments keep the interpreter.
+
+    def formula(self, node) -> bool:
+        """Evaluate a formula in this environment."""
+        return eval_formula(node, self)
+
+    def expr(self, node):
+        """Evaluate an expression in this environment."""
+        return eval_expr(node, self)
+
+    def warm(self, node, names: FrozenSet[str]) -> None:
+        """Pre-evaluate the ``names``-independent parts of ``node``."""
+        warm_independent(node, self, names)
 
 
 def eval_expr(expr: ast.Expr, env: Env):

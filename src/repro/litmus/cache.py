@@ -36,7 +36,7 @@ from .serialize import (
 # CACHE_SCHEMA_VERSION lives in repro.schema (one place, re-exported
 # here for compatibility); this module pins the version it was written
 # against so a half-applied bump fails at import, not at cache time.
-assert_schema("repro.litmus.cache", cache=6)
+assert_schema("repro.litmus.cache", cache=7)
 
 
 def code_salt() -> str:
@@ -63,11 +63,16 @@ def cache_key(
     engine: str,
     opts: Dict[str, object],
     certify: bool = False,
+    kernel: str = "bit",
 ) -> str:
-    """The content address of one (test, model, engine, opts, certify) task.
+    """The content address of one (test, model, engine, opts, certify,
+    kernel) task.
 
     ``certify`` is part of the key: a certified sweep must never be served
-    a certificate-less cached verdict, and vice versa.
+    a certificate-less cached verdict, and vice versa.  ``kernel`` is part
+    of the key for the same defensive reason: the relation kernels agree
+    on outcomes by construction, but a representation bug must surface as
+    a wrong *fresh* result, never as a silently shared cached one.
     """
     payload = {
         "salt": code_salt(),
@@ -75,6 +80,7 @@ def cache_key(
         "model": model,
         "engine": engine,
         "certify": bool(certify),
+        "kernel": kernel,
         "opts": {
             name: list(value) if isinstance(value, (tuple, list)) else value
             for name, value in sorted(opts.items())

@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Dict, Mapping, Optional, Tuple
 
-from ..registry import engine_names, resolve_engine, resolve_model
+from ..registry import (
+    engine_names,
+    resolve_engine,
+    resolve_kernel,
+    resolve_model,
+)
 
 #: Engine names the runner knows how to drive (re-exported for
 #: compatibility; the authoritative table with capability flags is
@@ -65,7 +70,11 @@ class RunConfig:
       checker (:mod:`repro.cert`), and the certificate rides on the
       result.  A verdict whose certificate fails the check is downgraded
       to ERROR; undecidable-by-SAT tests fall back to the enumerative
-      engine with a ``skipped`` certificate.
+      engine with a ``skipped`` certificate;
+    * ``kernel`` picks the relation representation the enumerative
+      searches run on (``set``/``bit``/``compiled``; see
+      :data:`repro.registry.KERNELS`).  Outcomes are kernel-independent;
+      models without a kernel surface ignore the knob.
 
     ``search_opts`` may be given as a mapping; it is normalized to a
     sorted tuple of pairs so configs hash and compare structurally.
@@ -80,6 +89,7 @@ class RunConfig:
     cache_dir: Optional[str] = None
     max_attempts: int = 3
     certify: bool = False
+    kernel: str = "bit"
 
     def __post_init__(self):
         if isinstance(self.search_opts, Mapping):
@@ -91,6 +101,7 @@ class RunConfig:
         # uniform unknown-name errors, one place (repro.registry)
         resolve_model(self.model)
         resolve_engine(self.engine)
+        resolve_kernel(self.kernel)
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError("timeout must be positive (or None)")
         if self.jobs < 0:

@@ -33,7 +33,7 @@ from .conditions import AndC, Condition, MemEq, NotC, OrC, RegEq, TrueC
 # FORMAT_VERSION lives in repro.schema (one place, re-exported here);
 # this module pins the versions it renders so a half-applied schema bump
 # fails at import.
-assert_schema("repro.litmus.serialize", cache=6)
+assert_schema("repro.litmus.serialize", cache=7)
 
 
 def canonical_json(payload) -> str:

@@ -54,7 +54,7 @@ from .test import LitmusTest
 
 # worker IPC payloads and cached results share one schema version; a
 # half-bumped tree must fail here, not with mysterious worker errors
-assert_schema("repro.litmus.session", cache=6)
+assert_schema("repro.litmus.session", cache=7)
 
 
 @dataclass
@@ -202,7 +202,7 @@ class Session:
             if self.cache is not None:
                 key = cache_key(
                     test, config.model, config.engine, kept,
-                    certify=config.certify,
+                    certify=config.certify, kernel=config.kernel,
                 )
                 cached = self.cache.get(key, test)
                 if cached is not None:

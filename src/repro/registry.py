@@ -56,6 +56,35 @@ class UnknownNameError(KeyError, ValueError):
 
 
 # ----------------------------------------------------------------------
+# relation kernels
+# ----------------------------------------------------------------------
+
+#: Relation-representation kernels the enumerative searches understand.
+#: Verdicts and outcome sets are kernel-independent by construction (the
+#: agreement tests pin this); the choice only moves the time/space
+#: trade-off.  Models whose ``ModelSpec.kernels`` is empty (operational
+#: machines, the CPU total searches, the legacy PTX variant) have no
+#: kernel surface and silently ignore the configured kernel.
+KERNELS: Dict[str, str] = {
+    "set": "hashed tuple-set relations (reference semantics)",
+    "bit": "dense bitset relations (interpreted hot path, default)",
+    "compiled": "per-test specialized axiom checkers (repro.lang.compile)",
+}
+
+
+def kernel_names() -> Tuple[str, ...]:
+    """Every relation kernel name, in registration order."""
+    return tuple(KERNELS)
+
+
+def resolve_kernel(name: str) -> str:
+    """Validate a kernel name, or the one uniform unknown-name error."""
+    if name not in KERNELS:
+        raise UnknownNameError("kernel", name, KERNELS)
+    return name
+
+
+# ----------------------------------------------------------------------
 # model outcome functions (lazy imports: keep the registry import-light)
 # ----------------------------------------------------------------------
 
@@ -126,6 +155,9 @@ class ModelSpec:
     ignored_opts: FrozenSet[str] = frozenset()
     #: ``run`` accepts a ``stats=EnumStats()`` observability sink
     enum_stats: bool = False
+    #: relation kernels ``run`` accepts via ``kernel=``; empty means the
+    #: model has no kernel surface and the configured kernel is ignored
+    kernels: FrozenSet[str] = frozenset()
     #: the model has a symbolic (SAT) encoding — certify-eligible
     symbolic: bool = False
     #: the :mod:`repro.zoo` declaration backing this spec, if any
@@ -158,8 +190,14 @@ def _zoo_specs() -> Tuple[ModelSpec, ...]:
                 opts=model.opts,
                 ignored_opts=model.ignored_opts,
                 # every enumerative path except the CPU total searches
-                # threads EnumStats through (the zoo engine always does)
+                # threads EnumStats through (the zoo engine always does);
+                # the same paths expose the relation-kernel knob
                 enum_stats=model.name not in ("tso", "sc"),
+                kernels=(
+                    frozenset()
+                    if model.name in ("tso", "sc")
+                    else frozenset(KERNELS)
+                ),
                 symbolic=model.name == "ptx",
                 zoo=model.name,
                 description=model.description,
@@ -246,11 +284,19 @@ def _check_ptx_only(spec: "EngineSpec", model: str) -> None:
         )
 
 
+def _kernel_opts(config, opts):
+    """Inject the configured relation kernel for models that take one."""
+    if resolve_model(config.model).kernels:
+        return dict(opts, kernel=config.kernel)
+    return opts
+
+
 def _run_enumerative(test, config, opts):
     """Explicit candidate-execution enumeration, any model."""
     from .search.ptx_search import EnumStats
 
     spec = resolve_model(config.model)
+    opts = _kernel_opts(config, opts)
     enum_stats = None
     if spec.enum_stats:
         enum_stats = EnumStats()
@@ -279,7 +325,9 @@ def _run_symbolic(test, config, opts):
             for snapshot in stats[1:]:
                 merged = merged + snapshot
             return observed, frozenset(), merged, None
-    outcomes = resolve_model(config.model).run(test.program, **opts)
+    outcomes = resolve_model(config.model).run(
+        test.program, **_kernel_opts(config, opts)
+    )
     return test.condition_observed(outcomes), outcomes, None, None
 
 
@@ -309,7 +357,9 @@ def _run_symbolic_enum(test, config, opts):
             for snapshot in stats[1:]:
                 merged = merged + snapshot
             return test.condition_observed(outcomes), outcomes, merged, None
-    outcomes = resolve_model(config.model).run(test.program, **opts)
+    outcomes = resolve_model(config.model).run(
+        test.program, **_kernel_opts(config, opts)
+    )
     return test.condition_observed(outcomes), outcomes, None, None
 
 
@@ -319,7 +369,9 @@ def _run_rf_check(test, config, opts):
     from .search.rf_check import rf_check_outcomes
 
     enum_stats = EnumStats()
-    outcomes = rf_check_outcomes(test.program, stats=enum_stats, **opts)
+    outcomes = rf_check_outcomes(
+        test.program, stats=enum_stats, **_kernel_opts(config, opts)
+    )
     return test.condition_observed(outcomes), outcomes, None, enum_stats
 
 

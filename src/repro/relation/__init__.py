@@ -2,11 +2,13 @@
 
 from .bitrel import BitRel, BitSet, Universe
 from .fixpoint import least_fixpoint, recursive_union
+from .incremental import IncrementalClosure
 from .relation import Relation, acyclic, iden_over, irreflexive
 
 __all__ = [
     "BitRel",
     "BitSet",
+    "IncrementalClosure",
     "Relation",
     "Universe",
     "acyclic",

@@ -191,6 +191,15 @@ class BitRel:
             raise ValueError(f"expected {u.n} rows, got {len(rows)}")
         self.rows = rows
 
+    @classmethod
+    def _make(cls, u: Universe, rows: Tuple[int, ...]) -> "BitRel":
+        """Internal fast constructor: ``rows`` must already be a tuple of
+        exactly ``u.n`` row masks (algebra results always are)."""
+        self = object.__new__(cls)
+        self.u = u
+        self.rows = rows
+        return self
+
     # -- constructors / converters ------------------------------------
     @classmethod
     def from_pairs(cls, u: Universe, pairs: Iterable[tuple]) -> "BitRel":
@@ -207,7 +216,8 @@ class BitRel:
         return cls.from_pairs(u, rel.tuples)
 
     def to_relation(self) -> Relation:
-        return Relation.pairs(self)
+        tups = frozenset(self)
+        return Relation._make(tups, 2 if tups else None)
 
     def same_kind(self, pairs: Iterable[tuple]) -> "BitRel":
         """A relation of the same representation from explicit pairs."""
@@ -228,8 +238,10 @@ class BitRel:
         atoms = self.u.atoms
         for i, row in enumerate(self.rows):
             a = atoms[i]
-            for j in _bits(row):
-                yield (a, atoms[j])
+            while row:
+                low = row & -row
+                yield (a, atoms[low.bit_length() - 1])
+                row ^= low
 
     def __contains__(self, item) -> bool:
         a, b = tuple(item)
@@ -257,19 +269,21 @@ class BitRel:
         if not isinstance(other, BitRel):
             raise ValueError("arity mismatch: 2 vs 1")
         _same_universe(self, other)
-        return BitRel(self.u, map(int.__or__, self.rows, other.rows))
+        return BitRel._make(self.u, tuple(map(int.__or__, self.rows, other.rows)))
 
     def __and__(self, other: "BitRel") -> "BitRel":
         if not isinstance(other, BitRel):
             raise ValueError("arity mismatch: 2 vs 1")
         _same_universe(self, other)
-        return BitRel(self.u, map(int.__and__, self.rows, other.rows))
+        return BitRel._make(self.u, tuple(map(int.__and__, self.rows, other.rows)))
 
     def __sub__(self, other: "BitRel") -> "BitRel":
         if not isinstance(other, BitRel):
             raise ValueError("arity mismatch: 2 vs 1")
         _same_universe(self, other)
-        return BitRel(self.u, (a & ~b for a, b in zip(self.rows, other.rows)))
+        return BitRel._make(
+            self.u, tuple(a & ~b for a, b in zip(self.rows, other.rows))
+        )
 
     def issubset(self, other: "BitRel") -> bool:
         if not isinstance(other, BitRel):
@@ -287,12 +301,15 @@ class BitRel:
             _same_universe(self, other)
             orows = other.rows
             out: List[int] = []
+            append = out.append
             for row in self.rows:
                 acc = 0
-                for j in _bits(row):
-                    acc |= orows[j]
-                out.append(acc)
-            return BitRel(self.u, out)
+                while row:
+                    low = row & -row
+                    acc |= orows[low.bit_length() - 1]
+                    row ^= low
+                append(acc)
+            return BitRel._make(self.u, tuple(out))
         if isinstance(other, BitSet):
             _same_universe(self, other)
             mask = other.mask
@@ -313,9 +330,11 @@ class BitRel:
         cols = [0] * self.u.n
         for i, row in enumerate(self.rows):
             bit = 1 << i
-            for j in _bits(row):
-                cols[j] |= bit
-        return BitRel(self.u, cols)
+            while row:
+                low = row & -row
+                cols[low.bit_length() - 1] |= bit
+                row ^= low
+        return BitRel._make(self.u, tuple(cols))
 
     def domain(self) -> BitSet:
         mask = 0
@@ -336,15 +355,15 @@ class BitRel:
     def restrict_domain(self, atoms: BitSet) -> "BitRel":
         _same_universe(self, atoms)
         mask = atoms.mask
-        return BitRel(
+        return BitRel._make(
             self.u,
-            (row if mask >> i & 1 else 0 for i, row in enumerate(self.rows)),
+            tuple(row if mask >> i & 1 else 0 for i, row in enumerate(self.rows)),
         )
 
     def restrict_range(self, atoms: BitSet) -> "BitRel":
         _same_universe(self, atoms)
         mask = atoms.mask
-        return BitRel(self.u, (row & mask for row in self.rows))
+        return BitRel._make(self.u, tuple(row & mask for row in self.rows))
 
     def restrict(self, domain: BitSet, range_: BitSet) -> "BitRel":
         return self.restrict_domain(domain).restrict_range(range_)
@@ -361,12 +380,14 @@ class BitRel:
             for i in range(self.u.n):
                 if rows[i] & kbit:
                     rows[i] |= rk
-        return BitRel(self.u, rows)
+        return BitRel._make(self.u, tuple(rows))
 
     def reflexive_closure(self, universe: Optional[Iterable[Atom]] = None) -> "BitRel":
         """``r ∪ iden``; the universe argument (accepted for signature
         parity with :class:`Relation`) is implied by the frozen atom list."""
-        return BitRel(self.u, (row | (1 << i) for i, row in enumerate(self.rows)))
+        return BitRel._make(
+            self.u, tuple(row | (1 << i) for i, row in enumerate(self.rows))
+        )
 
     def reflexive_transitive_closure(
         self, universe: Optional[Iterable[Atom]] = None

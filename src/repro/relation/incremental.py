@@ -1,0 +1,83 @@
+"""Incremental transitive closure with rollback, for staged enumeration.
+
+The oriented-order enumerators (:mod:`repro.search.posets`) historically
+rebuilt a full Warshall closure per candidate orientation: with ``k``
+undecided pairs, the ``2^k`` leaves each paid ``O(n^3)``.  But the staged
+search extends a *prefix* one edge at a time, and single-edge closure
+updates are ``O(n^2)`` words: after adding ``i -> j`` to a transitively
+closed relation, the new closure adds exactly
+``(pred(i) ∪ {i}) × (succ(j) ∪ {j})``.
+
+:class:`IncrementalClosure` maintains the closed row masks across a
+depth-first orientation search, with a journal-based rollback stack
+(``push``/``pop``) matching the rf → valuation → sc → co staging, so
+backtracking one decision undoes exactly the rows that decision touched.
+The structure also detects cycles *eagerly*: an edge whose target already
+reaches its source is rejected before any mutation, pruning the whole
+subtree that per-leaf Warshall would have enumerated and discarded.
+
+Acyclicity is an invariant: rows are only ever the closure of an
+irreflexive seed plus accepted (cycle-free) edges, so no diagonal bit can
+appear.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+
+class IncrementalClosure:
+    """Exact transitive closure of a growing edge set, with rollback.
+
+    ``rows[i]`` has bit ``j`` set iff ``i`` reaches ``j`` (same encoding
+    as :class:`~repro.relation.bitrel.BitRel`).  Seed ``rows`` must
+    already be transitively closed and irreflexive — in practice the
+    ``.closure()`` of the forced edges the orientation search starts
+    from.
+    """
+
+    __slots__ = ("n", "rows", "_journal", "_marks")
+
+    def __init__(self, n: int, rows: Iterable[int]):
+        self.n = n
+        self.rows: List[int] = list(rows)
+        if len(self.rows) != n:
+            raise ValueError(f"expected {n} rows, got {len(self.rows)}")
+        self._journal: List[Tuple[int, int]] = []
+        self._marks: List[int] = []
+
+    def push(self) -> None:
+        """Open a rollback scope (one enumeration decision)."""
+        self._marks.append(len(self._journal))
+
+    def pop(self) -> None:
+        """Undo every row mutation since the matching :meth:`push`."""
+        mark = self._marks.pop()
+        journal = self._journal
+        rows = self.rows
+        while len(journal) > mark:
+            k, old = journal.pop()
+            rows[k] = old
+
+    def add(self, i: int, j: int) -> bool:
+        """Add edge ``i -> j`` and re-close; False if it closes a cycle.
+
+        On rejection nothing is mutated, so the caller's ``pop`` stays
+        balanced whether or not the edge was accepted.
+        """
+        rows = self.rows
+        if rows[i] >> j & 1:
+            return True  # already implied; closure unchanged
+        new = rows[j] | (1 << j)
+        if new >> i & 1:
+            return False  # j (or j itself == i) reaches i: cycle
+        ibit = 1 << i
+        journal = self._journal
+        for k in range(self.n):
+            rk = rows[k]
+            if k == i or rk & ibit:
+                add_bits = new & ~rk
+                if add_bits:
+                    journal.append((k, rk))
+                    rows[k] = rk | add_bits
+        return True

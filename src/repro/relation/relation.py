@@ -58,6 +58,17 @@ class Relation:
     # constructors
     # ------------------------------------------------------------------
     @classmethod
+    def _make(cls, tups: frozenset, arity: Optional[int]) -> "Relation":
+        """Internal fast constructor: ``tups`` must already be a frozenset
+        of equal-arity tuples matching ``arity`` (``None`` iff empty).
+        Skips the validation scan; used by kernel-conversion hot paths."""
+        self = object.__new__(cls)
+        self._tuples = tups
+        self._arity = arity
+        self._hash = None
+        return self
+
+    @classmethod
     def empty(cls, arity: Optional[int] = None) -> "Relation":
         """The empty relation (optionally with a declared arity)."""
         return cls((), arity=arity)

@@ -26,6 +26,11 @@ History of cache-schema bumps:
 * v6 — enumeration counters gain per-axiom failure counts
   (``axiom_failed``), the structural coverage signal the fuzzing farm
   steers on; stored stats change shape.
+* v7 — the relation kernel (``set``/``bit``/``compiled``) becomes a
+  first-class :class:`~repro.litmus.config.RunConfig` field and joins
+  every verdict key: kernels agree on outcomes by construction, but a
+  kernel-tagged key keeps a representation bug from silently serving one
+  kernel's verdict for another's run.
 
 Every consumer module pins the version it was written against via
 :func:`assert_schema` at import time.  A schema bump that edits this
@@ -37,7 +42,7 @@ under the new salt with the old shape.
 from __future__ import annotations
 
 #: Salts every content-addressed verdict key (cache, LRU tier, wire).
-CACHE_SCHEMA_VERSION = 6
+CACHE_SCHEMA_VERSION = 7
 
 #: The JSON serialization shape of tests/results.
 FORMAT_VERSION = 1

@@ -20,7 +20,24 @@ from __future__ import annotations
 import itertools
 from typing import FrozenSet, Iterable, Iterator, List, Tuple
 
-from ..relation import Relation
+from ..relation import BitRel, IncrementalClosure, Relation
+
+
+def _undecided_pairs(required_pairs: Iterable[FrozenSet], forced_closed) -> List[Tuple]:
+    """The deduplicated, not-yet-forced orientation decisions, in input
+    order (shared by both enumerators so they branch identically)."""
+    undecided: List[Tuple] = []
+    seen = set()
+    for pair in required_pairs:
+        pair = frozenset(pair)
+        if len(pair) != 2 or pair in seen:
+            continue
+        seen.add(pair)
+        a, b = tuple(pair)
+        if (a, b) in forced_closed or (b, a) in forced_closed:
+            continue
+        undecided.append((a, b))
+    return undecided
 
 
 def oriented_orders(
@@ -42,17 +59,7 @@ def oriented_orders(
     forced_closed = forced.closure()
     if not forced_closed.is_irreflexive():
         return
-    undecided: List[Tuple] = []
-    seen = set()
-    for pair in required_pairs:
-        pair = frozenset(pair)
-        if len(pair) != 2 or pair in seen:
-            continue
-        seen.add(pair)
-        a, b = tuple(pair)
-        if (a, b) in forced_closed or (b, a) in forced_closed:
-            continue
-        undecided.append((a, b))
+    undecided = _undecided_pairs(required_pairs, forced_closed)
 
     for choice in itertools.product((False, True), repeat=len(undecided)):
         extra = [
@@ -62,6 +69,48 @@ def oriented_orders(
         candidate = (forced | forced.same_kind(extra)).closure()
         if candidate.is_irreflexive():
             yield candidate
+
+
+def oriented_orders_incremental(
+    required_pairs: Iterable[FrozenSet],
+    forced: BitRel,
+) -> Iterator[BitRel]:
+    """:func:`oriented_orders` as a depth-first search over an
+    :class:`~repro.relation.IncrementalClosure`.
+
+    Yields the identical sequence of orders (same orientations, same
+    order: each pair tries a→b before b→a, last pair varies fastest),
+    but maintains the transitive closure incrementally across prefix
+    extensions instead of re-running Warshall per leaf, and prunes a
+    whole subtree as soon as a prefix edge closes a cycle.  Requires the
+    bitset kernel (``forced`` must be a :class:`BitRel`); the compiled
+    kernel selects this variant.
+    """
+    forced_closed = forced.closure()
+    if not forced_closed.is_irreflexive():
+        return
+    undecided = _undecided_pairs(required_pairs, forced_closed)
+    if not undecided:
+        yield forced_closed
+        return
+    u = forced_closed.u
+    index = u.index
+    edges = [(index[a], index[b]) for a, b in undecided]
+    inc = IncrementalClosure(u.n, forced_closed.rows)
+    depth_max = len(edges)
+
+    def descend(depth: int) -> Iterator[BitRel]:
+        if depth == depth_max:
+            yield BitRel._make(u, tuple(inc.rows))
+            return
+        i, j = edges[depth]
+        for a, b in ((i, j), (j, i)):
+            inc.push()
+            if inc.add(a, b):
+                yield from descend(depth + 1)
+            inc.pop()
+
+    yield from descend(0)
 
 
 def total_orders(atoms: Iterable) -> Iterator[Relation]:

@@ -37,13 +37,20 @@ from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence,
 from ..core.deadline import check_deadline
 from ..core.execution import Execution, program_order
 from ..core.scopes import ThreadId
-from ..lang import eval_expr, eval_formula, var_deps, warm_independent
+from ..lang import (
+    CompiledEnv,
+    Irreflexive,
+    compiled_model,
+    program_signature,
+    rel,
+    var_deps,
+)
 from ..ptx import spec
 from ..ptx.events import Event, Sem, init_write
 from ..ptx.model import ConsistencyReport, build_env
 from ..ptx.program import Elaboration, Program, elaborate
-from ..relation import Relation
-from .posets import oriented_orders
+from ..relation import BitRel, Relation
+from .posets import oriented_orders, oriented_orders_incremental
 from .values import valuations
 
 
@@ -105,6 +112,12 @@ class EnumStats:
 
     def miss(self) -> None:
         self.memo_misses += 1
+
+    def add_memo(self, hits: int, misses: int) -> None:
+        """Bulk hit/miss flush from the compiled kernel's probe counters;
+        identical totals to the interpreter's per-probe callbacks."""
+        self.memo_hits += hits
+        self.memo_misses += misses
 
     def __add__(self, other: "EnumStats") -> "EnumStats":
         if not isinstance(other, EnumStats):
@@ -209,14 +222,26 @@ def co_maximal_memory(
     enumerative engine and the symbolic instance decoder so both report
     memory through the identical observability rule.
     """
-    by_loc: Dict[str, List[Event]] = {}
-    for event in writes:
-        by_loc.setdefault(event.loc, []).append(event)
+    # one pass over co's edges: a write with a same-location successor is
+    # dominated (groups partition `writes` by location, so this probes
+    # exactly the per-group memberships the definition asks for)
+    if isinstance(co, BitRel):
+        # row scan under same-location masks: no pair materialization
+        atoms = co.u.atoms
+        loc_masks: Dict[Optional[str], int] = {}
+        for i, atom in enumerate(atoms):
+            loc_masks[atom.loc] = loc_masks.get(atom.loc, 0) | (1 << i)
+        dominated = {
+            atoms[i]
+            for i, row in enumerate(co.rows)
+            if row & loc_masks[atoms[i].loc]
+        }
+    else:
+        dominated = {a for a, b in co if a.loc == b.loc}
     memory: Dict[str, set] = {}
-    for loc, group in by_loc.items():
-        for event in group:
-            if not any((event, other) in co for other in group):
-                memory.setdefault(loc, set()).add(value_of(event))
+    for event in writes:
+        if event not in dominated:
+            memory.setdefault(event.loc, set()).add(value_of(event))
     return tuple(
         sorted((loc, frozenset(vals)) for loc, vals in memory.items())
     )
@@ -250,10 +275,15 @@ class Candidate:
     valuation: Mapping[int, int]
     report: ConsistencyReport
     elaboration: Elaboration
+    #: the execution's write events, precomputed by engines that yield
+    #: many candidates over one static event set (None: derive on demand)
+    writes: Optional[Tuple[Event, ...]] = None
 
     def outcome(self) -> Outcome:
         """Compute the observable outcome of this execution."""
-        writes = [e for e in self.execution.events if e.is_write]
+        writes = self.writes
+        if writes is None:
+            writes = [e for e in self.execution.events if e.is_write]
         memory = co_maximal_memory(
             writes,
             self.execution.relation("co"),
@@ -277,6 +307,37 @@ def _as_relation(value) -> Relation:
     return value if isinstance(value, Relation) else value.to_relation()
 
 
+_CO_NAMES: FrozenSet[str] = frozenset(("co",))
+
+#: ``irreflexive(rf ; cause)`` — the rf-check engine's per-(rf, sc)
+#: admissibility formula.  Defined here (sharing the spec's ``cause``
+#: node) so ptx_search and rf_check compile against one instance per
+#: (model, test-signature).
+RF_CAUSALITY = Irreflexive(rel("rf") @ spec.DERIVED["cause"])
+
+
+def compiled_ptx_env(
+    program: Program, static: Execution, stats: Optional[EnumStats]
+) -> CompiledEnv:
+    """A :class:`CompiledEnv` over the PTX axioms for one program.
+
+    Instances are cached by ``("ptx", program signature)`` and shared
+    with the rf-check engine, which evaluates the same axioms (plus
+    :data:`RF_CAUSALITY`) over the same staging.
+    """
+    model = compiled_model(
+        key=("ptx", program_signature(program)),
+        formulas=tuple(spec.AXIOMS.items())
+        + (("__rf_causality__", RF_CAUSALITY),),
+        exprs=(spec.DERIVED["cause"],),
+        dynamic=("rf", "sc", "co"),
+        mutate=_CO_NAMES,
+        warm_names=_CO_NAMES,
+        env_factory=lambda: build_env(static, kernel="bit"),
+    )
+    return CompiledEnv(model, stats=stats)
+
+
 def candidate_executions(
     program: Program,
     skip_axioms: Tuple[str, ...] = (),
@@ -284,6 +345,7 @@ def candidate_executions(
     include_inconsistent: bool = False,
     kernel: str = "bit",
     stats: Optional[EnumStats] = None,
+    outcomes_only: bool = False,
 ) -> Iterator[Candidate]:
     """Enumerate candidate executions of ``program``.
 
@@ -295,6 +357,13 @@ def candidate_executions(
     early pruning stages; ``kernel`` picks the relation representation
     (outcomes and reports are identical for both); ``stats`` receives
     enumeration counters when provided.
+
+    ``outcomes_only`` yields each consistent candidate's
+    :class:`Outcome` instead of a :class:`Candidate`, skipping the
+    per-candidate :class:`Execution`/report materialization —
+    :func:`allowed_outcomes` discards those anyway.  Enumeration order,
+    pruning, and ``stats`` counters are unchanged.  Ignored under
+    ``include_inconsistent``.
     """
     elab = elaborate(program)
     init_events = tuple(
@@ -306,10 +375,10 @@ def candidate_executions(
     base_values = {event.eid: 0 for event in init_events}
 
     reads = [e for e in elab.events if e.is_read]
+    all_writes = tuple(e for e in events if e.is_write)
     writes_by_loc: Dict[str, List[Event]] = {}
-    for event in events:
-        if event.is_write:
-            writes_by_loc.setdefault(event.loc, []).append(event)
+    for event in all_writes:
+        writes_by_loc.setdefault(event.loc, []).append(event)
 
     sc_fences = [e for e in events if e.is_fence and e.sem is Sem.SC]
 
@@ -326,8 +395,13 @@ def candidate_executions(
         },
     )
     stats = stats if stats is not None else EnumStats()
-    static_env = build_env(static, kernel=kernel)
-    static_env.stats = stats
+    if kernel == "compiled":
+        static_env = compiled_ptx_env(program, static, stats)
+        orders = oriented_orders_incremental
+    else:
+        static_env = build_env(static, kernel=kernel)
+        static_env.stats = stats
+        orders = oriented_orders
     ms = static_env.lookup("morally_strong")
     po_loc = static_env.lookup("po_loc")
 
@@ -351,13 +425,76 @@ def candidate_executions(
         for other in writes_by_loc[init.loc]
         if other is not init
     )
+    # init edges seed every ``forced`` the co enumerator sees, so pairs
+    # they already orient can never come up undecided: drop them once
+    # here instead of per enumeration (often emptying the list entirely)
+    init_closed = init_forced.closure()
+    ms_write_pairs = [
+        pair for pair in ms_write_pairs
+        if not any(
+            (a, b) in init_closed for a, b in itertools.permutations(pair, 2)
+        )
+    ]
     empty_order = static_env.make_relation(())
+    # Same-location write-pair mask (diagonal included): under a bitset
+    # kernel, restricting ``cause`` to co-seed pairs is one AND against
+    # this mask instead of a per-(rf, sc) pair-filtering loop.
+    ww_sloc: Optional[BitRel] = None
+    if isinstance(empty_order, BitRel):
+        u = empty_order.u
+        rows = [0] * u.n
+        for group in writes_by_loc.values():
+            group_mask = 0
+            for event in group:
+                group_mask |= 1 << u.index[event]
+            for event in group:
+                rows[u.index[event]] = group_mask
+        ww_sloc = BitRel._make(u, tuple(rows))
     cause_expr = spec.DERIVED["cause"]
     co_dependent_axioms = [
         spec.AXIOMS[name]
         for name in _CO_DEPENDENT
         if name not in skip_axioms
     ]
+    #: the per-candidate checks, in spec.AXIOMS order, minus skipped ones
+    co_eval = [
+        (name, axiom)
+        for name, axiom in spec.AXIOMS.items()
+        if name in _CO_DEPENDENT and name not in skip_axioms
+    ]
+    #: a consistent candidate's report: every axiom holds (skipped count
+    #: as holding), so the dict is shared and copied per candidate
+    all_true = dict.fromkeys(spec.AXIOMS, True)
+    # Residual dispatch for the innermost loop: under the compiled
+    # kernel the co rebind is a slot reset and each axiom a direct call
+    # into its generated checker — the CompiledEnv wrapper would only
+    # re-resolve both per candidate.
+    co_fast = None
+    pre_fast = None
+    warm_fast = None
+    if kernel == "compiled":
+        cmodel = static_env.model
+        co_fast = (
+            cmodel.binding_index["co"],
+            cmodel.reset_slots["co"],
+            [(name, cmodel.formulas[id(axiom)]) for name, axiom in co_eval],
+        )
+        # the same direct dispatch for the per-(rf, sc) stage: skipped
+        # axioms keep their evaluation-free True, mirroring the
+        # interpreted loop below
+        pre_fast = [
+            (
+                name,
+                None if name in skip_axioms
+                else cmodel.formulas[id(axiom)],
+            )
+            for name, axiom in spec.AXIOMS.items()
+            if name not in _CO_DEPENDENT
+        ]
+        warm_fast = [
+            cmodel.warms[(id(axiom), _CO_NAMES)]
+            for axiom in co_dependent_axioms
+        ]
     # A read taking its value from a po-later overlapping write forms a
     # morally strong (ms ∩ rf) / po_loc 2-cycle: SC-per-Location then
     # fails for every sc/co completion, so the whole rf assignment can be
@@ -366,14 +503,46 @@ def candidate_executions(
     prune_rf = (
         "SC-per-Location" not in skip_axioms and not include_inconsistent
     )
+    # the doom test is rf-independent per (read, write) pair: resolve the
+    # two kernel-relation probes once instead of per rf assignment
+    doomed = frozenset(
+        (read, write)
+        for read in reads
+        for write in writes_by_loc[read.loc]
+        if (read, write) in po_loc and (read, write) in ms
+    )
+    val_eids = sorted(
+        {read.eid for read in reads}
+        | set(elab.write_recipe) | set(base_values)
+    )
+
+    # The sc enumeration is rf-independent (required pairs come from the
+    # static morally-strong fence pairs; nothing is forced), so the order
+    # list is materialized once and replayed for every rf assignment.
+    sc_orders = [
+        (order, _as_relation(order))
+        for order in orders(sc_required, empty_order)
+    ]
 
     rf_choices = [writes_by_loc[read.loc] for read in reads]
+    # under a bitset kernel the rf relation is rebuilt for every
+    # assignment; resolving each (write, read) pair to its (row, bit)
+    # contribution once turns that into a handful of shifts
+    rf_bits = None
+    if ww_sloc is not None:
+        u = ww_sloc.u
+        rf_bits = [
+            {
+                write: (u.index[write], 1 << u.index[read])
+                for write in writes_by_loc[read.loc]
+            }
+            for read in reads
+        ]
     for rf_assignment in itertools.product(*rf_choices):
         check_deadline()
         stats.rf_assignments += 1
         if prune_rf and any(
-            (read, write) in po_loc and (read, write) in ms
-            for read, write in zip(reads, rf_assignment)
+            pair in doomed for pair in zip(reads, rf_assignment)
         ):
             stats.rf_pruned += 1
             # the pre-check is exactly an SC-per-Location doom proof
@@ -382,39 +551,63 @@ def candidate_executions(
         rf_source = {
             read.eid: write.eid for read, write in zip(reads, rf_assignment)
         }
-        rf_rel = Relation(
+        rf_pairs = tuple(
             (write, read) for read, write in zip(reads, rf_assignment)
         )
+        # the plain-Relation view is only needed for yielded executions;
+        # most rf assignments die before producing one
+        rf_rel: Optional[Relation] = None
         # rebind only the witness relations: the derived sets,
         # sloc/po_loc and moral strength are rf/sc/co-independent,
         # so the statically built environment can be reused.
-        rf_env = static_env.bind("rf", static_env.to_kernel(rf_rel))
+        if rf_bits is not None:
+            rows = [0] * u.n
+            for write, lookup in zip(rf_assignment, rf_bits):
+                row, bit = lookup[write]
+                rows[row] |= bit
+            rf_value = BitRel._make(u, tuple(rows))
+        else:
+            rf_value = static_env.make_relation(rf_pairs)
+        rf_env = static_env.bind("rf", rf_value)
 
         # Everything per-sc is valuation-independent: compute it once per
         # rf choice and replay it inside the valuation loop.
         sc_variants = []
-        for sc_order in oriented_orders(sc_required, empty_order):
+        for sc_order, sc_rel in sc_orders:
             env = rf_env.bind("sc", sc_order)
             pre_results: Dict[str, bool] = {}
             pre_ok = True
-            for name, axiom in spec.AXIOMS.items():
-                if name in _CO_DEPENDENT:
-                    continue
-                ok = name in skip_axioms or eval_formula(axiom, env)
-                pre_results[name] = ok
-                pre_ok = pre_ok and ok
-                if not ok:
-                    stats.record_axiom_failure(name)
+            if pre_fast is not None:
+                frame = env.frame
+                slots = frame.slots
+                bindings = frame.bindings
+                for name, fn in pre_fast:
+                    ok = fn is None or fn(slots, bindings, stats)
+                    pre_results[name] = ok
+                    pre_ok = pre_ok and ok
+                    if not ok:
+                        stats.record_axiom_failure(name)
+            else:
+                for name, axiom in spec.AXIOMS.items():
+                    if name in _CO_DEPENDENT:
+                        continue
+                    ok = name in skip_axioms or env.formula(axiom)
+                    pre_results[name] = ok
+                    pre_ok = pre_ok and ok
+                    if not ok:
+                        stats.record_axiom_failure(name)
             if not pre_ok and not include_inconsistent:
                 stats.pre_co_pruned += 1
                 continue
-            cause = eval_expr(cause_expr, env)
+            cause = env.expr(cause_expr)
             if "Coherence" in skip_axioms:
                 # Seeding cause-implied co edges is exactly the content of
                 # the Coherence axiom; under ablation the violating co
                 # orientations must actually be enumerated or skipping the
                 # axiom would be outcome-invisible.
                 forced = init_forced
+            elif ww_sloc is not None:
+                forced = init_forced | (cause & ww_sloc)
             else:
                 cause_forced = [
                     (a, b)
@@ -426,17 +619,105 @@ def candidate_executions(
             # axioms (e.g. the causality left-hand sides): bind("co")
             # retains them, so each co candidate pays only for what
             # genuinely changed.
-            for axiom in co_dependent_axioms:
-                warm_independent(axiom, env, frozenset(("co",)))
-            sc_variants.append((sc_order, env, forced, pre_results))
+            if warm_fast is not None:
+                for fn in warm_fast:
+                    fn(frame.slots, frame.bindings, stats)
+            else:
+                for axiom in co_dependent_axioms:
+                    env.warm(axiom, _CO_NAMES)
+            # with no write pairs to orient, the co enumeration always
+            # yields exactly the closure of ``forced`` (when acyclic):
+            # resolve it here instead of re-deriving it per valuation
+            co_orders: Optional[List] = None
+            if not ms_write_pairs:
+                closed = forced.closure()
+                co_orders = [closed] if closed.is_irreflexive() else []
+            sc_variants.append((
+                sc_order, env, forced, pre_results,
+                all(pre_results.values()), sc_rel, co_orders,
+            ))
 
         if not sc_variants:
             continue
-        for valuation in valuations(elab, rf_source, base_values, speculation_values):
-            for sc_order, env, forced, pre_results in sc_variants:
-                pre_ok = all(pre_results.values())
+        for valuation in valuations(
+            elab, rf_source, base_values, speculation_values, eids=val_eids
+        ):
+            #: outcome ingredients shared by every consistent (sc, co)
+            #: completion of this valuation
+            registers = None
+            for (sc_order, env, forced, pre_results, pre_ok, sc_rel,
+                 co_orders) in sc_variants:
+                if co_orders is None:
+                    co_orders = orders(ms_write_pairs, forced)
                 partial: Optional[Execution] = None
-                for co_order in oriented_orders(ms_write_pairs, forced):
+                if not include_inconsistent:
+                    # Hot path: every surviving variant has pre_ok (the
+                    # sc loop pruned the rest), a consistent candidate's
+                    # report is all-True, and a rejected one is dropped
+                    # at its first failing axiom.
+                    if co_fast is not None:
+                        co_bidx, co_reset, co_fns = co_fast
+                        frame = env.frame
+                        slots = frame.slots
+                        bindings = frame.bindings
+                    for co_order in co_orders:
+                        check_deadline()
+                        stats.candidates_checked += 1
+                        consistent = True
+                        if co_fast is not None:
+                            bindings[co_bidx] = co_order.rows
+                            for i in co_reset:
+                                slots[i] = None
+                            for name, fn in co_fns:
+                                if not fn(slots, bindings, stats):
+                                    consistent = False
+                                    stats.record_axiom_failure(name)
+                                    break
+                        else:
+                            co_env = env.bind("co", co_order)
+                            for name, axiom in co_eval:
+                                if not co_env.formula(axiom):
+                                    consistent = False
+                                    stats.record_axiom_failure(name)
+                                    break
+                        if consistent:
+                            if outcomes_only:
+                                if registers is None:
+                                    registers = register_assignment(
+                                        elab, valuation
+                                    )
+                                yield Outcome(
+                                    registers=registers,
+                                    memory=co_maximal_memory(
+                                        all_writes,
+                                        co_order,
+                                        lambda e: valuation[e.eid],
+                                    ),
+                                )
+                                continue
+                            if partial is None:
+                                if rf_rel is None:
+                                    rf_rel = Relation(rf_pairs)
+                                partial = static.with_relations(
+                                    rf=rf_rel, sc=sc_rel
+                                )
+                            execution = partial.with_relations(
+                                co=_as_relation(co_order)
+                            )
+                            yield Candidate(
+                                execution=execution,
+                                valuation=dict(valuation),
+                                report=ConsistencyReport(
+                                    axioms=dict(all_true),
+                                    execution=execution,
+                                ),
+                                elaboration=elab,
+                                writes=all_writes,
+                            )
+                    continue
+                # diagnostic path: evaluate every axiom and attach the
+                # full per-axiom report, consistent or not
+                for co_order in co_orders:
                     check_deadline()
                     co_env = env.bind("co", co_order)
                     stats.candidates_checked += 1
@@ -445,40 +726,34 @@ def candidate_executions(
                     for name, axiom in spec.AXIOMS.items():
                         if name not in _CO_DEPENDENT:
                             continue
-                        ok = name in skip_axioms or eval_formula(
-                            axiom, co_env
-                        )
+                        ok = name in skip_axioms or co_env.formula(axiom)
                         co_results[name] = ok
                         if not ok:
                             consistent = False
                             stats.record_axiom_failure(name)
-                            # a rejected candidate's report is never
-                            # observed unless inconsistent candidates
-                            # were requested: stop paying for the
-                            # remaining co-dependent evaluations
-                            if not include_inconsistent:
-                                break
-                    if consistent or include_inconsistent:
-                        results = {
-                            name: co_results.get(name, pre_results.get(name))
-                            for name in spec.AXIOMS
-                        }
-                        if partial is None:
-                            partial = static.with_relations(
-                                rf=rf_rel, sc=_as_relation(sc_order)
-                            )
-                        execution = partial.with_relations(
-                            co=_as_relation(co_order)
+                    results = {
+                        name: co_results.get(name, pre_results.get(name))
+                        for name in spec.AXIOMS
+                    }
+                    if partial is None:
+                        if rf_rel is None:
+                            rf_rel = Relation(rf_pairs)
+                        partial = static.with_relations(
+                            rf=rf_rel, sc=sc_rel
                         )
-                        report = ConsistencyReport(
-                            axioms=results, execution=execution
-                        )
-                        yield Candidate(
-                            execution=execution,
-                            valuation=dict(valuation),
-                            report=report,
-                            elaboration=elab,
-                        )
+                    execution = partial.with_relations(
+                        co=_as_relation(co_order)
+                    )
+                    report = ConsistencyReport(
+                        axioms=results, execution=execution
+                    )
+                    yield Candidate(
+                        execution=execution,
+                        valuation=dict(valuation),
+                        report=report,
+                        elaboration=elab,
+                        writes=all_writes,
+                    )
 
 
 def allowed_outcomes(
@@ -490,12 +765,12 @@ def allowed_outcomes(
 ) -> FrozenSet[Outcome]:
     """All outcomes of axiom-consistent executions of ``program``."""
     return frozenset(
-        candidate.outcome()
-        for candidate in candidate_executions(
+        candidate_executions(
             program,
             skip_axioms=skip_axioms,
             speculation_values=speculation_values,
             kernel=kernel,
             stats=stats,
+            outcomes_only=True,
         )
     )

@@ -55,18 +55,20 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..core.deadline import TimeoutExceeded, check_deadline
 from ..core.execution import Execution, program_order
-from ..lang import Irreflexive, eval_expr, eval_formula, rel, warm_independent
 from ..ptx import spec
 from ..ptx.events import Event, Sem, init_write
 from ..ptx.model import build_env
 from ..ptx.program import Program, elaborate
 from ..relation import Relation
-from .posets import oriented_orders
+from .posets import oriented_orders, oriented_orders_incremental
 from .ptx_search import (
     _CO_DEPENDENT,
+    _CO_NAMES,
+    RF_CAUSALITY,
     EnumStats,
     Outcome,
     allowed_outcomes,
+    compiled_ptx_env,
     register_assignment,
 )
 from .values import valuations
@@ -85,10 +87,10 @@ _PER_CANDIDATE: Tuple[str, ...] = tuple(
 
 #: the co-free half of Axiom 6 (Causality): ``rf`` edges must respect
 #: causality regardless of any coherence choice, so one evaluation per
-#: (rf, sc) prefix can discard it early.  Built once at import time so
-#: the evaluator's identity-keyed memoisation applies, and sharing the
-#: ``cause`` node with :mod:`repro.ptx.spec` reuses its cached value.
-_RF_CAUSALITY = Irreflexive(rel("rf") @ spec.DERIVED["cause"])
+#: (rf, sc) prefix can discard it early.  Lives in :mod:`.ptx_search`
+#: (one AST node, identity-shared) so the interpreter's memoisation and
+#: the compiled kernel's per-program instance both apply across engines.
+_RF_CAUSALITY = RF_CAUSALITY
 
 
 def _hits(relation, forbidden: Set[Tuple[Event, Event]]) -> bool:
@@ -193,6 +195,7 @@ def _location_families(
     reads_of: Dict[int, List[Event]],
     axioms,
     stats: EnumStats,
+    orders=oriented_orders,
 ) -> Optional[List[Set[FrozenSet[int]]]]:
     """Per location (in ``locs`` order), the *families* of co-maximal
     write eids over that location's consistent coherence orders — or
@@ -216,7 +219,7 @@ def _location_families(
             return None
         forced, open_pairs = saturated
         families: Set[FrozenSet[int]] = set()
-        for co_order in oriented_orders(
+        for co_order in orders(
             [frozenset(pair) for pair in open_pairs], forced
         ):
             check_deadline()
@@ -226,7 +229,7 @@ def _location_families(
                 continue
             co_env = env.bind("co", co_order)
             stats.candidates_checked += 1
-            if all(eval_formula(axiom, co_env) for axiom in axioms):
+            if all(co_env.formula(axiom) for axiom in axioms):
                 families.add(
                     frozenset(
                         w.eid
@@ -274,8 +277,13 @@ def _saturation_outcomes(
             "syncbarrier": elab.syncbarrier,
         },
     )
-    static_env = build_env(static, kernel=kernel)
-    static_env.stats = stats
+    if kernel == "compiled":
+        static_env = compiled_ptx_env(program, static, stats)
+        orders = oriented_orders_incremental
+    else:
+        static_env = build_env(static, kernel=kernel)
+        static_env.stats = stats
+        orders = oriented_orders
     ms = static_env.lookup("morally_strong")
     po_loc = static_env.lookup("po_loc")
 
@@ -343,20 +351,20 @@ def _saturation_outcomes(
         #: all observable (co-maximal eids per location) tuples over the
         #: prefix's consistent executions, deduplicated across sc orders
         memory_families: Set[Tuple[FrozenSet[int], ...]] = set()
-        for sc_order in oriented_orders(sc_required, empty_order):
+        for sc_order in orders(sc_required, empty_order):
             check_deadline()
             env = rf_env.bind("sc", sc_order)
             pre_ok = all(
-                eval_formula(axiom, env) for axiom in co_independent
-            ) and eval_formula(_RF_CAUSALITY, env)
+                env.formula(axiom) for axiom in co_independent
+            ) and env.formula(_RF_CAUSALITY)
             if not pre_ok:
                 stats.pre_co_pruned += 1
                 continue
-            cause = eval_expr(cause_expr, env)
+            cause = env.expr(cause_expr)
             # pre-evaluate co-independent subtrees of the per-candidate
             # axioms; bind("co") retains them across candidates
             for axiom in axioms:
-                warm_independent(axiom, env, frozenset(("co",)))
+                env.warm(axiom, _CO_NAMES)
             families = _location_families(
                 env,
                 cause,
@@ -369,6 +377,7 @@ def _saturation_outcomes(
                 reads_of,
                 axioms,
                 stats,
+                orders=orders,
             )
             if families is not None:
                 memory_families.update(itertools.product(*families))

@@ -82,6 +82,7 @@ def valuations(
     rf_source: Mapping[int, int],
     base_values: Mapping[int, int],
     speculation_values: Sequence[int] = (),
+    eids: Optional[Sequence[int]] = None,
 ) -> Iterator[Dict[int, int]]:
     """Yield every consistent valuation (eid → value) of the execution.
 
@@ -92,8 +93,12 @@ def valuations(
     over those candidate values and only self-consistent assignments (each
     speculated read's source actually produces the speculated value) are
     yielded.
+
+    ``eids`` optionally supplies the sorted event-id domain (it is
+    rf-independent, so enumeration engines precompute it once per test
+    instead of once per rf assignment).
     """
-    all_eids = sorted(
+    all_eids = eids if eids is not None else sorted(
         set(rf_source) | set(elab.write_recipe) | set(base_values)
     )
 
@@ -117,6 +122,11 @@ def valuations(
             if result[rf_source[eid]] != guessed:
                 return
         yield result
+
+    if not speculation_values:
+        # acyclic dataflow yields at most one valuation; skip the dedup
+        yield from attempt({})
+        return
 
     seen = set()
     for valuation in attempt({}):

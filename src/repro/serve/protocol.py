@@ -34,7 +34,7 @@ from ..litmus.test import LitmusTest
 from ..registry import partition_opts, resolve_engine, resolve_model
 from ..schema import CACHE_SCHEMA_VERSION, assert_schema
 
-assert_schema("repro.serve.protocol", cache=6)
+assert_schema("repro.serve.protocol", cache=7)
 
 #: wire format version; doubles as the URL prefix (``/v1/...``)
 WIRE_VERSION = 1
@@ -103,7 +103,9 @@ def parse_test(payload: Dict) -> LitmusTest:
 
 
 #: request fields layered over the service's base RunConfig
-_CONFIG_FIELDS = ("model", "engine", "search_opts", "timeout", "certify")
+_CONFIG_FIELDS = (
+    "model", "engine", "search_opts", "timeout", "certify", "kernel",
+)
 
 
 def build_config(
@@ -154,7 +156,8 @@ def request_key(test: LitmusTest, config: RunConfig) -> str:
     except ValueError as exc:
         raise ApiError(400, str(exc)) from None
     return cache_key(
-        test, config.model, config.engine, kept, certify=config.certify
+        test, config.model, config.engine, kept, certify=config.certify,
+        kernel=config.kernel,
     )
 
 

@@ -48,18 +48,22 @@ from ..core.deadline import check_deadline
 from ..core.execution import program_order, same_location
 from ..core.scopes import mutually_inclusive
 from ..lang import (
+    CompiledEnv,
     Env,
     bit_env,
-    eval_expr,
-    eval_formula,
+    compiled_model,
+    program_signature,
     var_deps,
-    warm_independent,
 )
 from ..ptx.events import Event, Sem, init_write
 from ..ptx.model import moral_strength
 from ..ptx.program import Elaboration, Program, elaborate
 from ..relation import Relation
-from ..search.posets import oriented_orders, total_orders_with_first
+from ..search.posets import (
+    oriented_orders,
+    oriented_orders_incremental,
+    total_orders_with_first,
+)
 from ..search.ptx_search import (
     EnumStats,
     Outcome,
@@ -302,14 +306,41 @@ def zoo_candidates(
     if ws.sc_fences:
         bindings["sc"] = Relation.empty(2)
 
-    if kernel == "bit":
+    stats = stats if stats is not None else EnumStats()
+    co_names = frozenset((ws.co_name,))
+    forced_expr = None
+    if ws.co_style == "partial-ms" and ws.co_forced_from is not None:
+        forced_expr = catm.definition(ws.co_forced_from)
+    if kernel == "compiled":
+        dynamic = (
+            ("rf",)
+            + tuple(name for name, _ in rf_builders)
+            + (("sc",) if ws.sc_fences else ())
+            + (ws.co_name,)
+        )
+        cmodel = compiled_model(
+            key=("zoo", model.name, program_signature(program)),
+            formulas=catm.constraints,
+            exprs=(forced_expr,) if forced_expr is not None else (),
+            dynamic=dynamic,
+            mutate=co_names,
+            warm_names=co_names,
+            env_factory=lambda: bit_env(
+                events, bindings, sets=model.signature.set_names
+            ),
+        )
+        env0 = CompiledEnv(cmodel, stats=stats)
+        orders = oriented_orders_incremental
+    elif kernel == "bit":
         env0 = bit_env(events, bindings, sets=model.signature.set_names)
+        env0.stats = stats
+        orders = oriented_orders
     elif kernel == "set":
         env0 = Env(universe=Relation.set_of(events), bindings=bindings)
+        env0.stats = stats
+        orders = oriented_orders
     else:
         raise ValueError(f"unknown relation kernel {kernel!r}")
-    stats = stats if stats is not None else EnumStats()
-    env0.stats = stats
 
     active = [
         (name, formula)
@@ -334,7 +365,6 @@ def zoo_candidates(
             if a.eid < b.eid and (a, b) in ctx.ms
         ]
 
-    forced_expr = None
     ms_write_pairs: List[FrozenSet[Event]] = []
     init_forced = empty_order
     co_kernel_choices: List[object] = []
@@ -352,8 +382,6 @@ def zoo_candidates(
             for other in writes_by_loc[init.loc]
             if other is not init
         )
-        if ws.co_forced_from is not None:
-            forced_expr = catm.definition(ws.co_forced_from)
     else:
         # total style: the witness space is rf/sc-independent, so the
         # per-location permutations can be enumerated (and kernelized)
@@ -386,7 +414,7 @@ def zoo_candidates(
             )
 
         if ws.sc_fences:
-            sc_orders = oriented_orders(sc_required, empty_order)
+            sc_orders = orders(sc_required, empty_order)
             variants = [
                 (env_rf.bind("sc", order),) for order in sc_orders
             ]
@@ -394,19 +422,19 @@ def zoo_candidates(
             variants = [(env_rf,)]
         checked = []
         for (env_sc,) in variants:
-            if not all(eval_formula(f, env_sc) for _, f in co_independent):
+            if not all(env_sc.formula(f) for _, f in co_independent):
                 stats.pre_co_pruned += 1
                 continue
             forced = init_forced
             if forced_expr is not None:
-                cause = eval_expr(forced_expr, env_sc)
+                cause = env_sc.expr(forced_expr)
                 forced = forced | env_sc.make_relation(
                     (a, b)
                     for a, b in cause
                     if a.is_write and b.is_write and a.loc == b.loc
                 )
             for _, f in co_dependent:
-                warm_independent(f, env_sc, frozenset((ws.co_name,)))
+                env_sc.warm(f, co_names)
             checked.append((env_sc, forced))
         if not checked:
             continue
@@ -416,14 +444,14 @@ def zoo_candidates(
         ):
             for env_sc, forced in checked:
                 if ws.co_style == "partial-ms":
-                    co_orders = oriented_orders(ms_write_pairs, forced)
+                    co_orders = orders(ms_write_pairs, forced)
                 else:
                     co_orders = iter(co_kernel_choices)
                 for co_order in co_orders:
                     check_deadline()
                     stats.candidates_checked += 1
                     env_co = env_sc.bind(ws.co_name, co_order)
-                    if all(eval_formula(f, env_co) for _, f in co_dependent):
+                    if all(env_co.formula(f) for _, f in co_dependent):
                         co_rel = _as_relation(co_order)
                         yield Outcome(
                             registers=register_assignment(elab, valuation),

@@ -58,6 +58,7 @@ class TestConfigRoundTrip:
         "cache_dir": "/tmp/ptxmm-roundtrip-test",
         "max_attempts": 7,
         "certify": True,
+        "kernel": "compiled",
     }
 
     def _config(self):

@@ -123,13 +123,12 @@ class TestSchemaMigration:
         assert cache.get(new_key, test) is None  # miss, not an error
         assert cache.stats.misses == 1
 
-    def test_current_version_is_six(self):
-        # v6: enumeration counters gained per-axiom failure counts
-        # (``axiom_failed``), the coverage signal the farm steers on
-        # (single source: repro.schema)
+    def test_current_version_is_seven(self):
+        # v7: the relation kernel became a RunConfig field and joined
+        # every verdict key (single source: repro.schema)
         from repro import schema
 
-        assert cache_mod.CACHE_SCHEMA_VERSION == 6
+        assert cache_mod.CACHE_SCHEMA_VERSION == 7
         assert schema.CACHE_SCHEMA_VERSION == cache_mod.CACHE_SCHEMA_VERSION
 
     def test_certify_flag_salts_key_under_any_version(self, monkeypatch):
@@ -137,3 +136,9 @@ class TestSchemaMigration:
         monkeypatch.setattr(cache_mod, "CACHE_SCHEMA_VERSION", 99)
         assert cache_key(test, "ptx", "enumerative", {}) != \
             cache_key(test, "ptx", "enumerative", {}, certify=True)
+
+    def test_kernel_salts_key_under_any_version(self, monkeypatch):
+        test = BY_NAME["CoRR"]
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA_VERSION", 99)
+        assert cache_key(test, "ptx", "enumerative", {}) != \
+            cache_key(test, "ptx", "enumerative", {}, kernel="compiled")

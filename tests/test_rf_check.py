@@ -8,7 +8,7 @@ erroring) when it is not.  These tests pin the contract three ways:
 
 * quick structural checks on hand-picked suite tests (non-slow);
 * exhaustive agreement over the full suite and the pinned length-4
-  generated corpus, under both relation kernels (slow);
+  generated corpus, under all three relation kernels (slow);
 * a hypothesis sweep over the fuzzer's randomized test stream.
 """
 
@@ -146,7 +146,7 @@ def test_fuzz_stream_agreement(index):
 @pytest.mark.slow
 class TestExhaustiveAgreement:
     @pytest.mark.parametrize("test", SUITE, ids=lambda t: t.name)
-    @pytest.mark.parametrize("kernel", ("bit", "set"))
+    @pytest.mark.parametrize("kernel", ("bit", "set", "compiled"))
     def test_full_suite_both_kernels(self, test, kernel):
         opts = _opts(test)
         assert rf_check_outcomes(
